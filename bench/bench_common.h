@@ -1,0 +1,105 @@
+#ifndef NIID_BENCH_BENCH_COMMON_H_
+#define NIID_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench accepts a common set of flags and defaults to a configuration
+// that finishes in roughly a minute or two on a single CPU core. The paper's
+// full-scale protocol (50-500 rounds, 10 local epochs, 60k-sample datasets)
+// is reachable with --paper_scale; EXPERIMENTS.md records which scale
+// produced the committed numbers.
+//
+// Common flags:
+//   --rounds=N --epochs=N --batch_size=N --trials=N --parties=N
+//   --size_factor=F --seed=N --threads=N --paper_scale --out_csv=PATH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/runner.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace niid::bench {
+
+/// Builds an ExperimentConfig from common flags. Benches override the fields
+/// they sweep. `default_rounds`/`default_epochs` are the quick-profile
+/// values; --paper_scale switches to the paper's protocol.
+inline ExperimentConfig BaseConfig(const FlagParser& flags,
+                                   int default_rounds = 6,
+                                   int default_epochs = 2) {
+  ExperimentConfig config;
+  const bool paper = flags.GetBool("paper_scale", false);
+  config.rounds = flags.GetInt("rounds", paper ? 50 : default_rounds);
+  config.local.local_epochs =
+      flags.GetInt("epochs", paper ? 10 : default_epochs);
+  // Quick profile: batch 16 (paper uses 64) so that the small per-party
+  // shards still yield several SGD steps per epoch, and a boosted learning
+  // rate to compensate for running far fewer total steps.
+  config.local.batch_size = flags.GetInt("batch_size", paper ? 64 : 16);
+  config.lr_scale =
+      static_cast<float>(flags.GetDouble("lr_scale", paper ? 1.0 : 4.0));
+  config.trials = flags.GetInt("trials", paper ? 3 : 1);
+  config.seed = flags.GetInt64("seed", 1);
+  config.num_threads = flags.GetInt("threads", 1);
+  config.partition.num_parties = flags.GetInt("parties", 10);
+  config.catalog.size_factor =
+      flags.GetDouble("size_factor", paper ? 1.0 : 0.01);
+  config.catalog.min_train_size = flags.GetInt64("min_train", 600);
+  config.catalog.min_test_size = flags.GetInt64("min_test", 200);
+  config.catalog.max_train_size =
+      flags.GetInt64("max_train", paper ? 0 : 4000);
+  return config;
+}
+
+/// Applies a partition shorthand used across benches:
+/// "homo", "dir" (p~Dir(beta)), "c1"/"c2"/"c3" (#C=k), "noise",
+/// "quantity" (q~Dir(beta)), "synthetic", "real-world".
+inline bool ApplyPartitionShorthand(ExperimentConfig& config,
+                                    const std::string& name) {
+  PartitionConfig& p = config.partition;
+  if (name == "homo") {
+    p.strategy = PartitionStrategy::kHomogeneous;
+  } else if (name == "dir") {
+    p.strategy = PartitionStrategy::kLabelDirichlet;
+  } else if (name == "c1" || name == "c2" || name == "c3") {
+    p.strategy = PartitionStrategy::kLabelQuantity;
+    p.labels_per_party = name[1] - '0';
+  } else if (name == "noise") {
+    p.strategy = PartitionStrategy::kNoise;
+  } else if (name == "quantity") {
+    p.strategy = PartitionStrategy::kQuantityDirichlet;
+  } else if (name == "synthetic") {
+    p.strategy = PartitionStrategy::kSynthetic;
+  } else if (name == "real-world") {
+    p.strategy = PartitionStrategy::kRealWorld;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Splits a comma-separated flag value.
+inline std::vector<std::string> SplitCsvFlag(const std::string& value) {
+  return SplitCommaList(value);
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const std::string& what, const ExperimentConfig& config) {
+  std::cout << "== " << what << " ==\n"
+            << "profile: rounds=" << config.rounds
+            << " epochs=" << config.local.local_epochs
+            << " batch=" << config.local.batch_size
+            << " parties=" << config.partition.num_parties
+            << " trials=" << config.trials
+            << " size_factor=" << config.catalog.size_factor << "\n"
+            << "(pass --paper_scale for the paper's full protocol; "
+               "--rounds/--epochs/--size_factor to rescale)\n\n";
+}
+
+}  // namespace niid::bench
+
+#endif  // NIID_BENCH_BENCH_COMMON_H_

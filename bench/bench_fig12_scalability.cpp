@@ -1,0 +1,64 @@
+// Reproduces Figure 12: training curves with 100 parties and sample
+// fraction 0.1 on CIFAR-10 under each partition. Expected shape
+// (Finding 8): curves are much less stable than under full participation,
+// and SCAFFOLD collapses because its per-client control variates are
+// refreshed too rarely to track the update direction.
+//
+// Flags: --parties=100 --fraction=0.1 --partitions=dir,c2,homo + common.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/curves.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+  niid::ExperimentConfig base = niid::bench::BaseConfig(
+      flags, /*default_rounds=*/20, /*default_epochs=*/2);
+  base.dataset = flags.GetString("dataset", "cifar10");
+  base.partition.num_parties = flags.GetInt("parties", 100);
+  base.sample_fraction = flags.GetDouble("fraction", 0.1);
+  base.partition.min_samples_per_party = 2;
+  base.catalog.size_factor = flags.GetDouble("size_factor", 0.04);
+  base.catalog.min_train_size = flags.GetInt64("min_train", 2000);
+  if (flags.GetBool("paper_scale", false) && !flags.Has("rounds")) {
+    base.rounds = 500;  // Section 5.6 runs 500 rounds
+  }
+  niid::bench::Banner("Figure 12 — 100 parties, sample fraction " +
+                          std::to_string(base.sample_fraction),
+                      base);
+
+  const std::vector<std::string> partitions = niid::bench::SplitCsvFlag(
+      flags.GetString("partitions",
+                      flags.GetBool("paper_scale", false)
+                          ? "homo,dir,c1,c2,c3,quantity"
+                          : "dir,c2,homo"));
+
+  for (const std::string& partition : partitions) {
+    niid::ExperimentConfig config = base;
+    if (!niid::bench::ApplyPartitionShorthand(config, partition)) {
+      std::cerr << "bad partition " << partition << "\n";
+      return 1;
+    }
+    std::cout << "---- partition " << config.partition.Label() << " ----\n";
+    std::vector<niid::Curve> curves;
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      const niid::ExperimentResult result = niid::RunExperiment(config);
+      curves.push_back({algorithm, result.MeanCurve()});
+      std::cerr << "done: " << config.partition.Label() << "/" << algorithm
+                << "\n";
+    }
+    niid::PrintCurves(curves, std::cout, std::max(1, config.rounds / 10));
+    std::cout << "instability / final accuracy:\n";
+    for (const niid::Curve& curve : curves) {
+      std::cout << "  " << curve.label << ": instability="
+                << niid::CurveInstability(curve.values)
+                << " final=" << niid::FormatPercent(curve.values.back())
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 7: test-accuracy-per-round training curves of the four
+// algorithms on CIFAR-10 under each partition. The paper runs 100 rounds on
+// six partitions; the quick default runs a shorter horizon on a subset.
+//
+// Flags: --dataset=cifar10 --partitions=dir,c1,... --out_csv=PATH + common.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/curves.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+  niid::ExperimentConfig base = niid::bench::BaseConfig(
+      flags, /*default_rounds=*/10, /*default_epochs=*/2);
+  if (flags.GetBool("paper_scale", false) && !flags.Has("rounds")) {
+    base.rounds = 100;  // Figure 7 uses 100 rounds
+  }
+  base.dataset = flags.GetString("dataset", "cifar10");
+  niid::bench::Banner("Figure 7 — training curves on " + base.dataset, base);
+
+  const std::vector<std::string> partitions = niid::bench::SplitCsvFlag(
+      flags.GetString("partitions",
+                      flags.GetBool("paper_scale", false)
+                          ? "homo,dir,c1,c2,c3,quantity"
+                          : "dir,c1,quantity"));
+
+  for (const std::string& partition : partitions) {
+    niid::ExperimentConfig config = base;
+    if (!niid::bench::ApplyPartitionShorthand(config, partition)) {
+      std::cerr << "bad partition " << partition << "\n";
+      return 1;
+    }
+    std::cout << "---- partition " << config.partition.Label() << " ----\n";
+    std::vector<niid::Curve> curves;
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      const niid::ExperimentResult result = niid::RunExperiment(config);
+      curves.push_back({algorithm, result.MeanCurve()});
+      std::cerr << "done: " << config.partition.Label() << "/" << algorithm
+                << "\n";
+    }
+    niid::PrintCurves(curves, std::cout,
+                      std::max(1, config.rounds / 10));
+    std::cout << "instability (std of round-to-round accuracy change):\n";
+    for (const niid::Curve& curve : curves) {
+      std::cout << "  " << curve.label << ": "
+                << niid::CurveInstability(curve.values) << "\n";
+    }
+    std::cout << "\n";
+    if (flags.Has("out_csv")) {
+      const std::string path = flags.GetString("out_csv", "") + "." +
+                               partition + ".csv";
+      niid::WriteCurvesCsv(curves, path);
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}

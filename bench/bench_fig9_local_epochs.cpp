@@ -1,0 +1,58 @@
+// Reproduces Figure 9: final test accuracy of each algorithm as the number
+// of local epochs E varies (the paper sweeps {10, 20, 40, 80} on CIFAR-10
+// under #C=1, #C=2, p~Dir(0.5) and homogeneous partitions). Expected shape:
+// accuracy degrades for very large E under label skew, and the optimal E
+// depends on the partition (Finding 5).
+//
+// Flags: --dataset=cifar10 --partitions=c2,dir --epoch_set=5,10,20,40
+//        + common flags. --paper_scale uses the paper's E set and partitions.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+  const bool paper = flags.GetBool("paper_scale", false);
+  niid::ExperimentConfig base = niid::bench::BaseConfig(
+      flags, /*default_rounds=*/3, /*default_epochs=*/2);
+  base.dataset = flags.GetString("dataset", "cifar10");
+  base.catalog.size_factor = flags.GetDouble("size_factor", paper ? 1.0 : 0.005);
+  base.catalog.min_train_size = flags.GetInt64("min_train", 300);
+  niid::bench::Banner("Figure 9 — effect of local epochs on " + base.dataset,
+                      base);
+
+  const std::vector<std::string> partitions = niid::bench::SplitCsvFlag(
+      flags.GetString("partitions", paper ? "c1,c2,dir,homo" : "c2,dir"));
+  const std::vector<std::string> epoch_set = niid::bench::SplitCsvFlag(
+      flags.GetString("epoch_set", paper ? "10,20,40,80" : "4,8,16,32"));
+
+  for (const std::string& partition : partitions) {
+    niid::ExperimentConfig config = base;
+    if (!niid::bench::ApplyPartitionShorthand(config, partition)) {
+      std::cerr << "bad partition " << partition << "\n";
+      return 1;
+    }
+    std::cout << "---- partition " << config.partition.Label() << " ----\n";
+    std::vector<std::string> headers = {"algorithm"};
+    for (const std::string& e : epoch_set) headers.push_back("E=" + e);
+    niid::Table table(headers);
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      std::vector<std::string> row = {algorithm};
+      for (const std::string& epochs : epoch_set) {
+        config.local.local_epochs = std::atoi(epochs.c_str());
+        const niid::ExperimentResult result = niid::RunExperiment(config);
+        row.push_back(niid::FormatAccuracy(result.FinalAccuracies()));
+        std::cerr << "done: " << config.partition.Label() << "/" << algorithm
+                  << "/E=" << epochs << "\n";
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

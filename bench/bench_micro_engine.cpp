@@ -1,0 +1,160 @@
+// Micro-benchmarks of the engine substrate (google-benchmark): tensor math,
+// layer forward/backward, state flatten/aggregation, and partition
+// generation. These quantify where simulation wall-clock goes and guard
+// against performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "fl/fedavg.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/factory.h"
+#include "nn/parameters.h"
+#include "partition/label_skew.h"
+#include "tensor/ops.h"
+
+namespace niid {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    Matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor input = Tensor::Randn({32, 3, 32, 32}, rng);
+  Tensor columns;
+  for (auto _ : state) {
+    Im2Col(input, 5, 1, 0, columns);
+    benchmark::DoNotOptimize(columns.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2d conv(3, 16, 5, rng);
+  const Tensor input = Tensor::Randn({32, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor out = conv.Forward(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(4);
+  Conv2d conv(3, 16, 5, rng);
+  const Tensor input = Tensor::Randn({32, 3, 32, 32}, rng);
+  const Tensor out = conv.Forward(input);
+  const Tensor grad = Tensor::Ones(out.shape());
+  for (auto _ : state) {
+    Tensor grad_in = conv.Backward(grad);
+    benchmark::DoNotOptimize(grad_in.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(5);
+  BatchNorm bn(16);
+  const Tensor input = Tensor::Randn({64, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor out = bn.Forward(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_SimpleCnnStep(benchmark::State& state) {
+  Rng rng(6);
+  ModelSpec spec;
+  spec.name = "simple-cnn";
+  spec.input_channels = 1;
+  spec.input_height = 28;
+  spec.input_width = 28;
+  auto model = CreateModel(spec, rng);
+  const Tensor input = Tensor::Randn({64, 1, 28, 28}, rng);
+  for (auto _ : state) {
+    ZeroGrads(*model);
+    Tensor out = model->Forward(input);
+    model->Backward(Tensor::Ones(out.shape()));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // samples/s
+}
+BENCHMARK(BM_SimpleCnnStep);
+
+void BM_FlattenState(benchmark::State& state) {
+  Rng rng(7);
+  ModelSpec spec;
+  spec.name = "simple-cnn";
+  auto model = CreateModel(spec, rng);
+  for (auto _ : state) {
+    StateVector flat = FlattenState(*model);
+    benchmark::DoNotOptimize(flat.data());
+  }
+}
+BENCHMARK(BM_FlattenState);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int64_t dim = 62006;  // simple-cnn size
+  std::vector<LocalUpdate> updates(clients);
+  for (int i = 0; i < clients; ++i) {
+    updates[i].client_id = i;
+    updates[i].num_samples = 100;
+    updates[i].delta.assign(dim, 0.01f);
+    updates[i].tau = 10;
+  }
+  const std::vector<StateSegment> layout = {{0, dim, true}};
+  FedAvg fedavg(AlgorithmConfig{});
+  StateVector global(dim, 0.f);
+  for (auto _ : state) {
+    fedavg.Aggregate(global, updates, layout);
+    benchmark::DoNotOptimize(global.data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(10)->Arg(100);
+
+void BM_DirichletLabelPartition(benchmark::State& state) {
+  Rng data_rng(8);
+  std::vector<int> labels(60000);
+  for (auto& label : labels) {
+    label = static_cast<int>(data_rng.UniformInt(10));
+  }
+  for (auto _ : state) {
+    Rng rng(9);
+    auto parts = LabelDirichletSplit(labels, 10, 10, 0.5, 10, rng);
+    benchmark::DoNotOptimize(parts.data());
+  }
+}
+BENCHMARK(BM_DirichletLabelPartition);
+
+void BM_SyntheticImageGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    SyntheticImageConfig config;
+    config.train_size = 500;
+    config.test_size = 100;
+    FederatedDataset fd = MakeSyntheticImages(config);
+    benchmark::DoNotOptimize(fd.train.features.data());
+  }
+}
+BENCHMARK(BM_SyntheticImageGeneration);
+
+}  // namespace
+}  // namespace niid
+
+BENCHMARK_MAIN();

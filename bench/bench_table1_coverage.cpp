@@ -1,0 +1,16 @@
+// Reproduces Table 1: partitioning strategies covered by the experiments of
+// prior work (FedAvg, FedProx, SCAFFOLD, FedNova) versus NIID-Bench.
+// This table is static metadata from the paper's related-work analysis.
+
+#include <iostream>
+
+#include "core/coverage.h"
+
+int main() {
+  std::cout << "Table 1 — experimental settings in existing studies vs "
+               "NIID-Bench\n\n";
+  niid::PrintStrategyCoverage(std::cout);
+  std::cout << "\nNIID-Bench is the only configuration covering all six "
+               "partitioning strategies.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table 2: statistics of the nine benchmark datasets. Prints the
+// paper's reported sizes next to the sizes this build instantiates (the
+// synthetic stand-ins keep shapes and class counts, scaling only N; see
+// DESIGN.md substitution table).
+//
+// Flags: --size_factor=F (default 0.008), --full_stats (adds per-class
+// counts of the generated train split).
+
+#include <iostream>
+#include <string>
+
+#include "data/catalog.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+  niid::CatalogOptions options;
+  options.size_factor = flags.GetDouble("size_factor", 0.008);
+  options.seed = flags.GetInt64("seed", 7);
+
+  std::cout << "Table 2 — dataset statistics (paper vs this build)\n\n";
+  niid::Table table({"dataset", "#train (paper)", "#test (paper)",
+                     "#features", "#classes", "#train (built)",
+                     "#test (built)"});
+  for (const std::string& name : niid::CatalogDatasetNames()) {
+    const niid::DatasetInfo& info = niid::GetDatasetInfo(name);
+    auto fd = niid::MakeCatalogDataset(name, options);
+    if (!fd.ok()) {
+      std::cerr << fd.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({name, std::to_string(info.paper_train_size),
+                  std::to_string(info.paper_test_size),
+                  std::to_string(info.num_features),
+                  std::to_string(info.num_classes),
+                  std::to_string(fd->train.size()),
+                  std::to_string(fd->test.size())});
+  }
+  table.Print(std::cout);
+
+  if (flags.GetBool("full_stats", false)) {
+    std::cout << "\nPer-class train counts of the generated splits:\n";
+    for (const std::string& name : niid::CatalogDatasetNames()) {
+      auto fd = niid::MakeCatalogDataset(name, options);
+      std::cout << name << ":";
+      for (int64_t c : niid::CountLabels(fd->train)) std::cout << " " << c;
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

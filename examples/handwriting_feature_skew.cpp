@@ -1,0 +1,95 @@
+// Domain scenario: handwriting recognition across devices — feature
+// distribution skew.
+//
+// The paper's second motivating example: people write the same digits with
+// different stroke widths and slants, so P(x) differs per writer while
+// P(y|x) is shared. This example exercises both feature-skew partitions:
+//   1. real-world: the FEMNIST writer model, partitioned by writer;
+//   2. noise-based: an increasing Gaussian perturbation per party.
+// It verifies the paper's observation that feature skew barely hurts the
+// simple CNN, and that SCAFFOLD is the recommended algorithm.
+//
+// Usage:
+//   handwriting_feature_skew [--rounds=8] [--epochs=2] [--parties=10]
+//                            [--size_factor=0.0015]
+
+#include <iostream>
+
+#include "core/decision_tree.h"
+#include "core/runner.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+
+  niid::ExperimentConfig base;
+  base.catalog.size_factor = flags.GetDouble("size_factor", 0.0015);
+  base.catalog.min_train_size = 500;
+  base.catalog.min_test_size = 200;
+  base.rounds = flags.GetInt("rounds", 8);
+  base.local.local_epochs = flags.GetInt("epochs", 2);
+  base.local.batch_size = flags.GetInt("batch_size", 16);
+  base.lr_scale = static_cast<float>(flags.GetDouble("lr_scale", 4.0));
+  base.partition.num_parties = flags.GetInt("parties", 10);
+  base.seed = flags.GetInt64("seed", 5);
+
+  std::cout << "Handwritten-digit recognition across devices "
+            << "(feature distribution skew)\n\n";
+
+  niid::Table table({"scenario", "FedAvg", "FedProx", "SCAFFOLD", "FedNova"});
+
+  // Scenario 1: real writers (FEMNIST), partitioned by writer.
+  {
+    niid::ExperimentConfig config = base;
+    config.dataset = "femnist";
+    config.partition.strategy = niid::PartitionStrategy::kRealWorld;
+    std::vector<std::string> row = {"by writer (femnist)"};
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      row.push_back(niid::FormatPercent(
+          niid::Mean(niid::RunExperiment(config).FinalAccuracies())));
+      std::cerr << "femnist/" << algorithm << " done\n";
+    }
+    table.AddRow(std::move(row));
+  }
+
+  // Scenario 2: per-device sensor noise (Gau(sigma * i/N)) on MNIST.
+  for (const double sigma : {0.1, 0.5}) {
+    niid::ExperimentConfig config = base;
+    config.dataset = "mnist";
+    config.partition.strategy = niid::PartitionStrategy::kNoise;
+    config.partition.noise_sigma = sigma;
+    std::vector<std::string> row = {"noise x~Gau(" + std::to_string(sigma) +
+                                    ")"};
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      row.push_back(niid::FormatPercent(
+          niid::Mean(niid::RunExperiment(config).FinalAccuracies())));
+      std::cerr << "noise(" << sigma << ")/" << algorithm << " done\n";
+    }
+    table.AddRow(std::move(row));
+  }
+
+  // Baseline: the same data without any skew.
+  {
+    niid::ExperimentConfig config = base;
+    config.dataset = "mnist";
+    config.partition.strategy = niid::PartitionStrategy::kHomogeneous;
+    std::vector<std::string> row = {"IID baseline"};
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      row.push_back(niid::FormatPercent(
+          niid::Mean(niid::RunExperiment(config).FinalAccuracies())));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.Print(std::cout);
+  const auto rec =
+      niid::RecommendAlgorithm(niid::PartitionStrategy::kRealWorld);
+  std::cout << "\nDecision-tree recommendation for feature-skewed silos: "
+            << rec.algorithm << "\n  " << rec.rationale << "\n";
+  return 0;
+}

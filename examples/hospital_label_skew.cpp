@@ -1,0 +1,98 @@
+// Domain scenario: hospital data silos with label distribution skew.
+//
+// The paper's motivating example: hospitals specialize in different
+// diseases, so the label distributions of their patient records differ —
+// some hospitals see almost exclusively a few conditions (#C=k), others a
+// Dirichlet-skewed mix. This example builds that scenario on a tabular
+// stand-in, prints each "hospital"'s case mix, runs all four FL algorithms,
+// and shows how accuracy degrades as the specialization sharpens.
+//
+// Usage:
+//   hospital_label_skew [--hospitals=10] [--rounds=10] [--epochs=3]
+//                       [--size_factor=0.003]
+
+#include <iostream>
+
+#include "core/decision_tree.h"
+#include "core/runner.h"
+#include "partition/report.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+
+  niid::ExperimentConfig config;
+  config.dataset = "covtype";  // tabular patient-record stand-in
+  config.catalog.size_factor = flags.GetDouble("size_factor", 0.003);
+  config.catalog.min_train_size = 1000;
+  config.catalog.min_test_size = 400;
+  config.rounds = flags.GetInt("rounds", 10);
+  config.local.local_epochs = flags.GetInt("epochs", 3);
+  config.local.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.05));
+  config.local.batch_size = flags.GetInt("batch_size", 32);
+  config.partition.num_parties = flags.GetInt("hospitals", 10);
+  config.seed = flags.GetInt64("seed", 11);
+
+  std::cout << "Federated learning across " << config.partition.num_parties
+            << " hospitals (tabular records, 2 diagnostic classes)\n\n";
+
+  // Show one hospital case mix under sharp specialization.
+  {
+    niid::ExperimentConfig probe = config;
+    probe.partition.strategy = niid::PartitionStrategy::kLabelDirichlet;
+    probe.partition.beta = 0.2;
+    auto data = niid::MakeCatalogDataset(probe.dataset, probe.catalog);
+    if (!data.ok()) {
+      std::cerr << data.status().ToString() << "\n";
+      return 1;
+    }
+    niid::PartitionConfig pc = probe.partition;
+    pc.seed = probe.seed;
+    const niid::Partition partition = niid::MakePartition(data->train, pc);
+    std::cout << "Case mix per hospital under p~Dir(0.2) specialization:\n";
+    niid::PrintPartitionMatrix(
+        niid::BuildPartitionReport(data->train, partition), std::cout);
+    std::cout << "\n";
+  }
+
+  // Sweep specialization level and compare algorithms.
+  niid::Table table({"specialization", "FedAvg", "FedProx", "SCAFFOLD",
+                     "FedNova"});
+  struct Level {
+    const char* label;
+    niid::PartitionStrategy strategy;
+    double beta;
+    int k;
+  };
+  for (const Level& level :
+       {Level{"none (IID)", niid::PartitionStrategy::kHomogeneous, 0.5, 2},
+        Level{"mild (Dir 5.0)", niid::PartitionStrategy::kLabelDirichlet,
+              5.0, 2},
+        Level{"strong (Dir 0.2)", niid::PartitionStrategy::kLabelDirichlet,
+              0.2, 2},
+        Level{"extreme (#C=1)", niid::PartitionStrategy::kLabelQuantity, 0.5,
+              1}}) {
+    config.partition.strategy = level.strategy;
+    config.partition.beta = level.beta;
+    config.partition.labels_per_party = level.k;
+    std::vector<std::string> row = {level.label};
+    for (const std::string& algorithm : niid::AlgorithmNames()) {
+      config.algorithm = algorithm;
+      const niid::ExperimentResult result = niid::RunExperiment(config);
+      row.push_back(niid::FormatPercent(
+          niid::Mean(result.FinalAccuracies())));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "evaluated specialization level: " << level.label << "\n";
+  }
+  std::cout << "Global-model accuracy by specialization level:\n";
+  table.Print(std::cout);
+
+  const auto rec = niid::RecommendAlgorithm(
+      niid::PartitionStrategy::kLabelDirichlet);
+  std::cout << "\nDecision-tree recommendation for label-skewed silos: "
+            << rec.algorithm << "\n  " << rec.rationale << "\n";
+  return 0;
+}

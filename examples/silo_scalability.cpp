@@ -1,0 +1,87 @@
+// Domain scenario: many small data silos with partial participation.
+//
+// A multinational corporation has 100 branch databases; only a fraction is
+// reachable in any training round. This example reproduces the conditions
+// of the paper's Section 5.6 at laptop scale: 100 parties, sample fraction
+// 0.1, label-skewed data — and shows (a) the instability that partial
+// participation adds and (b) SCAFFOLD's failure mode when control variates
+// go stale.
+//
+// Usage:
+//   silo_scalability [--silos=100] [--fraction=0.1] [--rounds=15]
+//                    [--size_factor=0.001]
+
+#include <iostream>
+
+#include "core/curves.h"
+#include "core/runner.h"
+#include "util/flags.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+
+  niid::ExperimentConfig config;
+  config.dataset = "covtype";
+  config.catalog.size_factor = flags.GetDouble("size_factor", 0.001);
+  config.catalog.min_train_size = 2000;
+  config.catalog.min_test_size = 500;
+  config.rounds = flags.GetInt("rounds", 20);
+  config.local.local_epochs = flags.GetInt("epochs", 3);
+  config.local.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.15));
+  config.local.batch_size = flags.GetInt("batch_size", 16);
+  config.partition.num_parties = flags.GetInt("silos", 100);
+  config.partition.strategy = niid::PartitionStrategy::kLabelDirichlet;
+  config.partition.beta = flags.GetDouble("beta", 0.5);
+  config.partition.min_samples_per_party = 2;
+  config.sample_fraction = flags.GetDouble("fraction", 0.1);
+  config.seed = flags.GetInt64("seed", 23);
+
+  std::cout << config.partition.num_parties << " data silos, "
+            << "sample fraction " << config.sample_fraction
+            << ", label skew " << config.partition.Label() << "\n\n";
+
+  std::vector<niid::Curve> partial_curves;
+  for (const std::string& algorithm : niid::AlgorithmNames()) {
+    config.algorithm = algorithm;
+    const niid::ExperimentResult result = niid::RunExperiment(config);
+    partial_curves.push_back({algorithm, result.MeanCurve()});
+    std::cerr << algorithm << " (partial participation) done\n";
+  }
+  std::cout << "Partial participation (" << config.sample_fraction
+            << " sampled per round):\n";
+  niid::PrintCurves(partial_curves, std::cout,
+                    std::max(1, config.rounds / 10));
+
+  // Contrast with full participation over 10 large silos.
+  config.partition.num_parties = 10;
+  config.sample_fraction = 1.0;
+  std::vector<niid::Curve> full_curves;
+  for (const std::string& algorithm : niid::AlgorithmNames()) {
+    config.algorithm = algorithm;
+    const niid::ExperimentResult result = niid::RunExperiment(config);
+    full_curves.push_back({algorithm, result.MeanCurve()});
+    std::cerr << algorithm << " (full participation) done\n";
+  }
+  std::cout << "\nFull participation over 10 silos (same data volume):\n";
+  niid::PrintCurves(full_curves, std::cout, std::max(1, config.rounds / 10));
+
+  std::cout << "\nInstability (std of round-to-round accuracy change):\n";
+  for (size_t i = 0; i < partial_curves.size(); ++i) {
+    std::cout << "  " << partial_curves[i].label << ": partial="
+              << niid::CurveInstability(partial_curves[i].values)
+              << "  full=" << niid::CurveInstability(full_curves[i].values)
+              << "\n";
+  }
+  std::cout << "\nReading the numbers: with 10% participation each round "
+               "touches a shifting 10% of the silos, so progress per round "
+               "is slower and the sampled-pool distribution changes every "
+               "round (Finding 8). Relative to the progress it makes, the "
+               "partial run is far noisier — and SCAFFOLD suffers extra "
+               "because a silo's control variate is refreshed only when "
+               "that silo is sampled, so its drift estimate goes stale. "
+               "For the paper's raw-instability view at this scale, see "
+               "bench_fig12_scalability (CIFAR-10, where per-round motion "
+               "is large enough for the wobble to dominate).\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "core/coverage.h"
+
+#include "util/table.h"
+
+namespace niid {
+
+std::vector<CoverageRow> StrategyCoverage() {
+  // Table 1 of the paper, row by row.
+  return {
+      {"Label distribution skew", "quantity-based",
+       {true, true, false, false, true}},
+      {"Label distribution skew", "distribution-based",
+       {false, false, true, true, true}},
+      {"Feature distribution skew", "noise-based",
+       {false, false, false, false, true}},
+      {"Feature distribution skew", "synthetic",
+       {false, true, false, false, true}},
+      {"Feature distribution skew", "real-world",
+       {false, true, false, false, true}},
+      {"Quantity skew", "", {false, false, false, true, true}},
+  };
+}
+
+void PrintStrategyCoverage(std::ostream& out) {
+  Table table({"Partitioning category", "Strategy", "FedAvg", "FedProx",
+               "SCAFFOLD", "FedNova", "NIID-Bench"});
+  for (const CoverageRow& row : StrategyCoverage()) {
+    std::vector<std::string> cells = {row.category, row.strategy};
+    for (bool covered : row.covered) cells.push_back(covered ? "yes" : "-");
+    table.AddRow(std::move(cells));
+  }
+  table.Print(out);
+}
+
+}  // namespace niid

@@ -1,0 +1,27 @@
+#ifndef NIID_CORE_COVERAGE_H_
+#define NIID_CORE_COVERAGE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace niid {
+
+/// One row of the paper's Table 1: which partitioning strategies the
+/// experiments of each prior study covered versus NIID-Bench.
+struct CoverageRow {
+  std::string category;
+  std::string strategy;
+  // Order: FedAvg, FedProx, SCAFFOLD, FedNova, NIID-Bench.
+  std::vector<bool> covered;
+};
+
+/// The static Table 1 contents.
+std::vector<CoverageRow> StrategyCoverage();
+
+/// Prints Table 1.
+void PrintStrategyCoverage(std::ostream& out);
+
+}  // namespace niid
+
+#endif  // NIID_CORE_COVERAGE_H_

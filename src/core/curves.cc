@@ -1,0 +1,72 @@
+#include "core/curves.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace niid {
+
+void PrintCurves(const std::vector<Curve>& curves, std::ostream& out,
+                 int stride) {
+  if (curves.empty()) return;
+  stride = std::max(stride, 1);
+  size_t length = 0;
+  for (const Curve& curve : curves) {
+    length = std::max(length, curve.values.size());
+  }
+  std::vector<std::string> headers = {"round"};
+  for (const Curve& curve : curves) headers.push_back(curve.label);
+  Table table(headers);
+  for (size_t row = 0; row < length; ++row) {
+    if (row % stride != 0 && row + 1 != length) continue;
+    std::vector<std::string> cells = {std::to_string(row + 1)};
+    for (const Curve& curve : curves) {
+      cells.push_back(row < curve.values.size()
+                          ? FormatPercent(curve.values[row])
+                          : "");
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(out);
+}
+
+Status WriteCurvesCsv(const std::vector<Curve>& curves,
+                      const std::string& path) {
+  CsvWriter writer(path);
+  if (!writer.ok()) return Status::NotFound("cannot open for write: " + path);
+  std::vector<std::string> header = {"round"};
+  size_t length = 0;
+  for (const Curve& curve : curves) {
+    header.push_back(curve.label);
+    length = std::max(length, curve.values.size());
+  }
+  writer.WriteHeader(header);
+  for (size_t row = 0; row < length; ++row) {
+    std::vector<std::string> cells = {std::to_string(row + 1)};
+    for (const Curve& curve : curves) {
+      cells.push_back(row < curve.values.size()
+                          ? std::to_string(curve.values[row])
+                          : "");
+    }
+    writer.WriteRow(cells);
+  }
+  writer.Flush();
+  return Status::Ok();
+}
+
+double CurveInstability(const std::vector<double>& values, int window) {
+  if (values.size() < 2) return 0.0;
+  size_t begin = 1;
+  if (window > 0 && values.size() > static_cast<size_t>(window)) {
+    begin = values.size() - window;
+  }
+  std::vector<double> deltas;
+  for (size_t i = begin; i < values.size(); ++i) {
+    deltas.push_back(values[i] - values[i - 1]);
+  }
+  return StdDev(deltas);
+}
+
+}  // namespace niid

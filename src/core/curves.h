@@ -1,0 +1,35 @@
+#ifndef NIID_CORE_CURVES_H_
+#define NIID_CORE_CURVES_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace niid {
+
+/// One labeled training curve (e.g. test accuracy per round).
+struct Curve {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Prints curves side by side, one row per round, as the textual analogue of
+/// the paper's curve figures. `stride` subsamples rounds (1 = every round).
+void PrintCurves(const std::vector<Curve>& curves, std::ostream& out,
+                 int stride = 1);
+
+/// Writes curves to a CSV file (column per curve, row per round) for
+/// external plotting. Returns a Status for I/O failures.
+Status WriteCurvesCsv(const std::vector<Curve>& curves,
+                      const std::string& path);
+
+/// Stability measure used when discussing Findings 4/7/8: the standard
+/// deviation of round-to-round accuracy changes over the last `window`
+/// rounds (higher = more unstable training).
+double CurveInstability(const std::vector<double>& values, int window = 0);
+
+}  // namespace niid
+
+#endif  // NIID_CORE_CURVES_H_

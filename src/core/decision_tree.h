@@ -1,0 +1,28 @@
+#ifndef NIID_CORE_DECISION_TREE_H_
+#define NIID_CORE_DECISION_TREE_H_
+
+#include <ostream>
+#include <string>
+
+#include "partition/partition.h"
+
+namespace niid {
+
+/// A recommendation from the paper's Figure 6 decision tree.
+struct AlgorithmRecommendation {
+  std::string algorithm;
+  std::string rationale;
+};
+
+/// Returns the (almost) best algorithm for a non-IID setting per Figure 6:
+/// label skew -> FedProx (with #C=1 strongly FedProx), feature skew ->
+/// SCAFFOLD, quantity skew -> FedProx, IID -> FedAvg.
+AlgorithmRecommendation RecommendAlgorithm(PartitionStrategy strategy,
+                                           int labels_per_party = 2);
+
+/// Prints the full decision tree as text (the Figure 6 reproduction).
+void PrintDecisionTree(std::ostream& out);
+
+}  // namespace niid
+
+#endif  // NIID_CORE_DECISION_TREE_H_

@@ -1,0 +1,37 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+namespace niid {
+
+std::vector<double> ExperimentResult::FinalAccuracies() const {
+  std::vector<double> values;
+  values.reserve(trials.size());
+  for (const TrialResult& trial : trials) {
+    values.push_back(trial.final_accuracy);
+  }
+  return values;
+}
+
+std::vector<double> ExperimentResult::MeanCurve() const {
+  std::vector<double> mean;
+  if (trials.empty()) return mean;
+  size_t length = 0;
+  for (const TrialResult& trial : trials) {
+    length = std::max(length, trial.round_accuracy.size());
+  }
+  mean.assign(length, 0.0);
+  std::vector<int> counts(length, 0);
+  for (const TrialResult& trial : trials) {
+    for (size_t i = 0; i < trial.round_accuracy.size(); ++i) {
+      mean[i] += trial.round_accuracy[i];
+      ++counts[i];
+    }
+  }
+  for (size_t i = 0; i < length; ++i) {
+    if (counts[i] > 0) mean[i] /= counts[i];
+  }
+  return mean;
+}
+
+}  // namespace niid

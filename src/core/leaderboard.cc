@@ -1,0 +1,117 @@
+#include "core/leaderboard.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace niid {
+
+void Leaderboard::Add(LeaderboardEntry entry) {
+  for (LeaderboardEntry& existing : entries_) {
+    if (existing.dataset == entry.dataset &&
+        existing.partition == entry.partition &&
+        existing.algorithm == entry.algorithm) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void Leaderboard::AddResult(const ExperimentResult& result) {
+  LeaderboardEntry entry;
+  entry.dataset = result.config.dataset;
+  entry.partition = result.config.partition.Label();
+  entry.algorithm = result.config.algorithm;
+  const std::vector<double> finals = result.FinalAccuracies();
+  entry.mean_accuracy = Mean(finals);
+  entry.std_accuracy = StdDev(finals);
+  entry.trials = static_cast<int>(finals.size());
+  Add(std::move(entry));
+}
+
+int Leaderboard::num_settings() const {
+  std::set<std::pair<std::string, std::string>> settings;
+  for (const LeaderboardEntry& entry : entries_) {
+    settings.insert({entry.dataset, entry.partition});
+  }
+  return static_cast<int>(settings.size());
+}
+
+std::vector<LeaderboardRank> Leaderboard::Rank() const {
+  // Group entries by setting.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<const LeaderboardEntry*>>
+      by_setting;
+  for (const LeaderboardEntry& entry : entries_) {
+    by_setting[{entry.dataset, entry.partition}].push_back(&entry);
+  }
+
+  std::map<std::string, LeaderboardRank> ranks;
+  std::map<std::string, int> settings_counted;
+  for (auto& [setting, cells] : by_setting) {
+    (void)setting;
+    std::vector<const LeaderboardEntry*> sorted = cells;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const LeaderboardEntry* a, const LeaderboardEntry* b) {
+                return a->mean_accuracy > b->mean_accuracy;
+              });
+    for (size_t position = 0; position < sorted.size(); ++position) {
+      const LeaderboardEntry* cell = sorted[position];
+      LeaderboardRank& rank = ranks[cell->algorithm];
+      rank.algorithm = cell->algorithm;
+      rank.mean_rank += static_cast<double>(position + 1);
+      rank.mean_accuracy += cell->mean_accuracy;
+      if (position == 0) ++rank.wins;
+      ++settings_counted[cell->algorithm];
+    }
+  }
+  std::vector<LeaderboardRank> result;
+  for (auto& [name, rank] : ranks) {
+    const int count = std::max(settings_counted[name], 1);
+    rank.mean_rank /= count;
+    rank.mean_accuracy /= count;
+    result.push_back(rank);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const LeaderboardRank& a, const LeaderboardRank& b) {
+              if (a.wins != b.wins) return a.wins > b.wins;
+              return a.mean_rank < b.mean_rank;
+            });
+  return result;
+}
+
+void Leaderboard::Print(std::ostream& out) const {
+  Table table({"rank", "algorithm", "wins", "mean rank", "mean accuracy"});
+  int position = 1;
+  for (const LeaderboardRank& rank : Rank()) {
+    char mean_rank[32];
+    std::snprintf(mean_rank, sizeof(mean_rank), "%.2f", rank.mean_rank);
+    table.AddRow({std::to_string(position++), rank.algorithm,
+                  std::to_string(rank.wins), mean_rank,
+                  FormatPercent(rank.mean_accuracy)});
+  }
+  out << "Leaderboard over " << num_settings() << " non-IID settings:\n";
+  table.Print(out);
+}
+
+Status Leaderboard::SaveCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  if (!writer.ok()) return Status::NotFound("cannot open: " + path);
+  writer.WriteHeader({"dataset", "partition", "algorithm", "mean_accuracy",
+                      "std_accuracy", "trials"});
+  for (const LeaderboardEntry& entry : entries_) {
+    writer.WriteRow({entry.dataset, entry.partition, entry.algorithm,
+                     std::to_string(entry.mean_accuracy),
+                     std::to_string(entry.std_accuracy),
+                     std::to_string(entry.trials)});
+  }
+  writer.Flush();
+  return Status::Ok();
+}
+
+}  // namespace niid

@@ -1,0 +1,66 @@
+#ifndef NIID_CORE_LEADERBOARD_H_
+#define NIID_CORE_LEADERBOARD_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// One leaderboard cell: an algorithm's score on one (dataset, partition)
+/// setting.
+struct LeaderboardEntry {
+  std::string dataset;
+  std::string partition;  ///< e.g. "#C=2", "p~Dir(0.5)"
+  std::string algorithm;
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;
+  int trials = 0;
+};
+
+/// Per-algorithm aggregate ranking across settings.
+struct LeaderboardRank {
+  std::string algorithm;
+  int wins = 0;            ///< settings where it scored best
+  double mean_rank = 0.0;  ///< average rank (1 = best) across settings
+  double mean_accuracy = 0.0;
+};
+
+/// Collects experiment results and ranks algorithms across non-IID settings,
+/// mirroring the leaderboard the NIID-Bench authors maintain alongside their
+/// code ("we also maintain a leaderboard ... to rank state-of-the-art
+/// federated learning algorithms on different non-IID settings").
+class Leaderboard {
+ public:
+  /// Records one cell. Re-adding the same (dataset, partition, algorithm)
+  /// replaces the previous score.
+  void Add(LeaderboardEntry entry);
+
+  /// Convenience: records an ExperimentResult under its config's labels.
+  void AddResult(const ExperimentResult& result);
+
+  /// Per-algorithm rankings, best first (more wins, then lower mean rank).
+  std::vector<LeaderboardRank> Rank() const;
+
+  /// All recorded cells.
+  const std::vector<LeaderboardEntry>& entries() const { return entries_; }
+
+  /// Number of distinct (dataset, partition) settings recorded.
+  int num_settings() const;
+
+  /// Prints the ranking table.
+  void Print(std::ostream& out) const;
+
+  /// Dumps every cell to CSV for external tooling.
+  Status SaveCsv(const std::string& path) const;
+
+ private:
+  std::vector<LeaderboardEntry> entries_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_CORE_LEADERBOARD_H_

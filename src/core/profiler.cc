@@ -1,0 +1,131 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace niid {
+
+ClientProfile ProfileClient(int client_id, const Dataset& data) {
+  ClientProfile profile;
+  profile.client_id = client_id;
+  profile.num_samples = data.size();
+  profile.label_counts = CountLabels(data);
+  double sum = 0.0, sq = 0.0;
+  const float* values = data.features.data();
+  const int64_t n = data.features.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    sum += values[i];
+    sq += static_cast<double>(values[i]) * values[i];
+  }
+  if (n > 0) {
+    profile.feature_mean = sum / n;
+    profile.feature_variance =
+        std::max(sq / n - profile.feature_mean * profile.feature_mean, 0.0);
+  }
+  return profile;
+}
+
+std::string SkewKindName(SkewKind kind) {
+  switch (kind) {
+    case SkewKind::kNone:
+      return "none (close to IID)";
+    case SkewKind::kLabelSkew:
+      return "label distribution skew";
+    case SkewKind::kFeatureSkew:
+      return "feature distribution skew";
+    case SkewKind::kQuantitySkew:
+      return "quantity skew";
+  }
+  return "unknown";
+}
+
+SkewDiagnosis DiagnoseSkew(const std::vector<ClientProfile>& profiles,
+                           const ProfilerThresholds& thresholds) {
+  NIID_CHECK(!profiles.empty());
+  SkewDiagnosis diagnosis;
+
+  // Global label distribution and size stats.
+  const size_t classes = profiles[0].label_counts.size();
+  std::vector<double> global(classes, 0.0);
+  int64_t total = 0, min_size = profiles[0].num_samples,
+          max_size = profiles[0].num_samples;
+  for (const ClientProfile& p : profiles) {
+    NIID_CHECK_EQ(p.label_counts.size(), classes);
+    total += p.num_samples;
+    min_size = std::min(min_size, p.num_samples);
+    max_size = std::max(max_size, p.num_samples);
+    for (size_t c = 0; c < classes; ++c) global[c] += p.label_counts[c];
+  }
+  NIID_CHECK_GT(total, 0);
+  for (double& g : global) g /= total;
+  diagnosis.size_imbalance =
+      min_size > 0 ? static_cast<double>(max_size) / min_size
+                   : static_cast<double>(max_size);
+
+  // Sample-weighted mean TV distance of party label distributions from the
+  // global one. Weighting by party size keeps tiny parties' multinomial
+  // sampling noise from masquerading as label skew (a pure quantity-skew
+  // federation has accurate histograms exactly where the samples are).
+  double tv_sum = 0.0;
+  for (const ClientProfile& p : profiles) {
+    if (p.num_samples == 0) continue;
+    double tv = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      tv += std::abs(static_cast<double>(p.label_counts[c]) /
+                         p.num_samples - global[c]);
+    }
+    tv_sum += 0.5 * tv * static_cast<double>(p.num_samples) / total;
+  }
+  diagnosis.label_tv_distance = tv_sum;
+
+  // Feature-distribution divergence: dispersion of per-party feature means
+  // (location shift — writer styles, domain shift) OR of per-party feature
+  // stds (scale shift — additive noise is zero-mean and only shows up
+  // here), both normalized by the pooled feature scale.
+  std::vector<double> means, stds;
+  double pooled_var = 0.0;
+  for (const ClientProfile& p : profiles) {
+    means.push_back(p.feature_mean);
+    stds.push_back(std::sqrt(std::max(p.feature_variance, 0.0)));
+    pooled_var += p.feature_variance;
+  }
+  pooled_var /= profiles.size();
+  const double pooled_std = std::sqrt(std::max(pooled_var, 1e-12));
+  const double location_shift = StdDev(means) / pooled_std;
+  const double scale_shift = StdDev(stds) / pooled_std;
+  diagnosis.feature_shift = std::max(location_shift, scale_shift);
+
+  // Classify: label skew dominates (it is the damaging one per Finding 1),
+  // then feature skew, then quantity skew.
+  if (diagnosis.label_tv_distance >= thresholds.label_tv) {
+    diagnosis.kind = SkewKind::kLabelSkew;
+    diagnosis.recommendation =
+        RecommendAlgorithm(PartitionStrategy::kLabelDirichlet);
+  } else if (diagnosis.feature_shift >= thresholds.feature_shift) {
+    diagnosis.kind = SkewKind::kFeatureSkew;
+    diagnosis.recommendation = RecommendAlgorithm(PartitionStrategy::kNoise);
+  } else if (diagnosis.size_imbalance >= thresholds.size_ratio) {
+    diagnosis.kind = SkewKind::kQuantitySkew;
+    diagnosis.recommendation =
+        RecommendAlgorithm(PartitionStrategy::kQuantityDirichlet);
+  } else {
+    diagnosis.kind = SkewKind::kNone;
+    diagnosis.recommendation =
+        RecommendAlgorithm(PartitionStrategy::kHomogeneous);
+  }
+  return diagnosis;
+}
+
+void PrintDiagnosis(const SkewDiagnosis& diagnosis, std::ostream& out) {
+  out << "detected skew: " << SkewKindName(diagnosis.kind) << "\n"
+      << "  label TV distance:  " << diagnosis.label_tv_distance << "\n"
+      << "  size imbalance:     " << diagnosis.size_imbalance << "\n"
+      << "  feature mean shift: " << diagnosis.feature_shift << "\n"
+      << "  recommended algorithm: " << diagnosis.recommendation.algorithm
+      << "\n    " << diagnosis.recommendation.rationale << "\n";
+}
+
+}  // namespace niid

@@ -1,0 +1,72 @@
+#ifndef NIID_CORE_PROFILER_H_
+#define NIID_CORE_PROFILER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/decision_tree.h"
+#include "data/dataset.h"
+
+namespace niid {
+
+/// Lightweight non-IID profiling (Section 6.1, "light-weight data techniques
+/// for profiling non-IID data"): before training, the server collects only
+/// each party's label histogram and feature moments — a few dozen floats,
+/// far less revealing than raw data — and estimates which kind of skew the
+/// federation exhibits, so the right algorithm can be picked up front via
+/// the Figure-6 decision tree.
+struct ClientProfile {
+  int client_id = -1;
+  int64_t num_samples = 0;
+  std::vector<int64_t> label_counts;
+  /// Mean and variance of all feature values (cheap distribution sketch).
+  double feature_mean = 0.0;
+  double feature_variance = 0.0;
+};
+
+/// Computes a party's profile from its local dataset.
+ClientProfile ProfileClient(int client_id, const Dataset& data);
+
+/// The skew kind the profiler detects.
+enum class SkewKind {
+  kNone,          ///< close to IID
+  kLabelSkew,     ///< label distributions diverge across parties
+  kFeatureSkew,   ///< feature moments diverge, labels consistent
+  kQuantitySkew,  ///< sizes diverge, distributions consistent
+};
+
+std::string SkewKindName(SkewKind kind);
+
+/// Aggregated federation-level diagnosis.
+struct SkewDiagnosis {
+  SkewKind kind = SkewKind::kNone;
+  /// Mean total-variation distance between party label distributions and
+  /// the federation-wide one.
+  double label_tv_distance = 0.0;
+  /// Max/min party size ratio.
+  double size_imbalance = 1.0;
+  /// Std over parties of the per-party feature mean, normalized by the
+  /// pooled feature std (0 = identical feature distributions).
+  double feature_shift = 0.0;
+  /// The Figure-6 recommendation for the detected kind.
+  AlgorithmRecommendation recommendation;
+};
+
+/// Thresholds used by the detector (exposed for tests and tuning).
+struct ProfilerThresholds {
+  double label_tv = 0.25;
+  double size_ratio = 3.0;
+  double feature_shift = 0.15;
+};
+
+/// Diagnoses the federation from per-party profiles.
+SkewDiagnosis DiagnoseSkew(const std::vector<ClientProfile>& profiles,
+                           const ProfilerThresholds& thresholds = {});
+
+/// Pretty-prints a diagnosis.
+void PrintDiagnosis(const SkewDiagnosis& diagnosis, std::ostream& out);
+
+}  // namespace niid
+
+#endif  // NIID_CORE_PROFILER_H_

@@ -1,0 +1,136 @@
+#include "core/runner.h"
+
+#include <cmath>
+#include <utility>
+
+#include "data/transforms.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace niid {
+
+float ResolveLearningRate(const ExperimentConfig& config) {
+  const float base = config.local.learning_rate > 0.f
+                         ? config.local.learning_rate
+                         : GetDatasetInfo(config.dataset)
+                               .default_learning_rate;
+  return base * config.lr_scale;
+}
+
+float ScheduledLearningRate(const ExperimentConfig& config, float base,
+                            int round, int total_rounds) {
+  NIID_CHECK_GE(round, 0);
+  switch (config.lr_schedule) {
+    case LrSchedule::kConstant:
+      return base;
+    case LrSchedule::kStepDecay: {
+      const int period = std::max(config.lr_decay_every, 1);
+      float lr = base;
+      for (int r = period; r <= round; r += period) lr *= 0.5f;
+      return lr;
+    }
+    case LrSchedule::kCosine: {
+      if (total_rounds <= 1) return base;
+      const float floor_lr = base * config.lr_min_factor;
+      const double phase = M_PI * static_cast<double>(round) /
+                           static_cast<double>(total_rounds - 1);
+      return floor_lr + 0.5f * (base - floor_lr) *
+                            static_cast<float>(1.0 + std::cos(phase));
+    }
+  }
+  return base;
+}
+
+std::unique_ptr<FederatedServer> BuildServerForTrial(
+    const ExperimentConfig& config, int trial, Dataset* out_test) {
+  // Data: fixed across trials so trial variance reflects partitioning and
+  // training randomness, matching the paper's three-trial protocol.
+  auto data_or = MakeCatalogDataset(config.dataset, config.catalog);
+  NIID_CHECK(data_or.ok()) << data_or.status().ToString();
+  FederatedDataset data = std::move(*data_or);
+
+  if (config.standardize_tabular && !data.train.is_image()) {
+    const FeatureStats stats = ComputeFeatureStats(data.train);
+    StandardizeFeatures(data.train, stats);
+    StandardizeFeatures(data.test, stats);
+  }
+
+  ModelSpec spec = DefaultModelSpec(data.train, config.model);
+  spec.resnet_blocks_per_stage = config.resnet_blocks_per_stage;
+  const ModelFactory factory = MakeModelFactory(spec);
+
+  PartitionConfig partition_config = config.partition;
+  partition_config.seed = config.seed + 7919ULL * trial;
+  const Partition partition = MakePartition(data.train, partition_config);
+
+  Rng setup_rng(config.seed + 104729ULL * trial);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(partition.num_parties());
+  for (int i = 0; i < partition.num_parties(); ++i) {
+    Rng client_rng = setup_rng.Split();
+    Dataset local =
+        MaterializeClientDataset(data.train, partition, i, client_rng);
+    clients.push_back(std::make_unique<Client>(i, std::move(local), factory,
+                                               client_rng.Split()));
+  }
+
+  auto algorithm_or = CreateAlgorithm(config.algorithm, config.algo);
+  NIID_CHECK(algorithm_or.ok()) << algorithm_or.status().ToString();
+
+  ServerConfig server_config;
+  server_config.sample_fraction = config.sample_fraction;
+  server_config.seed = config.seed + 15485863ULL * trial;
+  server_config.num_threads = config.num_threads;
+  server_config.dp = config.dp;
+  server_config.min_local_epochs = config.min_local_epochs;
+  server_config.skew_aware_sampling = config.skew_aware_sampling;
+
+  if (out_test != nullptr) *out_test = std::move(data.test);
+  return std::make_unique<FederatedServer>(
+      factory, std::move(clients), std::move(*algorithm_or), server_config);
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const RoundObserver& observer) {
+  NIID_CHECK_GE(config.trials, 1);
+  NIID_CHECK_GE(config.rounds, 1);
+  NIID_CHECK_GE(config.eval_every, 1);
+
+  ExperimentResult result;
+  result.config = config;
+
+  LocalTrainOptions local = config.local;
+  const float base_lr = ResolveLearningRate(config);
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Dataset test;
+    std::unique_ptr<FederatedServer> server =
+        BuildServerForTrial(config, trial, &test);
+    TrialResult trial_result;
+    EvalResult eval;
+    for (int round = 0; round < config.rounds; ++round) {
+      local.learning_rate =
+          ScheduledLearningRate(config, base_lr, round, config.rounds);
+      const RoundStats stats = server->RunRound(local);
+      const bool evaluate = ((round + 1) % config.eval_every == 0) ||
+                            round + 1 == config.rounds;
+      if (evaluate) {
+        eval = server->EvaluateGlobal(test);
+        trial_result.round_accuracy.push_back(eval.accuracy);
+        trial_result.round_loss.push_back(eval.loss);
+      }
+      if (observer) observer(trial, stats, eval);
+    }
+    trial_result.final_accuracy = trial_result.round_accuracy.empty()
+                                      ? 0.0
+                                      : trial_result.round_accuracy.back();
+    trial_result.upload_floats = server->cumulative_upload_floats();
+    NIID_LOG(kDebug) << config.dataset << "/" << config.partition.Label()
+                     << "/" << config.algorithm << " trial " << trial
+                     << ": acc=" << trial_result.final_accuracy;
+    result.trials.push_back(std::move(trial_result));
+  }
+  return result;
+}
+
+}  // namespace niid

@@ -1,0 +1,40 @@
+#ifndef NIID_CORE_RUNNER_H_
+#define NIID_CORE_RUNNER_H_
+
+#include <functional>
+
+#include "core/experiment.h"
+#include "fl/server.h"
+
+namespace niid {
+
+/// Optional per-round observer: (trial, stats, eval-after-round). The eval
+/// result is only fresh on rounds where evaluation ran (see eval_every).
+using RoundObserver =
+    std::function<void(int trial, const RoundStats&, const EvalResult&)>;
+
+/// Runs the full experiment: per trial, builds the dataset (fixed seed so
+/// trials share data), partitions it (seed + trial), constructs clients and
+/// the server, runs `rounds` rounds and records the accuracy curve.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const RoundObserver& observer = nullptr);
+
+/// Builds the federated setup for one trial without running rounds (exposed
+/// for integration tests and custom loops). `trial` perturbs the partition
+/// and training seeds. `out_test` receives the (possibly standardized) test
+/// set.
+std::unique_ptr<FederatedServer> BuildServerForTrial(
+    const ExperimentConfig& config, int trial, Dataset* out_test);
+
+/// Resolves the learning rate: explicit config value, else the dataset's
+/// paper default (0.1 for rcv1, 0.01 otherwise).
+float ResolveLearningRate(const ExperimentConfig& config);
+
+/// Learning rate for `round` (0-based) of `total_rounds` under the config's
+/// schedule, starting from `base` (= ResolveLearningRate's value).
+float ScheduledLearningRate(const ExperimentConfig& config, float base,
+                            int round, int total_rounds);
+
+}  // namespace niid
+
+#endif  // NIID_CORE_RUNNER_H_

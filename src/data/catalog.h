@@ -1,0 +1,63 @@
+#ifndef NIID_DATA_CATALOG_H_
+#define NIID_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models/factory.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Static facts about one of the paper's nine datasets (Table 2).
+struct DatasetInfo {
+  std::string name;
+  int64_t paper_train_size = 0;
+  int64_t paper_test_size = 0;
+  int64_t num_features = 0;  ///< flat feature count, as reported in Table 2
+  int num_classes = 0;
+  bool is_image = false;
+  int channels = 0, height = 0, width = 0;  ///< images only
+  float default_learning_rate = 0.01f;      ///< 0.1 for rcv1 (Section 5)
+};
+
+/// Returns the names of all nine datasets in Table 2 order.
+std::vector<std::string> CatalogDatasetNames();
+
+/// Returns the static facts for `name`; aborts on unknown names.
+const DatasetInfo& GetDatasetInfo(const std::string& name);
+
+/// Controls how the catalog scales the paper's datasets to CPU-friendly
+/// sizes. The synthetic generators keep the paper's shapes (channels, image
+/// size, feature count up to `max_tabular_features`) and scale only N.
+struct CatalogOptions {
+  /// Fraction of the paper's train/test sizes to generate.
+  double size_factor = 0.02;
+  /// Lower bounds so tiny factors still produce meaningful datasets.
+  int64_t min_train_size = 500;
+  int64_t min_test_size = 200;
+  /// Upper bound (0 = none) to keep the largest datasets tractable.
+  int64_t max_train_size = 8000;
+  /// rcv1's 47,236-dimensional space is capped to this many features.
+  int max_tabular_features = 2000;
+  uint64_t seed = 7;
+};
+
+/// Instantiates dataset `name` ("mnist", "fmnist", "cifar10", "svhn",
+/// "adult", "rcv1", "covtype", "fcube", "femnist") with synthetic data that
+/// mimics the paper's dataset (see DESIGN.md substitution table).
+/// Returns kInvalidArgument for unknown names.
+StatusOr<FederatedDataset> MakeCatalogDataset(const std::string& name,
+                                              const CatalogOptions& options);
+
+/// Returns the model the paper assigns to `dataset`: the simple CNN for
+/// image datasets, the 32/16/8 MLP for tabular ones. `model_name` overrides
+/// the architecture (e.g. "vgg9", "resnet") while keeping input dimensions.
+ModelSpec DefaultModelSpec(const Dataset& dataset,
+                           const std::string& model_name = "");
+
+}  // namespace niid
+
+#endif  // NIID_DATA_CATALOG_H_

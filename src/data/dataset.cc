@@ -1,0 +1,78 @@
+#include "data/dataset.h"
+
+#include "util/check.h"
+
+namespace niid {
+
+std::vector<int64_t> CountLabels(const Dataset& dataset) {
+  std::vector<int64_t> counts(dataset.num_classes, 0);
+  for (int label : dataset.labels) {
+    NIID_CHECK_GE(label, 0);
+    NIID_CHECK_LT(label, dataset.num_classes);
+    ++counts[label];
+  }
+  return counts;
+}
+
+namespace {
+
+std::vector<int64_t> SampleShape(const Dataset& dataset, int64_t n) {
+  std::vector<int64_t> shape = dataset.features.shape();
+  NIID_CHECK_GE(shape.size(), 2u);
+  shape[0] = n;
+  return shape;
+}
+
+}  // namespace
+
+Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  Dataset out;
+  out.name = dataset.name;
+  out.num_classes = dataset.num_classes;
+  const int64_t row = dataset.feature_dim();
+  out.features = Tensor(SampleShape(dataset, indices.size()));
+  out.labels.reserve(indices.size());
+  float* dst = out.features.data();
+  const float* src = dataset.features.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    NIID_CHECK_GE(idx, 0);
+    NIID_CHECK_LT(idx, dataset.size());
+    for (int64_t j = 0; j < row; ++j) dst[i * row + j] = src[idx * row + j];
+    out.labels.push_back(dataset.labels[idx]);
+    if (!dataset.groups.empty()) out.groups.push_back(dataset.groups[idx]);
+  }
+  return out;
+}
+
+std::pair<Tensor, std::vector<int>> GatherBatch(
+    const Dataset& dataset, const std::vector<int64_t>& indices) {
+  const int64_t row = dataset.feature_dim();
+  Tensor x(SampleShape(dataset, indices.size()));
+  std::vector<int> y;
+  y.reserve(indices.size());
+  float* dst = x.data();
+  const float* src = dataset.features.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    NIID_DCHECK_LT(idx, dataset.size());
+    for (int64_t j = 0; j < row; ++j) dst[i * row + j] = src[idx * row + j];
+    y.push_back(dataset.labels[idx]);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+void ValidateDataset(const Dataset& dataset) {
+  NIID_CHECK_GE(dataset.features.rank(), 2);
+  NIID_CHECK_EQ(dataset.features.dim(0), dataset.size());
+  NIID_CHECK_GT(dataset.num_classes, 0);
+  for (int label : dataset.labels) {
+    NIID_CHECK_GE(label, 0);
+    NIID_CHECK_LT(label, dataset.num_classes);
+  }
+  if (!dataset.groups.empty()) {
+    NIID_CHECK_EQ(dataset.groups.size(), dataset.labels.size());
+  }
+}
+
+}  // namespace niid

@@ -1,0 +1,56 @@
+#ifndef NIID_DATA_DATASET_H_
+#define NIID_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace niid {
+
+/// An in-memory labeled dataset.
+///
+/// `features` is [N, F] for tabular data or [N, C, H, W] for images.
+/// `labels` holds N class ids in [0, num_classes). `groups` is optional
+/// per-sample provenance (e.g. the writer id in FEMNIST) used by the
+/// real-world feature-skew partition; empty when not applicable.
+struct Dataset {
+  std::string name;
+  Tensor features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  std::vector<int> groups;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+  bool is_image() const { return features.rank() == 4; }
+  /// Flat feature dimensionality (C*H*W for images).
+  int64_t feature_dim() const {
+    return size() > 0 ? features.numel() / size() : 0;
+  }
+};
+
+/// A train/test pair as shipped by the dataset catalog.
+struct FederatedDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// Returns the per-class sample counts of `dataset`.
+std::vector<int64_t> CountLabels(const Dataset& dataset);
+
+/// Copies the samples at `indices` into a new Dataset (metadata preserved).
+Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices);
+
+/// Gathers a mini-batch: X has the dataset's per-sample shape with leading
+/// dimension indices.size(); y holds the matching labels.
+std::pair<Tensor, std::vector<int>> GatherBatch(
+    const Dataset& dataset, const std::vector<int64_t>& indices);
+
+/// Validates internal consistency (sizes, label range); aborts on violation.
+void ValidateDataset(const Dataset& dataset);
+
+}  // namespace niid
+
+#endif  // NIID_DATA_DATASET_H_

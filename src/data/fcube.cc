@@ -1,0 +1,51 @@
+#include "data/fcube.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace niid {
+
+int FcubeOctant(float x1, float x2, float x3) {
+  return (x1 > 0.f ? 1 : 0) | (x2 > 0.f ? 2 : 0) | (x3 > 0.f ? 4 : 0);
+}
+
+namespace {
+
+Dataset GenerateFcube(int64_t size, Rng& rng) {
+  Dataset dataset;
+  dataset.name = "fcube";
+  dataset.num_classes = 2;
+  dataset.features = Tensor({size, 3});
+  dataset.labels.resize(size);
+  float* dst = dataset.features.data();
+  for (int64_t i = 0; i < size; ++i) {
+    float x1, x2, x3;
+    do {
+      x1 = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      x2 = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      x3 = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      // Re-draw points exactly on a separating plane so octants and labels
+      // are unambiguous (measure-zero event, but floats can produce it).
+    } while (x1 == 0.f || x2 == 0.f || x3 == 0.f);
+    dst[i * 3 + 0] = x1;
+    dst[i * 3 + 1] = x2;
+    dst[i * 3 + 2] = x3;
+    dataset.labels[i] = x1 > 0.f ? 0 : 1;
+  }
+  return dataset;
+}
+
+}  // namespace
+
+FederatedDataset MakeFcube(const FcubeConfig& config) {
+  NIID_CHECK_GE(config.train_size, 1);
+  Rng rng(config.seed);
+  Rng train_rng = rng.Split();
+  Rng test_rng = rng.Split();
+  FederatedDataset fd;
+  fd.train = GenerateFcube(config.train_size, train_rng);
+  fd.test = GenerateFcube(config.test_size, test_rng);
+  return fd;
+}
+
+}  // namespace niid

@@ -1,0 +1,29 @@
+#ifndef NIID_DATA_FCUBE_H_
+#define NIID_DATA_FCUBE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace niid {
+
+/// Options for the FCUBE synthetic dataset (Section 4.2 of the paper).
+struct FcubeConfig {
+  int64_t train_size = 4000;
+  int64_t test_size = 1000;
+  uint64_t seed = 1234;
+};
+
+/// Generates FCUBE exactly as described in the paper: points are uniform in
+/// the cube [-1, 1]^3; the label is decided by the plane x1 = 0 (label 0 for
+/// x1 > 0, label 1 for x1 < 0). The synthetic feature-skew partition groups
+/// points by the octant they fall into (see partition/feature_skew.h).
+FederatedDataset MakeFcube(const FcubeConfig& config);
+
+/// Returns the octant index (0..7) of a point: bit 0 = (x1 > 0),
+/// bit 1 = (x2 > 0), bit 2 = (x3 > 0).
+int FcubeOctant(float x1, float x2, float x3);
+
+}  // namespace niid
+
+#endif  // NIID_DATA_FCUBE_H_

@@ -1,0 +1,85 @@
+#include "data/femnist.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+struct WriterStyle {
+  std::vector<float> gain;   // multiplicative smooth field, centered at 1
+  std::vector<float> bias;   // additive smooth field, centered at 0
+  float intensity = 1.f;     // stroke-intensity factor
+};
+
+void ApplyWriters(Dataset& dataset, const std::vector<WriterStyle>& writers,
+                  Rng& rng) {
+  const int64_t pixels = dataset.feature_dim();
+  dataset.groups.resize(dataset.size());
+  float* data = dataset.features.data();
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const int w = static_cast<int>(rng.UniformInt(writers.size()));
+    dataset.groups[i] = w;
+    const WriterStyle& style = writers[w];
+    float* row = data + i * pixels;
+    for (int64_t j = 0; j < pixels; ++j) {
+      const float centered = (row[j] - 0.5f) * style.intensity;
+      row[j] = std::clamp(centered * style.gain[j] + 0.5f + style.bias[j],
+                          0.f, 1.f);
+    }
+  }
+}
+
+}  // namespace
+
+FederatedDataset MakeFemnist(const FemnistConfig& config) {
+  NIID_CHECK_GE(config.num_writers, 1);
+  Rng rng(config.seed);
+
+  // Base digits from the shared synthetic generator.
+  SyntheticImageConfig base;
+  base.name = "femnist";
+  base.num_classes = config.num_classes;
+  base.channels = 1;
+  base.height = config.height;
+  base.width = config.width;
+  base.train_size = config.train_size;
+  base.test_size = config.test_size;
+  base.class_sep = 1.0f;
+  base.style_noise = 0.25f;
+  base.pixel_noise = 0.08f;
+  base.seed = rng.NextUint64();
+  FederatedDataset fd = MakeSyntheticImages(base);
+
+  // Latent writer styles.
+  const int64_t pixels = static_cast<int64_t>(config.height) * config.width;
+  std::vector<WriterStyle> writers(config.num_writers);
+  Rng style_rng = rng.Split();
+  for (WriterStyle& style : writers) {
+    style.gain.resize(pixels);
+    style.bias.resize(pixels);
+    FillSmoothNoiseField(style_rng, 1, config.height, config.width,
+                         style.gain.data());
+    FillSmoothNoiseField(style_rng, 1, config.height, config.width,
+                         style.bias.data());
+    for (int64_t j = 0; j < pixels; ++j) {
+      style.gain[j] = 1.f + config.writer_strength * 0.5f * style.gain[j];
+      style.bias[j] = config.writer_strength * 0.15f * style.bias[j];
+    }
+    style.intensity = 1.f + config.writer_strength * 0.4f *
+                                static_cast<float>(style_rng.Normal());
+    style.intensity = std::clamp(style.intensity, 0.4f, 1.8f);
+  }
+
+  Rng train_rng = rng.Split();
+  Rng test_rng = rng.Split();
+  ApplyWriters(fd.train, writers, train_rng);
+  ApplyWriters(fd.test, writers, test_rng);
+  return fd;
+}
+
+}  // namespace niid

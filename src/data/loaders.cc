@@ -1,0 +1,178 @@
+#include "data/loaders.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace niid {
+namespace {
+
+StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+uint32_t ReadBigEndian32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadIdx(const std::string& image_path,
+                          const std::string& label_path,
+                          const std::string& dataset_name) {
+  auto images_or = ReadFile(image_path);
+  if (!images_or.ok()) return images_or.status();
+  auto labels_or = ReadFile(label_path);
+  if (!labels_or.ok()) return labels_or.status();
+  const std::vector<uint8_t>& img = *images_or;
+  const std::vector<uint8_t>& lab = *labels_or;
+
+  if (img.size() < 16) return Status::DataLoss("IDX image file too short");
+  if (lab.size() < 8) return Status::DataLoss("IDX label file too short");
+  if (ReadBigEndian32(img.data()) != 0x00000803) {
+    return Status::DataLoss("bad IDX image magic in " + image_path);
+  }
+  if (ReadBigEndian32(lab.data()) != 0x00000801) {
+    return Status::DataLoss("bad IDX label magic in " + label_path);
+  }
+  const uint32_t n = ReadBigEndian32(img.data() + 4);
+  const uint32_t rows = ReadBigEndian32(img.data() + 8);
+  const uint32_t cols = ReadBigEndian32(img.data() + 12);
+  if (ReadBigEndian32(lab.data() + 4) != n) {
+    return Status::DataLoss("IDX image/label count mismatch");
+  }
+  const size_t expected = 16 + static_cast<size_t>(n) * rows * cols;
+  if (img.size() != expected) {
+    return Status::DataLoss("IDX image payload size mismatch");
+  }
+  if (lab.size() != 8 + static_cast<size_t>(n)) {
+    return Status::DataLoss("IDX label payload size mismatch");
+  }
+
+  Dataset dataset;
+  dataset.name = dataset_name;
+  dataset.features = Tensor({static_cast<int64_t>(n), 1,
+                             static_cast<int64_t>(rows),
+                             static_cast<int64_t>(cols)});
+  dataset.labels.resize(n);
+  float* dst = dataset.features.data();
+  const uint8_t* src = img.data() + 16;
+  const int64_t pixels = static_cast<int64_t>(n) * rows * cols;
+  for (int64_t i = 0; i < pixels; ++i) dst[i] = src[i] / 255.f;
+  int max_label = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    dataset.labels[i] = lab[8 + i];
+    max_label = std::max(max_label, dataset.labels[i]);
+  }
+  dataset.num_classes = max_label + 1;
+  return dataset;
+}
+
+StatusOr<Dataset> LoadCifar10(const std::vector<std::string>& batch_paths,
+                              const std::string& dataset_name) {
+  constexpr int64_t kRecord = 1 + 3 * 32 * 32;
+  std::vector<uint8_t> all;
+  for (const std::string& path : batch_paths) {
+    auto bytes_or = ReadFile(path);
+    if (!bytes_or.ok()) return bytes_or.status();
+    if (bytes_or->size() % kRecord != 0) {
+      return Status::DataLoss("CIFAR-10 batch size not a record multiple: " +
+                              path);
+    }
+    all.insert(all.end(), bytes_or->begin(), bytes_or->end());
+  }
+  const int64_t n = static_cast<int64_t>(all.size()) / kRecord;
+  if (n == 0) return Status::DataLoss("empty CIFAR-10 input");
+
+  Dataset dataset;
+  dataset.name = dataset_name;
+  dataset.num_classes = 10;
+  dataset.features = Tensor({n, 3, 32, 32});
+  dataset.labels.resize(n);
+  float* dst = dataset.features.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t* record = all.data() + i * kRecord;
+    const int label = record[0];
+    if (label < 0 || label > 9) {
+      return Status::DataLoss("CIFAR-10 label out of range");
+    }
+    dataset.labels[i] = label;
+    // Records already store channel-major R, G, B planes.
+    for (int64_t j = 0; j < 3 * 32 * 32; ++j) {
+      dst[i * 3 * 32 * 32 + j] = record[1 + j] / 255.f;
+    }
+  }
+  return dataset;
+}
+
+StatusOr<Dataset> LoadLibsvm(const std::string& path, int num_features,
+                             const std::string& dataset_name) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::vector<std::vector<std::pair<int, float>>> rows;
+  std::vector<double> raw_labels;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double label = 0.0;
+    if (!(ls >> label)) {
+      return Status::DataLoss("bad label at line " +
+                              std::to_string(line_number));
+    }
+    std::vector<std::pair<int, float>> row;
+    std::string token;
+    while (ls >> token) {
+      const size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        return Status::DataLoss("bad feature token at line " +
+                                std::to_string(line_number));
+      }
+      const int index = std::atoi(token.substr(0, colon).c_str());
+      const float value =
+          static_cast<float>(std::atof(token.substr(colon + 1).c_str()));
+      if (index < 1 || index > num_features) {
+        return Status::DataLoss("feature index out of range at line " +
+                                std::to_string(line_number));
+      }
+      row.emplace_back(index - 1, value);
+    }
+    rows.push_back(std::move(row));
+    raw_labels.push_back(label);
+  }
+  if (rows.empty()) return Status::DataLoss("empty LIBSVM file: " + path);
+
+  // Remap original labels (e.g. {-1, +1} or {1..7}) to 0..K-1.
+  std::set<double> distinct(raw_labels.begin(), raw_labels.end());
+  std::map<double, int> label_map;
+  int next = 0;
+  for (double v : distinct) label_map[v] = next++;
+
+  Dataset dataset;
+  dataset.name = dataset_name;
+  dataset.num_classes = next;
+  const int64_t n = static_cast<int64_t>(rows.size());
+  dataset.features = Tensor({n, num_features});
+  dataset.labels.resize(n);
+  float* dst = dataset.features.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (const auto& [col, value] : rows[i]) {
+      dst[i * num_features + col] = value;
+    }
+    dataset.labels[i] = label_map[raw_labels[i]];
+  }
+  return dataset;
+}
+
+}  // namespace niid

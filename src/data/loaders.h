@@ -1,0 +1,33 @@
+#ifndef NIID_DATA_LOADERS_H_
+#define NIID_DATA_LOADERS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Loads an MNIST-style IDX image file (magic 0x00000803) + IDX label file
+/// (magic 0x00000801). Pixels are scaled to [0, 1]. Works for MNIST, FMNIST
+/// and the EMNIST digit split.
+StatusOr<Dataset> LoadIdx(const std::string& image_path,
+                          const std::string& label_path,
+                          const std::string& dataset_name);
+
+/// Loads one or more CIFAR-10 binary batch files (each record: 1 label byte +
+/// 3072 pixel bytes). Pixels are scaled to [0, 1]; shape [N, 3, 32, 32].
+StatusOr<Dataset> LoadCifar10(const std::vector<std::string>& batch_paths,
+                              const std::string& dataset_name);
+
+/// Loads a LIBSVM/SVMLight text file ("label idx:val idx:val ...") into a
+/// dense [N, num_features] dataset. Labels are remapped to 0..K-1 in order of
+/// first appearance of the sorted distinct original labels; 1-based feature
+/// indices (the LIBSVM convention) map to columns 0..num_features-1.
+StatusOr<Dataset> LoadLibsvm(const std::string& path, int num_features,
+                             const std::string& dataset_name);
+
+}  // namespace niid
+
+#endif  // NIID_DATA_LOADERS_H_

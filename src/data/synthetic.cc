@@ -1,0 +1,239 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// Separable box blur with radius 2 over each [height, width] plane,
+// repeated twice, approximating a Gaussian blur.
+void BoxBlur(int channels, int height, int width, float* field) {
+  constexpr int kRadius = 2;
+  std::vector<float> temp(static_cast<size_t>(height) * width);
+  for (int c = 0; c < channels; ++c) {
+    float* plane = field + static_cast<int64_t>(c) * height * width;
+    for (int pass = 0; pass < 2; ++pass) {
+      // Horizontal.
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          float sum = 0.f;
+          int count = 0;
+          for (int dx = -kRadius; dx <= kRadius; ++dx) {
+            const int xx = x + dx;
+            if (xx < 0 || xx >= width) continue;
+            sum += plane[y * width + xx];
+            ++count;
+          }
+          temp[y * width + x] = sum / count;
+        }
+      }
+      // Vertical.
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          float sum = 0.f;
+          int count = 0;
+          for (int dy = -kRadius; dy <= kRadius; ++dy) {
+            const int yy = y + dy;
+            if (yy < 0 || yy >= height) continue;
+            sum += temp[yy * width + x];
+            ++count;
+          }
+          plane[y * width + x] = sum / count;
+        }
+      }
+    }
+  }
+}
+
+void NormalizeField(int64_t n, float* field) {
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += field[i];
+    sq += static_cast<double>(field[i]) * field[i];
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  const float inv_std = var > 1e-12 ? static_cast<float>(1.0 / std::sqrt(var))
+                                    : 1.f;
+  for (int64_t i = 0; i < n; ++i) {
+    field[i] = (field[i] - static_cast<float>(mean)) * inv_std;
+  }
+}
+
+}  // namespace
+
+void FillSmoothNoiseField(Rng& rng, int channels, int height, int width,
+                          float* field) {
+  const int64_t n = static_cast<int64_t>(channels) * height * width;
+  for (int64_t i = 0; i < n; ++i) {
+    field[i] = static_cast<float>(rng.Normal());
+  }
+  BoxBlur(channels, height, width, field);
+  NormalizeField(n, field);
+}
+
+namespace {
+
+// Shared machinery between train and test generation.
+class ImageGenerator {
+ public:
+  explicit ImageGenerator(const SyntheticImageConfig& config)
+      : config_(config), rng_(config.seed) {
+    NIID_CHECK_GE(config.num_classes, 2);
+    NIID_CHECK_GE(config.basis_size, 1);
+    const int64_t pixels = Pixels();
+    // Shared basis of smooth fields.
+    basis_.resize(config.basis_size);
+    for (auto& b : basis_) {
+      b.resize(pixels);
+      FillSmoothNoiseField(rng_, config.channels, config.height, config.width,
+                           b.data());
+    }
+    // Class prototypes: normalized random combinations of the basis, so
+    // classes share features and are not trivially orthogonal.
+    prototypes_.resize(config.num_classes);
+    for (auto& proto : prototypes_) {
+      proto.assign(pixels, 0.f);
+      for (const auto& b : basis_) {
+        const float coeff = static_cast<float>(rng_.Normal());
+        for (int64_t i = 0; i < pixels; ++i) proto[i] += coeff * b[i];
+      }
+      NormalizeField(pixels, proto.data());
+    }
+  }
+
+  int64_t Pixels() const {
+    return static_cast<int64_t>(config_.channels) * config_.height *
+           config_.width;
+  }
+
+  /// Writes one sample of class `label` into `out` (Pixels() floats).
+  void Sample(int label, Rng& rng, float* out) {
+    const int64_t pixels = Pixels();
+    const auto& proto = prototypes_[label];
+    // Random circular shift of the prototype.
+    int dy = 0, dx = 0;
+    if (config_.max_shift > 0) {
+      dy = static_cast<int>(rng.UniformInt(2 * config_.max_shift + 1)) -
+           config_.max_shift;
+      dx = static_cast<int>(rng.UniformInt(2 * config_.max_shift + 1)) -
+           config_.max_shift;
+    }
+    const int h = config_.height, w = config_.width;
+    std::vector<float> style(pixels);
+    FillSmoothNoiseField(rng, config_.channels, h, w, style.data());
+    const float intensity =
+        config_.class_sep * (0.85f + 0.3f * static_cast<float>(rng.Uniform()));
+    for (int c = 0; c < config_.channels; ++c) {
+      for (int y = 0; y < h; ++y) {
+        const int sy = ((y + dy) % h + h) % h;
+        for (int x = 0; x < w; ++x) {
+          const int sx = ((x + dx) % w + w) % w;
+          const int64_t i = (static_cast<int64_t>(c) * h + y) * w + x;
+          const int64_t si = (static_cast<int64_t>(c) * h + sy) * w + sx;
+          float v = 0.5f + 0.25f * (intensity * proto[si] +
+                                    config_.style_noise * style[i] +
+                                    config_.pixel_noise *
+                                        static_cast<float>(rng.Normal()));
+          out[i] = std::clamp(v, 0.f, 1.f);
+        }
+      }
+    }
+  }
+
+  Dataset Generate(int64_t size, Rng& rng, const std::string& name) {
+    Dataset dataset;
+    dataset.name = name;
+    dataset.num_classes = config_.num_classes;
+    dataset.features = Tensor({size, config_.channels, config_.height,
+                               config_.width});
+    dataset.labels.resize(size);
+    float* dst = dataset.features.data();
+    const int64_t pixels = Pixels();
+    for (int64_t i = 0; i < size; ++i) {
+      const int label =
+          static_cast<int>(rng.UniformInt(config_.num_classes));
+      dataset.labels[i] = label;
+      Sample(label, rng, dst + i * pixels);
+    }
+    return dataset;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  SyntheticImageConfig config_;
+  Rng rng_;
+  std::vector<std::vector<float>> basis_;
+  std::vector<std::vector<float>> prototypes_;
+};
+
+}  // namespace
+
+FederatedDataset MakeSyntheticImages(const SyntheticImageConfig& config) {
+  ImageGenerator generator(config);
+  Rng train_rng = generator.rng().Split();
+  Rng test_rng = generator.rng().Split();
+  FederatedDataset fd;
+  fd.train = generator.Generate(config.train_size, train_rng, config.name);
+  fd.test = generator.Generate(config.test_size, test_rng, config.name);
+  return fd;
+}
+
+FederatedDataset MakeSyntheticTabular(const SyntheticTabularConfig& config) {
+  NIID_CHECK_GE(config.num_classes, 2);
+  NIID_CHECK_GE(config.num_features, 1);
+  NIID_CHECK_GT(config.density, 0.f);
+  Rng rng(config.seed);
+  const int f = config.num_features;
+  // Class means on the unit sphere, scaled by class_sep.
+  std::vector<std::vector<float>> means(config.num_classes,
+                                        std::vector<float>(f));
+  for (auto& mu : means) {
+    double norm_sq = 0.0;
+    for (float& v : mu) {
+      v = static_cast<float>(rng.Normal());
+      norm_sq += static_cast<double>(v) * v;
+    }
+    const float scale =
+        config.class_sep / static_cast<float>(std::sqrt(norm_sq));
+    for (float& v : mu) v *= scale * std::sqrt(static_cast<float>(f));
+  }
+
+  auto generate = [&](int64_t size, Rng& gen_rng) {
+    Dataset dataset;
+    dataset.name = config.name;
+    dataset.num_classes = config.num_classes;
+    dataset.features = Tensor({size, f});
+    dataset.labels.resize(size);
+    float* dst = dataset.features.data();
+    for (int64_t i = 0; i < size; ++i) {
+      const int label = static_cast<int>(gen_rng.UniformInt(config.num_classes));
+      dataset.labels[i] = label;
+      float* row = dst + i * f;
+      for (int j = 0; j < f; ++j) {
+        if (config.density < 1.f &&
+            gen_rng.Uniform() >= config.density) {
+          row[j] = 0.f;  // inactive feature (sparse sample)
+          continue;
+        }
+        row[j] = means[label][j] / std::sqrt(static_cast<float>(f)) +
+                 config.noise * static_cast<float>(gen_rng.Normal());
+      }
+    }
+    return dataset;
+  };
+
+  Rng train_rng = rng.Split();
+  Rng test_rng = rng.Split();
+  FederatedDataset fd;
+  fd.train = generate(config.train_size, train_rng);
+  fd.test = generate(config.test_size, test_rng);
+  return fd;
+}
+
+}  // namespace niid

@@ -1,0 +1,58 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+
+void AddGaussianNoise(Dataset& dataset, double variance, Rng& rng) {
+  NIID_CHECK_GE(variance, 0.0);
+  if (variance == 0.0) return;
+  const double stddev = std::sqrt(variance);
+  float* data = dataset.features.data();
+  const int64_t n = dataset.features.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] += static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+FeatureStats ComputeFeatureStats(const Dataset& dataset) {
+  const int64_t n = dataset.size();
+  const int64_t f = dataset.feature_dim();
+  NIID_CHECK_GE(n, 1);
+  FeatureStats stats;
+  stats.mean.assign(f, 0.f);
+  stats.inv_std.assign(f, 1.f);
+  std::vector<double> sum(f, 0.0), sq(f, 0.0);
+  const float* data = dataset.features.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = data + i * f;
+    for (int64_t j = 0; j < f; ++j) {
+      sum[j] += row[j];
+      sq[j] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  for (int64_t j = 0; j < f; ++j) {
+    const double mean = sum[j] / n;
+    const double var = std::max(sq[j] / n - mean * mean, 0.0);
+    stats.mean[j] = static_cast<float>(mean);
+    stats.inv_std[j] =
+        static_cast<float>(1.0 / std::max(std::sqrt(var), 1e-7));
+  }
+  return stats;
+}
+
+void StandardizeFeatures(Dataset& dataset, const FeatureStats& stats) {
+  const int64_t f = dataset.feature_dim();
+  NIID_CHECK_EQ(static_cast<int64_t>(stats.mean.size()), f);
+  float* data = dataset.features.data();
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    float* row = data + i * f;
+    for (int64_t j = 0; j < f; ++j) {
+      row[j] = (row[j] - stats.mean[j]) * stats.inv_std[j];
+    }
+  }
+}
+
+}  // namespace niid

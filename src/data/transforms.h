@@ -1,0 +1,29 @@
+#ifndef NIID_DATA_TRANSFORMS_H_
+#define NIID_DATA_TRANSFORMS_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Adds i.i.d. Gaussian noise with mean 0 and *variance* `variance` to every
+/// feature, in place. This is the Gau(sigma * i / N) operation of the paper's
+/// noise-based feature-skew partition (the paper parameterizes the Gaussian
+/// by its variance).
+void AddGaussianNoise(Dataset& dataset, double variance, Rng& rng);
+
+/// Per-feature statistics computed on a training set.
+struct FeatureStats {
+  std::vector<float> mean;
+  std::vector<float> inv_std;  ///< 1 / max(std, epsilon)
+};
+
+/// Computes per-feature mean and std over `dataset`.
+FeatureStats ComputeFeatureStats(const Dataset& dataset);
+
+/// Standardizes features in place using the given (train-set) statistics.
+void StandardizeFeatures(Dataset& dataset, const FeatureStats& stats);
+
+}  // namespace niid
+
+#endif  // NIID_DATA_TRANSFORMS_H_

@@ -1,0 +1,118 @@
+#include "data/writers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+namespace niid {
+namespace {
+
+void WriteBigEndian32(std::ofstream& out, uint32_t value) {
+  const uint8_t bytes[4] = {
+      static_cast<uint8_t>(value >> 24), static_cast<uint8_t>(value >> 16),
+      static_cast<uint8_t>(value >> 8), static_cast<uint8_t>(value)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+uint8_t QuantizePixel(float value) {
+  const float clamped = std::clamp(value, 0.f, 1.f);
+  return static_cast<uint8_t>(std::lround(clamped * 255.f));
+}
+
+}  // namespace
+
+Status SaveIdx(const Dataset& dataset, const std::string& image_path,
+               const std::string& label_path) {
+  if (dataset.features.rank() != 4 || dataset.features.dim(1) != 1) {
+    return Status::InvalidArgument(
+        "SaveIdx requires [N, 1, H, W] features, got " +
+        dataset.features.ShapeString());
+  }
+  for (int label : dataset.labels) {
+    if (label < 0 || label > 255) {
+      return Status::InvalidArgument("IDX labels must fit in uint8");
+    }
+  }
+  std::ofstream images(image_path, std::ios::binary);
+  if (!images) return Status::NotFound("cannot open: " + image_path);
+  std::ofstream labels(label_path, std::ios::binary);
+  if (!labels) return Status::NotFound("cannot open: " + label_path);
+
+  const uint32_t n = static_cast<uint32_t>(dataset.size());
+  WriteBigEndian32(images, 0x00000803);
+  WriteBigEndian32(images, n);
+  WriteBigEndian32(images, static_cast<uint32_t>(dataset.features.dim(2)));
+  WriteBigEndian32(images, static_cast<uint32_t>(dataset.features.dim(3)));
+  const float* src = dataset.features.data();
+  for (int64_t i = 0; i < dataset.features.numel(); ++i) {
+    const uint8_t pixel = QuantizePixel(src[i]);
+    images.write(reinterpret_cast<const char*>(&pixel), 1);
+  }
+
+  WriteBigEndian32(labels, 0x00000801);
+  WriteBigEndian32(labels, n);
+  for (int label : dataset.labels) {
+    const uint8_t byte = static_cast<uint8_t>(label);
+    labels.write(reinterpret_cast<const char*>(&byte), 1);
+  }
+  if (!images.good() || !labels.good()) {
+    return Status::DataLoss("IDX write failed");
+  }
+  return Status::Ok();
+}
+
+Status SaveCifar10(const Dataset& dataset, const std::string& path) {
+  if (dataset.features.rank() != 4 || dataset.features.dim(1) != 3 ||
+      dataset.features.dim(2) != 32 || dataset.features.dim(3) != 32) {
+    return Status::InvalidArgument(
+        "SaveCifar10 requires [N, 3, 32, 32] features, got " +
+        dataset.features.ShapeString());
+  }
+  for (int label : dataset.labels) {
+    if (label < 0 || label > 9) {
+      return Status::InvalidArgument("CIFAR-10 labels must be 0..9");
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open: " + path);
+  constexpr int64_t kPixels = 3 * 32 * 32;
+  const float* src = dataset.features.data();
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const uint8_t label = static_cast<uint8_t>(dataset.labels[i]);
+    out.write(reinterpret_cast<const char*>(&label), 1);
+    for (int64_t j = 0; j < kPixels; ++j) {
+      const uint8_t pixel = QuantizePixel(src[i * kPixels + j]);
+      out.write(reinterpret_cast<const char*>(&pixel), 1);
+    }
+  }
+  if (!out.good()) return Status::DataLoss("CIFAR-10 write failed");
+  return Status::Ok();
+}
+
+Status SaveLibsvm(const Dataset& dataset, const std::string& path,
+                  float zero_threshold) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open: " + path);
+  const int64_t features = dataset.feature_dim();
+  const float* src = dataset.features.data();
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.num_classes == 2) {
+      out << (dataset.labels[i] == 0 ? "-1" : "+1");
+    } else {
+      out << dataset.labels[i];
+    }
+    for (int64_t j = 0; j < features; ++j) {
+      const float value = src[i * features + j];
+      if (std::abs(value) > zero_threshold) {
+        out << " " << (j + 1) << ":" << value;
+      }
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::DataLoss("LIBSVM write failed");
+  return Status::Ok();
+}
+
+}  // namespace niid

@@ -1,0 +1,35 @@
+#ifndef NIID_DATA_WRITERS_H_
+#define NIID_DATA_WRITERS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Exporters for the standard on-disk formats the loaders read. They make
+/// the synthetic datasets interchangeable with real ones: export a generated
+/// dataset, point any MNIST/CIFAR/LIBSVM consumer (including this library's
+/// own loaders) at the files.
+
+/// Writes a single-channel image dataset as an IDX image + label file pair
+/// (MNIST format). Pixels are clamped to [0, 1] and quantized to uint8.
+/// Requires rank-4 features with channels == 1 and labels < 256.
+Status SaveIdx(const Dataset& dataset, const std::string& image_path,
+               const std::string& label_path);
+
+/// Writes a 3x32x32 image dataset as a CIFAR-10 binary batch file.
+/// Requires exactly that shape and labels in [0, 10).
+Status SaveCifar10(const Dataset& dataset, const std::string& path);
+
+/// Writes any dataset as LIBSVM text ("label idx:val ..."), emitting only
+/// entries with |value| > zero_threshold (1-based feature indices). Binary
+/// datasets map class 0 -> -1 and class 1 -> +1; multi-class datasets emit
+/// the class id directly.
+Status SaveLibsvm(const Dataset& dataset, const std::string& path,
+                  float zero_threshold = 0.f);
+
+}  // namespace niid
+
+#endif  // NIID_DATA_WRITERS_H_

@@ -1,0 +1,49 @@
+#include "fl/algorithm.h"
+
+#include "fl/fedavg.h"
+#include "fl/fednova.h"
+#include "fl/fedopt.h"
+#include "fl/fedprox.h"
+#include "fl/scaffold.h"
+
+namespace niid {
+
+StatusOr<std::unique_ptr<FlAlgorithm>> CreateAlgorithm(
+    const std::string& name, const AlgorithmConfig& config) {
+  if (name == "fedavg") {
+    return std::unique_ptr<FlAlgorithm>(new FedAvg(config));
+  }
+  if (name == "fedprox") {
+    return std::unique_ptr<FlAlgorithm>(new FedProx(config));
+  }
+  if (name == "scaffold") {
+    return std::unique_ptr<FlAlgorithm>(new Scaffold(config));
+  }
+  if (name == "fednova") {
+    return std::unique_ptr<FlAlgorithm>(new FedNova(config));
+  }
+  if (name == "fedadagrad") {
+    return std::unique_ptr<FlAlgorithm>(
+        new FedOpt(config, FedOptVariant::kAdagrad));
+  }
+  if (name == "fedadam") {
+    return std::unique_ptr<FlAlgorithm>(
+        new FedOpt(config, FedOptVariant::kAdam));
+  }
+  if (name == "fedyogi") {
+    return std::unique_ptr<FlAlgorithm>(
+        new FedOpt(config, FedOptVariant::kYogi));
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+std::vector<std::string> AlgorithmNames() {
+  return {"fedavg", "fedprox", "scaffold", "fednova"};
+}
+
+std::vector<std::string> ExtendedAlgorithmNames() {
+  return {"fedavg",  "fedprox",    "scaffold", "fednova",
+          "fedadam", "fedadagrad", "fedyogi"};
+}
+
+}  // namespace niid

@@ -1,0 +1,98 @@
+#ifndef NIID_FL_ALGORITHM_H_
+#define NIID_FL_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+#include "nn/parameters.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Algorithm-specific knobs (beyond the shared LocalTrainOptions).
+struct AlgorithmConfig {
+  /// FedProx proximal weight mu (paper tunes it in {0.001, 0.01, 0.1, 1}).
+  float fedprox_mu = 0.01f;
+  /// SCAFFOLD control-variate update rule: 1 = option (i) (full-batch
+  /// gradient at the global model), 2 = option (ii) (reuse local updates).
+  int scaffold_variant = 2;
+  /// Server learning rate eta of Algorithm 1 line 9 (1.0 = plain averaging,
+  /// the setting the paper and reference implementation use).
+  float server_lr = 1.0f;
+  /// Server-side momentum on the aggregated delta (FedAvgM, Hsu et al. —
+  /// the paper's reference [25]). 0 = plain FedAvg. Only honored by FedAvg.
+  float server_momentum = 0.f;
+  /// FedOpt (fedadam / fedyogi / fedadagrad) knobs, after Reddi et al.
+  float fedopt_beta1 = 0.9f;
+  float fedopt_beta2 = 0.99f;
+  /// Adaptivity floor tau in the denominator sqrt(v) + tau.
+  float fedopt_tau = 1e-3f;
+  /// Server learning rate for the adaptive family (the per-coordinate step
+  /// is ~ fedopt_server_lr once v warms up, so it is much smaller than the
+  /// plain-averaging server_lr of 1).
+  float fedopt_server_lr = 0.03f;
+  /// When false, non-trainable buffers (BatchNorm statistics) are excluded
+  /// from aggregation and parties keep their own — the FedBN-style
+  /// aggregation the paper's Section 6.2 suggests (ablation).
+  bool average_bn_buffers = true;
+};
+
+/// A federated optimization algorithm: how a party trains locally and how
+/// the server folds the returned updates into the global model.
+///
+/// Thread-safety contract: RunClient may be called concurrently for
+/// *different* clients within one round; any per-client state must live in
+/// per-client slots. Initialize and Aggregate are called serially.
+class FlAlgorithm {
+ public:
+  virtual ~FlAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the first round.
+  virtual void Initialize(int num_clients, int64_t state_size) {
+    (void)num_clients;
+    (void)state_size;
+  }
+
+  /// Runs local training for one (sampled) party.
+  virtual LocalUpdate RunClient(Client& client, const StateVector& global,
+                                const LocalTrainOptions& options) = 0;
+
+  /// Folds this round's updates into `global` (Algorithm 1 line 9/10).
+  virtual void Aggregate(StateVector& global,
+                         const std::vector<LocalUpdate>& updates,
+                         const std::vector<StateSegment>& layout) = 0;
+
+  /// Upload size in floats per participating party per round (communication
+  /// accounting; SCAFFOLD doubles it).
+  virtual int64_t UploadFloatsPerClient(int64_t state_size) const {
+    return state_size;
+  }
+
+ protected:
+  /// Shared FedAvg-style weighted-average step:
+  ///   global -= server_lr * sum_i (n_i / n) * delta_i
+  /// Buffer segments are skipped when average_bn_buffers is false.
+  static void WeightedAverageDeltas(StateVector& global,
+                                    const std::vector<LocalUpdate>& updates,
+                                    const std::vector<StateSegment>& layout,
+                                    float server_lr, bool average_bn_buffers);
+};
+
+/// Factory: "fedavg", "fedprox", "scaffold", "fednova".
+StatusOr<std::unique_ptr<FlAlgorithm>> CreateAlgorithm(
+    const std::string& name, const AlgorithmConfig& config);
+
+/// The paper's four algorithms, in Table 3 order.
+std::vector<std::string> AlgorithmNames();
+
+/// All registered algorithms, including the FedOpt extension family
+/// (fedadam / fedadagrad / fedyogi).
+std::vector<std::string> ExtendedAlgorithmNames();
+
+}  // namespace niid
+
+#endif  // NIID_FL_ALGORITHM_H_

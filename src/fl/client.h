@@ -1,0 +1,86 @@
+#ifndef NIID_FL_CLIENT_H_
+#define NIID_FL_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models/factory.h"
+#include "nn/module.h"
+#include "nn/parameters.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Hyper-parameters of one local-training invocation (Algorithm 1, party
+/// side). Paper defaults: E=10, B=64, SGD(lr, momentum 0.9).
+struct LocalTrainOptions {
+  int local_epochs = 10;
+  int batch_size = 64;
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.f;
+  /// FedBN-style ablation: when true the client keeps its own BatchNorm
+  /// running statistics instead of adopting the server's.
+  bool keep_local_buffers = false;
+};
+
+/// What a party returns to the server after local training.
+struct LocalUpdate {
+  int client_id = -1;
+  int64_t num_samples = 0;
+  /// Delta w_i = w^t - w_i^t (state-size; positive delta means the client
+  /// moved "downhill" from the global model).
+  StateVector delta;
+  /// tau_i: number of local SGD steps taken (mini-batches processed).
+  int64_t tau = 0;
+  /// Mean training loss over all local steps.
+  double average_loss = 0.0;
+  /// SCAFFOLD only: Delta c_i (state-size, zero at buffer positions).
+  StateVector delta_c;
+};
+
+/// One federated party: owns its local dataset, a private model instance
+/// (architecture identical to the server's) and a private RNG stream.
+class Client {
+ public:
+  /// `init_rng` seeds both the throwaway model initialization and the
+  /// client's private shuffling/noise stream.
+  Client(int id, Dataset data, const ModelFactory& factory, Rng init_rng);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  int id() const { return id_; }
+  int64_t num_samples() const { return data_.size(); }
+  const Dataset& data() const { return data_; }
+  Module& model() { return *model_; }
+
+  /// Called after every backward pass and before the SGD step; algorithms
+  /// inject their gradient corrections here (FedProx's proximal term,
+  /// SCAFFOLD's control variates).
+  using GradHook = std::function<void(Module& model)>;
+
+  /// Runs LocalTraining(i, w^t) of Algorithm 1: loads `global_state`, runs
+  /// `options.local_epochs` epochs of mini-batch SGD (invoking `grad_hook`
+  /// if non-null), and returns the resulting update. delta_c is left empty.
+  LocalUpdate Train(const StateVector& global_state,
+                    const LocalTrainOptions& options,
+                    const GradHook& grad_hook = nullptr);
+
+  /// Computes the full-batch gradient of the local loss at `state` (used by
+  /// SCAFFOLD's control-variate option (i)). Returns a state-size vector.
+  StateVector FullBatchGradient(const StateVector& state, int batch_size);
+
+ private:
+  int id_;
+  Dataset data_;
+  std::unique_ptr<Module> model_;
+  Rng rng_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_CLIENT_H_

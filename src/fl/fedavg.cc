@@ -1,0 +1,74 @@
+#include "fl/fedavg.h"
+
+#include "util/check.h"
+
+namespace niid {
+
+void FlAlgorithm::WeightedAverageDeltas(
+    StateVector& global, const std::vector<LocalUpdate>& updates,
+    const std::vector<StateSegment>& layout, float server_lr,
+    bool average_bn_buffers) {
+  if (updates.empty()) return;
+  double n = 0.0;
+  for (const LocalUpdate& update : updates) n += update.num_samples;
+  NIID_CHECK_GT(n, 0.0);
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_EQ(update.delta.size(), global.size());
+    const float weight =
+        server_lr * static_cast<float>(update.num_samples / n);
+    for (const StateSegment& seg : layout) {
+      if (!seg.trainable && !average_bn_buffers) continue;
+      for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+        global[i] -= weight * update.delta[i];
+      }
+    }
+  }
+}
+
+void FedAvg::Initialize(int num_clients, int64_t state_size) {
+  (void)num_clients;
+  if (config_.server_momentum > 0.f) {
+    velocity_.assign(state_size, 0.f);
+  }
+}
+
+LocalUpdate FedAvg::RunClient(Client& client, const StateVector& global,
+                              const LocalTrainOptions& options) {
+  LocalTrainOptions local = options;
+  local.keep_local_buffers = !config_.average_bn_buffers;
+  return client.Train(global, local);
+}
+
+void FedAvg::Aggregate(StateVector& global,
+                       const std::vector<LocalUpdate>& updates,
+                       const std::vector<StateSegment>& layout) {
+  if (config_.server_momentum <= 0.f) {
+    WeightedAverageDeltas(global, updates, layout, config_.server_lr,
+                          config_.average_bn_buffers);
+    return;
+  }
+  // FedAvgM: v = m * v + weighted_avg_delta; w -= server_lr * v.
+  if (updates.empty()) return;
+  NIID_CHECK_EQ(velocity_.size(), global.size());
+  double n = 0.0;
+  for (const LocalUpdate& update : updates) n += update.num_samples;
+  NIID_CHECK_GT(n, 0.0);
+  StateVector average(global.size(), 0.f);
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_EQ(update.delta.size(), global.size());
+    const float weight = static_cast<float>(update.num_samples / n);
+    for (size_t i = 0; i < average.size(); ++i) {
+      average[i] += weight * update.delta[i];
+    }
+  }
+  for (const StateSegment& seg : layout) {
+    if (!seg.trainable && !config_.average_bn_buffers) continue;
+    for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+      velocity_[i] =
+          config_.server_momentum * velocity_[i] + average[i];
+      global[i] -= config_.server_lr * velocity_[i];
+    }
+  }
+}
+
+}  // namespace niid

@@ -1,0 +1,32 @@
+#ifndef NIID_FL_FEDAVG_H_
+#define NIID_FL_FEDAVG_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace niid {
+
+/// FedAvg (McMahan et al.): plain local SGD, sample-count-weighted averaging
+/// of the returned deltas (Algorithm 1 with neither colored extension).
+class FedAvg : public FlAlgorithm {
+ public:
+  explicit FedAvg(const AlgorithmConfig& config) : config_(config) {}
+
+  std::string name() const override { return "fedavg"; }
+  void Initialize(int num_clients, int64_t state_size) override;
+  LocalUpdate RunClient(Client& client, const StateVector& global,
+                        const LocalTrainOptions& options) override;
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout) override;
+
+ private:
+  AlgorithmConfig config_;
+  /// FedAvgM server-momentum buffer (empty when server_momentum == 0).
+  StateVector velocity_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_FEDAVG_H_

@@ -1,0 +1,43 @@
+#include "fl/fednova.h"
+
+#include "util/check.h"
+
+namespace niid {
+
+LocalUpdate FedNova::RunClient(Client& client, const StateVector& global,
+                               const LocalTrainOptions& options) {
+  LocalTrainOptions local = options;
+  local.keep_local_buffers = !config_.average_bn_buffers;
+  return client.Train(global, local);
+}
+
+void FedNova::Aggregate(StateVector& global,
+                        const std::vector<LocalUpdate>& updates,
+                        const std::vector<StateSegment>& layout) {
+  if (updates.empty()) return;
+  double n = 0.0;
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_GT(update.tau, 0);
+    n += update.num_samples;
+  }
+  NIID_CHECK_GT(n, 0.0);
+  // tau_eff = sum_i (n_i / n) * tau_i.
+  double tau_eff = 0.0;
+  for (const LocalUpdate& update : updates) {
+    tau_eff += update.num_samples / n * static_cast<double>(update.tau);
+  }
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_EQ(update.delta.size(), global.size());
+    const float weight = static_cast<float>(
+        config_.server_lr * tau_eff * update.num_samples /
+        (n * static_cast<double>(update.tau)));
+    for (const StateSegment& seg : layout) {
+      if (!seg.trainable && !config_.average_bn_buffers) continue;
+      for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+        global[i] -= weight * update.delta[i];
+      }
+    }
+  }
+}
+
+}  // namespace niid

@@ -1,0 +1,33 @@
+#ifndef NIID_FL_FEDNOVA_H_
+#define NIID_FL_FEDNOVA_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace niid {
+
+/// FedNova (Wang et al.): normalized averaging that removes the objective
+/// inconsistency caused by heterogeneous local step counts tau_i. Local
+/// training is plain SGD; aggregation (Algorithm 1, orange line 10) is
+///   w^{t+1} = w^t - eta * (sum_i n_i tau_i / n) * sum_i (n_i / (n tau_i)) d_i
+/// i.e. per-party deltas are normalized by their step count, then rescaled
+/// by the effective number of steps.
+class FedNova : public FlAlgorithm {
+ public:
+  explicit FedNova(const AlgorithmConfig& config) : config_(config) {}
+
+  std::string name() const override { return "fednova"; }
+  LocalUpdate RunClient(Client& client, const StateVector& global,
+                        const LocalTrainOptions& options) override;
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout) override;
+
+ private:
+  AlgorithmConfig config_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_FEDNOVA_H_

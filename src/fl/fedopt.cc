@@ -1,0 +1,93 @@
+#include "fl/fedopt.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+
+FedOpt::FedOpt(const AlgorithmConfig& config, FedOptVariant variant)
+    : config_(config), variant_(variant) {}
+
+std::string FedOpt::name() const {
+  switch (variant_) {
+    case FedOptVariant::kAdagrad:
+      return "fedadagrad";
+    case FedOptVariant::kAdam:
+      return "fedadam";
+    case FedOptVariant::kYogi:
+      return "fedyogi";
+  }
+  return "fedopt";
+}
+
+void FedOpt::Initialize(int num_clients, int64_t state_size) {
+  (void)num_clients;
+  m_.assign(state_size, 0.f);
+  // Reddi et al. initialize v to tau^2 so the first steps are bounded.
+  v_.assign(state_size, config_.fedopt_tau * config_.fedopt_tau);
+}
+
+LocalUpdate FedOpt::RunClient(Client& client, const StateVector& global,
+                              const LocalTrainOptions& options) {
+  LocalTrainOptions local = options;
+  local.keep_local_buffers = !config_.average_bn_buffers;
+  return client.Train(global, local);
+}
+
+void FedOpt::Aggregate(StateVector& global,
+                       const std::vector<LocalUpdate>& updates,
+                       const std::vector<StateSegment>& layout) {
+  if (updates.empty()) return;
+  NIID_CHECK_EQ(m_.size(), global.size());
+  double n = 0.0;
+  for (const LocalUpdate& update : updates) n += update.num_samples;
+  NIID_CHECK_GT(n, 0.0);
+
+  // Pseudo-gradient: the sample-weighted average delta.
+  StateVector delta(global.size(), 0.f);
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_EQ(update.delta.size(), global.size());
+    const float weight = static_cast<float>(update.num_samples / n);
+    for (size_t i = 0; i < delta.size(); ++i) {
+      delta[i] += weight * update.delta[i];
+    }
+  }
+
+  const float beta1 = config_.fedopt_beta1;
+  const float beta2 = config_.fedopt_beta2;
+  const float tau = config_.fedopt_tau;
+  for (const StateSegment& seg : layout) {
+    if (!seg.trainable) {
+      // Buffers: plain averaging (when enabled), no adaptive scaling.
+      if (config_.average_bn_buffers) {
+        for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+          global[i] -= delta[i];
+        }
+      }
+      continue;
+    }
+    for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+      const float d = delta[i];
+      const float d2 = d * d;
+      m_[i] = beta1 * m_[i] + (1.f - beta1) * d;
+      switch (variant_) {
+        case FedOptVariant::kAdagrad:
+          v_[i] += d2;
+          break;
+        case FedOptVariant::kAdam:
+          v_[i] = beta2 * v_[i] + (1.f - beta2) * d2;
+          break;
+        case FedOptVariant::kYogi: {
+          const float sign = (v_[i] > d2) ? 1.f : ((v_[i] < d2) ? -1.f : 0.f);
+          v_[i] -= (1.f - beta2) * d2 * sign;
+          break;
+        }
+      }
+      global[i] -= config_.fedopt_server_lr * m_[i] /
+                   (std::sqrt(v_[i]) + tau);
+    }
+  }
+}
+
+}  // namespace niid

@@ -1,0 +1,51 @@
+#ifndef NIID_FL_FEDOPT_H_
+#define NIID_FL_FEDOPT_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace niid {
+
+/// The adaptive-server-optimizer family of Reddi et al. ("Adaptive Federated
+/// Optimization", the paper's reference [52] via FedML): clients run plain
+/// local SGD like FedAvg; the server treats the weighted-average delta as a
+/// pseudo-gradient and feeds it to a server-side adaptive optimizer:
+///
+///   m   <- beta1 * m + (1 - beta1) * delta
+///   v   <- Adagrad:  v + delta^2
+///          Adam:     beta2 * v + (1 - beta2) * delta^2
+///          Yogi:     v - (1 - beta2) * delta^2 * sign(v - delta^2)
+///   w   <- w - server_lr * m / (sqrt(v) + tau)
+///
+/// Adaptive updates apply to trainable segments only; BatchNorm buffers are
+/// plain-averaged (rescaling running statistics by an adaptive step would
+/// corrupt them).
+enum class FedOptVariant { kAdagrad, kAdam, kYogi };
+
+class FedOpt : public FlAlgorithm {
+ public:
+  FedOpt(const AlgorithmConfig& config, FedOptVariant variant);
+
+  std::string name() const override;
+  void Initialize(int num_clients, int64_t state_size) override;
+  LocalUpdate RunClient(Client& client, const StateVector& global,
+                        const LocalTrainOptions& options) override;
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout) override;
+
+  FedOptVariant variant() const { return variant_; }
+  const StateVector& momentum() const { return m_; }
+  const StateVector& second_moment() const { return v_; }
+
+ private:
+  AlgorithmConfig config_;
+  FedOptVariant variant_;
+  StateVector m_;
+  StateVector v_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_FEDOPT_H_

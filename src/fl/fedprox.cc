@@ -1,0 +1,34 @@
+#include "fl/fedprox.h"
+
+namespace niid {
+
+LocalUpdate FedProx::RunClient(Client& client, const StateVector& global,
+                               const LocalTrainOptions& options) {
+  const float mu = config_.fedprox_mu;
+  LocalTrainOptions local = options;
+  local.keep_local_buffers = !config_.average_bn_buffers;
+  // d/dw [ (mu/2) ||w - w^t||^2 ] = mu * w - mu * w^t, applied to every
+  // trainable parameter before each optimizer step.
+  Client::GradHook hook = [mu, &global](Module& model) {
+    if (mu == 0.f) return;
+    for (Parameter* p : model.Parameters()) {
+      if (!p->trainable) continue;
+      float* grad = p->grad.data();
+      const float* value = p->value.data();
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        grad[i] += mu * value[i];
+      }
+    }
+    AxpyToGrads(model, -mu, global);
+  };
+  return client.Train(global, local, hook);
+}
+
+void FedProx::Aggregate(StateVector& global,
+                        const std::vector<LocalUpdate>& updates,
+                        const std::vector<StateSegment>& layout) {
+  WeightedAverageDeltas(global, updates, layout, config_.server_lr,
+                        config_.average_bn_buffers);
+}
+
+}  // namespace niid

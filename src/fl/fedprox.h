@@ -1,0 +1,33 @@
+#ifndef NIID_FL_FEDPROX_H_
+#define NIID_FL_FEDPROX_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace niid {
+
+/// FedProx (Li et al.): FedAvg plus a proximal term in the local objective,
+///   L(w) = l(w) + (mu / 2) ||w - w^t||^2,
+/// implemented as the gradient correction g += mu * (w - w^t) before each
+/// local SGD step (Algorithm 1, red line 14). Aggregation is FedAvg's.
+class FedProx : public FlAlgorithm {
+ public:
+  explicit FedProx(const AlgorithmConfig& config) : config_(config) {}
+
+  std::string name() const override { return "fedprox"; }
+  LocalUpdate RunClient(Client& client, const StateVector& global,
+                        const LocalTrainOptions& options) override;
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout) override;
+
+  float mu() const { return config_.fedprox_mu; }
+
+ private:
+  AlgorithmConfig config_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_FEDPROX_H_

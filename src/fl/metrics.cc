@@ -1,0 +1,40 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace niid {
+
+EvalResult Evaluate(Module& model, const Dataset& dataset, int batch_size) {
+  NIID_CHECK_GE(batch_size, 1);
+  const bool was_training = model.training();
+  model.SetTraining(false);
+
+  EvalResult result;
+  result.num_samples = dataset.size();
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  std::vector<int64_t> indices(batch_size);
+  for (int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const int64_t count = std::min<int64_t>(batch_size, dataset.size() - start);
+    indices.resize(count);
+    std::iota(indices.begin(), indices.end(), start);
+    auto [x, y] = GatherBatch(dataset, indices);
+    const Tensor logits = model.Forward(x);
+    const LossResult batch = SoftmaxCrossEntropy(logits, y);
+    loss_sum += batch.loss * count;
+    correct += batch.correct;
+  }
+  if (dataset.size() > 0) {
+    result.loss = loss_sum / dataset.size();
+    result.accuracy = static_cast<double>(correct) / dataset.size();
+  }
+  model.SetTraining(was_training);
+  return result;
+}
+
+}  // namespace niid

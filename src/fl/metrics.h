@@ -1,0 +1,23 @@
+#ifndef NIID_FL_METRICS_H_
+#define NIID_FL_METRICS_H_
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace niid {
+
+/// Result of evaluating a model on a dataset.
+struct EvalResult {
+  double accuracy = 0.0;  ///< top-1 accuracy in [0, 1]
+  double loss = 0.0;      ///< mean cross-entropy
+  int64_t num_samples = 0;
+};
+
+/// Evaluates `model` on `dataset` in evaluation mode (BatchNorm uses running
+/// statistics). Restores the model's previous training mode before returning.
+EvalResult Evaluate(Module& model, const Dataset& dataset,
+                    int batch_size = 256);
+
+}  // namespace niid
+
+#endif  // NIID_FL_METRICS_H_

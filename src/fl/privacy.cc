@@ -1,0 +1,43 @@
+#include "fl/privacy.h"
+
+#include <cmath>
+
+#include "nn/parameters.h"
+#include "util/check.h"
+
+namespace niid {
+
+double ClipToNorm(StateVector& delta, double clip_norm) {
+  NIID_CHECK_GT(clip_norm, 0.0);
+  const double norm = Norm(delta);
+  if (norm > clip_norm) {
+    const float scale = static_cast<float>(clip_norm / norm);
+    for (float& v : delta) v *= scale;
+  }
+  return norm;
+}
+
+void ApplyDpToUpdate(const DpConfig& config, Rng& rng, LocalUpdate& update) {
+  if (!config.enabled()) return;
+  const double sigma = config.noise_multiplier * config.clip_norm;
+  auto clip_and_noise = [&](StateVector& vec) {
+    if (vec.empty()) return;
+    ClipToNorm(vec, config.clip_norm);
+    if (sigma > 0.0) {
+      for (float& v : vec) {
+        v += static_cast<float>(rng.Normal(0.0, sigma));
+      }
+    }
+  };
+  clip_and_noise(update.delta);
+  clip_and_noise(update.delta_c);
+}
+
+double GaussianMechanismEpsilon(double noise_multiplier, double dp_delta) {
+  NIID_CHECK_GT(noise_multiplier, 0.0);
+  NIID_CHECK_GT(dp_delta, 0.0);
+  NIID_CHECK_LT(dp_delta, 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / dp_delta)) / noise_multiplier;
+}
+
+}  // namespace niid

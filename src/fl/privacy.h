@@ -1,0 +1,48 @@
+#ifndef NIID_FL_PRIVACY_H_
+#define NIID_FL_PRIVACY_H_
+
+#include <cstdint>
+
+#include "fl/client.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Client-level differential privacy for federated updates (the Gaussian
+/// mechanism of DP-FedAvg): each party's update is L2-clipped to
+/// `clip_norm` and Gaussian noise with standard deviation
+/// `noise_multiplier * clip_norm` is added coordinate-wise before
+/// aggregation.
+///
+/// The paper's Section 6.1 ("privacy-preserving data mining") names this as
+/// the standard defense against inference attacks on the exchanged models;
+/// this module lets the benchmark quantify the accuracy cost
+/// (bench_ablation_dp).
+struct DpConfig {
+  /// 0 disables the mechanism entirely.
+  double clip_norm = 0.0;
+  /// Noise stddev as a multiple of clip_norm (sigma = z * C).
+  double noise_multiplier = 0.0;
+
+  bool enabled() const { return clip_norm > 0.0; }
+};
+
+/// Clips `delta` to L2 norm `clip_norm` in place (no-op if already smaller).
+/// Returns the pre-clip norm.
+double ClipToNorm(StateVector& delta, double clip_norm);
+
+/// Applies the Gaussian mechanism to `update.delta` in place: clip, then add
+/// N(0, (z*C)^2) noise to every coordinate (including buffers — the whole
+/// vector is transmitted and observable). delta_c, if present, is clipped
+/// and noised the same way: SCAFFOLD's control variates also leak gradients.
+void ApplyDpToUpdate(const DpConfig& config, Rng& rng, LocalUpdate& update);
+
+/// Rough single-round (epsilon, delta)-DP accounting for the Gaussian
+/// mechanism: epsilon = sqrt(2 ln(1.25/delta)) / z for one application.
+/// Composition across rounds is left to the caller (the bench prints the
+/// naive linear composition as an upper bound).
+double GaussianMechanismEpsilon(double noise_multiplier, double dp_delta);
+
+}  // namespace niid
+
+#endif  // NIID_FL_PRIVACY_H_

@@ -1,0 +1,120 @@
+#include "fl/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/samplers.h"
+
+namespace niid {
+
+std::vector<int> SampleParties(Rng& rng, int num_clients, double fraction) {
+  NIID_CHECK_GE(num_clients, 1);
+  NIID_CHECK_GT(fraction, 0.0);
+  NIID_CHECK_LE(fraction, 1.0);
+  if (fraction >= 1.0) {
+    std::vector<int> all(num_clients);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const int k = std::max(
+      1, static_cast<int>(std::lround(fraction * num_clients)));
+  return SampleWithoutReplacement(rng, num_clients, std::min(k, num_clients));
+}
+
+std::vector<int> SamplePartiesSkewAware(
+    Rng& rng, const std::vector<std::vector<int64_t>>& label_histograms,
+    double fraction) {
+  const int num_clients = static_cast<int>(label_histograms.size());
+  NIID_CHECK_GE(num_clients, 1);
+  NIID_CHECK_GT(fraction, 0.0);
+  NIID_CHECK_LE(fraction, 1.0);
+  if (fraction >= 1.0) {
+    std::vector<int> all(num_clients);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const int k = std::min(
+      num_clients,
+      std::max(1, static_cast<int>(std::lround(fraction * num_clients))));
+  const size_t classes = label_histograms.empty()
+                             ? 0
+                             : label_histograms[0].size();
+  NIID_CHECK_GE(classes, 1u);
+
+  // Global label distribution from the histograms.
+  std::vector<double> global(classes, 0.0);
+  double total = 0.0;
+  for (const auto& histogram : label_histograms) {
+    NIID_CHECK_EQ(histogram.size(), classes);
+    for (size_t c = 0; c < classes; ++c) {
+      global[c] += static_cast<double>(histogram[c]);
+      total += static_cast<double>(histogram[c]);
+    }
+  }
+  NIID_CHECK_GT(total, 0.0);
+  for (double& g : global) g /= total;
+
+  // TV distance between the pooled counts of `selected` and the global
+  // distribution.
+  auto pool_tv = [&](const std::vector<double>& pooled, double pooled_total) {
+    if (pooled_total <= 0.0) return 1.0;
+    double tv = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      tv += std::abs(pooled[c] / pooled_total - global[c]);
+    }
+    return 0.5 * tv;
+  };
+
+  std::vector<bool> taken(num_clients, false);
+  std::vector<double> pooled(classes, 0.0);
+  double pooled_total = 0.0;
+  std::vector<int> selected;
+  selected.reserve(k);
+
+  // Seed with a uniformly drawn party so coverage rotates across rounds.
+  const int first = static_cast<int>(rng.UniformInt(num_clients));
+  selected.push_back(first);
+  taken[first] = true;
+  for (size_t c = 0; c < classes; ++c) {
+    pooled[c] += static_cast<double>(label_histograms[first][c]);
+    pooled_total += static_cast<double>(label_histograms[first][c]);
+  }
+
+  // Greedy: each pick minimizes the pooled TV distance. Candidates are
+  // visited in a random order so exact ties break randomly.
+  std::vector<int> order(num_clients);
+  std::iota(order.begin(), order.end(), 0);
+  while (static_cast<int>(selected.size()) < k) {
+    rng.Shuffle(order);
+    int best = -1;
+    double best_tv = 2.0;
+    for (int candidate : order) {
+      if (taken[candidate]) continue;
+      double candidate_total = pooled_total;
+      std::vector<double> candidate_pool = pooled;
+      for (size_t c = 0; c < classes; ++c) {
+        candidate_pool[c] +=
+            static_cast<double>(label_histograms[candidate][c]);
+        candidate_total += static_cast<double>(label_histograms[candidate][c]);
+      }
+      const double tv = pool_tv(candidate_pool, candidate_total);
+      if (tv < best_tv) {
+        best_tv = tv;
+        best = candidate;
+      }
+    }
+    NIID_CHECK_GE(best, 0);
+    selected.push_back(best);
+    taken[best] = true;
+    for (size_t c = 0; c < classes; ++c) {
+      pooled[c] += static_cast<double>(label_histograms[best][c]);
+      pooled_total += static_cast<double>(label_histograms[best][c]);
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace niid

@@ -1,0 +1,34 @@
+#ifndef NIID_FL_SAMPLING_H_
+#define NIID_FL_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace niid {
+
+/// Samples the participating parties for one round (Algorithm 1, line 4):
+/// max(1, round(fraction * num_clients)) distinct parties chosen uniformly.
+/// fraction = 1 returns all parties (the paper's default, "all parties
+/// participate in every round"); Section 5.6 uses fraction 0.1 over 100.
+std::vector<int> SampleParties(Rng& rng, int num_clients, double fraction);
+
+/// Skew-aware party sampling — the paper's Section 6.1 future direction
+/// ("non-IID resistant sampling for partial participation"): instead of a
+/// uniform draw, greedily pick parties whose pooled label distribution best
+/// matches the federation-wide one, so the averaged update direction is
+/// stable from round to round.
+///
+/// `label_histograms[i]` is party i's per-class sample count (the same
+/// metadata the skew profiler uses — no raw data). The first party of each
+/// round is drawn uniformly (so coverage rotates); each subsequent pick
+/// minimizes the total-variation distance between the selected pool's label
+/// distribution and the global one. Returns sorted distinct ids.
+std::vector<int> SamplePartiesSkewAware(
+    Rng& rng, const std::vector<std::vector<int64_t>>& label_histograms,
+    double fraction);
+
+}  // namespace niid
+
+#endif  // NIID_FL_SAMPLING_H_

@@ -1,0 +1,86 @@
+#include "fl/scaffold.h"
+
+#include "util/check.h"
+
+namespace niid {
+
+void Scaffold::Initialize(int num_clients, int64_t state_size) {
+  num_clients_ = num_clients;
+  server_c_.assign(state_size, 0.f);
+  client_c_.assign(num_clients, StateVector(state_size, 0.f));
+}
+
+LocalUpdate Scaffold::RunClient(Client& client, const StateVector& global,
+                                const LocalTrainOptions& options) {
+  NIID_CHECK_GT(num_clients_, 0) << "Initialize() not called";
+  StateVector& c_i = client_c_.at(client.id());
+  NIID_CHECK_EQ(c_i.size(), global.size());
+
+  // Correction c - c_i is constant during the round.
+  StateVector correction = server_c_;
+  for (size_t i = 0; i < correction.size(); ++i) correction[i] -= c_i[i];
+  Client::GradHook hook = [&correction](Module& model) {
+    AxpyToGrads(model, 1.f, correction);
+  };
+
+  LocalTrainOptions local = options;
+  local.keep_local_buffers = !config_.average_bn_buffers;
+  LocalUpdate update = client.Train(global, local, hook);
+
+  // Refresh the local control variate (Algorithm 2, line 23).
+  StateVector c_new;
+  if (config_.scaffold_variant == 1) {
+    c_new = client.FullBatchGradient(global, options.batch_size);
+  } else {
+    // c_i* = c_i - c + (w^t - w_i) / (tau_i * eta_eff). delta is already
+    // w^t - w_i; buffer positions must stay zero in control space.
+    //
+    // eta_eff accounts for heavy-ball momentum: with momentum m the update
+    // accumulated over tau steps is ~ eta/(1-m) * sum of gradients, so
+    // dividing by plain tau*eta overestimates the mean gradient by 1/(1-m).
+    // SCAFFOLD's derivation assumes plain SGD; without this correction the
+    // control-variate deviation dynamics have a growth factor (1 - 1/(1-m))
+    // per round and the algorithm reliably explodes to NaN.
+    NIID_CHECK_GT(update.tau, 0);
+    c_new = c_i;
+    const float eta_eff =
+        options.learning_rate / (1.f - options.momentum);
+    const float scale = 1.f / (static_cast<float>(update.tau) * eta_eff);
+    int64_t offset = 0;
+    for (const StateSegment& seg : StateLayout(client.model())) {
+      if (seg.trainable) {
+        for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+          c_new[i] += -server_c_[i] + scale * update.delta[i];
+        }
+      }
+      offset += seg.size;
+    }
+    NIID_CHECK_EQ(offset, static_cast<int64_t>(global.size()));
+  }
+
+  update.delta_c.resize(c_new.size());
+  for (size_t i = 0; i < c_new.size(); ++i) {
+    update.delta_c[i] = c_new[i] - c_i[i];
+  }
+  c_i = std::move(c_new);
+  return update;
+}
+
+void Scaffold::Aggregate(StateVector& global,
+                         const std::vector<LocalUpdate>& updates,
+                         const std::vector<StateSegment>& layout) {
+  WeightedAverageDeltas(global, updates, layout, config_.server_lr,
+                        config_.average_bn_buffers);
+  // c^{t+1} = c^t + (1/N) sum Delta c_i, with N the total number of parties
+  // (Algorithm 2, line 10) — under partial participation the control variate
+  // moves slowly, which is exactly the weakness Finding 8 exposes.
+  const float inv_n = 1.f / static_cast<float>(num_clients_);
+  for (const LocalUpdate& update : updates) {
+    NIID_CHECK_EQ(update.delta_c.size(), server_c_.size());
+    for (size_t i = 0; i < server_c_.size(); ++i) {
+      server_c_[i] += inv_n * update.delta_c[i];
+    }
+  }
+}
+
+}  // namespace niid

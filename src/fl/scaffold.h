@@ -1,0 +1,46 @@
+#ifndef NIID_FL_SCAFFOLD_H_
+#define NIID_FL_SCAFFOLD_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace niid {
+
+/// SCAFFOLD (Karimireddy et al., Algorithm 2): variance reduction through
+/// control variates. The server keeps c, each party keeps c_i; local steps
+/// use the corrected gradient g - c_i + c, and after training the party
+/// refreshes c_i by either
+///   option (i):  c_i* = full-batch gradient of the local loss at w^t, or
+///   option (ii): c_i* = c_i - c + (w^t - w_i) / (tau_i * eta)  (cheaper).
+/// The server updates c += (1/N) * sum of Delta c_i over the sampled parties
+/// (N = total parties) and aggregates deltas like FedAvg. Communication per
+/// party doubles (model + control variate).
+class Scaffold : public FlAlgorithm {
+ public:
+  explicit Scaffold(const AlgorithmConfig& config) : config_(config) {}
+
+  std::string name() const override { return "scaffold"; }
+  void Initialize(int num_clients, int64_t state_size) override;
+  LocalUpdate RunClient(Client& client, const StateVector& global,
+                        const LocalTrainOptions& options) override;
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout) override;
+  int64_t UploadFloatsPerClient(int64_t state_size) const override {
+    return 2 * state_size;
+  }
+
+  const StateVector& server_control() const { return server_c_; }
+  const StateVector& client_control(int id) const { return client_c_.at(id); }
+
+ private:
+  AlgorithmConfig config_;
+  int num_clients_ = 0;
+  StateVector server_c_;
+  std::vector<StateVector> client_c_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_SCAFFOLD_H_

@@ -1,0 +1,99 @@
+#include "fl/server.h"
+
+#include "fl/sampling.h"
+#include "util/check.h"
+
+namespace niid {
+
+FederatedServer::FederatedServer(const ModelFactory& factory,
+                                 std::vector<std::unique_ptr<Client>> clients,
+                                 std::unique_ptr<FlAlgorithm> algorithm,
+                                 const ServerConfig& config)
+    : clients_(std::move(clients)),
+      algorithm_(std::move(algorithm)),
+      config_(config),
+      rng_(config.seed) {
+  NIID_CHECK(!clients_.empty());
+  Rng init_rng = rng_.Split();
+  global_model_ = factory(init_rng);
+  global_state_ = FlattenState(*global_model_);
+  layout_ = StateLayout(*global_model_);
+  algorithm_->Initialize(static_cast<int>(clients_.size()),
+                         static_cast<int64_t>(global_state_.size()));
+  if (config_.skew_aware_sampling) {
+    label_histograms_.reserve(clients_.size());
+    for (const auto& client : clients_) {
+      label_histograms_.push_back(CountLabels(client->data()));
+    }
+  }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
+  RoundStats stats;
+  stats.round = rounds_completed_;
+  stats.sampled_clients =
+      config_.skew_aware_sampling
+          ? SamplePartiesSkewAware(rng_, label_histograms_,
+                                   config_.sample_fraction)
+          : SampleParties(rng_, num_clients(), config_.sample_fraction);
+
+  // Heterogeneous local epochs (FedNova's setting): drawn serially from the
+  // server stream before the parallel section so results stay deterministic.
+  std::vector<LocalTrainOptions> per_client_options(
+      stats.sampled_clients.size(), options);
+  if (config_.min_local_epochs > 0) {
+    NIID_CHECK_LE(config_.min_local_epochs, options.local_epochs);
+    for (auto& client_options : per_client_options) {
+      const int span = options.local_epochs - config_.min_local_epochs + 1;
+      client_options.local_epochs =
+          config_.min_local_epochs + static_cast<int>(rng_.UniformInt(span));
+    }
+  }
+
+  std::vector<LocalUpdate> updates(stats.sampled_clients.size());
+  ParallelFor(pool_.get(), static_cast<int64_t>(stats.sampled_clients.size()),
+              [&](int64_t slot) {
+                Client& client = *clients_[stats.sampled_clients[slot]];
+                updates[slot] = algorithm_->RunClient(
+                    client, global_state_, per_client_options[slot]);
+              });
+
+  // Client-level DP: conceptually the party perturbs its upload; applied
+  // here serially (deterministic order) with the server's stream standing in
+  // for the parties' noise sources.
+  if (config_.dp.enabled()) {
+    for (LocalUpdate& update : updates) {
+      ApplyDpToUpdate(config_.dp, rng_, update);
+    }
+  }
+
+  algorithm_->Aggregate(global_state_, updates, layout_);
+
+  double loss_sum = 0.0;
+  for (const LocalUpdate& update : updates) loss_sum += update.average_loss;
+  stats.mean_local_loss =
+      updates.empty() ? 0.0 : loss_sum / static_cast<double>(updates.size());
+  cumulative_upload_floats_ +=
+      static_cast<int64_t>(updates.size()) *
+      algorithm_->UploadFloatsPerClient(
+          static_cast<int64_t>(global_state_.size()));
+  stats.cumulative_upload_floats = cumulative_upload_floats_;
+  ++rounds_completed_;
+  return stats;
+}
+
+EvalResult FederatedServer::EvaluateGlobal(const Dataset& test,
+                                           int batch_size) {
+  LoadState(*global_model_, global_state_);
+  return Evaluate(*global_model_, test, batch_size);
+}
+
+void FederatedServer::set_global_state(StateVector state) {
+  NIID_CHECK_EQ(state.size(), global_state_.size());
+  global_state_ = std::move(state);
+}
+
+}  // namespace niid

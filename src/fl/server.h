@@ -1,0 +1,89 @@
+#ifndef NIID_FL_SERVER_H_
+#define NIID_FL_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/algorithm.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/privacy.h"
+#include "nn/models/factory.h"
+#include "util/thread_pool.h"
+
+namespace niid {
+
+/// Server-side configuration of the federated simulation.
+struct ServerConfig {
+  /// Fraction of parties sampled per round (Algorithm 1, line 4).
+  double sample_fraction = 1.0;
+  /// Seed for the server's sampling stream and global model initialization.
+  uint64_t seed = 1;
+  /// Worker threads used to train the sampled parties in parallel
+  /// (1 = serial). Results are bit-identical regardless of thread count.
+  int num_threads = 1;
+  /// Client-level differential privacy (clip + Gaussian noise on uploads).
+  DpConfig dp;
+  /// When > 0, each sampled party runs a uniformly drawn number of local
+  /// epochs in [min_local_epochs, options.local_epochs] instead of the fixed
+  /// E — the heterogeneous-steps setting FedNova targets (Section 3.2).
+  int min_local_epochs = 0;
+  /// Use skew-aware party sampling (Section 6.1's "non-IID resistant
+  /// sampling") instead of a uniform draw under partial participation. The
+  /// server keys on the parties' label histograms only.
+  bool skew_aware_sampling = false;
+};
+
+/// Per-round bookkeeping.
+struct RoundStats {
+  int round = 0;
+  std::vector<int> sampled_clients;
+  double mean_local_loss = 0.0;
+  /// Cumulative upload volume in floats across all rounds so far.
+  int64_t cumulative_upload_floats = 0;
+};
+
+/// Orchestrates Algorithm 1/2's server loop over a fixed set of clients.
+class FederatedServer {
+ public:
+  FederatedServer(const ModelFactory& factory,
+                  std::vector<std::unique_ptr<Client>> clients,
+                  std::unique_ptr<FlAlgorithm> algorithm,
+                  const ServerConfig& config);
+
+  /// Runs one communication round: samples parties, trains them (possibly in
+  /// parallel), aggregates.
+  RoundStats RunRound(const LocalTrainOptions& options);
+
+  /// Evaluates the current global model.
+  EvalResult EvaluateGlobal(const Dataset& test, int batch_size = 256);
+
+  const StateVector& global_state() const { return global_state_; }
+  void set_global_state(StateVector state);
+  FlAlgorithm& algorithm() { return *algorithm_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  Client& client(int i) { return *clients_.at(i); }
+  int rounds_completed() const { return rounds_completed_; }
+  int64_t cumulative_upload_floats() const {
+    return cumulative_upload_floats_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<FlAlgorithm> algorithm_;
+  ServerConfig config_;
+  Rng rng_;
+  std::unique_ptr<Module> global_model_;  ///< used for evaluation
+  StateVector global_state_;
+  std::vector<StateSegment> layout_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Per-party label histograms (metadata for skew-aware sampling).
+  std::vector<std::vector<int64_t>> label_histograms_;
+  int rounds_completed_ = 0;
+  int64_t cumulative_upload_floats_ = 0;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_SERVER_H_

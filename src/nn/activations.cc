@@ -1,0 +1,31 @@
+#include "nn/activations.h"
+
+#include "util/check.h"
+
+namespace niid {
+
+Tensor ReLU::Forward(const Tensor& input) {
+  Tensor out = input;
+  mask_.assign(input.numel(), 0);
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (p[i] > 0.f) {
+      mask_[i] = 1;
+    } else {
+      p[i] = 0.f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.numel(), static_cast<int64_t>(mask_.size()));
+  Tensor grad_input = grad_output;
+  float* p = grad_input.data();
+  for (int64_t i = 0; i < grad_input.numel(); ++i) {
+    if (!mask_[i]) p[i] = 0.f;
+  }
+  return grad_input;
+}
+
+}  // namespace niid

@@ -1,0 +1,24 @@
+#ifndef NIID_NN_ACTIVATIONS_H_
+#define NIID_NN_ACTIVATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace niid {
+
+/// Rectified linear unit, elementwise; works on any tensor rank.
+class ReLU : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  std::vector<uint8_t> mask_;  ///< 1 where input > 0
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_ACTIVATIONS_H_

@@ -1,0 +1,166 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// Interprets input as [N, C, S]: S = H*W for rank-4, S = 1 for rank-2.
+struct NcsView {
+  int64_t n = 0, c = 0, s = 0;
+};
+
+NcsView MakeView(const Tensor& input, int64_t num_features) {
+  NcsView view;
+  if (input.rank() == 2) {
+    view = {input.dim(0), input.dim(1), 1};
+  } else {
+    NIID_CHECK_EQ(input.rank(), 4);
+    view = {input.dim(0), input.dim(1), input.dim(2) * input.dim(3)};
+  }
+  NIID_CHECK_EQ(view.c, num_features);
+  return view;
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(int64_t num_features, float momentum, float epsilon)
+    : num_features_(num_features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("bn.gamma", Tensor::Ones({num_features}), /*is_trainable=*/true),
+      beta_("bn.beta", Tensor::Zeros({num_features}), /*is_trainable=*/true),
+      running_mean_("bn.running_mean", Tensor::Zeros({num_features}),
+                    /*is_trainable=*/false),
+      running_var_("bn.running_var", Tensor::Ones({num_features}),
+                   /*is_trainable=*/false) {}
+
+Tensor BatchNorm::Forward(const Tensor& input) {
+  const NcsView v = MakeView(input, num_features_);
+  cached_shape_ = input.shape();
+  const int64_t count = v.n * v.s;
+  NIID_CHECK_GE(count, 1);
+
+  std::vector<float> mean(v.c), inv_std(v.c);
+  const float* src = input.data();
+
+  if (training_) {
+    for (int64_t c = 0; c < v.c; ++c) {
+      double sum = 0.0, sq_sum = 0.0;
+      for (int64_t img = 0; img < v.n; ++img) {
+        const float* plane = src + (img * v.c + c) * v.s;
+        for (int64_t s = 0; s < v.s; ++s) {
+          sum += plane[s];
+          sq_sum += static_cast<double>(plane[s]) * plane[s];
+        }
+      }
+      const double m = sum / count;
+      const double var = sq_sum / count - m * m;
+      mean[c] = static_cast<float>(m);
+      inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+      // PyTorch stores the unbiased variance in the running buffer.
+      const double unbiased =
+          count > 1 ? var * count / static_cast<double>(count - 1) : var;
+      running_mean_.value[c] = (1.f - momentum_) * running_mean_.value[c] +
+                               momentum_ * static_cast<float>(m);
+      running_var_.value[c] = (1.f - momentum_) * running_var_.value[c] +
+                              momentum_ * static_cast<float>(unbiased);
+    }
+  } else {
+    for (int64_t c = 0; c < v.c; ++c) {
+      mean[c] = running_mean_.value[c];
+      inv_std[c] =
+          1.f / std::sqrt(running_var_.value[c] + epsilon_);
+    }
+  }
+  batch_inv_std_ = inv_std;
+
+  Tensor out(input.shape());
+  cached_normalized_ = Tensor(input.shape());
+  float* x_hat = cached_normalized_.data();
+  float* dst = out.data();
+  const float* gamma = gamma_.value.data();
+  const float* beta = beta_.value.data();
+  for (int64_t img = 0; img < v.n; ++img) {
+    for (int64_t c = 0; c < v.c; ++c) {
+      const float* in_plane = src + (img * v.c + c) * v.s;
+      float* hat_plane = x_hat + (img * v.c + c) * v.s;
+      float* out_plane = dst + (img * v.c + c) * v.s;
+      const float mu = mean[c], is = inv_std[c], g = gamma[c], b = beta[c];
+      for (int64_t s = 0; s < v.s; ++s) {
+        const float h = (in_plane[s] - mu) * is;
+        hat_plane[s] = h;
+        out_plane[s] = g * h + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_output) {
+  NIID_CHECK(grad_output.shape() == cached_shape_);
+  const NcsView v = MakeView(grad_output, num_features_);
+  const int64_t count = v.n * v.s;
+
+  const float* dy = grad_output.data();
+  const float* x_hat = cached_normalized_.data();
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+  const float* gamma = gamma_.value.data();
+
+  // Per-channel reductions: sum(dy) and sum(dy * x_hat).
+  std::vector<double> sum_dy(v.c, 0.0), sum_dy_xhat(v.c, 0.0);
+  for (int64_t img = 0; img < v.n; ++img) {
+    for (int64_t c = 0; c < v.c; ++c) {
+      const float* dy_plane = dy + (img * v.c + c) * v.s;
+      const float* hat_plane = x_hat + (img * v.c + c) * v.s;
+      double s_dy = 0.0, s_dyh = 0.0;
+      for (int64_t s = 0; s < v.s; ++s) {
+        s_dy += dy_plane[s];
+        s_dyh += static_cast<double>(dy_plane[s]) * hat_plane[s];
+      }
+      sum_dy[c] += s_dy;
+      sum_dy_xhat[c] += s_dyh;
+    }
+  }
+  for (int64_t c = 0; c < v.c; ++c) {
+    dbeta[c] += static_cast<float>(sum_dy[c]);
+    dgamma[c] += static_cast<float>(sum_dy_xhat[c]);
+  }
+
+  Tensor grad_input(cached_shape_);
+  float* dx = grad_input.data();
+  if (training_) {
+    // dx = gamma * inv_std / M * (M*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+    const double inv_count = 1.0 / static_cast<double>(count);
+    for (int64_t img = 0; img < v.n; ++img) {
+      for (int64_t c = 0; c < v.c; ++c) {
+        const float* dy_plane = dy + (img * v.c + c) * v.s;
+        const float* hat_plane = x_hat + (img * v.c + c) * v.s;
+        float* dx_plane = dx + (img * v.c + c) * v.s;
+        const float coeff = gamma[c] * batch_inv_std_[c];
+        const double mean_dy = sum_dy[c] * inv_count;
+        const double mean_dy_xhat = sum_dy_xhat[c] * inv_count;
+        for (int64_t s = 0; s < v.s; ++s) {
+          dx_plane[s] = static_cast<float>(
+              coeff * (dy_plane[s] - mean_dy - hat_plane[s] * mean_dy_xhat));
+        }
+      }
+    }
+  } else {
+    // Eval mode: running stats are constants, so dx = dy * gamma * inv_std.
+    for (int64_t img = 0; img < v.n; ++img) {
+      for (int64_t c = 0; c < v.c; ++c) {
+        const float* dy_plane = dy + (img * v.c + c) * v.s;
+        float* dx_plane = dx + (img * v.c + c) * v.s;
+        const float coeff = gamma[c] * batch_inv_std_[c];
+        for (int64_t s = 0; s < v.s; ++s) dx_plane[s] = coeff * dy_plane[s];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace niid

@@ -1,0 +1,52 @@
+#ifndef NIID_NN_BATCHNORM_H_
+#define NIID_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace niid {
+
+/// Batch normalization over the feature dimension.
+///
+/// Accepts rank-2 input [N, F] (per-feature, BatchNorm1d) or rank-4 input
+/// [N, C, H, W] (per-channel, BatchNorm2d). gamma/beta are trainable;
+/// running_mean/running_var are non-trainable buffers. In the federated
+/// setting those buffers are part of the communicated state, and their naive
+/// averaging across non-IID parties is what the paper's Finding 7 studies.
+class BatchNorm : public Module {
+ public:
+  /// `num_features` is F (rank-2) or C (rank-4). `momentum` follows the
+  /// PyTorch convention: running = (1 - momentum) * running + momentum * batch.
+  explicit BatchNorm(int64_t num_features, float momentum = 0.1f,
+                     float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override {
+    return {&gamma_, &beta_, &running_mean_, &running_var_};
+  }
+  std::string Name() const override { return "BatchNorm"; }
+
+  const Tensor& running_mean() const { return running_mean_.value; }
+  const Tensor& running_var() const { return running_var_.value; }
+
+ private:
+  int64_t num_features_;
+  float momentum_;
+  float epsilon_;
+  Parameter gamma_;
+  Parameter beta_;
+  Parameter running_mean_;  ///< buffer
+  Parameter running_var_;   ///< buffer
+
+  // Forward caches (training mode).
+  Tensor cached_normalized_;        // x_hat
+  std::vector<float> batch_inv_std_;
+  std::vector<int64_t> cached_shape_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_BATCHNORM_H_

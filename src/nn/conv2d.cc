@@ -1,0 +1,118 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace niid {
+namespace {
+
+// He-uniform bound for ReLU networks: Var(W) = 2 / fan_in. The weaker
+// 1/sqrt(fan_in) bound stalls deep stacks like VGG-9 (activations shrink
+// ~0.4x per conv+ReLU, so gradients vanish for many steps).
+float KaimingBound(int fan_in) {
+  return std::sqrt(6.f / static_cast<float>(fan_in));
+}
+
+// Torch-style bias bound.
+float BiasBound(int fan_in) {
+  return 1.f / std::sqrt(static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
+               int stride, int padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_("conv.weight",
+              Tensor::Uniform(
+                  {out_channels,
+                   static_cast<int64_t>(in_channels) * kernel * kernel},
+                  rng, -KaimingBound(in_channels * kernel * kernel),
+                  KaimingBound(in_channels * kernel * kernel)),
+              /*is_trainable=*/true),
+      bias_("conv.bias",
+            Tensor::Uniform({out_channels}, rng,
+                            -BiasBound(in_channels * kernel * kernel),
+                            BiasBound(in_channels * kernel * kernel)),
+            /*is_trainable=*/true) {
+  NIID_CHECK_GE(stride, 1);
+  NIID_CHECK_GE(padding, 0);
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  NIID_CHECK_EQ(input.rank(), 4);
+  NIID_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t n = input.dim(0);
+  const int h = static_cast<int>(input.dim(2));
+  const int w = static_cast<int>(input.dim(3));
+  const int out_h = ConvOutputSize(h, kernel_, stride_, padding_);
+  const int out_w = ConvOutputSize(w, kernel_, stride_, padding_);
+  cached_input_shape_ = input.shape();
+
+  Im2Col(input, kernel_, stride_, padding_, cached_columns_);
+  // columns: [n*oh*ow, c*k*k]; result: [n*oh*ow, out_c].
+  Tensor flat_out;
+  MatmulTransB(cached_columns_, weight_.value, flat_out);
+  AddRowBias(flat_out, bias_.value);
+
+  // Scatter rows (n, oy, ox) x out_c into NCHW.
+  Tensor out({n, out_channels_, out_h, out_w});
+  const float* src = flat_out.data();
+  float* dst = out.data();
+  const int64_t spatial = static_cast<int64_t>(out_h) * out_w;
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t s = 0; s < spatial; ++s) {
+      const float* row = src + (img * spatial + s) * out_channels_;
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        dst[(img * out_channels_ + c) * spatial + s] = row[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.rank(), 4);
+  NIID_CHECK_EQ(grad_output.dim(1), out_channels_);
+  const int64_t n = grad_output.dim(0);
+  const int64_t spatial = grad_output.dim(2) * grad_output.dim(3);
+
+  // Gather NCHW grads back into the [n*oh*ow, out_c] row layout.
+  Tensor flat_grad({n * spatial, out_channels_});
+  const float* src = grad_output.data();
+  float* dst = flat_grad.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t s = 0; s < spatial; ++s) {
+      float* row = dst + (img * spatial + s) * out_channels_;
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        row[c] = src[(img * out_channels_ + c) * spatial + s];
+      }
+    }
+  }
+
+  // dW += G^T columns; db += column sums of G.
+  Tensor grad_w;
+  MatmulTransA(flat_grad, cached_columns_, grad_w);
+  weight_.grad.Add(grad_w);
+  Tensor grad_b;
+  SumRows(flat_grad, grad_b);
+  bias_.grad.Add(grad_b);
+
+  // dColumns = G W; dInput = col2im(dColumns).
+  Tensor grad_columns;
+  Matmul(flat_grad, weight_.value, grad_columns);
+  Tensor grad_input;
+  Col2Im(grad_columns, static_cast<int>(cached_input_shape_[0]),
+         static_cast<int>(cached_input_shape_[1]),
+         static_cast<int>(cached_input_shape_[2]),
+         static_cast<int>(cached_input_shape_[3]), kernel_, stride_, padding_,
+         grad_input);
+  return grad_input;
+}
+
+}  // namespace niid

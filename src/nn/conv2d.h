@@ -1,0 +1,43 @@
+#ifndef NIID_NN_CONV2D_H_
+#define NIID_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// 2-D convolution over NCHW input with a square kernel, implemented as
+/// im2col + matmul. Weight layout: [out_channels, in_channels * k * k].
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
+         int stride = 1, int padding = 0);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv2d"; }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  Parameter weight_;
+  Parameter bias_;
+  // Forward caches for the backward pass.
+  Tensor cached_columns_;           // im2col of the input
+  std::vector<int64_t> cached_input_shape_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_CONV2D_H_

@@ -1,0 +1,48 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace niid {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight",
+              Tensor::Uniform({out_features, in_features}, rng,
+                              -1.f / std::sqrt(static_cast<float>(in_features)),
+                              1.f / std::sqrt(static_cast<float>(in_features))),
+              /*is_trainable=*/true),
+      bias_("linear.bias",
+            Tensor::Uniform({out_features}, rng,
+                            -1.f / std::sqrt(static_cast<float>(in_features)),
+                            1.f / std::sqrt(static_cast<float>(in_features))),
+            /*is_trainable=*/true) {}
+
+Tensor Linear::Forward(const Tensor& input) {
+  NIID_CHECK_EQ(input.rank(), 2);
+  NIID_CHECK_EQ(input.dim(1), in_features_);
+  cached_input_ = input;
+  Tensor out;
+  MatmulTransB(input, weight_.value, out);
+  AddRowBias(out, bias_.value);
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.rank(), 2);
+  NIID_CHECK_EQ(grad_output.dim(1), out_features_);
+  // dW += G^T X; db += column-sums of G; dX = G W.
+  Tensor grad_w;
+  MatmulTransA(grad_output, cached_input_, grad_w);
+  weight_.grad.Add(grad_w);
+  Tensor grad_b;
+  SumRows(grad_output, grad_b);
+  bias_.grad.Add(grad_b);
+  Tensor grad_input;
+  Matmul(grad_output, weight_.value, grad_input);
+  return grad_input;
+}
+
+}  // namespace niid

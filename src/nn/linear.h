@@ -1,0 +1,36 @@
+#ifndef NIID_NN_LINEAR_H_
+#define NIID_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Fully connected layer: y = x W^T + b with x: [N, in], W: [out, in].
+/// Weights use Kaiming-uniform initialization (like torch.nn.Linear).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Linear"; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_LINEAR_H_

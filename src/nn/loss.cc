@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace niid {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  NIID_CHECK_EQ(logits.rank(), 2);
+  const int64_t n = logits.dim(0);
+  const int64_t classes = logits.dim(1);
+  NIID_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  NIID_CHECK_GE(n, 1);
+
+  LossResult result;
+  result.grad_logits = logits;  // copy, then convert to probabilities
+  SoftmaxRows(result.grad_logits);
+
+  double total_loss = 0.0;
+  float* probs = result.grad_logits.data();
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int label = labels[i];
+    NIID_DCHECK_LT(label, classes);
+    float* row = probs + i * classes;
+    // top-1 prediction
+    int best = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    if (best == label) ++result.correct;
+    // loss and gradient: dL/dz = (p - onehot) / N
+    const float p_label = row[label];
+    total_loss += -std::log(std::max(p_label, 1e-12f));
+    row[label] -= 1.f;
+    for (int64_t j = 0; j < classes; ++j) row[j] *= inv_n;
+  }
+  result.loss = total_loss / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace niid

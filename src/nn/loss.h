@@ -1,0 +1,24 @@
+#ifndef NIID_NN_LOSS_H_
+#define NIID_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace niid {
+
+/// Result of a loss evaluation.
+struct LossResult {
+  double loss = 0.0;        ///< mean loss over the batch
+  Tensor grad_logits;       ///< dL/dlogits, already divided by batch size
+  int correct = 0;          ///< number of top-1 correct predictions
+};
+
+/// Mean softmax cross-entropy over a batch.
+/// `logits`: [N, num_classes]; `labels`: N class ids in [0, num_classes).
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+}  // namespace niid
+
+#endif  // NIID_NN_LOSS_H_

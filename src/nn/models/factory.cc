@@ -1,0 +1,24 @@
+#include "nn/models/factory.h"
+
+#include "nn/models/resnet.h"
+#include "nn/models/simple_cnn.h"
+#include "nn/models/tabular_mlp.h"
+#include "nn/models/vgg9.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::unique_ptr<Module> CreateModel(const ModelSpec& spec, Rng& rng) {
+  if (spec.name == "simple-cnn") return BuildSimpleCnn(spec, rng);
+  if (spec.name == "mlp") return BuildTabularMlp(spec, rng);
+  if (spec.name == "vgg9") return BuildVgg9(spec, rng);
+  if (spec.name == "resnet") return BuildResNet(spec, rng);
+  NIID_CHECK(false) << "unknown model name: " << spec.name;
+  return nullptr;
+}
+
+ModelFactory MakeModelFactory(const ModelSpec& spec) {
+  return [spec](Rng& rng) { return CreateModel(spec, rng); };
+}
+
+}  // namespace niid

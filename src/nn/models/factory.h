@@ -1,0 +1,40 @@
+#ifndef NIID_NN_MODELS_FACTORY_H_
+#define NIID_NN_MODELS_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Describes the model to instantiate and the data it must fit.
+struct ModelSpec {
+  /// One of: "simple-cnn", "mlp", "vgg9", "resnet".
+  std::string name = "simple-cnn";
+  /// Image models ([C, H, W] inputs).
+  int input_channels = 1;
+  int input_height = 28;
+  int input_width = 28;
+  /// Tabular models ([N, F] inputs).
+  int input_features = 0;
+  int num_classes = 10;
+  /// ResNet depth knob: depth = 6 * blocks_per_stage + 2.
+  int resnet_blocks_per_stage = 1;
+};
+
+/// Instantiates the model described by `spec`, drawing initial weights from
+/// `rng`. Aborts on an unknown model name (programming error).
+std::unique_ptr<Module> CreateModel(const ModelSpec& spec, Rng& rng);
+
+/// A reusable constructor for per-client model instances.
+using ModelFactory = std::function<std::unique_ptr<Module>(Rng&)>;
+
+/// Binds `spec` into a factory closure.
+ModelFactory MakeModelFactory(const ModelSpec& spec);
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODELS_FACTORY_H_

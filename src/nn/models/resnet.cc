@@ -1,0 +1,135 @@
+#include "nn/models/resnet.h"
+
+#include "nn/sequential.h"
+#include "util/check.h"
+
+namespace niid {
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
+                             Rng& rng)
+    : has_projection_(stride != 1 || in_channels != out_channels),
+      conv1_(in_channels, out_channels, /*kernel=*/3, rng, stride,
+             /*padding=*/1),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, rng, /*stride=*/1,
+             /*padding=*/1),
+      bn2_(out_channels) {
+  if (has_projection_) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels,
+                                          /*kernel=*/1, rng, stride,
+                                          /*padding=*/0);
+    proj_bn_ = std::make_unique<BatchNorm>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::Forward(const Tensor& input) {
+  Tensor main = conv1_.Forward(input);
+  main = bn1_.Forward(main);
+  main = relu1_.Forward(main);
+  main = conv2_.Forward(main);
+  main = bn2_.Forward(main);
+
+  Tensor shortcut;
+  if (has_projection_) {
+    shortcut = proj_conv_->Forward(input);
+    shortcut = proj_bn_->Forward(shortcut);
+  } else {
+    shortcut = input;
+  }
+  NIID_CHECK_EQ(main.numel(), shortcut.numel());
+  main.Add(shortcut);
+
+  // Output ReLU (inline so the mask is owned by the block).
+  out_relu_mask_.assign(main.numel(), 0);
+  float* p = main.data();
+  for (int64_t i = 0; i < main.numel(); ++i) {
+    if (p[i] > 0.f) {
+      out_relu_mask_[i] = 1;
+    } else {
+      p[i] = 0.f;
+    }
+  }
+  return main;
+}
+
+Tensor ResidualBlock::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.numel(),
+                static_cast<int64_t>(out_relu_mask_.size()));
+  Tensor grad_sum = grad_output;
+  float* p = grad_sum.data();
+  for (int64_t i = 0; i < grad_sum.numel(); ++i) {
+    if (!out_relu_mask_[i]) p[i] = 0.f;
+  }
+
+  // Main branch.
+  Tensor grad_main = bn2_.Backward(grad_sum);
+  grad_main = conv2_.Backward(grad_main);
+  grad_main = relu1_.Backward(grad_main);
+  grad_main = bn1_.Backward(grad_main);
+  grad_main = conv1_.Backward(grad_main);
+
+  // Shortcut branch.
+  if (has_projection_) {
+    Tensor grad_short = proj_bn_->Backward(grad_sum);
+    grad_short = proj_conv_->Backward(grad_short);
+    grad_main.Add(grad_short);
+  } else {
+    grad_main.Add(grad_sum);
+  }
+  return grad_main;
+}
+
+std::vector<Parameter*> ResidualBlock::Parameters() {
+  std::vector<Parameter*> params;
+  auto append = [&params](std::vector<Parameter*> layer_params) {
+    params.insert(params.end(), layer_params.begin(), layer_params.end());
+  };
+  append(conv1_.Parameters());
+  append(bn1_.Parameters());
+  append(conv2_.Parameters());
+  append(bn2_.Parameters());
+  if (has_projection_) {
+    append(proj_conv_->Parameters());
+    append(proj_bn_->Parameters());
+  }
+  return params;
+}
+
+void ResidualBlock::SetTraining(bool training) {
+  training_ = training;
+  conv1_.SetTraining(training);
+  bn1_.SetTraining(training);
+  relu1_.SetTraining(training);
+  conv2_.SetTraining(training);
+  bn2_.SetTraining(training);
+  if (has_projection_) {
+    proj_conv_->SetTraining(training);
+    proj_bn_->SetTraining(training);
+  }
+}
+
+std::unique_ptr<Module> BuildResNet(const ModelSpec& spec, Rng& rng) {
+  NIID_CHECK_GE(spec.resnet_blocks_per_stage, 1);
+  auto model = std::make_unique<Sequential>();
+  // Stem.
+  model->Emplace<Conv2d>(spec.input_channels, 16, /*kernel=*/3, rng,
+                         /*stride=*/1, /*padding=*/1);
+  model->Emplace<BatchNorm>(16);
+  model->Emplace<ReLU>();
+  // Three stages of widths 16/32/64.
+  int in_c = 16;
+  const int widths[3] = {16, 32, 64};
+  for (int stage = 0; stage < 3; ++stage) {
+    const int out_c = widths[stage];
+    for (int block = 0; block < spec.resnet_blocks_per_stage; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      model->Emplace<ResidualBlock>(in_c, out_c, stride, rng);
+      in_c = out_c;
+    }
+  }
+  model->Emplace<GlobalAvgPool>();
+  model->Emplace<Linear>(64, spec.num_classes, rng);
+  return model;
+}
+
+}  // namespace niid

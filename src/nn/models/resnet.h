@@ -1,0 +1,57 @@
+#ifndef NIID_NN_MODELS_RESNET_H_
+#define NIID_NN_MODELS_RESNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/models/factory.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+namespace niid {
+
+/// A CIFAR-style residual BasicBlock:
+///   y = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+/// with a 1x1 strided Conv+BN shortcut when the shape changes.
+///
+/// This carries the BatchNorm layers whose running-statistics aggregation the
+/// paper's Finding 7 investigates.
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(int in_channels, int out_channels, int stride, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  void SetTraining(bool training) override;
+  std::string Name() const override { return "ResidualBlock"; }
+
+ private:
+  bool has_projection_;
+  Conv2d conv1_;
+  BatchNorm bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;
+  std::unique_ptr<BatchNorm> proj_bn_;
+  std::vector<uint8_t> out_relu_mask_;
+};
+
+/// Builds a CIFAR-style ResNet of depth 6 * blocks_per_stage + 2: a 3x3 stem
+/// (16 channels) + BN + ReLU, three residual stages of width 16/32/64 (the
+/// latter two strided), global average pooling and a linear head.
+///
+/// SUBSTITUTION NOTE: the paper trains ResNet-50; its Finding 7 (BatchNorm
+/// averaging instability) depends only on the presence of BN layers, so a
+/// configurable-depth BN ResNet preserves the studied mechanism at CPU scale.
+std::unique_ptr<Module> BuildResNet(const ModelSpec& spec, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODELS_RESNET_H_

@@ -1,0 +1,39 @@
+#include "nn/models/simple_cnn.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::unique_ptr<Sequential> BuildSimpleCnn(const ModelSpec& spec, Rng& rng) {
+  NIID_CHECK_GE(spec.input_height, 12)
+      << "simple-cnn needs at least 12x12 inputs";
+  auto model = std::make_unique<Sequential>();
+  model->Emplace<Conv2d>(spec.input_channels, 6, /*kernel=*/5, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<MaxPool2d>(2);
+  model->Emplace<Conv2d>(6, 16, /*kernel=*/5, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<MaxPool2d>(2);
+  model->Emplace<Flatten>();
+
+  // Spatial size after conv5 -> pool2 -> conv5 -> pool2 (no padding).
+  const int h1 = ConvOutputSize(spec.input_height, 5, 1, 0) / 2;
+  const int h2 = ConvOutputSize(h1, 5, 1, 0) / 2;
+  const int w1 = ConvOutputSize(spec.input_width, 5, 1, 0) / 2;
+  const int w2 = ConvOutputSize(w1, 5, 1, 0) / 2;
+  const int64_t flat = static_cast<int64_t>(16) * h2 * w2;
+
+  model->Emplace<Linear>(flat, 120, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(120, 84, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(84, spec.num_classes, rng);
+  return model;
+}
+
+}  // namespace niid

@@ -1,0 +1,18 @@
+#ifndef NIID_NN_MODELS_SIMPLE_CNN_H_
+#define NIID_NN_MODELS_SIMPLE_CNN_H_
+
+#include <memory>
+
+#include "nn/models/factory.h"
+#include "nn/sequential.h"
+
+namespace niid {
+
+/// The paper's CNN for image datasets (Section 5): two 5x5 convolutions
+/// (6 and 16 channels) each followed by 2x2 max pooling, then fully connected
+/// layers of 120 and 84 units with ReLU, then the classifier head.
+std::unique_ptr<Sequential> BuildSimpleCnn(const ModelSpec& spec, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODELS_SIMPLE_CNN_H_

@@ -1,0 +1,22 @@
+#include "nn/models/tabular_mlp.h"
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::unique_ptr<Sequential> BuildTabularMlp(const ModelSpec& spec, Rng& rng) {
+  NIID_CHECK_GT(spec.input_features, 0);
+  auto model = std::make_unique<Sequential>();
+  model->Emplace<Linear>(spec.input_features, 32, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(32, 16, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(16, 8, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(8, spec.num_classes, rng);
+  return model;
+}
+
+}  // namespace niid

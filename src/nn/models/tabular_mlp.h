@@ -1,0 +1,17 @@
+#ifndef NIID_NN_MODELS_TABULAR_MLP_H_
+#define NIID_NN_MODELS_TABULAR_MLP_H_
+
+#include <memory>
+
+#include "nn/models/factory.h"
+#include "nn/sequential.h"
+
+namespace niid {
+
+/// The paper's MLP for tabular datasets: three hidden layers of 32, 16 and 8
+/// units with ReLU activations, then the classifier head.
+std::unique_ptr<Sequential> BuildTabularMlp(const ModelSpec& spec, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODELS_TABULAR_MLP_H_

@@ -1,0 +1,41 @@
+#include "nn/models/vgg9.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::unique_ptr<Sequential> BuildVgg9(const ModelSpec& spec, Rng& rng) {
+  NIID_CHECK_GE(spec.input_height, 16) << "vgg9 needs at least 16x16 inputs";
+  auto model = std::make_unique<Sequential>();
+  int h = spec.input_height;
+  int w = spec.input_width;
+  // Feature extractor: config [32, M, 64, M, 128, 128, M, 256, 256, M].
+  int in_c = spec.input_channels;
+  const int config[][2] = {{32, 1}, {64, 1}, {128, 0}, {128, 1},
+                           {256, 0}, {256, 1}};
+  for (const auto& [out_c, pool] : config) {
+    model->Emplace<Conv2d>(in_c, out_c, /*kernel=*/3, rng, /*stride=*/1,
+                           /*padding=*/1);
+    model->Emplace<ReLU>();
+    in_c = out_c;
+    if (pool) {
+      model->Emplace<MaxPool2d>(2);
+      h /= 2;
+      w /= 2;
+    }
+  }
+  model->Emplace<Flatten>();
+  const int64_t flat = static_cast<int64_t>(in_c) * h * w;
+  model->Emplace<Linear>(flat, 512, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(512, 512, rng);
+  model->Emplace<ReLU>();
+  model->Emplace<Linear>(512, spec.num_classes, rng);
+  return model;
+}
+
+}  // namespace niid

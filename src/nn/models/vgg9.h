@@ -1,0 +1,19 @@
+#ifndef NIID_NN_MODELS_VGG9_H_
+#define NIID_NN_MODELS_VGG9_H_
+
+#include <memory>
+
+#include "nn/models/factory.h"
+#include "nn/sequential.h"
+
+namespace niid {
+
+/// VGG-9 (Section 5.5): nine weighted layers — six 3x3 convolutions
+/// (32, 64, 128, 128, 256, 256 channels) interleaved with max pooling, then
+/// two 512-unit fully connected layers and the classifier head. No batch
+/// normalization, which is exactly why the paper contrasts it with ResNet.
+std::unique_ptr<Sequential> BuildVgg9(const ModelSpec& spec, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODELS_VGG9_H_

@@ -1,0 +1,3 @@
+#include "nn/module.h"
+
+// Module is header-only today; this file anchors the vtable.

@@ -1,0 +1,62 @@
+#ifndef NIID_NN_MODULE_H_
+#define NIID_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace niid {
+
+/// One learnable tensor (or non-trainable buffer) of a module.
+///
+/// Buffers (trainable == false) hold state such as BatchNorm running
+/// statistics. They carry no gradient but ARE part of the model state that
+/// federated aggregation exchanges — the paper's Finding 7 is precisely about
+/// the effect of naively averaging these buffers across non-IID parties.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;  ///< Same shape as value; meaningless for buffers.
+  bool trainable = true;
+
+  Parameter(std::string n, Tensor v, bool is_trainable = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(Tensor::Zeros(value.shape())),
+        trainable(is_trainable) {}
+};
+
+/// Base class for every layer and model. A Module is a differentiable
+/// function with internal parameters; Forward caches whatever Backward needs,
+/// so the usage protocol is strictly: Forward, then at most one Backward.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output for `input`, caching activations for Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients (into
+  /// Parameter::grad) and returns dL/d(input). Must follow a Forward call.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// All parameters and buffers of this module, in a deterministic order.
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Switches between training mode (BatchNorm uses batch statistics and
+  /// updates running stats) and evaluation mode.
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Human-readable layer name for debugging and reports.
+  virtual std::string Name() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_MODULE_H_

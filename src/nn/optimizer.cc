@@ -1,0 +1,36 @@
+#include "nn/optimizer.h"
+
+namespace niid {
+
+SgdOptimizer::SgdOptimizer(Module& module, float learning_rate, float momentum,
+                           float weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  for (Parameter* p : module.Parameters()) {
+    if (!p->trainable) continue;
+    params_.push_back(p);
+    velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    const int64_t n = p->value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= learning_rate_ * v[j];
+    }
+  }
+}
+
+void SgdOptimizer::ResetMomentum() {
+  for (Tensor& v : velocity_) v.Fill(0.f);
+}
+
+}  // namespace niid

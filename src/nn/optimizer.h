@@ -1,0 +1,43 @@
+#ifndef NIID_NN_OPTIMIZER_H_
+#define NIID_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace niid {
+
+/// SGD with momentum and L2 weight decay, matching torch.optim.SGD:
+///   g  = grad + weight_decay * w
+///   v  = momentum * v + g
+///   w -= lr * v
+/// The paper trains every model with SGD(lr, momentum = 0.9).
+class SgdOptimizer {
+ public:
+  /// Binds to `module`'s trainable parameters. The module must outlive the
+  /// optimizer, and its parameter list must not change.
+  SgdOptimizer(Module& module, float learning_rate, float momentum = 0.9f,
+               float weight_decay = 0.f);
+
+  /// Applies one update using the gradients currently stored in the module.
+  void Step();
+
+  /// Clears the momentum buffers (used when a client restarts from a freshly
+  /// received global model each round).
+  void ResetMomentum();
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_OPTIMIZER_H_

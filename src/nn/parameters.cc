@@ -1,0 +1,110 @@
+#include "nn/parameters.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+
+std::vector<StateSegment> StateLayout(Module& module) {
+  std::vector<StateSegment> layout;
+  int64_t offset = 0;
+  for (Parameter* p : module.Parameters()) {
+    layout.push_back({offset, p->value.numel(), p->trainable});
+    offset += p->value.numel();
+  }
+  return layout;
+}
+
+int64_t StateSize(Module& module) {
+  int64_t size = 0;
+  for (Parameter* p : module.Parameters()) size += p->value.numel();
+  return size;
+}
+
+int64_t TrainableSize(Module& module) {
+  int64_t size = 0;
+  for (Parameter* p : module.Parameters()) {
+    if (p->trainable) size += p->value.numel();
+  }
+  return size;
+}
+
+StateVector FlattenState(Module& module) {
+  StateVector state;
+  state.reserve(StateSize(module));
+  for (Parameter* p : module.Parameters()) {
+    const float* data = p->value.data();
+    state.insert(state.end(), data, data + p->value.numel());
+  }
+  return state;
+}
+
+void LoadState(Module& module, const StateVector& state) {
+  int64_t offset = 0;
+  for (Parameter* p : module.Parameters()) {
+    const int64_t n = p->value.numel();
+    NIID_CHECK_LE(offset + n, static_cast<int64_t>(state.size()));
+    float* dst = p->value.data();
+    for (int64_t i = 0; i < n; ++i) dst[i] = state[offset + i];
+    offset += n;
+  }
+  NIID_CHECK_EQ(offset, static_cast<int64_t>(state.size()))
+      << "state vector size mismatch";
+}
+
+StateVector GradState(Module& module) {
+  StateVector grads;
+  grads.reserve(StateSize(module));
+  for (Parameter* p : module.Parameters()) {
+    if (p->trainable) {
+      const float* data = p->grad.data();
+      grads.insert(grads.end(), data, data + p->grad.numel());
+    } else {
+      grads.insert(grads.end(), p->value.numel(), 0.f);
+    }
+  }
+  return grads;
+}
+
+void AxpyToGrads(Module& module, float alpha, const StateVector& vec) {
+  int64_t offset = 0;
+  for (Parameter* p : module.Parameters()) {
+    const int64_t n = p->value.numel();
+    NIID_CHECK_LE(offset + n, static_cast<int64_t>(vec.size()));
+    if (p->trainable) {
+      float* grad = p->grad.data();
+      for (int64_t i = 0; i < n; ++i) grad[i] += alpha * vec[offset + i];
+    }
+    offset += n;
+  }
+  NIID_CHECK_EQ(offset, static_cast<int64_t>(vec.size()));
+}
+
+void ZeroGrads(Module& module) {
+  for (Parameter* p : module.Parameters()) p->grad.Fill(0.f);
+}
+
+void Axpy(StateVector& a, float alpha, const StateVector& b) {
+  NIID_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+void Scale(StateVector& a, float alpha) {
+  for (float& v : a) v *= alpha;
+}
+
+StateVector Subtract(const StateVector& a, const StateVector& b) {
+  NIID_CHECK_EQ(a.size(), b.size());
+  StateVector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double Norm(const StateVector& a) {
+  double sum = 0.0;
+  for (float v : a) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace niid

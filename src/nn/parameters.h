@@ -1,0 +1,61 @@
+#ifndef NIID_NN_PARAMETERS_H_
+#define NIID_NN_PARAMETERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace niid {
+
+/// Describes one contiguous segment of the flattened model state.
+struct StateSegment {
+  int64_t offset = 0;
+  int64_t size = 0;
+  bool trainable = true;
+};
+
+/// Flat view of a model's full state (parameters + buffers) in parameter
+/// order. This is the unit of communication in the federated simulation: the
+/// server ships/receives exactly this vector.
+using StateVector = std::vector<float>;
+
+/// Returns the segment layout of `module`'s state (deterministic order).
+std::vector<StateSegment> StateLayout(Module& module);
+
+/// Total number of floats in the model state (parameters + buffers).
+int64_t StateSize(Module& module);
+/// Number of trainable floats only.
+int64_t TrainableSize(Module& module);
+
+/// Copies all parameters and buffers into one flat vector.
+StateVector FlattenState(Module& module);
+
+/// Loads a flat vector produced by FlattenState back into the module.
+void LoadState(Module& module, const StateVector& state);
+
+/// Returns the gradient as a state-sized vector: trainable positions hold
+/// Parameter::grad, buffer positions hold zero.
+StateVector GradState(Module& module);
+
+/// For every trainable segment: Parameter::grad += alpha * vec[segment].
+/// Used by FedProx (prox-term gradient) and SCAFFOLD (control variates).
+void AxpyToGrads(Module& module, float alpha, const StateVector& vec);
+
+/// Zeroes all parameter gradients.
+void ZeroGrads(Module& module);
+
+/// element-wise helpers on state vectors ------------------------------------
+
+/// a += alpha * b (sizes must match).
+void Axpy(StateVector& a, float alpha, const StateVector& b);
+/// a *= alpha.
+void Scale(StateVector& a, float alpha);
+/// Returns a - b.
+StateVector Subtract(const StateVector& a, const StateVector& b);
+/// L2 norm.
+double Norm(const StateVector& a);
+
+}  // namespace niid
+
+#endif  // NIID_NN_PARAMETERS_H_

@@ -1,0 +1,116 @@
+#include "nn/pooling.h"
+
+#include "tensor/ops.h"
+
+namespace niid {
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  NIID_CHECK_GE(kernel, 1);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input) {
+  NIID_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1);
+  const int h = static_cast<int>(input.dim(2));
+  const int w = static_cast<int>(input.dim(3));
+  const int out_h = ConvOutputSize(h, kernel_, stride_, 0);
+  const int out_w = ConvOutputSize(w, kernel_, stride_, 0);
+  NIID_CHECK_GT(out_h, 0);
+  NIID_CHECK_GT(out_w, 0);
+  cached_input_shape_ = input.shape();
+
+  Tensor out({n, c, out_h, out_w});
+  argmax_.assign(out.numel(), 0);
+  const float* src = input.data();
+  float* dst = out.data();
+  int64_t out_idx = 0;
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = src + (img * c + ch) * h * w;
+      const int64_t plane_offset = (img * c + ch) * h * w;
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          const int y0 = oy * stride_;
+          const int x0 = ox * stride_;
+          float best = plane[y0 * w + x0];
+          int64_t best_idx = y0 * w + x0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int y = y0 + ky;
+            if (y >= h) break;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int x = x0 + kx;
+              if (x >= w) break;
+              const float v = plane[y * w + x];
+              if (v > best) {
+                best = v;
+                best_idx = y * w + x;
+              }
+            }
+          }
+          dst[out_idx] = best;
+          argmax_[out_idx] = plane_offset + best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.numel(), static_cast<int64_t>(argmax_.size()));
+  Tensor grad_input(cached_input_shape_);
+  float* dst = grad_input.data();
+  const float* src = grad_output.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    dst[argmax_[i]] += src[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& input) {
+  NIID_CHECK_EQ(input.rank(), 4);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c = input.dim(1);
+  const int64_t spatial = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  const float* src = input.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    double sum = 0.0;
+    const float* plane = src + i * spatial;
+    for (int64_t s = 0; s < spatial; ++s) sum += plane[s];
+    dst[i] = static_cast<float>(sum / static_cast<double>(spatial));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+  NIID_CHECK_EQ(grad_output.rank(), 2);
+  Tensor grad_input(cached_input_shape_);
+  const int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
+  const int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
+  const float scale = 1.f / static_cast<float>(spatial);
+  const float* src = grad_output.data();
+  float* dst = grad_input.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float g = src[i] * scale;
+    float* plane = dst + i * spatial;
+    for (int64_t s = 0; s < spatial; ++s) plane[s] = g;
+  }
+  return grad_input;
+}
+
+Tensor Flatten::Forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  NIID_CHECK_GE(input.rank(), 2);
+  const int64_t n = input.dim(0);
+  return input.Reshape({n, input.numel() / n});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshape(cached_input_shape_);
+}
+
+}  // namespace niid

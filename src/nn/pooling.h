@@ -1,0 +1,51 @@
+#ifndef NIID_NN_POOLING_H_
+#define NIID_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace niid {
+
+/// Max pooling over NCHW input with a square window and equal stride.
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int kernel, int stride = -1);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "MaxPool2d"; }
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<int64_t> cached_input_shape_;
+  std::vector<int64_t> argmax_;  ///< flat input index of each output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C] (used by the ResNet head).
+class GlobalAvgPool : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int64_t> cached_input_shape_;
+};
+
+/// Reshapes [N, C, H, W] to [N, C*H*W] (backward restores the shape).
+class Flatten : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> cached_input_shape_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_POOLING_H_

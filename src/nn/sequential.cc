@@ -1,0 +1,34 @@
+#include "nn/sequential.h"
+
+namespace niid {
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor current = input;
+  for (auto& layer : layers_) {
+    current = layer->Forward(current);
+  }
+  return current;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->Backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::SetTraining(bool training) {
+  training_ = training;
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+}  // namespace niid

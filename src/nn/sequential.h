@@ -1,0 +1,47 @@
+#ifndef NIID_NN_SEQUENTIAL_H_
+#define NIID_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace niid {
+
+/// Chains modules: Forward applies them in order, Backward in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (takes ownership) and returns a raw observer pointer.
+  template <typename M, typename... Args>
+  M* Emplace(Args&&... args) {
+    auto layer = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  /// Appends an already-constructed layer.
+  void Append(std::unique_ptr<Module> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  void SetTraining(bool training) override;
+  std::string Name() const override { return "Sequential"; }
+
+  int size() const { return static_cast<int>(layers_.size()); }
+  Module* layer(int i) { return layers_.at(i).get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_NN_SEQUENTIAL_H_

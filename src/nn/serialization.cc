@@ -1,0 +1,96 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace niid {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'M', 'D', 'L', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveModel(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::vector<Parameter*> params = module.Parameters();
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    WritePod(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WritePod(out, static_cast<uint8_t>(p->trainable ? 1 : 0));
+    WritePod(out, static_cast<uint32_t>(p->value.rank()));
+    for (int d = 0; d < p->value.rank(); ++d) {
+      WritePod(out, static_cast<int64_t>(p->value.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  out.flush();
+  if (!out.good()) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadModel(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, count)) return Status::DataLoss("truncated header");
+  const std::vector<Parameter*> params = module.Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", model has " + std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    uint32_t name_length = 0;
+    if (!ReadPod(in, name_length)) return Status::DataLoss("truncated name");
+    std::string name(name_length, '\0');
+    in.read(name.data(), name_length);
+    if (!in.good()) return Status::DataLoss("truncated name body");
+    if (name != p->name) {
+      return Status::InvalidArgument("parameter name mismatch: file has '" +
+                                     name + "', model expects '" + p->name +
+                                     "'");
+    }
+    uint8_t trainable = 0;
+    if (!ReadPod(in, trainable)) return Status::DataLoss("truncated flag");
+    uint32_t rank = 0;
+    if (!ReadPod(in, rank)) return Status::DataLoss("truncated rank");
+    if (rank != static_cast<uint32_t>(p->value.rank())) {
+      return Status::InvalidArgument("rank mismatch for " + p->name);
+    }
+    for (uint32_t d = 0; d < rank; ++d) {
+      int64_t dim = 0;
+      if (!ReadPod(in, dim)) return Status::DataLoss("truncated dims");
+      if (dim != p->value.dim(static_cast<int>(d))) {
+        return Status::InvalidArgument("shape mismatch for " + p->name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!in.good()) return Status::DataLoss("truncated tensor data");
+  }
+  return Status::Ok();
+}
+
+}  // namespace niid

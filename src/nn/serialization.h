@@ -1,0 +1,28 @@
+#ifndef NIID_NN_SERIALIZATION_H_
+#define NIID_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Saves `module`'s full state (parameters + buffers) to a binary file.
+///
+/// Format (little-endian):
+///   magic "NIIDMDL1" (8 bytes)
+///   uint64 number of parameters P
+///   P records of: uint32 name length, name bytes, uint8 trainable,
+///                 uint32 rank, int64 dims..., float32 data...
+/// The layout doubles as an integrity check: loading into a model with a
+/// different architecture fails cleanly instead of silently mis-assigning.
+Status SaveModel(Module& module, const std::string& path);
+
+/// Loads a file written by SaveModel into `module`. The module must have the
+/// same parameter names, order and shapes.
+Status LoadModel(Module& module, const std::string& path);
+
+}  // namespace niid
+
+#endif  // NIID_NN_SERIALIZATION_H_

@@ -1,0 +1,58 @@
+#include "partition/feature_skew.h"
+
+#include <algorithm>
+#include <map>
+
+#include "data/fcube.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::vector<std::vector<int64_t>> FcubeOctantSplit(const Dataset& dataset,
+                                                   int num_parties) {
+  NIID_CHECK_EQ(num_parties, 4)
+      << "the FCUBE partition allocates 8 octants pairwise to 4 parties";
+  NIID_CHECK_EQ(dataset.feature_dim(), 3)
+      << "FCUBE partition requires 3-feature data";
+  // Octant o and its antipode (7 - o, flipping all sign bits) share a party.
+  // Octants 0..3 each identify a unique symmetric pair.
+  std::vector<std::vector<int64_t>> parts(num_parties);
+  const float* data = dataset.features.data();
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const int octant =
+        FcubeOctant(data[i * 3], data[i * 3 + 1], data[i * 3 + 2]);
+    const int party = std::min(octant, 7 - octant);
+    parts[party].push_back(i);
+  }
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> GroupSplit(const Dataset& dataset,
+                                             int num_parties, Rng& rng) {
+  NIID_CHECK(!dataset.groups.empty())
+      << "real-world partition requires per-sample groups (writers)";
+  NIID_CHECK_GE(num_parties, 1);
+
+  // Distinct writers, shuffled, dealt round-robin to parties.
+  std::map<int, std::vector<int64_t>> by_writer;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    by_writer[dataset.groups[i]].push_back(i);
+  }
+  NIID_CHECK_GE(static_cast<int>(by_writer.size()), num_parties)
+      << "fewer writers than parties";
+  std::vector<int> writers;
+  writers.reserve(by_writer.size());
+  for (const auto& [writer, _] : by_writer) writers.push_back(writer);
+  rng.Shuffle(writers);
+
+  std::vector<std::vector<int64_t>> parts(num_parties);
+  for (size_t w = 0; w < writers.size(); ++w) {
+    const auto& samples = by_writer[writers[w]];
+    auto& part = parts[w % num_parties];
+    part.insert(part.end(), samples.begin(), samples.end());
+  }
+  for (auto& p : parts) std::sort(p.begin(), p.end());
+  return parts;
+}
+
+}  // namespace niid

@@ -1,0 +1,28 @@
+#ifndef NIID_PARTITION_FEATURE_SKEW_H_
+#define NIID_PARTITION_FEATURE_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Synthetic feature imbalance (FCUBE, Section 4.2): the cube is split into
+/// 8 octants by the coordinate planes; each party receives the two octants
+/// that are point-symmetric about the origin, so feature distributions
+/// differ while labels stay balanced. Requires a 3-feature dataset and
+/// exactly 4 parties.
+std::vector<std::vector<int64_t>> FcubeOctantSplit(const Dataset& dataset,
+                                                   int num_parties);
+
+/// Real-world feature imbalance (FEMNIST, Section 4.2): writers (groups) are
+/// divided randomly and equally among the parties; a party owns all samples
+/// of its writers. Requires Dataset::groups.
+std::vector<std::vector<int64_t>> GroupSplit(const Dataset& dataset,
+                                             int num_parties, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_FEATURE_SKEW_H_

@@ -1,0 +1,117 @@
+#include "partition/label_skew.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/samplers.h"
+
+namespace niid {
+namespace {
+
+// Indices of each class's samples, shuffled.
+std::vector<std::vector<int64_t>> ShuffledClassIndices(
+    const std::vector<int>& labels, int num_classes, Rng& rng) {
+  std::vector<std::vector<int64_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    NIID_CHECK_GE(labels[i], 0);
+    NIID_CHECK_LT(labels[i], num_classes);
+    by_class[labels[i]].push_back(static_cast<int64_t>(i));
+  }
+  for (auto& idx : by_class) rng.Shuffle(idx);
+  return by_class;
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> LabelQuantitySplit(
+    const std::vector<int>& labels, int num_classes, int num_parties,
+    int labels_per_party, Rng& rng) {
+  NIID_CHECK_GE(num_parties, 1);
+  NIID_CHECK_GE(labels_per_party, 1);
+  NIID_CHECK_LE(labels_per_party, num_classes);
+
+  // times[k] = number of parties owning label k; contain[i] = party i's
+  // label set. Mirrors the reference NIID-Bench assignment.
+  std::vector<int> times(num_classes, 0);
+  std::vector<std::vector<int>> contain(num_parties);
+  for (int party = 0; party < num_parties; ++party) {
+    std::vector<int>& own = contain[party];
+    own.push_back(party % num_classes);
+    ++times[party % num_classes];
+    while (static_cast<int>(own.size()) < labels_per_party) {
+      const int candidate = static_cast<int>(rng.UniformInt(num_classes));
+      if (std::find(own.begin(), own.end(), candidate) == own.end()) {
+        own.push_back(candidate);
+        ++times[candidate];
+      }
+    }
+  }
+
+  auto by_class = ShuffledClassIndices(labels, num_classes, rng);
+  std::vector<std::vector<int64_t>> parts(num_parties);
+  // Split each owned label's samples into `times[k]` equal chunks and hand
+  // chunk j to the j-th party owning that label.
+  std::vector<int> next_chunk(num_classes, 0);
+  for (int party = 0; party < num_parties; ++party) {
+    for (int label : contain[party]) {
+      const auto& pool = by_class[label];
+      const int owners = times[label];
+      const int64_t chunk = static_cast<int64_t>(pool.size()) / owners;
+      const int j = next_chunk[label]++;
+      const int64_t begin = j * chunk;
+      // Last owner takes the remainder.
+      const int64_t end =
+          (j == owners - 1) ? static_cast<int64_t>(pool.size())
+                            : begin + chunk;
+      for (int64_t i = begin; i < end; ++i) {
+        parts[party].push_back(pool[i]);
+      }
+    }
+    std::sort(parts[party].begin(), parts[party].end());
+  }
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> LabelDirichletSplit(
+    const std::vector<int>& labels, int num_classes, int num_parties,
+    double beta, int min_samples_per_party, Rng& rng) {
+  NIID_CHECK_GE(num_parties, 1);
+  NIID_CHECK_GT(beta, 0.0);
+
+  std::vector<std::vector<int64_t>> best;
+  int64_t best_min_size = -1;
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto by_class = ShuffledClassIndices(labels, num_classes, rng);
+    std::vector<std::vector<int64_t>> parts(num_parties);
+    for (int label = 0; label < num_classes; ++label) {
+      const auto& pool = by_class[label];
+      if (pool.empty()) continue;
+      const std::vector<double> proportions =
+          SampleDirichlet(rng, num_parties, beta);
+      const std::vector<int64_t> counts =
+          ProportionsToCounts(proportions, static_cast<int64_t>(pool.size()));
+      int64_t offset = 0;
+      for (int party = 0; party < num_parties; ++party) {
+        for (int64_t i = 0; i < counts[party]; ++i) {
+          parts[party].push_back(pool[offset + i]);
+        }
+        offset += counts[party];
+      }
+    }
+    int64_t min_size = labels.size();
+    for (const auto& p : parts) {
+      min_size = std::min(min_size, static_cast<int64_t>(p.size()));
+    }
+    if (min_size > best_min_size) {
+      best_min_size = min_size;
+      best = std::move(parts);
+    }
+    if (best_min_size >= min_samples_per_party) break;
+  }
+  for (auto& p : best) std::sort(p.begin(), p.end());
+  return best;
+}
+
+}  // namespace niid

@@ -1,0 +1,36 @@
+#ifndef NIID_PARTITION_LABEL_SKEW_H_
+#define NIID_PARTITION_LABEL_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Quantity-based label imbalance (#C=k, Section 4.1).
+///
+/// Each party is assigned k distinct labels: the first is i % K (guaranteeing
+/// coverage when num_parties >= num_classes, as in the reference NIID-Bench
+/// implementation), the remaining k-1 are drawn uniformly without
+/// replacement. Each label's samples are then divided randomly and equally
+/// among the parties owning that label. Labels owned by no party contribute
+/// no samples.
+std::vector<std::vector<int64_t>> LabelQuantitySplit(
+    const std::vector<int>& labels, int num_classes, int num_parties,
+    int labels_per_party, Rng& rng);
+
+/// Distribution-based label imbalance (p_k ~ Dir(beta), Section 4.1).
+///
+/// For every class k, proportions over parties are drawn from Dir(beta) and
+/// the class's samples are allocated accordingly. The draw is repeated until
+/// every party holds at least `min_samples_per_party` samples (at most 1000
+/// attempts, then the best draw so far is used).
+std::vector<std::vector<int64_t>> LabelDirichletSplit(
+    const std::vector<int>& labels, int num_classes, int num_parties,
+    double beta, int min_samples_per_party, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_LABEL_SKEW_H_

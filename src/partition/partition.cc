@@ -1,0 +1,155 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "data/transforms.h"
+#include "partition/feature_skew.h"
+#include "partition/label_skew.h"
+#include "partition/quantity_skew.h"
+#include "util/check.h"
+
+namespace niid {
+
+std::string StrategyLabel(PartitionStrategy strategy, int labels_per_party,
+                          double beta, double noise_sigma) {
+  char buffer[64];
+  switch (strategy) {
+    case PartitionStrategy::kHomogeneous:
+      return "homo";
+    case PartitionStrategy::kLabelQuantity:
+      std::snprintf(buffer, sizeof(buffer), "#C=%d", labels_per_party);
+      return buffer;
+    case PartitionStrategy::kLabelDirichlet:
+      std::snprintf(buffer, sizeof(buffer), "p~Dir(%g)", beta);
+      return buffer;
+    case PartitionStrategy::kNoise:
+      std::snprintf(buffer, sizeof(buffer), "x~Gau(%g)", noise_sigma);
+      return buffer;
+    case PartitionStrategy::kSynthetic:
+      return "synthetic";
+    case PartitionStrategy::kRealWorld:
+      return "real-world";
+    case PartitionStrategy::kQuantityDirichlet:
+      std::snprintf(buffer, sizeof(buffer), "q~Dir(%g)", beta);
+      return buffer;
+  }
+  return "unknown";
+}
+
+StatusOr<PartitionStrategy> ParseStrategy(const std::string& name) {
+  if (name == "homo" || name == "iid" || name == "homogeneous") {
+    return PartitionStrategy::kHomogeneous;
+  }
+  if (name == "label-quantity" || name == "#C=k" || name == "label_quantity") {
+    return PartitionStrategy::kLabelQuantity;
+  }
+  if (name == "label-dir" || name == "label_dir" || name == "noniid-labeldir") {
+    return PartitionStrategy::kLabelDirichlet;
+  }
+  if (name == "noise") return PartitionStrategy::kNoise;
+  if (name == "synthetic" || name == "fcube") {
+    return PartitionStrategy::kSynthetic;
+  }
+  if (name == "real-world" || name == "real_world" || name == "femnist") {
+    return PartitionStrategy::kRealWorld;
+  }
+  if (name == "quantity-dir" || name == "quantity_dir" ||
+      name == "iid-diff-quantity") {
+    return PartitionStrategy::kQuantityDirichlet;
+  }
+  return Status::InvalidArgument("unknown partition strategy: " + name);
+}
+
+std::vector<std::vector<int64_t>> HomogeneousSplit(int64_t num_samples,
+                                                   int num_parties, Rng& rng) {
+  NIID_CHECK_GE(num_parties, 1);
+  std::vector<int64_t> all(num_samples);
+  std::iota(all.begin(), all.end(), 0);
+  rng.Shuffle(all);
+  std::vector<std::vector<int64_t>> parts(num_parties);
+  const int64_t chunk = num_samples / num_parties;
+  int64_t offset = 0;
+  for (int party = 0; party < num_parties; ++party) {
+    const int64_t end = (party == num_parties - 1)
+                            ? num_samples
+                            : offset + chunk;
+    parts[party].assign(all.begin() + offset, all.begin() + end);
+    std::sort(parts[party].begin(), parts[party].end());
+    offset = end;
+  }
+  return parts;
+}
+
+Partition MakePartition(const Dataset& train, const PartitionConfig& config) {
+  Rng rng(config.seed);
+  Partition partition;
+  partition.config = config;
+  switch (config.strategy) {
+    case PartitionStrategy::kHomogeneous:
+    case PartitionStrategy::kNoise:
+      // The noise strategy splits homogeneously; the per-party noise is
+      // applied when client datasets are materialized.
+      partition.client_indices =
+          HomogeneousSplit(train.size(), config.num_parties, rng);
+      break;
+    case PartitionStrategy::kLabelQuantity:
+      partition.client_indices = LabelQuantitySplit(
+          train.labels, train.num_classes, config.num_parties,
+          config.labels_per_party, rng);
+      break;
+    case PartitionStrategy::kLabelDirichlet:
+      partition.client_indices = LabelDirichletSplit(
+          train.labels, train.num_classes, config.num_parties, config.beta,
+          config.min_samples_per_party, rng);
+      break;
+    case PartitionStrategy::kSynthetic:
+      partition.client_indices =
+          FcubeOctantSplit(train, config.num_parties);
+      break;
+    case PartitionStrategy::kRealWorld:
+      partition.client_indices = GroupSplit(train, config.num_parties, rng);
+      break;
+    case PartitionStrategy::kQuantityDirichlet:
+      partition.client_indices = QuantityDirichletSplit(
+          train.size(), config.num_parties, config.beta,
+          config.min_samples_per_party, rng);
+      break;
+  }
+  NIID_CHECK_EQ(partition.num_parties(), config.num_parties);
+  return partition;
+}
+
+Dataset MaterializeClientDataset(const Dataset& train,
+                                 const Partition& partition, int client,
+                                 Rng& rng) {
+  NIID_CHECK_GE(client, 0);
+  NIID_CHECK_LT(client, partition.num_parties());
+  Dataset local = Subset(train, partition.client_indices[client]);
+  if (partition.config.label_flip_prob > 0.0 && train.num_classes > 1) {
+    // Concept shift (extension): flip a party-dependent fraction of labels
+    // to a uniformly drawn different class.
+    const double flip_prob = partition.config.label_flip_prob *
+                             static_cast<double>(client + 1) /
+                             partition.num_parties();
+    for (int& label : local.labels) {
+      if (rng.Uniform() < flip_prob) {
+        const int offset =
+            1 + static_cast<int>(rng.UniformInt(train.num_classes - 1));
+        label = (label + offset) % train.num_classes;
+      }
+    }
+  }
+  if (partition.config.strategy == PartitionStrategy::kNoise) {
+    // Party P_i receives Gau(sigma * i / N) noise with 1-based i (the paper's
+    // notation); the last party gets the full user-level sigma.
+    const double variance = partition.config.noise_sigma *
+                            static_cast<double>(client + 1) /
+                            partition.num_parties();
+    AddGaussianNoise(local, variance, rng);
+  }
+  return local;
+}
+
+}  // namespace niid

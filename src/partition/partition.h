@@ -1,0 +1,92 @@
+#ifndef NIID_PARTITION_PARTITION_H_
+#define NIID_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// The six NIID-Bench partitioning strategies (Section 4) plus the IID
+/// baseline ("homogeneous" in the paper's tables).
+enum class PartitionStrategy {
+  kHomogeneous,        ///< IID: random equal split
+  kLabelQuantity,      ///< #C=k: each party holds k labels
+  kLabelDirichlet,     ///< p_k ~ Dir(beta): per-class Dirichlet allocation
+  kNoise,              ///< x_hat ~ Gau(sigma): equal split + per-party noise
+  kSynthetic,          ///< FCUBE: by symmetric octant pair
+  kRealWorld,          ///< FEMNIST: by writer (Dataset::groups)
+  kQuantityDirichlet,  ///< q ~ Dir(beta): sizes Dirichlet, distribution IID
+};
+
+/// Short name used in tables, e.g. "#C=2", "p~Dir(0.5)", "homo".
+std::string StrategyLabel(PartitionStrategy strategy, int labels_per_party,
+                          double beta, double noise_sigma);
+
+/// Parses a strategy name: "homo"/"iid", "label-quantity"/"#C=k",
+/// "label-dir", "noise", "synthetic", "real-world", "quantity-dir".
+StatusOr<PartitionStrategy> ParseStrategy(const std::string& name);
+
+/// Parameters of a partitioning run.
+struct PartitionConfig {
+  PartitionStrategy strategy = PartitionStrategy::kHomogeneous;
+  int num_parties = 10;
+  /// kLabelQuantity: labels per party (the k of #C=k).
+  int labels_per_party = 2;
+  /// kLabelDirichlet / kQuantityDirichlet concentration.
+  double beta = 0.5;
+  /// kNoise: party P_i receives Gau(noise_sigma * (i+1) / N) noise, applied
+  /// when the client dataset is materialized.
+  double noise_sigma = 0.1;
+  /// Dirichlet strategies redraw until every party has at least this many
+  /// samples (mirrors NIID-Bench's min_size loop).
+  int min_samples_per_party = 8;
+  /// EXTENSION (not in the paper): concept shift — Kairouz et al.'s case (4)
+  /// "same features, different labels", which NIID-Bench excludes. When
+  /// > 0, party P_i's labels are flipped to a uniformly random other class
+  /// with probability label_flip_prob * (i+1) / N when its local dataset is
+  /// materialized, composing with any strategy above.
+  double label_flip_prob = 0.0;
+  uint64_t seed = 1;
+
+  std::string Label() const {
+    return StrategyLabel(strategy, labels_per_party, beta, noise_sigma);
+  }
+};
+
+/// The result: which training-sample indices each party owns.
+struct Partition {
+  PartitionConfig config;
+  std::vector<std::vector<int64_t>> client_indices;
+
+  int num_parties() const {
+    return static_cast<int>(client_indices.size());
+  }
+  int64_t total_samples() const {
+    int64_t total = 0;
+    for (const auto& idx : client_indices) total += idx.size();
+    return total;
+  }
+};
+
+/// Partitions `train` per `config`. Aborts on invalid combinations
+/// (kSynthetic on a non-FCUBE dataset, kRealWorld without groups).
+Partition MakePartition(const Dataset& train, const PartitionConfig& config);
+
+/// Materializes party `client`'s local dataset: copies its samples and, for
+/// the noise strategy, adds Gau(noise_sigma * (client+1) / N) feature noise.
+Dataset MaterializeClientDataset(const Dataset& train,
+                                 const Partition& partition, int client,
+                                 Rng& rng);
+
+/// Equal random split used by kHomogeneous and kNoise (exposed for reuse).
+std::vector<std::vector<int64_t>> HomogeneousSplit(int64_t num_samples,
+                                                   int num_parties, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_PARTITION_H_

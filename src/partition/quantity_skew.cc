@@ -1,0 +1,49 @@
+#include "partition/quantity_skew.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/samplers.h"
+
+namespace niid {
+
+std::vector<std::vector<int64_t>> QuantityDirichletSplit(
+    int64_t num_samples, int num_parties, double beta,
+    int min_samples_per_party, Rng& rng) {
+  NIID_CHECK_GE(num_parties, 1);
+  NIID_CHECK_GT(beta, 0.0);
+  NIID_CHECK_GE(num_samples, num_parties);
+
+  std::vector<int64_t> all(num_samples);
+  std::iota(all.begin(), all.end(), 0);
+  rng.Shuffle(all);
+
+  std::vector<int64_t> best_counts;
+  int64_t best_min = -1;
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::vector<double> proportions =
+        SampleDirichlet(rng, num_parties, beta);
+    const std::vector<int64_t> counts =
+        ProportionsToCounts(proportions, num_samples);
+    const int64_t min_count = *std::min_element(counts.begin(), counts.end());
+    if (min_count > best_min) {
+      best_min = min_count;
+      best_counts = counts;
+    }
+    if (best_min >= min_samples_per_party) break;
+  }
+
+  std::vector<std::vector<int64_t>> parts(num_parties);
+  int64_t offset = 0;
+  for (int party = 0; party < num_parties; ++party) {
+    parts[party].assign(all.begin() + offset,
+                        all.begin() + offset + best_counts[party]);
+    std::sort(parts[party].begin(), parts[party].end());
+    offset += best_counts[party];
+  }
+  return parts;
+}
+
+}  // namespace niid

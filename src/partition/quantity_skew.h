@@ -1,0 +1,22 @@
+#ifndef NIID_PARTITION_QUANTITY_SKEW_H_
+#define NIID_PARTITION_QUANTITY_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace niid {
+
+/// Quantity skew (q ~ Dir(beta), Section 4.3): party sizes are drawn from a
+/// Dirichlet distribution; the shuffled dataset is split accordingly, so each
+/// local distribution stays close to the global one while sizes differ. The
+/// draw is repeated until every party has at least `min_samples_per_party`
+/// samples (at most 1000 attempts, then the best draw is used).
+std::vector<std::vector<int64_t>> QuantityDirichletSplit(
+    int64_t num_samples, int num_parties, double beta,
+    int min_samples_per_party, Rng& rng);
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_QUANTITY_SKEW_H_

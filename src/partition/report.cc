@@ -1,0 +1,91 @@
+#include "partition/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace niid {
+
+PartitionReport BuildPartitionReport(const Dataset& train,
+                                     const Partition& partition) {
+  const int parties = partition.num_parties();
+  const int classes = train.num_classes;
+  PartitionReport report;
+  report.counts.assign(parties, std::vector<int64_t>(classes, 0));
+  report.party_sizes.assign(parties, 0);
+
+  for (int party = 0; party < parties; ++party) {
+    for (int64_t idx : partition.client_indices[party]) {
+      NIID_CHECK_LT(idx, train.size());
+      ++report.counts[party][train.labels[idx]];
+      ++report.party_sizes[party];
+    }
+  }
+
+  // Distinct labels per party.
+  double label_sum = 0.0;
+  for (int party = 0; party < parties; ++party) {
+    int distinct = 0;
+    for (int64_t c : report.counts[party]) distinct += (c > 0);
+    label_sum += distinct;
+  }
+  report.mean_labels_per_party = label_sum / parties;
+
+  // Size imbalance.
+  const int64_t max_size =
+      *std::max_element(report.party_sizes.begin(), report.party_sizes.end());
+  const int64_t min_size =
+      *std::min_element(report.party_sizes.begin(), report.party_sizes.end());
+  report.size_imbalance =
+      min_size > 0 ? static_cast<double>(max_size) / min_size : 0.0;
+
+  // Label-distribution divergence from the global distribution.
+  std::vector<double> global(classes, 0.0);
+  const auto global_counts = CountLabels(train);
+  for (int c = 0; c < classes; ++c) {
+    global[c] = static_cast<double>(global_counts[c]) /
+                std::max<int64_t>(train.size(), 1);
+  }
+  double tv_sum = 0.0;
+  for (int party = 0; party < parties; ++party) {
+    if (report.party_sizes[party] == 0) {
+      tv_sum += 1.0;  // an empty party is maximally divergent
+      continue;
+    }
+    double tv = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      const double local = static_cast<double>(report.counts[party][c]) /
+                           report.party_sizes[party];
+      tv += std::abs(local - global[c]);
+    }
+    tv_sum += 0.5 * tv;
+  }
+  report.mean_label_tv_distance = tv_sum / parties;
+  return report;
+}
+
+void PrintPartitionMatrix(const PartitionReport& report, std::ostream& out) {
+  const int parties = static_cast<int>(report.counts.size());
+  const int classes =
+      parties > 0 ? static_cast<int>(report.counts[0].size()) : 0;
+  std::vector<std::string> headers = {"party"};
+  for (int c = 0; c < classes; ++c) {
+    headers.push_back("class " + std::to_string(c));
+  }
+  headers.push_back("total");
+  Table table(headers);
+  for (int party = 0; party < parties; ++party) {
+    std::vector<std::string> row = {"P" + std::to_string(party)};
+    for (int c = 0; c < classes; ++c) {
+      row.push_back(std::to_string(report.counts[party][c]));
+    }
+    row.push_back(std::to_string(report.party_sizes[party]));
+    table.AddRow(std::move(row));
+  }
+  table.Print(out);
+}
+
+}  // namespace niid

@@ -1,0 +1,36 @@
+#ifndef NIID_PARTITION_REPORT_H_
+#define NIID_PARTITION_REPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "data/dataset.h"
+#include "partition/partition.h"
+
+namespace niid {
+
+/// Summary statistics of a partition, used for Figure 3 and for sanity
+/// checking experiments.
+struct PartitionReport {
+  /// counts[party][label] = number of samples of `label` held by `party`.
+  std::vector<std::vector<int64_t>> counts;
+  std::vector<int64_t> party_sizes;
+  /// Mean over parties of the number of distinct labels held.
+  double mean_labels_per_party = 0.0;
+  /// Size imbalance: max party size / min party size (0 if a party is empty).
+  double size_imbalance = 0.0;
+  /// Mean total-variation distance between each party's label distribution
+  /// and the global one (0 = IID, higher = more label skew).
+  double mean_label_tv_distance = 0.0;
+};
+
+/// Computes the report for `partition` over `train`.
+PartitionReport BuildPartitionReport(const Dataset& train,
+                                     const Partition& partition);
+
+/// Prints the party x class allocation matrix (the paper's Figure 3 view).
+void PrintPartitionMatrix(const PartitionReport& report, std::ostream& out);
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_REPORT_H_

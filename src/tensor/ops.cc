@@ -1,0 +1,238 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace niid {
+namespace {
+
+// Resets `out` to shape [rows, cols], reusing storage when possible.
+void PrepareOutput(Tensor& out, int64_t rows, int64_t cols) {
+  if (out.rank() != 2 || out.dim(0) != rows || out.dim(1) != cols) {
+    out = Tensor({rows, cols});
+  } else {
+    out.Fill(0.f);
+  }
+}
+
+}  // namespace
+
+void Matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  NIID_CHECK_EQ(b.dim(0), k);
+  PrepareOutput(out, m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // ikj loop order: the inner loop is a contiguous axpy over row b[i_k, :],
+  // which vectorizes well and is cache-friendly for row-major storage.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  NIID_CHECK_EQ(b.dim(0), k);
+  PrepareOutput(out, m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // out[i, j] = sum_kk a[kk, i] * b[kk, j]
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  NIID_CHECK_EQ(b.dim(1), k);
+  PrepareOutput(out, m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // out[i, j] = dot(a[i, :], b[j, :]) — both operands contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+void AddRowBias(Tensor& matrix, const Tensor& bias) {
+  NIID_CHECK_EQ(matrix.rank(), 2);
+  const int64_t m = matrix.dim(0), n = matrix.dim(1);
+  NIID_CHECK_EQ(bias.numel(), n);
+  float* pm = matrix.data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = pm + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void SumRows(const Tensor& matrix, Tensor& out) {
+  NIID_CHECK_EQ(matrix.rank(), 2);
+  const int64_t m = matrix.dim(0), n = matrix.dim(1);
+  if (out.numel() != n) out = Tensor({n});
+  out.Fill(0.f);
+  const float* pm = matrix.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pm + i * n;
+    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+}
+
+int ConvOutputSize(int input, int kernel, int stride, int padding) {
+  return (input + 2 * padding - kernel) / stride + 1;
+}
+
+void Im2Col(const Tensor& input, int kernel, int stride, int padding,
+            Tensor& columns) {
+  NIID_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int out_h = ConvOutputSize(static_cast<int>(h), kernel, stride,
+                                   padding);
+  const int out_w = ConvOutputSize(static_cast<int>(w), kernel, stride,
+                                   padding);
+  NIID_CHECK_GT(out_h, 0);
+  NIID_CHECK_GT(out_w, 0);
+  const int64_t rows = n * out_h * out_w;
+  const int64_t cols = c * kernel * kernel;
+  if (columns.rank() != 2 || columns.dim(0) != rows ||
+      columns.dim(1) != cols) {
+    columns = Tensor({rows, cols});
+  }
+  const float* src = input.data();
+  float* dst = columns.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float* row =
+            dst + ((img * out_h + oy) * out_w + ox) * cols;
+        int64_t idx = 0;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = src + (img * c + ch) * h * w;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride - padding + ky;
+            if (iy < 0 || iy >= h) {
+              for (int kx = 0; kx < kernel; ++kx) row[idx++] = 0.f;
+              continue;
+            }
+            const float* line = plane + iy * w;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride - padding + kx;
+              row[idx++] = (ix < 0 || ix >= w) ? 0.f : line[ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
+            int stride, int padding, Tensor& grad_input) {
+  const int out_h = ConvOutputSize(h, kernel, stride, padding);
+  const int out_w = ConvOutputSize(w, kernel, stride, padding);
+  const int64_t cols = static_cast<int64_t>(c) * kernel * kernel;
+  NIID_CHECK_EQ(columns.rank(), 2);
+  NIID_CHECK_EQ(columns.dim(0), static_cast<int64_t>(n) * out_h * out_w);
+  NIID_CHECK_EQ(columns.dim(1), cols);
+  if (grad_input.rank() != 4 || grad_input.dim(0) != n ||
+      grad_input.dim(1) != c || grad_input.dim(2) != h ||
+      grad_input.dim(3) != w) {
+    grad_input = Tensor({n, c, h, w});
+  } else {
+    grad_input.Fill(0.f);
+  }
+  const float* src = columns.data();
+  float* dst = grad_input.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const float* row =
+            src + ((img * out_h + oy) * out_w + ox) * cols;
+        int64_t idx = 0;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          float* plane = dst + (img * c + ch) * h * w;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride - padding + ky;
+            if (iy < 0 || iy >= h) {
+              idx += kernel;
+              continue;
+            }
+            float* line = plane + iy * w;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride - padding + kx;
+              if (ix >= 0 && ix < w) line[ix] += row[idx];
+              ++idx;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void SoftmaxRows(Tensor& logits) {
+  NIID_CHECK_EQ(logits.rank(), 2);
+  const int64_t m = logits.dim(0), n = logits.dim(1);
+  float* p = logits.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = p + i * n;
+    float max_v = row[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    float sum = 0.f;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    const float inv = 1.f / sum;
+    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+}
+
+std::vector<int> ArgmaxRows(const Tensor& matrix) {
+  NIID_CHECK_EQ(matrix.rank(), 2);
+  const int64_t m = matrix.dim(0), n = matrix.dim(1);
+  std::vector<int> result(m);
+  const float* p = matrix.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = p + i * n;
+    int best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+}  // namespace niid

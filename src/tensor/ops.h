@@ -1,0 +1,50 @@
+#ifndef NIID_TENSOR_OPS_H_
+#define NIID_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace niid {
+
+/// out = a @ b for rank-2 tensors: [m, k] x [k, n] -> [m, n].
+/// `out` is overwritten (and reshaped if necessary).
+void Matmul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a^T @ b: [k, m]^T x [k, n] -> [m, n].
+void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a @ b^T: [m, k] x [n, k]^T -> [m, n].
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Adds bias (length n) to every row of a rank-2 tensor [m, n].
+void AddRowBias(Tensor& matrix, const Tensor& bias);
+
+/// Sums the rows of [m, n] into `out` (length n) — the bias gradient.
+void SumRows(const Tensor& matrix, Tensor& out);
+
+/// im2col for NCHW images with square kernel/stride/padding.
+/// input: [N, C, H, W] -> columns: [N * out_h * out_w, C * kh * kw].
+/// Each output row is the receptive field of one output pixel, so convolution
+/// becomes a single matmul with the [C*kh*kw, out_c] weight matrix.
+void Im2Col(const Tensor& input, int kernel, int stride, int padding,
+            Tensor& columns);
+
+/// Inverse scatter of Im2Col: accumulates column gradients back into
+/// an image-gradient tensor of shape [N, C, H, W] (zeroed by this call).
+void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
+            int stride, int padding, Tensor& grad_input);
+
+/// Returns the spatial output size for a conv/pool dimension.
+int ConvOutputSize(int input, int kernel, int stride, int padding);
+
+/// Row-wise softmax in place on a rank-2 tensor (numerically stable).
+void SoftmaxRows(Tensor& logits);
+
+/// Returns the argmax of each row of a rank-2 tensor.
+std::vector<int> ArgmaxRows(const Tensor& matrix);
+
+}  // namespace niid
+
+#endif  // NIID_TENSOR_OPS_H_

@@ -1,0 +1,143 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace niid {
+
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  if (shape.empty()) return 0;
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    NIID_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(NumElements(shape_)), 0.f) {}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.f);
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  NIID_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+int64_t Tensor::dim(int d) const {
+  if (d < 0) d += rank();
+  NIID_CHECK_GE(d, 0);
+  NIID_CHECK_LT(d, rank());
+  return shape_[d];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  NIID_CHECK_EQ(NumElements(new_shape), numel())
+      << "cannot reshape " << ShapeString();
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::SetRow(int64_t i, const float* row) {
+  NIID_CHECK_EQ(rank(), 2);
+  NIID_CHECK_LT(i, shape_[0]);
+  const int64_t width = shape_[1];
+  for (int64_t j = 0; j < width; ++j) data_[i * width + j] = row[j];
+}
+
+std::vector<float> Tensor::Row(int64_t i) const {
+  NIID_CHECK_EQ(rank(), 2);
+  NIID_CHECK_LT(i, shape_[0]);
+  const int64_t width = shape_[1];
+  return std::vector<float>(data_.begin() + i * width,
+                            data_.begin() + (i + 1) * width);
+}
+
+void Tensor::Add(const Tensor& other) {
+  NIID_CHECK_EQ(numel(), other.numel());
+  const float* src = other.data();
+  for (int64_t i = 0; i < numel(); ++i) data_[i] += src[i];
+}
+
+void Tensor::Sub(const Tensor& other) {
+  NIID_CHECK_EQ(numel(), other.numel());
+  const float* src = other.data();
+  for (int64_t i = 0; i < numel(); ++i) data_[i] -= src[i];
+}
+
+void Tensor::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& x) {
+  NIID_CHECK_EQ(numel(), x.numel());
+  const float* src = x.data();
+  for (int64_t i = 0; i < numel(); ++i) data_[i] += alpha * src[i];
+}
+
+double Tensor::Sum() const {
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum;
+}
+
+double Tensor::Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace niid

@@ -1,0 +1,127 @@
+#ifndef NIID_TENSOR_TENSOR_H_
+#define NIID_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Dense, contiguous, row-major float32 tensor with value semantics.
+///
+/// This is the numeric substrate for the whole benchmark: model parameters,
+/// activations and dataset storage are all Tensors. It deliberately supports
+/// only what the benchmark needs — contiguous storage, a handful of factory
+/// functions and shape manipulation; the math lives in tensor/ops.h and the
+/// layer implementations.
+class Tensor {
+ public:
+  /// Creates an empty (0-element, rank-0) tensor.
+  Tensor() = default;
+
+  /// Creates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::initializer_list<int64_t> shape)
+      : Tensor(std::vector<int64_t>(shape)) {}
+
+  /// Factory: tensor of the given shape filled with `value`.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// Factory: zeros / ones.
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  /// Factory: i.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// Factory: i.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor Uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                        float hi);
+  /// Factory: wraps an explicit value list (shape must match the size).
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  /// Size of dimension `d` (supports negative d counting from the back).
+  int64_t dim(int d) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access with debug-mode bounds checking.
+  float& operator[](int64_t i) {
+    NIID_DCHECK_LT(i, numel());
+    return data_[i];
+  }
+  float operator[](int64_t i) const {
+    NIID_DCHECK_LT(i, numel());
+    return data_[i];
+  }
+
+  /// 2-D access (requires rank 2).
+  float& at(int64_t i, int64_t j) {
+    NIID_DCHECK_EQ(rank(), 2);
+    NIID_DCHECK_LT(i, shape_[0]);
+    NIID_DCHECK_LT(j, shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  float at(int64_t i, int64_t j) const {
+    return const_cast<Tensor*>(this)->at(i, j);
+  }
+
+  /// 4-D access (requires rank 4; layout [N, C, H, W]).
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w) {
+    NIID_DCHECK_EQ(rank(), 4);
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+  }
+
+  /// Returns a tensor with the same data and a new shape (numel must match).
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies `row` (length = dim(1)) into row `i` of a rank-2 tensor.
+  void SetRow(int64_t i, const float* row);
+  /// Returns a copy of row `i` of a rank-2 tensor.
+  std::vector<float> Row(int64_t i) const;
+
+  /// Element-wise in-place operations.
+  void Add(const Tensor& other);              ///< this += other
+  void Sub(const Tensor& other);              ///< this -= other
+  void Scale(float factor);                   ///< this *= factor
+  void Axpy(float alpha, const Tensor& x);    ///< this += alpha * x
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// L2 norm of all elements.
+  double Norm() const;
+
+  /// Human-readable shape, e.g. "[64, 1, 28, 28]".
+  std::string ShapeString() const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Returns the product of `shape`'s entries (0 for rank-0).
+int64_t NumElements(const std::vector<int64_t>& shape);
+
+}  // namespace niid
+
+#endif  // NIID_TENSOR_TENSOR_H_

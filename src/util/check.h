@@ -1,0 +1,72 @@
+#ifndef NIID_UTIL_CHECK_H_
+#define NIID_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+// Invariant-checking macros in the spirit of glog's CHECK family.
+//
+// Library code in this project does not throw exceptions; violated invariants
+// are programming errors and abort with a diagnostic. Recoverable conditions
+// (e.g. a missing file) are reported through util::Status instead.
+
+namespace niid::internal {
+
+/// Collects a failure message and aborts in its destructor. Streaming into the
+/// object appends to the message, mirroring the glog idiom:
+///   NIID_CHECK(x > 0) << "x was " << x;
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace niid::internal
+
+#define NIID_CHECK(condition)                                             \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::niid::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define NIID_CHECK_BINOP(a, b, op)                                        \
+  if ((a)op(b)) {                                                         \
+  } else                                                                  \
+    ::niid::internal::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b) \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define NIID_CHECK_EQ(a, b) NIID_CHECK_BINOP(a, b, ==)
+#define NIID_CHECK_NE(a, b) NIID_CHECK_BINOP(a, b, !=)
+#define NIID_CHECK_LT(a, b) NIID_CHECK_BINOP(a, b, <)
+#define NIID_CHECK_LE(a, b) NIID_CHECK_BINOP(a, b, <=)
+#define NIID_CHECK_GT(a, b) NIID_CHECK_BINOP(a, b, >)
+#define NIID_CHECK_GE(a, b) NIID_CHECK_BINOP(a, b, >=)
+
+// Checks that fire only in debug builds; used on hot paths (tensor indexing).
+#ifdef NDEBUG
+#define NIID_DCHECK(condition) NIID_CHECK(true)
+#define NIID_DCHECK_EQ(a, b) NIID_CHECK(true)
+#define NIID_DCHECK_LT(a, b) NIID_CHECK(true)
+#else
+#define NIID_DCHECK(condition) NIID_CHECK(condition)
+#define NIID_DCHECK_EQ(a, b) NIID_CHECK_EQ(a, b)
+#define NIID_DCHECK_LT(a, b) NIID_CHECK_LT(a, b)
+#endif
+
+#endif  // NIID_UTIL_CHECK_H_

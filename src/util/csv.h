@@ -1,0 +1,41 @@
+#ifndef NIID_UTIL_CSV_H_
+#define NIID_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace niid {
+
+/// Writes rows to a CSV file. Cells containing commas, quotes or newlines are
+/// quoted per RFC 4180. Used by the bench harness to dump training curves and
+/// result tables for external plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file. Check ok().
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the file opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: header row then flush.
+  void WriteHeader(const std::vector<std::string>& cells) { WriteRow(cells); }
+
+  /// Flushes buffered output.
+  void Flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes one CSV cell per RFC 4180 (exposed for testing).
+std::string EscapeCsvCell(const std::string& cell);
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_CSV_H_

@@ -1,0 +1,73 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace niid {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+}
+
+int64_t FlagParser::GetInt64(const std::string& name,
+                             int64_t default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> items;
+  std::string current;
+  for (char c : value) {
+    if (c == ',') {
+      if (!current.empty()) items.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) items.push_back(current);
+  return items;
+}
+
+}  // namespace niid

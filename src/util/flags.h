@@ -1,0 +1,44 @@
+#ifndef NIID_UTIL_FLAGS_H_
+#define NIID_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace niid {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Accepts `--key=value` and bare `--key` (boolean true). Anything else is a
+/// positional argument. No registration needed: callers query with defaults.
+///
+///   FlagParser flags(argc, argv);
+///   int rounds = flags.GetInt("rounds", 20);
+///   bool quick = flags.GetBool("quick", false);
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  /// True if --name was passed at all.
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  int64_t GetInt64(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  /// "--x", "--x=true", "--x=1" are true; "--x=false", "--x=0" are false.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> SplitCommaList(const std::string& value);
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_FLAGS_H_

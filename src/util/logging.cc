@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace niid {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << basename << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::lock_guard<std::mutex> lock(LogMutex());
+  std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::clog;
+  out << stream_.str() << "\n";
+  out.flush();
+}
+
+}  // namespace internal
+}  // namespace niid

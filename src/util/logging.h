@@ -1,0 +1,58 @@
+#ifndef NIID_UTIL_LOGGING_H_
+#define NIID_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace niid {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Buffers one log line and flushes it (with level tag and timestamp) on
+/// destruction. Instantiate through the NIID_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for suppressed levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define NIID_LOG(level)                                          \
+  if (::niid::LogLevel::level < ::niid::GetLogLevel()) {         \
+  } else                                                         \
+    ::niid::internal::LogMessage(::niid::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_LOGGING_H_

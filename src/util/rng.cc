@@ -1,0 +1,102 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// splitmix64: used to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  NIID_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform.
+  double u1 = Uniform();
+  while (u1 <= 0.0) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Gamma(double shape) {
+  NIID_CHECK_GT(shape, 0.0);
+  // Marsaglia & Tsang (2000). For shape < 1 use the boost trick:
+  // Gamma(a) = Gamma(a+1) * U^(1/a).
+  if (shape < 1.0) {
+    const double u = Uniform();
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace niid

@@ -1,0 +1,89 @@
+#include "util/samplers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace niid {
+
+std::vector<double> SampleDirichlet(Rng& rng, int dimension, double beta) {
+  NIID_CHECK_GE(dimension, 1);
+  NIID_CHECK_GT(beta, 0.0);
+  return SampleDirichlet(rng, std::vector<double>(dimension, beta));
+}
+
+std::vector<double> SampleDirichlet(Rng& rng,
+                                    const std::vector<double>& alpha) {
+  NIID_CHECK_GE(alpha.size(), 1u);
+  std::vector<double> draws(alpha.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    NIID_CHECK_GT(alpha[i], 0.0);
+    draws[i] = rng.Gamma(alpha[i]);
+    sum += draws[i];
+  }
+  // All-zero draws are possible only with pathologically tiny alphas; fall
+  // back to uniform rather than dividing by zero.
+  if (sum <= 0.0) {
+    std::fill(draws.begin(), draws.end(), 1.0 / alpha.size());
+    return draws;
+  }
+  for (double& d : draws) d /= sum;
+  return draws;
+}
+
+std::vector<int64_t> ProportionsToCounts(const std::vector<double>& proportions,
+                                         int64_t total) {
+  NIID_CHECK_GE(total, 0);
+  const size_t n = proportions.size();
+  NIID_CHECK_GE(n, 1u);
+  std::vector<int64_t> counts(n, 0);
+  std::vector<double> remainders(n, 0.0);
+  int64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = proportions[i] * static_cast<double>(total);
+    counts[i] = static_cast<int64_t>(exact);
+    remainders[i] = exact - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  // Largest-remainder correction for the leftover items.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  int64_t leftover = total - assigned;
+  for (size_t i = 0; leftover > 0; i = (i + 1) % n, --leftover) {
+    ++counts[order[i]];
+  }
+  return counts;
+}
+
+int SampleCategorical(Rng& rng, const std::vector<double>& probabilities) {
+  NIID_CHECK_GE(probabilities.size(), 1u);
+  const double u = rng.Uniform();
+  double cumulative = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    cumulative += probabilities[i];
+    if (u < cumulative) return static_cast<int>(i);
+  }
+  return static_cast<int>(probabilities.size()) - 1;
+}
+
+std::vector<int> SampleWithoutReplacement(Rng& rng, int n, int k) {
+  NIID_CHECK_GE(k, 0);
+  NIID_CHECK_LE(k, n);
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher–Yates: after k swaps the first k entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(rng.UniformInt(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace niid

@@ -1,0 +1,35 @@
+#ifndef NIID_UTIL_SAMPLERS_H_
+#define NIID_UTIL_SAMPLERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace niid {
+
+/// Draws a sample from a symmetric Dirichlet distribution Dir(beta) of the
+/// given dimension. The result is a probability vector (sums to 1).
+/// Requires beta > 0 and dimension >= 1.
+std::vector<double> SampleDirichlet(Rng& rng, int dimension, double beta);
+
+/// Draws a sample from a Dirichlet distribution with per-component
+/// concentrations `alpha` (all > 0).
+std::vector<double> SampleDirichlet(Rng& rng, const std::vector<double>& alpha);
+
+/// Splits `total` items into proportions.size() integer counts that sum to
+/// `total`, allocating round(total * p_i) with largest-remainder correction.
+std::vector<int64_t> ProportionsToCounts(const std::vector<double>& proportions,
+                                         int64_t total);
+
+/// Samples one index from a discrete distribution given by `probabilities`
+/// (which must sum to approximately 1).
+int SampleCategorical(Rng& rng, const std::vector<double>& probabilities);
+
+/// Returns `k` distinct indices uniformly sampled from [0, n) in sorted order.
+/// Requires 0 <= k <= n.
+std::vector<int> SampleWithoutReplacement(Rng& rng, int n, int k);
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_SAMPLERS_H_

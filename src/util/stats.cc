@@ -1,0 +1,50 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace niid {
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (count_ <= 0) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  return stat.stddev();
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+std::string FormatAccuracy(const std::vector<double>& values) {
+  return FormatPercent(Mean(values)) + "±" + FormatPercent(StdDev(values));
+}
+
+}  // namespace niid

@@ -1,0 +1,47 @@
+#ifndef NIID_UTIL_STATS_H_
+#define NIID_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace niid {
+
+/// Accumulates a stream of values and reports mean / variance / extrema.
+/// Uses Welford's online algorithm for numerical stability.
+class RunningStat {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population standard deviation (divides by N). The paper reports the
+  /// spread over three trials; population std matches numpy's default.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the arithmetic mean of `values` (0 for an empty vector).
+double Mean(const std::vector<double>& values);
+
+/// Returns the population standard deviation of `values`.
+double StdDev(const std::vector<double>& values);
+
+/// Formats mean±std the way the paper's Table 3 does, e.g. "68.2%±0.7%".
+/// `values` are fractions in [0,1]; they are scaled to percentages.
+std::string FormatAccuracy(const std::vector<double>& values);
+
+/// Formats a single fraction as a percentage, e.g. "68.2%".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_STATS_H_

@@ -1,0 +1,101 @@
+#ifndef NIID_UTIL_STATUS_H_
+#define NIID_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace niid {
+
+/// Error category for recoverable failures (I/O, malformed input, bad config).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kDataLoss,
+  kInternal,
+};
+
+/// Lightweight absl::Status-alike. Library functions that can fail for
+/// environmental reasons return Status / StatusOr<T> rather than throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : holder_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : holder_(std::move(status)) {    // NOLINT
+    NIID_CHECK(!std::get<Status>(holder_).ok())
+        << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(holder_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(holder_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  T& value() & {
+    NIID_CHECK(ok()) << status().ToString();
+    return std::get<T>(holder_);
+  }
+  const T& value() const& {
+    NIID_CHECK(ok()) << status().ToString();
+    return std::get<T>(holder_);
+  }
+  T&& value() && {
+    NIID_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(holder_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> holder_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_STATUS_H_

@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+constexpr const char* kSeparatorMarker = "\x01sep";
+
+// Display width in code points (cells contain UTF-8 like '±'); counting
+// non-continuation bytes keeps columns aligned in a terminal.
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;
+  }
+  return width;
+}
+
+void PrintPadded(std::ostream& out, const std::string& s, size_t width) {
+  out << s;
+  for (size_t i = DisplayWidth(s); i < width; ++i) out << ' ';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NIID_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  NIID_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() {
+  rows_.push_back({kSeparatorMarker});
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = DisplayWidth(headers_[c]);
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  auto print_rule = [&] {
+    for (size_t i = 0; i + 1 < total; ++i) out << '-';
+    out << "\n";
+  };
+
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    PrintPadded(out, headers_[c], widths[c]);
+    out << " | ";
+  }
+  out << "\n";
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) {
+      print_rule();
+      continue;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      PrintPadded(out, row[c], widths[c]);
+      out << " | ";
+    }
+    out << "\n";
+  }
+}
+
+void Table::PrintMarkdown(std::ostream& out) const {
+  out << "|";
+  for (const auto& h : headers_) out << " " << h << " |";
+  out << "\n|";
+  for (size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << "\n";
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    out << "|";
+    for (const auto& cell : row) out << " " << cell << " |";
+    out << "\n";
+  }
+}
+
+}  // namespace niid

@@ -1,0 +1,39 @@
+#ifndef NIID_UTIL_TABLE_H_
+#define NIID_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace niid {
+
+/// Builds and pretty-prints an aligned text table (used by the bench harness
+/// to print rows in the same layout as the paper's tables).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. The row must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with padded columns and a header rule.
+  void Print(std::ostream& out) const;
+
+  /// Renders the table as GitHub-flavoured markdown.
+  void PrintMarkdown(std::ostream& out) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with the special marker cell "\x01sep" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_TABLE_H_

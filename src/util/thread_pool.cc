@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace niid {
+
+ThreadPool::ThreadPool(int num_threads) {
+  NIID_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NIID_CHECK(!shutting_down_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body) {
+  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    pool->Schedule([&body, i] { body(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace niid

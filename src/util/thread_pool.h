@@ -1,0 +1,53 @@
+#ifndef NIID_UTIL_THREAD_POOL_H_
+#define NIID_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace niid {
+
+/// Fixed-size worker pool used to train clients of one federated round in
+/// parallel. Determinism is preserved because each parallel task owns a
+/// pre-split RNG stream and writes only to its own output slot.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and waits for completion.
+/// With a null pool, runs serially on the calling thread.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace niid
+
+#endif  // NIID_UTIL_THREAD_POOL_H_

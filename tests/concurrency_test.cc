@@ -1,0 +1,137 @@
+// Tests for the thread pool, Status/StatusOr, and logging plumbing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(200, 0);
+  ParallelFor(&pool, 200, [&hits](int64_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  std::vector<int64_t> order;
+  ParallelFor(nullptr, 5, [&order](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](int threads) {
+    std::vector<double> out(64, 0.0);
+    ThreadPool pool(threads);
+    ParallelFor(&pool, 64, [&out](int64_t i) {
+      double acc = 0;
+      for (int k = 0; k < 1000; ++k) acc += (i + 1) * 0.001;
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  const std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(result.value(), "boom");
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These must compile and not crash; output routing is not asserted here
+  // (it goes to clog/cerr), only that streaming works at every level.
+  NIID_LOG(kDebug) << "invisible " << 1;
+  NIID_LOG(kInfo) << "invisible " << 2;
+  NIID_LOG(kWarning) << "invisible " << 3;
+  SetLogLevel(saved);
+  SUCCEED();
+}
+
+TEST(LoggingTest, SetAndGetLevelRoundTrips) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace niid

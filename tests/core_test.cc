@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/coverage.h"
+#include "core/curves.h"
+#include "core/decision_tree.h"
+#include "core/experiment.h"
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------- curves
+
+TEST(CurvesTest, PrintCurvesContainsValues) {
+  std::vector<Curve> curves = {{"fedavg", {0.1, 0.5, 0.9}},
+                               {"fedprox", {0.2, 0.6}}};
+  std::ostringstream out;
+  PrintCurves(curves, out, 1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("fedavg"), std::string::npos);
+  EXPECT_NE(text.find("90.0%"), std::string::npos);
+  EXPECT_NE(text.find("60.0%"), std::string::npos);
+}
+
+TEST(CurvesTest, StrideSubsamplesButKeepsLastRow) {
+  std::vector<Curve> curves = {{"x", {0.1, 0.2, 0.3, 0.4, 0.5}}};
+  std::ostringstream out;
+  PrintCurves(curves, out, 2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("10.0%"), std::string::npos);   // round 1
+  EXPECT_EQ(text.find("20.0%"), std::string::npos);   // round 2 skipped
+  EXPECT_NE(text.find("50.0%"), std::string::npos);   // last round kept
+}
+
+TEST(CurvesTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/curves.csv";
+  std::vector<Curve> curves = {{"a", {0.25, 0.5}}, {"b", {0.75}}};
+  ASSERT_TRUE(WriteCurvesCsv(curves, path).ok());
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "round,a,b");
+  EXPECT_EQ(row1.substr(0, 2), "1,");
+  EXPECT_NE(row1.find("0.25"), std::string::npos);
+  EXPECT_NE(row2.find("0.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CurvesTest, CsvFailsOnBadPath) {
+  EXPECT_FALSE(WriteCurvesCsv({}, "/nonexistent_dir/x.csv").ok());
+}
+
+TEST(CurvesTest, InstabilityMeasuresWiggle) {
+  // Smooth ramp vs oscillation of the same range.
+  const std::vector<double> smooth = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const std::vector<double> wiggly = {0.1, 0.6, 0.1, 0.6, 0.1, 0.6};
+  EXPECT_LT(CurveInstability(smooth), 1e-9);
+  EXPECT_GT(CurveInstability(wiggly), 0.4);
+  EXPECT_EQ(CurveInstability({0.5}), 0.0);
+  EXPECT_EQ(CurveInstability({}), 0.0);
+}
+
+TEST(CurvesTest, InstabilityWindowRestricts) {
+  // Unstable early, stable late.
+  const std::vector<double> values = {0.1, 0.9, 0.1, 0.9, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_GT(CurveInstability(values), CurveInstability(values, 3));
+  EXPECT_LT(CurveInstability(values, 3), 1e-9);
+}
+
+// ---------------------------------------------------------------- results
+
+TEST(ExperimentResultTest, FinalAccuraciesAndMeanCurve) {
+  ExperimentResult result;
+  result.trials.push_back({{0.1, 0.3}, {1.0, 0.5}, 0.3, 100});
+  result.trials.push_back({{0.2, 0.5}, {0.9, 0.4}, 0.5, 100});
+  EXPECT_EQ(result.FinalAccuracies(), (std::vector<double>{0.3, 0.5}));
+  const auto mean = result.MeanCurve();
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_NEAR(mean[0], 0.15, 1e-12);
+  EXPECT_NEAR(mean[1], 0.4, 1e-12);
+}
+
+TEST(ExperimentResultTest, MeanCurveHandlesUnequalLengths) {
+  ExperimentResult result;
+  result.trials.push_back({{0.1, 0.3, 0.5}, {}, 0.5, 0});
+  result.trials.push_back({{0.2}, {}, 0.2, 0});
+  const auto mean = result.MeanCurve();
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_NEAR(mean[0], 0.15, 1e-12);
+  EXPECT_NEAR(mean[2], 0.5, 1e-12);  // only one trial contributes
+}
+
+// ---------------------------------------------------------------- fig 6
+
+TEST(DecisionTreeTest, MatchesPaperRecommendations) {
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kHomogeneous).algorithm,
+            "fedavg");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kLabelQuantity, 1).algorithm,
+            "fedprox");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kLabelQuantity, 3).algorithm,
+            "fedprox");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kLabelDirichlet).algorithm,
+            "fedprox");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kNoise).algorithm,
+            "scaffold");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kSynthetic).algorithm,
+            "scaffold");
+  EXPECT_EQ(RecommendAlgorithm(PartitionStrategy::kRealWorld).algorithm,
+            "scaffold");
+  EXPECT_EQ(
+      RecommendAlgorithm(PartitionStrategy::kQuantityDirichlet).algorithm,
+      "fedprox");
+}
+
+TEST(DecisionTreeTest, EveryRecommendationHasRationale) {
+  for (const auto strategy :
+       {PartitionStrategy::kHomogeneous, PartitionStrategy::kLabelQuantity,
+        PartitionStrategy::kLabelDirichlet, PartitionStrategy::kNoise,
+        PartitionStrategy::kSynthetic, PartitionStrategy::kRealWorld,
+        PartitionStrategy::kQuantityDirichlet}) {
+    EXPECT_FALSE(RecommendAlgorithm(strategy).rationale.empty());
+  }
+}
+
+TEST(DecisionTreeTest, PrintsTree) {
+  std::ostringstream out;
+  PrintDecisionTree(out);
+  EXPECT_NE(out.str().find("SCAFFOLD"), std::string::npos);
+  EXPECT_NE(out.str().find("FedProx"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table 1
+
+TEST(CoverageTest, MatchesPaperTable1) {
+  const auto rows = StrategyCoverage();
+  ASSERT_EQ(rows.size(), 6u);
+  // NIID-Bench covers everything.
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.covered.size(), 5u);
+    EXPECT_TRUE(row.covered[4]) << row.strategy;
+  }
+  // FedAvg only covers quantity-based label skew.
+  int fedavg_count = 0;
+  for (const auto& row : rows) fedavg_count += row.covered[0];
+  EXPECT_EQ(fedavg_count, 1);
+  // FedProx covers quantity-based label skew + synthetic + real-world.
+  int fedprox_count = 0;
+  for (const auto& row : rows) fedprox_count += row.covered[1];
+  EXPECT_EQ(fedprox_count, 3);
+}
+
+TEST(CoverageTest, PrintsTable) {
+  std::ostringstream out;
+  PrintStrategyCoverage(out);
+  EXPECT_NE(out.str().find("NIID-Bench"), std::string::npos);
+  EXPECT_NE(out.str().find("noise-based"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,599 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/dataset.h"
+#include "data/fcube.h"
+#include "data/femnist.h"
+#include "data/loaders.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------- dataset
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 3;
+  d.features = Tensor::FromVector({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  d.labels = {0, 1, 2, 0};
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = TinyDataset();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_FALSE(d.is_image());
+  EXPECT_EQ(d.feature_dim(), 2);
+}
+
+TEST(DatasetTest, CountLabels) {
+  const Dataset d = TinyDataset();
+  EXPECT_EQ(CountLabels(d), (std::vector<int64_t>{2, 1, 1}));
+}
+
+TEST(DatasetTest, SubsetCopiesRowsAndMetadata) {
+  Dataset d = TinyDataset();
+  d.groups = {7, 8, 9, 7};
+  const Dataset sub = Subset(d, {2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels, (std::vector<int>{2, 0}));
+  EXPECT_EQ(sub.groups, (std::vector<int>{9, 7}));
+  EXPECT_FLOAT_EQ(sub.features.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(sub.features.at(1, 1), 1.f);
+  EXPECT_EQ(sub.num_classes, 3);
+}
+
+TEST(DatasetTest, GatherBatchShapes) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({6, 1, 4, 4});
+  d.labels = {0, 1, 0, 1, 0, 1};
+  auto [x, y] = GatherBatch(d, {1, 3, 5});
+  EXPECT_EQ(x.shape(), (std::vector<int64_t>{3, 1, 4, 4}));
+  EXPECT_EQ(y, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(DatasetTest, ValidateAcceptsGoodData) {
+  ValidateDataset(TinyDataset());  // must not abort
+}
+
+TEST(DatasetDeathTest, ValidateRejectsBadLabel) {
+  Dataset d = TinyDataset();
+  d.labels[0] = 5;
+  EXPECT_DEATH(ValidateDataset(d), "CHECK failed");
+}
+
+// ---------------------------------------------------------------- loaders
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void AppendBigEndian32(std::vector<uint8_t>& bytes, uint32_t value) {
+  bytes.push_back(value >> 24);
+  bytes.push_back((value >> 16) & 0xFF);
+  bytes.push_back((value >> 8) & 0xFF);
+  bytes.push_back(value & 0xFF);
+}
+
+TEST(IdxLoaderTest, LoadsTinyMnistStyleFiles) {
+  // 2 images of 2x3 pixels.
+  std::vector<uint8_t> images;
+  AppendBigEndian32(images, 0x00000803);
+  AppendBigEndian32(images, 2);
+  AppendBigEndian32(images, 2);
+  AppendBigEndian32(images, 3);
+  for (int i = 0; i < 12; ++i) images.push_back(static_cast<uint8_t>(i * 20));
+  std::vector<uint8_t> labels;
+  AppendBigEndian32(labels, 0x00000801);
+  AppendBigEndian32(labels, 2);
+  labels.push_back(3);
+  labels.push_back(1);
+
+  const std::string image_path = TempPath("idx_images");
+  const std::string label_path = TempPath("idx_labels");
+  WriteBytes(image_path, images);
+  WriteBytes(label_path, labels);
+
+  auto dataset_or = LoadIdx(image_path, label_path, "tiny-mnist");
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+  const Dataset& d = *dataset_or;
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.features.shape(), (std::vector<int64_t>{2, 1, 2, 3}));
+  EXPECT_EQ(d.labels, (std::vector<int>{3, 1}));
+  EXPECT_EQ(d.num_classes, 4);  // max label + 1
+  EXPECT_NEAR(d.features[1], 20 / 255.f, 1e-6);
+  std::remove(image_path.c_str());
+  std::remove(label_path.c_str());
+}
+
+TEST(IdxLoaderTest, RejectsBadMagic) {
+  std::vector<uint8_t> bad;
+  AppendBigEndian32(bad, 0xDEADBEEF);
+  AppendBigEndian32(bad, 0);
+  AppendBigEndian32(bad, 0);
+  AppendBigEndian32(bad, 0);
+  const std::string path = TempPath("idx_bad");
+  WriteBytes(path, bad);
+  auto result = LoadIdx(path, path, "x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(IdxLoaderTest, MissingFileIsNotFound) {
+  auto result = LoadIdx("/nonexistent/a", "/nonexistent/b", "x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CifarLoaderTest, LoadsBinaryRecords) {
+  std::vector<uint8_t> bytes;
+  for (int record = 0; record < 3; ++record) {
+    bytes.push_back(static_cast<uint8_t>(record));  // label
+    for (int i = 0; i < 3 * 32 * 32; ++i) {
+      bytes.push_back(static_cast<uint8_t>((record * 50 + i) % 256));
+    }
+  }
+  const std::string path = TempPath("cifar_batch.bin");
+  WriteBytes(path, bytes);
+  auto dataset_or = LoadCifar10({path}, "tiny-cifar");
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+  EXPECT_EQ(dataset_or->size(), 3);
+  EXPECT_EQ(dataset_or->features.shape(), (std::vector<int64_t>{3, 3, 32, 32}));
+  EXPECT_EQ(dataset_or->labels, (std::vector<int>{0, 1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(CifarLoaderTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("cifar_trunc.bin");
+  WriteBytes(path, std::vector<uint8_t>(100, 0));
+  EXPECT_FALSE(LoadCifar10({path}, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmLoaderTest, LoadsSparseRows) {
+  const std::string path = TempPath("data.libsvm");
+  {
+    std::ofstream out(path);
+    out << "+1 1:0.5 3:1.5\n";
+    out << "-1 2:2.0\n";
+    out << "# a comment line\n";
+    out << "+1 4:-1.0\n";
+  }
+  auto dataset_or = LoadLibsvm(path, 4, "tiny-libsvm");
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+  const Dataset& d = *dataset_or;
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.num_classes, 2);
+  // -1 maps to class 0, +1 to class 1 (sorted order of distinct labels).
+  EXPECT_EQ(d.labels, (std::vector<int>{1, 0, 1}));
+  EXPECT_FLOAT_EQ(d.features.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(d.features.at(0, 2), 1.5f);
+  EXPECT_FLOAT_EQ(d.features.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(d.features.at(2, 3), -1.0f);
+  EXPECT_FLOAT_EQ(d.features.at(0, 1), 0.f);
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmLoaderTest, RejectsOutOfRangeIndex) {
+  const std::string path = TempPath("bad.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 9:1.0\n";
+  }
+  EXPECT_FALSE(LoadLibsvm(path, 4, "x").ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- synthetic
+
+TEST(SyntheticImageTest, ShapesAndLabelRange) {
+  SyntheticImageConfig config;
+  config.train_size = 100;
+  config.test_size = 40;
+  config.channels = 3;
+  config.height = 16;
+  config.width = 16;
+  const FederatedDataset fd = MakeSyntheticImages(config);
+  EXPECT_EQ(fd.train.features.shape(), (std::vector<int64_t>{100, 3, 16, 16}));
+  EXPECT_EQ(fd.test.size(), 40);
+  ValidateDataset(fd.train);
+  ValidateDataset(fd.test);
+  for (int64_t i = 0; i < fd.train.features.numel(); ++i) {
+    EXPECT_GE(fd.train.features[i], 0.f);
+    EXPECT_LE(fd.train.features[i], 1.f);
+  }
+}
+
+TEST(SyntheticImageTest, DeterministicForSameSeed) {
+  SyntheticImageConfig config;
+  config.train_size = 20;
+  config.test_size = 10;
+  const FederatedDataset a = MakeSyntheticImages(config);
+  const FederatedDataset b = MakeSyntheticImages(config);
+  EXPECT_TRUE(a.train.features == b.train.features);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticImageTest, DifferentSeedsDiffer) {
+  SyntheticImageConfig config;
+  config.train_size = 20;
+  config.test_size = 10;
+  const FederatedDataset a = MakeSyntheticImages(config);
+  config.seed = 999;
+  const FederatedDataset b = MakeSyntheticImages(config);
+  EXPECT_FALSE(a.train.features == b.train.features);
+}
+
+// Nearest-class-centroid accuracy must be far above chance: the generator
+// must produce learnable class structure.
+TEST(SyntheticImageTest, ClassStructureIsLearnable) {
+  SyntheticImageConfig config;
+  config.train_size = 400;
+  config.test_size = 200;
+  config.num_classes = 4;
+  config.height = 12;
+  config.width = 12;
+  const FederatedDataset fd = MakeSyntheticImages(config);
+  const int64_t dim = fd.train.feature_dim();
+  std::vector<std::vector<double>> centroids(
+      config.num_classes, std::vector<double>(dim, 0.0));
+  std::vector<int64_t> counts(config.num_classes, 0);
+  for (int64_t i = 0; i < fd.train.size(); ++i) {
+    const int label = fd.train.labels[i];
+    ++counts[label];
+    for (int64_t j = 0; j < dim; ++j) {
+      centroids[label][j] += fd.train.features[i * dim + j];
+    }
+  }
+  for (int c = 0; c < config.num_classes; ++c) {
+    for (double& v : centroids[c]) v /= std::max<int64_t>(counts[c], 1);
+  }
+  int64_t correct = 0;
+  for (int64_t i = 0; i < fd.test.size(); ++i) {
+    double best = 1e300;
+    int best_class = -1;
+    for (int c = 0; c < config.num_classes; ++c) {
+      double dist = 0;
+      for (int64_t j = 0; j < dim; ++j) {
+        const double diff = fd.test.features[i * dim + j] - centroids[c][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    correct += (best_class == fd.test.labels[i]);
+  }
+  const double accuracy = double(correct) / fd.test.size();
+  EXPECT_GT(accuracy, 0.6) << "nearest-centroid accuracy " << accuracy;
+}
+
+TEST(SyntheticTabularTest, ShapesSparsityAndDeterminism) {
+  SyntheticTabularConfig config;
+  config.train_size = 200;
+  config.test_size = 50;
+  config.num_features = 40;
+  config.density = 0.25f;
+  const FederatedDataset fd = MakeSyntheticTabular(config);
+  ValidateDataset(fd.train);
+  EXPECT_EQ(fd.train.features.shape(), (std::vector<int64_t>{200, 40}));
+  // Sparsity: roughly 25% nonzero.
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < fd.train.features.numel(); ++i) {
+    nonzero += (fd.train.features[i] != 0.f);
+  }
+  const double density = double(nonzero) / fd.train.features.numel();
+  EXPECT_NEAR(density, 0.25, 0.05);
+  const FederatedDataset fd2 = MakeSyntheticTabular(config);
+  EXPECT_TRUE(fd.train.features == fd2.train.features);
+}
+
+TEST(SyntheticTabularTest, HigherSeparationIsMoreLearnable) {
+  auto centroid_accuracy = [](float sep) {
+    SyntheticTabularConfig config;
+    config.train_size = 400;
+    config.test_size = 200;
+    config.num_features = 30;
+    config.class_sep = sep;
+    const FederatedDataset fd = MakeSyntheticTabular(config);
+    const int64_t dim = fd.train.feature_dim();
+    std::vector<std::vector<double>> centroids(2, std::vector<double>(dim, 0));
+    std::vector<int64_t> counts(2, 0);
+    for (int64_t i = 0; i < fd.train.size(); ++i) {
+      ++counts[fd.train.labels[i]];
+      for (int64_t j = 0; j < dim; ++j) {
+        centroids[fd.train.labels[i]][j] += fd.train.features[i * dim + j];
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      for (double& v : centroids[c]) v /= std::max<int64_t>(counts[c], 1);
+    }
+    int64_t correct = 0;
+    for (int64_t i = 0; i < fd.test.size(); ++i) {
+      double d0 = 0, d1 = 0;
+      for (int64_t j = 0; j < dim; ++j) {
+        const double x = fd.test.features[i * dim + j];
+        d0 += (x - centroids[0][j]) * (x - centroids[0][j]);
+        d1 += (x - centroids[1][j]) * (x - centroids[1][j]);
+      }
+      correct += ((d1 < d0 ? 1 : 0) == fd.test.labels[i]);
+    }
+    return double(correct) / fd.test.size();
+  };
+  EXPECT_GT(centroid_accuracy(3.0f), centroid_accuracy(0.3f));
+}
+
+// ---------------------------------------------------------------- fcube
+
+TEST(FcubeTest, LabelsFollowTheX1Plane) {
+  const FederatedDataset fd = MakeFcube({.train_size = 500, .test_size = 100});
+  for (int64_t i = 0; i < fd.train.size(); ++i) {
+    const float x1 = fd.train.features[i * 3];
+    EXPECT_EQ(fd.train.labels[i], x1 > 0 ? 0 : 1);
+  }
+  EXPECT_EQ(fd.train.num_classes, 2);
+  EXPECT_EQ(fd.train.feature_dim(), 3);
+}
+
+TEST(FcubeTest, PointsInsideUnitCube) {
+  const FederatedDataset fd = MakeFcube({.train_size = 200, .test_size = 50});
+  for (int64_t i = 0; i < fd.train.features.numel(); ++i) {
+    EXPECT_GE(fd.train.features[i], -1.f);
+    EXPECT_LE(fd.train.features[i], 1.f);
+  }
+}
+
+TEST(FcubeTest, OctantFunction) {
+  EXPECT_EQ(FcubeOctant(1, 1, 1), 7);
+  EXPECT_EQ(FcubeOctant(-1, -1, -1), 0);
+  EXPECT_EQ(FcubeOctant(1, -1, -1), 1);
+  EXPECT_EQ(FcubeOctant(-1, 1, -1), 2);
+  EXPECT_EQ(FcubeOctant(-1, -1, 1), 4);
+}
+
+TEST(FcubeTest, AllOctantsPopulated) {
+  const FederatedDataset fd = MakeFcube({.train_size = 800, .test_size = 100});
+  std::set<int> seen;
+  for (int64_t i = 0; i < fd.train.size(); ++i) {
+    seen.insert(FcubeOctant(fd.train.features[i * 3],
+                            fd.train.features[i * 3 + 1],
+                            fd.train.features[i * 3 + 2]));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// ---------------------------------------------------------------- femnist
+
+TEST(FemnistTest, GroupsPresentAndInRange) {
+  FemnistConfig config;
+  config.num_writers = 20;
+  config.train_size = 300;
+  config.test_size = 100;
+  const FederatedDataset fd = MakeFemnist(config);
+  ASSERT_EQ(fd.train.groups.size(), 300u);
+  ASSERT_EQ(fd.test.groups.size(), 100u);
+  std::set<int> writers(fd.train.groups.begin(), fd.train.groups.end());
+  EXPECT_GT(writers.size(), 10u);
+  for (int w : fd.train.groups) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 20);
+  }
+  ValidateDataset(fd.train);
+}
+
+TEST(FemnistTest, WriterStyleShiftsFeatureDistribution) {
+  FemnistConfig config;
+  config.num_writers = 2;
+  config.train_size = 2000;
+  config.test_size = 10;
+  config.writer_strength = 1.0f;
+  const FederatedDataset fd = MakeFemnist(config);
+  // Writer styles are smooth per-pixel fields with zero global mean, so
+  // compare the per-pixel mean images of the two writers.
+  const int64_t dim = fd.train.feature_dim();
+  std::vector<double> mean0(dim, 0.0), mean1(dim, 0.0);
+  int64_t count[2] = {0, 0};
+  for (int64_t i = 0; i < fd.train.size(); ++i) {
+    const int w = fd.train.groups[i];
+    auto& mean = (w == 0) ? mean0 : mean1;
+    for (int64_t j = 0; j < dim; ++j) {
+      mean[j] += fd.train.features[i * dim + j];
+    }
+    ++count[w];
+  }
+  ASSERT_GT(count[0], 0);
+  ASSERT_GT(count[1], 0);
+  double distance_sq = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    const double diff = mean0[j] / count[0] - mean1[j] / count[1];
+    distance_sq += diff * diff;
+  }
+  EXPECT_GT(std::sqrt(distance_sq), 0.3)
+      << "writer mean images are indistinguishable";
+}
+
+// ---------------------------------------------------------------- transforms
+
+TEST(TransformsTest, GaussianNoiseMatchesVariance) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({200, 50});
+  d.labels.assign(200, 0);
+  Rng rng(3);
+  AddGaussianNoise(d, 0.04, rng);  // variance 0.04 => std 0.2
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < d.features.numel(); ++i) {
+    sum += d.features[i];
+    sq += double(d.features[i]) * d.features[i];
+  }
+  const double mean = sum / d.features.numel();
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(sq / d.features.numel() - mean * mean, 0.04, 0.005);
+}
+
+TEST(TransformsTest, ZeroVarianceIsNoOp) {
+  Dataset d = TinyDataset();
+  const Tensor before = d.features;
+  Rng rng(4);
+  AddGaussianNoise(d, 0.0, rng);
+  EXPECT_TRUE(d.features == before);
+}
+
+TEST(TransformsTest, StandardizeProducesZeroMeanUnitVar) {
+  Dataset d;
+  d.num_classes = 2;
+  Rng rng(5);
+  d.features = Tensor::Randn({500, 8}, rng, 3.f, 2.f);
+  d.labels.assign(500, 0);
+  const FeatureStats stats = ComputeFeatureStats(d);
+  StandardizeFeatures(d, stats);
+  for (int64_t j = 0; j < 8; ++j) {
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < 500; ++i) {
+      sum += d.features.at(i, j);
+      sq += double(d.features.at(i, j)) * d.features.at(i, j);
+    }
+    const double mean = sum / 500;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 500 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(TransformsTest, ConstantFeatureDoesNotBlowUp) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Full({10, 2}, 5.f);
+  d.labels.assign(10, 0);
+  const FeatureStats stats = ComputeFeatureStats(d);
+  StandardizeFeatures(d, stats);
+  for (int64_t i = 0; i < d.features.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(d.features[i]));
+    EXPECT_NEAR(d.features[i], 0.f, 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------- catalog
+
+TEST(CatalogTest, ListsNineDatasets) {
+  EXPECT_EQ(CatalogDatasetNames().size(), 9u);
+}
+
+TEST(CatalogTest, Table2FactsMatchThePaper) {
+  EXPECT_EQ(GetDatasetInfo("mnist").paper_train_size, 60000);
+  EXPECT_EQ(GetDatasetInfo("cifar10").num_classes, 10);
+  EXPECT_EQ(GetDatasetInfo("rcv1").num_features, 47236);
+  EXPECT_FLOAT_EQ(GetDatasetInfo("rcv1").default_learning_rate, 0.1f);
+  EXPECT_FLOAT_EQ(GetDatasetInfo("adult").default_learning_rate, 0.01f);
+  EXPECT_EQ(GetDatasetInfo("covtype").paper_train_size, 435759);
+  EXPECT_EQ(GetDatasetInfo("fcube").num_features, 3);
+}
+
+TEST(CatalogTest, UnknownDatasetIsInvalidArgument) {
+  CatalogOptions options;
+  auto result = MakeCatalogDataset("imagenet", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+class CatalogAllDatasets : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogAllDatasets, InstantiatesValidScaledDataset) {
+  CatalogOptions options;
+  options.size_factor = 0.002;
+  options.min_train_size = 100;
+  options.min_test_size = 40;
+  auto fd_or = MakeCatalogDataset(GetParam(), options);
+  ASSERT_TRUE(fd_or.ok()) << fd_or.status().ToString();
+  ValidateDataset(fd_or->train);
+  ValidateDataset(fd_or->test);
+  EXPECT_GE(fd_or->train.size(), 100);
+  const DatasetInfo& info = GetDatasetInfo(GetParam());
+  EXPECT_EQ(fd_or->train.num_classes, info.num_classes);
+  EXPECT_EQ(fd_or->train.is_image(), info.is_image);
+  if (info.is_image) {
+    EXPECT_EQ(fd_or->train.features.dim(1), info.channels);
+    EXPECT_EQ(fd_or->train.features.dim(2), info.height);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nine, CatalogAllDatasets,
+                         ::testing::ValuesIn(CatalogDatasetNames()));
+
+TEST(CatalogTest, DefaultModelSpecPicksArchitecture) {
+  CatalogOptions options;
+  options.size_factor = 0.001;
+  options.min_train_size = 50;
+  options.min_test_size = 20;
+  auto image = MakeCatalogDataset("mnist", options);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(DefaultModelSpec(image->train).name, "simple-cnn");
+  EXPECT_EQ(DefaultModelSpec(image->train, "vgg9").name, "vgg9");
+  auto tabular = MakeCatalogDataset("covtype", options);
+  ASSERT_TRUE(tabular.ok());
+  const ModelSpec spec = DefaultModelSpec(tabular->train);
+  EXPECT_EQ(spec.name, "mlp");
+  EXPECT_EQ(spec.input_features, 54);
+  EXPECT_EQ(spec.num_classes, 2);
+}
+
+TEST(CatalogTest, RcvFeatureCapApplies) {
+  CatalogOptions options;
+  options.size_factor = 0.001;
+  options.min_train_size = 50;
+  options.min_test_size = 20;
+  options.max_tabular_features = 500;
+  auto fd = MakeCatalogDataset("rcv1", options);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->train.feature_dim(), 500);
+}
+
+
+TEST(CatalogTest, SizeCapsApply) {
+  CatalogOptions options;
+  options.size_factor = 1.0;      // paper size...
+  options.max_train_size = 700;   // ...but capped
+  options.min_train_size = 100;
+  options.min_test_size = 50;
+  auto fd = MakeCatalogDataset("mnist", options);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->train.size(), 700);
+}
+
+TEST(CatalogTest, MinimumsFloorTinyFactors) {
+  CatalogOptions options;
+  options.size_factor = 1e-9;
+  options.min_train_size = 123;
+  options.min_test_size = 45;
+  auto fd = MakeCatalogDataset("adult", options);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->train.size(), 123);
+  EXPECT_EQ(fd->test.size(), 45);
+}
+
+TEST(FcubeTest, DeterministicAcrossCalls) {
+  const FederatedDataset a = MakeFcube({.train_size = 50, .test_size = 10});
+  const FederatedDataset b = MakeFcube({.train_size = 50, .test_size = 10});
+  EXPECT_TRUE(a.train.features == b.train.features);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+}  // namespace
+}  // namespace niid

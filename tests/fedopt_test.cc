@@ -1,0 +1,181 @@
+// Tests for the FedOpt extension family (FedAdam / FedYogi / FedAdagrad).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.h"
+#include "fl/fedopt.h"
+
+namespace niid {
+namespace {
+
+LocalUpdate UniformUpdate(float delta_value, size_t dim,
+                          int64_t samples = 100) {
+  LocalUpdate update;
+  update.client_id = 0;
+  update.num_samples = samples;
+  update.delta.assign(dim, delta_value);
+  update.tau = 5;
+  return update;
+}
+
+std::vector<StateSegment> TrainableLayout(int64_t dim) {
+  return {{0, dim, true}};
+}
+
+AlgorithmConfig SimpleConfig() {
+  AlgorithmConfig config;
+  config.fedopt_beta1 = 0.9f;
+  config.fedopt_beta2 = 0.99f;
+  config.fedopt_tau = 1e-3f;
+  config.fedopt_server_lr = 0.1f;
+  return config;
+}
+
+TEST(FedOptTest, NamesAndFactory) {
+  for (const std::string name : {"fedadam", "fedyogi", "fedadagrad"}) {
+    auto algorithm = CreateAlgorithm(name, AlgorithmConfig{});
+    ASSERT_TRUE(algorithm.ok()) << name;
+    EXPECT_EQ((*algorithm)->name(), name);
+  }
+  EXPECT_EQ(ExtendedAlgorithmNames().size(), 7u);
+  EXPECT_EQ(AlgorithmNames().size(), 4u);  // paper's four stay canonical
+}
+
+TEST(FedOptTest, AdamFirstStepMatchesHandComputation) {
+  const AlgorithmConfig config = SimpleConfig();
+  FedOpt adam(config, FedOptVariant::kAdam);
+  adam.Initialize(1, 2);
+  StateVector global = {0.f, 0.f};
+  std::vector<LocalUpdate> updates = {UniformUpdate(0.5f, 2)};
+  adam.Aggregate(global, updates, TrainableLayout(2));
+  // m = 0.1 * 0.5 = 0.05; v = 0.99 * tau^2 + 0.01 * 0.25 ~= 0.0025;
+  // step = 0.1 * 0.05 / (sqrt(0.0025) + 1e-3).
+  const float v = 0.99f * 1e-6f + 0.01f * 0.25f;
+  const float expected = 0.1f * 0.05f / (std::sqrt(v) + 1e-3f);
+  EXPECT_NEAR(global[0], -expected, 1e-6f);
+  EXPECT_NEAR(adam.momentum()[0], 0.05f, 1e-7f);
+}
+
+TEST(FedOptTest, AdagradAccumulatesSecondMoment) {
+  FedOpt adagrad(SimpleConfig(), FedOptVariant::kAdagrad);
+  adagrad.Initialize(1, 1);
+  StateVector global = {0.f};
+  std::vector<LocalUpdate> updates = {UniformUpdate(1.f, 1)};
+  adagrad.Aggregate(global, updates, TrainableLayout(1));
+  adagrad.Aggregate(global, updates, TrainableLayout(1));
+  // v = tau^2 + 1 + 1 ~= 2; strictly increasing.
+  EXPECT_NEAR(adagrad.second_moment()[0], 2.f, 1e-4f);
+}
+
+TEST(FedOptTest, YogiMovesSecondMomentTowardSquare) {
+  FedOpt yogi(SimpleConfig(), FedOptVariant::kYogi);
+  yogi.Initialize(1, 1);
+  StateVector global = {0.f};
+  // v starts at tau^2 ~ 0 < d^2 = 1, so Yogi increases v by (1-beta2)*d^2.
+  std::vector<LocalUpdate> updates = {UniformUpdate(1.f, 1)};
+  yogi.Aggregate(global, updates, TrainableLayout(1));
+  EXPECT_NEAR(yogi.second_moment()[0], 1e-6f + 0.01f, 1e-6f);
+  // Now shrink: with d = 0, sign(v - 0) = +1 and v stays (d2 = 0 => no-op).
+  std::vector<LocalUpdate> zero = {UniformUpdate(0.f, 1)};
+  const float v_before = yogi.second_moment()[0];
+  yogi.Aggregate(global, zero, TrainableLayout(1));
+  EXPECT_NEAR(yogi.second_moment()[0], v_before, 1e-7f);
+}
+
+TEST(FedOptTest, AdaptiveStepIsBoundedByServerLr) {
+  // Even a huge delta produces a per-coordinate step of about server_lr
+  // once normalized — the defining property of the adaptive family.
+  FedOpt adam(SimpleConfig(), FedOptVariant::kAdam);
+  adam.Initialize(1, 1);
+  StateVector global = {0.f};
+  std::vector<LocalUpdate> updates = {UniformUpdate(1000.f, 1)};
+  adam.Aggregate(global, updates, TrainableLayout(1));
+  // |step| <= server_lr * (1-beta1)*d / (sqrt((1-beta2)) * d) ~ lr.
+  EXPECT_LT(std::abs(global[0]), 0.11f);
+}
+
+TEST(FedOptTest, BuffersArePlainAveraged) {
+  FedOpt adam(SimpleConfig(), FedOptVariant::kAdam);
+  adam.Initialize(1, 4);
+  StateVector global = {0.f, 0.f, 10.f, 10.f};
+  const std::vector<StateSegment> layout = {{0, 2, true}, {2, 2, false}};
+  std::vector<LocalUpdate> updates = {UniformUpdate(1.f, 4)};
+  adam.Aggregate(global, updates, layout);
+  // Buffer positions get the raw averaged delta (w -= delta).
+  EXPECT_FLOAT_EQ(global[2], 9.f);
+  EXPECT_FLOAT_EQ(global[3], 9.f);
+  // Trainable positions get the adaptive (bounded) step instead.
+  EXPECT_GT(global[0], -0.11f);
+}
+
+TEST(FedOptTest, EndToEndLearnsOnTabularData) {
+  for (const std::string name : {"fedadam", "fedyogi", "fedadagrad"}) {
+    ExperimentConfig config;
+    config.dataset = "covtype";
+    config.catalog.size_factor = 0.001;
+    config.catalog.min_train_size = 400;
+    config.catalog.min_test_size = 150;
+    config.rounds = 10;
+    config.local.local_epochs = 2;
+    config.local.batch_size = 16;
+    config.local.learning_rate = 0.05f;
+    config.algo.fedopt_server_lr = 0.05f;
+    config.algorithm = name;
+    config.partition.num_parties = 4;
+    const ExperimentResult result = RunExperiment(config);
+    EXPECT_GT(result.trials[0].final_accuracy, 0.6) << name;
+  }
+}
+
+TEST(FedOptTest, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.dataset = "covtype";
+  config.catalog.size_factor = 0.001;
+  config.catalog.min_train_size = 240;
+  config.catalog.min_test_size = 100;
+  config.rounds = 4;
+  config.local.local_epochs = 2;
+  config.local.batch_size = 16;
+  config.algorithm = "fedyogi";
+  config.partition.num_parties = 4;
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_EQ(a.trials[0].round_accuracy, b.trials[0].round_accuracy);
+}
+
+
+TEST(FedOptTest, PartialParticipationRuns) {
+  ExperimentConfig config;
+  config.dataset = "covtype";
+  config.catalog.size_factor = 0.001;
+  config.catalog.min_train_size = 400;
+  config.catalog.min_test_size = 100;
+  config.rounds = 5;
+  config.local.local_epochs = 2;
+  config.local.batch_size = 16;
+  config.algorithm = "fedadam";
+  config.partition.num_parties = 10;
+  config.partition.min_samples_per_party = 2;
+  config.sample_fraction = 0.3;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GE(result.trials[0].final_accuracy, 0.0);
+  EXPECT_LE(result.trials[0].final_accuracy, 1.0);
+}
+
+TEST(FedOptTest, MomentumDecaysWithoutUpdates) {
+  // After a large delta, rounds with zero deltas shrink m geometrically.
+  FedOpt adam(SimpleConfig(), FedOptVariant::kAdam);
+  adam.Initialize(1, 1);
+  StateVector global = {0.f};
+  std::vector<LocalUpdate> big = {UniformUpdate(1.f, 1)};
+  adam.Aggregate(global, big, TrainableLayout(1));
+  const float m1 = adam.momentum()[0];
+  std::vector<LocalUpdate> zero = {UniformUpdate(0.f, 1)};
+  adam.Aggregate(global, zero, TrainableLayout(1));
+  EXPECT_NEAR(adam.momentum()[0], 0.9f * m1, 1e-7f);
+}
+
+}  // namespace
+}  // namespace niid

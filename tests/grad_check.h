@@ -1,0 +1,122 @@
+#ifndef NIID_TESTS_GRAD_CHECK_H_
+#define NIID_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/module.h"
+#include "nn/parameters.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace niid::testing {
+
+/// Scalar projection loss: L = sum(output .* direction). Its gradient w.r.t.
+/// the output is exactly `direction`, which lets us probe any module's
+/// backward pass with finite differences.
+inline double ProjectionLoss(const Tensor& output, const Tensor& direction) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < output.numel(); ++i) {
+    loss += static_cast<double>(output[i]) * direction[i];
+  }
+  return loss;
+}
+
+struct GradCheckOptions {
+  float epsilon = 1e-3f;
+  double rel_tolerance = 5e-2;
+  double abs_tolerance = 5e-3;
+  /// Check at most this many coordinates per tensor (spread evenly).
+  int max_coords = 24;
+  /// Fraction of coordinates allowed to disagree. Modules that stack
+  /// BatchNorm + ReLU have pre-activations centered exactly at the ReLU kink,
+  /// so finite differences are corrupted at a few coordinates no matter the
+  /// epsilon; the analytic gradient is still correct almost everywhere.
+  double max_failure_fraction = 0.0;
+};
+
+/// Verifies dL/dinput and dL/dparams of `module` at `input` by central
+/// differences, where L = ProjectionLoss(Forward(input), direction).
+/// The module must be freshly constructed (no stale caches) and in a
+/// deterministic mode (BatchNorm in training mode is fine — statistics are
+/// recomputed per forward; running-stat updates do not affect the output in
+/// training mode... they do accumulate, which is harmless for the check).
+inline void CheckModuleGradients(Module& module, const Tensor& input,
+                                 Rng& rng,
+                                 const GradCheckOptions& options = {}) {
+  // Forward once to learn the output shape.
+  Tensor probe_input = input;
+  Tensor output = module.Forward(probe_input);
+  Tensor direction = Tensor::Randn(output.shape(), rng);
+
+  // Analytic gradients.
+  ZeroGrads(module);
+  output = module.Forward(probe_input);
+  const Tensor grad_input = module.Backward(direction);
+  ASSERT_EQ(grad_input.shape(), input.shape());
+
+  int checked = 0;
+  int failed = 0;
+  std::string failure_log;
+  auto numeric_vs_analytic = [&](float* slot, double analytic,
+                                 const std::string& what, int64_t coord) {
+    const float saved = *slot;
+    *slot = saved + options.epsilon;
+    const double plus = ProjectionLoss(module.Forward(probe_input), direction);
+    *slot = saved - options.epsilon;
+    const double minus =
+        ProjectionLoss(module.Forward(probe_input), direction);
+    *slot = saved;
+    const double numeric = (plus - minus) / (2.0 * options.epsilon);
+    const double scale =
+        std::max({std::abs(numeric), std::abs(analytic), 1.0});
+    ++checked;
+    if (std::abs(analytic - numeric) >
+        options.abs_tolerance + options.rel_tolerance * scale) {
+      ++failed;
+      failure_log += what + " coord " + std::to_string(coord) +
+                     ": analytic=" + std::to_string(analytic) +
+                     " numeric=" + std::to_string(numeric) + "\n";
+    }
+  };
+
+  // Input gradient.
+  {
+    const int64_t n = probe_input.numel();
+    const int64_t stride =
+        std::max<int64_t>(1, n / std::max(1, options.max_coords));
+    for (int64_t i = 0; i < n; i += stride) {
+      numeric_vs_analytic(&probe_input[i], grad_input[i], "input", i);
+    }
+  }
+
+  // Parameter gradients. Note: perturbing a parameter then re-running
+  // Forward re-populates module caches; we recompute analytic grads first
+  // and only read stored values.
+  ZeroGrads(module);
+  module.Forward(probe_input);
+  module.Backward(direction);
+  for (Parameter* p : module.Parameters()) {
+    if (!p->trainable) continue;
+    const int64_t n = p->value.numel();
+    const int64_t stride =
+        std::max<int64_t>(1, n / std::max(1, options.max_coords));
+    for (int64_t i = 0; i < n; i += stride) {
+      numeric_vs_analytic(&p->value[i], p->grad[i], p->name, i);
+    }
+  }
+
+  ASSERT_GT(checked, 0);
+  const double failure_fraction =
+      static_cast<double>(failed) / static_cast<double>(checked);
+  EXPECT_LE(failure_fraction, options.max_failure_fraction)
+      << failed << "/" << checked << " coordinates disagree:\n"
+      << failure_log;
+}
+
+}  // namespace niid::testing
+
+#endif  // NIID_TESTS_GRAD_CHECK_H_

@@ -1,0 +1,263 @@
+// End-to-end tests of the experiment runner: dataset -> partition -> clients
+// -> server -> rounds -> curves. These use tiny synthetic datasets so the
+// whole file runs in seconds, but they exercise exactly the code path the
+// bench harness uses to regenerate the paper's tables and figures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.h"
+#include "util/stats.h"
+
+namespace niid {
+namespace {
+
+ExperimentConfig FastConfig(const std::string& dataset = "covtype") {
+  ExperimentConfig config;
+  config.dataset = dataset;
+  config.catalog.size_factor = 0.001;
+  config.catalog.min_train_size = 240;
+  config.catalog.min_test_size = 120;
+  config.catalog.max_tabular_features = 100;
+  config.rounds = 4;
+  config.trials = 1;
+  config.seed = 3;
+  config.local.local_epochs = 2;
+  config.local.batch_size = 32;
+  config.partition.num_parties = 4;
+  config.partition.min_samples_per_party = 4;
+  return config;
+}
+
+TEST(RunnerTest, LearnsOnIidTabularData) {
+  ExperimentConfig config = FastConfig();
+  config.rounds = 12;
+  config.local.learning_rate = 0.05f;  // tiny MLP needs more than paper lr
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_EQ(result.trials.size(), 1u);
+  const TrialResult& trial = result.trials[0];
+  ASSERT_EQ(trial.round_accuracy.size(), 12u);
+  EXPECT_GT(trial.final_accuracy, 0.65);
+  EXPECT_GT(trial.final_accuracy, trial.round_accuracy[0]);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  const ExperimentConfig config = FastConfig();
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_EQ(a.trials[0].round_accuracy, b.trials[0].round_accuracy);
+  EXPECT_EQ(a.trials[0].round_loss, b.trials[0].round_loss);
+}
+
+TEST(RunnerTest, TrialsDiffer) {
+  ExperimentConfig config = FastConfig();
+  config.trials = 2;
+  config.partition.strategy = PartitionStrategy::kLabelDirichlet;
+  config.partition.beta = 0.5;
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_EQ(result.trials.size(), 2u);
+  EXPECT_NE(result.trials[0].round_accuracy,
+            result.trials[1].round_accuracy);
+}
+
+TEST(RunnerTest, EvalEverySubsamplesCurve) {
+  ExperimentConfig config = FastConfig();
+  config.rounds = 6;
+  config.eval_every = 3;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.trials[0].round_accuracy.size(), 2u);
+}
+
+TEST(RunnerTest, ObserverSeesEveryRound) {
+  ExperimentConfig config = FastConfig();
+  int calls = 0;
+  RunExperiment(config, [&calls](int trial, const RoundStats& stats,
+                                 const EvalResult&) {
+    EXPECT_EQ(trial, 0);
+    EXPECT_EQ(stats.round, calls);
+    ++calls;
+  });
+  EXPECT_EQ(calls, config.rounds);
+}
+
+TEST(RunnerTest, ResolveLearningRateUsesPaperDefaults) {
+  ExperimentConfig config = FastConfig("rcv1");
+  config.local.learning_rate = 0.f;
+  EXPECT_FLOAT_EQ(ResolveLearningRate(config), 0.1f);
+  config.dataset = "mnist";
+  EXPECT_FLOAT_EQ(ResolveLearningRate(config), 0.01f);
+  config.local.learning_rate = 0.42f;
+  EXPECT_FLOAT_EQ(ResolveLearningRate(config), 0.42f);
+}
+
+TEST(RunnerTest, UploadAccountingPropagates) {
+  ExperimentConfig config = FastConfig();
+  const ExperimentResult avg = RunExperiment(config);
+  config.algorithm = "scaffold";
+  const ExperimentResult scaffold = RunExperiment(config);
+  EXPECT_EQ(scaffold.trials[0].upload_floats,
+            2 * avg.trials[0].upload_floats);
+}
+
+// The core qualitative claim of the paper (Finding 1): label skew hurts,
+// quantity skew basically does not. Run FedAvg under homo / #C=1 / quantity
+// skew on the same dataset and compare.
+TEST(RunnerTest, LabelSkewHurtsMoreThanQuantitySkew) {
+  ExperimentConfig config = FastConfig("covtype");
+  config.rounds = 12;
+  config.local.learning_rate = 0.05f;
+  config.catalog.min_train_size = 400;
+
+  config.partition.strategy = PartitionStrategy::kHomogeneous;
+  const double homo = RunExperiment(config).trials[0].final_accuracy;
+
+  config.partition.strategy = PartitionStrategy::kLabelQuantity;
+  config.partition.labels_per_party = 1;
+  const double skew1 = RunExperiment(config).trials[0].final_accuracy;
+
+  config.partition.strategy = PartitionStrategy::kQuantityDirichlet;
+  config.partition.beta = 0.5;
+  const double quantity = RunExperiment(config).trials[0].final_accuracy;
+
+  EXPECT_GT(homo, skew1 - 0.02);      // #C=1 never beats IID materially
+  EXPECT_GT(quantity, skew1 - 0.02);  // quantity skew is benign by contrast
+}
+
+TEST(RunnerTest, FemnistRealWorldPartitionRuns) {
+  ExperimentConfig config;
+  config.dataset = "femnist";
+  config.catalog.size_factor = 0.0005;
+  config.catalog.min_train_size = 200;
+  config.catalog.min_test_size = 60;
+  config.rounds = 2;
+  config.local.local_epochs = 1;
+  config.local.batch_size = 32;
+  config.partition.strategy = PartitionStrategy::kRealWorld;
+  config.partition.num_parties = 5;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.trials[0].final_accuracy, 0.0);
+}
+
+TEST(RunnerTest, FcubeSyntheticPartitionRuns) {
+  ExperimentConfig config;
+  config.dataset = "fcube";
+  config.catalog.size_factor = 0.1;
+  config.catalog.min_train_size = 300;
+  config.catalog.min_test_size = 100;
+  config.rounds = 8;
+  config.local.local_epochs = 3;
+  config.local.batch_size = 32;
+  config.local.learning_rate = 0.05f;
+  config.partition.strategy = PartitionStrategy::kSynthetic;
+  config.partition.num_parties = 4;
+  const ExperimentResult result = RunExperiment(config);
+  // FCUBE is linearly separable; the MLP should nail it quickly.
+  EXPECT_GT(result.trials[0].final_accuracy, 0.9);
+}
+
+TEST(RunnerTest, BuildServerExposesClients) {
+  const ExperimentConfig config = FastConfig();
+  Dataset test;
+  auto server = BuildServerForTrial(config, 0, &test);
+  EXPECT_EQ(server->num_clients(), 4);
+  EXPECT_GT(test.size(), 0);
+  int64_t total = 0;
+  for (int i = 0; i < server->num_clients(); ++i) {
+    total += server->client(i).num_samples();
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(RunnerTest, ThreadsDoNotChangeResults) {
+  ExperimentConfig config = FastConfig();
+  config.num_threads = 1;
+  const ExperimentResult serial = RunExperiment(config);
+  config.num_threads = 3;
+  const ExperimentResult threaded = RunExperiment(config);
+  EXPECT_EQ(serial.trials[0].round_accuracy,
+            threaded.trials[0].round_accuracy);
+}
+
+
+TEST(RunnerTest, DpNoiseIsDeterministicPerSeed) {
+  ExperimentConfig config = FastConfig();
+  config.dp.clip_norm = 2.0;
+  config.dp.noise_multiplier = 0.05;
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_EQ(a.trials[0].round_accuracy, b.trials[0].round_accuracy);
+  config.seed += 1;
+  const ExperimentResult c = RunExperiment(config);
+  EXPECT_NE(a.trials[0].round_accuracy, c.trials[0].round_accuracy);
+}
+
+TEST(RunnerTest, FedAvgMServerMomentumLearns) {
+  ExperimentConfig config = FastConfig();
+  config.rounds = 10;
+  config.local.learning_rate = 0.05f;
+  config.algo.server_momentum = 0.7f;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.trials[0].final_accuracy, 0.6);
+  // And it must actually change the trajectory vs plain FedAvg.
+  config.algo.server_momentum = 0.f;
+  const ExperimentResult plain = RunExperiment(config);
+  EXPECT_NE(result.trials[0].round_accuracy, plain.trials[0].round_accuracy);
+}
+
+
+TEST(LrScheduleTest, ConstantIsIdentity) {
+  ExperimentConfig config;
+  config.lr_schedule = LrSchedule::kConstant;
+  for (int round : {0, 5, 49}) {
+    EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.1f, round, 50), 0.1f);
+  }
+}
+
+TEST(LrScheduleTest, StepDecayHalvesOnSchedule) {
+  ExperimentConfig config;
+  config.lr_schedule = LrSchedule::kStepDecay;
+  config.lr_decay_every = 10;
+  EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.8f, 0, 50), 0.8f);
+  EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.8f, 9, 50), 0.8f);
+  EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.8f, 10, 50), 0.4f);
+  EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.8f, 25, 50), 0.2f);
+  EXPECT_FLOAT_EQ(ScheduledLearningRate(config, 0.8f, 49, 50), 0.05f);
+}
+
+TEST(LrScheduleTest, CosineAnnealsToFloor) {
+  ExperimentConfig config;
+  config.lr_schedule = LrSchedule::kCosine;
+  config.lr_min_factor = 0.1f;
+  const float start = ScheduledLearningRate(config, 1.f, 0, 21);
+  const float middle = ScheduledLearningRate(config, 1.f, 10, 21);
+  const float end = ScheduledLearningRate(config, 1.f, 20, 21);
+  EXPECT_FLOAT_EQ(start, 1.f);
+  EXPECT_NEAR(middle, 0.55f, 1e-5f);  // halfway between 1 and 0.1
+  EXPECT_NEAR(end, 0.1f, 1e-6f);
+  // Monotone decreasing.
+  float previous = 2.f;
+  for (int round = 0; round < 21; ++round) {
+    const float lr = ScheduledLearningRate(config, 1.f, round, 21);
+    EXPECT_LT(lr, previous + 1e-7f);
+    previous = lr;
+  }
+}
+
+TEST(LrScheduleTest, EndToEndStepDecayStillLearns) {
+  ExperimentConfig config = FastConfig();
+  config.rounds = 10;
+  config.local.learning_rate = 0.1f;
+  config.lr_schedule = LrSchedule::kStepDecay;
+  config.lr_decay_every = 4;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.trials[0].final_accuracy, 0.6);
+  // And differs from the constant-lr trajectory.
+  config.lr_schedule = LrSchedule::kConstant;
+  const ExperimentResult constant = RunExperiment(config);
+  EXPECT_NE(result.trials[0].round_accuracy,
+            constant.trials[0].round_accuracy);
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "grad_check.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models/resnet.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace niid {
+namespace {
+
+using ::niid::testing::CheckModuleGradients;
+using ::niid::testing::GradCheckOptions;
+
+// ---------------------------------------------------------------- linear
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 3, rng);
+  // Overwrite weights with known values: W = [[1,2],[3,4],[5,6]], b = 0.
+  auto params = layer.Parameters();
+  params[0]->value = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  params[1]->value = Tensor::FromVector({3}, {0.5f, 0.f, -0.5f});
+  const Tensor x = Tensor::FromVector({1, 2}, {10, 20});
+  const Tensor y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 50.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 110.f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 169.5f);
+}
+
+TEST(LinearTest, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  Linear layer(5, 4, rng);
+  const Tensor input = Tensor::Randn({3, 5}, rng);
+  CheckModuleGradients(layer, input, rng);
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(3);
+  Linear layer(2, 2, rng);
+  const Tensor x = Tensor::Ones({1, 2});
+  const Tensor g = Tensor::Ones({1, 2});
+  layer.Forward(x);
+  layer.Backward(g);
+  const Tensor first = layer.Parameters()[0]->grad;
+  layer.Forward(x);
+  layer.Backward(g);
+  const Tensor second = layer.Parameters()[0]->grad;
+  for (int64_t i = 0; i < first.numel(); ++i) {
+    EXPECT_FLOAT_EQ(second[i], 2 * first[i]);
+  }
+}
+
+// ---------------------------------------------------------------- conv
+
+TEST(Conv2dTest, ForwardKnownKernel) {
+  Rng rng(4);
+  Conv2d conv(1, 1, 2, rng);  // 2x2 kernel
+  auto params = conv.Parameters();
+  params[0]->value = Tensor::FromVector({1, 4}, {1, 0, 0, 1});  // identity+BR
+  params[1]->value = Tensor::FromVector({1}, {0.f});
+  const Tensor x = Tensor::FromVector({1, 1, 3, 3},
+                                      {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor y = conv.Forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+  // y[0,0] = x[0,0] + x[1,1] = 1 + 5.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 14.f);
+}
+
+TEST(Conv2dTest, OutputShapeWithStridePadding) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, rng, /*stride=*/2, /*padding=*/1);
+  const Tensor x = Tensor::Randn({2, 3, 9, 9}, rng);
+  const Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 8, 5, 5}));
+}
+
+TEST(Conv2dTest, GradientsMatchFiniteDifferences) {
+  Rng rng(6);
+  Conv2d conv(2, 3, 3, rng, 1, 1);
+  const Tensor input = Tensor::Randn({2, 2, 5, 5}, rng);
+  CheckModuleGradients(conv, input, rng);
+}
+
+TEST(Conv2dTest, StridedGradients) {
+  Rng rng(7);
+  Conv2d conv(1, 2, 3, rng, /*stride=*/2, /*padding=*/0);
+  const Tensor input = Tensor::Randn({1, 1, 7, 7}, rng);
+  CheckModuleGradients(conv, input, rng);
+}
+
+// ---------------------------------------------------------------- pooling
+
+TEST(MaxPool2dTest, ForwardPicksMaxima) {
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::FromVector({1, 1, 4, 4},
+                                      {1, 2, 3, 4,
+                                       5, 6, 7, 8,
+                                       9, 10, 11, 12,
+                                       13, 14, 15, 16});
+  const Tensor y = pool.Forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 8.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 14.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 16.f);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.Forward(x);
+  const Tensor g = Tensor::FromVector({1, 1, 1, 1}, {5.f});
+  const Tensor dx = pool.Backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 0.f);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 1), 5.f);
+}
+
+TEST(MaxPool2dTest, GradientsMatchFiniteDifferences) {
+  Rng rng(8);
+  MaxPool2d pool(2);
+  // Spread values so the argmax is stable under the probe epsilon.
+  Tensor input = Tensor::Randn({2, 2, 6, 6}, rng, 0.f, 10.f);
+  CheckModuleGradients(pool, input, rng);
+}
+
+TEST(GlobalAvgPoolTest, ForwardAndBackward) {
+  GlobalAvgPool pool;
+  const Tensor x = Tensor::FromVector({1, 2, 2, 2},
+                                      {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = pool.Forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.f);
+  const Tensor g = Tensor::FromVector({1, 2}, {4.f, 8.f});
+  const Tensor dx = pool.Backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 1.f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1, 1, 1), 2.f);
+}
+
+TEST(FlattenTest, RoundTripsShape) {
+  Flatten flatten;
+  Rng rng(9);
+  const Tensor x = Tensor::Randn({3, 2, 4, 4}, rng);
+  const Tensor y = flatten.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 32}));
+  const Tensor dx = flatten.Backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+// ---------------------------------------------------------------- relu
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor x = Tensor::FromVector({1, 4}, {-1, 0, 2, -3});
+  const Tensor y = relu.Forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 2.f);
+  EXPECT_FLOAT_EQ(y[3], 0.f);
+}
+
+TEST(ReLUTest, BackwardMasksGradient) {
+  ReLU relu;
+  relu.Forward(Tensor::FromVector({1, 3}, {-1, 1, 2}));
+  const Tensor dx = relu.Backward(Tensor::FromVector({1, 3}, {7, 7, 7}));
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[1], 7.f);
+  EXPECT_FLOAT_EQ(dx[2], 7.f);
+}
+
+TEST(ReLUTest, GradientsMatchFiniteDifferences) {
+  Rng rng(10);
+  ReLU relu;
+  // Keep activations away from the kink.
+  Tensor input = Tensor::Randn({4, 6}, rng, 0.f, 5.f);
+  CheckModuleGradients(relu, input, rng);
+}
+
+// ---------------------------------------------------------------- batchnorm
+
+TEST(BatchNormTest, NormalizesBatchInTrainingMode) {
+  BatchNorm bn(3);
+  Rng rng(11);
+  const Tensor x = Tensor::Randn({64, 3}, rng, 5.f, 2.f);
+  const Tensor y = bn.Forward(x);
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < 64; ++i) {
+      sum += y.at(i, c);
+      sq += double(y.at(i, c)) * y.at(i, c);
+    }
+    const double mean = sum / 64;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(sq / 64 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataMoments) {
+  BatchNorm bn(2, /*momentum=*/0.5f);
+  Rng rng(12);
+  for (int step = 0; step < 50; ++step) {
+    const Tensor x = Tensor::Randn({256, 2}, rng, 3.f, 2.f);
+    bn.Forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.f, 0.6f);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  BatchNorm bn(1);
+  Rng rng(13);
+  for (int step = 0; step < 100; ++step) {
+    bn.Forward(Tensor::Randn({128, 1}, rng, 10.f, 1.f));
+  }
+  bn.SetTraining(false);
+  const Tensor x = Tensor::Full({4, 1}, 10.f);
+  const Tensor y = bn.Forward(x);
+  // Input at the running mean must normalize to ~0.
+  EXPECT_NEAR(y[0], 0.f, 0.2f);
+}
+
+TEST(BatchNormTest, BuffersAreNotTrainable) {
+  BatchNorm bn(4);
+  const auto params = bn.Parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_TRUE(params[0]->trainable);   // gamma
+  EXPECT_TRUE(params[1]->trainable);   // beta
+  EXPECT_FALSE(params[2]->trainable);  // running_mean
+  EXPECT_FALSE(params[3]->trainable);  // running_var
+}
+
+TEST(BatchNormTest, GradientsMatchFiniteDifferences2d) {
+  Rng rng(14);
+  BatchNorm bn(3);
+  const Tensor input = Tensor::Randn({8, 3}, rng, 1.f, 2.f);
+  GradCheckOptions options;
+  options.epsilon = 1e-2f;
+  options.rel_tolerance = 8e-2;
+  options.abs_tolerance = 2e-2;
+  CheckModuleGradients(bn, input, rng, options);
+}
+
+TEST(BatchNormTest, GradientsMatchFiniteDifferences4d) {
+  Rng rng(15);
+  BatchNorm bn(2);
+  const Tensor input = Tensor::Randn({3, 2, 4, 4}, rng, 0.f, 2.f);
+  GradCheckOptions options;
+  options.epsilon = 1e-2f;
+  options.rel_tolerance = 8e-2;
+  options.abs_tolerance = 2e-2;
+  CheckModuleGradients(bn, input, rng, options);
+}
+
+// ---------------------------------------------------------------- loss
+
+TEST(LossTest, UniformLogitsGiveLogK) {
+  const Tensor logits = Tensor::Zeros({4, 10});
+  const LossResult result = SoftmaxCrossEntropy(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(result.loss, std::log(10.0), 1e-5);
+}
+
+TEST(LossTest, CorrectCountsTopOne) {
+  const Tensor logits = Tensor::FromVector({2, 3},
+                                           {10, 0, 0,
+                                            0, 0, 10});
+  const LossResult result = SoftmaxCrossEntropy(logits, {0, 0});
+  EXPECT_EQ(result.correct, 1);
+}
+
+TEST(LossTest, GradientSumsToZeroPerRow) {
+  Rng rng(16);
+  const Tensor logits = Tensor::Randn({5, 7}, rng);
+  const LossResult result = SoftmaxCrossEntropy(logits, {0, 1, 2, 3, 4});
+  for (int64_t i = 0; i < 5; ++i) {
+    double sum = 0;
+    for (int64_t j = 0; j < 7; ++j) sum += result.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-6);  // (p - onehot) sums to zero
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  Rng rng(17);
+  Tensor logits = Tensor::Randn({3, 4}, rng);
+  const std::vector<int> labels = {1, 3, 0};
+  const LossResult analytic = SoftmaxCrossEntropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus = SoftmaxCrossEntropy(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double minus = SoftmaxCrossEntropy(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(analytic.grad_logits[i], (plus - minus) / (2 * eps), 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------- optimizer
+
+TEST(SgdTest, VanillaStepMatchesFormula) {
+  Rng rng(18);
+  Linear layer(1, 1, rng);
+  auto params = layer.Parameters();
+  params[0]->value = Tensor::FromVector({1, 1}, {2.f});
+  params[0]->grad = Tensor::FromVector({1, 1}, {0.5f});
+  params[1]->value = Tensor::FromVector({1}, {0.f});
+  params[1]->grad = Tensor::FromVector({1}, {0.f});
+  SgdOptimizer opt(layer, /*lr=*/0.1f, /*momentum=*/0.f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(params[0]->value[0], 2.f - 0.1f * 0.5f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Rng rng(19);
+  Linear layer(1, 1, rng);
+  auto params = layer.Parameters();
+  params[0]->value = Tensor::FromVector({1, 1}, {0.f});
+  params[1]->value = Tensor::FromVector({1}, {0.f});
+  SgdOptimizer opt(layer, 1.f, /*momentum=*/0.9f);
+  // Constant gradient 1: v1 = 1, w1 = -1; v2 = 1.9, w2 = -2.9.
+  params[0]->grad = Tensor::FromVector({1, 1}, {1.f});
+  params[1]->grad = Tensor::FromVector({1}, {0.f});
+  opt.Step();
+  EXPECT_FLOAT_EQ(params[0]->value[0], -1.f);
+  params[0]->grad = Tensor::FromVector({1, 1}, {1.f});
+  opt.Step();
+  EXPECT_FLOAT_EQ(params[0]->value[0], -2.9f);
+}
+
+TEST(SgdTest, WeightDecayAddsL2Gradient) {
+  Rng rng(20);
+  Linear layer(1, 1, rng);
+  auto params = layer.Parameters();
+  params[0]->value = Tensor::FromVector({1, 1}, {10.f});
+  params[0]->grad = Tensor::FromVector({1, 1}, {0.f});
+  params[1]->value = Tensor::FromVector({1}, {0.f});
+  params[1]->grad = Tensor::FromVector({1}, {0.f});
+  SgdOptimizer opt(layer, 0.1f, 0.f, /*weight_decay=*/0.01f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(params[0]->value[0], 10.f - 0.1f * 0.01f * 10.f);
+}
+
+TEST(SgdTest, ResetMomentumClearsVelocity) {
+  Rng rng(21);
+  Linear layer(1, 1, rng);
+  auto params = layer.Parameters();
+  params[0]->value = Tensor::FromVector({1, 1}, {0.f});
+  params[1]->value = Tensor::FromVector({1}, {0.f});
+  params[1]->grad = Tensor::FromVector({1}, {0.f});
+  SgdOptimizer opt(layer, 1.f, 0.9f);
+  params[0]->grad = Tensor::FromVector({1, 1}, {1.f});
+  opt.Step();
+  opt.ResetMomentum();
+  params[0]->grad = Tensor::FromVector({1, 1}, {1.f});
+  opt.Step();
+  // Without reset this would be -2.9; with reset it is -1 - 1 = -2.
+  EXPECT_FLOAT_EQ(params[0]->value[0], -2.f);
+}
+
+TEST(SgdTest, SkipsBuffers) {
+  BatchNorm bn(2);
+  SgdOptimizer opt(bn, 0.1f);
+  const Tensor mean_before = bn.running_mean();
+  Rng rng(22);
+  bn.Forward(Tensor::Randn({16, 2}, rng));
+  bn.Backward(Tensor::Ones({16, 2}));
+  const Tensor mean_mid = bn.running_mean();  // updated by Forward
+  opt.Step();
+  // Step must not touch the buffers further.
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(bn.running_mean()[i], mean_mid[i]);
+  }
+}
+
+// ---------------------------------------------------------------- composite
+
+TEST(SequentialTest, ChainsForwardAndBackward) {
+  Rng rng(23);
+  Sequential model;
+  model.Emplace<Linear>(4, 8, rng);
+  model.Emplace<ReLU>();
+  model.Emplace<Linear>(8, 3, rng);
+  const Tensor x = Tensor::Randn({2, 4}, rng);
+  const Tensor y = model.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 3}));
+  const Tensor dx = model.Backward(Tensor::Ones({2, 3}));
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_EQ(model.Parameters().size(), 4u);
+  EXPECT_EQ(model.size(), 3);
+}
+
+TEST(SequentialTest, GradientsMatchFiniteDifferences) {
+  Rng rng(24);
+  Sequential model;
+  model.Emplace<Linear>(6, 5, rng);
+  model.Emplace<ReLU>();
+  model.Emplace<Linear>(5, 2, rng);
+  const Tensor input = Tensor::Randn({3, 6}, rng);
+  CheckModuleGradients(model, input, rng);
+}
+
+TEST(SequentialTest, SetTrainingPropagates) {
+  Rng rng(25);
+  Sequential model;
+  auto* bn = model.Emplace<BatchNorm>(4);
+  model.SetTraining(false);
+  EXPECT_FALSE(bn->training());
+  model.SetTraining(true);
+  EXPECT_TRUE(bn->training());
+}
+
+TEST(ResidualBlockTest, IdentityShortcutShapes) {
+  Rng rng(26);
+  ResidualBlock block(8, 8, 1, rng);
+  const Tensor x = Tensor::Randn({2, 8, 6, 6}, rng);
+  const Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // No projection: 2 convs + 2 BNs -> 2*2 + 2*4 = 12 parameters.
+  EXPECT_EQ(block.Parameters().size(), 12u);
+}
+
+TEST(ResidualBlockTest, ProjectionShortcutShapes) {
+  Rng rng(27);
+  ResidualBlock block(4, 8, 2, rng);
+  const Tensor x = Tensor::Randn({2, 4, 8, 8}, rng);
+  const Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 8, 4, 4}));
+  // Adds projection conv (2) + BN (4).
+  EXPECT_EQ(block.Parameters().size(), 18u);
+}
+
+TEST(ResidualBlockTest, GradientsMatchFiniteDifferences) {
+  Rng rng(28);
+  ResidualBlock block(3, 3, 1, rng);
+  const Tensor input = Tensor::Randn({2, 3, 5, 5}, rng, 0.f, 2.f);
+  GradCheckOptions options;
+  options.epsilon = 1e-2f;
+  options.rel_tolerance = 1e-1;
+  options.abs_tolerance = 3e-2;
+  options.max_failure_fraction = 0.12;  // BN+ReLU kink corruption
+  CheckModuleGradients(block, input, rng, options);
+}
+
+TEST(ResidualBlockTest, ProjectionGradients) {
+  Rng rng(29);
+  ResidualBlock block(2, 4, 2, rng);
+  const Tensor input = Tensor::Randn({2, 2, 6, 6}, rng, 0.f, 2.f);
+  GradCheckOptions options;
+  options.epsilon = 1e-2f;
+  options.rel_tolerance = 1e-1;
+  options.abs_tolerance = 3e-2;
+  options.max_failure_fraction = 0.12;  // BN+ReLU kink corruption
+  CheckModuleGradients(block, input, rng, options);
+}
+
+
+TEST(MaxPool2dTest, TruncatesNonDivisibleInput) {
+  MaxPool2d pool(2);
+  Rng rng(30);
+  const Tensor x = Tensor::Randn({1, 1, 5, 5}, rng);
+  const Tensor y = pool.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+  const Tensor dx = pool.Backward(Tensor::Ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(BatchNormTest, EvalModeBackwardIsLinearScaling) {
+  BatchNorm bn(2);
+  Rng rng(31);
+  // Warm up running stats, then freeze.
+  for (int i = 0; i < 20; ++i) bn.Forward(Tensor::Randn({32, 2}, rng));
+  bn.SetTraining(false);
+  const Tensor input = Tensor::Randn({4, 2}, rng);
+  CheckModuleGradients(bn, input, rng);
+}
+
+TEST(SequentialTest, ConvPoolLinearGradients) {
+  Rng rng(32);
+  Sequential model;
+  model.Emplace<Conv2d>(1, 2, 3, rng, 1, 1);
+  model.Emplace<ReLU>();
+  model.Emplace<MaxPool2d>(2);
+  model.Emplace<Flatten>();
+  model.Emplace<Linear>(2 * 3 * 3, 4, rng);
+  const Tensor input = Tensor::Randn({2, 1, 6, 6}, rng, 0.f, 3.f);
+  GradCheckOptions options;
+  options.max_failure_fraction = 0.05;  // ReLU/pool kinks
+  CheckModuleGradients(model, input, rng, options);
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "grad_check.h"
+#include "nn/loss.h"
+#include "nn/models/factory.h"
+#include "nn/optimizer.h"
+#include "nn/parameters.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+ModelSpec ImageSpec(const std::string& name, int channels = 1, int hw = 28) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.input_channels = channels;
+  spec.input_height = hw;
+  spec.input_width = hw;
+  spec.num_classes = 10;
+  return spec;
+}
+
+// ---------------------------------------------------------------- shapes
+
+TEST(SimpleCnnTest, OutputShapeMnist) {
+  Rng rng(1);
+  auto model = CreateModel(ImageSpec("simple-cnn"), rng);
+  const Tensor x = Tensor::Randn({4, 1, 28, 28}, rng);
+  EXPECT_EQ(model->Forward(x).shape(), (std::vector<int64_t>{4, 10}));
+}
+
+TEST(SimpleCnnTest, OutputShapeCifar) {
+  Rng rng(2);
+  auto model = CreateModel(ImageSpec("simple-cnn", 3, 32), rng);
+  const Tensor x = Tensor::Randn({2, 3, 32, 32}, rng);
+  EXPECT_EQ(model->Forward(x).shape(), (std::vector<int64_t>{2, 10}));
+}
+
+TEST(SimpleCnnTest, ParameterCountMatchesLeNetArithmetic) {
+  // conv1: 6*(1*25)+6; conv2: 16*(6*25)+16; fc1: 120*256+120;
+  // fc2: 84*120+84; fc3: 10*84+10  (28x28 input -> 4x4x16 = 256 flat).
+  Rng rng(3);
+  auto model = CreateModel(ImageSpec("simple-cnn"), rng);
+  const int64_t expected = (6 * 25 + 6) + (16 * 150 + 16) +
+                           (120 * 256 + 120) + (84 * 120 + 84) +
+                           (10 * 84 + 10);
+  EXPECT_EQ(TrainableSize(*model), expected);
+  EXPECT_EQ(StateSize(*model), expected);  // no buffers in the CNN
+}
+
+TEST(TabularMlpTest, OutputShapeAndParameterCount) {
+  Rng rng(4);
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 54;
+  spec.num_classes = 2;
+  auto model = CreateModel(spec, rng);
+  const Tensor x = Tensor::Randn({5, 54}, rng);
+  EXPECT_EQ(model->Forward(x).shape(), (std::vector<int64_t>{5, 2}));
+  const int64_t expected = (32 * 54 + 32) + (16 * 32 + 16) + (8 * 16 + 8) +
+                           (2 * 8 + 2);
+  EXPECT_EQ(TrainableSize(*model), expected);
+}
+
+TEST(Vgg9Test, OutputShape) {
+  Rng rng(5);
+  auto model = CreateModel(ImageSpec("vgg9", 3, 32), rng);
+  const Tensor x = Tensor::Randn({2, 3, 32, 32}, rng);
+  EXPECT_EQ(model->Forward(x).shape(), (std::vector<int64_t>{2, 10}));
+}
+
+TEST(Vgg9Test, HasNineWeightLayers) {
+  Rng rng(6);
+  auto model = CreateModel(ImageSpec("vgg9", 3, 32), rng);
+  // 9 weighted layers (6 conv + 3 linear), each with weight + bias.
+  EXPECT_EQ(model->Parameters().size(), 18u);
+}
+
+TEST(ResNetTest, OutputShapeAndBuffers) {
+  Rng rng(7);
+  ModelSpec spec = ImageSpec("resnet", 3, 32);
+  spec.resnet_blocks_per_stage = 1;
+  auto model = CreateModel(spec, rng);
+  const Tensor x = Tensor::Randn({2, 3, 32, 32}, rng);
+  EXPECT_EQ(model->Forward(x).shape(), (std::vector<int64_t>{2, 10}));
+  // BatchNorm layers mean state > trainable.
+  EXPECT_GT(StateSize(*model), TrainableSize(*model));
+}
+
+TEST(ResNetTest, DepthKnobAddsParameters) {
+  Rng rng(8);
+  ModelSpec spec8 = ImageSpec("resnet", 3, 32);
+  spec8.resnet_blocks_per_stage = 1;
+  ModelSpec spec14 = spec8;
+  spec14.resnet_blocks_per_stage = 2;
+  auto model8 = CreateModel(spec8, rng);
+  auto model14 = CreateModel(spec14, rng);
+  EXPECT_GT(TrainableSize(*model14), TrainableSize(*model8));
+}
+
+TEST(FactoryTest, UnknownNameAborts) {
+  Rng rng(9);
+  ModelSpec spec;
+  spec.name = "transformer";
+  EXPECT_DEATH(CreateModel(spec, rng), "unknown model name");
+}
+
+TEST(FactoryTest, FactoryClosureReproducesArchitecture) {
+  ModelSpec spec = ImageSpec("simple-cnn");
+  const ModelFactory factory = MakeModelFactory(spec);
+  Rng rng1(10), rng2(10);
+  auto a = factory(rng1);
+  auto b = factory(rng2);
+  EXPECT_EQ(FlattenState(*a), FlattenState(*b));  // same seed, same init
+}
+
+TEST(FactoryTest, DifferentSeedsDifferentInit) {
+  const ModelFactory factory = MakeModelFactory(ImageSpec("simple-cnn"));
+  Rng rng1(10), rng2(11);
+  auto a = factory(rng1);
+  auto b = factory(rng2);
+  EXPECT_NE(FlattenState(*a), FlattenState(*b));
+}
+
+// ---------------------------------------------------------------- state
+
+TEST(ParametersTest, FlattenLoadRoundTrip) {
+  Rng rng(11);
+  auto model = CreateModel(ImageSpec("resnet", 3, 16), rng);
+  StateVector state = FlattenState(*model);
+  // Mutate, reload, verify.
+  for (float& v : state) v += 1.f;
+  LoadState(*model, state);
+  EXPECT_EQ(FlattenState(*model), state);
+}
+
+TEST(ParametersTest, LayoutCoversStateExactly) {
+  Rng rng(12);
+  auto model = CreateModel(ImageSpec("resnet", 1, 16), rng);
+  const auto layout = StateLayout(*model);
+  int64_t covered = 0;
+  int64_t expected_offset = 0;
+  bool has_buffer = false;
+  for (const StateSegment& seg : layout) {
+    EXPECT_EQ(seg.offset, expected_offset);
+    expected_offset += seg.size;
+    covered += seg.size;
+    has_buffer = has_buffer || !seg.trainable;
+  }
+  EXPECT_EQ(covered, StateSize(*model));
+  EXPECT_TRUE(has_buffer);
+}
+
+TEST(ParametersTest, GradStateZeroAtBuffers) {
+  Rng rng(13);
+  auto model = CreateModel(ImageSpec("resnet", 1, 16), rng);
+  // Populate gradients.
+  const Tensor x = Tensor::Randn({2, 1, 16, 16}, rng);
+  const Tensor out = model->Forward(x);
+  model->Backward(Tensor::Ones(out.shape()));
+  const StateVector grads = GradState(*model);
+  for (const StateSegment& seg : StateLayout(*model)) {
+    if (seg.trainable) continue;
+    for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+      EXPECT_EQ(grads[i], 0.f);
+    }
+  }
+}
+
+TEST(ParametersTest, AxpyToGradsSkipsBuffers) {
+  Rng rng(14);
+  auto model = CreateModel(ImageSpec("resnet", 1, 16), rng);
+  ZeroGrads(*model);
+  const StateVector ones(StateSize(*model), 1.f);
+  AxpyToGrads(*model, 2.f, ones);
+  for (Parameter* p : model->Parameters()) {
+    if (p->trainable) {
+      EXPECT_EQ(p->grad[0], 2.f) << p->name;
+    }
+  }
+  // Buffers have no grad semantics; GradState must still be zero there.
+  const StateVector grads = GradState(*model);
+  for (const StateSegment& seg : StateLayout(*model)) {
+    if (!seg.trainable) EXPECT_EQ(grads[seg.offset], 0.f);
+  }
+}
+
+TEST(ParametersTest, VectorHelpers) {
+  StateVector a = {1.f, 2.f, 3.f};
+  const StateVector b = {1.f, 1.f, 1.f};
+  Axpy(a, 2.f, b);
+  EXPECT_EQ(a, (StateVector{3.f, 4.f, 5.f}));
+  Scale(a, 0.5f);
+  EXPECT_EQ(a, (StateVector{1.5f, 2.f, 2.5f}));
+  const StateVector d = Subtract(a, b);
+  EXPECT_EQ(d, (StateVector{0.5f, 1.f, 1.5f}));
+  EXPECT_NEAR(Norm({3.f, 4.f}), 5.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- learning
+
+// Every model must be able to overfit a tiny two-class problem — a strong
+// end-to-end check of the forward/backward plumbing.
+class ModelLearning : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelLearning, OverfitsTinyProblem) {
+  const std::string name = GetParam();
+  Rng rng(42);
+  ModelSpec spec;
+  spec.num_classes = 2;
+  if (name == "mlp") {
+    spec.name = "mlp";
+    spec.input_features = 8;
+  } else {
+    spec = ImageSpec(name, 1, 16);
+    spec.num_classes = 2;
+  }
+  auto model = CreateModel(spec, rng);
+
+  // Two well-separated patterns.
+  const int64_t n = 16;
+  Tensor x = spec.input_features > 0
+                 ? Tensor::Randn({n, spec.input_features}, rng, 0.f, 0.1f)
+                 : Tensor::Randn({n, 1, 16, 16}, rng, 0.f, 0.1f);
+  std::vector<int> y(n);
+  const int64_t row = x.numel() / n;
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (int64_t j = 0; j < row; ++j) {
+      x[i * row + j] += (y[i] == 0 ? 0.5f : -0.5f);
+    }
+  }
+
+  SgdOptimizer opt(*model, name == "mlp" ? 0.1f : 0.05f, 0.9f);
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 40; ++step) {
+    ZeroGrads(*model);
+    const Tensor logits = model->Forward(x);
+    const LossResult loss = SoftmaxCrossEntropy(logits, y);
+    model->Backward(loss.grad_logits);
+    opt.Step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5)
+      << name << ": loss did not halve (" << first_loss << " -> "
+      << last_loss << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelLearning,
+                         ::testing::Values("simple-cnn", "mlp", "vgg9",
+                                           "resnet"));
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "data/fcube.h"
+#include "data/femnist.h"
+#include "data/synthetic.h"
+#include "partition/feature_skew.h"
+#include "partition/label_skew.h"
+#include "partition/partition.h"
+#include "partition/quantity_skew.h"
+#include "partition/report.h"
+
+namespace niid {
+namespace {
+
+// A balanced 10-class label vector.
+std::vector<int> BalancedLabels(int per_class, int classes = 10) {
+  std::vector<int> labels;
+  for (int c = 0; c < classes; ++c) {
+    labels.insert(labels.end(), per_class, c);
+  }
+  return labels;
+}
+
+// Verifies indices form a valid partition: within range and disjoint.
+void ExpectDisjointCoverage(const std::vector<std::vector<int64_t>>& parts,
+                            int64_t total, bool expect_complete = true) {
+  std::set<int64_t> seen;
+  int64_t count = 0;
+  for (const auto& part : parts) {
+    for (int64_t idx : part) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, total);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      ++count;
+    }
+  }
+  if (expect_complete) EXPECT_EQ(count, total);
+}
+
+// ---------------------------------------------------------------- homo
+
+TEST(HomogeneousTest, EqualSizesAndCoverage) {
+  Rng rng(1);
+  const auto parts = HomogeneousSplit(1003, 10, rng);
+  ExpectDisjointCoverage(parts, 1003);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(parts[i].size(), 100u);
+  }
+  EXPECT_EQ(parts[9].size(), 103u);  // remainder goes to the last party
+}
+
+TEST(HomogeneousTest, SinglePartyGetsEverything) {
+  Rng rng(2);
+  const auto parts = HomogeneousSplit(50, 1, rng);
+  EXPECT_EQ(parts[0].size(), 50u);
+}
+
+// ---------------------------------------------------------------- #C=k
+
+class LabelQuantityParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LabelQuantityParam, EachPartyHasExactlyKLabels) {
+  const auto [num_parties, k] = GetParam();
+  Rng rng(3);
+  const std::vector<int> labels = BalancedLabels(100);
+  const auto parts = LabelQuantitySplit(labels, 10, num_parties, k, rng);
+  ASSERT_EQ(static_cast<int>(parts.size()), num_parties);
+  ExpectDisjointCoverage(parts, labels.size(), /*expect_complete=*/false);
+  for (const auto& part : parts) {
+    std::set<int> distinct;
+    for (int64_t idx : part) distinct.insert(labels[idx]);
+    EXPECT_LE(static_cast<int>(distinct.size()), k);
+    EXPECT_GE(static_cast<int>(distinct.size()), 1);
+    EXPECT_FALSE(part.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LabelQuantityParam,
+    ::testing::Values(std::make_tuple(10, 1), std::make_tuple(10, 2),
+                      std::make_tuple(10, 3), std::make_tuple(5, 2),
+                      std::make_tuple(20, 1), std::make_tuple(10, 10)));
+
+TEST(LabelQuantityTest, SingleLabelCoversAllClassesWhenPartiesMatch) {
+  // With N == K and #C=1, party i gets label i (mod K): full coverage.
+  Rng rng(4);
+  const std::vector<int> labels = BalancedLabels(50);
+  const auto parts = LabelQuantitySplit(labels, 10, 10, 1, rng);
+  ExpectDisjointCoverage(parts, labels.size());  // nothing dropped
+  for (int party = 0; party < 10; ++party) {
+    for (int64_t idx : parts[party]) {
+      EXPECT_EQ(labels[idx], party % 10);
+    }
+  }
+}
+
+TEST(LabelQuantityTest, FullLabelSetEqualsHomogeneousCoverage) {
+  Rng rng(5);
+  const std::vector<int> labels = BalancedLabels(30);
+  const auto parts = LabelQuantitySplit(labels, 10, 10, 10, rng);
+  ExpectDisjointCoverage(parts, labels.size());
+  for (const auto& part : parts) {
+    std::set<int> distinct;
+    for (int64_t idx : part) distinct.insert(labels[idx]);
+    EXPECT_EQ(distinct.size(), 10u);
+  }
+}
+
+// ---------------------------------------------------------------- Dir label
+
+TEST(LabelDirichletTest, CoverageAndMinSize) {
+  Rng rng(6);
+  const std::vector<int> labels = BalancedLabels(100);
+  const auto parts = LabelDirichletSplit(labels, 10, 10, 0.5, 8, rng);
+  ExpectDisjointCoverage(parts, labels.size());
+  for (const auto& part : parts) {
+    EXPECT_GE(part.size(), 8u);
+  }
+}
+
+class DirichletBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletBetaSweep, ValidPartitionForAllBetas) {
+  Rng rng(7);
+  const std::vector<int> labels = BalancedLabels(60);
+  const auto parts =
+      LabelDirichletSplit(labels, 10, 8, GetParam(), 1, rng);
+  ExpectDisjointCoverage(parts, labels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, DirichletBetaSweep,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0, 5.0, 100.0));
+
+// Smaller beta must produce greater label skew (measured by TV distance).
+TEST(LabelDirichletTest, SmallerBetaMoreSkewed) {
+  Dataset d;
+  d.num_classes = 10;
+  d.labels = BalancedLabels(100);
+  d.features = Tensor::Zeros({static_cast<int64_t>(d.labels.size()), 2});
+
+  auto tv_for_beta = [&](double beta) {
+    PartitionConfig config;
+    config.strategy = PartitionStrategy::kLabelDirichlet;
+    config.num_parties = 10;
+    config.beta = beta;
+    config.seed = 11;
+    const Partition partition = MakePartition(d, config);
+    return BuildPartitionReport(d, partition).mean_label_tv_distance;
+  };
+  EXPECT_GT(tv_for_beta(0.1), tv_for_beta(10.0));
+}
+
+// ---------------------------------------------------------------- quantity
+
+TEST(QuantityDirichletTest, CoverageAndSizeVariation) {
+  Rng rng(8);
+  const auto parts = QuantityDirichletSplit(1000, 10, 0.5, 8, rng);
+  ExpectDisjointCoverage(parts, 1000);
+  size_t min_size = parts[0].size(), max_size = parts[0].size();
+  for (const auto& part : parts) {
+    min_size = std::min(min_size, part.size());
+    max_size = std::max(max_size, part.size());
+  }
+  EXPECT_GE(min_size, 8u);
+  EXPECT_GT(max_size, min_size);  // sizes genuinely vary
+}
+
+TEST(QuantityDirichletTest, LargeBetaApproachesEqualSizes) {
+  Rng rng(9);
+  const auto parts = QuantityDirichletSplit(1000, 10, 10000.0, 1, rng);
+  for (const auto& part : parts) {
+    EXPECT_NEAR(static_cast<double>(part.size()), 100.0, 15.0);
+  }
+}
+
+// ---------------------------------------------------------------- fcube
+
+TEST(FcubeSplitTest, FourPartiesSymmetricOctants) {
+  const FederatedDataset fd = MakeFcube({.train_size = 800, .test_size = 100});
+  const auto parts = FcubeOctantSplit(fd.train, 4);
+  ExpectDisjointCoverage(parts, fd.train.size());
+  // Each party owns exactly one symmetric octant pair.
+  for (int party = 0; party < 4; ++party) {
+    std::set<int> octants;
+    for (int64_t idx : parts[party]) {
+      octants.insert(FcubeOctant(fd.train.features[idx * 3],
+                                 fd.train.features[idx * 3 + 1],
+                                 fd.train.features[idx * 3 + 2]));
+    }
+    ASSERT_EQ(octants.size(), 2u) << "party " << party;
+    const int a = *octants.begin();
+    const int b = *octants.rbegin();
+    EXPECT_EQ(a + b, 7) << "octants must be point-symmetric";
+  }
+}
+
+TEST(FcubeSplitTest, LabelsBalancedPerParty) {
+  const FederatedDataset fd =
+      MakeFcube({.train_size = 2000, .test_size = 100});
+  const auto parts = FcubeOctantSplit(fd.train, 4);
+  for (const auto& part : parts) {
+    int64_t zeros = 0;
+    for (int64_t idx : part) zeros += (fd.train.labels[idx] == 0);
+    const double fraction = static_cast<double>(zeros) / part.size();
+    EXPECT_NEAR(fraction, 0.5, 0.1);  // feature skew, not label skew
+  }
+}
+
+TEST(FcubeSplitDeathTest, RequiresFourParties) {
+  const FederatedDataset fd = MakeFcube({.train_size = 100, .test_size = 10});
+  EXPECT_DEATH(FcubeOctantSplit(fd.train, 10), "4 parties");
+}
+
+// ---------------------------------------------------------------- groups
+
+TEST(GroupSplitTest, WritersNeverStraddleParties) {
+  FemnistConfig config;
+  config.num_writers = 30;
+  config.train_size = 600;
+  config.test_size = 50;
+  const FederatedDataset fd = MakeFemnist(config);
+  Rng rng(10);
+  const auto parts = GroupSplit(fd.train, 10, rng);
+  ExpectDisjointCoverage(parts, fd.train.size());
+  std::map<int, int> writer_to_party;
+  for (int party = 0; party < 10; ++party) {
+    for (int64_t idx : parts[party]) {
+      const int writer = fd.train.groups[idx];
+      auto [it, inserted] = writer_to_party.emplace(writer, party);
+      EXPECT_EQ(it->second, party)
+          << "writer " << writer << " split across parties";
+    }
+  }
+}
+
+TEST(GroupSplitDeathTest, RequiresGroups) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({10, 2});
+  d.labels.assign(10, 0);
+  Rng rng(11);
+  EXPECT_DEATH(GroupSplit(d, 2, rng), "groups");
+}
+
+// ---------------------------------------------------------------- dispatch
+
+TEST(ParseStrategyTest, AllNamesRoundTrip) {
+  EXPECT_EQ(*ParseStrategy("homo"), PartitionStrategy::kHomogeneous);
+  EXPECT_EQ(*ParseStrategy("iid"), PartitionStrategy::kHomogeneous);
+  EXPECT_EQ(*ParseStrategy("label-quantity"),
+            PartitionStrategy::kLabelQuantity);
+  EXPECT_EQ(*ParseStrategy("label-dir"), PartitionStrategy::kLabelDirichlet);
+  EXPECT_EQ(*ParseStrategy("noise"), PartitionStrategy::kNoise);
+  EXPECT_EQ(*ParseStrategy("synthetic"), PartitionStrategy::kSynthetic);
+  EXPECT_EQ(*ParseStrategy("real-world"), PartitionStrategy::kRealWorld);
+  EXPECT_EQ(*ParseStrategy("quantity-dir"),
+            PartitionStrategy::kQuantityDirichlet);
+  EXPECT_FALSE(ParseStrategy("bogus").ok());
+}
+
+TEST(StrategyLabelTest, MatchesPaperNotation) {
+  EXPECT_EQ(StrategyLabel(PartitionStrategy::kLabelQuantity, 2, 0, 0),
+            "#C=2");
+  EXPECT_EQ(StrategyLabel(PartitionStrategy::kLabelDirichlet, 0, 0.5, 0),
+            "p~Dir(0.5)");
+  EXPECT_EQ(StrategyLabel(PartitionStrategy::kQuantityDirichlet, 0, 0.5, 0),
+            "q~Dir(0.5)");
+  EXPECT_EQ(StrategyLabel(PartitionStrategy::kNoise, 0, 0, 0.1),
+            "x~Gau(0.1)");
+  EXPECT_EQ(StrategyLabel(PartitionStrategy::kHomogeneous, 0, 0, 0), "homo");
+}
+
+TEST(MakePartitionTest, DispatchesEveryStrategy) {
+  SyntheticImageConfig image_config;
+  image_config.train_size = 300;
+  image_config.test_size = 50;
+  image_config.height = 8;
+  image_config.width = 8;
+  const Dataset train = MakeSyntheticImages(image_config).train;
+
+  for (const auto strategy :
+       {PartitionStrategy::kHomogeneous, PartitionStrategy::kLabelQuantity,
+        PartitionStrategy::kLabelDirichlet, PartitionStrategy::kNoise,
+        PartitionStrategy::kQuantityDirichlet}) {
+    PartitionConfig config;
+    config.strategy = strategy;
+    config.num_parties = 5;
+    config.min_samples_per_party = 1;
+    config.seed = 13;
+    const Partition partition = MakePartition(train, config);
+    EXPECT_EQ(partition.num_parties(), 5) << config.Label();
+    EXPECT_GT(partition.total_samples(), 0) << config.Label();
+  }
+}
+
+TEST(MakePartitionTest, DeterministicForSameSeed) {
+  SyntheticImageConfig image_config;
+  image_config.train_size = 200;
+  image_config.test_size = 20;
+  image_config.height = 8;
+  image_config.width = 8;
+  const Dataset train = MakeSyntheticImages(image_config).train;
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kLabelDirichlet;
+  config.num_parties = 4;
+  config.min_samples_per_party = 1;
+  config.seed = 99;
+  const Partition a = MakePartition(train, config);
+  const Partition b = MakePartition(train, config);
+  EXPECT_EQ(a.client_indices, b.client_indices);
+}
+
+TEST(MaterializeTest, NoiseGrowsWithPartyIndex) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = Tensor::Zeros({1000, 20});
+  train.labels.assign(1000, 0);
+
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kNoise;
+  config.num_parties = 10;
+  config.noise_sigma = 0.5;
+  config.seed = 17;
+  const Partition partition = MakePartition(train, config);
+
+  auto variance_of_party = [&](int party) {
+    Rng rng(100 + party);
+    const Dataset local =
+        MaterializeClientDataset(train, partition, party, rng);
+    double sq = 0;
+    for (int64_t i = 0; i < local.features.numel(); ++i) {
+      sq += double(local.features[i]) * local.features[i];
+    }
+    return sq / local.features.numel();
+  };
+  const double v_first = variance_of_party(0);
+  const double v_last = variance_of_party(9);
+  // Party 1 gets variance sigma/N = 0.05; party 10 gets sigma = 0.5.
+  EXPECT_NEAR(v_first, 0.05, 0.02);
+  EXPECT_NEAR(v_last, 0.5, 0.1);
+  EXPECT_GT(v_last, v_first * 3);
+}
+
+TEST(MaterializeTest, NonNoiseStrategiesCopyVerbatim) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = Tensor::Ones({100, 4});
+  train.labels.assign(100, 1);
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = 4;
+  config.seed = 19;
+  const Partition partition = MakePartition(train, config);
+  Rng rng(1);
+  const Dataset local = MaterializeClientDataset(train, partition, 2, rng);
+  for (int64_t i = 0; i < local.features.numel(); ++i) {
+    EXPECT_EQ(local.features[i], 1.f);
+  }
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(ReportTest, CountsAndTvDistance) {
+  Dataset train;
+  train.num_classes = 2;
+  train.labels = {0, 0, 1, 1};
+  train.features = Tensor::Zeros({4, 1});
+
+  Partition partition;
+  partition.config.num_parties = 2;
+  partition.client_indices = {{0, 1}, {2, 3}};  // pure label split
+  const PartitionReport report = BuildPartitionReport(train, partition);
+  EXPECT_EQ(report.counts[0][0], 2);
+  EXPECT_EQ(report.counts[0][1], 0);
+  EXPECT_EQ(report.counts[1][1], 2);
+  EXPECT_EQ(report.party_sizes, (std::vector<int64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(report.mean_labels_per_party, 1.0);
+  // Each party's distribution is (1,0) vs global (0.5,0.5): TV = 0.5.
+  EXPECT_DOUBLE_EQ(report.mean_label_tv_distance, 0.5);
+  EXPECT_DOUBLE_EQ(report.size_imbalance, 1.0);
+}
+
+TEST(ReportTest, IidPartitionHasLowTv) {
+  Dataset train;
+  train.num_classes = 2;
+  train.labels = {0, 1, 0, 1};
+  train.features = Tensor::Zeros({4, 1});
+  Partition partition;
+  partition.config.num_parties = 2;
+  partition.client_indices = {{0, 1}, {2, 3}};
+  const PartitionReport report = BuildPartitionReport(train, partition);
+  EXPECT_DOUBLE_EQ(report.mean_label_tv_distance, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_labels_per_party, 2.0);
+}
+
+TEST(ReportTest, PrintMatrixMentionsParties) {
+  Dataset train;
+  train.num_classes = 2;
+  train.labels = {0, 1};
+  train.features = Tensor::Zeros({2, 1});
+  Partition partition;
+  partition.config.num_parties = 1;
+  partition.client_indices = {{0, 1}};
+  std::ostringstream out;
+  PrintPartitionMatrix(BuildPartitionReport(train, partition), out);
+  EXPECT_NE(out.str().find("P0"), std::string::npos);
+  EXPECT_NE(out.str().find("class 1"), std::string::npos);
+}
+
+
+TEST(ConceptShiftTest, ZeroProbabilityIsNoOp) {
+  Dataset train;
+  train.num_classes = 4;
+  train.labels = {0, 1, 2, 3, 0, 1, 2, 3};
+  train.features = Tensor::Zeros({8, 2});
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = 2;
+  config.seed = 60;
+  const Partition partition = MakePartition(train, config);
+  Rng rng(61);
+  const Dataset local = MaterializeClientDataset(train, partition, 1, rng);
+  for (size_t i = 0; i < local.labels.size(); ++i) {
+    EXPECT_EQ(local.labels[i],
+              train.labels[partition.client_indices[1][i]]);
+  }
+}
+
+TEST(ConceptShiftTest, FlipFractionScalesWithParty) {
+  Dataset train;
+  train.num_classes = 2;
+  train.labels.assign(4000, 0);  // all class 0: any flip is observable
+  train.features = Tensor::Zeros({4000, 1});
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = 4;
+  config.label_flip_prob = 0.4;  // party i flips with prob 0.4*(i+1)/4
+  config.seed = 62;
+  const Partition partition = MakePartition(train, config);
+  double previous_fraction = -1.0;
+  for (int party = 0; party < 4; ++party) {
+    Rng rng(63 + party);
+    const Dataset local =
+        MaterializeClientDataset(train, partition, party, rng);
+    int64_t flipped = 0;
+    for (int label : local.labels) flipped += (label != 0);
+    const double fraction =
+        static_cast<double>(flipped) / local.labels.size();
+    const double expected = 0.4 * (party + 1) / 4.0;
+    EXPECT_NEAR(fraction, expected, 0.05) << "party " << party;
+    EXPECT_GT(fraction, previous_fraction);
+    previous_fraction = fraction;
+  }
+}
+
+TEST(ConceptShiftTest, FlippedLabelsStayValidAndDiffer) {
+  Dataset train;
+  train.num_classes = 5;
+  train.labels.assign(1000, 2);
+  train.features = Tensor::Zeros({1000, 1});
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = 1;
+  config.label_flip_prob = 1.0;  // party 1 of 1: always flip
+  config.seed = 64;
+  const Partition partition = MakePartition(train, config);
+  Rng rng(65);
+  const Dataset local = MaterializeClientDataset(train, partition, 0, rng);
+  for (int label : local.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+    EXPECT_NE(label, 2);  // a flip never lands on the original class
+  }
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,224 @@
+// Property-based sweeps: every (algorithm x partition strategy) cell of the
+// benchmark grid must run end to end and uphold basic invariants — finite
+// global state, accuracies in [0, 1], conserved sample counts. These are the
+// "no cell of Table 3 can crash" guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/runner.h"
+#include "partition/report.h"
+
+namespace niid {
+namespace {
+
+bool AllFinite(const StateVector& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------- algorithm x partition
+
+struct GridParam {
+  std::string algorithm;
+  PartitionStrategy strategy;
+};
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  std::string name = info.param.algorithm + "_";
+  name += StrategyLabel(info.param.strategy, 2, 0.5, 0.1);
+  std::string sanitized;
+  for (char c : name) {
+    sanitized += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return sanitized;
+}
+
+class AlgorithmPartitionGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(AlgorithmPartitionGrid, RunsAndStaysFinite) {
+  const GridParam& param = GetParam();
+  ExperimentConfig config;
+  config.dataset = "covtype";
+  config.catalog.size_factor = 0.0005;
+  config.catalog.min_train_size = 200;
+  config.catalog.min_test_size = 80;
+  config.catalog.max_tabular_features = 54;
+  config.algorithm = param.algorithm;
+  config.partition.strategy = param.strategy;
+  config.partition.num_parties = 4;
+  config.partition.labels_per_party = 1;
+  config.partition.min_samples_per_party = 2;
+  config.rounds = 3;
+  config.local.local_epochs = 2;
+  config.local.batch_size = 16;
+  config.seed = 21;
+
+  Dataset test;
+  auto server = BuildServerForTrial(config, 0, &test);
+  LocalTrainOptions local = config.local;
+  local.learning_rate = ResolveLearningRate(config);
+  for (int round = 0; round < config.rounds; ++round) {
+    server->RunRound(local);
+    ASSERT_TRUE(AllFinite(server->global_state()))
+        << param.algorithm << " diverged to NaN/inf at round " << round;
+  }
+  const EvalResult eval = server->EvaluateGlobal(test);
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 1.0);
+  EXPECT_GE(eval.loss, 0.0);
+}
+
+std::vector<GridParam> MakeGrid() {
+  std::vector<GridParam> grid;
+  for (const std::string algorithm :
+       {"fedavg", "fedprox", "scaffold", "fednova"}) {
+    for (const PartitionStrategy strategy :
+         {PartitionStrategy::kHomogeneous, PartitionStrategy::kLabelQuantity,
+          PartitionStrategy::kLabelDirichlet, PartitionStrategy::kNoise,
+          PartitionStrategy::kQuantityDirichlet}) {
+      grid.push_back({algorithm, strategy});
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, AlgorithmPartitionGrid,
+                         ::testing::ValuesIn(MakeGrid()), GridName);
+
+// ------------------------------------------------- partition invariants
+
+struct PartitionParam {
+  PartitionStrategy strategy;
+  int num_parties;
+  double beta;
+  int labels_per_party;
+};
+
+class PartitionInvariants
+    : public ::testing::TestWithParam<PartitionParam> {};
+
+TEST_P(PartitionInvariants, DisjointValidIndices) {
+  const PartitionParam& param = GetParam();
+  ExperimentConfig base;
+  base.catalog.size_factor = 0.001;
+  base.catalog.min_train_size = 300;
+  base.catalog.min_test_size = 50;
+  auto fd = MakeCatalogDataset("fmnist", base.catalog);
+  ASSERT_TRUE(fd.ok());
+
+  PartitionConfig config;
+  config.strategy = param.strategy;
+  config.num_parties = param.num_parties;
+  config.beta = param.beta;
+  config.labels_per_party = param.labels_per_party;
+  config.min_samples_per_party = 1;
+  config.seed = 31;
+  const Partition partition = MakePartition(fd->train, config);
+
+  EXPECT_EQ(partition.num_parties(), param.num_parties);
+  std::set<int64_t> seen;
+  for (const auto& indices : partition.client_indices) {
+    for (int64_t idx : indices) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, fd->train.size());
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_LE(static_cast<int64_t>(seen.size()), fd->train.size());
+  // Everything except #C=k (which may drop unowned labels) is complete.
+  if (param.strategy != PartitionStrategy::kLabelQuantity) {
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), fd->train.size());
+  }
+  // The report is consistent with the partition.
+  const PartitionReport report = BuildPartitionReport(fd->train, partition);
+  int64_t total = 0;
+  for (int64_t size : report.party_sizes) total += size;
+  EXPECT_EQ(total, static_cast<int64_t>(seen.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionInvariants,
+    ::testing::Values(
+        PartitionParam{PartitionStrategy::kHomogeneous, 10, 0.5, 2},
+        PartitionParam{PartitionStrategy::kHomogeneous, 3, 0.5, 2},
+        PartitionParam{PartitionStrategy::kLabelDirichlet, 10, 0.1, 2},
+        PartitionParam{PartitionStrategy::kLabelDirichlet, 10, 5.0, 2},
+        PartitionParam{PartitionStrategy::kLabelDirichlet, 100, 0.5, 2},
+        PartitionParam{PartitionStrategy::kLabelQuantity, 10, 0.5, 1},
+        PartitionParam{PartitionStrategy::kLabelQuantity, 10, 0.5, 3},
+        PartitionParam{PartitionStrategy::kLabelQuantity, 15, 0.5, 2},
+        PartitionParam{PartitionStrategy::kQuantityDirichlet, 10, 0.5, 2},
+        PartitionParam{PartitionStrategy::kQuantityDirichlet, 5, 2.0, 2},
+        PartitionParam{PartitionStrategy::kNoise, 8, 0.5, 2}));
+
+// ------------------------------------------------- skew ordering property
+
+// Dirichlet label skew must be monotone in beta: smaller beta gives a
+// larger average TV distance from the global label distribution.
+class BetaMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetaMonotonicity, TvDistanceDecreasesWithBeta) {
+  CatalogOptions catalog;
+  catalog.size_factor = 0.001;
+  catalog.min_train_size = 500;
+  catalog.min_test_size = 50;
+  auto fd = MakeCatalogDataset("mnist", catalog);
+  ASSERT_TRUE(fd.ok());
+
+  auto tv = [&](double beta) {
+    PartitionConfig config;
+    config.strategy = PartitionStrategy::kLabelDirichlet;
+    config.num_parties = 10;
+    config.beta = beta;
+    config.min_samples_per_party = 1;
+    config.seed = 100 + GetParam();  // different seeds per instantiation
+    const Partition partition = MakePartition(fd->train, config);
+    return BuildPartitionReport(fd->train, partition)
+        .mean_label_tv_distance;
+  };
+  EXPECT_GT(tv(0.1), tv(100.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetaMonotonicity, ::testing::Values(1, 2, 3));
+
+// ------------------------------------------------- aggregation conservation
+
+// If every client returns the same delta, every algorithm must apply exactly
+// that delta (weights sum to 1) — regardless of sample counts.
+class AggregationConservation
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AggregationConservation, UnanimousDeltaIsAppliedExactly) {
+  auto algorithm = CreateAlgorithm(GetParam(), AlgorithmConfig{});
+  ASSERT_TRUE(algorithm.ok());
+  (*algorithm)->Initialize(3, 4);
+  StateVector global = {1.f, 2.f, 3.f, 4.f};
+  const std::vector<StateSegment> layout = {{0, 4, true}};
+  std::vector<LocalUpdate> updates;
+  for (int i = 0; i < 3; ++i) {
+    LocalUpdate update;
+    update.client_id = i;
+    update.num_samples = 100 * (i + 1);  // heterogeneous sizes
+    update.delta.assign(4, 0.5f);
+    update.tau = 7;  // homogeneous steps
+    update.delta_c.assign(4, 0.f);
+    updates.push_back(update);
+  }
+  (*algorithm)->Aggregate(global, updates, layout);
+  EXPECT_NEAR(global[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(global[3], 3.5f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AggregationConservation,
+                         ::testing::Values("fedavg", "fedprox", "scaffold",
+                                           "fednova"));
+
+}  // namespace
+}  // namespace niid

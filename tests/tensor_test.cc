@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------- Tensor
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(TensorTest, FactoryFunctions) {
+  EXPECT_EQ(Tensor::Ones({2, 2})[3], 1.f);
+  EXPECT_EQ(Tensor::Full({3}, 2.5f)[1], 2.5f);
+  const Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(5);
+  const Tensor t = Tensor::Randn({100, 100}, rng, 1.f, 0.5f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += double(t[i]) * t[i];
+  }
+  const double mean = sum / t.numel();
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / t.numel() - mean * mean), 0.5, 0.02);
+}
+
+TEST(TensorTest, UniformBounds) {
+  Rng rng(6);
+  const Tensor t = Tensor::Uniform({1000}, rng, -2.f, 3.f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.f);
+    EXPECT_LT(t[i], 3.f);
+  }
+}
+
+TEST(TensorTest, DimSupportsNegativeIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.f);
+  EXPECT_EQ(r.numel(), t.numel());
+}
+
+TEST(TensorTest, FourDAccess) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.f;
+  EXPECT_EQ(t[t.numel() - 1], 9.f);
+}
+
+TEST(TensorTest, RowOperations) {
+  Tensor t({3, 4});
+  const float row[] = {1, 2, 3, 4};
+  t.SetRow(1, row);
+  const auto fetched = t.Row(1);
+  EXPECT_EQ(fetched, (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(t.Row(0), (std::vector<float>(4, 0.f)));
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  const Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  a.Add(b);
+  EXPECT_EQ(a[2], 33.f);
+  a.Sub(b);
+  EXPECT_EQ(a[2], 3.f);
+  a.Scale(2.f);
+  EXPECT_EQ(a[0], 2.f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a[1], 14.f);
+}
+
+TEST(TensorTest, SumAndNorm) {
+  const Tensor t = Tensor::FromVector({4}, {1, -2, 2, 0});
+  EXPECT_DOUBLE_EQ(t.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(t.Norm(), 3.0);
+}
+
+TEST(TensorTest, ShapeStringAndEquality) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+  Tensor u({2, 3});
+  EXPECT_TRUE(t == u);
+  u[0] = 1.f;
+  EXPECT_FALSE(t == u);
+}
+
+TEST(TensorTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 0);
+  EXPECT_EQ(NumElements({5}), 5);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({2, 0, 4}), 0);
+}
+
+// ---------------------------------------------------------------- matmul
+
+// Reference implementation for cross-checking.
+Tensor NaiveMatmul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < a.dim(1); ++k) {
+        acc += double(a.at(i, k)) * b.at(k, j);
+      }
+      out.at(i, j) = float(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out({a.dim(1), a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+void ExpectTensorNear(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+  }
+}
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaiveForAllTransposes) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(101);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  const Tensor expected = NaiveMatmul(a, b);
+
+  Tensor out;
+  Matmul(a, b, out);
+  ExpectTensorNear(out, expected);
+
+  Tensor out_ta;
+  MatmulTransA(Transpose(a), b, out_ta);
+  ExpectTensorNear(out_ta, expected);
+
+  Tensor out_tb;
+  MatmulTransB(a, Transpose(b), out_tb);
+  ExpectTensorNear(out_tb, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+
+TEST(MatmulTest, ReusesOutputStorage) {
+  Rng rng(5);
+  const Tensor a = Tensor::Randn({4, 3}, rng);
+  const Tensor b = Tensor::Randn({3, 2}, rng);
+  Tensor out({4, 2});
+  out.Fill(99.f);  // stale values must be overwritten
+  Matmul(a, b, out);
+  ExpectTensorNear(out, NaiveMatmul(a, b));
+}
+
+TEST(RowOpsTest, AddRowBias) {
+  Tensor m = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  AddRowBias(m, bias);
+  EXPECT_EQ(m.at(0, 0), 11.f);
+  EXPECT_EQ(m.at(1, 2), 36.f);
+}
+
+TEST(RowOpsTest, SumRows) {
+  const Tensor m = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor out;
+  SumRows(m, out);
+  EXPECT_EQ(out[0], 5.f);
+  EXPECT_EQ(out[1], 7.f);
+  EXPECT_EQ(out[2], 9.f);
+}
+
+// ---------------------------------------------------------------- conv ops
+
+TEST(ConvOpsTest, OutputSizeFormula) {
+  EXPECT_EQ(ConvOutputSize(28, 5, 1, 0), 24);
+  EXPECT_EQ(ConvOutputSize(32, 3, 1, 1), 32);
+  EXPECT_EQ(ConvOutputSize(28, 2, 2, 0), 14);
+  EXPECT_EQ(ConvOutputSize(7, 2, 2, 0), 3);
+}
+
+TEST(ConvOpsTest, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1: columns are just the pixels.
+  Rng rng(7);
+  const Tensor input = Tensor::Randn({2, 3, 4, 4}, rng);
+  Tensor columns;
+  Im2Col(input, 1, 1, 0, columns);
+  ASSERT_EQ(columns.dim(0), 2 * 4 * 4);
+  ASSERT_EQ(columns.dim(1), 3);
+  // Row (n=1, y=2, x=3), channel 2 should equal input(1, 2, 2, 3).
+  EXPECT_EQ(columns.at((1 * 4 + 2) * 4 + 3, 2), input.at(1, 2, 2, 3));
+}
+
+TEST(ConvOpsTest, Im2ColKnownSmallCase) {
+  // 1x1x3x3 image, 2x2 kernel, stride 1, no padding -> 4 rows of 4 values.
+  const Tensor input = Tensor::FromVector({1, 1, 3, 3},
+                                          {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor columns;
+  Im2Col(input, 2, 1, 0, columns);
+  ASSERT_EQ(columns.dim(0), 4);
+  ASSERT_EQ(columns.dim(1), 4);
+  const float expected[4][4] = {
+      {1, 2, 4, 5}, {2, 3, 5, 6}, {4, 5, 7, 8}, {5, 6, 8, 9}};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(columns.at(r, c), expected[r][c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(ConvOpsTest, Im2ColPaddingZeroFills) {
+  const Tensor input = Tensor::Ones({1, 1, 2, 2});
+  Tensor columns;
+  Im2Col(input, 3, 1, 1, columns);  // output 2x2, each row 9 values
+  ASSERT_EQ(columns.dim(0), 4);
+  ASSERT_EQ(columns.dim(1), 9);
+  // Top-left output: kernel covers padding except bottom-right 2x2 block.
+  EXPECT_EQ(columns.at(0, 0), 0.f);
+  EXPECT_EQ(columns.at(0, 4), 1.f);
+}
+
+// Col2Im must be the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+class Im2ColAdjoint
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(Im2ColAdjoint, AdjointIdentityHolds) {
+  const auto [c, h, kernel, stride, padding] = GetParam();
+  const int w = h;
+  if (ConvOutputSize(h, kernel, stride, padding) <= 0) GTEST_SKIP();
+  Rng rng(17);
+  const Tensor x = Tensor::Randn({2, c, h, w}, rng);
+  Tensor cols;
+  Im2Col(x, kernel, stride, padding, cols);
+  const Tensor y = Tensor::Randn(cols.shape(), rng);
+  Tensor back;
+  Col2Im(y, 2, c, h, w, kernel, stride, padding, back);
+
+  double lhs = 0, rhs = 0;
+  for (int64_t i = 0; i < cols.numel(); ++i) lhs += double(cols[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += double(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 + 1e-4 * std::abs(lhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Im2ColAdjoint,
+    ::testing::Values(std::make_tuple(1, 6, 3, 1, 0),
+                      std::make_tuple(3, 8, 3, 1, 1),
+                      std::make_tuple(2, 8, 5, 1, 2),
+                      std::make_tuple(3, 9, 3, 2, 1),
+                      std::make_tuple(1, 5, 1, 1, 0),
+                      std::make_tuple(2, 7, 2, 2, 0)));
+
+// ---------------------------------------------------------------- softmax
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(23);
+  Tensor logits = Tensor::Randn({5, 7}, rng, 0.f, 3.f);
+  SoftmaxRows(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double sum = 0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(logits.at(i, j), 0.f);
+      sum += logits.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 3}, {1000.f, 1001.f, 999.f});
+  SoftmaxRows(logits);
+  EXPECT_FALSE(std::isnan(logits[0]));
+  EXPECT_GT(logits.at(0, 1), logits.at(0, 0));
+  EXPECT_GT(logits.at(0, 0), logits.at(0, 2));
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformProbs) {
+  Tensor logits = Tensor::Full({2, 4}, 3.f);
+  SoftmaxRows(logits);
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(logits[i], 0.25f, 1e-6);
+  }
+}
+
+TEST(ArgmaxTest, PicksRowMaxima) {
+  const Tensor m =
+      Tensor::FromVector({3, 3}, {1, 5, 2, 9, 0, 3, 2, 2, 7});
+  EXPECT_EQ(ArgmaxRows(m), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(ArgmaxTest, TieBreaksToFirst) {
+  const Tensor m = Tensor::FromVector({1, 3}, {4, 4, 4});
+  EXPECT_EQ(ArgmaxRows(m)[0], 0);
+}
+
+
+TEST(TensorDeathTest, ReshapeWithWrongNumelAborts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "cannot reshape");
+}
+
+TEST(TensorTest, GatherStyleRowAccessOnEmpty) {
+  Tensor t({0, 4});
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.dim(0), 0);
+}
+
+TEST(ConvOpsTest, RectangularInput) {
+  // Non-square input: 3x5 image, 2x2 kernel -> 2x4 output.
+  Rng rng(31);
+  const Tensor input = Tensor::Randn({1, 1, 3, 5}, rng);
+  Tensor columns;
+  Im2Col(input, 2, 1, 0, columns);
+  EXPECT_EQ(columns.dim(0), 2 * 4);
+  EXPECT_EQ(columns.dim(1), 4);
+  // Spot-check top-left window.
+  EXPECT_EQ(columns.at(0, 0), input.at(0, 0, 0, 0));
+  EXPECT_EQ(columns.at(0, 3), input.at(0, 0, 1, 1));
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/samplers.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextUint64() == b.NextUint64());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.NextUint64(), 0u);
+  EXPECT_NE(rng.NextUint64(), rng.NextUint64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(19);
+  for (const double shape : {0.5, 1.0, 2.5, 10.0}) {
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) stat.Add(rng.Gamma(shape));
+    EXPECT_NEAR(stat.mean(), shape, 0.15 * shape + 0.05) << "shape " << shape;
+  }
+}
+
+TEST(RngTest, GammaPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.Gamma(0.3), 0.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (child1.NextUint64() == child2.NextUint64());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------- samplers
+
+TEST(SamplersTest, DirichletSumsToOne) {
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    const auto p = SampleDirichlet(rng, 10, 0.5);
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SamplersTest, DirichletMeanIsUniform) {
+  Rng rng(41);
+  std::vector<double> mean(5, 0.0);
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto p = SampleDirichlet(rng, 5, 2.0);
+    for (int j = 0; j < 5; ++j) mean[j] += p[j];
+  }
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_NEAR(mean[j] / kTrials, 0.2, 0.01);
+  }
+}
+
+// Smaller beta => more concentrated draws (higher expected max component).
+TEST(SamplersTest, SmallerBetaIsMoreSkewed) {
+  Rng rng(43);
+  auto mean_max = [&rng](double beta) {
+    double total = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const auto p = SampleDirichlet(rng, 10, beta);
+      total += *std::max_element(p.begin(), p.end());
+    }
+    return total / 2000;
+  };
+  EXPECT_GT(mean_max(0.1), mean_max(1.0));
+  EXPECT_GT(mean_max(1.0), mean_max(10.0));
+}
+
+TEST(SamplersTest, DirichletAsymmetricAlpha) {
+  Rng rng(47);
+  std::vector<double> mean(3, 0.0);
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto p = SampleDirichlet(rng, {1.0, 2.0, 7.0});
+    for (int j = 0; j < 3; ++j) mean[j] += p[j];
+  }
+  EXPECT_NEAR(mean[0] / kTrials, 0.1, 0.01);
+  EXPECT_NEAR(mean[1] / kTrials, 0.2, 0.01);
+  EXPECT_NEAR(mean[2] / kTrials, 0.7, 0.01);
+}
+
+TEST(SamplersTest, ProportionsToCountsExactTotal) {
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto p = SampleDirichlet(rng, 7, 0.4);
+    const auto counts = ProportionsToCounts(p, 1234);
+    int64_t sum = 0;
+    for (int64_t c : counts) {
+      EXPECT_GE(c, 0);
+      sum += c;
+    }
+    EXPECT_EQ(sum, 1234);
+  }
+}
+
+TEST(SamplersTest, ProportionsToCountsRounding) {
+  // 0.5/0.5 of 3 must produce 2+1 (largest remainder breaks the tie).
+  const auto counts = ProportionsToCounts({0.5, 0.5}, 3);
+  EXPECT_EQ(counts[0] + counts[1], 3);
+  EXPECT_GE(counts[0], 1);
+  EXPECT_GE(counts[1], 1);
+}
+
+TEST(SamplersTest, ProportionsToCountsZeroTotal) {
+  const auto counts = ProportionsToCounts({0.3, 0.7}, 0);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(SamplersTest, CategoricalMatchesProbabilities) {
+  Rng rng(59);
+  const std::vector<double> p = {0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) ++counts[SampleCategorical(rng, p)];
+  EXPECT_NEAR(counts[0] / double(kTrials), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kTrials), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / double(kTrials), 0.3, 0.01);
+}
+
+TEST(SamplersTest, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(61);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = SampleWithoutReplacement(rng, 100, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    for (size_t i = 1; i < sample.size(); ++i) {
+      EXPECT_LT(sample[i - 1], sample[i]);  // sorted and distinct
+    }
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(SamplersTest, SampleWithoutReplacementFull) {
+  Rng rng(67);
+  const auto sample = SampleWithoutReplacement(rng, 5, 5);
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SamplersTest, SampleWithoutReplacementEmpty) {
+  Rng rng(71);
+  EXPECT_TRUE(SampleWithoutReplacement(rng, 5, 0).empty());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyStatIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(StatsTest, MeanAndStdDevHelpers) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 2.0, 3.0}), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, FormatAccuracyMatchesPaperStyle) {
+  EXPECT_EQ(FormatAccuracy({0.682, 0.675, 0.689}),
+            "68.2%±0.6%");
+  EXPECT_EQ(FormatPercent(0.995), "99.5%");
+  EXPECT_EQ(FormatPercent(0.12345, 2), "12.35%");
+}
+
+// ---------------------------------------------------------------- table/csv
+
+TEST(TableTest, AlignsAndPrintsRows) {
+  Table table({"a", "bb"});
+  table.AddRow({"1", "2"});
+  table.AddSeparator();
+  table.AddRow({"333", "4"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 3);
+}
+
+TEST(TableTest, MarkdownOutput) {
+  Table table({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  EXPECT_EQ(out.str(), "| x | y |\n|---|---|\n| 1 | 2 |\n");
+}
+
+TEST(CsvTest, EscapesSpecialCells) {
+  EXPECT_EQ(EscapeCsvCell("plain"), "plain");
+  EXPECT_EQ(EscapeCsvCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EscapeCsvCell("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/niid_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteHeader({"col1", "col2"});
+    writer.WriteRow({"a", "b,c"});
+    writer.Flush();
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "col1,col2");
+  EXPECT_EQ(line2, "a,\"b,c\"");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- flags
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog",        "--rounds=30",  "--lr=0.05",
+                        "--quick",     "--name=mnist", "positional",
+                        "--flag=false"};
+  FlagParser flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("rounds", 1), 30);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.05);
+  EXPECT_TRUE(flags.GetBool("quick", false));
+  EXPECT_FALSE(flags.GetBool("flag", true));
+  EXPECT_EQ(flags.GetString("name", ""), "mnist");
+  EXPECT_EQ(flags.GetString("missing", "default"), "default");
+  EXPECT_EQ(flags.GetInt("missing", 77), 77);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+  EXPECT_TRUE(flags.Has("quick"));
+  EXPECT_FALSE(flags.Has("nothere"));
+}
+
+
+TEST(FlagsTest, SplitCommaList) {
+  EXPECT_EQ(SplitCommaList("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCommaList(""), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitCommaList("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(SplitCommaList(",a,,b,"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,214 @@
+// Tests for the dataset exporters (IDX / CIFAR / LIBSVM writers) and the
+// leaderboard module.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/leaderboard.h"
+#include "data/loaders.h"
+#include "data/synthetic.h"
+#include "data/writers.h"
+
+namespace niid {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------- writers
+
+TEST(WritersTest, IdxRoundTripPreservesDataWithinQuantization) {
+  SyntheticImageConfig config;
+  config.train_size = 30;
+  config.test_size = 5;
+  config.height = 12;
+  config.width = 10;
+  const Dataset original = MakeSyntheticImages(config).train;
+
+  const std::string image_path = TempPath("writer_images.idx");
+  const std::string label_path = TempPath("writer_labels.idx");
+  ASSERT_TRUE(SaveIdx(original, image_path, label_path).ok());
+  auto reloaded = LoadIdx(image_path, label_path, "roundtrip");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_EQ(reloaded->size(), original.size());
+  EXPECT_EQ(reloaded->features.shape(), original.features.shape());
+  EXPECT_EQ(reloaded->labels, original.labels);
+  float max_error = 0.f;
+  for (int64_t i = 0; i < original.features.numel(); ++i) {
+    max_error = std::max(
+        max_error, std::abs(original.features[i] - reloaded->features[i]));
+  }
+  EXPECT_LE(max_error, 0.5f / 255.f + 1e-5f);  // uint8 quantization only
+  std::remove(image_path.c_str());
+  std::remove(label_path.c_str());
+}
+
+TEST(WritersTest, IdxRejectsMultiChannel) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({2, 3, 4, 4});
+  d.labels = {0, 1};
+  EXPECT_FALSE(SaveIdx(d, TempPath("x"), TempPath("y")).ok());
+}
+
+TEST(WritersTest, Cifar10RoundTrip) {
+  SyntheticImageConfig config;
+  config.train_size = 7;
+  config.test_size = 2;
+  config.channels = 3;
+  config.height = 32;
+  config.width = 32;
+  const Dataset original = MakeSyntheticImages(config).train;
+  const std::string path = TempPath("writer_cifar.bin");
+  ASSERT_TRUE(SaveCifar10(original, path).ok());
+  auto reloaded = LoadCifar10({path}, "roundtrip");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->size(), 7);
+  EXPECT_EQ(reloaded->labels, original.labels);
+  float max_error = 0.f;
+  for (int64_t i = 0; i < original.features.numel(); ++i) {
+    max_error = std::max(
+        max_error, std::abs(original.features[i] - reloaded->features[i]));
+  }
+  EXPECT_LE(max_error, 0.5f / 255.f + 1e-5f);
+  std::remove(path.c_str());
+}
+
+TEST(WritersTest, Cifar10RejectsWrongShape) {
+  Dataset d;
+  d.num_classes = 10;
+  d.features = Tensor::Zeros({2, 1, 28, 28});
+  d.labels = {0, 1};
+  EXPECT_FALSE(SaveCifar10(d, TempPath("x")).ok());
+}
+
+TEST(WritersTest, LibsvmRoundTripBinaryLabels) {
+  SyntheticTabularConfig config;
+  config.train_size = 40;
+  config.test_size = 5;
+  config.num_features = 12;
+  config.density = 0.5f;
+  const Dataset original = MakeSyntheticTabular(config).train;
+  const std::string path = TempPath("writer.libsvm");
+  ASSERT_TRUE(SaveLibsvm(original, path).ok());
+  auto reloaded = LoadLibsvm(path, 12, "roundtrip");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->size(), original.size());
+  EXPECT_EQ(reloaded->labels, original.labels);  // -1/+1 maps back to 0/1
+  for (int64_t i = 0; i < original.features.numel(); ++i) {
+    EXPECT_NEAR(reloaded->features[i], original.features[i], 1e-4f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WritersTest, LibsvmThresholdSparsifies) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::FromVector({1, 3}, {0.001f, 0.5f, -0.7f});
+  d.labels = {1};
+  const std::string path = TempPath("writer_sparse.libsvm");
+  ASSERT_TRUE(SaveLibsvm(d, path, /*zero_threshold=*/0.01f).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.find("1:"), std::string::npos);  // below threshold, dropped
+  EXPECT_NE(line.find("2:"), std::string::npos);
+  EXPECT_NE(line.find("3:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- board
+
+LeaderboardEntry Entry(const std::string& dataset,
+                       const std::string& partition,
+                       const std::string& algorithm, double accuracy) {
+  return {dataset, partition, algorithm, accuracy, 0.01, 3};
+}
+
+TEST(LeaderboardTest, RanksByWinsThenMeanRank) {
+  Leaderboard board;
+  // Setting A: prox wins. Setting B: prox wins. Setting C: scaffold wins.
+  board.Add(Entry("mnist", "#C=2", "fedavg", 0.80));
+  board.Add(Entry("mnist", "#C=2", "fedprox", 0.85));
+  board.Add(Entry("mnist", "#C=2", "scaffold", 0.70));
+  board.Add(Entry("cifar10", "p~Dir(0.5)", "fedavg", 0.60));
+  board.Add(Entry("cifar10", "p~Dir(0.5)", "fedprox", 0.65));
+  board.Add(Entry("cifar10", "p~Dir(0.5)", "scaffold", 0.62));
+  board.Add(Entry("mnist", "x~Gau(0.1)", "fedavg", 0.90));
+  board.Add(Entry("mnist", "x~Gau(0.1)", "fedprox", 0.91));
+  board.Add(Entry("mnist", "x~Gau(0.1)", "scaffold", 0.95));
+
+  EXPECT_EQ(board.num_settings(), 3);
+  const auto ranks = board.Rank();
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0].algorithm, "fedprox");
+  EXPECT_EQ(ranks[0].wins, 2);
+  EXPECT_EQ(ranks[1].algorithm, "scaffold");
+  EXPECT_EQ(ranks[1].wins, 1);
+  EXPECT_EQ(ranks[2].algorithm, "fedavg");
+  EXPECT_EQ(ranks[2].wins, 0);
+  EXPECT_LT(ranks[0].mean_rank, ranks[2].mean_rank);
+}
+
+TEST(LeaderboardTest, ReAddingReplacesCell) {
+  Leaderboard board;
+  board.Add(Entry("mnist", "#C=2", "fedavg", 0.5));
+  board.Add(Entry("mnist", "#C=2", "fedavg", 0.9));
+  ASSERT_EQ(board.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(board.entries()[0].mean_accuracy, 0.9);
+}
+
+TEST(LeaderboardTest, AddResultUsesConfigLabels) {
+  ExperimentResult result;
+  result.config.dataset = "svhn";
+  result.config.algorithm = "fednova";
+  result.config.partition.strategy = PartitionStrategy::kLabelQuantity;
+  result.config.partition.labels_per_party = 3;
+  result.trials.push_back({{0.5}, {0.6}, 0.5, 0});
+  result.trials.push_back({{0.7}, {0.4}, 0.7, 0});
+  Leaderboard board;
+  board.AddResult(result);
+  ASSERT_EQ(board.entries().size(), 1u);
+  const LeaderboardEntry& entry = board.entries()[0];
+  EXPECT_EQ(entry.dataset, "svhn");
+  EXPECT_EQ(entry.partition, "#C=3");
+  EXPECT_EQ(entry.algorithm, "fednova");
+  EXPECT_NEAR(entry.mean_accuracy, 0.6, 1e-12);
+  EXPECT_EQ(entry.trials, 2);
+}
+
+TEST(LeaderboardTest, PrintAndCsv) {
+  Leaderboard board;
+  board.Add(Entry("mnist", "#C=1", "fedprox", 0.3));
+  board.Add(Entry("mnist", "#C=1", "fedavg", 0.1));
+  std::ostringstream out;
+  board.Print(out);
+  EXPECT_NE(out.str().find("fedprox"), std::string::npos);
+  EXPECT_NE(out.str().find("1 non-IID settings"), std::string::npos);
+
+  const std::string path = TempPath("leaderboard.csv");
+  ASSERT_TRUE(board.SaveCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "dataset,partition,algorithm,mean_accuracy,std_accuracy,trials");
+  std::remove(path.c_str());
+}
+
+TEST(LeaderboardTest, EmptyBoardIsSane) {
+  Leaderboard board;
+  EXPECT_EQ(board.num_settings(), 0);
+  EXPECT_TRUE(board.Rank().empty());
+  std::ostringstream out;
+  board.Print(out);  // must not crash
+}
+
+}  // namespace
+}  // namespace niid
