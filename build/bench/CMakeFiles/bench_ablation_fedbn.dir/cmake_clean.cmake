@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fedbn.dir/bench_ablation_fedbn.cpp.o"
+  "CMakeFiles/bench_ablation_fedbn.dir/bench_ablation_fedbn.cpp.o.d"
+  "bench_ablation_fedbn"
+  "bench_ablation_fedbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fedbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fedopt.dir/bench_ablation_fedopt.cpp.o"
+  "CMakeFiles/bench_ablation_fedopt.dir/bench_ablation_fedopt.cpp.o.d"
+  "bench_ablation_fedopt"
+  "bench_ablation_fedopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fedopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scaffold.dir/bench_ablation_scaffold.cpp.o"
+  "CMakeFiles/bench_ablation_scaffold.dir/bench_ablation_scaffold.cpp.o.d"
+  "bench_ablation_scaffold"
+  "bench_ablation_scaffold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scaffold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fedprox_mu.dir/bench_fig8_fedprox_mu.cpp.o"
+  "CMakeFiles/bench_fig8_fedprox_mu.dir/bench_fig8_fedprox_mu.cpp.o.d"
+  "bench_fig8_fedprox_mu"
+  "bench_fig8_fedprox_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fedprox_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

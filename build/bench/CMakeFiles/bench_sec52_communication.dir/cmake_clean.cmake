@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_communication.dir/bench_sec52_communication.cpp.o"
+  "CMakeFiles/bench_sec52_communication.dir/bench_sec52_communication.cpp.o.d"
+  "bench_sec52_communication"
+  "bench_sec52_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

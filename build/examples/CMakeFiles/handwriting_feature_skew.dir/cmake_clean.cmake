@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handwriting_feature_skew.dir/handwriting_feature_skew.cpp.o"
+  "CMakeFiles/handwriting_feature_skew.dir/handwriting_feature_skew.cpp.o.d"
+  "handwriting_feature_skew"
+  "handwriting_feature_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handwriting_feature_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

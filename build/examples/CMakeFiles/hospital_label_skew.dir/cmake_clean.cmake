@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_label_skew.dir/hospital_label_skew.cpp.o"
+  "CMakeFiles/hospital_label_skew.dir/hospital_label_skew.cpp.o.d"
+  "hospital_label_skew"
+  "hospital_label_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_label_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hospital_label_skew.
+# This may be replaced when dependencies are built.

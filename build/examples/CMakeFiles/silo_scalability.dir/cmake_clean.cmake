@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_scalability.dir/silo_scalability.cpp.o"
+  "CMakeFiles/silo_scalability.dir/silo_scalability.cpp.o.d"
+  "silo_scalability"
+  "silo_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

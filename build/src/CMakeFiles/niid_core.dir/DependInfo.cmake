@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coverage.cc" "src/CMakeFiles/niid_core.dir/core/coverage.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/coverage.cc.o.d"
+  "/root/repo/src/core/curves.cc" "src/CMakeFiles/niid_core.dir/core/curves.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/curves.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/CMakeFiles/niid_core.dir/core/decision_tree.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/decision_tree.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/niid_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/leaderboard.cc" "src/CMakeFiles/niid_core.dir/core/leaderboard.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/leaderboard.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/niid_core.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/profiler.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/niid_core.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/niid_core.dir/core/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/niid_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_core.dir/core/coverage.cc.o"
+  "CMakeFiles/niid_core.dir/core/coverage.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/curves.cc.o"
+  "CMakeFiles/niid_core.dir/core/curves.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/decision_tree.cc.o"
+  "CMakeFiles/niid_core.dir/core/decision_tree.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/experiment.cc.o"
+  "CMakeFiles/niid_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/leaderboard.cc.o"
+  "CMakeFiles/niid_core.dir/core/leaderboard.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/profiler.cc.o"
+  "CMakeFiles/niid_core.dir/core/profiler.cc.o.d"
+  "CMakeFiles/niid_core.dir/core/runner.cc.o"
+  "CMakeFiles/niid_core.dir/core/runner.cc.o.d"
+  "libniid_core.a"
+  "libniid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/niid_data.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/niid_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/fcube.cc" "src/CMakeFiles/niid_data.dir/data/fcube.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/fcube.cc.o.d"
+  "/root/repo/src/data/femnist.cc" "src/CMakeFiles/niid_data.dir/data/femnist.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/femnist.cc.o.d"
+  "/root/repo/src/data/loaders.cc" "src/CMakeFiles/niid_data.dir/data/loaders.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/loaders.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/niid_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/niid_data.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/transforms.cc.o.d"
+  "/root/repo/src/data/writers.cc" "src/CMakeFiles/niid_data.dir/data/writers.cc.o" "gcc" "src/CMakeFiles/niid_data.dir/data/writers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/niid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

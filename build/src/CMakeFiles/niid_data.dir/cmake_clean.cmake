@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_data.dir/data/catalog.cc.o"
+  "CMakeFiles/niid_data.dir/data/catalog.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/dataset.cc.o"
+  "CMakeFiles/niid_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/fcube.cc.o"
+  "CMakeFiles/niid_data.dir/data/fcube.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/femnist.cc.o"
+  "CMakeFiles/niid_data.dir/data/femnist.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/loaders.cc.o"
+  "CMakeFiles/niid_data.dir/data/loaders.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/niid_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/transforms.cc.o"
+  "CMakeFiles/niid_data.dir/data/transforms.cc.o.d"
+  "CMakeFiles/niid_data.dir/data/writers.cc.o"
+  "CMakeFiles/niid_data.dir/data/writers.cc.o.d"
+  "libniid_data.a"
+  "libniid_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cc" "src/CMakeFiles/niid_fl.dir/fl/algorithm.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/algorithm.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/CMakeFiles/niid_fl.dir/fl/client.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/client.cc.o.d"
+  "/root/repo/src/fl/fedavg.cc" "src/CMakeFiles/niid_fl.dir/fl/fedavg.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/fedavg.cc.o.d"
+  "/root/repo/src/fl/fednova.cc" "src/CMakeFiles/niid_fl.dir/fl/fednova.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/fednova.cc.o.d"
+  "/root/repo/src/fl/fedopt.cc" "src/CMakeFiles/niid_fl.dir/fl/fedopt.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/fedopt.cc.o.d"
+  "/root/repo/src/fl/fedprox.cc" "src/CMakeFiles/niid_fl.dir/fl/fedprox.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/fedprox.cc.o.d"
+  "/root/repo/src/fl/metrics.cc" "src/CMakeFiles/niid_fl.dir/fl/metrics.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/metrics.cc.o.d"
+  "/root/repo/src/fl/privacy.cc" "src/CMakeFiles/niid_fl.dir/fl/privacy.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/privacy.cc.o.d"
+  "/root/repo/src/fl/sampling.cc" "src/CMakeFiles/niid_fl.dir/fl/sampling.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/sampling.cc.o.d"
+  "/root/repo/src/fl/scaffold.cc" "src/CMakeFiles/niid_fl.dir/fl/scaffold.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/scaffold.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/CMakeFiles/niid_fl.dir/fl/server.cc.o" "gcc" "src/CMakeFiles/niid_fl.dir/fl/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/niid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

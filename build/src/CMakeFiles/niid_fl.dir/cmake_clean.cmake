@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_fl.dir/fl/algorithm.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/algorithm.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/client.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/client.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/fedavg.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/fedavg.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/fednova.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/fednova.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/fedopt.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/fedopt.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/fedprox.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/fedprox.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/metrics.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/metrics.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/privacy.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/privacy.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/sampling.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/sampling.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/scaffold.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/scaffold.cc.o.d"
+  "CMakeFiles/niid_fl.dir/fl/server.cc.o"
+  "CMakeFiles/niid_fl.dir/fl/server.cc.o.d"
+  "libniid_fl.a"
+  "libniid_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/niid_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/niid_nn.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/niid_nn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/niid_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/niid_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/models/factory.cc" "src/CMakeFiles/niid_nn.dir/nn/models/factory.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/models/factory.cc.o.d"
+  "/root/repo/src/nn/models/resnet.cc" "src/CMakeFiles/niid_nn.dir/nn/models/resnet.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/models/resnet.cc.o.d"
+  "/root/repo/src/nn/models/simple_cnn.cc" "src/CMakeFiles/niid_nn.dir/nn/models/simple_cnn.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/models/simple_cnn.cc.o.d"
+  "/root/repo/src/nn/models/tabular_mlp.cc" "src/CMakeFiles/niid_nn.dir/nn/models/tabular_mlp.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/models/tabular_mlp.cc.o.d"
+  "/root/repo/src/nn/models/vgg9.cc" "src/CMakeFiles/niid_nn.dir/nn/models/vgg9.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/models/vgg9.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/niid_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/niid_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameters.cc" "src/CMakeFiles/niid_nn.dir/nn/parameters.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/parameters.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/niid_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/niid_nn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/niid_nn.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/niid_nn.dir/nn/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/niid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/feature_skew.cc" "src/CMakeFiles/niid_partition.dir/partition/feature_skew.cc.o" "gcc" "src/CMakeFiles/niid_partition.dir/partition/feature_skew.cc.o.d"
+  "/root/repo/src/partition/label_skew.cc" "src/CMakeFiles/niid_partition.dir/partition/label_skew.cc.o" "gcc" "src/CMakeFiles/niid_partition.dir/partition/label_skew.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "src/CMakeFiles/niid_partition.dir/partition/partition.cc.o" "gcc" "src/CMakeFiles/niid_partition.dir/partition/partition.cc.o.d"
+  "/root/repo/src/partition/quantity_skew.cc" "src/CMakeFiles/niid_partition.dir/partition/quantity_skew.cc.o" "gcc" "src/CMakeFiles/niid_partition.dir/partition/quantity_skew.cc.o.d"
+  "/root/repo/src/partition/report.cc" "src/CMakeFiles/niid_partition.dir/partition/report.cc.o" "gcc" "src/CMakeFiles/niid_partition.dir/partition/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/niid_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/niid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_partition.dir/partition/feature_skew.cc.o"
+  "CMakeFiles/niid_partition.dir/partition/feature_skew.cc.o.d"
+  "CMakeFiles/niid_partition.dir/partition/label_skew.cc.o"
+  "CMakeFiles/niid_partition.dir/partition/label_skew.cc.o.d"
+  "CMakeFiles/niid_partition.dir/partition/partition.cc.o"
+  "CMakeFiles/niid_partition.dir/partition/partition.cc.o.d"
+  "CMakeFiles/niid_partition.dir/partition/quantity_skew.cc.o"
+  "CMakeFiles/niid_partition.dir/partition/quantity_skew.cc.o.d"
+  "CMakeFiles/niid_partition.dir/partition/report.cc.o"
+  "CMakeFiles/niid_partition.dir/partition/report.cc.o.d"
+  "libniid_partition.a"
+  "libniid_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/niid_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/niid_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/niid_tensor.dir/tensor/tensor.cc.o.d"
+  "libniid_tensor.a"
+  "libniid_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

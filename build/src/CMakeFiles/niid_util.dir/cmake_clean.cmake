@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niid_util.dir/util/csv.cc.o"
+  "CMakeFiles/niid_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/flags.cc.o"
+  "CMakeFiles/niid_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/logging.cc.o"
+  "CMakeFiles/niid_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/rng.cc.o"
+  "CMakeFiles/niid_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/samplers.cc.o"
+  "CMakeFiles/niid_util.dir/util/samplers.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/stats.cc.o"
+  "CMakeFiles/niid_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/table.cc.o"
+  "CMakeFiles/niid_util.dir/util/table.cc.o.d"
+  "CMakeFiles/niid_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/niid_util.dir/util/thread_pool.cc.o.d"
+  "libniid_util.a"
+  "libniid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

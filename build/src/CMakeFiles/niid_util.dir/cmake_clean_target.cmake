@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libniid_util.a"
+)

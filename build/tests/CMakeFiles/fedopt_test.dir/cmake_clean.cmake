@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedopt_test.dir/fedopt_test.cc.o"
+  "CMakeFiles/fedopt_test.dir/fedopt_test.cc.o.d"
+  "fedopt_test"
+  "fedopt_test.pdb"
+  "fedopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writers_leaderboard_test.dir/writers_leaderboard_test.cc.o"
+  "CMakeFiles/writers_leaderboard_test.dir/writers_leaderboard_test.cc.o.d"
+  "writers_leaderboard_test"
+  "writers_leaderboard_test.pdb"
+  "writers_leaderboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writers_leaderboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_models_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/fedopt_test[1]_include.cmake")
+include("/root/repo/build/tests/writers_leaderboard_test[1]_include.cmake")
