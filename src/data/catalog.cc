@@ -12,7 +12,7 @@ namespace {
 
 // Table 2 of the paper.
 const std::vector<DatasetInfo>& Infos() {
-  static const std::vector<DatasetInfo>* infos = new std::vector<DatasetInfo>{
+  static const std::vector<DatasetInfo> infos{
       {"mnist", 60000, 10000, 784, 10, true, 1, 28, 28, 0.01f},
       {"fmnist", 60000, 10000, 784, 10, true, 1, 28, 28, 0.01f},
       {"cifar10", 50000, 10000, 1024, 10, true, 3, 32, 32, 0.01f},
@@ -23,7 +23,7 @@ const std::vector<DatasetInfo>& Infos() {
       {"fcube", 4000, 1000, 3, 2, false, 0, 0, 0, 0.01f},
       {"femnist", 341873, 40832, 784, 10, true, 1, 28, 28, 0.01f},
   };
-  return *infos;
+  return infos;
 }
 
 int64_t ScaledSize(int64_t paper_size, double factor, int64_t min_size,

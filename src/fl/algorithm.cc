@@ -1,38 +1,53 @@
 #include "fl/algorithm.h"
 
+#include <memory>
+#include <utility>
+
 #include "fl/fedavg.h"
 #include "fl/fednova.h"
 #include "fl/fedopt.h"
 #include "fl/fedprox.h"
 #include "fl/scaffold.h"
+#include "util/check.h"
 
 namespace niid {
+namespace {
+
+template <typename T, typename... Args>
+std::unique_ptr<FlAlgorithm> MakeAlgorithm(Args&&... args) {
+  return std::make_unique<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<FlAlgorithm>> CreateAlgorithm(
     const std::string& name, const AlgorithmConfig& config) {
+  NIID_CHECK_GE(config.fedprox_mu, 0.f);
+  NIID_CHECK_GT(config.server_lr, 0.f);
+  NIID_CHECK(config.scaffold_variant == 1 || config.scaffold_variant == 2)
+      << "scaffold_variant must be 1 or 2";
+  NIID_CHECK_GT(config.fedopt_tau, 0.f);
+  NIID_CHECK_GT(config.fedopt_server_lr, 0.f);
   if (name == "fedavg") {
-    return std::unique_ptr<FlAlgorithm>(new FedAvg(config));
+    return MakeAlgorithm<FedAvg>(config);
   }
   if (name == "fedprox") {
-    return std::unique_ptr<FlAlgorithm>(new FedProx(config));
+    return MakeAlgorithm<FedProx>(config);
   }
   if (name == "scaffold") {
-    return std::unique_ptr<FlAlgorithm>(new Scaffold(config));
+    return MakeAlgorithm<Scaffold>(config);
   }
   if (name == "fednova") {
-    return std::unique_ptr<FlAlgorithm>(new FedNova(config));
+    return MakeAlgorithm<FedNova>(config);
   }
   if (name == "fedadagrad") {
-    return std::unique_ptr<FlAlgorithm>(
-        new FedOpt(config, FedOptVariant::kAdagrad));
+    return MakeAlgorithm<FedOpt>(config, FedOptVariant::kAdagrad);
   }
   if (name == "fedadam") {
-    return std::unique_ptr<FlAlgorithm>(
-        new FedOpt(config, FedOptVariant::kAdam));
+    return MakeAlgorithm<FedOpt>(config, FedOptVariant::kAdam);
   }
   if (name == "fedyogi") {
-    return std::unique_ptr<FlAlgorithm>(
-        new FedOpt(config, FedOptVariant::kYogi));
+    return MakeAlgorithm<FedOpt>(config, FedOptVariant::kYogi);
   }
   return Status::InvalidArgument("unknown algorithm: " + name);
 }

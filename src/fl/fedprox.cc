@@ -1,10 +1,15 @@
 #include "fl/fedprox.h"
 
+#include "util/check.h"
+
 namespace niid {
 
 LocalUpdate FedProx::RunClient(Client& client, const StateVector& global,
                                const LocalTrainOptions& options) {
+  NIID_CHECK(!global.empty());
+  NIID_CHECK_GT(options.local_epochs, 0);
   const float mu = config_.fedprox_mu;
+  NIID_CHECK_GE(mu, 0.f);
   LocalTrainOptions local = options;
   local.keep_local_buffers = !config_.average_bn_buffers;
   // d/dw [ (mu/2) ||w - w^t||^2 ] = mu * w - mu * w^t, applied to every

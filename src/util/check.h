@@ -24,7 +24,7 @@ class CheckFailure {
   }
 
   [[noreturn]] ~CheckFailure() {
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << stream_.str() << "\n";  // cerr is unit-buffered; no flush
     std::abort();
   }
 

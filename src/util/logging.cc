@@ -10,8 +10,8 @@ namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
+  static std::mutex mutex;
+  return mutex;
 }
 
 const char* LevelTag(LogLevel level) {

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -34,8 +35,13 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,9 +58,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -63,12 +75,21 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body) {
-  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() == 1 || n == 1) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
-  for (int64_t i = 0; i < n; ++i) {
-    pool->Schedule([&body, i] { body(i); });
+  // A handful of chunks per worker balances load without paying one queue
+  // round-trip (and, under TSan, one shadow allocation) per index.
+  const int64_t max_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
+  const int64_t num_chunks = std::min<int64_t>(n, max_chunks);
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (int64_t begin = 0; begin < n; begin += chunk) {
+    const int64_t end = std::min<int64_t>(begin + chunk, n);
+    pool->Schedule([&body, begin, end] {
+      for (int64_t i = begin; i < end; ++i) body(i);
+    });
   }
   pool->Wait();
 }

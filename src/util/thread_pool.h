@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,6 +15,12 @@ namespace niid {
 /// Fixed-size worker pool used to train clients of one federated round in
 /// parallel. Determinism is preserved because each parallel task owns a
 /// pre-split RNG stream and writes only to its own output slot.
+///
+/// Exception safety: a task that throws does not take down the process.
+/// The first exception raised by any task since the last Wait() is captured
+/// and rethrown from the next Wait() call on the scheduling thread;
+/// subsequent exceptions from the same batch are dropped. After Wait()
+/// rethrows, the pool is back in a clean state and remains usable.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -26,7 +33,9 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all scheduled tasks have finished.
+  /// Blocks until all scheduled tasks have finished. If any task threw since
+  /// the previous Wait(), rethrows the first such exception (and clears it,
+  /// leaving the pool reusable).
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -39,12 +48,21 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  int64_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  int64_t in_flight_ = 0;          // guarded by mutex_
+  bool shutting_down_ = false;     // guarded by mutex_
+  std::exception_ptr first_error_; // guarded by mutex_
 };
 
 /// Runs body(i) for i in [0, n) across the pool and waits for completion.
-/// With a null pool, runs serially on the calling thread.
+/// Work is scheduled in contiguous chunks (a few per worker) rather than one
+/// task per index, so the per-task overhead stays constant as n grows. With a
+/// null pool (or n <= 1, or a single-threaded pool) runs serially on the
+/// calling thread. If any invocation of `body` throws, the first exception is
+/// rethrown on the calling thread after all chunks have drained.
+///
+/// Must not be called from inside a task running on the same pool: Wait()
+/// blocks until the pool-wide in-flight count reaches zero, which includes
+/// the caller's own task.
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body);
 

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/logging.h"
@@ -55,6 +56,67 @@ TEST(ParallelForTest, NullPoolRunsSerially) {
   std::vector<int64_t> order;
   ParallelFor(nullptr, 5, [&order](int64_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, TaskExceptionSurfacesFromWait) {
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolRemainsUsableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error slot must be clear: a clean batch completes without throwing.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) {
+    pool.Schedule([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // all later exceptions were dropped; pool is clean
+  SUCCEED();
+}
+
+TEST(ParallelForTest, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [](int64_t i) {
+                    if (i == 37) throw std::invalid_argument("bad index");
+                  }),
+      std::invalid_argument);
+  // Remaining chunks drained; the pool is reusable afterwards.
+  std::vector<int> hits(64, 0);
+  ParallelFor(&pool, 64, [&hits](int64_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SerialPathPropagatesException) {
+  EXPECT_THROW(ParallelFor(nullptr, 5,
+                           [](int64_t i) {
+                             if (i == 2) throw std::runtime_error("serial");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ChunkedSchedulingCoversLargeRanges) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 100000;
+  std::vector<unsigned char> hits(kN, 0);
+  ParallelFor(&pool, kN, [&hits](int64_t i) { hits[i] += 1; });
+  int64_t total = 0;
+  for (const unsigned char h : hits) total += h;
+  EXPECT_EQ(total, kN);
 }
 
 TEST(ParallelForTest, ResultsIndependentOfThreadCount) {

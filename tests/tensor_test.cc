@@ -354,5 +354,72 @@ TEST(ConvOpsTest, RectangularInput) {
   EXPECT_EQ(columns.at(0, 3), input.at(0, 0, 1, 1));
 }
 
+// Sanitizer regression coverage for the im2col / view index arithmetic:
+// these shapes drive every out-of-range branch (negative and past-the-end
+// input coordinates, whole rows of padding) so an off-by-one in the signed
+// index math shows up as an ASan/UBSan report, not silent corruption.
+
+TEST(ConvOpsTest, Im2ColKernelLargerThanInput) {
+  // 2x2 input, 3x3 kernel, padding 1 -> 2x2 output; every window sticks out
+  // of the input on at least two sides.
+  const Tensor input =
+      Tensor::FromVector({1, 1, 2, 2}, {1.f, 2.f, 3.f, 4.f});
+  Tensor columns;
+  Im2Col(input, 3, 1, 1, columns);
+  ASSERT_EQ(columns.dim(0), 4);
+  ASSERT_EQ(columns.dim(1), 9);
+  // Window centred on (0, 0): the first row and column are padding.
+  EXPECT_EQ(columns.at(0, 0), 0.f);
+  EXPECT_EQ(columns.at(0, 4), 1.f);  // centre tap = input(0, 0)
+  EXPECT_EQ(columns.at(0, 8), 4.f);  // bottom-right tap = input(1, 1)
+  // Every padded tap sums to zero; total mass is preserved per centre tap.
+  double mass = 0;
+  for (int64_t i = 0; i < columns.numel(); ++i) mass += columns[i];
+  EXPECT_DOUBLE_EQ(mass, 4 * (1.0 + 2.0 + 3.0 + 4.0));
+}
+
+TEST(ConvOpsTest, Im2ColStrideSkipsTrailingElements) {
+  // 2x5 input with stride 2, kernel 2: windows start at columns {0, 2};
+  // column 4 has no full window, so its value (99) must never be read into
+  // any output slot.
+  const Tensor tall = Tensor::FromVector(
+      {1, 1, 2, 5},
+      {1.f, 2.f, 3.f, 4.f, 99.f, 5.f, 6.f, 7.f, 8.f, 99.f});
+  Tensor columns;
+  Im2Col(tall, 2, 2, 0, columns);
+  ASSERT_EQ(columns.dim(0), 1 * 2);  // out_h=1, out_w=2
+  ASSERT_EQ(columns.dim(1), 4);
+  for (int64_t r = 0; r < columns.dim(0); ++r) {
+    for (int64_t c = 0; c < columns.dim(1); ++c) {
+      EXPECT_NE(columns.at(r, c), 99.f);
+    }
+  }
+}
+
+TEST(ConvOpsTest, Col2ImScattersPaddingContributionsNowhere) {
+  // Adjoint path with stride 2 + padding 1: gradient taps that land in the
+  // padding ring must be dropped, not written out of bounds.
+  const int input_h = 3, input_w = 3;
+  Tensor cols({2 * 2, 4});  // out 2x2 for 3x3 input, kernel 2, stride 2, pad 1
+  cols.Fill(1.f);
+  Tensor grad;
+  Col2Im(cols, 1, 1, input_h, input_w, 2, 2, 1, grad);
+  ASSERT_EQ(grad.rank(), 4);
+  // Total scattered mass = taps that landed inside the input.
+  double inside = grad.Sum();
+  EXPECT_GT(inside, 0.0);
+  EXPECT_LT(inside, 16.0);  // some taps fell into padding and were dropped
+}
+
+TEST(TensorTest, ReshapeViewRoundTripPreservesIndexing) {
+  Rng rng(17);
+  const Tensor t = Tensor::Randn({3, 4, 5}, rng);
+  const Tensor flat = t.Reshape({60});
+  const Tensor back = flat.Reshape({3, 4, 5});
+  EXPECT_EQ(back, t);
+  // Row-major flattening invariant: ((i*4)+j)*5+k addresses the same value.
+  EXPECT_EQ(flat[(2 * 4 + 3) * 5 + 4], t[(2 * 4 + 3) * 5 + 4]);
+}
+
 }  // namespace
 }  // namespace niid

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for niidbench — invariants generic tools can't express.
+
+Checks (all hard failures):
+  header-guard     every header under src/, tests/, bench/ carries either
+                   `#pragma once` or an include guard whose macro is derived
+                   from its path (src/util/check.h -> NIID_UTIL_CHECK_H_).
+  determinism      rand()/srand()/std::random_device/std::mt19937 and friends
+                   appear nowhere outside src/util/rng.* — every stochastic
+                   draw must flow through the seeded niid::Rng so experiments
+                   stay bit-reproducible.
+  naked-new        no `new` expressions outside src/util/rng-free smart-pointer
+                   wrappers; allocate via std::make_unique/containers. Escape
+                   hatch for the rare intentional case:
+                   append `// NOLINT(niid-naked-new)` to the line.
+  fl-validation    every translation unit in src/fl/ (the public federated
+                   API surface) validates inputs with at least one NIID_CHECK.
+
+Optional:
+  --format         run `clang-format --dry-run -Werror` over all C++ sources
+                   (check only, never rewrites). Skipped with a notice when
+                   clang-format is not installed.
+
+Exit status: 0 when clean, 1 when any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CODE_DIRS = ("src", "tests", "bench", "examples")
+CPP_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+# Files allowed to reference the banned randomness primitives.
+RNG_ALLOWLIST = {Path("src/util/rng.h"), Path("src/util/rng.cc")}
+
+DETERMINISM_RE = re.compile(
+    r"\b(?:srand|rand)\s*\(|\brandom_device\b|\bmt19937(?:_64)?\b"
+    r"|\bdefault_random_engine\b|\bminstd_rand0?\b"
+)
+NAKED_NEW_RE = re.compile(r"(?:^|[^\w.])new\s+(?:\(|[A-Za-z_:<])")
+NAKED_NEW_ESCAPE = "NOLINT(niid-naked-new)"
+
+
+def cpp_files() -> list[Path]:
+    files: list[Path] = []
+    for top in CODE_DIRS:
+        root = REPO_ROOT / top
+        if not root.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES
+        )
+    return files
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line breaks
+    so reported line numbers stay accurate."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if ch == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif mode == "line_comment":
+            if ch == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if ch == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        else:  # string or char literal
+            quote = '"' if mode == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                mode = "code"
+            out.append(" " if ch != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    """src/util/check.h -> NIID_UTIL_CHECK_H_ ; tests/grad_check.h ->
+    NIID_TESTS_GRAD_CHECK_H_ (the src/ prefix is dropped, others kept)."""
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    return "NIID_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def check_header_guards(files: list[Path], errors: list[str]) -> None:
+    for path in files:
+        if path.suffix not in {".h", ".hpp"}:
+            continue
+        rel = path.relative_to(REPO_ROOT)
+        text = path.read_text(encoding="utf-8")
+        if "#pragma once" in text:
+            continue
+        guard = expected_guard(rel)
+        has_ifndef = re.search(
+            rf"^#ifndef\s+{re.escape(guard)}\s*$", text, re.MULTILINE
+        )
+        has_define = re.search(
+            rf"^#define\s+{re.escape(guard)}\s*$", text, re.MULTILINE
+        )
+        if not (has_ifndef and has_define):
+            errors.append(
+                f"{rel}: missing `#pragma once` or include guard `{guard}`"
+            )
+
+
+def check_determinism(files: list[Path], errors: list[str]) -> None:
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        if rel in RNG_ALLOWLIST:
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            match = DETERMINISM_RE.search(line)
+            if match:
+                errors.append(
+                    f"{rel}:{lineno}: banned randomness primitive "
+                    f"`{match.group(0).strip()}` — draw from niid::Rng "
+                    "(src/util/rng.h) so runs stay seed-reproducible"
+                )
+
+
+def check_naked_new(files: list[Path], errors: list[str]) -> None:
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if not NAKED_NEW_RE.search(line):
+                continue
+            if NAKED_NEW_ESCAPE in raw_lines[lineno - 1]:
+                continue
+            errors.append(
+                f"{rel}:{lineno}: naked `new` — use std::make_unique / a "
+                f"container, or append `// {NAKED_NEW_ESCAPE}` if ownership "
+                "is intentionally manual"
+            )
+
+
+def check_fl_validation(errors: list[str]) -> None:
+    fl_dir = REPO_ROOT / "src" / "fl"
+    for path in sorted(fl_dir.glob("*.cc")):
+        text = path.read_text(encoding="utf-8")
+        if "NIID_CHECK" not in text:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: public fl/ translation unit "
+                "has no NIID_CHECK input validation"
+            )
+
+
+def check_format(files: list[Path], errors: list[str]) -> bool:
+    """Returns False when clang-format is unavailable (check skipped)."""
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        print("lint: clang-format not found; --format check skipped")
+        return False
+    result = subprocess.run(
+        [clang_format, "--dry-run", "-Werror", "--style=file"]
+        + [str(p) for p in files],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        tail = "\n".join(result.stderr.strip().splitlines()[:40])
+        errors.append(f"clang-format --dry-run reported violations:\n{tail}")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--format",
+        action="store_true",
+        help="also verify formatting with clang-format --dry-run -Werror",
+    )
+    args = parser.parse_args()
+
+    files = cpp_files()
+    errors: list[str] = []
+    check_header_guards(files, errors)
+    check_determinism(files, errors)
+    check_naked_new(files, errors)
+    check_fl_validation(errors)
+    if args.format:
+        check_format(files, errors)
+
+    if errors:
+        for error in errors:
+            print(f"lint: {error}")
+        print(f"lint: {len(errors)} violation(s) in {len(files)} files")
+        return 1
+    print(f"lint: OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
