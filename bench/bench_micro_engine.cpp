@@ -14,9 +14,51 @@
 #include "nn/parameters.h"
 #include "partition/label_skew.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 namespace {
+
+// All GEMM benchmarks report items == floating-point operations (2*m*n*k),
+// so the items_per_second counter reads directly in FLOP/s and
+// tools/bench_json.py can emit GFLOP/s without shape bookkeeping.
+
+// The pre-engine kernel (ikj axpy with the zero-skip branch), kept verbatim
+// as the speedup baseline for BENCH_gemm.json. It lives here, not in the
+// library: production code has exactly one GEMM implementation.
+void NaiveMatmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) {
+    out = Tensor({m, n});
+  }
+  out.Fill(0.f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    NaiveMatmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -28,9 +70,80 @@ void BM_Matmul(benchmark::State& state) {
     Matmul(a, b, out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// Engine with a worker pool: range(0) = matrix size, range(1) = threads.
+void BM_MatmulPool(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    Matmul(a, b, out, &pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+// UseRealTime: the calling thread mostly blocks in ThreadPool::Wait, so its
+// CPU time (the default basis for counters) would wildly overstate FLOP/s.
+BENCHMARK(BM_MatmulPool)
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 4})
+    ->UseRealTime();
+
+void BM_MatmulTransA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    MatmulTransA(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulTransA)->Arg(256);
+
+void BM_MatmulTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    MatmulTransB(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulTransB)->Arg(256);
+
+// Rectangular shapes pulled from the real training workload (simple-cnn and
+// vgg9 conv layers as im2col GEMMs, linear head): tall-skinny and fat-k
+// cases behave very differently from square matrices.
+void BM_MatmulRect(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    Matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_MatmulRect)
+    ->Args({36864, 25, 6})     // conv1 of simple-cnn on 64x1x28x28 (im2col)
+    ->Args({4096, 150, 16})    // conv2 of simple-cnn
+    ->Args({16384, 576, 128})  // a vgg9 3x3 conv block
+    ->Args({64, 120, 84});     // linear head
 
 void BM_Im2Col(benchmark::State& state) {
   Rng rng(2);

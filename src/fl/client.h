@@ -58,6 +58,11 @@ class Client {
   const Dataset& data() const { return data_; }
   Module& model() { return *model_; }
 
+  /// Borrows `pool` for the model's layer-level GEMMs (see
+  /// Module::SetComputePool). The pool must outlive the client. Results are
+  /// bit-identical with or without a pool, so this is purely a speed knob.
+  void set_compute_pool(ThreadPool* pool) { model_->SetComputePool(pool); }
+
   /// Called after every backward pass and before the SGD step; algorithms
   /// inject their gradient corrections here (FedProx's proximal term,
   /// SCAFFOLD's control variates).

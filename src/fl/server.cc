@@ -28,6 +28,13 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
   }
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    // The round pool doubles as the layer-level GEMM pool. When RunRound
+    // already spreads sampled clients across the workers, nested layer calls
+    // detect the re-entrancy and run serially; with few sampled clients the
+    // GEMM row-block parallelism picks up the slack. Either way results are
+    // bit-identical to single-threaded execution.
+    global_model_->SetComputePool(pool_.get());
+    for (auto& client : clients_) client->set_compute_pool(pool_.get());
   }
 }
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 namespace {
@@ -54,25 +56,33 @@ Tensor Conv2d::Forward(const Tensor& input) {
   const int out_w = ConvOutputSize(w, kernel_, stride_, padding_);
   cached_input_shape_ = input.shape();
 
-  Im2Col(input, kernel_, stride_, padding_, cached_columns_);
-  // columns: [n*oh*ow, c*k*k]; result: [n*oh*ow, out_c].
-  Tensor flat_out;
-  MatmulTransB(cached_columns_, weight_.value, flat_out);
-  AddRowBias(flat_out, bias_.value);
-
-  // Scatter rows (n, oy, ox) x out_c into NCHW.
-  Tensor out({n, out_channels_, out_h, out_w});
-  const float* src = flat_out.data();
-  float* dst = out.data();
+  Im2Col(input, kernel_, stride_, padding_, cached_columns_, compute_pool_);
   const int64_t spatial = static_cast<int64_t>(out_h) * out_w;
-  for (int64_t img = 0; img < n; ++img) {
-    for (int64_t s = 0; s < spatial; ++s) {
-      const float* row = src + (img * spatial + s) * out_channels_;
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        dst[(img * out_channels_ + c) * spatial + s] = row[c];
-      }
+  const int64_t ckk = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
+
+  // Per image: out_img (out_c x spatial) = W (out_c x ckk) @ columns_img^T,
+  // written straight into the NCHW output — the old [n*oh*ow, out_c]
+  // intermediate and its transpose-scatter loop are fused into the GEMM's
+  // packing step via the transposed operand view. The bias add rides the
+  // same pass. Images are disjoint output planes, so they run in parallel;
+  // nested Gemm calls on the same pool degrade to serial automatically.
+  Tensor out({n, out_channels_, out_h, out_w});
+  const float* cols = cached_columns_.data();
+  const float* wts = weight_.value.data();
+  const float* bias = bias_.value.data();
+  float* dst = out.data();
+  ParallelFor(compute_pool_, n, [&](int64_t img) {
+    const float* cols_img = cols + img * spatial * ckk;
+    float* out_img = dst + img * out_channels_ * spatial;
+    Gemm(out_channels_, spatial, ckk, {wts, ckk, false},
+         {cols_img, ckk, true}, out_img, spatial, /*accumulate=*/false,
+         compute_pool_);
+    for (int64_t ch = 0; ch < out_channels_; ++ch) {
+      float* row = out_img + ch * spatial;
+      const float bv = bias[ch];
+      for (int64_t s = 0; s < spatial; ++s) row[s] += bv;
     }
-  }
+  });
   return out;
 }
 
@@ -81,37 +91,68 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.dim(1), out_channels_);
   const int64_t n = grad_output.dim(0);
   const int64_t spatial = grad_output.dim(2) * grad_output.dim(3);
+  const int64_t ckk = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
+  NIID_CHECK_EQ(cached_columns_.dim(0), n * spatial);
+  const float* g = grad_output.data();
+  const float* cols = cached_columns_.data();
 
-  // Gather NCHW grads back into the [n*oh*ow, out_c] row layout.
-  Tensor flat_grad({n * spatial, out_channels_});
-  const float* src = grad_output.data();
-  float* dst = flat_grad.data();
-  for (int64_t img = 0; img < n; ++img) {
-    for (int64_t s = 0; s < spatial; ++s) {
-      float* row = dst + (img * spatial + s) * out_channels_;
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        row[c] = src[(img * out_channels_ + c) * spatial + s];
-      }
+  // db: per-channel sums read directly from the NCHW gradient (the old flat
+  // [n*oh*ow, out_c] gather is gone). Channels are independent outputs and
+  // each keeps the (img, s) accumulation order fixed, so the result does not
+  // depend on the thread count.
+  float* bias_grad = bias_.grad.data();
+  ParallelFor(compute_pool_, out_channels_, [&](int64_t ch) {
+    float acc = 0.f;
+    for (int64_t img = 0; img < n; ++img) {
+      const float* row = g + (img * out_channels_ + ch) * spatial;
+      for (int64_t s = 0; s < spatial; ++s) acc += row[s];
     }
+    bias_grad[ch] += acc;
+  });
+
+  // dW^T (ckk x out_c) = sum_img columns_img^T @ G_img^T, with both
+  // transposes absorbed into the GEMM operand views (G_img is read straight
+  // from NCHW). The transposed layout puts the large ckk dimension on rows,
+  // which is what the engine parallelises; images accumulate sequentially so
+  // every element's FMA chain order is fixed regardless of threads.
+  if (grad_wt_scratch_.rank() != 2 || grad_wt_scratch_.dim(0) != ckk ||
+      grad_wt_scratch_.dim(1) != out_channels_) {
+    grad_wt_scratch_ = Tensor({ckk, out_channels_});
+  }
+  for (int64_t img = 0; img < n; ++img) {
+    Gemm(ckk, out_channels_, spatial, {cols + img * spatial * ckk, ckk, true},
+         {g + img * out_channels_ * spatial, spatial, true},
+         grad_wt_scratch_.data(), out_channels_, /*accumulate=*/img > 0,
+         compute_pool_);
+  }
+  float* weight_grad = weight_.grad.data();
+  const float* wt = grad_wt_scratch_.data();
+  for (int64_t ch = 0; ch < out_channels_; ++ch) {
+    float* row = weight_grad + ch * ckk;
+    for (int64_t e = 0; e < ckk; ++e) row[e] += wt[e * out_channels_ + ch];
   }
 
-  // dW += G^T columns; db += column sums of G.
-  Tensor grad_w;
-  MatmulTransA(flat_grad, cached_columns_, grad_w);
-  weight_.grad.Add(grad_w);
-  Tensor grad_b;
-  SumRows(flat_grad, grad_b);
-  bias_.grad.Add(grad_b);
+  // dColumns per image: (spatial x ckk) = G_img^T @ W, again reading G_img
+  // from NCHW via a transposed view. Images own disjoint row ranges of the
+  // cached scratch, so they run in parallel.
+  if (grad_columns_.rank() != 2 || grad_columns_.dim(0) != n * spatial ||
+      grad_columns_.dim(1) != ckk) {
+    grad_columns_ = Tensor({n * spatial, ckk});
+  }
+  float* gcol = grad_columns_.data();
+  ParallelFor(compute_pool_, n, [&](int64_t img) {
+    Gemm(spatial, ckk, out_channels_,
+         {g + img * out_channels_ * spatial, spatial, true},
+         {weight_.value.data(), ckk, false}, gcol + img * spatial * ckk, ckk,
+         /*accumulate=*/false, compute_pool_);
+  });
 
-  // dColumns = G W; dInput = col2im(dColumns).
-  Tensor grad_columns;
-  Matmul(flat_grad, weight_.value, grad_columns);
   Tensor grad_input;
-  Col2Im(grad_columns, static_cast<int>(cached_input_shape_[0]),
+  Col2Im(grad_columns_, static_cast<int>(cached_input_shape_[0]),
          static_cast<int>(cached_input_shape_[1]),
          static_cast<int>(cached_input_shape_[2]),
          static_cast<int>(cached_input_shape_[3]), kernel_, stride_, padding_,
-         grad_input);
+         grad_input, compute_pool_);
   return grad_input;
 }
 

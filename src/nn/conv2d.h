@@ -36,6 +36,10 @@ class Conv2d : public Module {
   // Forward caches for the backward pass.
   Tensor cached_columns_;           // im2col of the input
   std::vector<int64_t> cached_input_shape_;
+  // Reusable gradient scratch — steady-state training reuses these buffers
+  // instead of reallocating them every minibatch.
+  Tensor grad_wt_scratch_;   // dW^T accumulator, [in_c*k*k, out_c]
+  Tensor grad_columns_;      // column-space gradient, [n*oh*ow, in_c*k*k]
 };
 
 }  // namespace niid

@@ -25,23 +25,22 @@ Tensor Linear::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
   Tensor out;
-  MatmulTransB(input, weight_.value, out);
-  AddRowBias(out, bias_.value);
+  MatmulTransB(input, weight_.value, out, compute_pool_);
+  AddRowBias(out, bias_.value, compute_pool_);
   return out;
 }
 
 Tensor Linear::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 2);
   NIID_CHECK_EQ(grad_output.dim(1), out_features_);
-  // dW += G^T X; db += column-sums of G; dX = G W.
-  Tensor grad_w;
-  MatmulTransA(grad_output, cached_input_, grad_w);
-  weight_.grad.Add(grad_w);
-  Tensor grad_b;
-  SumRows(grad_output, grad_b);
-  bias_.grad.Add(grad_b);
+  // dW += G^T X; db += column-sums of G; dX = G W. The gradient scratch
+  // tensors are members so steady-state training allocates nothing here.
+  MatmulTransA(grad_output, cached_input_, grad_w_scratch_, compute_pool_);
+  weight_.grad.Add(grad_w_scratch_);
+  SumRows(grad_output, grad_b_scratch_, compute_pool_);
+  bias_.grad.Add(grad_b_scratch_);
   Tensor grad_input;
-  Matmul(grad_output, weight_.value, grad_input);
+  Matmul(grad_output, weight_.value, grad_input, compute_pool_);
   return grad_input;
 }
 

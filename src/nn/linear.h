@@ -29,6 +29,9 @@ class Linear : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // Reusable gradient scratch — zero allocations in steady-state training.
+  Tensor grad_w_scratch_;
+  Tensor grad_b_scratch_;
 };
 
 }  // namespace niid

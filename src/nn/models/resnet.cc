@@ -108,6 +108,19 @@ void ResidualBlock::SetTraining(bool training) {
   }
 }
 
+void ResidualBlock::SetComputePool(ThreadPool* pool) {
+  compute_pool_ = pool;
+  conv1_.SetComputePool(pool);
+  bn1_.SetComputePool(pool);
+  relu1_.SetComputePool(pool);
+  conv2_.SetComputePool(pool);
+  bn2_.SetComputePool(pool);
+  if (has_projection_) {
+    proj_conv_->SetComputePool(pool);
+    proj_bn_->SetComputePool(pool);
+  }
+}
+
 std::unique_ptr<Module> BuildResNet(const ModelSpec& spec, Rng& rng) {
   NIID_CHECK_GE(spec.resnet_blocks_per_stage, 1);
   auto model = std::make_unique<Sequential>();

@@ -29,6 +29,7 @@ class ResidualBlock : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
+  void SetComputePool(ThreadPool* pool) override;
   std::string Name() const override { return "ResidualBlock"; }
 
  private:

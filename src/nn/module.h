@@ -9,6 +9,8 @@
 
 namespace niid {
 
+class ThreadPool;
+
 /// One learnable tensor (or non-trainable buffer) of a module.
 ///
 /// Buffers (trainable == false) hold state such as BatchNorm running
@@ -50,11 +52,22 @@ class Module {
   virtual void SetTraining(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Hands the module (and, via container overrides, every submodule) a
+  /// worker pool for intra-layer parallelism: the GEMM/conv hot paths of
+  /// Linear and Conv2d split row blocks and images across the pool. May be
+  /// null (serial). The pool is borrowed, never owned, and results are
+  /// bit-identical with or without it (DESIGN.md §7 determinism policy).
+  /// Calling Forward/Backward from inside a task of the same pool is safe:
+  /// nested parallel sections degrade to serial execution.
+  virtual void SetComputePool(ThreadPool* pool) { compute_pool_ = pool; }
+  ThreadPool* compute_pool() const { return compute_pool_; }
+
   /// Human-readable layer name for debugging and reports.
   virtual std::string Name() const = 0;
 
  protected:
   bool training_ = true;
+  ThreadPool* compute_pool_ = nullptr;
 };
 
 }  // namespace niid

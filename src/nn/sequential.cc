@@ -31,4 +31,9 @@ void Sequential::SetTraining(bool training) {
   for (auto& layer : layers_) layer->SetTraining(training);
 }
 
+void Sequential::SetComputePool(ThreadPool* pool) {
+  compute_pool_ = pool;
+  for (auto& layer : layers_) layer->SetComputePool(pool);
+}
+
 }  // namespace niid

@@ -33,6 +33,7 @@ class Sequential : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
+  void SetComputePool(ThreadPool* pool) override;
   std::string Name() const override { return "Sequential"; }
 
   int size() const { return static_cast<int>(layers_.size()); }

@@ -1,0 +1,219 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#if defined(NIID_GEMM_AVX2) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define NIID_GEMM_USE_AVX2 1
+#else
+#define NIID_GEMM_USE_AVX2 0
+#endif
+
+namespace niid {
+namespace {
+
+constexpr int kMr = kGemmMr;
+constexpr int kNr = kGemmNr;
+
+// Packing scratch. Thread-local so concurrent Gemm calls (e.g. one per
+// federated client task) never share buffers, and so steady-state calls are
+// allocation-free: resize() only grows capacity. The B panel is packed by
+// the calling thread and read by workers; the A panel lives in whichever
+// thread runs the row block. Publication of the packed B contents to the
+// workers is ordered by ThreadPool::Schedule's mutex.
+thread_local std::vector<float> tls_pack_a;
+thread_local std::vector<float> tls_pack_b;
+
+inline float OperandAt(const GemmOperand& x, int64_t r, int64_t c) {
+  return x.trans ? x.data[c * x.stride + r] : x.data[r * x.stride + c];
+}
+
+// Packs op(A)[i0 : i0+mc, pc : pc+kc] into kMr-row panels: panel p holds kc
+// steps of kMr consecutive rows, zero-padded past mc so the full microkernel
+// can run on the body of every block.
+void PackA(const GemmOperand& a, int64_t i0, int64_t mc, int64_t pc,
+           int64_t kc, float* dst) {
+  const int64_t panels = (mc + kMr - 1) / kMr;
+  for (int64_t p = 0; p < panels; ++p) {
+    const int64_t row0 = i0 + p * kMr;
+    const int rows = static_cast<int>(std::min<int64_t>(kMr, i0 + mc - row0));
+    float* panel = dst + p * kc * kMr;
+    if (a.trans) {
+      // op(A)[r, c] = data[c * stride + r]: rows are contiguous in memory.
+      for (int64_t step = 0; step < kc; ++step) {
+        const float* src = a.data + (pc + step) * a.stride + row0;
+        float* out = panel + step * kMr;
+        for (int r = 0; r < rows; ++r) out[r] = src[r];
+        for (int r = rows; r < kMr; ++r) out[r] = 0.f;
+      }
+    } else {
+      for (int64_t step = 0; step < kc; ++step) {
+        const float* src = a.data + row0 * a.stride + pc + step;
+        float* out = panel + step * kMr;
+        for (int r = 0; r < rows; ++r) out[r] = src[r * a.stride];
+        for (int r = rows; r < kMr; ++r) out[r] = 0.f;
+      }
+    }
+  }
+}
+
+// Packs op(B)[pc : pc+kc, jc : jc+nc] into kNr-column panels: panel q holds
+// kc steps of kNr consecutive columns, zero-padded past nc.
+void PackB(const GemmOperand& b, int64_t pc, int64_t kc, int64_t jc,
+           int64_t nc, float* dst) {
+  const int64_t panels = (nc + kNr - 1) / kNr;
+  for (int64_t q = 0; q < panels; ++q) {
+    const int64_t col0 = jc + q * kNr;
+    const int cols = static_cast<int>(std::min<int64_t>(kNr, jc + nc - col0));
+    float* panel = dst + q * kc * kNr;
+    if (b.trans) {
+      for (int64_t step = 0; step < kc; ++step) {
+        const float* src = b.data + pc + step;
+        float* out = panel + step * kNr;
+        for (int c = 0; c < cols; ++c) out[c] = src[(col0 + c) * b.stride];
+        for (int c = cols; c < kNr; ++c) out[c] = 0.f;
+      }
+    } else {
+      for (int64_t step = 0; step < kc; ++step) {
+        const float* src = b.data + (pc + step) * b.stride + col0;
+        float* out = panel + step * kNr;
+        std::memcpy(out, src, sizeof(float) * cols);
+        for (int c = cols; c < kNr; ++c) out[c] = 0.f;
+      }
+    }
+  }
+}
+
+// Scalar microkernel, also used for edge tiles: a kMr x kNr register tile
+// accumulated with std::fma in strictly increasing k order per element —
+// the exact chain the AVX2 kernel's per-lane FMAs produce, so both backends
+// are bit-identical. `load_c` continues the accumulation chain from C
+// (later Kc blocks / accumulate mode) instead of starting at zero.
+void MicroKernelScalar(int64_t kc, const float* a_panel, const float* b_panel,
+                       float* c, int64_t ldc, bool load_c, int mr, int nr) {
+  float tile[kMr][kNr];
+  for (int i = 0; i < mr; ++i) {
+    for (int j = 0; j < nr; ++j) {
+      tile[i][j] = load_c ? c[i * ldc + j] : 0.f;
+    }
+  }
+  for (int64_t step = 0; step < kc; ++step) {
+    const float* arow = a_panel + step * kMr;
+    const float* brow = b_panel + step * kNr;
+    for (int i = 0; i < mr; ++i) {
+      const float av = arow[i];
+      for (int j = 0; j < nr; ++j) {
+        tile[i][j] = std::fma(av, brow[j], tile[i][j]);
+      }
+    }
+  }
+  for (int i = 0; i < mr; ++i) {
+    for (int j = 0; j < nr; ++j) c[i * ldc + j] = tile[i][j];
+  }
+}
+
+#if NIID_GEMM_USE_AVX2
+// Full-tile kernel: 6 x 16 C tile in 12 ymm accumulators, one broadcast per
+// A element and two B vector loads per k step. Per-lane vfmadd follows the
+// same k-ordered chain as the scalar kernel.
+void MicroKernelFull(int64_t kc, const float* a_panel, const float* b_panel,
+                     float* c, int64_t ldc, bool load_c) {
+  __m256 acc[kMr][2];
+  if (load_c) {
+    for (int i = 0; i < kMr; ++i) {
+      acc[i][0] = _mm256_loadu_ps(c + i * ldc);
+      acc[i][1] = _mm256_loadu_ps(c + i * ldc + 8);
+    }
+  } else {
+    for (int i = 0; i < kMr; ++i) {
+      acc[i][0] = _mm256_setzero_ps();
+      acc[i][1] = _mm256_setzero_ps();
+    }
+  }
+  for (int64_t step = 0; step < kc; ++step) {
+    const float* arow = a_panel + step * kMr;
+    const __m256 b0 = _mm256_loadu_ps(b_panel + step * kNr);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + step * kNr + 8);
+    for (int i = 0; i < kMr; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(arow + i);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+  }
+  for (int i = 0; i < kMr; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc[i][0]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc[i][1]);
+  }
+}
+#endif  // NIID_GEMM_USE_AVX2
+
+inline void MicroKernel(int64_t kc, const float* a_panel, const float* b_panel,
+                        float* c, int64_t ldc, bool load_c, int mr, int nr) {
+#if NIID_GEMM_USE_AVX2
+  if (mr == kMr && nr == kNr) {
+    MicroKernelFull(kc, a_panel, b_panel, c, ldc, load_c);
+    return;
+  }
+#endif
+  MicroKernelScalar(kc, a_panel, b_panel, c, ldc, load_c, mr, nr);
+}
+
+}  // namespace
+
+void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+          const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
+          ThreadPool* pool) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (int64_t i = 0; i < m; ++i) {
+        std::memset(c + i * ldc, 0, sizeof(float) * n);
+      }
+    }
+    return;
+  }
+
+  for (int64_t jc = 0; jc < n; jc += kGemmNc) {
+    const int64_t nc = std::min<int64_t>(kGemmNc, n - jc);
+    const int64_t b_panels = (nc + kNr - 1) / kNr;
+    for (int64_t pc = 0; pc < k; pc += kGemmKc) {
+      const int64_t kc = std::min<int64_t>(kGemmKc, k - pc);
+      tls_pack_b.resize(static_cast<size_t>(b_panels * kc * kNr));
+      float* packed_b = tls_pack_b.data();
+      PackB(b, pc, kc, jc, nc, packed_b);
+      // Later Kc blocks must continue each element's FMA chain from C.
+      const bool load_c = accumulate || pc > 0;
+
+      // Row-block parallelism only — K is never split across threads, so
+      // every C element is produced by exactly one task with a fixed
+      // accumulation order, independent of the thread count.
+      const int64_t m_blocks = (m + kGemmMc - 1) / kGemmMc;
+      ParallelFor(pool, m_blocks, [&](int64_t mb) {
+        const int64_t i0 = mb * kGemmMc;
+        const int64_t mc = std::min<int64_t>(kGemmMc, m - i0);
+        const int64_t a_panels = (mc + kMr - 1) / kMr;
+        tls_pack_a.resize(static_cast<size_t>(a_panels * kc * kMr));
+        float* packed_a = tls_pack_a.data();
+        PackA(a, i0, mc, pc, kc, packed_a);
+        for (int64_t q = 0; q < b_panels; ++q) {
+          const int64_t j0 = jc + q * kNr;
+          const int nr =
+              static_cast<int>(std::min<int64_t>(kNr, jc + nc - j0));
+          const float* b_panel = packed_b + q * kc * kNr;
+          for (int64_t p = 0; p < a_panels; ++p) {
+            const int64_t i = i0 + p * kMr;
+            const int mr =
+                static_cast<int>(std::min<int64_t>(kMr, i0 + mc - i));
+            MicroKernel(kc, packed_a + p * kc * kMr, b_panel,
+                        c + i * ldc + j0, ldc, load_c, mr, nr);
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace niid

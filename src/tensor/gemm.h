@@ -1,0 +1,57 @@
+#ifndef NIID_TENSOR_GEMM_H_
+#define NIID_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace niid {
+
+/// Blocked, packed, optionally multithreaded single-precision GEMM.
+///
+/// Computes C = op(A) * op(B) (or C += op(A) * op(B) with `accumulate`)
+/// where op(X) is X or X^T depending on the operand's `trans` flag. The
+/// engine tiles the iteration space into Mc/Kc/Nc cache blocks, packs both
+/// operands into contiguous panels held in reusable thread-local scratch
+/// buffers, and runs an explicit register-tiled microkernel (AVX2+FMA when
+/// the build enables it, a bit-identical scalar std::fma kernel otherwise).
+///
+/// Determinism policy (see DESIGN.md §7): the K dimension is never split
+/// across threads — parallelism is over disjoint row blocks of C only — and
+/// every multiply-add in the engine is a fused multiply-add applied in
+/// strictly increasing k order per output element. Results are therefore
+/// bit-identical for any thread count, any pool, and both microkernel
+/// backends, and bit-identical to the scalar reference
+/// `MatmulReference`-family oracles in tensor/ops.h.
+
+/// A rank-2 operand view: row-major storage with an arbitrary row stride,
+/// logically transposed when `trans` is set. op(X)[r, c] reads
+/// data[c * stride + r] if trans else data[r * stride + c].
+struct GemmOperand {
+  const float* data = nullptr;
+  int64_t stride = 0;
+  bool trans = false;
+};
+
+/// C[m, n] (row stride `ldc`) = op(a)[m, k] * op(b)[k, n], overwriting C,
+/// or accumulating into it when `accumulate` is true. `pool` may be null
+/// (serial); passing a pool whose worker thread is the caller is safe and
+/// runs serially (see ThreadPool::IsWorkerThread).
+void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+          const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
+          ThreadPool* pool);
+
+/// Microkernel register-tile extents, exported so tests can build shape
+/// grids that straddle the tile edges.
+inline constexpr int kGemmMr = 6;
+inline constexpr int kGemmNr = 16;
+
+/// Cache-block extents (rows of A per parallel task, K panel depth, columns
+/// of B per outer block).
+inline constexpr int64_t kGemmMc = 96;
+inline constexpr int64_t kGemmKc = 256;
+inline constexpr int64_t kGemmNc = 1024;
+
+}  // namespace niid
+
+#endif  // NIID_TENSOR_GEMM_H_

@@ -4,104 +4,145 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/gemm.h"
+#include "util/thread_pool.h"
+
 namespace niid {
 namespace {
 
-// Resets `out` to shape [rows, cols], reusing storage when possible.
+// Resets `out` to shape [rows, cols], reusing storage when possible. The
+// contents are left stale: the GEMM engine overwrites every element (and
+// zero-fills when k == 0), so no defensive Fill is needed.
 void PrepareOutput(Tensor& out, int64_t rows, int64_t cols) {
   if (out.rank() != 2 || out.dim(0) != rows || out.dim(1) != cols) {
     out = Tensor({rows, cols});
-  } else {
-    out.Fill(0.f);
   }
 }
 
+// Minimum element count before row ops bother with the pool; below this the
+// scheduling overhead exceeds the loop cost.
+constexpr int64_t kRowOpParallelThreshold = 1 << 14;
+
 }  // namespace
 
-void Matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+void Matmul(const Tensor& a, const Tensor& b, Tensor& out, ThreadPool* pool) {
   NIID_CHECK_EQ(a.rank(), 2);
   NIID_CHECK_EQ(b.rank(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   NIID_CHECK_EQ(b.dim(0), k);
   PrepareOutput(out, m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  // ikj loop order: the inner loop is a contiguous axpy over row b[i_k, :],
-  // which vectorizes well and is cache-friendly for row-major storage.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Gemm(m, n, k, {a.data(), k, false}, {b.data(), n, false}, out.data(), n,
+       /*accumulate=*/false, pool);
 }
 
-void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out) {
+void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out,
+                  ThreadPool* pool) {
   NIID_CHECK_EQ(a.rank(), 2);
   NIID_CHECK_EQ(b.rank(), 2);
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   NIID_CHECK_EQ(b.dim(0), k);
   PrepareOutput(out, m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  // out[i, j] = sum_kk a[kk, i] * b[kk, j]
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Gemm(m, n, k, {a.data(), m, true}, {b.data(), n, false}, out.data(), n,
+       /*accumulate=*/false, pool);
 }
 
-void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out) {
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out,
+                  ThreadPool* pool) {
   NIID_CHECK_EQ(a.rank(), 2);
   NIID_CHECK_EQ(b.rank(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   NIID_CHECK_EQ(b.dim(1), k);
   PrepareOutput(out, m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  // out[i, j] = dot(a[i, :], b[j, :]) — both operands contiguous.
+  Gemm(m, n, k, {a.data(), k, false}, {b.data(), k, true}, out.data(), n,
+       /*accumulate=*/false, pool);
+}
+
+void MatmulReference(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  NIID_CHECK_EQ(b.dim(0), k);
+  PrepareOutput(out, m, n);
   for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
     for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
       float acc = 0.f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc = std::fma(a.data()[i * k + kk], b.data()[kk * n + j], acc);
+      }
+      out.data()[i * n + j] = acc;
     }
   }
 }
 
-void AddRowBias(Tensor& matrix, const Tensor& bias) {
+void MatmulTransAReference(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  NIID_CHECK_EQ(b.dim(0), k);
+  PrepareOutput(out, m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc = std::fma(a.data()[kk * m + i], b.data()[kk * n + j], acc);
+      }
+      out.data()[i * n + j] = acc;
+    }
+  }
+}
+
+void MatmulTransBReference(const Tensor& a, const Tensor& b, Tensor& out) {
+  NIID_CHECK_EQ(a.rank(), 2);
+  NIID_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  NIID_CHECK_EQ(b.dim(1), k);
+  PrepareOutput(out, m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc = std::fma(a.data()[i * k + kk], b.data()[j * k + kk], acc);
+      }
+      out.data()[i * n + j] = acc;
+    }
+  }
+}
+
+void AddRowBias(Tensor& matrix, const Tensor& bias, ThreadPool* pool) {
   NIID_CHECK_EQ(matrix.rank(), 2);
   const int64_t m = matrix.dim(0), n = matrix.dim(1);
   NIID_CHECK_EQ(bias.numel(), n);
   float* pm = matrix.data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < m; ++i) {
+  const auto add_row = [&](int64_t i) {
     float* row = pm + i * n;
     for (int64_t j = 0; j < n; ++j) row[j] += pb[j];
+  };
+  if (pool != nullptr && m * n >= kRowOpParallelThreshold) {
+    ParallelFor(pool, m, add_row);
+  } else {
+    for (int64_t i = 0; i < m; ++i) add_row(i);
   }
 }
 
-void SumRows(const Tensor& matrix, Tensor& out) {
+void SumRows(const Tensor& matrix, Tensor& out, ThreadPool* pool) {
   NIID_CHECK_EQ(matrix.rank(), 2);
   const int64_t m = matrix.dim(0), n = matrix.dim(1);
   if (out.numel() != n) out = Tensor({n});
-  out.Fill(0.f);
   const float* pm = matrix.data();
   float* po = out.data();
+  if (pool != nullptr && m * n >= kRowOpParallelThreshold) {
+    // Chunk columns across workers; each column accumulates its rows in
+    // increasing row order, the same per-element addition sequence as the
+    // serial path, so the result is bit-identical for any thread count.
+    ParallelFor(pool, n, [&](int64_t j) {
+      float acc = 0.f;
+      for (int64_t i = 0; i < m; ++i) acc += pm[i * n + j];
+      po[j] = acc;
+    });
+    return;
+  }
+  out.Fill(0.f);
   for (int64_t i = 0; i < m; ++i) {
     const float* row = pm + i * n;
     for (int64_t j = 0; j < n; ++j) po[j] += row[j];
@@ -113,7 +154,7 @@ int ConvOutputSize(int input, int kernel, int stride, int padding) {
 }
 
 void Im2Col(const Tensor& input, int kernel, int stride, int padding,
-            Tensor& columns) {
+            Tensor& columns, ThreadPool* pool) {
   NIID_CHECK_EQ(input.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
@@ -131,11 +172,12 @@ void Im2Col(const Tensor& input, int kernel, int stride, int padding,
   }
   const float* src = input.data();
   float* dst = columns.data();
-  for (int64_t img = 0; img < n; ++img) {
+  // Each image owns a disjoint row range of `columns`, so images gather in
+  // parallel without synchronisation.
+  ParallelFor(pool, n, [&](int64_t img) {
     for (int oy = 0; oy < out_h; ++oy) {
       for (int ox = 0; ox < out_w; ++ox) {
-        float* row =
-            dst + ((img * out_h + oy) * out_w + ox) * cols;
+        float* row = dst + ((img * out_h + oy) * out_w + ox) * cols;
         int64_t idx = 0;
         for (int64_t ch = 0; ch < c; ++ch) {
           const float* plane = src + (img * c + ch) * h * w;
@@ -154,11 +196,11 @@ void Im2Col(const Tensor& input, int kernel, int stride, int padding,
         }
       }
     }
-  }
+  });
 }
 
 void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
-            int stride, int padding, Tensor& grad_input) {
+            int stride, int padding, Tensor& grad_input, ThreadPool* pool) {
   const int out_h = ConvOutputSize(h, kernel, stride, padding);
   const int out_w = ConvOutputSize(w, kernel, stride, padding);
   const int64_t cols = static_cast<int64_t>(c) * kernel * kernel;
@@ -174,11 +216,11 @@ void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
   }
   const float* src = columns.data();
   float* dst = grad_input.data();
-  for (int64_t img = 0; img < n; ++img) {
+  // Each image scatters only into its own [c, h, w] planes.
+  ParallelFor(pool, n, [&](int64_t img) {
     for (int oy = 0; oy < out_h; ++oy) {
       for (int ox = 0; ox < out_w; ++ox) {
-        const float* row =
-            src + ((img * out_h + oy) * out_w + ox) * cols;
+        const float* row = src + ((img * out_h + oy) * out_w + ox) * cols;
         int64_t idx = 0;
         for (int64_t ch = 0; ch < c; ++ch) {
           float* plane = dst + (img * c + ch) * h * w;
@@ -198,7 +240,7 @@ void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
         }
       }
     }
-  }
+  });
 }
 
 void SoftmaxRows(Tensor& logits) {

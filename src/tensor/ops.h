@@ -8,33 +8,57 @@
 
 namespace niid {
 
+class ThreadPool;
+
 /// out = a @ b for rank-2 tensors: [m, k] x [k, n] -> [m, n].
-/// `out` is overwritten (and reshaped if necessary).
-void Matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// `out` is overwritten (and reshaped if necessary). All three matmul
+/// variants run on the blocked/packed GEMM engine (tensor/gemm.h); `pool`
+/// parallelises over row blocks of the output and may be null (serial).
+/// Results are bit-identical for every thread count.
+void Matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            ThreadPool* pool = nullptr);
 
 /// out = a^T @ b: [k, m]^T x [k, n] -> [m, n].
-void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out);
+void MatmulTransA(const Tensor& a, const Tensor& b, Tensor& out,
+                  ThreadPool* pool = nullptr);
 
 /// out = a @ b^T: [m, k] x [n, k]^T -> [m, n].
-void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out);
+void MatmulTransB(const Tensor& a, const Tensor& b, Tensor& out,
+                  ThreadPool* pool = nullptr);
 
-/// Adds bias (length n) to every row of a rank-2 tensor [m, n].
-void AddRowBias(Tensor& matrix, const Tensor& bias);
+/// Scalar reference implementations of the three matmul variants: one
+/// std::fma per (element, k) in strictly increasing k order — the exact
+/// accumulation contract the blocked engine implements. The engine must
+/// produce bit-identical results to these oracles (see tests/gemm_test.cc);
+/// they are retained purely for verification and benchmarking baselines.
+void MatmulReference(const Tensor& a, const Tensor& b, Tensor& out);
+void MatmulTransAReference(const Tensor& a, const Tensor& b, Tensor& out);
+void MatmulTransBReference(const Tensor& a, const Tensor& b, Tensor& out);
 
-/// Sums the rows of [m, n] into `out` (length n) — the bias gradient.
-void SumRows(const Tensor& matrix, Tensor& out);
+/// Adds bias (length n) to every row of a rank-2 tensor [m, n]. With a pool,
+/// rows are processed in parallel (disjoint writes, order-independent).
+void AddRowBias(Tensor& matrix, const Tensor& bias, ThreadPool* pool = nullptr);
+
+/// Sums the rows of [m, n] into `out` (length n) — the bias gradient. With a
+/// pool, columns are chunked across workers; each column still accumulates
+/// its rows in increasing row order, so the result is bit-identical to the
+/// serial path.
+void SumRows(const Tensor& matrix, Tensor& out, ThreadPool* pool = nullptr);
 
 /// im2col for NCHW images with square kernel/stride/padding.
 /// input: [N, C, H, W] -> columns: [N * out_h * out_w, C * kh * kw].
 /// Each output row is the receptive field of one output pixel, so convolution
-/// becomes a single matmul with the [C*kh*kw, out_c] weight matrix.
+/// becomes a single matmul with the [C*kh*kw, out_c] weight matrix. Images
+/// are gathered in parallel when a pool is supplied (disjoint row ranges).
 void Im2Col(const Tensor& input, int kernel, int stride, int padding,
-            Tensor& columns);
+            Tensor& columns, ThreadPool* pool = nullptr);
 
 /// Inverse scatter of Im2Col: accumulates column gradients back into
 /// an image-gradient tensor of shape [N, C, H, W] (zeroed by this call).
+/// Images scatter in parallel when a pool is supplied (disjoint planes).
 void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
-            int stride, int padding, Tensor& grad_input);
+            int stride, int padding, Tensor& grad_input,
+            ThreadPool* pool = nullptr);
 
 /// Returns the spatial output size for a conv/pool dimension.
 int ConvOutputSize(int input, int kernel, int stride, int padding);

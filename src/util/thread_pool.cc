@@ -6,6 +6,13 @@
 #include "util/check.h"
 
 namespace niid {
+namespace {
+
+// Set once per worker thread to its owning pool; never reset because the
+// thread terminates with the pool. Lets ParallelFor detect re-entrancy.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   NIID_CHECK_GE(num_threads, 1);
@@ -44,7 +51,12 @@ void ThreadPool::Wait() {
   if (error) std::rethrow_exception(error);
 }
 
+bool ThreadPool::IsWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -76,7 +88,8 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
-  if (pool == nullptr || pool->num_threads() == 1 || n == 1) {
+  if (pool == nullptr || pool->num_threads() == 1 || n == 1 ||
+      pool->IsWorkerThread()) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }

@@ -38,6 +38,11 @@ class ThreadPool {
   /// leaving the pool reusable).
   void Wait();
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// ParallelFor to run nested parallel sections serially instead of
+  /// deadlocking (a worker that called Wait() would wait on its own task).
+  bool IsWorkerThread() const;
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
@@ -60,9 +65,11 @@ class ThreadPool {
 /// calling thread. If any invocation of `body` throws, the first exception is
 /// rethrown on the calling thread after all chunks have drained.
 ///
-/// Must not be called from inside a task running on the same pool: Wait()
-/// blocks until the pool-wide in-flight count reaches zero, which includes
-/// the caller's own task.
+/// Safe to call from inside a task running on the same pool: re-entrant
+/// calls are detected via IsWorkerThread() and run serially on the calling
+/// thread (a nested Wait() would otherwise block on the caller's own task).
+/// This is what lets the GEMM engine accept the same pool the federated
+/// server uses for client-level parallelism.
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body);
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Run the GEMM micro-benchmarks and emit a machine-readable BENCH_gemm.json.
+
+Usage:
+    tools/bench_json.py [--bench-binary build/bench/bench_micro_engine]
+                        [--output BENCH_gemm.json] [--min-time 0.1]
+
+Invokes bench_micro_engine with --benchmark_format=json over the GEMM
+benchmarks (BM_Matmul*), converts each entry's items_per_second counter —
+which those benchmarks define as floating-point operations per second — into
+GFLOP/s, and derives the two headline speedup ratios the engine is judged by:
+
+    single_thread_speedup   BM_Matmul/256      vs BM_MatmulNaive/256
+    pool4_speedup           BM_MatmulPool/256/4 vs BM_Matmul/256
+
+The output JSON carries the raw benchmark entries alongside the summary so
+regressions can be bisected to a specific shape.
+
+Exit status: 0 on success, 1 when the binary is missing or produces no
+matching benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+FILTER = "BM_Matmul"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-binary",
+        default="build/bench/bench_micro_engine",
+        help="path to the bench_micro_engine executable",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_gemm.json", help="where to write the JSON"
+    )
+    parser.add_argument(
+        "--min-time",
+        default="0.1",
+        help="--benchmark_min_time per benchmark, in seconds (plain double; "
+        "the pinned google-benchmark predates the '0.1s' suffix syntax)",
+    )
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.bench_binary)
+    if not binary.exists():
+        print(f"bench binary not found: {binary}", file=sys.stderr)
+        return 1
+
+    result = subprocess.run(
+        [
+            str(binary),
+            f"--benchmark_filter={FILTER}",
+            f"--benchmark_min_time={args.min_time}",
+            "--benchmark_format=json",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    report = json.loads(result.stdout)
+
+    entries = {}
+    for bench in report.get("benchmarks", []):
+        # Pool benchmarks run UseRealTime, which suffixes the name.
+        name = bench["name"].removesuffix("/real_time")
+        entry = {
+            "time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "iterations": bench.get("iterations"),
+        }
+        if "items_per_second" in bench:
+            entry["gflops"] = bench["items_per_second"] / 1e9
+        entries[name] = entry
+    if not entries:
+        print("no GEMM benchmarks matched", file=sys.stderr)
+        return 1
+
+    def ratio(numerator: str, denominator: str):
+        a = entries.get(numerator, {}).get("gflops")
+        b = entries.get(denominator, {}).get("gflops")
+        return a / b if a and b else None
+
+    summary = {
+        "single_thread_speedup": ratio("BM_Matmul/256", "BM_MatmulNaive/256"),
+        "pool4_speedup": ratio("BM_MatmulPool/256/4", "BM_Matmul/256"),
+        "naive_256_gflops": entries.get("BM_MatmulNaive/256", {}).get("gflops"),
+        "engine_256_gflops": entries.get("BM_Matmul/256", {}).get("gflops"),
+        "engine_256_pool4_gflops": entries.get("BM_MatmulPool/256/4", {}).get(
+            "gflops"
+        ),
+    }
+
+    output = {
+        "context": report.get("context", {}),
+        "summary": summary,
+        "benchmarks": entries,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(output, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for key, value in summary.items():
+        if value is not None:
+            print(f"  {key}: {value:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
