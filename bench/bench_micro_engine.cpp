@@ -5,12 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "data/synthetic.h"
 #include "fl/fedavg.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "nn/loss.h"
 #include "nn/models/factory.h"
+#include "nn/optimizer.h"
 #include "nn/parameters.h"
 #include "partition/label_skew.h"
 #include "tensor/ops.h"
@@ -221,6 +226,189 @@ void BM_FlattenState(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlattenState);
+
+// ------------------------------------------------------------- step suite
+// One full training step — gather, zero, forward, loss, backward, optimizer —
+// decomposed stage by stage, on the paper's main workloads. In steady state
+// every stage below is zero-allocation (tests/alloc_test.cc enforces this);
+// tools/bench_json.py --suite step turns these into BENCH_step.json.
+
+struct StepBench {
+  Dataset data;
+  std::unique_ptr<Module> model;
+  std::unique_ptr<SgdOptimizer> optimizer;
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  std::vector<int64_t> indices;
+  LossResult loss;
+  int64_t batch_size = 64;
+  int64_t cursor = 0;
+
+  void NextBatch() {
+    const int64_t start = cursor;
+    cursor = (cursor + batch_size) % (data.size() - batch_size + 1);
+    indices.resize(batch_size);
+    std::iota(indices.begin(), indices.end(), start);
+    GatherBatchInto(data, indices, batch_x, batch_y);
+  }
+
+  void FullStep() {
+    NextBatch();
+    optimizer->ZeroGrads();
+    const Tensor& logits = model->Forward(batch_x);
+    SoftmaxCrossEntropyInto(logits, batch_y, loss);
+    model->Backward(loss.grad_logits);
+    optimizer->Step();
+  }
+};
+
+// CIFAR-10 shapes: batch 64 of 3x32x32, ten classes.
+StepBench MakeCifarStepBench(const std::string& model_name) {
+  StepBench b;
+  SyntheticImageConfig config;
+  config.channels = 3;
+  config.height = 32;
+  config.width = 32;
+  config.train_size = 256;
+  config.test_size = 1;
+  config.seed = 11;
+  b.data = MakeSyntheticImages(config).train;
+  ModelSpec spec;
+  spec.name = model_name;
+  spec.input_channels = 3;
+  spec.input_height = 32;
+  spec.input_width = 32;
+  Rng rng(12);
+  b.model = CreateModel(spec, rng);
+  b.model->SetTraining(true);
+  b.optimizer = std::make_unique<SgdOptimizer>(*b.model, 0.01f);
+  b.NextBatch();  // size all scratch so the timed region is steady-state
+  return b;
+}
+
+StepBench MakeTabularStepBench() {
+  StepBench b;
+  SyntheticTabularConfig config;
+  config.num_features = 100;
+  config.train_size = 256;
+  config.test_size = 1;
+  config.seed = 13;
+  b.data = MakeSyntheticTabular(config).train;
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 100;
+  spec.num_classes = 2;
+  Rng rng(14);
+  b.model = CreateModel(spec, rng);
+  b.model->SetTraining(true);
+  b.optimizer = std::make_unique<SgdOptimizer>(*b.model, 0.01f);
+  b.NextBatch();
+  return b;
+}
+
+void BM_StepFullSimpleCnn(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  for (auto _ : state) {
+    b.FullStep();
+    benchmark::DoNotOptimize(b.loss.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * b.batch_size);  // samples/s
+}
+BENCHMARK(BM_StepFullSimpleCnn);
+
+void BM_StepFullTabularMlp(benchmark::State& state) {
+  StepBench b = MakeTabularStepBench();
+  for (auto _ : state) {
+    b.FullStep();
+    benchmark::DoNotOptimize(b.loss.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * b.batch_size);
+}
+BENCHMARK(BM_StepFullTabularMlp);
+
+void BM_StepFullResNet(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("resnet");
+  b.batch_size = 16;  // depth-8 resnet; keep single-core iteration time sane
+  b.NextBatch();
+  for (auto _ : state) {
+    b.FullStep();
+    benchmark::DoNotOptimize(b.loss.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * b.batch_size);
+}
+BENCHMARK(BM_StepFullResNet);
+
+// Per-stage breakdown, all on the simple-cnn/CIFAR-10 step above.
+
+void BM_StepGather(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  for (auto _ : state) {
+    b.NextBatch();
+    benchmark::DoNotOptimize(b.batch_x.data());
+  }
+}
+BENCHMARK(BM_StepGather);
+
+void BM_StepZeroGrads(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  for (auto _ : state) {
+    b.optimizer->ZeroGrads();
+    benchmark::DoNotOptimize(b.model.get());
+  }
+}
+BENCHMARK(BM_StepZeroGrads);
+
+void BM_StepForward(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  for (auto _ : state) {
+    const Tensor& logits = b.model->Forward(b.batch_x);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_StepForward);
+
+void BM_StepLoss(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  const Tensor logits = b.model->Forward(b.batch_x);
+  for (auto _ : state) {
+    SoftmaxCrossEntropyInto(logits, b.batch_y, b.loss);
+    benchmark::DoNotOptimize(b.loss.loss);
+  }
+}
+BENCHMARK(BM_StepLoss);
+
+void BM_StepBackward(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  const Tensor& logits = b.model->Forward(b.batch_x);
+  SoftmaxCrossEntropyInto(logits, b.batch_y, b.loss);
+  for (auto _ : state) {
+    const Tensor& grad_in = b.model->Backward(b.loss.grad_logits);
+    benchmark::DoNotOptimize(grad_in.data());
+  }
+}
+BENCHMARK(BM_StepBackward);
+
+void BM_StepOptimizer(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  b.FullStep();  // populate gradients
+  for (auto _ : state) {
+    b.optimizer->Step();
+    benchmark::DoNotOptimize(b.model.get());
+  }
+}
+BENCHMARK(BM_StepOptimizer);
+
+void BM_StepDelta(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  const StateVector global = FlattenState(*b.model);
+  StateVector local, delta;
+  for (auto _ : state) {
+    FlattenStateInto(*b.model, local);
+    SubtractInto(global, local, delta);
+    benchmark::DoNotOptimize(delta.data());
+  }
+}
+BENCHMARK(BM_StepDelta);
 
 void BM_FedAvgAggregate(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));

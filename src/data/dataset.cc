@@ -1,5 +1,6 @@
 #include "data/dataset.h"
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace niid {
@@ -47,19 +48,31 @@ Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices) {
 
 std::pair<Tensor, std::vector<int>> GatherBatch(
     const Dataset& dataset, const std::vector<int64_t>& indices) {
+  std::pair<Tensor, std::vector<int>> batch;
+  GatherBatchInto(dataset, indices, batch.first, batch.second);
+  return batch;
+}
+
+void GatherBatchInto(const Dataset& dataset,
+                     const std::vector<int64_t>& indices, Tensor& x,
+                     std::vector<int>& y) {
   const int64_t row = dataset.feature_dim();
-  Tensor x(SampleShape(dataset, indices.size()));
-  std::vector<int> y;
-  y.reserve(indices.size());
+  const int64_t n = static_cast<int64_t>(indices.size());
+  bool shape_ok = x.rank() == dataset.features.rank() && x.dim(0) == n;
+  for (int d = 1; shape_ok && d < x.rank(); ++d) {
+    shape_ok = x.dim(d) == dataset.features.dim(d);
+  }
+  if (!shape_ok) x.Resize(SampleShape(dataset, n));
+  y.resize(indices.size());  // shrink keeps capacity: no alloc in steady state
   float* dst = x.data();
   const float* src = dataset.features.data();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t idx = indices[i];
+    NIID_DCHECK_GE(idx, 0);
     NIID_DCHECK_LT(idx, dataset.size());
-    for (int64_t j = 0; j < row; ++j) dst[i * row + j] = src[idx * row + j];
-    y.push_back(dataset.labels[idx]);
+    KernelCopy(row, src + idx * row, dst + i * row);
+    y[i] = dataset.labels[idx];
   }
-  return {std::move(x), std::move(y)};
 }
 
 void ValidateDataset(const Dataset& dataset) {

@@ -48,6 +48,13 @@ Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices);
 std::pair<Tensor, std::vector<int>> GatherBatch(
     const Dataset& dataset, const std::vector<int64_t>& indices);
 
+/// Zero-allocation variant: gathers into caller-owned buffers (resized only
+/// when the batch shape actually changes, reusing capacity otherwise). This
+/// is what Client/Evaluate hold per-instance scratch for.
+void GatherBatchInto(const Dataset& dataset,
+                     const std::vector<int64_t>& indices, Tensor& x,
+                     std::vector<int>& y);
+
 /// Validates internal consistency (sizes, label range); aborts on violation.
 void ValidateDataset(const Dataset& dataset);
 

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "nn/loss.h"
-#include "nn/optimizer.h"
 #include "util/check.h"
 
 namespace niid {
@@ -14,6 +12,7 @@ Client::Client(int id, Dataset data, const ModelFactory& factory,
     : id_(id), data_(std::move(data)), rng_(init_rng.Split()) {
   model_ = factory(init_rng);
   NIID_CHECK_GT(data_.size(), 0) << "client " << id << " has no data";
+  layout_ = StateLayout(*model_);
 }
 
 LocalUpdate Client::Train(const StateVector& global_state,
@@ -23,67 +22,60 @@ LocalUpdate Client::Train(const StateVector& global_state,
   NIID_CHECK_GE(options.batch_size, 1);
 
   // Receive the global model. With keep_local_buffers (FedBN-style ablation)
-  // the client's own BatchNorm statistics survive the download.
+  // the client's own BatchNorm statistics survive the download: only the
+  // trainable segments of the cached layout are overwritten in place.
   if (options.keep_local_buffers) {
-    StateVector merged = global_state;
-    const StateVector local = FlattenState(*model_);
-    int64_t offset = 0;
-    for (const StateSegment& seg : StateLayout(*model_)) {
-      if (!seg.trainable) {
-        for (int64_t i = 0; i < seg.size; ++i) {
-          merged[seg.offset + i] = local[seg.offset + i];
-        }
-      }
-      offset += seg.size;
-    }
-    NIID_CHECK_EQ(offset, static_cast<int64_t>(merged.size()));
-    LoadState(*model_, merged);
+    LoadTrainableState(*model_, layout_, global_state);
   } else {
     LoadState(*model_, global_state);
   }
   model_->SetTraining(true);
 
-  // A fresh optimizer per round: momentum does not leak across rounds,
-  // matching the reference implementation.
-  SgdOptimizer optimizer(*model_, options.learning_rate, options.momentum,
-                         options.weight_decay);
+  // Momentum does not leak across rounds (fresh-optimizer semantics of the
+  // reference implementation), but the optimizer object — and with it the
+  // velocity storage and cached parameter list — persists across rounds.
+  if (optimizer_ == nullptr) {
+    optimizer_ = std::make_unique<SgdOptimizer>(*model_, options.learning_rate,
+                                                options.momentum,
+                                                options.weight_decay);
+  } else {
+    optimizer_->set_learning_rate(options.learning_rate);
+    optimizer_->set_momentum(options.momentum);
+    optimizer_->set_weight_decay(options.weight_decay);
+    optimizer_->ResetMomentum();
+  }
 
   LocalUpdate update;
   update.client_id = id_;
   update.num_samples = data_.size();
 
-  std::vector<int64_t> order(data_.size());
-  std::iota(order.begin(), order.end(), 0);
+  order_.resize(data_.size());
+  std::iota(order_.begin(), order_.end(), 0);
   double loss_sum = 0.0;
-  std::vector<int64_t> batch_indices;
   for (int epoch = 0; epoch < options.local_epochs; ++epoch) {
-    rng_.Shuffle(order);
+    rng_.Shuffle(order_);
     for (int64_t start = 0; start < data_.size();
          start += options.batch_size) {
       const int64_t count =
           std::min<int64_t>(options.batch_size, data_.size() - start);
-      batch_indices.assign(order.begin() + start,
-                           order.begin() + start + count);
-      auto [x, y] = GatherBatch(data_, batch_indices);
-      ZeroGrads(*model_);
-      const Tensor logits = model_->Forward(x);
-      LossResult loss = SoftmaxCrossEntropy(logits, y);
-      model_->Backward(loss.grad_logits);
+      batch_indices_.assign(order_.begin() + start,
+                            order_.begin() + start + count);
+      GatherBatchInto(data_, batch_indices_, batch_x_, batch_y_);
+      optimizer_->ZeroGrads();
+      const Tensor& logits = model_->Forward(batch_x_);
+      SoftmaxCrossEntropyInto(logits, batch_y_, loss_);
+      model_->Backward(loss_.grad_logits);
       if (grad_hook) grad_hook(*model_);
-      optimizer.Step();
-      loss_sum += loss.loss;
+      optimizer_->Step();
+      loss_sum += loss_.loss;
       ++update.tau;
     }
   }
   update.average_loss = update.tau > 0 ? loss_sum / update.tau : 0.0;
 
   // Delta w_i = w^t - w_i^t (Algorithm 1, line 22).
-  update.delta = global_state;
-  const StateVector local_state = FlattenState(*model_);
-  NIID_CHECK_EQ(update.delta.size(), local_state.size());
-  for (size_t i = 0; i < update.delta.size(); ++i) {
-    update.delta[i] -= local_state[i];
-  }
+  FlattenStateInto(*model_, local_state_);
+  SubtractInto(global_state, local_state_, update.delta);
   return update;
 }
 
@@ -96,18 +88,17 @@ StateVector Client::FullBatchGradient(const StateVector& state,
   model_->SetTraining(true);
   ZeroGrads(*model_);
   const double total = static_cast<double>(data_.size());
-  std::vector<int64_t> indices;
   for (int64_t start = 0; start < data_.size(); start += batch_size) {
     const int64_t count = std::min<int64_t>(batch_size, data_.size() - start);
-    indices.resize(count);
-    std::iota(indices.begin(), indices.end(), start);
-    auto [x, y] = GatherBatch(data_, indices);
-    const Tensor logits = model_->Forward(x);
-    LossResult loss = SoftmaxCrossEntropy(logits, y);
+    batch_indices_.resize(count);
+    std::iota(batch_indices_.begin(), batch_indices_.end(), start);
+    GatherBatchInto(data_, batch_indices_, batch_x_, batch_y_);
+    const Tensor& logits = model_->Forward(batch_x_);
+    SoftmaxCrossEntropyInto(logits, batch_y_, loss_);
     // SoftmaxCrossEntropy scales by 1/count; rescale so the accumulated
     // gradient is the dataset mean.
-    loss.grad_logits.Scale(static_cast<float>(count / total));
-    model_->Backward(loss.grad_logits);
+    loss_.grad_logits.Scale(static_cast<float>(count / total));
+    model_->Backward(loss_.grad_logits);
   }
   StateVector grad = GradState(*model_);
   model_->SetTraining(was_training);

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "nn/loss.h"
 #include "nn/models/factory.h"
 #include "nn/module.h"
+#include "nn/optimizer.h"
 #include "nn/parameters.h"
 #include "util/rng.h"
 
@@ -84,6 +86,21 @@ class Client {
   Dataset data_;
   std::unique_ptr<Module> model_;
   Rng rng_;
+
+  /// Parameter layout of model_, computed once; the parameter list of a
+  /// module is immutable after construction so this never goes stale.
+  std::vector<StateSegment> layout_;
+  /// Persistent optimizer: momentum is reset every round (fresh-optimizer
+  /// semantics) but the velocity storage and cached parameter list persist,
+  /// keeping the steady-state training step free of heap allocations.
+  std::unique_ptr<SgdOptimizer> optimizer_;
+  // Reusable per-round scratch (see DESIGN.md "allocation policy").
+  Tensor batch_x_;
+  std::vector<int> batch_y_;
+  std::vector<int64_t> order_;
+  std::vector<int64_t> batch_indices_;
+  LossResult loss_;
+  StateVector local_state_;
 };
 
 }  // namespace niid

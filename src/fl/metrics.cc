@@ -19,13 +19,16 @@ EvalResult Evaluate(Module& model, const Dataset& dataset, int batch_size) {
   double loss_sum = 0.0;
   int64_t correct = 0;
   std::vector<int64_t> indices(batch_size);
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  LossResult batch;
   for (int64_t start = 0; start < dataset.size(); start += batch_size) {
     const int64_t count = std::min<int64_t>(batch_size, dataset.size() - start);
     indices.resize(count);
     std::iota(indices.begin(), indices.end(), start);
-    auto [x, y] = GatherBatch(dataset, indices);
-    const Tensor logits = model.Forward(x);
-    const LossResult batch = SoftmaxCrossEntropy(logits, y);
+    GatherBatchInto(dataset, indices, batch_x, batch_y);
+    const Tensor& logits = model.Forward(batch_x);
+    SoftmaxCrossEntropyInto(logits, batch_y, batch);
     loss_sum += batch.loss * count;
     correct += batch.correct;
   }

@@ -1,31 +1,28 @@
 #include "nn/activations.h"
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace niid {
 
-Tensor ReLU::Forward(const Tensor& input) {
-  Tensor out = input;
-  mask_.assign(input.numel(), 0);
-  float* p = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    if (p[i] > 0.f) {
-      mask_[i] = 1;
-    } else {
-      p[i] = 0.f;
-    }
+const Tensor& ReLU::Forward(const Tensor& input) {
+  if (mask_.size() != static_cast<size_t>(input.numel())) {
+    mask_.resize(input.numel());  // shrink keeps capacity: no alloc
   }
-  return out;
+  if (out_.shape() != input.shape()) out_.Resize(input.shape());
+  KernelReluForward(input.numel(), input.data(), out_.data(), mask_.data(),
+                    compute_pool_);
+  return out_;
 }
 
-Tensor ReLU::Backward(const Tensor& grad_output) {
+const Tensor& ReLU::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.numel(), static_cast<int64_t>(mask_.size()));
-  Tensor grad_input = grad_output;
-  float* p = grad_input.data();
-  for (int64_t i = 0; i < grad_input.numel(); ++i) {
-    if (!mask_[i]) p[i] = 0.f;
+  if (grad_input_.shape() != grad_output.shape()) {
+    grad_input_.Resize(grad_output.shape());
   }
-  return grad_input;
+  KernelReluBackward(grad_output.numel(), grad_output.data(), mask_.data(),
+                     grad_input_.data(), compute_pool_);
+  return grad_input_;
 }
 
 }  // namespace niid

@@ -11,12 +11,14 @@ namespace niid {
 /// Rectified linear unit, elementwise; works on any tensor rank.
 class ReLU : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "ReLU"; }
 
  private:
   std::vector<uint8_t> mask_;  ///< 1 where input > 0
+  Tensor out_;
+  Tensor grad_input_;
 };
 
 }  // namespace niid

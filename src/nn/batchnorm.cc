@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 namespace {
@@ -35,71 +37,68 @@ BatchNorm::BatchNorm(int64_t num_features, float momentum, float epsilon)
       running_mean_("bn.running_mean", Tensor::Zeros({num_features}),
                     /*is_trainable=*/false),
       running_var_("bn.running_var", Tensor::Ones({num_features}),
-                   /*is_trainable=*/false) {}
+                   /*is_trainable=*/false) {
+  batch_mean_.resize(num_features);
+  batch_inv_std_.resize(num_features);
+  sum_dy_.resize(num_features);
+  sum_dy_xhat_.resize(num_features);
+}
 
-Tensor BatchNorm::Forward(const Tensor& input) {
+const Tensor& BatchNorm::Forward(const Tensor& input) {
   const NcsView v = MakeView(input, num_features_);
   cached_shape_ = input.shape();
   const int64_t count = v.n * v.s;
   NIID_CHECK_GE(count, 1);
 
-  std::vector<float> mean(v.c), inv_std(v.c);
   const float* src = input.data();
 
   if (training_) {
-    for (int64_t c = 0; c < v.c; ++c) {
+    // One task per channel: each channel's moments accumulate plane sums in
+    // image order via the fixed KernelSumSq reduction tree, and each channel
+    // is wholly owned by one task, so the result is independent of both the
+    // thread count and the SIMD backend.
+    float* rm = running_mean_.value.data();
+    float* rv = running_var_.value.data();
+    ParallelFor(compute_pool_, v.c, [&](int64_t c) {
       double sum = 0.0, sq_sum = 0.0;
       for (int64_t img = 0; img < v.n; ++img) {
-        const float* plane = src + (img * v.c + c) * v.s;
-        for (int64_t s = 0; s < v.s; ++s) {
-          sum += plane[s];
-          sq_sum += static_cast<double>(plane[s]) * plane[s];
-        }
+        KernelSumSq(v.s, src + (img * v.c + c) * v.s, &sum, &sq_sum);
       }
       const double m = sum / count;
       const double var = sq_sum / count - m * m;
-      mean[c] = static_cast<float>(m);
-      inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+      batch_mean_[c] = static_cast<float>(m);
+      batch_inv_std_[c] = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
       // PyTorch stores the unbiased variance in the running buffer.
       const double unbiased =
           count > 1 ? var * count / static_cast<double>(count - 1) : var;
-      running_mean_.value[c] = (1.f - momentum_) * running_mean_.value[c] +
-                               momentum_ * static_cast<float>(m);
-      running_var_.value[c] = (1.f - momentum_) * running_var_.value[c] +
-                              momentum_ * static_cast<float>(unbiased);
-    }
+      rm[c] = (1.f - momentum_) * rm[c] + momentum_ * static_cast<float>(m);
+      rv[c] = (1.f - momentum_) * rv[c] +
+              momentum_ * static_cast<float>(unbiased);
+    });
   } else {
     for (int64_t c = 0; c < v.c; ++c) {
-      mean[c] = running_mean_.value[c];
-      inv_std[c] =
-          1.f / std::sqrt(running_var_.value[c] + epsilon_);
+      batch_mean_[c] = running_mean_.value[c];
+      batch_inv_std_[c] = 1.f / std::sqrt(running_var_.value[c] + epsilon_);
     }
   }
-  batch_inv_std_ = inv_std;
 
-  Tensor out(input.shape());
-  cached_normalized_ = Tensor(input.shape());
+  if (out_.shape() != input.shape()) out_.Resize(input.shape());
+  if (cached_normalized_.shape() != input.shape()) {
+    cached_normalized_.Resize(input.shape());
+  }
   float* x_hat = cached_normalized_.data();
-  float* dst = out.data();
+  float* dst = out_.data();
   const float* gamma = gamma_.value.data();
   const float* beta = beta_.value.data();
-  for (int64_t img = 0; img < v.n; ++img) {
-    for (int64_t c = 0; c < v.c; ++c) {
-      const float* in_plane = src + (img * v.c + c) * v.s;
-      float* hat_plane = x_hat + (img * v.c + c) * v.s;
-      float* out_plane = dst + (img * v.c + c) * v.s;
-      const float mu = mean[c], is = inv_std[c], g = gamma[c], b = beta[c];
-      for (int64_t s = 0; s < v.s; ++s) {
-        const float h = (in_plane[s] - mu) * is;
-        hat_plane[s] = h;
-        out_plane[s] = g * h + b;
-      }
-    }
-  }
-  return out;
+  ParallelFor(compute_pool_, v.n * v.c, [&](int64_t p) {
+    const int64_t c = p % v.c;
+    KernelBnNormalize(v.s, batch_mean_[c], batch_inv_std_[c], gamma[c],
+                      beta[c], src + p * v.s, x_hat + p * v.s, dst + p * v.s);
+  });
+  return out_;
 }
 
-Tensor BatchNorm::Backward(const Tensor& grad_output) {
+const Tensor& BatchNorm::Backward(const Tensor& grad_output) {
   NIID_CHECK(grad_output.shape() == cached_shape_);
   const NcsView v = MakeView(grad_output, num_features_);
   const int64_t count = v.n * v.s;
@@ -110,57 +109,40 @@ Tensor BatchNorm::Backward(const Tensor& grad_output) {
   float* dbeta = beta_.grad.data();
   const float* gamma = gamma_.value.data();
 
-  // Per-channel reductions: sum(dy) and sum(dy * x_hat).
-  std::vector<double> sum_dy(v.c, 0.0), sum_dy_xhat(v.c, 0.0);
-  for (int64_t img = 0; img < v.n; ++img) {
-    for (int64_t c = 0; c < v.c; ++c) {
-      const float* dy_plane = dy + (img * v.c + c) * v.s;
-      const float* hat_plane = x_hat + (img * v.c + c) * v.s;
-      double s_dy = 0.0, s_dyh = 0.0;
-      for (int64_t s = 0; s < v.s; ++s) {
-        s_dy += dy_plane[s];
-        s_dyh += static_cast<double>(dy_plane[s]) * hat_plane[s];
-      }
-      sum_dy[c] += s_dy;
-      sum_dy_xhat[c] += s_dyh;
+  // Per-channel reductions: sum(dy) and sum(dy * x_hat), accumulated over
+  // planes in image order (channel-owned tasks, same policy as Forward).
+  ParallelFor(compute_pool_, v.c, [&](int64_t c) {
+    double s_dy = 0.0, s_dyh = 0.0;
+    for (int64_t img = 0; img < v.n; ++img) {
+      const int64_t p = img * v.c + c;
+      KernelDySums(v.s, dy + p * v.s, x_hat + p * v.s, &s_dy, &s_dyh);
     }
-  }
-  for (int64_t c = 0; c < v.c; ++c) {
-    dbeta[c] += static_cast<float>(sum_dy[c]);
-    dgamma[c] += static_cast<float>(sum_dy_xhat[c]);
-  }
+    sum_dy_[c] = s_dy;
+    sum_dy_xhat_[c] = s_dyh;
+    dbeta[c] += static_cast<float>(s_dy);
+    dgamma[c] += static_cast<float>(s_dyh);
+  });
 
-  Tensor grad_input(cached_shape_);
-  float* dx = grad_input.data();
+  if (grad_input_.shape() != cached_shape_) grad_input_.Resize(cached_shape_);
+  float* dx = grad_input_.data();
   if (training_) {
     // dx = gamma * inv_std / M * (M*dy - sum(dy) - x_hat * sum(dy*x_hat)).
     const double inv_count = 1.0 / static_cast<double>(count);
-    for (int64_t img = 0; img < v.n; ++img) {
-      for (int64_t c = 0; c < v.c; ++c) {
-        const float* dy_plane = dy + (img * v.c + c) * v.s;
-        const float* hat_plane = x_hat + (img * v.c + c) * v.s;
-        float* dx_plane = dx + (img * v.c + c) * v.s;
-        const float coeff = gamma[c] * batch_inv_std_[c];
-        const double mean_dy = sum_dy[c] * inv_count;
-        const double mean_dy_xhat = sum_dy_xhat[c] * inv_count;
-        for (int64_t s = 0; s < v.s; ++s) {
-          dx_plane[s] = static_cast<float>(
-              coeff * (dy_plane[s] - mean_dy - hat_plane[s] * mean_dy_xhat));
-        }
-      }
-    }
+    ParallelFor(compute_pool_, v.n * v.c, [&](int64_t p) {
+      const int64_t c = p % v.c;
+      KernelBnBackwardDx(v.s, gamma[c] * batch_inv_std_[c],
+                         sum_dy_[c] * inv_count, sum_dy_xhat_[c] * inv_count,
+                         dy + p * v.s, x_hat + p * v.s, dx + p * v.s);
+    });
   } else {
     // Eval mode: running stats are constants, so dx = dy * gamma * inv_std.
-    for (int64_t img = 0; img < v.n; ++img) {
-      for (int64_t c = 0; c < v.c; ++c) {
-        const float* dy_plane = dy + (img * v.c + c) * v.s;
-        float* dx_plane = dx + (img * v.c + c) * v.s;
-        const float coeff = gamma[c] * batch_inv_std_[c];
-        for (int64_t s = 0; s < v.s; ++s) dx_plane[s] = coeff * dy_plane[s];
-      }
-    }
+    ParallelFor(compute_pool_, v.n * v.c, [&](int64_t p) {
+      const int64_t c = p % v.c;
+      KernelScaleInto(v.s, gamma[c] * batch_inv_std_[c], dy + p * v.s,
+                      dx + p * v.s);
+    });
   }
-  return grad_input;
+  return grad_input_;
 }
 
 }  // namespace niid

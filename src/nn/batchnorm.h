@@ -22,8 +22,8 @@ class BatchNorm : public Module {
   explicit BatchNorm(int64_t num_features, float momentum = 0.1f,
                      float epsilon = 1e-5f);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override {
     return {&gamma_, &beta_, &running_mean_, &running_var_};
   }
@@ -41,10 +41,16 @@ class BatchNorm : public Module {
   Parameter running_mean_;  ///< buffer
   Parameter running_var_;   ///< buffer
 
-  // Forward caches (training mode).
-  Tensor cached_normalized_;        // x_hat
+  // Forward caches (training mode) and reusable scratch; all sized once per
+  // batch shape, so steady-state steps never allocate.
+  Tensor cached_normalized_;  // x_hat
+  std::vector<float> batch_mean_;
   std::vector<float> batch_inv_std_;
+  std::vector<double> sum_dy_;
+  std::vector<double> sum_dy_xhat_;
   std::vector<int64_t> cached_shape_;
+  Tensor out_;
+  Tensor grad_input_;
 };
 
 }  // namespace niid

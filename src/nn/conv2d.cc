@@ -46,7 +46,7 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
   NIID_CHECK_GE(padding, 0);
 }
 
-Tensor Conv2d::Forward(const Tensor& input) {
+const Tensor& Conv2d::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 4);
   NIID_CHECK_EQ(input.dim(1), in_channels_);
   const int64_t n = input.dim(0);
@@ -66,11 +66,13 @@ Tensor Conv2d::Forward(const Tensor& input) {
   // packing step via the transposed operand view. The bias add rides the
   // same pass. Images are disjoint output planes, so they run in parallel;
   // nested Gemm calls on the same pool degrade to serial automatically.
-  Tensor out({n, out_channels_, out_h, out_w});
+  if (!ShapeIs(out_, n, out_channels_, out_h, out_w)) {
+    out_.Resize({n, out_channels_, out_h, out_w});
+  }
   const float* cols = cached_columns_.data();
   const float* wts = weight_.value.data();
   const float* bias = bias_.value.data();
-  float* dst = out.data();
+  float* dst = out_.data();
   ParallelFor(compute_pool_, n, [&](int64_t img) {
     const float* cols_img = cols + img * spatial * ckk;
     float* out_img = dst + img * out_channels_ * spatial;
@@ -83,10 +85,10 @@ Tensor Conv2d::Forward(const Tensor& input) {
       for (int64_t s = 0; s < spatial; ++s) row[s] += bv;
     }
   });
-  return out;
+  return out_;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_output) {
+const Tensor& Conv2d::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 4);
   NIID_CHECK_EQ(grad_output.dim(1), out_channels_);
   const int64_t n = grad_output.dim(0);
@@ -115,9 +117,8 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   // from NCHW). The transposed layout puts the large ckk dimension on rows,
   // which is what the engine parallelises; images accumulate sequentially so
   // every element's FMA chain order is fixed regardless of threads.
-  if (grad_wt_scratch_.rank() != 2 || grad_wt_scratch_.dim(0) != ckk ||
-      grad_wt_scratch_.dim(1) != out_channels_) {
-    grad_wt_scratch_ = Tensor({ckk, out_channels_});
+  if (!ShapeIs(grad_wt_scratch_, ckk, out_channels_)) {
+    grad_wt_scratch_.Resize({ckk, out_channels_});
   }
   for (int64_t img = 0; img < n; ++img) {
     Gemm(ckk, out_channels_, spatial, {cols + img * spatial * ckk, ckk, true},
@@ -135,9 +136,8 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   // dColumns per image: (spatial x ckk) = G_img^T @ W, again reading G_img
   // from NCHW via a transposed view. Images own disjoint row ranges of the
   // cached scratch, so they run in parallel.
-  if (grad_columns_.rank() != 2 || grad_columns_.dim(0) != n * spatial ||
-      grad_columns_.dim(1) != ckk) {
-    grad_columns_ = Tensor({n * spatial, ckk});
+  if (!ShapeIs(grad_columns_, n * spatial, ckk)) {
+    grad_columns_.Resize({n * spatial, ckk});
   }
   float* gcol = grad_columns_.data();
   ParallelFor(compute_pool_, n, [&](int64_t img) {
@@ -147,13 +147,12 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
          /*accumulate=*/false, compute_pool_);
   });
 
-  Tensor grad_input;
   Col2Im(grad_columns_, static_cast<int>(cached_input_shape_[0]),
          static_cast<int>(cached_input_shape_[1]),
          static_cast<int>(cached_input_shape_[2]),
          static_cast<int>(cached_input_shape_[3]), kernel_, stride_, padding_,
-         grad_input, compute_pool_);
-  return grad_input;
+         grad_input_, compute_pool_);
+  return grad_input_;
 }
 
 }  // namespace niid

@@ -16,8 +16,8 @@ class Conv2d : public Module {
   Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
          int stride = 1, int padding = 0);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Conv2d"; }
 
@@ -40,6 +40,8 @@ class Conv2d : public Module {
   // instead of reallocating them every minibatch.
   Tensor grad_wt_scratch_;   // dW^T accumulator, [in_c*k*k, out_c]
   Tensor grad_columns_;      // column-space gradient, [n*oh*ow, in_c*k*k]
+  Tensor out_;               // forward output scratch
+  Tensor grad_input_;        // backward output scratch
 };
 
 }  // namespace niid

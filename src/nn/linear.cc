@@ -20,17 +20,16 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
                             1.f / std::sqrt(static_cast<float>(in_features))),
             /*is_trainable=*/true) {}
 
-Tensor Linear::Forward(const Tensor& input) {
+const Tensor& Linear::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 2);
   NIID_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
-  Tensor out;
-  MatmulTransB(input, weight_.value, out, compute_pool_);
-  AddRowBias(out, bias_.value, compute_pool_);
-  return out;
+  MatmulTransB(input, weight_.value, out_, compute_pool_);
+  AddRowBias(out_, bias_.value, compute_pool_);
+  return out_;
 }
 
-Tensor Linear::Backward(const Tensor& grad_output) {
+const Tensor& Linear::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 2);
   NIID_CHECK_EQ(grad_output.dim(1), out_features_);
   // dW += G^T X; db += column-sums of G; dX = G W. The gradient scratch
@@ -39,9 +38,8 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   weight_.grad.Add(grad_w_scratch_);
   SumRows(grad_output, grad_b_scratch_, compute_pool_);
   bias_.grad.Add(grad_b_scratch_);
-  Tensor grad_input;
-  Matmul(grad_output, weight_.value, grad_input, compute_pool_);
-  return grad_input;
+  Matmul(grad_output, weight_.value, grad_input_, compute_pool_);
+  return grad_input_;
 }
 
 }  // namespace niid

@@ -15,8 +15,8 @@ class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
 
@@ -29,7 +29,9 @@ class Linear : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
-  // Reusable gradient scratch — zero allocations in steady-state training.
+  // Reusable output/gradient scratch — zero allocations in steady state.
+  Tensor out_;
+  Tensor grad_input_;
   Tensor grad_w_scratch_;
   Tensor grad_b_scratch_;
 };

@@ -1,45 +1,47 @@
 #include "nn/loss.h"
 
-#include <cmath>
-
-#include "tensor/ops.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace niid {
 
 LossResult SoftmaxCrossEntropy(const Tensor& logits,
                                const std::vector<int>& labels) {
+  LossResult result;
+  SoftmaxCrossEntropyInto(logits, labels, result);
+  return result;
+}
+
+void SoftmaxCrossEntropyInto(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             LossResult& result) {
   NIID_CHECK_EQ(logits.rank(), 2);
   const int64_t n = logits.dim(0);
   const int64_t classes = logits.dim(1);
   NIID_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
   NIID_CHECK_GE(n, 1);
 
-  LossResult result;
-  result.grad_logits = logits;  // copy, then convert to probabilities
-  SoftmaxRows(result.grad_logits);
+  if (result.grad_logits.shape() != logits.shape()) {
+    result.grad_logits.Resize(logits.shape());
+  }
+  KernelCopy(logits.numel(), logits.data(), result.grad_logits.data());
 
+  result.correct = 0;
   double total_loss = 0.0;
-  float* probs = result.grad_logits.data();
+  float* rows = result.grad_logits.data();
   const float inv_n = 1.f / static_cast<float>(n);
   for (int64_t i = 0; i < n; ++i) {
     const int label = labels[i];
+    NIID_DCHECK_GE(label, 0);
     NIID_DCHECK_LT(label, classes);
-    float* row = probs + i * classes;
-    // top-1 prediction
-    int best = 0;
-    for (int64_t j = 1; j < classes; ++j) {
-      if (row[j] > row[best]) best = static_cast<int>(j);
-    }
-    if (best == label) ++result.correct;
-    // loss and gradient: dL/dz = (p - onehot) / N
-    const float p_label = row[label];
-    total_loss += -std::log(std::max(p_label, 1e-12f));
-    row[label] -= 1.f;
-    for (int64_t j = 0; j < classes; ++j) row[j] *= inv_n;
+    double row_loss = 0.0;
+    bool row_correct = false;
+    KernelSoftmaxXentRow(classes, label, inv_n, rows + i * classes, &row_loss,
+                         &row_correct);
+    total_loss += row_loss;
+    if (row_correct) ++result.correct;
   }
   result.loss = total_loss / static_cast<double>(n);
-  return result;
 }
 
 }  // namespace niid

@@ -19,6 +19,14 @@ struct LossResult {
 LossResult SoftmaxCrossEntropy(const Tensor& logits,
                                const std::vector<int>& labels);
 
+/// In-place variant: writes into a caller-owned LossResult whose grad_logits
+/// scratch is reused across calls (zero allocations in steady state). Both
+/// variants run the same KernelSoftmaxXentRow kernel per row, so they agree
+/// bit for bit.
+void SoftmaxCrossEntropyInto(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             LossResult& result);
+
 }  // namespace niid
 
 #endif  // NIID_NN_LOSS_H_

@@ -1,6 +1,7 @@
 #include "nn/models/resnet.h"
 
 #include "nn/sequential.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace niid {
@@ -22,61 +23,65 @@ ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
   }
 }
 
-Tensor ResidualBlock::Forward(const Tensor& input) {
-  Tensor main = conv1_.Forward(input);
-  main = bn1_.Forward(main);
-  main = relu1_.Forward(main);
-  main = conv2_.Forward(main);
-  main = bn2_.Forward(main);
+const Tensor& ResidualBlock::Forward(const Tensor& input) {
+  const Tensor* main = &conv1_.Forward(input);
+  main = &bn1_.Forward(*main);
+  main = &relu1_.Forward(*main);
+  main = &conv2_.Forward(*main);
+  main = &bn2_.Forward(*main);
 
-  Tensor shortcut;
+  // out = main + shortcut, written into block-owned scratch so the sublayers'
+  // scratch stays untouched for Backward.
+  if (out_.shape() != main->shape()) out_.Resize(main->shape());
+  out_ = *main;  // capacity reuse: no allocation in steady state
   if (has_projection_) {
-    shortcut = proj_conv_->Forward(input);
-    shortcut = proj_bn_->Forward(shortcut);
+    const Tensor* shortcut = &proj_conv_->Forward(input);
+    shortcut = &proj_bn_->Forward(*shortcut);
+    NIID_CHECK_EQ(out_.numel(), shortcut->numel());
+    out_.Add(*shortcut);
   } else {
-    shortcut = input;
+    NIID_CHECK_EQ(out_.numel(), input.numel());
+    out_.Add(input);
   }
-  NIID_CHECK_EQ(main.numel(), shortcut.numel());
-  main.Add(shortcut);
 
-  // Output ReLU (inline so the mask is owned by the block).
-  out_relu_mask_.assign(main.numel(), 0);
-  float* p = main.data();
-  for (int64_t i = 0; i < main.numel(); ++i) {
-    if (p[i] > 0.f) {
-      out_relu_mask_[i] = 1;
-    } else {
-      p[i] = 0.f;
-    }
+  // Output ReLU, in place (the mask is owned by the block).
+  if (out_relu_mask_.size() != static_cast<size_t>(out_.numel())) {
+    out_relu_mask_.resize(out_.numel());  // shrink keeps capacity: no alloc
   }
-  return main;
+  KernelReluForward(out_.numel(), out_.data(), out_.data(),
+                    out_relu_mask_.data(), compute_pool_);
+  return out_;
 }
 
-Tensor ResidualBlock::Backward(const Tensor& grad_output) {
+const Tensor& ResidualBlock::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.numel(),
                 static_cast<int64_t>(out_relu_mask_.size()));
-  Tensor grad_sum = grad_output;
-  float* p = grad_sum.data();
-  for (int64_t i = 0; i < grad_sum.numel(); ++i) {
-    if (!out_relu_mask_[i]) p[i] = 0.f;
+  if (grad_sum_.shape() != grad_output.shape()) {
+    grad_sum_.Resize(grad_output.shape());
   }
+  KernelReluBackward(grad_output.numel(), grad_output.data(),
+                     out_relu_mask_.data(), grad_sum_.data(), compute_pool_);
 
   // Main branch.
-  Tensor grad_main = bn2_.Backward(grad_sum);
-  grad_main = conv2_.Backward(grad_main);
-  grad_main = relu1_.Backward(grad_main);
-  grad_main = bn1_.Backward(grad_main);
-  grad_main = conv1_.Backward(grad_main);
+  const Tensor* grad_main = &bn2_.Backward(grad_sum_);
+  grad_main = &conv2_.Backward(*grad_main);
+  grad_main = &relu1_.Backward(*grad_main);
+  grad_main = &bn1_.Backward(*grad_main);
+  grad_main = &conv1_.Backward(*grad_main);
+  if (grad_in_.shape() != grad_main->shape()) {
+    grad_in_.Resize(grad_main->shape());
+  }
+  grad_in_ = *grad_main;
 
   // Shortcut branch.
   if (has_projection_) {
-    Tensor grad_short = proj_bn_->Backward(grad_sum);
-    grad_short = proj_conv_->Backward(grad_short);
-    grad_main.Add(grad_short);
+    const Tensor* grad_short = &proj_bn_->Backward(grad_sum_);
+    grad_short = &proj_conv_->Backward(*grad_short);
+    grad_in_.Add(*grad_short);
   } else {
-    grad_main.Add(grad_sum);
+    grad_in_.Add(grad_sum_);
   }
-  return grad_main;
+  return grad_in_;
 }
 
 std::vector<Parameter*> ResidualBlock::Parameters() {

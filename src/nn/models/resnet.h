@@ -25,8 +25,8 @@ class ResidualBlock : public Module {
  public:
   ResidualBlock(int in_channels, int out_channels, int stride, Rng& rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
   void SetComputePool(ThreadPool* pool) override;
@@ -42,6 +42,9 @@ class ResidualBlock : public Module {
   std::unique_ptr<Conv2d> proj_conv_;
   std::unique_ptr<BatchNorm> proj_bn_;
   std::vector<uint8_t> out_relu_mask_;
+  Tensor out_;        // main + shortcut, then output-ReLU'd in place
+  Tensor grad_sum_;   // dL/d(sum) after the output-ReLU mask
+  Tensor grad_in_;    // accumulated dL/d(input)
 };
 
 /// Builds a CIFAR-style ResNet of depth 6 * blocks_per_stage + 2: a 3x3 stem

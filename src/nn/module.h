@@ -33,16 +33,25 @@ struct Parameter {
 /// Base class for every layer and model. A Module is a differentiable
 /// function with internal parameters; Forward caches whatever Backward needs,
 /// so the usage protocol is strictly: Forward, then at most one Backward.
+///
+/// Scratch ownership (DESIGN.md §8): Forward and Backward return references
+/// to member scratch owned by the layer. The reference stays valid — and its
+/// contents stable — until the same method is called again on the same layer,
+/// which is exactly the lifetime a Sequential chain or a training step needs.
+/// After the first step at a given batch shape, layers reuse their scratch
+/// buffers and the steady-state step performs zero heap allocations.
 class Module {
  public:
   virtual ~Module() = default;
 
   /// Computes the layer output for `input`, caching activations for Backward.
-  virtual Tensor Forward(const Tensor& input) = 0;
+  /// Returns a reference to layer-owned scratch (see class comment).
+  virtual const Tensor& Forward(const Tensor& input) = 0;
 
   /// Given dL/d(output), accumulates parameter gradients (into
   /// Parameter::grad) and returns dL/d(input). Must follow a Forward call.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// Returns a reference to layer-owned scratch (see class comment).
+  virtual const Tensor& Backward(const Tensor& grad_output) = 0;
 
   /// All parameters and buffers of this module, in a deterministic order.
   virtual std::vector<Parameter*> Parameters() { return {}; }

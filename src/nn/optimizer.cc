@@ -1,5 +1,7 @@
 #include "nn/optimizer.h"
 
+#include "tensor/kernels.h"
+
 namespace niid {
 
 SgdOptimizer::SgdOptimizer(Module& module, float learning_rate, float momentum,
@@ -14,18 +16,18 @@ SgdOptimizer::SgdOptimizer(Module& module, float learning_rate, float momentum,
   }
 }
 
-void SgdOptimizer::Step() {
+void SgdOptimizer::Step(ThreadPool* pool) {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
-    float* w = p->value.data();
-    const float* g = p->grad.data();
-    float* v = velocity_[i].data();
-    const int64_t n = p->value.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      const float grad = g[j] + weight_decay_ * w[j];
-      v[j] = momentum_ * v[j] + grad;
-      w[j] -= learning_rate_ * v[j];
-    }
+    KernelSgdMomentumStep(p->value.numel(), learning_rate_, momentum_,
+                          weight_decay_, p->value.data(), p->grad.data(),
+                          velocity_[i].data(), pool);
+  }
+}
+
+void SgdOptimizer::ZeroGrads() {
+  for (Parameter* p : params_) {
+    KernelFill(p->grad.numel(), 0.f, p->grad.data());
   }
 }
 

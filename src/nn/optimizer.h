@@ -8,6 +8,8 @@
 
 namespace niid {
 
+class ThreadPool;
+
 /// SGD with momentum and L2 weight decay, matching torch.optim.SGD:
 ///   g  = grad + weight_decay * w
 ///   v  = momentum * v + g
@@ -21,7 +23,16 @@ class SgdOptimizer {
                float weight_decay = 0.f);
 
   /// Applies one update using the gradients currently stored in the module.
-  void Step();
+  /// The whole update runs as one fused pass per parameter through
+  /// KernelSgdMomentumStep; `pool` (optional) chunks large parameter tensors
+  /// without changing results.
+  void Step(ThreadPool* pool = nullptr);
+
+  /// Zeroes the gradients of the bound trainable parameters. Buffers carry no
+  /// gradient (never written), so skipping them is exact — and unlike the
+  /// free-function ZeroGrads(Module&) this reuses the cached parameter list
+  /// instead of materializing a fresh vector every minibatch.
+  void ZeroGrads();
 
   /// Clears the momentum buffers (used when a client restarts from a freshly
   /// received global model each round).
@@ -29,6 +40,10 @@ class SgdOptimizer {
 
   float learning_rate() const { return learning_rate_; }
   void set_learning_rate(float lr) { learning_rate_ = lr; }
+  /// Retunes the optimizer in place so a persistent Client can reuse the
+  /// bound parameter list (and its momentum storage) across rounds.
+  void set_momentum(float momentum) { momentum_ = momentum; }
+  void set_weight_decay(float weight_decay) { weight_decay_ = weight_decay; }
 
  private:
   std::vector<Parameter*> params_;

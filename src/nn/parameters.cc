@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace niid {
@@ -32,12 +33,18 @@ int64_t TrainableSize(Module& module) {
 
 StateVector FlattenState(Module& module) {
   StateVector state;
-  state.reserve(StateSize(module));
-  for (Parameter* p : module.Parameters()) {
-    const float* data = p->value.data();
-    state.insert(state.end(), data, data + p->value.numel());
-  }
+  FlattenStateInto(module, state);
   return state;
+}
+
+void FlattenStateInto(Module& module, StateVector& state) {
+  state.resize(StateSize(module));  // no-op after first use
+  int64_t offset = 0;
+  for (Parameter* p : module.Parameters()) {
+    const int64_t n = p->value.numel();
+    KernelCopy(n, p->value.data(), state.data() + offset);
+    offset += n;
+  }
 }
 
 void LoadState(Module& module, const StateVector& state) {
@@ -45,12 +52,24 @@ void LoadState(Module& module, const StateVector& state) {
   for (Parameter* p : module.Parameters()) {
     const int64_t n = p->value.numel();
     NIID_CHECK_LE(offset + n, static_cast<int64_t>(state.size()));
-    float* dst = p->value.data();
-    for (int64_t i = 0; i < n; ++i) dst[i] = state[offset + i];
+    KernelCopy(n, state.data() + offset, p->value.data());
     offset += n;
   }
   NIID_CHECK_EQ(offset, static_cast<int64_t>(state.size()))
       << "state vector size mismatch";
+}
+
+void LoadTrainableState(Module& module, const std::vector<StateSegment>& layout,
+                        const StateVector& state) {
+  const std::vector<Parameter*> params = module.Parameters();
+  NIID_CHECK_EQ(params.size(), layout.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const StateSegment& seg = layout[i];
+    NIID_CHECK_EQ(seg.size, params[i]->value.numel());
+    NIID_CHECK_LE(seg.offset + seg.size, static_cast<int64_t>(state.size()));
+    if (!seg.trainable) continue;
+    KernelCopy(seg.size, state.data() + seg.offset, params[i]->value.data());
+  }
 }
 
 StateVector GradState(Module& module) {
@@ -73,8 +92,7 @@ void AxpyToGrads(Module& module, float alpha, const StateVector& vec) {
     const int64_t n = p->value.numel();
     NIID_CHECK_LE(offset + n, static_cast<int64_t>(vec.size()));
     if (p->trainable) {
-      float* grad = p->grad.data();
-      for (int64_t i = 0; i < n; ++i) grad[i] += alpha * vec[offset + i];
+      KernelAxpy(n, alpha, vec.data() + offset, p->grad.data());
     }
     offset += n;
   }
@@ -87,24 +105,30 @@ void ZeroGrads(Module& module) {
 
 void Axpy(StateVector& a, float alpha, const StateVector& b) {
   NIID_CHECK_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+  KernelAxpy(static_cast<int64_t>(a.size()), alpha, b.data(), a.data());
 }
 
 void Scale(StateVector& a, float alpha) {
-  for (float& v : a) v *= alpha;
+  KernelScale(static_cast<int64_t>(a.size()), alpha, a.data());
 }
 
 StateVector Subtract(const StateVector& a, const StateVector& b) {
-  NIID_CHECK_EQ(a.size(), b.size());
-  StateVector out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  StateVector out;
+  SubtractInto(a, b, out);
   return out;
 }
 
+void SubtractInto(const StateVector& a, const StateVector& b,
+                  StateVector& out) {
+  NIID_CHECK_EQ(a.size(), b.size());
+  out.resize(a.size());  // no-op after first use
+  KernelSub(static_cast<int64_t>(a.size()), a.data(), b.data(), out.data());
+}
+
 double Norm(const StateVector& a) {
-  double sum = 0.0;
-  for (float v : a) sum += static_cast<double>(v) * v;
-  return std::sqrt(sum);
+  double sum = 0.0, sum_sq = 0.0;
+  KernelSumSq(static_cast<int64_t>(a.size()), a.data(), &sum, &sum_sq);
+  return std::sqrt(sum_sq);
 }
 
 }  // namespace niid

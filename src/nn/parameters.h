@@ -31,8 +31,19 @@ int64_t TrainableSize(Module& module);
 /// Copies all parameters and buffers into one flat vector.
 StateVector FlattenState(Module& module);
 
+/// Copies all parameters and buffers into `state`, resizing it only on first
+/// use — the zero-allocation variant for per-round snapshots.
+void FlattenStateInto(Module& module, StateVector& state);
+
 /// Loads a flat vector produced by FlattenState back into the module.
 void LoadState(Module& module, const StateVector& state);
+
+/// Loads only the trainable segments of `state`, leaving buffers (BatchNorm
+/// running statistics) at their current in-module values. Equivalent to the
+/// FedBN-style "merge buffers back after LoadState" dance without the extra
+/// full-state flatten/copy. `layout` must come from StateLayout(module).
+void LoadTrainableState(Module& module, const std::vector<StateSegment>& layout,
+                        const StateVector& state);
 
 /// Returns the gradient as a state-sized vector: trainable positions hold
 /// Parameter::grad, buffer positions hold zero.
@@ -47,12 +58,14 @@ void ZeroGrads(Module& module);
 
 /// element-wise helpers on state vectors ------------------------------------
 
-/// a += alpha * b (sizes must match).
+/// a += alpha * b (sizes must match; per element fma(alpha, b, a)).
 void Axpy(StateVector& a, float alpha, const StateVector& b);
 /// a *= alpha.
 void Scale(StateVector& a, float alpha);
 /// Returns a - b.
 StateVector Subtract(const StateVector& a, const StateVector& b);
+/// out = a - b without allocating (out is resized on first use).
+void SubtractInto(const StateVector& a, const StateVector& b, StateVector& out);
 /// L2 norm.
 double Norm(const StateVector& a);
 

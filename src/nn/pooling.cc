@@ -1,6 +1,8 @@
 #include "nn/pooling.h"
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 
@@ -9,7 +11,7 @@ MaxPool2d::MaxPool2d(int kernel, int stride)
   NIID_CHECK_GE(kernel, 1);
 }
 
-Tensor MaxPool2d::Forward(const Tensor& input) {
+const Tensor& MaxPool2d::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1);
   const int h = static_cast<int>(input.dim(2));
@@ -20,97 +22,116 @@ Tensor MaxPool2d::Forward(const Tensor& input) {
   NIID_CHECK_GT(out_w, 0);
   cached_input_shape_ = input.shape();
 
-  Tensor out({n, c, out_h, out_w});
-  argmax_.assign(out.numel(), 0);
+  if (!ShapeIs(out_, n, c, out_h, out_w)) {
+    out_.Resize({n, c, out_h, out_w});
+  }
+  if (argmax_.size() != static_cast<size_t>(out_.numel())) {
+    argmax_.resize(out_.numel());
+  }
   const float* src = input.data();
-  float* dst = out.data();
-  int64_t out_idx = 0;
-  for (int64_t img = 0; img < n; ++img) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = src + (img * c + ch) * h * w;
-      const int64_t plane_offset = (img * c + ch) * h * w;
-      for (int oy = 0; oy < out_h; ++oy) {
-        for (int ox = 0; ox < out_w; ++ox) {
-          const int y0 = oy * stride_;
-          const int x0 = ox * stride_;
-          float best = plane[y0 * w + x0];
-          int64_t best_idx = y0 * w + x0;
-          for (int ky = 0; ky < kernel_; ++ky) {
-            const int y = y0 + ky;
-            if (y >= h) break;
-            for (int kx = 0; kx < kernel_; ++kx) {
-              const int x = x0 + kx;
-              if (x >= w) break;
-              const float v = plane[y * w + x];
-              if (v > best) {
-                best = v;
-                best_idx = y * w + x;
-              }
+  float* dst = out_.data();
+  const int64_t out_plane = static_cast<int64_t>(out_h) * out_w;
+  // Each (image, channel) plane owns a disjoint output range.
+  ParallelFor(compute_pool_, n * c, [&](int64_t p) {
+    const float* plane = src + p * h * w;
+    const int64_t plane_offset = p * h * w;
+    int64_t out_idx = p * out_plane;
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int y0 = oy * stride_;
+        const int x0 = ox * stride_;
+        float best = plane[y0 * w + x0];
+        int64_t best_idx = y0 * w + x0;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          const int y = y0 + ky;
+          if (y >= h) break;
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const int x = x0 + kx;
+            if (x >= w) break;
+            const float v = plane[y * w + x];
+            if (v > best) {
+              best = v;
+              best_idx = y * w + x;
             }
           }
-          dst[out_idx] = best;
-          argmax_[out_idx] = plane_offset + best_idx;
-          ++out_idx;
         }
+        dst[out_idx] = best;
+        argmax_[out_idx] = plane_offset + best_idx;
+        ++out_idx;
       }
     }
-  }
-  return out;
+  });
+  return out_;
 }
 
-Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+const Tensor& MaxPool2d::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.numel(), static_cast<int64_t>(argmax_.size()));
-  Tensor grad_input(cached_input_shape_);
-  float* dst = grad_input.data();
-  const float* src = grad_output.data();
-  for (int64_t i = 0; i < grad_output.numel(); ++i) {
-    dst[argmax_[i]] += src[i];
+  if (grad_input_.shape() != cached_input_shape_) {
+    grad_input_.Resize(cached_input_shape_);
   }
-  return grad_input;
+  grad_input_.Fill(0.f);
+  float* dst = grad_input_.data();
+  const float* src = grad_output.data();
+  const int64_t planes = cached_input_shape_[0] * cached_input_shape_[1];
+  const int64_t out_plane = grad_output.numel() / planes;
+  // Every argmax index stays inside its own plane, so planes scatter in
+  // parallel without collisions.
+  ParallelFor(compute_pool_, planes, [&](int64_t p) {
+    for (int64_t i = p * out_plane; i < (p + 1) * out_plane; ++i) {
+      dst[argmax_[i]] += src[i];
+    }
+  });
+  return grad_input_;
 }
 
-Tensor GlobalAvgPool::Forward(const Tensor& input) {
+const Tensor& GlobalAvgPool::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 4);
   cached_input_shape_ = input.shape();
   const int64_t n = input.dim(0), c = input.dim(1);
   const int64_t spatial = input.dim(2) * input.dim(3);
-  Tensor out({n, c});
+  if (!ShapeIs(out_, n, c)) out_.Resize({n, c});
   const float* src = input.data();
-  float* dst = out.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    double sum = 0.0;
-    const float* plane = src + i * spatial;
-    for (int64_t s = 0; s < spatial; ++s) sum += plane[s];
+  float* dst = out_.data();
+  ParallelFor(compute_pool_, n * c, [&](int64_t i) {
+    const double sum = KernelSum(spatial, src + i * spatial);
     dst[i] = static_cast<float>(sum / static_cast<double>(spatial));
-  }
-  return out;
+  });
+  return out_;
 }
 
-Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+const Tensor& GlobalAvgPool::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 2);
-  Tensor grad_input(cached_input_shape_);
+  if (grad_input_.shape() != cached_input_shape_) {
+    grad_input_.Resize(cached_input_shape_);
+  }
   const int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
   const int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
   const float scale = 1.f / static_cast<float>(spatial);
   const float* src = grad_output.data();
-  float* dst = grad_input.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float g = src[i] * scale;
-    float* plane = dst + i * spatial;
-    for (int64_t s = 0; s < spatial; ++s) plane[s] = g;
-  }
-  return grad_input;
+  float* dst = grad_input_.data();
+  ParallelFor(compute_pool_, n * c, [&](int64_t i) {
+    KernelFill(spatial, src[i] * scale, dst + i * spatial);
+  });
+  return grad_input_;
 }
 
-Tensor Flatten::Forward(const Tensor& input) {
+const Tensor& Flatten::Forward(const Tensor& input) {
   cached_input_shape_ = input.shape();
   NIID_CHECK_GE(input.rank(), 2);
   const int64_t n = input.dim(0);
-  return input.Reshape({n, input.numel() / n});
+  if (!ShapeIs(out_, n, input.numel() / n)) {
+    out_.Resize({n, input.numel() / n});
+  }
+  KernelCopy(input.numel(), input.data(), out_.data());
+  return out_;
 }
 
-Tensor Flatten::Backward(const Tensor& grad_output) {
-  return grad_output.Reshape(cached_input_shape_);
+const Tensor& Flatten::Backward(const Tensor& grad_output) {
+  if (grad_input_.shape() != cached_input_shape_) {
+    grad_input_.Resize(cached_input_shape_);
+  }
+  KernelCopy(grad_output.numel(), grad_output.data(), grad_input_.data());
+  return grad_input_;
 }
 
 }  // namespace niid

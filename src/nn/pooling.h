@@ -13,8 +13,8 @@ class MaxPool2d : public Module {
  public:
   explicit MaxPool2d(int kernel, int stride = -1);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "MaxPool2d"; }
 
  private:
@@ -22,28 +22,34 @@ class MaxPool2d : public Module {
   int stride_;
   std::vector<int64_t> cached_input_shape_;
   std::vector<int64_t> argmax_;  ///< flat input index of each output element
+  Tensor out_;
+  Tensor grad_input_;
 };
 
 /// Global average pooling: [N, C, H, W] -> [N, C] (used by the ResNet head).
 class GlobalAvgPool : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "GlobalAvgPool"; }
 
  private:
   std::vector<int64_t> cached_input_shape_;
+  Tensor out_;
+  Tensor grad_input_;
 };
 
 /// Reshapes [N, C, H, W] to [N, C*H*W] (backward restores the shape).
 class Flatten : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::string Name() const override { return "Flatten"; }
 
  private:
   std::vector<int64_t> cached_input_shape_;
+  Tensor out_;
+  Tensor grad_input_;
 };
 
 }  // namespace niid

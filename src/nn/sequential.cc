@@ -2,20 +2,22 @@
 
 namespace niid {
 
-Tensor Sequential::Forward(const Tensor& input) {
-  Tensor current = input;
+const Tensor& Sequential::Forward(const Tensor& input) {
+  // Pointer chaining: each layer reads the previous layer's member scratch
+  // and writes its own, so the whole chain moves zero tensors.
+  const Tensor* current = &input;
   for (auto& layer : layers_) {
-    current = layer->Forward(current);
+    current = &layer->Forward(*current);
   }
-  return current;
+  return *current;
 }
 
-Tensor Sequential::Backward(const Tensor& grad_output) {
-  Tensor current = grad_output;
+const Tensor& Sequential::Backward(const Tensor& grad_output) {
+  const Tensor* current = &grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    current = (*it)->Backward(current);
+    current = &(*it)->Backward(*current);
   }
-  return current;
+  return *current;
 }
 
 std::vector<Parameter*> Sequential::Parameters() {

@@ -29,8 +29,8 @@ class Sequential : public Module {
     layers_.push_back(std::move(layer));
   }
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  const Tensor& Forward(const Tensor& input) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
   void SetComputePool(ThreadPool* pool) override;

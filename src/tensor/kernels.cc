@@ -1,0 +1,516 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/thread_pool.h"
+
+#if defined(NIID_KERNELS_AVX2) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define NIID_KERNELS_USE_AVX2 1
+#else
+#define NIID_KERNELS_USE_AVX2 0
+#endif
+
+namespace niid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared scalar bodies. These ARE the kernel definitions: the AVX2 paths
+// below evaluate the identical per-element/per-lane arithmetic, and the
+// public Kernel*Reference oracles call these directly.
+// ---------------------------------------------------------------------------
+
+inline void ScalarScale(int64_t begin, int64_t end, float alpha, float* x) {
+  for (int64_t i = begin; i < end; ++i) x[i] *= alpha;
+}
+
+inline void ScalarAxpy(int64_t begin, int64_t end, float alpha,
+                       const float* x, float* y) {
+  for (int64_t i = begin; i < end; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+inline void ScalarSub(int64_t begin, int64_t end, const float* a,
+                      const float* b, float* out) {
+  for (int64_t i = begin; i < end; ++i) out[i] = a[i] - b[i];
+}
+
+inline void ScalarSgdStep(int64_t begin, int64_t end, float lr, float momentum,
+                          float weight_decay, float* w, const float* g,
+                          float* v) {
+  for (int64_t i = begin; i < end; ++i) {
+    const float grad = std::fma(weight_decay, w[i], g[i]);
+    v[i] = std::fma(momentum, v[i], grad);
+    w[i] = std::fma(-lr, v[i], w[i]);
+  }
+}
+
+inline void ScalarReluForward(int64_t begin, int64_t end, const float* x,
+                              float* out, uint8_t* mask) {
+  for (int64_t i = begin; i < end; ++i) {
+    const float xi = x[i];
+    const bool positive = xi > 0.f;
+    mask[i] = positive ? 1 : 0;
+    out[i] = positive ? xi : 0.f;
+  }
+}
+
+inline void ScalarReluBackward(int64_t begin, int64_t end, const float* gout,
+                               const uint8_t* mask, float* gin) {
+  for (int64_t i = begin; i < end; ++i) {
+    gin[i] = mask[i] ? gout[i] : 0.f;
+  }
+}
+
+// Four-lane double reduction tree (see kernels.h): lane i%4 over the body,
+// combined as (l0 + l2) + (l1 + l3), tail appended sequentially.
+inline double CombineLanes(const double lanes[4]) {
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+inline void ScalarSumSqBody(int64_t body, const float* x, double* sum,
+                            double* sum_sq) {
+  double ls[4] = {0.0, 0.0, 0.0, 0.0};
+  double lq[4] = {0.0, 0.0, 0.0, 0.0};
+  for (int64_t i = 0; i < body; i += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const double d = static_cast<double>(x[i + lane]);
+      ls[lane] += d;
+      lq[lane] = std::fma(d, d, lq[lane]);
+    }
+  }
+  *sum = CombineLanes(ls);
+  *sum_sq = CombineLanes(lq);
+}
+
+inline void ScalarDySumsBody(int64_t body, const float* dy, const float* xhat,
+                             double* sum_dy, double* sum_dy_xhat) {
+  double ld[4] = {0.0, 0.0, 0.0, 0.0};
+  double lh[4] = {0.0, 0.0, 0.0, 0.0};
+  for (int64_t i = 0; i < body; i += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const double d = static_cast<double>(dy[i + lane]);
+      const double h = static_cast<double>(xhat[i + lane]);
+      ld[lane] += d;
+      lh[lane] = std::fma(d, h, lh[lane]);
+    }
+  }
+  *sum_dy = CombineLanes(ld);
+  *sum_dy_xhat = CombineLanes(lh);
+}
+
+inline void ScalarBnNormalize(int64_t begin, int64_t end, float mean,
+                              float inv_std, float gamma, float beta,
+                              const float* x, float* xhat, float* out) {
+  for (int64_t i = begin; i < end; ++i) {
+    const float h = (x[i] - mean) * inv_std;
+    xhat[i] = h;
+    out[i] = std::fma(gamma, h, beta);
+  }
+}
+
+inline void ScalarBnBackwardDx(int64_t begin, int64_t end, double coeff,
+                               double mean_dy, double mean_dy_xhat,
+                               const float* dy, const float* xhat, float* dx) {
+  for (int64_t i = begin; i < end; ++i) {
+    double t = static_cast<double>(dy[i]) - mean_dy;
+    t = std::fma(-static_cast<double>(xhat[i]), mean_dy_xhat, t);
+    dx[i] = static_cast<float>(coeff * t);
+  }
+}
+
+// Splits [0, n) into range chunks on the pool when n is large enough.
+// Elementwise kernels are chunk-boundary-invariant (each element's result
+// depends only on its own inputs), so this never changes bits.
+template <typename Fn>
+void ForRanges(ThreadPool* pool, int64_t n, const Fn& fn) {
+  if (pool == nullptr || n < kKernelParallelThreshold ||
+      pool->num_threads() == 1 || pool->IsWorkerThread()) {
+    fn(int64_t{0}, n);
+    return;
+  }
+  const int64_t max_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
+  const int64_t num_chunks =
+      std::min<int64_t>(max_chunks, (n + kKernelParallelThreshold - 1) /
+                                        kKernelParallelThreshold);
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  ParallelFor(pool, num_chunks, [&](int64_t c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min<int64_t>(begin + chunk, n);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Production kernels.
+// ---------------------------------------------------------------------------
+
+void KernelFill(int64_t n, float value, float* x) {
+  std::fill(x, x + n, value);
+}
+
+void KernelCopy(int64_t n, const float* src, float* dst) {
+  std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+void KernelScale(int64_t n, float alpha, float* x, ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    const __m256 va = _mm256_set1_ps(alpha);
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+    }
+    ScalarScale(i, end, alpha, x);
+#else
+    ScalarScale(begin, end, alpha, x);
+#endif
+  });
+}
+
+void KernelScaleInto(int64_t n, float alpha, const float* x, float* out) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) out[i] = alpha * x[i];
+#else
+  for (int64_t i = 0; i < n; ++i) out[i] = alpha * x[i];
+#endif
+}
+
+void KernelAxpy(int64_t n, float alpha, const float* x, float* y,
+                ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    const __m256 va = _mm256_set1_ps(alpha);
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      const __m256 vy = _mm256_loadu_ps(y + i);
+      _mm256_storeu_ps(y + i,
+                       _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy));
+    }
+    ScalarAxpy(i, end, alpha, x, y);
+#else
+    ScalarAxpy(begin, end, alpha, x, y);
+#endif
+  });
+}
+
+void KernelSub(int64_t n, const float* a, const float* b, float* out,
+               ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      _mm256_storeu_ps(
+          out + i,
+          _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    }
+    ScalarSub(i, end, a, b, out);
+#else
+    ScalarSub(begin, end, a, b, out);
+#endif
+  });
+}
+
+void KernelSgdMomentumStep(int64_t n, float lr, float momentum,
+                           float weight_decay, float* w, const float* g,
+                           float* v, ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    const __m256 vlr = _mm256_set1_ps(lr);
+    const __m256 vmom = _mm256_set1_ps(momentum);
+    const __m256 vwd = _mm256_set1_ps(weight_decay);
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      __m256 vw = _mm256_loadu_ps(w + i);
+      __m256 vv = _mm256_loadu_ps(v + i);
+      const __m256 grad = _mm256_fmadd_ps(vwd, vw, _mm256_loadu_ps(g + i));
+      vv = _mm256_fmadd_ps(vmom, vv, grad);
+      _mm256_storeu_ps(v + i, vv);
+      vw = _mm256_fnmadd_ps(vlr, vv, vw);
+      _mm256_storeu_ps(w + i, vw);
+    }
+    ScalarSgdStep(i, end, lr, momentum, weight_decay, w, g, v);
+#else
+    ScalarSgdStep(begin, end, lr, momentum, weight_decay, w, g, v);
+#endif
+  });
+}
+
+void KernelReluForward(int64_t n, const float* x, float* out, uint8_t* mask,
+                       ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      const __m256 m = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+      _mm256_storeu_ps(out + i, _mm256_and_ps(v, m));
+      const int bits = _mm256_movemask_ps(m);
+      for (int j = 0; j < 8; ++j) {
+        mask[i + j] = static_cast<uint8_t>((bits >> j) & 1);
+      }
+    }
+    ScalarReluForward(i, end, x, out, mask);
+#else
+    ScalarReluForward(begin, end, x, out, mask);
+#endif
+  });
+}
+
+void KernelReluBackward(int64_t n, const float* gout, const uint8_t* mask,
+                        float* gin, ThreadPool* pool) {
+  ForRanges(pool, n, [&](int64_t begin, int64_t end) {
+#if NIID_KERNELS_USE_AVX2
+    const __m256i izero = _mm256_setzero_si256();
+    int64_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      const __m128i bytes = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(mask + i));
+      const __m256i m32 = _mm256_cvtepu8_epi32(bytes);
+      const __m256i keep = _mm256_cmpgt_epi32(m32, izero);
+      const __m256 g = _mm256_loadu_ps(gout + i);
+      _mm256_storeu_ps(gin + i,
+                       _mm256_and_ps(g, _mm256_castsi256_ps(keep)));
+    }
+    ScalarReluBackward(i, end, gout, mask, gin);
+#else
+    ScalarReluBackward(begin, end, gout, mask, gin);
+#endif
+  });
+}
+
+void KernelSumSq(int64_t n, const float* x, double* sum, double* sum_sq) {
+  const int64_t body = n & ~int64_t{3};
+  double s = 0.0, q = 0.0;
+#if NIID_KERNELS_USE_AVX2
+  __m256d acc_s = _mm256_setzero_pd();
+  __m256d acc_q = _mm256_setzero_pd();
+  for (int64_t i = 0; i < body; i += 4) {
+    const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc_s = _mm256_add_pd(acc_s, d);
+    acc_q = _mm256_fmadd_pd(d, d, acc_q);
+  }
+  {
+    // (l0 + l2, l1 + l3) then low + high: the CombineLanes tree.
+    const __m128d ps = _mm_add_pd(_mm256_castpd256_pd128(acc_s),
+                                  _mm256_extractf128_pd(acc_s, 1));
+    const __m128d pq = _mm_add_pd(_mm256_castpd256_pd128(acc_q),
+                                  _mm256_extractf128_pd(acc_q, 1));
+    s = _mm_cvtsd_f64(ps) + _mm_cvtsd_f64(_mm_unpackhi_pd(ps, ps));
+    q = _mm_cvtsd_f64(pq) + _mm_cvtsd_f64(_mm_unpackhi_pd(pq, pq));
+  }
+#else
+  ScalarSumSqBody(body, x, &s, &q);
+#endif
+  for (int64_t i = body; i < n; ++i) {
+    const double d = static_cast<double>(x[i]);
+    s += d;
+    q = std::fma(d, d, q);
+  }
+  *sum += s;
+  *sum_sq += q;
+}
+
+void KernelDySums(int64_t n, const float* dy, const float* xhat,
+                  double* sum_dy, double* sum_dy_xhat) {
+  const int64_t body = n & ~int64_t{3};
+  double s = 0.0, h = 0.0;
+#if NIID_KERNELS_USE_AVX2
+  __m256d acc_s = _mm256_setzero_pd();
+  __m256d acc_h = _mm256_setzero_pd();
+  for (int64_t i = 0; i < body; i += 4) {
+    const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(dy + i));
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(xhat + i));
+    acc_s = _mm256_add_pd(acc_s, d);
+    acc_h = _mm256_fmadd_pd(d, x, acc_h);
+  }
+  {
+    const __m128d ps = _mm_add_pd(_mm256_castpd256_pd128(acc_s),
+                                  _mm256_extractf128_pd(acc_s, 1));
+    const __m128d ph = _mm_add_pd(_mm256_castpd256_pd128(acc_h),
+                                  _mm256_extractf128_pd(acc_h, 1));
+    s = _mm_cvtsd_f64(ps) + _mm_cvtsd_f64(_mm_unpackhi_pd(ps, ps));
+    h = _mm_cvtsd_f64(ph) + _mm_cvtsd_f64(_mm_unpackhi_pd(ph, ph));
+  }
+#else
+  ScalarDySumsBody(body, dy, xhat, &s, &h);
+#endif
+  for (int64_t i = body; i < n; ++i) {
+    const double d = static_cast<double>(dy[i]);
+    s += d;
+    h = std::fma(d, static_cast<double>(xhat[i]), h);
+  }
+  *sum_dy += s;
+  *sum_dy_xhat += h;
+}
+
+double KernelSum(int64_t n, const float* x) {
+  const int64_t body = n & ~int64_t{3};
+  double s = 0.0;
+#if NIID_KERNELS_USE_AVX2
+  __m256d acc = _mm256_setzero_pd();
+  for (int64_t i = 0; i < body; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(x + i)));
+  }
+  const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                                  _mm256_extractf128_pd(acc, 1));
+  s = _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+#else
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (int64_t i = 0; i < body; i += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      lanes[lane] += static_cast<double>(x[i + lane]);
+    }
+  }
+  s = CombineLanes(lanes);
+#endif
+  for (int64_t i = body; i < n; ++i) s += static_cast<double>(x[i]);
+  return s;
+}
+
+void KernelBnNormalize(int64_t n, float mean, float inv_std, float gamma,
+                       float beta, const float* x, float* xhat, float* out) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 vm = _mm256_set1_ps(mean);
+  const __m256 vi = _mm256_set1_ps(inv_std);
+  const __m256 vg = _mm256_set1_ps(gamma);
+  const __m256 vb = _mm256_set1_ps(beta);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 h =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vm), vi);
+    _mm256_storeu_ps(xhat + i, h);
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(vg, h, vb));
+  }
+  ScalarBnNormalize(i, n, mean, inv_std, gamma, beta, x, xhat, out);
+#else
+  ScalarBnNormalize(0, n, mean, inv_std, gamma, beta, x, xhat, out);
+#endif
+}
+
+void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
+                        double mean_dy_xhat, const float* dy,
+                        const float* xhat, float* dx) {
+  const double coeff_d = static_cast<double>(coeff);
+#if NIID_KERNELS_USE_AVX2
+  const __m256d vmd = _mm256_set1_pd(mean_dy);
+  const __m256d vmh = _mm256_set1_pd(mean_dy_xhat);
+  const __m256d vc = _mm256_set1_pd(coeff_d);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(dy + i));
+    const __m256d h = _mm256_cvtps_pd(_mm_loadu_ps(xhat + i));
+    __m256d t = _mm256_sub_pd(d, vmd);
+    t = _mm256_fnmadd_pd(h, vmh, t);
+    _mm_storeu_ps(dx + i, _mm256_cvtpd_ps(_mm256_mul_pd(vc, t)));
+  }
+  ScalarBnBackwardDx(i, n, coeff_d, mean_dy, mean_dy_xhat, dy, xhat, dx);
+#else
+  ScalarBnBackwardDx(0, n, coeff_d, mean_dy, mean_dy_xhat, dy, xhat, dx);
+#endif
+}
+
+void KernelSoftmaxXentRow(int64_t classes, int label, float inv_n, float* row,
+                          double* loss, bool* correct) {
+  // Shared scalar prologue (max, exp, sum, argmax) — exp dominates and has
+  // no bit-stable vector form, so both backends run this identically.
+  float max_v = row[0];
+  for (int64_t j = 1; j < classes; ++j) max_v = std::max(max_v, row[j]);
+  float sum = 0.f;
+  int64_t best = 0;
+  for (int64_t j = 0; j < classes; ++j) {
+    const float e = std::exp(row[j] - max_v);
+    row[j] = e;
+    sum += e;
+    if (e > row[best]) best = j;
+  }
+  const float inv = 1.f / sum;
+  const float p_label = row[label] * inv;
+  *loss = -std::log(std::max(p_label, 1e-12f));
+  *correct = best == static_cast<int64_t>(label);
+  // grad = (softmax - onehot) * inv_n, folded into one scale plus one
+  // correction: e * (inv * inv_n) everywhere, then -inv_n at the label.
+  KernelScale(classes, inv * inv_n, row);
+  row[label] -= inv_n;
+}
+
+// ---------------------------------------------------------------------------
+// Verification oracles.
+// ---------------------------------------------------------------------------
+
+void KernelAxpyReference(int64_t n, float alpha, const float* x, float* y) {
+  ScalarAxpy(0, n, alpha, x, y);
+}
+
+void KernelSubReference(int64_t n, const float* a, const float* b,
+                        float* out) {
+  ScalarSub(0, n, a, b, out);
+}
+
+void KernelSgdMomentumStepReference(int64_t n, float lr, float momentum,
+                                    float weight_decay, float* w,
+                                    const float* g, float* v) {
+  ScalarSgdStep(0, n, lr, momentum, weight_decay, w, g, v);
+}
+
+void KernelReluForwardReference(int64_t n, const float* x, float* out,
+                                uint8_t* mask) {
+  ScalarReluForward(0, n, x, out, mask);
+}
+
+void KernelReluBackwardReference(int64_t n, const float* gout,
+                                 const uint8_t* mask, float* gin) {
+  ScalarReluBackward(0, n, gout, mask, gin);
+}
+
+void KernelSumSqReference(int64_t n, const float* x, double* sum,
+                          double* sum_sq) {
+  const int64_t body = n & ~int64_t{3};
+  double s = 0.0, q = 0.0;
+  ScalarSumSqBody(body, x, &s, &q);
+  for (int64_t i = body; i < n; ++i) {
+    const double d = static_cast<double>(x[i]);
+    s += d;
+    q = std::fma(d, d, q);
+  }
+  *sum += s;
+  *sum_sq += q;
+}
+
+void KernelDySumsReference(int64_t n, const float* dy, const float* xhat,
+                           double* sum_dy, double* sum_dy_xhat) {
+  const int64_t body = n & ~int64_t{3};
+  double s = 0.0, h = 0.0;
+  ScalarDySumsBody(body, dy, xhat, &s, &h);
+  for (int64_t i = body; i < n; ++i) {
+    const double d = static_cast<double>(dy[i]);
+    s += d;
+    h = std::fma(d, static_cast<double>(xhat[i]), h);
+  }
+  *sum_dy += s;
+  *sum_dy_xhat += h;
+}
+
+void KernelBnNormalizeReference(int64_t n, float mean, float inv_std,
+                                float gamma, float beta, const float* x,
+                                float* xhat, float* out) {
+  ScalarBnNormalize(0, n, mean, inv_std, gamma, beta, x, xhat, out);
+}
+
+void KernelBnBackwardDxReference(int64_t n, float coeff, double mean_dy,
+                                 double mean_dy_xhat, const float* dy,
+                                 const float* xhat, float* dx) {
+  ScalarBnBackwardDx(0, n, static_cast<double>(coeff), mean_dy, mean_dy_xhat,
+                     dy, xhat, dx);
+}
+
+}  // namespace niid

@@ -1,0 +1,144 @@
+#ifndef NIID_TENSOR_KERNELS_H_
+#define NIID_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace niid {
+
+class ThreadPool;
+
+/// Vectorized elementwise and reduction kernels for everything in a training
+/// step that is not a GEMM: optimizer updates, activations, normalization
+/// statistics, loss rows, and the flatten/load/delta state copies.
+///
+/// Determinism policy (DESIGN.md §8, extending the GEMM engine's §7 rules):
+/// every kernel has exactly one arithmetic definition, written below in terms
+/// of per-element fused multiply-adds and (for reductions) a fixed four-lane
+/// accumulation tree. The AVX2+FMA backend (compiled into kernels.cc alone,
+/// like gemm.cc) evaluates that same definition per SIMD lane, so scalar and
+/// vector builds are bit-identical, and parallel chunking never crosses an
+/// element, so results are bit-identical for every thread count.
+///
+/// The `Kernel*Reference` oracles at the bottom restate each definition in
+/// plain scalar code; tests/kernels_test.cc enforces bitwise equality between
+/// the production kernels and these oracles.
+
+/// Elements below this count run serially even when a pool is supplied; the
+/// scheduling round-trip costs more than the loop.
+inline constexpr int64_t kKernelParallelThreshold = 1 << 15;
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels. Per element i the definitions are:
+//   Fill:  x[i] = value
+//   Copy:  dst[i] = src[i]
+//   Scale: x[i] *= alpha
+//   ScaleInto: out[i] = alpha * x[i]
+//   Axpy:  y[i] = fma(alpha, x[i], y[i])
+//   Sub:   out[i] = a[i] - b[i]
+// ---------------------------------------------------------------------------
+
+void KernelFill(int64_t n, float value, float* x);
+void KernelCopy(int64_t n, const float* src, float* dst);
+void KernelScale(int64_t n, float alpha, float* x, ThreadPool* pool = nullptr);
+void KernelScaleInto(int64_t n, float alpha, const float* x, float* out);
+void KernelAxpy(int64_t n, float alpha, const float* x, float* y,
+                ThreadPool* pool = nullptr);
+void KernelSub(int64_t n, const float* a, const float* b, float* out,
+               ThreadPool* pool = nullptr);
+
+/// Fused SGD-with-momentum update (torch.optim.SGD semantics), one pass over
+/// the parameter segment. Per element:
+///   g' = fma(weight_decay, w[i], g[i])
+///   v[i] = fma(momentum, v[i], g')
+///   w[i] = fma(-lr, v[i], w[i])
+void KernelSgdMomentumStep(int64_t n, float lr, float momentum,
+                           float weight_decay, float* w, const float* g,
+                           float* v, ThreadPool* pool = nullptr);
+
+/// Masked ReLU forward: out[i] = x[i] > 0 ? x[i] : 0, mask[i] = x[i] > 0.
+/// `out` may alias `x` (in-place).
+void KernelReluForward(int64_t n, const float* x, float* out, uint8_t* mask,
+                       ThreadPool* pool = nullptr);
+
+/// Masked ReLU backward: gin[i] = mask[i] ? gout[i] : 0. `gin` may alias
+/// `gout` (in-place).
+void KernelReluBackward(int64_t n, const float* gout, const uint8_t* mask,
+                        float* gin, ThreadPool* pool = nullptr);
+
+// ---------------------------------------------------------------------------
+// Reductions. Accumulation runs in double over four virtual lanes: element i
+// of the body (n rounded down to a multiple of 4) feeds lane i % 4, each lane
+// chaining fused multiply-adds in increasing i order; lanes combine as
+// (l0 + l2) + (l1 + l3) and the tail elements append sequentially to the
+// combined value. Both backends implement exactly this tree, so the result
+// is one bit pattern regardless of build flags.
+// ---------------------------------------------------------------------------
+
+/// sum += Σ x[i], sum_sq += Σ x[i]^2 (the BatchNorm moment pass).
+void KernelSumSq(int64_t n, const float* x, double* sum, double* sum_sq);
+
+/// sum_dy += Σ dy[i], sum_dy_xhat += Σ dy[i] * xhat[i] (BatchNorm backward).
+void KernelDySums(int64_t n, const float* dy, const float* xhat,
+                  double* sum_dy, double* sum_dy_xhat);
+
+/// Σ x[i] with the same four-lane double tree (GlobalAvgPool).
+double KernelSum(int64_t n, const float* x);
+
+// ---------------------------------------------------------------------------
+// BatchNorm plane kernels (one contiguous [H*W] plane of one channel).
+// ---------------------------------------------------------------------------
+
+/// xhat[i] = (x[i] - mean) * inv_std; out[i] = fma(gamma, xhat[i], beta).
+void KernelBnNormalize(int64_t n, float mean, float inv_std, float gamma,
+                       float beta, const float* x, float* xhat, float* out);
+
+/// Training-mode dx, computed in double like the historical scalar path:
+///   t = (double)dy[i] - mean_dy
+///   t = fma(-(double)xhat[i], mean_dy_xhat, t)
+///   dx[i] = (float)((double)coeff * t)
+void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
+                        double mean_dy_xhat, const float* dy,
+                        const float* xhat, float* dx);
+
+// ---------------------------------------------------------------------------
+// Softmax cross-entropy row kernel.
+// ---------------------------------------------------------------------------
+
+/// Converts one logits row (length `classes`) in place into the scaled
+/// gradient (softmax(row) - onehot(label)) * inv_n, returning the row's
+/// -log(p_label) in `loss` and whether argmax(row) == label in `correct`.
+/// exp/max/sum run in shared scalar code (std::exp has no bit-stable vector
+/// form); only the final elementwise scale is vectorized, so the kernel is
+/// backend-invariant by construction.
+void KernelSoftmaxXentRow(int64_t classes, int label, float inv_n, float* row,
+                          double* loss, bool* correct);
+
+// ---------------------------------------------------------------------------
+// Scalar verification oracles: plain-C++ restatements of the definitions
+// above (no intrinsics, no pool). The production kernels must match these
+// bit for bit in every build; see tests/kernels_test.cc.
+// ---------------------------------------------------------------------------
+
+void KernelAxpyReference(int64_t n, float alpha, const float* x, float* y);
+void KernelSubReference(int64_t n, const float* a, const float* b, float* out);
+void KernelSgdMomentumStepReference(int64_t n, float lr, float momentum,
+                                    float weight_decay, float* w,
+                                    const float* g, float* v);
+void KernelReluForwardReference(int64_t n, const float* x, float* out,
+                                uint8_t* mask);
+void KernelReluBackwardReference(int64_t n, const float* gout,
+                                 const uint8_t* mask, float* gin);
+void KernelSumSqReference(int64_t n, const float* x, double* sum,
+                          double* sum_sq);
+void KernelDySumsReference(int64_t n, const float* dy, const float* xhat,
+                           double* sum_dy, double* sum_dy_xhat);
+void KernelBnNormalizeReference(int64_t n, float mean, float inv_std,
+                                float gamma, float beta, const float* x,
+                                float* xhat, float* out);
+void KernelBnBackwardDxReference(int64_t n, float coeff, double mean_dy,
+                                 double mean_dy_xhat, const float* dy,
+                                 const float* xhat, float* dx);
+
+}  // namespace niid
+
+#endif  // NIID_TENSOR_KERNELS_H_

@@ -10,12 +10,13 @@
 namespace niid {
 namespace {
 
-// Resets `out` to shape [rows, cols], reusing storage when possible. The
-// contents are left stale: the GEMM engine overwrites every element (and
-// zero-fills when k == 0), so no defensive Fill is needed.
+// Resets `out` to shape [rows, cols], reusing the existing buffer (even
+// across shape changes, e.g. a smaller final batch) as long as its capacity
+// suffices. The contents are left stale: the GEMM engine overwrites every
+// element (and zero-fills when k == 0), so no defensive Fill is needed.
 void PrepareOutput(Tensor& out, int64_t rows, int64_t cols) {
   if (out.rank() != 2 || out.dim(0) != rows || out.dim(1) != cols) {
-    out = Tensor({rows, cols});
+    out.Resize({rows, cols});
   }
 }
 
@@ -128,7 +129,7 @@ void AddRowBias(Tensor& matrix, const Tensor& bias, ThreadPool* pool) {
 void SumRows(const Tensor& matrix, Tensor& out, ThreadPool* pool) {
   NIID_CHECK_EQ(matrix.rank(), 2);
   const int64_t m = matrix.dim(0), n = matrix.dim(1);
-  if (out.numel() != n) out = Tensor({n});
+  if (out.rank() != 1 || out.numel() != n) out.Resize({n});
   const float* pm = matrix.data();
   float* po = out.data();
   if (pool != nullptr && m * n >= kRowOpParallelThreshold) {
@@ -168,7 +169,7 @@ void Im2Col(const Tensor& input, int kernel, int stride, int padding,
   const int64_t cols = c * kernel * kernel;
   if (columns.rank() != 2 || columns.dim(0) != rows ||
       columns.dim(1) != cols) {
-    columns = Tensor({rows, cols});
+    columns.Resize({rows, cols});
   }
   const float* src = input.data();
   float* dst = columns.data();
@@ -210,10 +211,9 @@ void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
   if (grad_input.rank() != 4 || grad_input.dim(0) != n ||
       grad_input.dim(1) != c || grad_input.dim(2) != h ||
       grad_input.dim(3) != w) {
-    grad_input = Tensor({n, c, h, w});
-  } else {
-    grad_input.Fill(0.f);
+    grad_input.Resize({n, c, h, w});
   }
+  grad_input.Fill(0.f);
   const float* src = columns.data();
   float* dst = grad_input.data();
   // Each image scatters only into its own [c, h, w] planes.

@@ -1,9 +1,22 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace niid {
+namespace {
+
+// Counts float-buffer growths across all Tensors; see AllocationCount().
+std::atomic<int64_t> tensor_allocations{0};
+
+void NoteAllocation() {
+  tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 int64_t NumElements(const std::vector<int64_t>& shape) {
   if (shape.empty()) return 0;
@@ -15,9 +28,27 @@ int64_t NumElements(const std::vector<int64_t>& shape) {
   return n;
 }
 
+int64_t Tensor::AllocationCount() {
+  return tensor_allocations.load(std::memory_order_relaxed);
+}
+
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
-      data_(static_cast<size_t>(NumElements(shape_)), 0.f) {}
+      data_(static_cast<size_t>(NumElements(shape_)), 0.f) {
+  if (!data_.empty()) NoteAllocation();
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+  if (!data_.empty()) NoteAllocation();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (other.data_.size() > data_.capacity()) NoteAllocation();
+  shape_ = other.shape_;  // vector assignment reuses capacity when possible
+  data_ = other.data_;
+  return *this;
+}
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   Tensor t(std::move(shape));
@@ -60,6 +91,13 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   return t;
 }
 
+void Tensor::Resize(const std::vector<int64_t>& new_shape) {
+  const int64_t n = NumElements(new_shape);
+  if (static_cast<size_t>(n) > data_.capacity()) NoteAllocation();
+  shape_.assign(new_shape.begin(), new_shape.end());
+  data_.resize(static_cast<size_t>(n));
+}
+
 int64_t Tensor::dim(int d) const {
   if (d < 0) d += rank();
   NIID_CHECK_GE(d, 0);
@@ -73,11 +111,12 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
+  if (!t.data_.empty()) NoteAllocation();
   return t;
 }
 
 void Tensor::Fill(float value) {
-  for (float& v : data_) v = value;
+  KernelFill(numel(), value, data());
 }
 
 void Tensor::SetRow(int64_t i, const float* row) {
@@ -97,36 +136,32 @@ std::vector<float> Tensor::Row(int64_t i) const {
 
 void Tensor::Add(const Tensor& other) {
   NIID_CHECK_EQ(numel(), other.numel());
-  const float* src = other.data();
-  for (int64_t i = 0; i < numel(); ++i) data_[i] += src[i];
+  // fma(1, x, y) rounds once to x + y, so Axpy with alpha = 1 is exact +=.
+  KernelAxpy(numel(), 1.f, other.data(), data());
 }
 
 void Tensor::Sub(const Tensor& other) {
   NIID_CHECK_EQ(numel(), other.numel());
-  const float* src = other.data();
-  for (int64_t i = 0; i < numel(); ++i) data_[i] -= src[i];
+  KernelSub(numel(), data(), other.data(), data());
 }
 
 void Tensor::Scale(float factor) {
-  for (float& v : data_) v *= factor;
+  KernelScale(numel(), factor, data());
 }
 
 void Tensor::Axpy(float alpha, const Tensor& x) {
   NIID_CHECK_EQ(numel(), x.numel());
-  const float* src = x.data();
-  for (int64_t i = 0; i < numel(); ++i) data_[i] += alpha * src[i];
+  KernelAxpy(numel(), alpha, x.data(), data());
 }
 
 double Tensor::Sum() const {
-  double sum = 0.0;
-  for (float v : data_) sum += v;
-  return sum;
+  return KernelSum(numel(), data());
 }
 
 double Tensor::Norm() const {
-  double sum = 0.0;
-  for (float v : data_) sum += static_cast<double>(v) * v;
-  return std::sqrt(sum);
+  double sum = 0.0, sum_sq = 0.0;
+  KernelSumSq(numel(), data(), &sum, &sum_sq);
+  return std::sqrt(sum_sq);
 }
 
 std::string Tensor::ShapeString() const {

@@ -28,6 +28,13 @@ class Tensor {
   Tensor(std::initializer_list<int64_t> shape)
       : Tensor(std::vector<int64_t>(shape)) {}
 
+  // Copies are written out by hand (instead of defaulted) so buffer growth
+  // can feed the allocation counter below; moves never allocate.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+
   /// Factory: tensor of the given shape filled with `value`.
   static Tensor Full(std::vector<int64_t> shape, float value);
   /// Factory: zeros / ones.
@@ -88,6 +95,19 @@ class Tensor {
   /// Returns a tensor with the same data and a new shape (numel must match).
   Tensor Reshape(std::vector<int64_t> new_shape) const;
 
+  /// Reshapes in place, reusing the existing buffer whenever its capacity
+  /// suffices — the zero-allocation workhorse for per-layer scratch that
+  /// oscillates between full and partial batch shapes. Growing beyond
+  /// capacity reallocates (counted); elements beyond the old numel are
+  /// zero-initialized, existing elements are preserved.
+  void Resize(const std::vector<int64_t>& new_shape);
+
+  /// Number of float-buffer growths since process start, across all Tensors.
+  /// The zero-allocation regression test asserts this stays flat across
+  /// steady-state training steps; always compiled (one relaxed atomic
+  /// increment per growth, which is by design rare).
+  static int64_t AllocationCount();
+
   /// Sets every element to `value`.
   void Fill(float value);
 
@@ -121,6 +141,21 @@ class Tensor {
 
 /// Returns the product of `shape`'s entries (0 for rank-0).
 int64_t NumElements(const std::vector<int64_t>& shape);
+
+/// Allocation-free shape predicates for hot-path "does the scratch already
+/// have this shape?" checks (comparing against a braced std::vector would
+/// heap-allocate the temporary every step).
+inline bool ShapeIs(const Tensor& t, int64_t d0) {
+  return t.rank() == 1 && t.shape()[0] == d0;
+}
+inline bool ShapeIs(const Tensor& t, int64_t d0, int64_t d1) {
+  return t.rank() == 2 && t.shape()[0] == d0 && t.shape()[1] == d1;
+}
+inline bool ShapeIs(const Tensor& t, int64_t d0, int64_t d1, int64_t d2,
+                    int64_t d3) {
+  return t.rank() == 4 && t.shape()[0] == d0 && t.shape()[1] == d1 &&
+         t.shape()[2] == d2 && t.shape()[3] == d3;
+}
 
 }  // namespace niid
 

@@ -63,10 +63,12 @@ class CheckFailure {
 #define NIID_DCHECK(condition) NIID_CHECK(true)
 #define NIID_DCHECK_EQ(a, b) NIID_CHECK(true)
 #define NIID_DCHECK_LT(a, b) NIID_CHECK(true)
+#define NIID_DCHECK_GE(a, b) NIID_CHECK(true)
 #else
 #define NIID_DCHECK(condition) NIID_CHECK(condition)
 #define NIID_DCHECK_EQ(a, b) NIID_CHECK_EQ(a, b)
 #define NIID_DCHECK_LT(a, b) NIID_CHECK_LT(a, b)
+#define NIID_DCHECK_GE(a, b) NIID_CHECK_GE(a, b)
 #endif
 
 #endif  // NIID_UTIL_CHECK_H_

@@ -85,14 +85,10 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, int64_t n,
-                 const std::function<void(int64_t)>& body) {
-  if (n <= 0) return;
-  if (pool == nullptr || pool->num_threads() == 1 || n == 1 ||
-      pool->IsWorkerThread()) {
-    for (int64_t i = 0; i < n; ++i) body(i);
-    return;
-  }
+namespace internal {
+
+void ParallelForChunked(ThreadPool* pool, int64_t n,
+                        const std::function<void(int64_t, int64_t)>& range) {
   // A handful of chunks per worker balances load without paying one queue
   // round-trip (and, under TSan, one shadow allocation) per index.
   const int64_t max_chunks = static_cast<int64_t>(pool->num_threads()) * 4;
@@ -100,11 +96,11 @@ void ParallelFor(ThreadPool* pool, int64_t n,
   const int64_t chunk = (n + num_chunks - 1) / num_chunks;
   for (int64_t begin = 0; begin < n; begin += chunk) {
     const int64_t end = std::min<int64_t>(begin + chunk, n);
-    pool->Schedule([&body, begin, end] {
-      for (int64_t i = begin; i < end; ++i) body(i);
-    });
+    pool->Schedule([&range, begin, end] { range(begin, end); });
   }
   pool->Wait();
 }
+
+}  // namespace internal
 
 }  // namespace niid

@@ -58,6 +58,16 @@ class ThreadPool {
   std::exception_ptr first_error_; // guarded by mutex_
 };
 
+namespace internal {
+
+/// Pool-only backend for ParallelFor: splits [0, n) into contiguous chunks
+/// (a few per worker), schedules each as one task and waits. Callers must
+/// have already handled the serial cases.
+void ParallelForChunked(ThreadPool* pool, int64_t n,
+                        const std::function<void(int64_t, int64_t)>& range);
+
+}  // namespace internal
+
 /// Runs body(i) for i in [0, n) across the pool and waits for completion.
 /// Work is scheduled in contiguous chunks (a few per worker) rather than one
 /// task per index, so the per-task overhead stays constant as n grows. With a
@@ -70,8 +80,22 @@ class ThreadPool {
 /// thread (a nested Wait() would otherwise block on the caller's own task).
 /// This is what lets the GEMM engine accept the same pool the federated
 /// server uses for client-level parallelism.
-void ParallelFor(ThreadPool* pool, int64_t n,
-                 const std::function<void(int64_t)>& body);
+///
+/// A template so the serial path never materializes a std::function: with a
+/// null pool the call is a plain inlined loop with zero heap traffic, which
+/// the zero-allocation training-step guarantee (DESIGN.md §8) relies on.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, int64_t n, const Body& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() == 1 || n == 1 ||
+      pool->IsWorkerThread()) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  internal::ParallelForChunked(pool, n, [&body](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+  });
+}
 
 }  // namespace niid
 

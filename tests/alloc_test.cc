@@ -1,0 +1,201 @@
+// Steady-state allocation regression tests (DESIGN.md §8, allocation policy).
+//
+// After a one-step warmup that sizes every scratch buffer, a training step —
+// gather, forward, loss, backward, optimizer step — must perform ZERO heap
+// allocations, for each of the paper's model families. Two independent
+// detectors enforce this:
+//   * a global operator new/delete override counting every heap allocation
+//     on this thread (the models run without a compute pool here), and
+//   * Tensor::AllocationCount(), the tensor layer's own buffer-growth
+//     counter, which also guards the pooled path where worker-queue nodes
+//     would otherwise hide tensor regressions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <numeric>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/models/factory.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/parameters.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<int64_t> g_heap_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+// The replaced operator new allocates with std::malloc, so std::free in the
+// replaced operator delete is the matching deallocator; GCC's pairing
+// heuristic cannot see through the replacement and warns spuriously.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t) {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t) {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace niid {
+namespace {
+
+struct StepHarness {
+  Dataset data;
+  std::unique_ptr<Module> model;
+  std::unique_ptr<SgdOptimizer> optimizer;
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  std::vector<int64_t> indices;
+  LossResult loss;
+
+  void RunStep(int64_t start, int64_t batch_size) {
+    const int64_t count = std::min<int64_t>(batch_size, data.size() - start);
+    indices.resize(count);
+    std::iota(indices.begin(), indices.end(), start);
+    GatherBatchInto(data, indices, batch_x, batch_y);
+    optimizer->ZeroGrads();
+    const Tensor& logits = model->Forward(batch_x);
+    SoftmaxCrossEntropyInto(logits, batch_y, loss);
+    model->Backward(loss.grad_logits);
+    optimizer->Step();
+  }
+};
+
+StepHarness MakeImageHarness(const ModelSpec& spec, int64_t train_size) {
+  StepHarness h;
+  SyntheticImageConfig config;
+  config.channels = spec.input_channels;
+  config.height = spec.input_height;
+  config.width = spec.input_width;
+  config.num_classes = spec.num_classes;
+  config.train_size = train_size;
+  config.test_size = 1;
+  config.seed = 77;
+  h.data = MakeSyntheticImages(config).train;
+  Rng rng(7);
+  h.model = CreateModel(spec, rng);
+  h.model->SetTraining(true);
+  h.optimizer = std::make_unique<SgdOptimizer>(*h.model, 0.01f);
+  return h;
+}
+
+void ExpectZeroAllocSteadyState(StepHarness& h, int64_t batch_size) {
+  // Warmup: first step sizes all scratch (allocations expected and fine).
+  h.RunStep(/*start=*/0, batch_size);
+
+  const int64_t tensor_allocs_before = Tensor::AllocationCount();
+  g_heap_allocs.store(0);
+  g_counting.store(true);
+  // Several steady-state steps over different samples, same batch shape.
+  h.RunStep(0, batch_size);
+  h.RunStep(batch_size, batch_size);
+  h.RunStep(0, batch_size);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_heap_allocs.load(), 0)
+      << "steady-state training step hit the heap";
+  EXPECT_EQ(Tensor::AllocationCount(), tensor_allocs_before)
+      << "steady-state training step grew a Tensor buffer";
+}
+
+TEST(AllocTest, SimpleCnnStepIsZeroAlloc) {
+  ModelSpec spec;
+  spec.name = "simple-cnn";
+  spec.input_channels = 3;
+  spec.input_height = 16;
+  spec.input_width = 16;
+  spec.num_classes = 10;
+  StepHarness h = MakeImageHarness(spec, /*train_size=*/32);
+  ExpectZeroAllocSteadyState(h, /*batch_size=*/8);
+}
+
+TEST(AllocTest, TabularMlpStepIsZeroAlloc) {
+  StepHarness h;
+  SyntheticTabularConfig config;
+  config.num_features = 32;
+  config.train_size = 64;
+  config.test_size = 1;
+  config.seed = 78;
+  h.data = MakeSyntheticTabular(config).train;
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 32;
+  spec.num_classes = 2;
+  Rng rng(8);
+  h.model = CreateModel(spec, rng);
+  h.model->SetTraining(true);
+  h.optimizer = std::make_unique<SgdOptimizer>(*h.model, 0.01f);
+  ExpectZeroAllocSteadyState(h, /*batch_size=*/16);
+}
+
+TEST(AllocTest, ResNetStepIsZeroAlloc) {
+  ModelSpec spec;
+  spec.name = "resnet";
+  spec.input_channels = 3;
+  spec.input_height = 16;
+  spec.input_width = 16;
+  spec.num_classes = 10;
+  spec.resnet_blocks_per_stage = 1;
+  StepHarness h = MakeImageHarness(spec, /*train_size=*/16);
+  ExpectZeroAllocSteadyState(h, /*batch_size=*/4);
+}
+
+// The tensor-layer counter itself: growth is counted, reuse is not.
+TEST(AllocTest, TensorAllocationCounterSemantics) {
+  const int64_t before = Tensor::AllocationCount();
+  Tensor t({4, 4});
+  EXPECT_EQ(Tensor::AllocationCount(), before + 1);
+  t.Resize({2, 8});  // same numel: reuse
+  EXPECT_EQ(Tensor::AllocationCount(), before + 1);
+  t.Resize({2, 2});  // shrink: reuse
+  EXPECT_EQ(Tensor::AllocationCount(), before + 1);
+  t.Resize({8, 8});  // grow: counts
+  EXPECT_EQ(Tensor::AllocationCount(), before + 2);
+  t.Resize({4, 4});  // shrink back into capacity: reuse
+  EXPECT_EQ(Tensor::AllocationCount(), before + 2);
+}
+
+}  // namespace
+}  // namespace niid

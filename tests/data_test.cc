@@ -63,6 +63,54 @@ TEST(DatasetTest, GatherBatchShapes) {
   EXPECT_EQ(y, (std::vector<int>{1, 1, 1}));
 }
 
+TEST(DatasetTest, GatherBatchIntoReusesBuffers) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({6, 1, 4, 4});
+  for (int64_t i = 0; i < d.features.numel(); ++i) {
+    d.features.data()[i] = static_cast<float>(i);
+  }
+  d.labels = {0, 1, 0, 1, 0, 1};
+
+  Tensor x;
+  std::vector<int> y;
+  GatherBatchInto(d, {1, 3, 5}, x, y);
+  EXPECT_EQ(x.shape(), (std::vector<int64_t>{3, 1, 4, 4}));
+  EXPECT_EQ(y, (std::vector<int>{1, 1, 1}));
+  EXPECT_FLOAT_EQ(x.data()[0], 16.f);  // row 1 starts at element 16
+
+  // Same batch shape: buffers must be reused, not regrown.
+  const int64_t allocs = Tensor::AllocationCount();
+  GatherBatchInto(d, {0, 2, 4}, x, y);
+  EXPECT_EQ(Tensor::AllocationCount(), allocs);
+  EXPECT_EQ(y, (std::vector<int>{0, 0, 0}));
+  EXPECT_FLOAT_EQ(x.data()[0], 0.f);
+
+  // Smaller final batch: shape changes, contents follow.
+  GatherBatchInto(d, {5}, x, y);
+  EXPECT_EQ(x.shape(), (std::vector<int64_t>{1, 1, 4, 4}));
+  EXPECT_EQ(y, (std::vector<int>{1}));
+  EXPECT_FLOAT_EQ(x.data()[0], 80.f);
+}
+
+#ifndef NDEBUG
+TEST(DatasetDeathTest, GatherBatchRejectsNegativeIndex) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({4, 2});
+  d.labels = {0, 1, 0, 1};
+  EXPECT_DEATH(GatherBatch(d, {-1}), "CHECK failed");
+}
+
+TEST(DatasetDeathTest, GatherBatchRejectsOutOfRangeIndex) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor::Zeros({4, 2});
+  d.labels = {0, 1, 0, 1};
+  EXPECT_DEATH(GatherBatch(d, {4}), "CHECK failed");
+}
+#endif  // NDEBUG
+
 TEST(DatasetTest, ValidateAcceptsGoodData) {
   ValidateDataset(TinyDataset());  // must not abort
 }

@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Run the GEMM micro-benchmarks and emit a machine-readable BENCH_gemm.json.
+"""Run a micro-benchmark suite and emit a machine-readable BENCH_*.json.
 
 Usage:
-    tools/bench_json.py [--bench-binary build/bench/bench_micro_engine]
-                        [--output BENCH_gemm.json] [--min-time 0.1]
+    tools/bench_json.py [--suite gemm|step]
+                        [--bench-binary build/bench/bench_micro_engine]
+                        [--output BENCH_<suite>.json] [--min-time 0.1]
 
-Invokes bench_micro_engine with --benchmark_format=json over the GEMM
-benchmarks (BM_Matmul*), converts each entry's items_per_second counter —
+Invokes bench_micro_engine with --benchmark_format=json over the suite's
+benchmarks and derives the headline numbers the engine is judged by.
+
+Suite "gemm" (BM_Matmul*): converts each entry's items_per_second counter —
 which those benchmarks define as floating-point operations per second — into
-GFLOP/s, and derives the two headline speedup ratios the engine is judged by:
+GFLOP/s and reports the two headline speedup ratios:
 
     single_thread_speedup   BM_Matmul/256      vs BM_MatmulNaive/256
     pool4_speedup           BM_MatmulPool/256/4 vs BM_Matmul/256
+
+Suite "step" (BM_Step* + BM_SimpleCnnStep): the zero-allocation training-step
+family, reporting full-step latency/throughput per model and the per-stage
+breakdown of the simple-cnn/CIFAR-10 step. BM_SimpleCnnStep (forward+backward,
+batch 64x1x28x28) predates the kernel layer, so the JSON embeds its measured
+pre-kernel-layer baseline and the resulting speedup ratio.
 
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
@@ -28,18 +37,90 @@ import pathlib
 import subprocess
 import sys
 
-FILTER = "BM_Matmul"
+SUITE_FILTER = {
+    "gemm": "BM_Matmul",
+    "step": "^BM_Step|^BM_SimpleCnnStep",
+}
+
+# BM_SimpleCnnStep measured at the commit immediately before the kernel-layer
+# PR, same container (1 CPU, Release, native GEMM): the denominator of
+# step_speedup_vs_pre_kernel_layer.
+PRE_KERNEL_LAYER_BASELINE = {
+    "benchmark": "BM_SimpleCnnStep",
+    "time_ms": 22.64,
+    "samples_per_second": 2970.0,
+}
+
+
+def gemm_summary(entries: dict) -> dict:
+    def ratio(numerator: str, denominator: str):
+        a = entries.get(numerator, {}).get("gflops")
+        b = entries.get(denominator, {}).get("gflops")
+        return a / b if a and b else None
+
+    return {
+        "single_thread_speedup": ratio("BM_Matmul/256", "BM_MatmulNaive/256"),
+        "pool4_speedup": ratio("BM_MatmulPool/256/4", "BM_Matmul/256"),
+        "naive_256_gflops": entries.get("BM_MatmulNaive/256", {}).get("gflops"),
+        "engine_256_gflops": entries.get("BM_Matmul/256", {}).get("gflops"),
+        "engine_256_pool4_gflops": entries.get("BM_MatmulPool/256/4", {}).get(
+            "gflops"
+        ),
+    }
+
+
+def step_summary(entries: dict) -> dict:
+    def ms(name: str):
+        t = entries.get(name, {}).get("time_ns")
+        return t / 1e6 if t is not None else None
+
+    legacy_ms = ms("BM_SimpleCnnStep")
+    baseline_ms = PRE_KERNEL_LAYER_BASELINE["time_ms"]
+    summary = {
+        "simple_cnn_mnist_fwd_bwd_ms": legacy_ms,
+        "pre_kernel_layer_baseline": PRE_KERNEL_LAYER_BASELINE,
+        "step_speedup_vs_pre_kernel_layer": (
+            baseline_ms / legacy_ms if legacy_ms else None
+        ),
+        "simple_cnn_cifar_step_ms": ms("BM_StepFullSimpleCnn"),
+        "tabular_mlp_step_ms": ms("BM_StepFullTabularMlp"),
+        "resnet_step_ms": ms("BM_StepFullResNet"),
+        "breakdown_simple_cnn_cifar_ms": {
+            "gather": ms("BM_StepGather"),
+            "zero_grads": ms("BM_StepZeroGrads"),
+            "forward": ms("BM_StepForward"),
+            "loss": ms("BM_StepLoss"),
+            "backward": ms("BM_StepBackward"),
+            "optimizer": ms("BM_StepOptimizer"),
+            "delta": ms("BM_StepDelta"),
+        },
+    }
+    for name in ("BM_StepFullSimpleCnn", "BM_StepFullTabularMlp",
+                 "BM_StepFullResNet", "BM_SimpleCnnStep"):
+        items = entries.get(name, {}).get("items_per_second")
+        if items is not None:
+            key = name.removeprefix("BM_") + "_samples_per_second"
+            summary[key] = items
+    return summary
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITE_FILTER),
+        default="gemm",
+        help="which benchmark family to run",
+    )
     parser.add_argument(
         "--bench-binary",
         default="build/bench/bench_micro_engine",
         help="path to the bench_micro_engine executable",
     )
     parser.add_argument(
-        "--output", default="BENCH_gemm.json", help="where to write the JSON"
+        "--output",
+        default=None,
+        help="where to write the JSON (default BENCH_<suite>.json)",
     )
     parser.add_argument(
         "--min-time",
@@ -48,6 +129,7 @@ def main() -> int:
         "the pinned google-benchmark predates the '0.1s' suffix syntax)",
     )
     args = parser.parse_args()
+    output_path = args.output or f"BENCH_{args.suite}.json"
 
     binary = pathlib.Path(args.bench_binary)
     if not binary.exists():
@@ -57,7 +139,7 @@ def main() -> int:
     result = subprocess.run(
         [
             str(binary),
-            f"--benchmark_filter={FILTER}",
+            f"--benchmark_filter={SUITE_FILTER[args.suite]}",
             f"--benchmark_min_time={args.min_time}",
             "--benchmark_format=json",
         ],
@@ -77,36 +159,28 @@ def main() -> int:
             "iterations": bench.get("iterations"),
         }
         if "items_per_second" in bench:
-            entry["gflops"] = bench["items_per_second"] / 1e9
+            entry["items_per_second"] = bench["items_per_second"]
+            if args.suite == "gemm":
+                entry["gflops"] = bench["items_per_second"] / 1e9
         entries[name] = entry
     if not entries:
-        print("no GEMM benchmarks matched", file=sys.stderr)
+        print(f"no {args.suite} benchmarks matched", file=sys.stderr)
         return 1
 
-    def ratio(numerator: str, denominator: str):
-        a = entries.get(numerator, {}).get("gflops")
-        b = entries.get(denominator, {}).get("gflops")
-        return a / b if a and b else None
-
-    summary = {
-        "single_thread_speedup": ratio("BM_Matmul/256", "BM_MatmulNaive/256"),
-        "pool4_speedup": ratio("BM_MatmulPool/256/4", "BM_Matmul/256"),
-        "naive_256_gflops": entries.get("BM_MatmulNaive/256", {}).get("gflops"),
-        "engine_256_gflops": entries.get("BM_Matmul/256", {}).get("gflops"),
-        "engine_256_pool4_gflops": entries.get("BM_MatmulPool/256/4", {}).get(
-            "gflops"
-        ),
-    }
+    summary = (
+        gemm_summary(entries) if args.suite == "gemm" else step_summary(entries)
+    )
 
     output = {
+        "suite": args.suite,
         "context": report.get("context", {}),
         "summary": summary,
         "benchmarks": entries,
     }
-    pathlib.Path(args.output).write_text(json.dumps(output, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    pathlib.Path(output_path).write_text(json.dumps(output, indent=2) + "\n")
+    print(f"wrote {output_path}")
     for key, value in summary.items():
-        if value is not None:
+        if isinstance(value, float):
             print(f"  {key}: {value:.2f}")
     return 0
 
