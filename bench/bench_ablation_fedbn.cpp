@@ -53,11 +53,12 @@ int main(int argc, char** argv) {
       if (average) {
         curve.values.push_back(server->EvaluateGlobal(test).accuracy);
       } else {
-        // Personalized evaluation: each party's model = the weights it just
-        // trained + its own BatchNorm statistics.
+        // Personalized evaluation, the standard FedBN protocol: each party's
+        // model = the global trainable weights + its own BatchNorm
+        // statistics.
         double sum = 0.0;
         for (int i = 0; i < server->num_clients(); ++i) {
-          sum += niid::Evaluate(server->client(i).model(), test).accuracy;
+          sum += server->EvaluatePersonalized(i, test).accuracy;
         }
         curve.values.push_back(sum / server->num_clients());
       }
@@ -75,7 +76,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nNOTE: the two arms answer different questions — average-BN "
                "scores one global model (the paper's Finding 7 setting); "
-               "keep-local-BN scores personalized party models, which is "
-               "what FedBN-style aggregation is for (Section 6.2).\n";
+               "keep-local-BN scores personalized party models (global "
+               "trainables + each party's own BatchNorm statistics), which "
+               "is what FedBN-style aggregation is for (Section 6.2).\n";
+  niid::bench::PrintResourceFootprint(std::cout);
   return 0;
 }

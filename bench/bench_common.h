@@ -17,8 +17,13 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/experiment.h"
 #include "core/runner.h"
+#include "fl/workspace.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -87,6 +92,32 @@ inline std::vector<std::string> SplitCsvFlag(const std::string& value) {
   return SplitCommaList(value);
 }
 
+/// Peak resident set size of this process in MiB (0 when the platform does
+/// not expose it).
+inline double PeakRssMb() {
+#if defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+/// The resource-footprint summary line: process peak RSS plus the number of
+/// model replicas currently alive in workspace pools (the worker-workspace
+/// engine keeps this at num_threads per live server, independent of party
+/// count).
+inline void PrintResourceFootprint(std::ostream& out) {
+  out << "resources: peak_rss_mb=" << PeakRssMb()
+      << " live_model_replicas=" << LiveModelReplicaCount() << "\n";
+}
+
 /// Prints the standard bench banner.
 inline void Banner(const std::string& what, const ExperimentConfig& config) {
   std::cout << "== " << what << " ==\n"
@@ -95,6 +126,7 @@ inline void Banner(const std::string& what, const ExperimentConfig& config) {
             << " batch=" << config.local.batch_size
             << " parties=" << config.partition.num_parties
             << " trials=" << config.trials
+            << " threads=" << config.num_threads
             << " size_factor=" << config.catalog.size_factor << "\n"
             << "(pass --paper_scale for the paper's full protocol; "
                "--rounds/--epochs/--size_factor to rescale)\n\n";

@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  niid::bench::PrintResourceFootprint(std::cout);
   return 0;
 }

@@ -6,10 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
+#include "bench_common.h"
 #include "data/synthetic.h"
+#include "fl/client.h"
 #include "fl/fedavg.h"
+#include "fl/server.h"
+#include "fl/workspace.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -454,6 +459,90 @@ void BM_SyntheticImageGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyntheticImageGeneration);
+
+// ------------------------------------------------------------ round suite
+// End-to-end round latency and pooled-evaluation latency on the
+// worker-workspace engine. Every benchmark exports the peak_rss_mb and
+// live_model_replicas counters, so tools/bench_json.py --suite round turns
+// these into BENCH_round.json and CI can watch both the latency and the
+// O(threads)-replica memory claim.
+
+struct RoundBench {
+  std::unique_ptr<FederatedServer> server;
+  Dataset test;
+  LocalTrainOptions options;
+};
+
+RoundBench MakeRoundBench(int parties, double fraction, int threads) {
+  RoundBench rb;
+  SyntheticTabularConfig config;
+  config.num_features = 32;
+  config.train_size = static_cast<int64_t>(parties) * 64;
+  config.test_size = 512;
+  config.seed = 17;
+  const FederatedDataset fd = MakeSyntheticTabular(config);
+  rb.test = fd.test;
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 32;
+  spec.num_classes = 2;
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(parties);
+  for (int i = 0; i < parties; ++i) {
+    std::vector<int64_t> shard(64);
+    std::iota(shard.begin(), shard.end(), static_cast<int64_t>(i) * 64);
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(fd.train, shard), Rng(100 + i)));
+  }
+  ServerConfig server_config;
+  server_config.sample_fraction = fraction;
+  server_config.seed = 5;
+  server_config.num_threads = threads;
+  rb.server = std::make_unique<FederatedServer>(
+      MakeModelFactory(spec), std::move(clients),
+      std::make_unique<FedAvg>(AlgorithmConfig{}), server_config);
+  rb.options.local_epochs = 1;
+  rb.options.batch_size = 16;
+  rb.options.learning_rate = 0.05f;
+  return rb;
+}
+
+void SetFootprintCounters(benchmark::State& state) {
+  state.counters["peak_rss_mb"] = bench::PeakRssMb();
+  state.counters["live_model_replicas"] =
+      static_cast<double>(LiveModelReplicaCount());
+}
+
+// range(0) = parties, range(1) = threads. The 100-party shapes sample 10% of
+// parties per round, the paper's Figure 12 scalability setting.
+void BM_RoundFedAvg(benchmark::State& state) {
+  const int parties = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  RoundBench rb = MakeRoundBench(parties, parties >= 100 ? 0.1 : 1.0, threads);
+  for (auto _ : state) {
+    const RoundStats stats = rb.server->RunRound(rb.options);
+    benchmark::DoNotOptimize(stats.mean_local_loss);
+  }
+  SetFootprintCounters(state);
+}
+BENCHMARK(BM_RoundFedAvg)
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->UseRealTime();
+
+// range(0) = threads; 512 test samples in batches of 64 = 8 batch slots.
+void BM_EvalGlobal(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  RoundBench rb = MakeRoundBench(/*parties=*/10, /*fraction=*/1.0, threads);
+  for (auto _ : state) {
+    const EvalResult result = rb.server->EvaluateGlobal(rb.test, 64);
+    benchmark::DoNotOptimize(result.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * rb.test.size());  // samples/s
+  SetFootprintCounters(state);
+}
+BENCHMARK(BM_EvalGlobal)->Arg(1)->Arg(2)->UseRealTime();
 
 }  // namespace
 }  // namespace niid

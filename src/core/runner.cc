@@ -70,8 +70,8 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
     Rng client_rng = setup_rng.Split();
     Dataset local =
         MaterializeClientDataset(data.train, partition, i, client_rng);
-    clients.push_back(std::make_unique<Client>(i, std::move(local), factory,
-                                               client_rng.Split()));
+    clients.push_back(
+        std::make_unique<Client>(i, std::move(local), client_rng.Split()));
   }
 
   auto algorithm_or = CreateAlgorithm(config.algorithm, config.algo);

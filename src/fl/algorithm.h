@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fl/client.h"
+#include "fl/workspace.h"
 #include "nn/parameters.h"
 #include "util/status.h"
 
@@ -44,7 +45,9 @@ struct AlgorithmConfig {
 ///
 /// Thread-safety contract: RunClient may be called concurrently for
 /// *different* clients within one round; any per-client state must live in
-/// per-client slots. Initialize and Aggregate are called serially.
+/// per-client slots, and any per-call scratch in the caller-owned
+/// TrainContext (each concurrent call holds a distinct context). Initialize
+/// and Aggregate are called serially.
 class FlAlgorithm {
  public:
   virtual ~FlAlgorithm() = default;
@@ -57,8 +60,11 @@ class FlAlgorithm {
     (void)state_size;
   }
 
-  /// Runs local training for one (sampled) party.
-  virtual LocalUpdate RunClient(Client& client, const StateVector& global,
+  /// Runs local training for one (sampled) party inside the checked-out
+  /// workspace `ctx` (exclusively the caller's for the duration of the
+  /// call).
+  virtual LocalUpdate RunClient(Client& client, TrainContext& ctx,
+                                const StateVector& global,
                                 const LocalTrainOptions& options) = 0;
 
   /// Folds this round's updates into `global` (Algorithm 1 line 9/10).

@@ -3,106 +3,124 @@
 #include <algorithm>
 #include <numeric>
 
+#include "nn/loss.h"
 #include "util/check.h"
 
 namespace niid {
 
-Client::Client(int id, Dataset data, const ModelFactory& factory,
-               Rng init_rng)
+Client::Client(int id, Dataset data, Rng init_rng)
     : id_(id), data_(std::move(data)), rng_(init_rng.Split()) {
-  model_ = factory(init_rng);
   NIID_CHECK_GT(data_.size(), 0) << "client " << id << " has no data";
-  layout_ = StateLayout(*model_);
 }
 
-LocalUpdate Client::Train(const StateVector& global_state,
+void Client::LoadPersonalState(Module& model,
+                               const std::vector<StateSegment>& layout,
+                               const StateVector& global) const {
+  if (buffer_state_.empty()) {
+    // No local statistics yet: global buffers equal fresh-initialization
+    // values under keep_local_buffers aggregation (buffer segments are never
+    // averaged), so a full load reproduces a newly constructed private model.
+    LoadState(model, global);
+    return;
+  }
+  LoadTrainableState(model, layout, global);
+  LoadBufferState(model, layout, buffer_state_);
+}
+
+LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
                           const LocalTrainOptions& options,
                           const GradHook& grad_hook) {
   NIID_CHECK_GE(options.local_epochs, 1);
   NIID_CHECK_GE(options.batch_size, 1);
 
-  // Receive the global model. With keep_local_buffers (FedBN-style ablation)
-  // the client's own BatchNorm statistics survive the download: only the
-  // trainable segments of the cached layout are overwritten in place.
+  // Receive the global model into the borrowed workspace. With
+  // keep_local_buffers (FedBN-style ablation) the party's own BatchNorm
+  // statistics overlay the download.
   if (options.keep_local_buffers) {
-    LoadTrainableState(*model_, layout_, global_state);
+    LoadPersonalState(*ctx.model, ctx.layout, global_state);
   } else {
-    LoadState(*model_, global_state);
+    LoadState(*ctx.model, global_state);
   }
-  model_->SetTraining(true);
+  ctx.model->SetTraining(true);
 
-  // Momentum does not leak across rounds (fresh-optimizer semantics of the
-  // reference implementation), but the optimizer object — and with it the
-  // velocity storage and cached parameter list — persists across rounds.
-  if (optimizer_ == nullptr) {
-    optimizer_ = std::make_unique<SgdOptimizer>(*model_, options.learning_rate,
-                                                options.momentum,
-                                                options.weight_decay);
+  // Momentum does not leak across rounds or parties (fresh-optimizer
+  // semantics of the reference implementation), but the optimizer object —
+  // and with it the velocity storage and cached parameter list — persists
+  // with the workspace.
+  if (ctx.optimizer == nullptr) {
+    ctx.optimizer = std::make_unique<SgdOptimizer>(
+        *ctx.model, options.learning_rate, options.momentum,
+        options.weight_decay);
   } else {
-    optimizer_->set_learning_rate(options.learning_rate);
-    optimizer_->set_momentum(options.momentum);
-    optimizer_->set_weight_decay(options.weight_decay);
-    optimizer_->ResetMomentum();
+    ctx.optimizer->set_learning_rate(options.learning_rate);
+    ctx.optimizer->set_momentum(options.momentum);
+    ctx.optimizer->set_weight_decay(options.weight_decay);
+    ctx.optimizer->ResetMomentum();
   }
 
   LocalUpdate update;
   update.client_id = id_;
   update.num_samples = data_.size();
 
-  order_.resize(data_.size());
-  std::iota(order_.begin(), order_.end(), 0);
+  ctx.order.resize(data_.size());
+  std::iota(ctx.order.begin(), ctx.order.end(), 0);
   double loss_sum = 0.0;
   for (int epoch = 0; epoch < options.local_epochs; ++epoch) {
-    rng_.Shuffle(order_);
+    rng_.Shuffle(ctx.order);
     for (int64_t start = 0; start < data_.size();
          start += options.batch_size) {
       const int64_t count =
           std::min<int64_t>(options.batch_size, data_.size() - start);
-      batch_indices_.assign(order_.begin() + start,
-                            order_.begin() + start + count);
-      GatherBatchInto(data_, batch_indices_, batch_x_, batch_y_);
-      optimizer_->ZeroGrads();
-      const Tensor& logits = model_->Forward(batch_x_);
-      SoftmaxCrossEntropyInto(logits, batch_y_, loss_);
-      model_->Backward(loss_.grad_logits);
-      if (grad_hook) grad_hook(*model_);
-      optimizer_->Step();
-      loss_sum += loss_.loss;
+      ctx.batch_indices.assign(ctx.order.begin() + start,
+                               ctx.order.begin() + start + count);
+      GatherBatchInto(data_, ctx.batch_indices, ctx.batch_x, ctx.batch_y);
+      ctx.optimizer->ZeroGrads();
+      const Tensor& logits = ctx.model->Forward(ctx.batch_x);
+      SoftmaxCrossEntropyInto(logits, ctx.batch_y, ctx.loss);
+      ctx.model->Backward(ctx.loss.grad_logits);
+      if (grad_hook) grad_hook(*ctx.model);
+      ctx.optimizer->Step();
+      loss_sum += ctx.loss.loss;
       ++update.tau;
     }
   }
   update.average_loss = update.tau > 0 ? loss_sum / update.tau : 0.0;
 
   // Delta w_i = w^t - w_i^t (Algorithm 1, line 22).
-  FlattenStateInto(*model_, local_state_);
-  SubtractInto(global_state, local_state_, update.delta);
+  FlattenStateInto(*ctx.model, ctx.local_state);
+  SubtractInto(global_state, ctx.local_state, update.delta);
+
+  // Park the party's durable statistics before the workspace moves on to
+  // another party.
+  if (options.keep_local_buffers) {
+    SaveBufferState(*ctx.model, ctx.layout, buffer_state_);
+  }
   return update;
 }
 
-StateVector Client::FullBatchGradient(const StateVector& state,
-                                      int batch_size) {
+void Client::FullBatchGradientInto(TrainContext& ctx, const StateVector& state,
+                                   int batch_size, StateVector& out) {
   NIID_CHECK_GE(batch_size, 1);
-  LoadState(*model_, state);
-  const bool was_training = model_->training();
+  LoadState(*ctx.model, state);
+  const bool was_training = ctx.model->training();
   // Use training mode so BatchNorm behaves as it does during local SGD.
-  model_->SetTraining(true);
-  ZeroGrads(*model_);
+  ctx.model->SetTraining(true);
+  for (Parameter* p : ctx.params) p->grad.Fill(0.f);
   const double total = static_cast<double>(data_.size());
   for (int64_t start = 0; start < data_.size(); start += batch_size) {
     const int64_t count = std::min<int64_t>(batch_size, data_.size() - start);
-    batch_indices_.resize(count);
-    std::iota(batch_indices_.begin(), batch_indices_.end(), start);
-    GatherBatchInto(data_, batch_indices_, batch_x_, batch_y_);
-    const Tensor& logits = model_->Forward(batch_x_);
-    SoftmaxCrossEntropyInto(logits, batch_y_, loss_);
+    ctx.batch_indices.resize(count);
+    std::iota(ctx.batch_indices.begin(), ctx.batch_indices.end(), start);
+    GatherBatchInto(data_, ctx.batch_indices, ctx.batch_x, ctx.batch_y);
+    const Tensor& logits = ctx.model->Forward(ctx.batch_x);
+    SoftmaxCrossEntropyInto(logits, ctx.batch_y, ctx.loss);
     // SoftmaxCrossEntropy scales by 1/count; rescale so the accumulated
     // gradient is the dataset mean.
-    loss_.grad_logits.Scale(static_cast<float>(count / total));
-    model_->Backward(loss_.grad_logits);
+    ctx.loss.grad_logits.Scale(static_cast<float>(count / total));
+    ctx.model->Backward(ctx.loss.grad_logits);
   }
-  StateVector grad = GradState(*model_);
-  model_->SetTraining(was_training);
-  return grad;
+  GradStateInto(ctx.params, ctx.layout, out);
+  ctx.model->SetTraining(was_training);
 }
 
 }  // namespace niid

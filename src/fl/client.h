@@ -3,14 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
-#include "nn/loss.h"
-#include "nn/models/factory.h"
+#include "fl/workspace.h"
 #include "nn/module.h"
-#include "nn/optimizer.h"
 #include "nn/parameters.h"
 #include "util/rng.h"
 
@@ -44,13 +41,17 @@ struct LocalUpdate {
   StateVector delta_c;
 };
 
-/// One federated party: owns its local dataset, a private model instance
-/// (architecture identical to the server's) and a private RNG stream.
+/// One federated party. A client owns only what is durably ITS OWN between
+/// rounds: the local dataset, a private RNG stream, and — under FedBN-style
+/// `keep_local_buffers` — its packed BatchNorm buffer segments. Model,
+/// optimizer, and training scratch live in a borrowed TrainContext
+/// (fl/workspace.h), so simulating N parties costs O(num_threads) model
+/// replicas, not O(N).
 class Client {
  public:
-  /// `init_rng` seeds both the throwaway model initialization and the
-  /// client's private shuffling/noise stream.
-  Client(int id, Dataset data, const ModelFactory& factory, Rng init_rng);
+  /// `init_rng` seeds the client's private shuffling/noise stream (one
+  /// Split, matching the historical stream derivation bit-for-bit).
+  Client(int id, Dataset data, Rng init_rng);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -58,49 +59,51 @@ class Client {
   int id() const { return id_; }
   int64_t num_samples() const { return data_.size(); }
   const Dataset& data() const { return data_; }
-  Module& model() { return *model_; }
-
-  /// Borrows `pool` for the model's layer-level GEMMs (see
-  /// Module::SetComputePool). The pool must outlive the client. Results are
-  /// bit-identical with or without a pool, so this is purely a speed knob.
-  void set_compute_pool(ThreadPool* pool) { model_->SetComputePool(pool); }
 
   /// Called after every backward pass and before the SGD step; algorithms
   /// inject their gradient corrections here (FedProx's proximal term,
   /// SCAFFOLD's control variates).
   using GradHook = std::function<void(Module& model)>;
 
-  /// Runs LocalTraining(i, w^t) of Algorithm 1: loads `global_state`, runs
-  /// `options.local_epochs` epochs of mini-batch SGD (invoking `grad_hook`
-  /// if non-null), and returns the resulting update. delta_c is left empty.
-  LocalUpdate Train(const StateVector& global_state,
+  /// Runs LocalTraining(i, w^t) of Algorithm 1 inside `ctx`: loads
+  /// `global_state` (merged with this party's saved buffer segments when
+  /// `options.keep_local_buffers`), runs `options.local_epochs` epochs of
+  /// mini-batch SGD (invoking `grad_hook` if non-null), and returns the
+  /// resulting update; delta_c is left empty. The context's model is fully
+  /// reloaded, so results do not depend on which context the caller hands
+  /// in or on who used it before.
+  LocalUpdate Train(TrainContext& ctx, const StateVector& global_state,
                     const LocalTrainOptions& options,
                     const GradHook& grad_hook = nullptr);
 
-  /// Computes the full-batch gradient of the local loss at `state` (used by
-  /// SCAFFOLD's control-variate option (i)). Returns a state-size vector.
-  StateVector FullBatchGradient(const StateVector& state, int batch_size);
+  /// Computes the full-batch gradient of the local loss at `state` into
+  /// `out` (state-sized; zero at buffer positions), reusing `ctx` scratch —
+  /// zero allocations after first use. Used by SCAFFOLD's control-variate
+  /// option (i) every round, hence the Into form.
+  void FullBatchGradientInto(TrainContext& ctx, const StateVector& state,
+                             int batch_size, StateVector& out);
+
+  /// Installs this party's personalized view of `global` into `model`:
+  /// trainable segments from `global`, buffer segments from the party's
+  /// durable store — or from `global` when the party has not yet trained
+  /// with keep_local_buffers (fresh BatchNorm statistics are deterministic,
+  /// so this matches the historical private-model behavior bit-for-bit).
+  /// `layout` must be StateLayout(model).
+  void LoadPersonalState(Module& model,
+                         const std::vector<StateSegment>& layout,
+                         const StateVector& global) const;
+
+  /// True once the party holds its own BatchNorm buffer segments.
+  bool has_local_buffers() const { return !buffer_state_.empty(); }
 
  private:
   int id_;
   Dataset data_;
-  std::unique_ptr<Module> model_;
   Rng rng_;
-
-  /// Parameter layout of model_, computed once; the parameter list of a
-  /// module is immutable after construction so this never goes stale.
-  std::vector<StateSegment> layout_;
-  /// Persistent optimizer: momentum is reset every round (fresh-optimizer
-  /// semantics) but the velocity storage and cached parameter list persist,
-  /// keeping the steady-state training step free of heap allocations.
-  std::unique_ptr<SgdOptimizer> optimizer_;
-  // Reusable per-round scratch (see DESIGN.md "allocation policy").
-  Tensor batch_x_;
-  std::vector<int> batch_y_;
-  std::vector<int64_t> order_;
-  std::vector<int64_t> batch_indices_;
-  LossResult loss_;
-  StateVector local_state_;
+  /// Durable per-party state under FedBN-style aggregation: the model's
+  /// non-trainable segments, packed (SaveBufferState). Empty until the first
+  /// keep_local_buffers round.
+  StateVector buffer_state_;
 };
 
 }  // namespace niid

@@ -32,11 +32,12 @@ void FedAvg::Initialize(int num_clients, int64_t state_size) {
   }
 }
 
-LocalUpdate FedAvg::RunClient(Client& client, const StateVector& global,
+LocalUpdate FedAvg::RunClient(Client& client, TrainContext& ctx,
+                              const StateVector& global,
                               const LocalTrainOptions& options) {
   LocalTrainOptions local = options;
   local.keep_local_buffers = !config_.average_bn_buffers;
-  return client.Train(global, local);
+  return client.Train(ctx, global, local);
 }
 
 void FedAvg::Aggregate(StateVector& global,

@@ -4,11 +4,12 @@
 
 namespace niid {
 
-LocalUpdate FedNova::RunClient(Client& client, const StateVector& global,
+LocalUpdate FedNova::RunClient(Client& client, TrainContext& ctx,
+                               const StateVector& global,
                                const LocalTrainOptions& options) {
   LocalTrainOptions local = options;
   local.keep_local_buffers = !config_.average_bn_buffers;
-  return client.Train(global, local);
+  return client.Train(ctx, global, local);
 }
 
 void FedNova::Aggregate(StateVector& global,

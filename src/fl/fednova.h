@@ -19,7 +19,8 @@ class FedNova : public FlAlgorithm {
   explicit FedNova(const AlgorithmConfig& config) : config_(config) {}
 
   std::string name() const override { return "fednova"; }
-  LocalUpdate RunClient(Client& client, const StateVector& global,
+  LocalUpdate RunClient(Client& client, TrainContext& ctx,
+                        const StateVector& global,
                         const LocalTrainOptions& options) override;
   void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
                  const std::vector<StateSegment>& layout) override;

@@ -28,11 +28,12 @@ void FedOpt::Initialize(int num_clients, int64_t state_size) {
   v_.assign(state_size, config_.fedopt_tau * config_.fedopt_tau);
 }
 
-LocalUpdate FedOpt::RunClient(Client& client, const StateVector& global,
+LocalUpdate FedOpt::RunClient(Client& client, TrainContext& ctx,
+                              const StateVector& global,
                               const LocalTrainOptions& options) {
   LocalTrainOptions local = options;
   local.keep_local_buffers = !config_.average_bn_buffers;
-  return client.Train(global, local);
+  return client.Train(ctx, global, local);
 }
 
 void FedOpt::Aggregate(StateVector& global,

@@ -4,7 +4,8 @@
 
 namespace niid {
 
-LocalUpdate FedProx::RunClient(Client& client, const StateVector& global,
+LocalUpdate FedProx::RunClient(Client& client, TrainContext& ctx,
+                               const StateVector& global,
                                const LocalTrainOptions& options) {
   NIID_CHECK(!global.empty());
   NIID_CHECK_GT(options.local_epochs, 0);
@@ -26,7 +27,7 @@ LocalUpdate FedProx::RunClient(Client& client, const StateVector& global,
     }
     AxpyToGrads(model, -mu, global);
   };
-  return client.Train(global, local, hook);
+  return client.Train(ctx, global, local, hook);
 }
 
 void FedProx::Aggregate(StateVector& global,

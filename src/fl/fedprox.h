@@ -17,7 +17,8 @@ class FedProx : public FlAlgorithm {
   explicit FedProx(const AlgorithmConfig& config) : config_(config) {}
 
   std::string name() const override { return "fedprox"; }
-  LocalUpdate RunClient(Client& client, const StateVector& global,
+  LocalUpdate RunClient(Client& client, TrainContext& ctx,
+                        const StateVector& global,
                         const LocalTrainOptions& options) override;
   void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
                  const std::vector<StateSegment>& layout) override;

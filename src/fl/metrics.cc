@@ -40,4 +40,52 @@ EvalResult Evaluate(Module& model, const Dataset& dataset, int batch_size) {
   return result;
 }
 
+EvalResult EvaluateParallel(WorkspacePool& workspaces, const StateVector& state,
+                            const Dataset& dataset, ThreadPool* pool,
+                            int batch_size) {
+  NIID_CHECK_GE(batch_size, 1);
+  // Preload every context once (serially): batches only read model state, so
+  // a context can serve any number of batches without reloading.
+  for (int i = 0; i < workspaces.size(); ++i) {
+    TrainContext& ctx = workspaces.context(i);
+    LoadState(*ctx.model, state);
+    ctx.model->SetTraining(false);
+  }
+
+  EvalResult result;
+  result.num_samples = dataset.size();
+  if (dataset.size() == 0) return result;
+
+  const int64_t num_batches =
+      (dataset.size() + batch_size - 1) / batch_size;
+  // One slot per batch: reducing slots in batch-index order reproduces the
+  // serial `loss_sum += batch.loss * count` accumulation bit for bit.
+  std::vector<double> loss_slots(num_batches, 0.0);
+  std::vector<int64_t> correct_slots(num_batches, 0);
+  ParallelFor(pool, num_batches, [&](int64_t b) {
+    WorkspaceLease lease(workspaces);
+    TrainContext& ctx = *lease;
+    const int64_t start = b * batch_size;
+    const int64_t count =
+        std::min<int64_t>(batch_size, dataset.size() - start);
+    ctx.batch_indices.resize(count);
+    std::iota(ctx.batch_indices.begin(), ctx.batch_indices.end(), start);
+    GatherBatchInto(dataset, ctx.batch_indices, ctx.batch_x, ctx.batch_y);
+    const Tensor& logits = ctx.model->Forward(ctx.batch_x);
+    SoftmaxCrossEntropyInto(logits, ctx.batch_y, ctx.loss);
+    loss_slots[b] = ctx.loss.loss * count;
+    correct_slots[b] = ctx.loss.correct;
+  });
+
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  for (int64_t b = 0; b < num_batches; ++b) {
+    loss_sum += loss_slots[b];
+    correct += correct_slots[b];
+  }
+  result.loss = loss_sum / dataset.size();
+  result.accuracy = static_cast<double>(correct) / dataset.size();
+  return result;
+}
+
 }  // namespace niid

@@ -2,7 +2,10 @@
 #define NIID_FL_METRICS_H_
 
 #include "data/dataset.h"
+#include "fl/workspace.h"
 #include "nn/module.h"
+#include "nn/parameters.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 
@@ -17,6 +20,17 @@ struct EvalResult {
 /// statistics). Restores the model's previous training mode before returning.
 EvalResult Evaluate(Module& model, const Dataset& dataset,
                     int batch_size = 256);
+
+/// Pooled evaluation of the flat model state `state` on `dataset`: batches
+/// are sharded over the workspace pool's contexts via `pool` (null = serial),
+/// each batch writes its (loss * count, correct) partial into a slot indexed
+/// by batch number, and the slots are reduced in batch-index order — exactly
+/// the accumulation order of the serial Evaluate above, so the result is
+/// bit-identical to it at every thread count. Every context in `workspaces`
+/// is (re)loaded from `state`; the caller must hold no leases.
+EvalResult EvaluateParallel(WorkspacePool& workspaces, const StateVector& state,
+                            const Dataset& dataset, ThreadPool* pool,
+                            int batch_size = 256);
 
 }  // namespace niid
 

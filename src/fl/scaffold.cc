@@ -10,27 +10,29 @@ void Scaffold::Initialize(int num_clients, int64_t state_size) {
   client_c_.assign(num_clients, StateVector(state_size, 0.f));
 }
 
-LocalUpdate Scaffold::RunClient(Client& client, const StateVector& global,
+LocalUpdate Scaffold::RunClient(Client& client, TrainContext& ctx,
+                                const StateVector& global,
                                 const LocalTrainOptions& options) {
   NIID_CHECK_GT(num_clients_, 0) << "Initialize() not called";
   StateVector& c_i = client_c_.at(client.id());
   NIID_CHECK_EQ(c_i.size(), global.size());
 
-  // Correction c - c_i is constant during the round.
-  StateVector correction = server_c_;
-  for (size_t i = 0; i < correction.size(); ++i) correction[i] -= c_i[i];
+  // Correction c - c_i is constant during the round; it lives in the
+  // checked-out workspace so concurrent parties never share storage.
+  SubtractInto(server_c_, c_i, ctx.correction);
+  StateVector& correction = ctx.correction;
   Client::GradHook hook = [&correction](Module& model) {
     AxpyToGrads(model, 1.f, correction);
   };
 
   LocalTrainOptions local = options;
   local.keep_local_buffers = !config_.average_bn_buffers;
-  LocalUpdate update = client.Train(global, local, hook);
+  LocalUpdate update = client.Train(ctx, global, local, hook);
 
   // Refresh the local control variate (Algorithm 2, line 23).
-  StateVector c_new;
+  StateVector& c_new = ctx.control_scratch;
   if (config_.scaffold_variant == 1) {
-    c_new = client.FullBatchGradient(global, options.batch_size);
+    client.FullBatchGradientInto(ctx, global, options.batch_size, c_new);
   } else {
     // c_i* = c_i - c + (w^t - w_i) / (tau_i * eta_eff). delta is already
     // w^t - w_i; buffer positions must stay zero in control space.
@@ -47,7 +49,7 @@ LocalUpdate Scaffold::RunClient(Client& client, const StateVector& global,
         options.learning_rate / (1.f - options.momentum);
     const float scale = 1.f / (static_cast<float>(update.tau) * eta_eff);
     int64_t offset = 0;
-    for (const StateSegment& seg : StateLayout(client.model())) {
+    for (const StateSegment& seg : ctx.layout) {
       if (seg.trainable) {
         for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
           c_new[i] += -server_c_[i] + scale * update.delta[i];
@@ -62,7 +64,9 @@ LocalUpdate Scaffold::RunClient(Client& client, const StateVector& global,
   for (size_t i = 0; i < c_new.size(); ++i) {
     update.delta_c[i] = c_new[i] - c_i[i];
   }
-  c_i = std::move(c_new);
+  // Copy (not move): c_new aliases workspace scratch that must keep its
+  // storage for the next party using this context.
+  c_i = c_new;
   return update;
 }
 

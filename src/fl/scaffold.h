@@ -23,7 +23,8 @@ class Scaffold : public FlAlgorithm {
 
   std::string name() const override { return "scaffold"; }
   void Initialize(int num_clients, int64_t state_size) override;
-  LocalUpdate RunClient(Client& client, const StateVector& global,
+  LocalUpdate RunClient(Client& client, TrainContext& ctx,
+                        const StateVector& global,
                         const LocalTrainOptions& options) override;
   void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
                  const std::vector<StateSegment>& layout) override;

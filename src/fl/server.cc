@@ -1,5 +1,7 @@
 #include "fl/server.h"
 
+#include <algorithm>
+
 #include "fl/sampling.h"
 #include "util/check.h"
 
@@ -15,9 +17,14 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
       rng_(config.seed) {
   NIID_CHECK(!clients_.empty());
   Rng init_rng = rng_.Split();
-  global_model_ = factory(init_rng);
-  global_state_ = FlattenState(*global_model_);
-  layout_ = StateLayout(*global_model_);
+  {
+    // The global model exists only as a flat state vector; the factory model
+    // is needed once, to draw the initial weights from the server's stream
+    // (bit-identical to every earlier revision) and record the layout.
+    std::unique_ptr<Module> init_model = factory(init_rng);
+    global_state_ = FlattenState(*init_model);
+    layout_ = StateLayout(*init_model);
+  }
   algorithm_->Initialize(static_cast<int>(clients_.size()),
                          static_cast<int64_t>(global_state_.size()));
   if (config_.skew_aware_sampling) {
@@ -28,13 +35,19 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
   }
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  // One model replica per worker (plus none for the server): all training and
+  // evaluation time-shares these contexts, so resident model memory stays
+  // O(num_threads) no matter how many parties the simulation holds.
+  workspaces_ = std::make_unique<WorkspacePool>(
+      factory, std::max(1, config_.num_threads));
+  if (pool_) {
     // The round pool doubles as the layer-level GEMM pool. When RunRound
     // already spreads sampled clients across the workers, nested layer calls
     // detect the re-entrancy and run serially; with few sampled clients the
     // GEMM row-block parallelism picks up the slack. Either way results are
     // bit-identical to single-threaded execution.
-    global_model_->SetComputePool(pool_.get());
-    for (auto& client : clients_) client->set_compute_pool(pool_.get());
+    workspaces_->SetComputePool(pool_.get());
   }
 }
 
@@ -63,9 +76,14 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
   std::vector<LocalUpdate> updates(stats.sampled_clients.size());
   ParallelFor(pool_.get(), static_cast<int64_t>(stats.sampled_clients.size()),
               [&](int64_t slot) {
+                // Check a workspace out for this party, train into it, check
+                // it back in. Which context a party lands on is irrelevant:
+                // Train fully reloads model (and optimizer) state, so results
+                // are bit-identical across thread counts.
+                WorkspaceLease lease(*workspaces_);
                 Client& client = *clients_[stats.sampled_clients[slot]];
                 updates[slot] = algorithm_->RunClient(
-                    client, global_state_, per_client_options[slot]);
+                    client, *lease, global_state_, per_client_options[slot]);
               });
 
   // Client-level DP: conceptually the party perturbs its upload; applied
@@ -94,8 +112,17 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
 
 EvalResult FederatedServer::EvaluateGlobal(const Dataset& test,
                                            int batch_size) {
-  LoadState(*global_model_, global_state_);
-  return Evaluate(*global_model_, test, batch_size);
+  return EvaluateParallel(*workspaces_, global_state_, test, pool_.get(),
+                          batch_size);
+}
+
+EvalResult FederatedServer::EvaluatePersonalized(int client_id,
+                                                const Dataset& test,
+                                                int batch_size) {
+  Client& client = *clients_.at(client_id);
+  WorkspaceLease lease(*workspaces_);
+  client.LoadPersonalState(*lease->model, lease->layout, global_state_);
+  return Evaluate(*lease->model, test, batch_size);
 }
 
 void FederatedServer::set_global_state(StateVector state) {

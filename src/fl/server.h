@@ -9,6 +9,7 @@
 #include "fl/client.h"
 #include "fl/metrics.h"
 #include "fl/privacy.h"
+#include "fl/workspace.h"
 #include "nn/models/factory.h"
 #include "util/thread_pool.h"
 
@@ -56,14 +57,23 @@ class FederatedServer {
   /// parallel), aggregates.
   RoundStats RunRound(const LocalTrainOptions& options);
 
-  /// Evaluates the current global model.
+  /// Evaluates the current global model. Batches are sharded over the
+  /// workspace pool; the result is bit-identical to serial evaluation.
   EvalResult EvaluateGlobal(const Dataset& test, int batch_size = 256);
+
+  /// FedBN-style personalized evaluation for one party: global trainable
+  /// weights plus the party's own BatchNorm statistics (when it has kept
+  /// local buffers; identical to EvaluateGlobal otherwise).
+  EvalResult EvaluatePersonalized(int client_id, const Dataset& test,
+                                  int batch_size = 256);
 
   const StateVector& global_state() const { return global_state_; }
   void set_global_state(StateVector state);
   FlAlgorithm& algorithm() { return *algorithm_; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
   Client& client(int i) { return *clients_.at(i); }
+  /// Model replicas owned by the worker pool (== max(1, num_threads)).
+  int num_workspaces() const { return workspaces_->size(); }
   int rounds_completed() const { return rounds_completed_; }
   int64_t cumulative_upload_floats() const {
     return cumulative_upload_floats_;
@@ -74,10 +84,13 @@ class FederatedServer {
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
   Rng rng_;
-  std::unique_ptr<Module> global_model_;  ///< used for evaluation
   StateVector global_state_;
   std::vector<StateSegment> layout_;
   std::unique_ptr<ThreadPool> pool_;
+  /// One TrainContext per worker thread: sampled parties check a context out
+  /// for the duration of their local training, so model memory is
+  /// O(num_threads) instead of O(num_clients).
+  std::unique_ptr<WorkspacePool> workspaces_;
   /// Per-party label histograms (metadata for skew-aware sampling).
   std::vector<std::vector<int64_t>> label_histograms_;
   int rounds_completed_ = 0;

@@ -1,0 +1,64 @@
+#include "fl/workspace.h"
+
+#include <atomic>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+std::atomic<int64_t> live_model_replicas{0};
+
+}  // namespace
+
+int64_t LiveModelReplicaCount() {
+  return live_model_replicas.load(std::memory_order_relaxed);
+}
+
+TrainContext::TrainContext(const ModelFactory& factory) {
+  // The seed is irrelevant: a context's model is fully reloaded before every
+  // use, so the factory draw only sizes the parameter tensors.
+  Rng init_rng(0);
+  model = factory(init_rng);
+  NIID_CHECK(model != nullptr);
+  params = model->Parameters();
+  layout = StateLayout(*model);
+  live_model_replicas.fetch_add(1, std::memory_order_relaxed);
+}
+
+TrainContext::~TrainContext() {
+  live_model_replicas.fetch_sub(1, std::memory_order_relaxed);
+}
+
+WorkspacePool::WorkspacePool(const ModelFactory& factory, int num_workspaces) {
+  NIID_CHECK_GE(num_workspaces, 1);
+  contexts_.reserve(num_workspaces);
+  free_.reserve(num_workspaces);
+  for (int i = 0; i < num_workspaces; ++i) {
+    contexts_.push_back(std::make_unique<TrainContext>(factory));
+    free_.push_back(contexts_.back().get());
+  }
+}
+
+TrainContext* WorkspacePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] { return !free_.empty(); });
+  TrainContext* context = free_.back();
+  free_.pop_back();
+  return context;
+}
+
+void WorkspacePool::Release(TrainContext* context) {
+  NIID_CHECK(context != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(context);
+  }
+  available_.notify_one();
+}
+
+void WorkspacePool::SetComputePool(ThreadPool* pool) {
+  for (auto& context : contexts_) context->model->SetComputePool(pool);
+}
+
+}  // namespace niid

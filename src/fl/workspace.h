@@ -1,0 +1,130 @@
+#ifndef NIID_FL_WORKSPACE_H_
+#define NIID_FL_WORKSPACE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/models/factory.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/parameters.h"
+#include "tensor/tensor.h"
+
+namespace niid {
+
+class ThreadPool;
+
+/// Everything one simulation worker needs to train or evaluate one party:
+/// a model replica, a persistent SGD optimizer (velocity storage survives
+/// across assignments; momentum is reset per checkout), the cached parameter
+/// list/layout, and the batch/loss/state scratch of the training loop.
+///
+/// A TrainContext carries NO per-client state. Whoever checks it out must
+/// fully (re)load the model before using it — Client::Train and the pooled
+/// evaluators do — which is what makes time-sharing one context across many
+/// parties bit-identical to giving every party a private replica.
+struct TrainContext {
+  explicit TrainContext(const ModelFactory& factory);
+  ~TrainContext();
+
+  TrainContext(const TrainContext&) = delete;
+  TrainContext& operator=(const TrainContext&) = delete;
+
+  std::unique_ptr<Module> model;
+  /// Created lazily on the first Train call (needs the learning-rate knobs).
+  std::unique_ptr<SgdOptimizer> optimizer;
+  /// Cached views of model's (immutable) parameter list.
+  std::vector<Parameter*> params;
+  std::vector<StateSegment> layout;
+
+  // Reusable training scratch (see DESIGN.md "allocation policy"): sized on
+  // first use, then steady-state training steps allocate nothing.
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  std::vector<int64_t> order;
+  std::vector<int64_t> batch_indices;
+  LossResult loss;
+  StateVector local_state;
+
+  // Algorithm scratch (state-sized, reused across assignments): SCAFFOLD's
+  // c - c_i correction, its refreshed control variate, and the full-batch
+  // gradient of control-variate option (i).
+  StateVector correction;
+  StateVector control_scratch;
+  StateVector grad_scratch;
+};
+
+/// Process-wide count of live TrainContext model replicas (all pools). The
+/// scalability claim of the workspace engine — O(threads) replicas during a
+/// 100-party run — is asserted against this counter in tests and reported in
+/// the bench banners.
+int64_t LiveModelReplicaCount();
+
+/// A fixed pool of TrainContexts, one per simulation worker. RunRound checks
+/// a context out per sampled party (WorkspaceLease), trains into it, and
+/// checks it back in, so model memory is O(num_threads) regardless of how
+/// many parties the simulation holds.
+///
+/// Checkout protocol: Acquire blocks until a context is free and hands out
+/// exclusive ownership; Release returns it. Acquire order is unspecified —
+/// determinism comes from full per-assignment state loading, never from
+/// which worker gets which context.
+class WorkspacePool {
+ public:
+  /// Builds `num_workspaces` (>= 1) contexts up front from `factory`.
+  WorkspacePool(const ModelFactory& factory, int num_workspaces);
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Blocks until a context is free, then transfers exclusive use of it to
+  /// the caller. Pair with Release (or use WorkspaceLease).
+  TrainContext* Acquire();
+
+  /// Returns a context obtained from Acquire to the free list.
+  void Release(TrainContext* context);
+
+  /// Number of contexts (== model replicas) owned by this pool.
+  int size() const { return static_cast<int>(contexts_.size()); }
+
+  /// Direct access for serial phases (eval preloading); the caller must
+  /// guarantee no concurrent Acquire holder is using context `i`.
+  TrainContext& context(int i) { return *contexts_.at(i); }
+
+  /// Borrows `pool` for every context model's layer-level GEMMs (see
+  /// Module::SetComputePool). Purely a speed knob; may be null.
+  void SetComputePool(ThreadPool* pool);
+
+ private:
+  std::vector<std::unique_ptr<TrainContext>> contexts_;
+  std::vector<TrainContext*> free_;  // guarded by mutex_
+  std::mutex mutex_;
+  std::condition_variable available_;
+};
+
+/// RAII checkout: acquires on construction, releases on destruction.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(WorkspacePool& pool)
+      : pool_(pool), context_(pool.Acquire()) {}
+  ~WorkspaceLease() { pool_.Release(context_); }
+
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  TrainContext& operator*() const { return *context_; }
+  TrainContext* operator->() const { return context_; }
+  TrainContext* get() const { return context_; }
+
+ private:
+  WorkspacePool& pool_;
+  TrainContext* context_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_WORKSPACE_H_

@@ -1,5 +1,6 @@
 #include "nn/parameters.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/kernels.h"
@@ -84,6 +85,64 @@ StateVector GradState(Module& module) {
     }
   }
   return grads;
+}
+
+void GradStateInto(const std::vector<Parameter*>& params,
+                   const std::vector<StateSegment>& layout, StateVector& out) {
+  NIID_CHECK_EQ(params.size(), layout.size());
+  int64_t total = 0;
+  for (const StateSegment& seg : layout) total += seg.size;
+  out.resize(total);  // no-op after first use
+  for (size_t i = 0; i < params.size(); ++i) {
+    const StateSegment& seg = layout[i];
+    NIID_CHECK_EQ(seg.size, params[i]->value.numel());
+    if (seg.trainable) {
+      KernelCopy(seg.size, params[i]->grad.data(), out.data() + seg.offset);
+    } else {
+      std::fill(out.begin() + seg.offset, out.begin() + seg.offset + seg.size,
+                0.f);
+    }
+  }
+}
+
+int64_t BufferSize(const std::vector<StateSegment>& layout) {
+  int64_t size = 0;
+  for (const StateSegment& seg : layout) {
+    if (!seg.trainable) size += seg.size;
+  }
+  return size;
+}
+
+void SaveBufferState(Module& module, const std::vector<StateSegment>& layout,
+                     StateVector& packed) {
+  const std::vector<Parameter*> params = module.Parameters();
+  NIID_CHECK_EQ(params.size(), layout.size());
+  packed.resize(BufferSize(layout));  // no-op after first use
+  int64_t cursor = 0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (layout[i].trainable) continue;
+    NIID_CHECK_EQ(layout[i].size, params[i]->value.numel());
+    KernelCopy(layout[i].size, params[i]->value.data(),
+               packed.data() + cursor);
+    cursor += layout[i].size;
+  }
+  NIID_CHECK_EQ(cursor, static_cast<int64_t>(packed.size()));
+}
+
+void LoadBufferState(Module& module, const std::vector<StateSegment>& layout,
+                     const StateVector& packed) {
+  const std::vector<Parameter*> params = module.Parameters();
+  NIID_CHECK_EQ(params.size(), layout.size());
+  NIID_CHECK_EQ(static_cast<int64_t>(packed.size()), BufferSize(layout));
+  int64_t cursor = 0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (layout[i].trainable) continue;
+    NIID_CHECK_EQ(layout[i].size, params[i]->value.numel());
+    KernelCopy(layout[i].size, packed.data() + cursor,
+               params[i]->value.data());
+    cursor += layout[i].size;
+  }
+  NIID_CHECK_EQ(cursor, static_cast<int64_t>(packed.size()));
 }
 
 void AxpyToGrads(Module& module, float alpha, const StateVector& vec) {

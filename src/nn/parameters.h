@@ -49,6 +49,32 @@ void LoadTrainableState(Module& module, const std::vector<StateSegment>& layout,
 /// Parameter::grad, buffer positions hold zero.
 StateVector GradState(Module& module);
 
+/// Zero-allocation variant of GradState for hot callers that cache the
+/// parameter list and layout (a worker TrainContext): writes the gradient
+/// into `out`, resizing it only on first use. `params`/`layout` must come
+/// from module.Parameters() / StateLayout(module) of the same module.
+void GradStateInto(const std::vector<Parameter*>& params,
+                   const std::vector<StateSegment>& layout, StateVector& out);
+
+/// buffer-only (non-trainable) segment packing ------------------------------
+///
+/// A party's durable cross-round state under FedBN-style aggregation is just
+/// its BatchNorm buffer segments; packing them densely keeps per-client
+/// memory at O(buffer floats) instead of a full model replica.
+
+/// Total number of floats in the non-trainable segments of `layout`.
+int64_t BufferSize(const std::vector<StateSegment>& layout);
+
+/// Copies the module's non-trainable segments, densely packed in layout
+/// order, into `packed` (resized only on first use).
+void SaveBufferState(Module& module, const std::vector<StateSegment>& layout,
+                     StateVector& packed);
+
+/// Loads a packed vector produced by SaveBufferState back into the module's
+/// non-trainable segments. `packed.size()` must equal BufferSize(layout).
+void LoadBufferState(Module& module, const std::vector<StateSegment>& layout,
+                     const StateVector& packed);
+
 /// For every trainable segment: Parameter::grad += alpha * vec[segment].
 /// Used by FedProx (prox-term gradient) and SCAFFOLD (control variates).
 void AxpyToGrads(Module& module, float alpha, const StateVector& vec);

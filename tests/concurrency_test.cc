@@ -1,13 +1,24 @@
-// Tests for the thread pool, Status/StatusOr, and logging plumbing.
+// Tests for the thread pool, Status/StatusOr, logging plumbing, and the
+// worker-workspace simulation engine (checkout semantics, replica counting,
+// and bitwise determinism of rounds and pooled evaluation).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/server.h"
+#include "fl/workspace.h"
+#include "nn/models/factory.h"
 #include "util/logging.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -193,6 +204,283 @@ TEST(LoggingTest, SetAndGetLevelRoundTrips) {
   SetLogLevel(LogLevel::kWarning);
   EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
   SetLogLevel(saved);
+}
+
+// ----------------------------------------------------------- workspaces
+
+ModelSpec WsMlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+Dataset WsDataset(int64_t n, uint64_t seed) {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = n;
+  config.test_size = 1;
+  config.class_sep = 3.0f;
+  config.seed = seed;
+  return MakeSyntheticTabular(config).train;
+}
+
+LocalTrainOptions WsOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+// Clients share one underlying distribution and differ only in their shard.
+std::vector<std::unique_ptr<Client>> WsClients(int num_clients,
+                                               int64_t samples_each) {
+  Dataset full = WsDataset(256, /*seed=*/4242);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    std::vector<int64_t> shard;
+    for (int64_t k = 0; k < samples_each; ++k) {
+      shard.push_back((static_cast<int64_t>(i) * samples_each + k) %
+                      full.size());
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> WsServer(const std::string& algorithm_name,
+                                          int num_clients, double fraction,
+                                          int threads,
+                                          int64_t samples_each = 64) {
+  auto algorithm = CreateAlgorithm(algorithm_name, AlgorithmConfig{});
+  ServerConfig config;
+  config.sample_fraction = fraction;
+  config.seed = 5;
+  config.num_threads = threads;
+  return std::make_unique<FederatedServer>(MakeModelFactory(WsMlpSpec()),
+                                           WsClients(num_clients, samples_each),
+                                           std::move(*algorithm), config);
+}
+
+TEST(WorkspacePoolTest, ReplicaCounterTracksPoolLifetime) {
+  const int64_t before = LiveModelReplicaCount();
+  {
+    WorkspacePool pool(MakeModelFactory(WsMlpSpec()), 3);
+    EXPECT_EQ(pool.size(), 3);
+    EXPECT_EQ(LiveModelReplicaCount(), before + 3);
+  }
+  EXPECT_EQ(LiveModelReplicaCount(), before);
+}
+
+TEST(WorkspacePoolTest, AcquireHandsOutExclusiveContexts) {
+  WorkspacePool pool(MakeModelFactory(WsMlpSpec()), 2);
+  TrainContext* a = pool.Acquire();
+  TrainContext* b = pool.Acquire();
+  EXPECT_NE(a, b);
+  pool.Release(a);
+  // With b still checked out, the only free context is a.
+  TrainContext* c = pool.Acquire();
+  EXPECT_EQ(c, a);
+  pool.Release(b);
+  pool.Release(c);
+}
+
+TEST(WorkspacePoolTest, LeaseReleasesOnScopeExit) {
+  WorkspacePool pool(MakeModelFactory(WsMlpSpec()), 1);
+  {
+    WorkspaceLease lease(pool);
+    EXPECT_NE(lease.get(), nullptr);
+  }
+  // Re-acquirable: would deadlock if the lease leaked its context.
+  WorkspaceLease again(pool);
+  EXPECT_NE(again.get(), nullptr);
+}
+
+// The tentpole scalability claim, in the shape of the paper's Figure 12 run:
+// 100 parties at sampling fraction 0.1 must keep exactly num_threads model
+// replicas alive — not one per party.
+TEST(WorkspacePoolTest, Fig12ShapeRunKeepsReplicasAtThreadCount) {
+  const int64_t before = LiveModelReplicaCount();
+  auto server = WsServer("fedavg", /*num_clients=*/100, /*fraction=*/0.1,
+                         /*threads=*/2, /*samples_each=*/16);
+  EXPECT_EQ(server->num_workspaces(), 2);
+  EXPECT_EQ(LiveModelReplicaCount() - before, 2);
+  LocalTrainOptions options = WsOptions();
+  options.local_epochs = 1;
+  for (int round = 0; round < 2; ++round) {
+    const RoundStats stats = server->RunRound(options);
+    EXPECT_EQ(stats.sampled_clients.size(), 10u);
+    EXPECT_EQ(LiveModelReplicaCount() - before, 2);
+  }
+  server.reset();
+  EXPECT_EQ(LiveModelReplicaCount(), before);
+}
+
+struct RoundRunResult {
+  StateVector state;
+  std::vector<std::vector<int>> sampled;
+  std::vector<double> losses;
+  EvalResult eval;
+};
+
+RoundRunResult RunRounds(const std::string& algorithm_name, int threads,
+                         int rounds, const Dataset& test) {
+  auto server = WsServer(algorithm_name, /*num_clients=*/4, /*fraction=*/0.5,
+                         threads);
+  RoundRunResult result;
+  for (int round = 0; round < rounds; ++round) {
+    const RoundStats stats = server->RunRound(WsOptions());
+    result.sampled.push_back(stats.sampled_clients);
+    result.losses.push_back(stats.mean_local_loss);
+  }
+  result.state = server->global_state();
+  result.eval = server->EvaluateGlobal(test, /*batch_size=*/32);
+  return result;
+}
+
+// Bitwise round identity: the same simulation must produce the same global
+// state, per-round stats, and evaluation no matter the thread count, for
+// every algorithm family (plain averaging, gradient hooks, per-client
+// control variates, normalized averaging, adaptive server optimizers).
+TEST(RoundIdentityTest, BitIdenticalAcrossThreadCounts) {
+  const Dataset test = WsDataset(100, 4242);
+  for (const std::string& name :
+       {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
+    const RoundRunResult base = RunRounds(name, /*threads=*/1, /*rounds=*/3,
+                                          test);
+    for (int threads : {2, 8}) {
+      const RoundRunResult run = RunRounds(name, threads, /*rounds=*/3, test);
+      EXPECT_EQ(run.state, base.state) << name << " threads=" << threads;
+      EXPECT_EQ(run.sampled, base.sampled) << name;
+      EXPECT_EQ(run.losses, base.losses) << name;
+      EXPECT_EQ(run.eval.loss, base.eval.loss) << name;
+      EXPECT_EQ(run.eval.accuracy, base.eval.accuracy) << name;
+      EXPECT_EQ(run.eval.num_samples, base.eval.num_samples) << name;
+    }
+  }
+}
+
+// Pooled evaluation must reproduce the serial evaluator bit for bit,
+// including on a dataset whose size is not a multiple of the batch size.
+TEST(EvalIdentityTest, PooledMatchesSerialBitwise) {
+  const ModelFactory factory = MakeModelFactory(WsMlpSpec());
+  Rng rng(7);
+  auto model = factory(rng);
+  const StateVector state = FlattenState(*model);
+  const Dataset data = WsDataset(230, /*seed=*/99);  // 230 = 3*64 + 38
+
+  const EvalResult serial = Evaluate(*model, data, /*batch_size=*/64);
+
+  WorkspacePool workspaces(factory, 3);
+  ThreadPool pool(3);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const EvalResult pooled =
+        EvaluateParallel(workspaces, state, data, p, /*batch_size=*/64);
+    EXPECT_EQ(pooled.loss, serial.loss);
+    EXPECT_EQ(pooled.accuracy, serial.accuracy);
+    EXPECT_EQ(pooled.num_samples, serial.num_samples);
+  }
+}
+
+TEST(EvalIdentityTest, SingleBatchAndEmptyShapes) {
+  const ModelFactory factory = MakeModelFactory(WsMlpSpec());
+  Rng rng(8);
+  auto model = factory(rng);
+  const StateVector state = FlattenState(*model);
+  WorkspacePool workspaces(factory, 2);
+  const Dataset tiny = WsDataset(5, /*seed=*/1);  // single remainder batch
+  const EvalResult serial = Evaluate(*model, tiny, /*batch_size=*/64);
+  const EvalResult pooled =
+      EvaluateParallel(workspaces, state, tiny, nullptr, /*batch_size=*/64);
+  EXPECT_EQ(pooled.loss, serial.loss);
+  EXPECT_EQ(pooled.accuracy, serial.accuracy);
+  EXPECT_EQ(pooled.num_samples, 5);
+}
+
+// FedBN under workspace sharing: two parties time-sharing ONE context across
+// interleaved rounds must see exactly the buffers they trained — matching
+// twin parties that each own a dedicated context (the pre-workspace
+// per-client-model behavior).
+TEST(FedBnWorkspaceTest, BufferSegmentsSurviveTimeSharing) {
+  ModelSpec spec;
+  spec.name = "resnet";
+  spec.input_channels = 1;
+  spec.input_height = 16;
+  spec.input_width = 16;
+  spec.num_classes = 4;
+  spec.resnet_blocks_per_stage = 1;
+  const ModelFactory factory = MakeModelFactory(spec);
+
+  SyntheticImageConfig icfg;
+  icfg.num_classes = 4;
+  icfg.channels = 1;
+  icfg.height = 16;
+  icfg.width = 16;
+  icfg.train_size = 48;
+  icfg.test_size = 16;
+  icfg.seed = 21;
+  const FederatedDataset fed = MakeSyntheticImages(icfg);
+  auto shard = [&fed](int64_t start) {
+    std::vector<int64_t> indices(24);
+    std::iota(indices.begin(), indices.end(), start);
+    return Subset(fed.train, indices);
+  };
+
+  Rng init(3);
+  const StateVector global = FlattenState(*factory(init));
+  LocalTrainOptions options;
+  options.local_epochs = 1;
+  options.batch_size = 8;
+  options.learning_rate = 0.05f;
+  options.keep_local_buffers = true;
+
+  // Arm 1: both parties share one workspace, interleaved A, B, A, B.
+  Client a1(0, shard(0), Rng(11));
+  Client b1(1, shard(24), Rng(22));
+  TrainContext ctx_shared(factory);
+  std::vector<LocalUpdate> arm1;
+  arm1.push_back(a1.Train(ctx_shared, global, options));
+  arm1.push_back(b1.Train(ctx_shared, global, options));
+  arm1.push_back(a1.Train(ctx_shared, global, options));
+  arm1.push_back(b1.Train(ctx_shared, global, options));
+  EXPECT_TRUE(a1.has_local_buffers());
+  EXPECT_TRUE(b1.has_local_buffers());
+
+  // Arm 2: identical twins, each with a dedicated workspace.
+  Client a2(0, shard(0), Rng(11));
+  Client b2(1, shard(24), Rng(22));
+  TrainContext ctx_a(factory);
+  TrainContext ctx_b(factory);
+  std::vector<LocalUpdate> arm2;
+  arm2.push_back(a2.Train(ctx_a, global, options));
+  arm2.push_back(b2.Train(ctx_b, global, options));
+  arm2.push_back(a2.Train(ctx_a, global, options));
+  arm2.push_back(b2.Train(ctx_b, global, options));
+
+  for (size_t i = 0; i < arm1.size(); ++i) {
+    EXPECT_EQ(arm1[i].delta, arm2[i].delta) << "assignment " << i;
+    EXPECT_EQ(arm1[i].average_loss, arm2[i].average_loss) << "assignment " << i;
+  }
+
+  // Personalized views (global trainables + each party's own buffers) must
+  // also round-trip identically through the shared context.
+  a1.LoadPersonalState(*ctx_shared.model, ctx_shared.layout, global);
+  const EvalResult pa1 = Evaluate(*ctx_shared.model, fed.test);
+  a2.LoadPersonalState(*ctx_a.model, ctx_a.layout, global);
+  const EvalResult pa2 = Evaluate(*ctx_a.model, fed.test);
+  EXPECT_EQ(pa1.loss, pa2.loss);
+  EXPECT_EQ(pa1.accuracy, pa2.accuracy);
+  b1.LoadPersonalState(*ctx_shared.model, ctx_shared.layout, global);
+  const EvalResult pb1 = Evaluate(*ctx_shared.model, fed.test);
+  b2.LoadPersonalState(*ctx_b.model, ctx_b.layout, global);
+  const EvalResult pb2 = Evaluate(*ctx_b.model, fed.test);
+  EXPECT_EQ(pb1.loss, pb2.loss);
+  // The two parties trained on different shards: their personalized BN
+  // statistics must genuinely differ (the store is per-party, not shared).
+  EXPECT_NE(pa1.loss, pb1.loss);
 }
 
 }  // namespace

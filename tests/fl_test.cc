@@ -56,8 +56,14 @@ std::unique_ptr<Client> MakeClient(int id, uint64_t seed) {
   for (int64_t k = 0; k < 64; ++k) {
     shard.push_back((static_cast<int64_t>(id) * 64 + k) % full.size());
   }
-  return std::make_unique<Client>(id, Subset(full, shard),
-                                  MakeModelFactory(MlpSpec()), Rng(seed));
+  return std::make_unique<Client>(id, Subset(full, shard), Rng(seed));
+}
+
+// One shared workspace is enough for these serial tests: Train fully reloads
+// model and optimizer state on every call.
+TrainContext& TestContext() {
+  static TrainContext ctx(MakeModelFactory(MlpSpec()));
+  return ctx;
 }
 
 StateVector GlobalInit(uint64_t seed = 7) {
@@ -73,7 +79,7 @@ TEST(ClientTest, TauCountsBatches) {
   LocalTrainOptions options = FastOptions();
   options.local_epochs = 3;
   options.batch_size = 10;  // 64 samples -> 7 batches per epoch
-  const LocalUpdate update = client->Train(GlobalInit(), options);
+  const LocalUpdate update = client->Train(TestContext(), GlobalInit(), options);
   EXPECT_EQ(update.tau, 3 * 7);
   EXPECT_EQ(update.num_samples, 64);
   EXPECT_EQ(update.client_id, 0);
@@ -82,9 +88,10 @@ TEST(ClientTest, TauCountsBatches) {
 
 TEST(ClientTest, DeltaIsGlobalMinusLocal) {
   auto client = MakeClient(0, 2);
+  TrainContext& ctx = TestContext();
   const StateVector global = GlobalInit();
-  const LocalUpdate update = client->Train(global, FastOptions());
-  const StateVector local = FlattenState(client->model());
+  const LocalUpdate update = client->Train(ctx, global, FastOptions());
+  const StateVector local = FlattenState(*ctx.model);
   ASSERT_EQ(update.delta.size(), global.size());
   for (size_t i = 0; i < global.size(); ++i) {
     EXPECT_FLOAT_EQ(update.delta[i], global[i] - local[i]);
@@ -96,9 +103,9 @@ TEST(ClientTest, TrainingReducesLoss) {
   const StateVector global = GlobalInit();
   LocalTrainOptions options = FastOptions();
   options.local_epochs = 1;
-  const LocalUpdate first = client->Train(global, options);
+  const LocalUpdate first = client->Train(TestContext(), global, options);
   options.local_epochs = 8;
-  const LocalUpdate second = client->Train(global, options);
+  const LocalUpdate second = client->Train(TestContext(), global, options);
   EXPECT_LT(second.average_loss, first.average_loss);
 }
 
@@ -106,7 +113,8 @@ TEST(ClientTest, GradHookIsInvokedEveryStep) {
   auto client = MakeClient(0, 4);
   int calls = 0;
   Client::GradHook hook = [&calls](Module&) { ++calls; };
-  const LocalUpdate update = client->Train(GlobalInit(), FastOptions(), hook);
+  const LocalUpdate update =
+      client->Train(TestContext(), GlobalInit(), FastOptions(), hook);
   EXPECT_EQ(calls, update.tau);
 }
 
@@ -114,8 +122,9 @@ TEST(ClientTest, FullBatchGradientMatchesManualAccumulation) {
   auto client = MakeClient(0, 5);
   const StateVector global = GlobalInit();
   // Gradient should be identical for different batch sizes.
-  const StateVector g16 = client->FullBatchGradient(global, 16);
-  const StateVector g64 = client->FullBatchGradient(global, 64);
+  StateVector g16, g64;
+  client->FullBatchGradientInto(TestContext(), global, 16, g16);
+  client->FullBatchGradientInto(TestContext(), global, 64, g64);
   ASSERT_EQ(g16.size(), g64.size());
   double diff = 0, norm = 0;
   for (size_t i = 0; i < g16.size(); ++i) {
@@ -195,8 +204,10 @@ TEST(FedProxTest, MuZeroMatchesFedAvgBitwise) {
   FedAvg fedavg(AlgorithmConfig{});
   auto client_a = MakeClient(0, 6);
   auto client_b = MakeClient(0, 6);  // identical twin
-  const LocalUpdate a = fedprox.RunClient(*client_a, global, FastOptions());
-  const LocalUpdate b = fedavg.RunClient(*client_b, global, FastOptions());
+  const LocalUpdate a =
+      fedprox.RunClient(*client_a, TestContext(), global, FastOptions());
+  const LocalUpdate b =
+      fedavg.RunClient(*client_b, TestContext(), global, FastOptions());
   EXPECT_EQ(a.delta, b.delta);
 }
 
@@ -209,7 +220,8 @@ TEST(FedProxTest, LargerMuShrinksLocalUpdate) {
     auto client = MakeClient(0, 7);
     LocalTrainOptions options = FastOptions();
     options.local_epochs = 5;
-    const LocalUpdate update = fedprox.RunClient(*client, global, options);
+    const LocalUpdate update =
+        fedprox.RunClient(*client, TestContext(), global, options);
     return Norm(update.delta);
   };
   const double n0 = norm_for_mu(0.f);
@@ -302,7 +314,8 @@ TEST(ScaffoldTest, OptionTwoControlUpdateFormula) {
   const StateVector global = GlobalInit();
   scaffold.Initialize(1, static_cast<int64_t>(global.size()));
   LocalTrainOptions options = FastOptions();
-  const LocalUpdate update = scaffold.RunClient(*client, global, options);
+  const LocalUpdate update =
+      scaffold.RunClient(*client, TestContext(), global, options);
   ASSERT_EQ(update.delta_c.size(), global.size());
   const float eta_eff = options.learning_rate / (1.f - options.momentum);
   const float scale = 1.f / (static_cast<float>(update.tau) * eta_eff);
@@ -333,7 +346,7 @@ TEST(ScaffoldTest, OptionOneUsesFullBatchGradient) {
   const StateVector global = GlobalInit();
   scaffold.Initialize(1, static_cast<int64_t>(global.size()));
   const LocalUpdate update =
-      scaffold.RunClient(*client, global, FastOptions());
+      scaffold.RunClient(*client, TestContext(), global, FastOptions());
   // Delta c = c_i* - 0 = full-batch gradient at w^t: nonzero.
   EXPECT_GT(Norm(update.delta_c), 0.0);
   // And the client's stored control matches.
@@ -394,10 +407,11 @@ TEST(SamplingTest, CoverageOverManyRounds) {
 TEST(MetricsTest, PerfectModelScoresOne) {
   // Train a model to saturation, then evaluate on the training data.
   auto client = MakeClient(0, 14);
+  TrainContext& ctx = TestContext();
   LocalTrainOptions options = FastOptions();
   options.local_epochs = 30;
-  client->Train(GlobalInit(), options);
-  const EvalResult result = Evaluate(client->model(), client->data());
+  client->Train(ctx, GlobalInit(), options);
+  const EvalResult result = Evaluate(*ctx.model, client->data());
   EXPECT_GT(result.accuracy, 0.95);
   EXPECT_LT(result.loss, 0.3);
   EXPECT_EQ(result.num_samples, 64);
@@ -405,12 +419,13 @@ TEST(MetricsTest, PerfectModelScoresOne) {
 
 TEST(MetricsTest, RestoresTrainingMode) {
   auto client = MakeClient(0, 15);
-  client->model().SetTraining(true);
-  Evaluate(client->model(), client->data());
-  EXPECT_TRUE(client->model().training());
-  client->model().SetTraining(false);
-  Evaluate(client->model(), client->data());
-  EXPECT_FALSE(client->model().training());
+  Module& model = *TestContext().model;
+  model.SetTraining(true);
+  Evaluate(model, client->data());
+  EXPECT_TRUE(model.training());
+  model.SetTraining(false);
+  Evaluate(model, client->data());
+  EXPECT_FALSE(model.training());
 }
 
 // ---------------------------------------------------------------- server
@@ -570,8 +585,8 @@ TEST(SkewAwareSamplingTest, ServerIntegrationReducesPoolSkew) {
       }
     }
     if (shard.empty()) shard.push_back(i);  // safety: never empty
-    clients.push_back(std::make_unique<Client>(
-        i, Subset(full, shard), MakeModelFactory(MlpSpec()), Rng(50 + i)));
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(50 + i)));
   }
   auto algorithm = CreateAlgorithm("fedavg", AlgorithmConfig{});
   ServerConfig config;

@@ -346,9 +346,10 @@ TEST(KernelThreadInvarianceTest, EndToEndClientRoundIsBitIdentical) {
   const StateVector global = FlattenState(*global_model);
 
   auto run = [&](ThreadPool* pool) {
-    Client client(0, data, MakeModelFactory(spec), Rng(123));
-    if (pool != nullptr) client.set_compute_pool(pool);
-    const LocalUpdate update = client.Train(global, options);
+    Client client(0, data, Rng(123));
+    TrainContext ctx(MakeModelFactory(spec));
+    if (pool != nullptr) ctx.model->SetComputePool(pool);
+    const LocalUpdate update = client.Train(ctx, global, options);
     std::vector<float> bits = update.delta;
     bits.push_back(static_cast<float>(update.average_loss));
     return bits;

@@ -2,7 +2,7 @@
 """Run a micro-benchmark suite and emit a machine-readable BENCH_*.json.
 
 Usage:
-    tools/bench_json.py [--suite gemm|step]
+    tools/bench_json.py [--suite gemm|step|round]
                         [--bench-binary build/bench/bench_micro_engine]
                         [--output BENCH_<suite>.json] [--min-time 0.1]
 
@@ -22,6 +22,11 @@ breakdown of the simple-cnn/CIFAR-10 step. BM_SimpleCnnStep (forward+backward,
 batch 64x1x28x28) predates the kernel layer, so the JSON embeds its measured
 pre-kernel-layer baseline and the resulting speedup ratio.
 
+Suite "round" (BM_Round* + BM_Eval*): the worker-workspace simulation engine —
+federated-round latency at 10 and 100 parties, pooled global-evaluation
+latency, and the peak_rss_mb / live_model_replicas counters that back the
+O(threads) model-memory claim.
+
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
 
@@ -40,6 +45,7 @@ import sys
 SUITE_FILTER = {
     "gemm": "BM_Matmul",
     "step": "^BM_Step|^BM_SimpleCnnStep",
+    "round": "^BM_Round|^BM_Eval",
 }
 
 # BM_SimpleCnnStep measured at the commit immediately before the kernel-layer
@@ -104,6 +110,38 @@ def step_summary(entries: dict) -> dict:
     return summary
 
 
+def round_summary(entries: dict) -> dict:
+    def ms(name: str):
+        t = entries.get(name, {}).get("time_ns")
+        return t / 1e6 if t is not None else None
+
+    def counter(name: str, key: str):
+        return entries.get(name, {}).get(key)
+
+    replicas_100p2t = counter("BM_RoundFedAvg/100/2", "live_model_replicas")
+    return {
+        "round_10_parties_ms": ms("BM_RoundFedAvg/10/1"),
+        "round_100_parties_fraction01_ms": ms("BM_RoundFedAvg/100/1"),
+        "round_100_parties_fraction01_2threads_ms": ms("BM_RoundFedAvg/100/2"),
+        "eval_global_ms": ms("BM_EvalGlobal/1"),
+        "eval_global_2threads_ms": ms("BM_EvalGlobal/2"),
+        "peak_rss_mb": counter("BM_EvalGlobal/2", "peak_rss_mb"),
+        # The scalability claim: a 100-party run on 2 threads keeps exactly
+        # 2 model replicas alive (not 100).
+        "live_model_replicas_100_parties_2_threads": replicas_100p2t,
+        "replicas_are_o_threads": (
+            replicas_100p2t == 2.0 if replicas_100p2t is not None else None
+        ),
+    }
+
+
+SUITE_SUMMARY = {
+    "gemm": gemm_summary,
+    "step": step_summary,
+    "round": round_summary,
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -162,14 +200,15 @@ def main() -> int:
             entry["items_per_second"] = bench["items_per_second"]
             if args.suite == "gemm":
                 entry["gflops"] = bench["items_per_second"] / 1e9
+        for key in ("peak_rss_mb", "live_model_replicas"):
+            if key in bench:
+                entry[key] = bench[key]
         entries[name] = entry
     if not entries:
         print(f"no {args.suite} benchmarks matched", file=sys.stderr)
         return 1
 
-    summary = (
-        gemm_summary(entries) if args.suite == "gemm" else step_summary(entries)
-    )
+    summary = SUITE_SUMMARY[args.suite](entries)
 
     output = {
         "suite": args.suite,
