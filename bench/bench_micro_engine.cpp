@@ -11,7 +11,9 @@
 
 #include "bench_common.h"
 #include "data/synthetic.h"
+#include "fl/algorithm.h"
 #include "fl/client.h"
+#include "fl/faults.h"
 #include "fl/fedavg.h"
 #include "fl/server.h"
 #include "fl/workspace.h"
@@ -24,6 +26,7 @@
 #include "nn/parameters.h"
 #include "partition/label_skew.h"
 #include "tensor/ops.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace niid {
@@ -543,6 +546,166 @@ void BM_EvalGlobal(benchmark::State& state) {
   SetFootprintCounters(state);
 }
 BENCHMARK(BM_EvalGlobal)->Arg(1)->Arg(2)->UseRealTime();
+
+// ------------------------------------------------------------ fault suite
+// Accuracy-under-failure benchmarks. Each iteration trains a small
+// quantity-skewed federation to completion under a deterministic fault
+// schedule and exports the final global accuracy as a counter, so
+// tools/bench_json.py --suite faults can compare how algorithms degrade.
+// The headline claim (BENCH_faults.json): FedNova's tau-normalized
+// aggregation degrades more gracefully than FedAvg when stragglers truncate
+// local epochs, because variable tau_i is exactly the heterogeneity FedNova
+// corrects for.
+
+struct FaultBench {
+  std::unique_ptr<FederatedServer> server;
+  Dataset test;
+  LocalTrainOptions options;
+};
+
+// 12 parties with quantity-skewed shards (32/64/96/128 samples repeating),
+// each drawing from only two of the four classes (#C=2 label skew). Under
+// straggling, big and small parties truncate to different tau_i on top of
+// that label skew — the regime where naive sample-weighted averaging drifts
+// toward whoever happened to finish more steps, and the one FedNova's
+// normalization corrects.
+FaultBench MakeFaultBench(const std::string& algorithm,
+                          const FaultConfig& faults, int min_aggregate_clients,
+                          uint64_t seed_offset) {
+  constexpr int kParties = 12;
+  constexpr int kClasses = 4;
+  const std::vector<int64_t> shard_sizes = {32, 64, 96, 128};
+  int64_t train_size = 0;
+  for (int i = 0; i < kParties; ++i) {
+    train_size += shard_sizes[i % shard_sizes.size()];
+  }
+
+  FaultBench fb;
+  SyntheticTabularConfig config;
+  config.num_classes = kClasses;
+  config.num_features = 32;
+  config.train_size = train_size;
+  config.test_size = 512;
+  config.seed = 17 + seed_offset;
+  const FederatedDataset fd = MakeSyntheticTabular(config);
+  fb.test = fd.test;
+
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 32;
+  spec.num_classes = kClasses;
+
+  std::vector<std::vector<int64_t>> class_pool(kClasses);
+  for (int64_t idx = 0; idx < fd.train.size(); ++idx) {
+    class_pool[fd.train.labels[idx]].push_back(idx);
+  }
+  std::vector<size_t> pool_pos(kClasses, 0);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(kParties);
+  for (int i = 0; i < kParties; ++i) {
+    const int64_t size = shard_sizes[i % shard_sizes.size()];
+    std::vector<int64_t> shard;
+    shard.reserve(size);
+    // Party i alternates between classes i%4 and (i+1)%4, wrapping within
+    // each class pool, so shards are 2-class-skewed but never empty.
+    for (int64_t s = 0; s < size; ++s) {
+      const int cls = (i + static_cast<int>(s) % 2) % kClasses;
+      const auto& pool = class_pool[cls];
+      shard.push_back(pool[pool_pos[cls]++ % pool.size()]);
+    }
+    clients.push_back(std::make_unique<Client>(
+        i, Subset(fd.train, shard), Rng(100 + i + 1000 * seed_offset)));
+  }
+
+  auto algo = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  NIID_CHECK(algo.ok());
+  ServerConfig server_config;
+  server_config.sample_fraction = 1.0;
+  server_config.seed = 5 + seed_offset;
+  server_config.num_threads = 2;
+  server_config.faults = faults;
+  server_config.min_aggregate_clients = min_aggregate_clients;
+  fb.server = std::make_unique<FederatedServer>(
+      MakeModelFactory(spec), std::move(clients), std::move(*algo),
+      server_config);
+  fb.options.local_epochs = 8;  // straggle truncation has room to bite
+  fb.options.batch_size = 16;
+  fb.options.learning_rate = 0.01f;
+  return fb;
+}
+
+// A single (seed, algorithm, fault-level) accuracy is luck: at 512 test
+// samples the differential effect of truncation is within seed noise. Each
+// benchmark iteration therefore averages a fixed set of replicas — data,
+// server, client, and fault streams all reseeded per replica — so the
+// reported counter is a stable, still fully deterministic, mean accuracy.
+constexpr int kFaultReplicas = 5;
+constexpr int kFaultRounds = 24;
+
+double MeanFaultedAccuracy(const std::string& algorithm,
+                           const FaultConfig& faults,
+                           int min_aggregate_clients) {
+  double sum = 0.0;
+  for (int replica = 0; replica < kFaultReplicas; ++replica) {
+    FaultBench fb = MakeFaultBench(algorithm, faults, min_aggregate_clients,
+                                   static_cast<uint64_t>(replica));
+    for (int round = 0; round < kFaultRounds; ++round) {
+      const RoundStats stats = fb.server->RunRound(fb.options);
+      benchmark::DoNotOptimize(stats.mean_local_loss);
+    }
+    sum += fb.server->EvaluateGlobal(fb.test, 64).accuracy;
+  }
+  return sum / kFaultReplicas;
+}
+
+// range(0): 0 = fedavg, 1 = fednova. range(1): straggle probability in
+// percent. straggle_floor 0.1 makes truncation aggressive: a straggler may
+// keep as little as 10% of its 8 configured local epochs.
+void BM_FaultStraggle(benchmark::State& state) {
+  const std::string algorithm = state.range(0) == 0 ? "fedavg" : "fednova";
+  FaultConfig faults;
+  faults.straggle_rate = static_cast<double>(state.range(1)) / 100.0;
+  faults.straggle_floor = 0.1;
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    accuracy = MeanFaultedAccuracy(algorithm, faults,
+                                   /*min_aggregate_clients=*/1);
+  }
+  state.counters["final_accuracy"] = accuracy;
+  SetFootprintCounters(state);
+}
+BENCHMARK(BM_FaultStraggle)
+    ->Args({0, 0})
+    ->Args({0, 60})
+    ->Args({0, 100})
+    ->Args({1, 0})
+    ->Args({1, 60})
+    ->Args({1, 100})
+    ->UseRealTime();
+
+// range(0): 0 = fedavg, 1 = fednova. range(1): drop probability in percent.
+// The quorum (min_aggregate_clients = 6 of 12) forces resample-retries when
+// drops thin a round below half the federation, so this also measures the
+// retry loop's cost.
+void BM_FaultDrop(benchmark::State& state) {
+  const std::string algorithm = state.range(0) == 0 ? "fedavg" : "fednova";
+  FaultConfig faults;
+  faults.drop_rate = static_cast<double>(state.range(1)) / 100.0;
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    accuracy = MeanFaultedAccuracy(algorithm, faults,
+                                   /*min_aggregate_clients=*/6);
+  }
+  state.counters["final_accuracy"] = accuracy;
+  SetFootprintCounters(state);
+}
+BENCHMARK(BM_FaultDrop)
+    ->Args({0, 0})
+    ->Args({0, 40})
+    ->Args({1, 0})
+    ->Args({1, 40})
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace niid

@@ -10,7 +10,12 @@
 //   custom_experiment --dataset=adult --algorithm=fedprox --mu=0.1
 //       --partition=quantity-dir --dp_clip=5 --dp_noise=0.01
 //   custom_experiment --dataset=mnist --model=resnet --save=global.bin
+//   custom_experiment --dataset=adult --straggle_rate=0.5 --drop_rate=0.2
+//       --min_aggregate=3 --checkpoint=run.ckpt --checkpoint_every=5
+//   custom_experiment --dataset=adult --checkpoint=run.ckpt
+//       --checkpoint_every=5 --resume
 
+#include <cstdlib>
 #include <iostream>
 
 #include "core/curves.h"
@@ -33,10 +38,17 @@ int main(int argc, char** argv) {
         "       --dp_clip=F --dp_noise=F (client-level DP)\n"
         "       --no_bn_averaging (FedBN-style) --model=NAME\n"
         "       --trials=N --seed=N --threads=N --size_factor=F\n"
+        "       --drop_rate=F --crash_rate=F --straggle_rate=F\n"
+        "       --straggle_floor=F --corrupt_rate=F --fault_seed=N\n"
+        "       --min_aggregate=N --max_retries=N --max_update_norm=F\n"
+        "       --checkpoint=PATH --checkpoint_every=N --resume\n"
+        "       --halt_after=N (exit after round N; crash-resume testing)\n"
         "       --save=PATH (save final global model) --out_csv=PATH\n";
     return 0;
   }
 
+  // Query every flag before Validate() so the parser knows the full surface
+  // and can reject anything unknown or malformed.
   niid::ExperimentConfig config;
   config.dataset = flags.GetString("dataset", "mnist");
   config.algorithm = flags.GetString("algorithm", "fedavg");
@@ -64,17 +76,40 @@ int main(int argc, char** argv) {
   config.dp.noise_multiplier = flags.GetDouble("dp_noise", 0.0);
   config.min_local_epochs = flags.GetInt("min_epochs", 0);
 
-  auto strategy_or =
-      niid::ParseStrategy(flags.GetString("partition", "label-dir"));
+  config.faults.drop_rate = flags.GetDouble("drop_rate", 0.0);
+  config.faults.crash_rate = flags.GetDouble("crash_rate", 0.0);
+  config.faults.straggle_rate = flags.GetDouble("straggle_rate", 0.0);
+  config.faults.straggle_floor = flags.GetDouble("straggle_floor", 0.25);
+  config.faults.corrupt_rate = flags.GetDouble("corrupt_rate", 0.0);
+  config.faults.seed =
+      static_cast<uint64_t>(flags.GetInt64("fault_seed", 0));
+  config.min_aggregate_clients = flags.GetInt("min_aggregate", 1);
+  config.max_resample_retries = flags.GetInt("max_retries", 2);
+  config.max_update_norm = flags.GetDouble("max_update_norm", 0.0);
+  config.checkpoint_path = flags.GetString("checkpoint", "");
+  config.checkpoint_every = flags.GetInt("checkpoint_every", 0);
+  config.resume = flags.GetBool("resume", false);
+  const int halt_after = flags.GetInt("halt_after", 0);
+
+  const std::string partition_name = flags.GetString("partition", "label-dir");
+  config.partition.num_parties = flags.GetInt("parties", 10);
+  config.partition.beta = flags.GetDouble("beta", 0.5);
+  config.partition.labels_per_party = flags.GetInt("labels_per_party", 2);
+  config.partition.noise_sigma = flags.GetDouble("noise_sigma", 0.1);
+  const std::string out_csv = flags.GetString("out_csv", "");
+  const std::string save_path = flags.GetString("save", "");
+
+  if (const niid::Status valid = flags.Validate(); !valid.ok()) {
+    std::cerr << valid.ToString() << "\n";
+    return 1;
+  }
+
+  auto strategy_or = niid::ParseStrategy(partition_name);
   if (!strategy_or.ok()) {
     std::cerr << strategy_or.status().ToString() << "\n";
     return 1;
   }
   config.partition.strategy = *strategy_or;
-  config.partition.num_parties = flags.GetInt("parties", 10);
-  config.partition.beta = flags.GetDouble("beta", 0.5);
-  config.partition.labels_per_party = flags.GetInt("labels_per_party", 2);
-  config.partition.noise_sigma = flags.GetDouble("noise_sigma", 0.1);
 
   std::cout << "experiment: " << config.dataset << " / "
             << config.partition.Label() << " / " << config.algorithm
@@ -95,16 +130,43 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  const niid::ExperimentResult result = niid::RunExperiment(config);
+  // Robustness accounting across all rounds and trials, and the optional
+  // mid-run halt used by the crash-resume smoke test: the runner saves the
+  // round's checkpoint before invoking the observer, so exiting here is a
+  // faithful stand-in for the process dying right after a checkpoint.
+  long total_dropped = 0, total_crashed = 0, total_straggled = 0;
+  long total_rejected = 0, total_skipped_rounds = 0;
+  const niid::RoundObserver observer =
+      [&](int /*trial*/, const niid::RoundStats& stats,
+          const niid::EvalResult& /*eval*/) {
+        total_dropped += stats.dropped;
+        total_crashed += stats.crashed;
+        total_straggled += stats.straggled;
+        total_rejected += stats.rejected;
+        if (!stats.quorum_met) ++total_skipped_rounds;
+        if (halt_after > 0 && stats.round + 1 >= halt_after) {
+          std::cout << "halting after round " << stats.round << "\n";
+          std::exit(0);
+        }
+      };
+
+  const niid::ExperimentResult result = niid::RunExperiment(config, observer);
   std::cout << "final top-1 accuracy: "
             << niid::FormatAccuracy(result.FinalAccuracies()) << "\n\n";
+  if (config.faults.enabled() || total_skipped_rounds > 0) {
+    std::cout << "fault summary: dropped=" << total_dropped
+              << " crashed=" << total_crashed
+              << " straggled=" << total_straggled
+              << " rejected=" << total_rejected
+              << " below-quorum rounds=" << total_skipped_rounds << "\n\n";
+  }
   std::vector<niid::Curve> curves = {{config.algorithm, result.MeanCurve()}};
   niid::PrintCurves(curves, std::cout, std::max(1, config.rounds / 15));
-  if (flags.Has("out_csv")) {
-    niid::WriteCurvesCsv(curves, flags.GetString("out_csv", ""));
+  if (!out_csv.empty()) {
+    niid::WriteCurvesCsv(curves, out_csv);
   }
 
-  if (flags.Has("save")) {
+  if (!save_path.empty()) {
     // Re-train trial 0 deterministically to materialize the global model,
     // then save it.
     niid::Dataset test;
@@ -121,14 +183,12 @@ int main(int argc, char** argv) {
         niid::DefaultModelSpec(data->train, config.model);
     auto model = niid::CreateModel(spec, rng);
     niid::LoadState(*model, server->global_state());
-    const niid::Status status =
-        niid::SaveModel(*model, flags.GetString("save", ""));
+    const niid::Status status = niid::SaveModel(*model, save_path);
     if (!status.ok()) {
       std::cerr << "save failed: " << status.ToString() << "\n";
       return 1;
     }
-    std::cout << "\nsaved global model to " << flags.GetString("save", "")
-              << "\n";
+    std::cout << "\nsaved global model to " << save_path << "\n";
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "data/catalog.h"
 #include "fl/algorithm.h"
 #include "fl/client.h"
+#include "fl/faults.h"
 #include "fl/privacy.h"
 #include "partition/partition.h"
 
@@ -58,6 +59,24 @@ struct ExperimentConfig {
   int min_local_epochs = 0;
   /// Skew-aware party sampling under partial participation (Section 6.1).
   bool skew_aware_sampling = false;
+
+  /// Deterministic fault injection (drop / crash / straggle / corrupt);
+  /// disabled by default.
+  FaultConfig faults;
+  /// Quorum and update-validation knobs, forwarded to ServerConfig.
+  int min_aggregate_clients = 1;
+  int max_resample_retries = 2;
+  double max_update_norm = 0.0;
+
+  /// Crash-safe persistence: when checkpoint_every > 0 and checkpoint_path
+  /// is set, trial t's state is written atomically to
+  /// `checkpoint_path + ".trial" + t` every checkpoint_every rounds and
+  /// after the final round. With `resume` set, each trial restarts from its
+  /// checkpoint file when one exists (a missing file means a fresh start);
+  /// the continuation is bit-identical to never having stopped.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  bool resume = false;
 
   int trials = 1;
   uint64_t seed = 1;

@@ -84,17 +84,31 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
   server_config.dp = config.dp;
   server_config.min_local_epochs = config.min_local_epochs;
   server_config.skew_aware_sampling = config.skew_aware_sampling;
+  server_config.faults = config.faults;
+  server_config.min_aggregate_clients = config.min_aggregate_clients;
+  server_config.max_resample_retries = config.max_resample_retries;
+  server_config.max_update_norm = config.max_update_norm;
 
   if (out_test != nullptr) *out_test = std::move(data.test);
   return std::make_unique<FederatedServer>(
       factory, std::move(clients), std::move(*algorithm_or), server_config);
 }
 
+namespace {
+
+std::string TrialCheckpointPath(const ExperimentConfig& config, int trial) {
+  return config.checkpoint_path + ".trial" + std::to_string(trial);
+}
+
+}  // namespace
+
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const RoundObserver& observer) {
   NIID_CHECK_GE(config.trials, 1);
   NIID_CHECK_GE(config.rounds, 1);
   NIID_CHECK_GE(config.eval_every, 1);
+  const bool checkpointing =
+      config.checkpoint_every > 0 && !config.checkpoint_path.empty();
 
   ExperimentResult result;
   result.config = config;
@@ -108,7 +122,29 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
         BuildServerForTrial(config, trial, &test);
     TrialResult trial_result;
     EvalResult eval;
-    for (int round = 0; round < config.rounds; ++round) {
+    int start_round = 0;
+    if (config.resume && !config.checkpoint_path.empty()) {
+      const std::string path = TrialCheckpointPath(config, trial);
+      StatusOr<ServerCheckpoint> checkpoint = ReadCheckpointFile(path);
+      if (checkpoint.ok()) {
+        // A checkpoint that exists but fails to restore is an operational
+        // error, not a fresh start: silently re-running from scratch would
+        // mask it (determinism makes the output identical either way).
+        NIID_CHECK_EQ(checkpoint->trial, trial)
+            << "checkpoint " << path << " belongs to another trial";
+        const Status restored = server->RestoreCheckpoint(*checkpoint);
+        NIID_CHECK(restored.ok()) << restored.ToString();
+        start_round = server->rounds_completed();
+        trial_result.round_accuracy = checkpoint->round_accuracy;
+        trial_result.round_loss = checkpoint->round_loss;
+        NIID_LOG(kInfo) << "resumed trial " << trial << " at round "
+                        << start_round << " from " << path;
+      } else {
+        NIID_CHECK(checkpoint.status().code() == StatusCode::kNotFound)
+            << checkpoint.status().ToString();
+      }
+    }
+    for (int round = start_round; round < config.rounds; ++round) {
       local.learning_rate =
           ScheduledLearningRate(config, base_lr, round, config.rounds);
       const RoundStats stats = server->RunRound(local);
@@ -118,6 +154,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
         eval = server->EvaluateGlobal(test);
         trial_result.round_accuracy.push_back(eval.accuracy);
         trial_result.round_loss.push_back(eval.loss);
+      }
+      // Checkpoint after evaluation and before the observer, so an observer
+      // that halts the process (crash-resume testing) leaves a checkpoint
+      // carrying this round's curve point.
+      if (checkpointing && (((round + 1) % config.checkpoint_every == 0) ||
+                            round + 1 == config.rounds)) {
+        ServerCheckpoint checkpoint = server->MakeCheckpoint();
+        checkpoint.trial = trial;
+        checkpoint.round_accuracy = trial_result.round_accuracy;
+        checkpoint.round_loss = trial_result.round_loss;
+        const Status written = WriteCheckpointFile(
+            checkpoint, TrialCheckpointPath(config, trial));
+        NIID_CHECK(written.ok()) << written.ToString();
       }
       if (observer) observer(trial, stats, eval);
     }

@@ -78,6 +78,23 @@ class FlAlgorithm {
     return state_size;
   }
 
+  /// Serializes the algorithm's durable server-side state (FedAvgM velocity,
+  /// SCAFFOLD control variates, FedOpt moments) as opaque vectors for
+  /// checkpointing. Stateless algorithms return {}.
+  virtual std::vector<StateVector> SaveAlgorithmState() const { return {}; }
+
+  /// Restores state captured by SaveAlgorithmState after Initialize was
+  /// called with the same shape. Implementations validate every vector
+  /// before mutating anything, so a failed load leaves the algorithm intact.
+  virtual Status LoadAlgorithmState(const std::vector<StateVector>& state) {
+    if (!state.empty()) {
+      return Status::InvalidArgument(
+          name() + " keeps no server state but the checkpoint carries " +
+          std::to_string(state.size()) + " vector(s)");
+    }
+    return Status::Ok();
+  }
+
  protected:
   /// Shared FedAvg-style weighted-average step:
   ///   global -= server_lr * sum_i (n_i / n) * delta_i

@@ -1,0 +1,322 @@
+#include "fl/checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// ------------------------------------------------------------------ writer
+
+template <typename T>
+void AppendPod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendString(std::string& out, const std::string& value) {
+  AppendPod(out, static_cast<uint64_t>(value.size()));
+  out.append(value);
+}
+
+void AppendFloats(std::string& out, const StateVector& values) {
+  AppendPod(out, static_cast<uint64_t>(values.size()));
+  if (values.empty()) return;  // data() may be null on an empty vector
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(float));
+}
+
+void AppendDoubles(std::string& out, const std::vector<double>& values) {
+  AppendPod(out, static_cast<uint64_t>(values.size()));
+  if (values.empty()) return;  // data() may be null on an empty vector
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(double));
+}
+
+void AppendRngState(std::string& out, const RngState& rng) {
+  for (int i = 0; i < 4; ++i) AppendPod(out, rng.state[i]);
+  AppendPod(out, static_cast<uint8_t>(rng.has_cached_normal ? 1 : 0));
+  AppendPod(out, rng.cached_normal);
+}
+
+// ------------------------------------------------------------------ reader
+
+/// Bounds-checked cursor over the in-memory file image. Every length field
+/// is validated against the bytes actually present before any allocation or
+/// copy, so hostile declared lengths fail cleanly instead of over-reading or
+/// over-allocating.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool ReadPod(T& value) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string& value) {
+    uint64_t count = 0;
+    if (!ReadPod(count)) return false;
+    if (count > size_ - pos_) return false;
+    value.assign(data_ + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  bool ReadFloats(StateVector& values) {
+    uint64_t count = 0;
+    if (!ReadPod(count)) return false;
+    if (count > (size_ - pos_) / sizeof(float)) return false;
+    values.resize(count);
+    if (count > 0) {
+      std::memcpy(values.data(), data_ + pos_, count * sizeof(float));
+    }
+    pos_ += count * sizeof(float);
+    return true;
+  }
+
+  bool ReadDoubles(std::vector<double>& values) {
+    uint64_t count = 0;
+    if (!ReadPod(count)) return false;
+    if (count > (size_ - pos_) / sizeof(double)) return false;
+    values.resize(count);
+    if (count > 0) {
+      std::memcpy(values.data(), data_ + pos_, count * sizeof(double));
+    }
+    pos_ += count * sizeof(double);
+    return true;
+  }
+
+  bool ReadRngState(RngState& rng) {
+    for (int i = 0; i < 4; ++i) {
+      if (!ReadPod(rng.state[i])) return false;
+    }
+    uint8_t cached = 0;
+    if (!ReadPod(cached)) return false;
+    rng.has_cached_normal = cached != 0;
+    return ReadPod(rng.cached_normal);
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+bool AllFinite(const StateVector& values) {
+  for (const float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const std::vector<double>& values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
+                           const std::string& path) {
+  NIID_CHECK(!path.empty());
+  std::string payload;
+  payload.append(kMagic, sizeof(kMagic));
+  AppendPod(payload, kVersion);
+  AppendPod(payload, checkpoint.config_seed);
+  AppendString(payload, checkpoint.algorithm);
+  AppendPod(payload, checkpoint.num_clients);
+  AppendPod(payload, checkpoint.state_size);
+  AppendPod(payload, checkpoint.rounds_completed);
+  AppendPod(payload, checkpoint.cumulative_upload_floats);
+  AppendRngState(payload, checkpoint.server_rng);
+  AppendFloats(payload, checkpoint.global_state);
+  AppendPod(payload, static_cast<uint64_t>(checkpoint.algorithm_state.size()));
+  for (const StateVector& vec : checkpoint.algorithm_state) {
+    AppendFloats(payload, vec);
+  }
+  AppendPod(payload, static_cast<uint64_t>(checkpoint.client_rng.size()));
+  for (const RngState& rng : checkpoint.client_rng) {
+    AppendRngState(payload, rng);
+  }
+  AppendPod(payload, static_cast<uint64_t>(checkpoint.client_buffers.size()));
+  for (const StateVector& vec : checkpoint.client_buffers) {
+    AppendFloats(payload, vec);
+  }
+  AppendPod(payload, checkpoint.trial);
+  AppendDoubles(payload, checkpoint.round_accuracy);
+  AppendDoubles(payload, checkpoint.round_loss);
+  AppendPod(payload, Fnv1a(payload.data(), payload.size()));
+
+  // Atomic publication: write + flush the sibling tmp file, then rename over
+  // the destination. POSIX rename is atomic within a filesystem, so readers
+  // (and a resumed process after a crash) see either the old complete file
+  // or the new complete file — never a torn write.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open for write: " + tmp_path);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::DataLoss("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::DataLoss("rename failed: " + tmp_path + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open checkpoint: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::DataLoss("read failed: " + path);
+  }
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::DataLoss("checkpoint too small: " + path);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad checkpoint magic in " + path);
+  }
+  const size_t body_size = bytes.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + body_size, sizeof(uint64_t));
+  if (Fnv1a(bytes.data(), body_size) != stored_checksum) {
+    return Status::DataLoss("checkpoint checksum mismatch in " + path);
+  }
+
+  Cursor cursor(bytes.data() + sizeof(kMagic), body_size - sizeof(kMagic));
+  uint32_t version = 0;
+  if (!cursor.ReadPod(version)) {
+    return Status::DataLoss("truncated checkpoint header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+
+  ServerCheckpoint checkpoint;
+  uint64_t algorithm_vectors = 0;
+  uint64_t num_client_rng = 0;
+  uint64_t num_client_buffers = 0;
+  const bool parsed =
+      cursor.ReadPod(checkpoint.config_seed) &&
+      cursor.ReadString(checkpoint.algorithm) &&
+      cursor.ReadPod(checkpoint.num_clients) &&
+      cursor.ReadPod(checkpoint.state_size) &&
+      cursor.ReadPod(checkpoint.rounds_completed) &&
+      cursor.ReadPod(checkpoint.cumulative_upload_floats) &&
+      cursor.ReadRngState(checkpoint.server_rng) &&
+      cursor.ReadFloats(checkpoint.global_state) &&
+      cursor.ReadPod(algorithm_vectors);
+  if (!parsed) return Status::DataLoss("truncated checkpoint body");
+  // Each vector header costs at least 8 bytes, so `remaining / 8` bounds the
+  // plausible count before the reserve below.
+  if (algorithm_vectors > cursor.remaining() / sizeof(uint64_t)) {
+    return Status::DataLoss("implausible algorithm-state count");
+  }
+  checkpoint.algorithm_state.resize(algorithm_vectors);
+  for (StateVector& vec : checkpoint.algorithm_state) {
+    if (!cursor.ReadFloats(vec)) {
+      return Status::DataLoss("truncated algorithm state");
+    }
+  }
+  if (!cursor.ReadPod(num_client_rng)) {
+    return Status::DataLoss("truncated client rng count");
+  }
+  if (num_client_rng > cursor.remaining() / (4 * sizeof(uint64_t))) {
+    return Status::DataLoss("implausible client rng count");
+  }
+  checkpoint.client_rng.resize(num_client_rng);
+  for (RngState& rng : checkpoint.client_rng) {
+    if (!cursor.ReadRngState(rng)) {
+      return Status::DataLoss("truncated client rng state");
+    }
+  }
+  if (!cursor.ReadPod(num_client_buffers)) {
+    return Status::DataLoss("truncated client buffer count");
+  }
+  if (num_client_buffers > cursor.remaining() / sizeof(uint64_t)) {
+    return Status::DataLoss("implausible client buffer count");
+  }
+  checkpoint.client_buffers.resize(num_client_buffers);
+  for (StateVector& vec : checkpoint.client_buffers) {
+    if (!cursor.ReadFloats(vec)) {
+      return Status::DataLoss("truncated client buffers");
+    }
+  }
+  if (!cursor.ReadPod(checkpoint.trial) ||
+      !cursor.ReadDoubles(checkpoint.round_accuracy) ||
+      !cursor.ReadDoubles(checkpoint.round_loss)) {
+    return Status::DataLoss("truncated checkpoint trailer");
+  }
+  if (cursor.remaining() != 0) {
+    return Status::DataLoss("trailing bytes after checkpoint payload");
+  }
+
+  // Semantic validation: a checkpoint describes a real federation and a
+  // finite model, whatever the bytes claim.
+  if (checkpoint.num_clients <= 0 || checkpoint.state_size <= 0) {
+    return Status::InvalidArgument("checkpoint has no clients or empty state");
+  }
+  if (static_cast<int64_t>(checkpoint.global_state.size()) !=
+      checkpoint.state_size) {
+    return Status::InvalidArgument("global state size mismatch");
+  }
+  if (static_cast<int64_t>(checkpoint.client_rng.size()) !=
+          checkpoint.num_clients ||
+      static_cast<int64_t>(checkpoint.client_buffers.size()) !=
+          checkpoint.num_clients) {
+    return Status::InvalidArgument("per-client state count mismatch");
+  }
+  if (checkpoint.rounds_completed < 0) {
+    return Status::InvalidArgument("negative round counter");
+  }
+  if (!AllFinite(checkpoint.global_state)) {
+    return Status::DataLoss("non-finite value in checkpointed global state");
+  }
+  for (const StateVector& vec : checkpoint.algorithm_state) {
+    if (!AllFinite(vec)) {
+      return Status::DataLoss("non-finite value in algorithm state");
+    }
+  }
+  for (const StateVector& vec : checkpoint.client_buffers) {
+    if (!AllFinite(vec)) {
+      return Status::DataLoss("non-finite value in client buffers");
+    }
+  }
+  if (!AllFinite(checkpoint.round_accuracy) ||
+      !AllFinite(checkpoint.round_loss)) {
+    return Status::DataLoss("non-finite value in recorded curves");
+  }
+  return checkpoint;
+}
+
+}  // namespace niid

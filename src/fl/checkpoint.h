@@ -1,0 +1,61 @@
+#ifndef NIID_FL_CHECKPOINT_H_
+#define NIID_FL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/parameters.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Full durable state of a federated run at a round boundary. Restoring this
+/// into a freshly built server (same config) reproduces the continuation of
+/// the interrupted run bit-identically: every Rng stream, the global model,
+/// the per-algorithm server state (momentum, control variates, adaptive
+/// moments), and the parties' FedBN buffer segments are all captured.
+struct ServerCheckpoint {
+  /// Fingerprint fields: a checkpoint only restores into a server built from
+  /// the same seed / algorithm / federation shape.
+  uint64_t config_seed = 0;
+  std::string algorithm;
+  int64_t num_clients = 0;
+  int64_t state_size = 0;
+
+  int64_t rounds_completed = 0;
+  int64_t cumulative_upload_floats = 0;
+  RngState server_rng;
+  StateVector global_state;
+  /// Opaque per-algorithm state vectors (FlAlgorithm::SaveAlgorithmState).
+  std::vector<StateVector> algorithm_state;
+  std::vector<RngState> client_rng;
+  /// Per-party durable BatchNorm buffer segments (empty when the party has
+  /// none).
+  std::vector<StateVector> client_buffers;
+
+  /// Experiment-runner bookkeeping (unused by FederatedServer itself): which
+  /// trial this belongs to and the accuracy/loss curve accumulated so far.
+  int64_t trial = 0;
+  std::vector<double> round_accuracy;
+  std::vector<double> round_loss;
+};
+
+/// Serializes `checkpoint` to `path` atomically: the bytes are written to
+/// `path + ".tmp"` and renamed over `path` only after a successful flush, so
+/// a crash mid-write can never leave a truncated file at `path` — the
+/// previous checkpoint (if any) survives intact. The payload carries a
+/// versioned magic header and an FNV-1a checksum trailer.
+Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
+                           const std::string& path);
+
+/// Parses a file written by WriteCheckpointFile. Hardened like LoadModel:
+/// wrong magic / version, truncation, declared lengths exceeding the actual
+/// file size, checksum mismatch, and non-finite payloads all return a clean
+/// error Status — never a crash or an over-allocation.
+StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path);
+
+}  // namespace niid
+
+#endif  // NIID_FL_CHECKPOINT_H_

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -95,6 +96,16 @@ class Client {
 
   /// True once the party holds its own BatchNorm buffer segments.
   bool has_local_buffers() const { return !buffer_state_.empty(); }
+
+  // Checkpoint surface: a party's durable cross-round state is exactly its
+  // private rng stream and (under FedBN-style aggregation) its packed buffer
+  // segments — snapshot and reinstall both for crash-safe resume.
+  RngState SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const RngState& state) { rng_.RestoreState(state); }
+  const StateVector& buffer_state() const { return buffer_state_; }
+  void set_buffer_state(StateVector state) {
+    buffer_state_ = std::move(state);
+  }
 
  private:
   int id_;

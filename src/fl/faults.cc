@@ -1,0 +1,127 @@
+#include "fl/faults.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// splitmix64-style avalanche: mixes the (seed, round, client, stream) tuple
+// into an Rng seed. Nearby tuples land on unrelated streams.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultConfig& config, uint64_t server_seed)
+    : config_(config) {
+  for (const double rate : {config.drop_rate, config.crash_rate,
+                            config.straggle_rate, config.corrupt_rate}) {
+    NIID_CHECK_GE(rate, 0.0);
+    NIID_CHECK_LE(rate, 1.0);
+  }
+  NIID_CHECK_LE(config.drop_rate + config.crash_rate + config.straggle_rate +
+                    config.corrupt_rate,
+                1.0)
+      << "fault rates are mutually exclusive probabilities";
+  NIID_CHECK_GT(config.straggle_floor, 0.0);
+  NIID_CHECK_LE(config.straggle_floor, 1.0);
+  // A fixed offset keeps the derived fault stream disjoint from the server's
+  // own seed even when config.seed == 0.
+  base_seed_ = config.seed != 0
+                   ? config.seed
+                   : Mix(server_seed + 0x9e3779b97f4a7c15ULL);
+}
+
+Rng FaultPlan::CellRng(int round, int client, uint64_t stream) const {
+  uint64_t seed = base_seed_;
+  seed = Mix(seed ^ (static_cast<uint64_t>(round) + 0x632be59bd9b4e019ULL));
+  seed = Mix(seed ^ (static_cast<uint64_t>(client) + 0xd6e8feb86659fd93ULL));
+  seed = Mix(seed ^ stream);
+  return Rng(seed);
+}
+
+FaultDecision FaultPlan::Decide(int round, int client) const {
+  NIID_CHECK_GE(round, 0);
+  NIID_CHECK_GE(client, 0);
+  FaultDecision decision;
+  if (!config_.enabled()) return decision;
+  Rng rng = CellRng(round, client, /*stream=*/0);
+  // One uniform, cascading thresholds: the four faults are mutually
+  // exclusive and each fires with exactly its configured probability.
+  const double u = rng.Uniform();
+  double threshold = config_.drop_rate;
+  if (u < threshold) {
+    decision.type = FaultType::kDrop;
+    decision.work_fraction = 0.0;
+    return decision;
+  }
+  threshold += config_.crash_rate;
+  if (u < threshold) {
+    decision.type = FaultType::kCrash;
+    // Crashers die anywhere in the round; they always do some work first.
+    decision.work_fraction = rng.Uniform(config_.straggle_floor, 1.0);
+    return decision;
+  }
+  threshold += config_.straggle_rate;
+  if (u < threshold) {
+    decision.type = FaultType::kStraggle;
+    decision.work_fraction = rng.Uniform(config_.straggle_floor, 1.0);
+    return decision;
+  }
+  threshold += config_.corrupt_rate;
+  if (u < threshold) {
+    decision.type = FaultType::kCorrupt;
+    const uint64_t mode = rng.UniformInt(3);
+    decision.corruption = mode == 0 ? CorruptionMode::kNaN
+                          : mode == 1 ? CorruptionMode::kInf
+                                      : CorruptionMode::kNormBlowup;
+  }
+  return decision;
+}
+
+void FaultPlan::Corrupt(const FaultDecision& decision, int round, int client,
+                        LocalUpdate& update) const {
+  NIID_CHECK(decision.type == FaultType::kCorrupt);
+  NIID_CHECK(!update.delta.empty());
+  // A separate stream index so corruption positions are independent of the
+  // Decide draw.
+  Rng rng = CellRng(round, client, /*stream=*/1);
+  switch (decision.corruption) {
+    case CorruptionMode::kNaN:
+    case CorruptionMode::kInf: {
+      const float poison =
+          decision.corruption == CorruptionMode::kNaN
+              ? std::numeric_limits<float>::quiet_NaN()
+              : std::numeric_limits<float>::infinity();
+      // A handful of poisoned coordinates — realistic bit-rot is sparse, and
+      // the validator must catch it anyway.
+      const int hits = 1 + static_cast<int>(rng.UniformInt(8));
+      for (int h = 0; h < hits; ++h) {
+        update.delta[rng.UniformInt(update.delta.size())] = poison;
+      }
+      if (!update.delta_c.empty()) {
+        update.delta_c[rng.UniformInt(update.delta_c.size())] = poison;
+      }
+      break;
+    }
+    case CorruptionMode::kNormBlowup: {
+      // Finite but enormous: slips past a finiteness-only check, which is
+      // exactly why ValidateUpdate also norm-caps.
+      const float blowup =
+          static_cast<float>(rng.Uniform(1e6, 1e8));
+      for (float& v : update.delta) v *= blowup;
+      break;
+    }
+  }
+}
+
+}  // namespace niid

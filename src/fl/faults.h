@@ -1,0 +1,89 @@
+#ifndef NIID_FL_FAULTS_H_
+#define NIID_FL_FAULTS_H_
+
+#include <cstdint>
+
+#include "fl/client.h"
+#include "util/rng.h"
+
+namespace niid {
+
+/// Deterministic client-failure model for the federated simulation. Real FL
+/// orchestrators treat failure as the common case: parties drop out before
+/// training, crash mid-round, straggle (finish only part of their local
+/// work — the device-heterogeneity setting FedNova normalizes for), or
+/// return garbage. Rates are per (round, client) probabilities; at most one
+/// fault fires per party per round.
+struct FaultConfig {
+  /// Party is unavailable this round: sampled but never trains.
+  double drop_rate = 0.0;
+  /// Party crashes mid-round: it does (part of) the local work, but the
+  /// update never reaches the server.
+  double crash_rate = 0.0;
+  /// Party straggles: local epochs are truncated to a random fraction in
+  /// [straggle_floor, 1), so tau_i varies across parties within a round.
+  double straggle_rate = 0.0;
+  /// Lower bound of the straggler's kept-epoch fraction.
+  double straggle_floor = 0.25;
+  /// Party uploads a corrupted update (NaN / Inf / norm blow-up) for the
+  /// server-side ValidateUpdate guard to catch.
+  double corrupt_rate = 0.0;
+  /// Seed of the fault stream. 0 derives it from the server seed, keeping
+  /// fault schedules independent of the sampling and training streams.
+  uint64_t seed = 0;
+
+  bool enabled() const {
+    return drop_rate > 0.0 || crash_rate > 0.0 || straggle_rate > 0.0 ||
+           corrupt_rate > 0.0;
+  }
+};
+
+enum class FaultType { kNone, kDrop, kCrash, kStraggle, kCorrupt };
+
+enum class CorruptionMode { kNaN, kInf, kNormBlowup };
+
+/// The fault (if any) a given party suffers in a given round.
+struct FaultDecision {
+  FaultType type = FaultType::kNone;
+  /// kStraggle / kCrash: fraction of the configured local epochs completed
+  /// before the party stops (crashers also do partial work — the point is
+  /// the work is wasted, not that it is free).
+  double work_fraction = 1.0;
+  /// kCorrupt only.
+  CorruptionMode corruption = CorruptionMode::kNaN;
+};
+
+/// A seeded, stateless fault schedule. Decide(round, client) is a pure
+/// function of (seed, round, client): it can be evaluated from any worker
+/// thread in any order and always returns the same decision, which is what
+/// makes fault schedules bit-identical across num_threads ∈ {1, 2, 8}. The
+/// stream is derived per (round, client) with its own seed, so enabling
+/// faults never perturbs the sampling or training draws.
+class FaultPlan {
+ public:
+  /// `server_seed` anchors the derived stream when config.seed == 0.
+  FaultPlan(const FaultConfig& config, uint64_t server_seed);
+
+  /// Returns the fault (or kNone) for `client` in `round`. Thread-safe.
+  FaultDecision Decide(int round, int client) const;
+
+  /// Applies `decision`'s corruption mode to `update` in place: sprinkles
+  /// NaN/Inf into the delta, or scales it to an enormous (finite) norm.
+  /// Deterministic per (round, client). Requires decision.type == kCorrupt.
+  void Corrupt(const FaultDecision& decision, int round, int client,
+               LocalUpdate& update) const;
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  /// Fresh Rng for the (round, client, stream) cell.
+  Rng CellRng(int round, int client, uint64_t stream) const;
+
+  FaultConfig config_;
+  uint64_t base_seed_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_FAULTS_H_

@@ -40,6 +40,23 @@ LocalUpdate FedAvg::RunClient(Client& client, TrainContext& ctx,
   return client.Train(ctx, global, local);
 }
 
+std::vector<StateVector> FedAvg::SaveAlgorithmState() const {
+  if (velocity_.empty()) return {};
+  return {velocity_};
+}
+
+Status FedAvg::LoadAlgorithmState(const std::vector<StateVector>& state) {
+  if (config_.server_momentum <= 0.f) {
+    return FlAlgorithm::LoadAlgorithmState(state);
+  }
+  if (state.size() != 1 || state[0].size() != velocity_.size()) {
+    return Status::InvalidArgument(
+        "fedavg momentum checkpoint shape mismatch");
+  }
+  velocity_ = state[0];
+  return Status::Ok();
+}
+
 void FedAvg::Aggregate(StateVector& global,
                        const std::vector<LocalUpdate>& updates,
                        const std::vector<StateSegment>& layout) {

@@ -21,6 +21,8 @@ class FedAvg : public FlAlgorithm {
                         const LocalTrainOptions& options) override;
   void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
                  const std::vector<StateSegment>& layout) override;
+  std::vector<StateVector> SaveAlgorithmState() const override;
+  Status LoadAlgorithmState(const std::vector<StateVector>& state) override;
 
  private:
   AlgorithmConfig config_;

@@ -28,6 +28,20 @@ void FedOpt::Initialize(int num_clients, int64_t state_size) {
   v_.assign(state_size, config_.fedopt_tau * config_.fedopt_tau);
 }
 
+std::vector<StateVector> FedOpt::SaveAlgorithmState() const {
+  return {m_, v_};
+}
+
+Status FedOpt::LoadAlgorithmState(const std::vector<StateVector>& state) {
+  if (state.size() != 2 || state[0].size() != m_.size() ||
+      state[1].size() != v_.size()) {
+    return Status::InvalidArgument("fedopt moment checkpoint shape mismatch");
+  }
+  m_ = state[0];
+  v_ = state[1];
+  return Status::Ok();
+}
+
 LocalUpdate FedOpt::RunClient(Client& client, TrainContext& ctx,
                               const StateVector& global,
                               const LocalTrainOptions& options) {

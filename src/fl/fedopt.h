@@ -35,6 +35,8 @@ class FedOpt : public FlAlgorithm {
                         const LocalTrainOptions& options) override;
   void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
                  const std::vector<StateSegment>& layout) override;
+  std::vector<StateVector> SaveAlgorithmState() const override;
+  Status LoadAlgorithmState(const std::vector<StateVector>& state) override;
 
   FedOptVariant variant() const { return variant_; }
   const StateVector& momentum() const { return m_; }

@@ -70,6 +70,34 @@ LocalUpdate Scaffold::RunClient(Client& client, TrainContext& ctx,
   return update;
 }
 
+std::vector<StateVector> Scaffold::SaveAlgorithmState() const {
+  std::vector<StateVector> state;
+  state.reserve(1 + client_c_.size());
+  state.push_back(server_c_);
+  for (const StateVector& c_i : client_c_) state.push_back(c_i);
+  return state;
+}
+
+Status Scaffold::LoadAlgorithmState(const std::vector<StateVector>& state) {
+  // Layout: [server_c, client_c_0, ..., client_c_{N-1}]. Validate every
+  // vector before committing any so a bad checkpoint cannot leave the
+  // control variates half-restored.
+  if (state.size() != 1 + client_c_.size()) {
+    return Status::InvalidArgument(
+        "scaffold checkpoint has " + std::to_string(state.size()) +
+        " vectors, expected " + std::to_string(1 + client_c_.size()));
+  }
+  for (const StateVector& vec : state) {
+    if (vec.size() != server_c_.size()) {
+      return Status::InvalidArgument(
+          "scaffold control-variate size mismatch");
+    }
+  }
+  server_c_ = state[0];
+  for (size_t i = 0; i < client_c_.size(); ++i) client_c_[i] = state[i + 1];
+  return Status::Ok();
+}
+
 void Scaffold::Aggregate(StateVector& global,
                          const std::vector<LocalUpdate>& updates,
                          const std::vector<StateSegment>& layout) {

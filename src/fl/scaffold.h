@@ -31,6 +31,8 @@ class Scaffold : public FlAlgorithm {
   int64_t UploadFloatsPerClient(int64_t state_size) const override {
     return 2 * state_size;
   }
+  std::vector<StateVector> SaveAlgorithmState() const override;
+  Status LoadAlgorithmState(const std::vector<StateVector>& state) override;
 
   const StateVector& server_control() const { return server_c_; }
   const StateVector& client_control(int id) const { return client_c_.at(id); }

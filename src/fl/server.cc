@@ -1,11 +1,43 @@
 #include "fl/server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "fl/sampling.h"
 #include "util/check.h"
 
 namespace niid {
+
+Status ValidateUpdate(const LocalUpdate& update, double max_update_norm) {
+  for (const float v : update.delta) {
+    if (!std::isfinite(v)) {
+      return Status::DataLoss("non-finite value in update from client " +
+                              std::to_string(update.client_id));
+    }
+  }
+  for (const float v : update.delta_c) {
+    if (!std::isfinite(v)) {
+      return Status::DataLoss(
+          "non-finite control variate from client " +
+          std::to_string(update.client_id));
+    }
+  }
+  if (!std::isfinite(update.average_loss)) {
+    return Status::DataLoss("non-finite loss from client " +
+                            std::to_string(update.client_id));
+  }
+  if (max_update_norm > 0.0) {
+    const double norm = Norm(update.delta);
+    if (norm > max_update_norm) {
+      return Status::InvalidArgument(
+          "update norm " + std::to_string(norm) + " from client " +
+          std::to_string(update.client_id) + " exceeds cap " +
+          std::to_string(max_update_norm));
+    }
+  }
+  return Status::Ok();
+}
 
 FederatedServer::FederatedServer(const ModelFactory& factory,
                                  std::vector<std::unique_ptr<Client>> clients,
@@ -14,8 +46,12 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
     : clients_(std::move(clients)),
       algorithm_(std::move(algorithm)),
       config_(config),
+      fault_plan_(config.faults, config.seed),
       rng_(config.seed) {
   NIID_CHECK(!clients_.empty());
+  NIID_CHECK_GE(config_.min_aggregate_clients, 1);
+  NIID_CHECK_GE(config_.max_resample_retries, 0);
+  NIID_CHECK_GE(config_.max_update_norm, 0.0);
   Rng init_rng = rng_.Split();
   {
     // The global model exists only as a flat state vector; the factory model
@@ -54,55 +90,170 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
 RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
   RoundStats stats;
   stats.round = rounds_completed_;
-  stats.sampled_clients =
-      config_.skew_aware_sampling
-          ? SamplePartiesSkewAware(rng_, label_histograms_,
-                                   config_.sample_fraction)
-          : SampleParties(rng_, num_clients(), config_.sample_fraction);
 
-  // Heterogeneous local epochs (FedNova's setting): drawn serially from the
-  // server stream before the parallel section so results stay deterministic.
-  std::vector<LocalTrainOptions> per_client_options(
-      stats.sampled_clients.size(), options);
-  if (config_.min_local_epochs > 0) {
-    NIID_CHECK_LE(config_.min_local_epochs, options.local_epochs);
-    for (auto& client_options : per_client_options) {
-      const int span = options.local_epochs - config_.min_local_epochs + 1;
-      client_options.local_epochs =
-          config_.min_local_epochs + static_cast<int>(rng_.UniformInt(span));
+  // One party's assignment for this round: which client, what fault it
+  // suffers, and its (possibly truncated) training options.
+  struct Assignment {
+    int client_id = -1;
+    FaultDecision decision;
+    LocalTrainOptions options;
+  };
+
+  // Quorum loop. Each attempt samples a party set, trains the parties not
+  // yet attempted this round, validates what arrives, and accumulates
+  // survivors; when the survivor count stays below min_aggregate_clients the
+  // server re-samples, up to max_resample_retries times. Termination is
+  // bounded by construction: attempts never exceed retries + 1, and a party
+  // is attempted at most once per round (its fault decision is a pure
+  // function of (round, client), so retrying it would change nothing).
+  std::vector<LocalUpdate> survivors;
+  std::vector<bool> attempted(clients_.size(), false);
+  int num_attempted = 0;
+  for (int attempt = 0;; ++attempt) {
+    const std::vector<int> sampled =
+        config_.skew_aware_sampling
+            ? SamplePartiesSkewAware(rng_, label_histograms_,
+                                     config_.sample_fraction)
+            : SampleParties(rng_, num_clients(), config_.sample_fraction);
+    if (attempt == 0) stats.sampled_clients = sampled;
+
+    // Heterogeneous local epochs (FedNova's setting): drawn serially from
+    // the server stream for every sampled party — including re-sampled ones
+    // whose draw goes unused — so stream consumption is deterministic and,
+    // with faults disabled, bit-identical to every earlier revision.
+    std::vector<LocalTrainOptions> per_client_options(sampled.size(),
+                                                      options);
+    if (config_.min_local_epochs > 0) {
+      NIID_CHECK_LE(config_.min_local_epochs, options.local_epochs);
+      for (auto& client_options : per_client_options) {
+        const int span = options.local_epochs - config_.min_local_epochs + 1;
+        client_options.local_epochs =
+            config_.min_local_epochs +
+            static_cast<int>(rng_.UniformInt(span));
+      }
     }
-  }
 
-  std::vector<LocalUpdate> updates(stats.sampled_clients.size());
-  ParallelFor(pool_.get(), static_cast<int64_t>(stats.sampled_clients.size()),
-              [&](int64_t slot) {
-                // Check a workspace out for this party, train into it, check
-                // it back in. Which context a party lands on is irrelevant:
-                // Train fully reloads model (and optimizer) state, so results
-                // are bit-identical across thread counts.
-                WorkspaceLease lease(*workspaces_);
-                Client& client = *clients_[stats.sampled_clients[slot]];
-                updates[slot] = algorithm_->RunClient(
-                    client, *lease, global_state_, per_client_options[slot]);
-              });
+    // Resolve fault decisions up front (they are pure in (round, client))
+    // and build the work list: dropped parties never train, stragglers and
+    // crashers get truncated epochs.
+    std::vector<Assignment> work;
+    work.reserve(sampled.size());
+    for (size_t i = 0; i < sampled.size(); ++i) {
+      const int id = sampled[i];
+      if (attempted[id]) continue;
+      attempted[id] = true;
+      ++num_attempted;
+      Assignment assignment;
+      assignment.client_id = id;
+      assignment.options = per_client_options[i];
+      if (fault_plan_.enabled()) {
+        assignment.decision = fault_plan_.Decide(stats.round, id);
+      }
+      switch (assignment.decision.type) {
+        case FaultType::kDrop:
+          ++stats.dropped;
+          continue;
+        case FaultType::kCrash:
+          ++stats.crashed;
+          break;
+        case FaultType::kStraggle:
+          ++stats.straggled;
+          break;
+        default:
+          break;
+      }
+      if (assignment.decision.type == FaultType::kCrash ||
+          assignment.decision.type == FaultType::kStraggle) {
+        assignment.options.local_epochs = std::max(
+            1, static_cast<int>(assignment.decision.work_fraction *
+                                assignment.options.local_epochs));
+      }
+      work.push_back(std::move(assignment));
+    }
+
+    std::vector<LocalUpdate> updates(work.size());
+    ParallelFor(
+        pool_.get(), static_cast<int64_t>(work.size()), [&](int64_t slot) {
+          // Check a workspace out for this party, train into it, check it
+          // back in. Which context a party lands on is irrelevant: Train
+          // fully reloads model (and optimizer) state, so results are
+          // bit-identical across thread counts.
+          WorkspaceLease lease(*workspaces_);
+          const Assignment& assignment = work[slot];
+          Client& client = *clients_[assignment.client_id];
+          if (assignment.decision.type == FaultType::kCrash) {
+            // The party does (part of) the work, then dies before uploading:
+            // plain local training with no algorithm hook and no durable
+            // buffer save, so the only side effect is the client's private
+            // rng advancing. Algorithm state — SCAFFOLD's c_i in particular
+            // — must not move for a party whose update never arrived.
+            LocalTrainOptions crash_options = assignment.options;
+            crash_options.keep_local_buffers = false;
+            updates[slot] =
+                client.Train(*lease, global_state_, crash_options);
+          } else {
+            updates[slot] = algorithm_->RunClient(
+                client, *lease, global_state_, assignment.options);
+          }
+        });
+
+    // Serial post-processing in slot order: discard crashed uploads, corrupt
+    // what the fault plan says arrives corrupted, and gate everything else
+    // through ValidateUpdate.
+    for (size_t slot = 0; slot < work.size(); ++slot) {
+      const Assignment& assignment = work[slot];
+      if (assignment.decision.type == FaultType::kCrash) continue;
+      if (assignment.decision.type == FaultType::kCorrupt) {
+        fault_plan_.Corrupt(assignment.decision, stats.round,
+                            assignment.client_id, updates[slot]);
+      }
+      const Status valid =
+          ValidateUpdate(updates[slot], config_.max_update_norm);
+      if (!valid.ok()) {
+        ++stats.rejected;
+        continue;
+      }
+      survivors.push_back(std::move(updates[slot]));
+    }
+
+    if (static_cast<int>(survivors.size()) >= config_.min_aggregate_clients) {
+      break;
+    }
+    if (attempt >= config_.max_resample_retries) break;
+    if (num_attempted >= num_clients()) break;  // nobody left to try
+    ++stats.resample_retries;
+  }
+  stats.quorum_met =
+      static_cast<int>(survivors.size()) >= config_.min_aggregate_clients;
 
   // Client-level DP: conceptually the party perturbs its upload; applied
   // here serially (deterministic order) with the server's stream standing in
-  // for the parties' noise sources.
+  // for the parties' noise sources. Only updates that actually arrived and
+  // validated are perturbed.
   if (config_.dp.enabled()) {
-    for (LocalUpdate& update : updates) {
+    for (LocalUpdate& update : survivors) {
       ApplyDpToUpdate(config_.dp, rng_, update);
     }
   }
 
-  algorithm_->Aggregate(global_state_, updates, layout_);
+  if (stats.quorum_met) {
+    // Partial aggregation re-weights over the survivors: every algorithm's
+    // Aggregate normalizes by the survivors' own sample counts (and SCAFFOLD
+    // still divides control-variate progress by the full party count), so a
+    // round with casualties remains a valid, smaller-quorum round.
+    algorithm_->Aggregate(global_state_, survivors, layout_);
+    stats.aggregated = static_cast<int>(survivors.size());
+  }
 
   double loss_sum = 0.0;
-  for (const LocalUpdate& update : updates) loss_sum += update.average_loss;
+  for (const LocalUpdate& update : survivors) loss_sum += update.average_loss;
   stats.mean_local_loss =
-      updates.empty() ? 0.0 : loss_sum / static_cast<double>(updates.size());
+      survivors.empty() ? 0.0
+                        : loss_sum / static_cast<double>(survivors.size());
+  // Communication accounting: survivors and rejected updates both crossed
+  // the wire; dropped and crashed parties never uploaded anything.
   cumulative_upload_floats_ +=
-      static_cast<int64_t>(updates.size()) *
+      static_cast<int64_t>(survivors.size() + stats.rejected) *
       algorithm_->UploadFloatsPerClient(
           static_cast<int64_t>(global_state_.size()));
   stats.cumulative_upload_floats = cumulative_upload_floats_;
@@ -123,6 +274,82 @@ EvalResult FederatedServer::EvaluatePersonalized(int client_id,
   WorkspaceLease lease(*workspaces_);
   client.LoadPersonalState(*lease->model, lease->layout, global_state_);
   return Evaluate(*lease->model, test, batch_size);
+}
+
+ServerCheckpoint FederatedServer::MakeCheckpoint() const {
+  ServerCheckpoint checkpoint;
+  checkpoint.config_seed = config_.seed;
+  checkpoint.algorithm = algorithm_->name();
+  checkpoint.num_clients = static_cast<int64_t>(clients_.size());
+  checkpoint.state_size = static_cast<int64_t>(global_state_.size());
+  checkpoint.rounds_completed = rounds_completed_;
+  checkpoint.cumulative_upload_floats = cumulative_upload_floats_;
+  checkpoint.server_rng = rng_.SaveState();
+  checkpoint.global_state = global_state_;
+  checkpoint.algorithm_state = algorithm_->SaveAlgorithmState();
+  checkpoint.client_rng.reserve(clients_.size());
+  checkpoint.client_buffers.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    checkpoint.client_rng.push_back(client->SaveRngState());
+    checkpoint.client_buffers.push_back(client->buffer_state());
+  }
+  return checkpoint;
+}
+
+Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
+  // Fingerprint first: a checkpoint only restores into a server built from
+  // the same seed / algorithm / federation shape, otherwise the resumed run
+  // would silently diverge from the uninterrupted one.
+  if (checkpoint.config_seed != config_.seed) {
+    return Status::InvalidArgument(
+        "checkpoint seed " + std::to_string(checkpoint.config_seed) +
+        " does not match server seed " + std::to_string(config_.seed));
+  }
+  if (checkpoint.algorithm != algorithm_->name()) {
+    return Status::InvalidArgument("checkpoint algorithm '" +
+                                   checkpoint.algorithm +
+                                   "' does not match server algorithm '" +
+                                   algorithm_->name() + "'");
+  }
+  if (checkpoint.num_clients != static_cast<int64_t>(clients_.size())) {
+    return Status::InvalidArgument("checkpoint client count mismatch");
+  }
+  if (checkpoint.state_size != static_cast<int64_t>(global_state_.size())) {
+    return Status::InvalidArgument("checkpoint state size mismatch");
+  }
+  const int64_t buffer_floats = BufferSize(layout_);
+  for (const StateVector& buffers : checkpoint.client_buffers) {
+    if (!buffers.empty() &&
+        static_cast<int64_t>(buffers.size()) != buffer_floats) {
+      return Status::InvalidArgument("checkpoint buffer size mismatch");
+    }
+  }
+  // The algorithm validates its own vectors before mutating; once it
+  // commits, the remaining assignments cannot fail, so the all-or-nothing
+  // contract holds for the server as a whole.
+  if (Status status = algorithm_->LoadAlgorithmState(checkpoint.algorithm_state);
+      !status.ok()) {
+    return status;
+  }
+  global_state_ = checkpoint.global_state;
+  rng_.RestoreState(checkpoint.server_rng);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->RestoreRngState(checkpoint.client_rng[i]);
+    clients_[i]->set_buffer_state(checkpoint.client_buffers[i]);
+  }
+  rounds_completed_ = static_cast<int>(checkpoint.rounds_completed);
+  cumulative_upload_floats_ = checkpoint.cumulative_upload_floats;
+  return Status::Ok();
+}
+
+Status FederatedServer::SaveCheckpoint(const std::string& path) const {
+  return WriteCheckpointFile(MakeCheckpoint(), path);
+}
+
+Status FederatedServer::LoadCheckpoint(const std::string& path) {
+  StatusOr<ServerCheckpoint> checkpoint = ReadCheckpointFile(path);
+  if (!checkpoint.ok()) return checkpoint.status();
+  return RestoreCheckpoint(*checkpoint);
 }
 
 void FederatedServer::set_global_state(StateVector state) {

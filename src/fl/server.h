@@ -2,15 +2,19 @@
 #define NIID_FL_SERVER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "fl/algorithm.h"
+#include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/privacy.h"
 #include "fl/workspace.h"
 #include "nn/models/factory.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace niid {
@@ -34,6 +38,20 @@ struct ServerConfig {
   /// sampling") instead of a uniform draw under partial participation. The
   /// server keys on the parties' label histograms only.
   bool skew_aware_sampling = false;
+  /// Deterministic client-failure injection (drop / crash / straggle /
+  /// corrupt). Disabled by default; the fault stream is independent of the
+  /// sampling and training streams.
+  FaultConfig faults;
+  /// Quorum: the round only aggregates once at least this many validated
+  /// updates arrived. Below quorum the server re-samples (bounded retries)
+  /// and, if still short, skips aggregation for the round.
+  int min_aggregate_clients = 1;
+  /// Bounded resample-retry fallback when a round falls below quorum.
+  int max_resample_retries = 2;
+  /// ValidateUpdate rejects updates whose delta L2 norm exceeds this
+  /// (defense against norm-blowup corruption). 0 disables the cap;
+  /// non-finite updates are always rejected.
+  double max_update_norm = 0.0;
 };
 
 /// Per-round bookkeeping.
@@ -43,7 +61,21 @@ struct RoundStats {
   double mean_local_loss = 0.0;
   /// Cumulative upload volume in floats across all rounds so far.
   int64_t cumulative_upload_floats = 0;
+  /// Fault + robustness accounting (all zero when faults are disabled).
+  int dropped = 0;    ///< sampled but never trained
+  int crashed = 0;    ///< trained but the update never arrived
+  int straggled = 0;  ///< trained with truncated local epochs
+  int rejected = 0;   ///< update arrived but failed ValidateUpdate
+  int resample_retries = 0;  ///< extra sampling attempts to reach quorum
+  int aggregated = 0;        ///< updates folded into the global model
+  bool quorum_met = true;    ///< false => aggregation skipped this round
 };
+
+/// Server-side guard applied to every incoming update before aggregation:
+/// rejects non-finite deltas/control-variates always, and deltas whose L2
+/// norm exceeds `max_update_norm` when the cap is positive (norm-blowup
+/// corruption stays finite, so finiteness alone is not enough).
+Status ValidateUpdate(const LocalUpdate& update, double max_update_norm);
 
 /// Orchestrates Algorithm 1/2's server loop over a fixed set of clients.
 class FederatedServer {
@@ -67,6 +99,26 @@ class FederatedServer {
   EvalResult EvaluatePersonalized(int client_id, const Dataset& test,
                                   int batch_size = 256);
 
+  // Crash-safe persistence ---------------------------------------------
+  //
+  // A checkpoint captures everything RunRound's determinism depends on:
+  // restoring it into a freshly constructed server with the same config
+  // continues the run bit-identically to never having stopped.
+
+  /// Snapshots the full durable server state at the current round boundary.
+  ServerCheckpoint MakeCheckpoint() const;
+
+  /// Reinstalls a snapshot. The checkpoint's fingerprint (seed, algorithm,
+  /// federation shape) must match this server; everything is validated
+  /// before any state mutates, so a failed restore leaves the server intact.
+  Status RestoreCheckpoint(const ServerCheckpoint& checkpoint);
+
+  /// MakeCheckpoint + atomic WriteCheckpointFile.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// ReadCheckpointFile + RestoreCheckpoint.
+  Status LoadCheckpoint(const std::string& path);
+
   const StateVector& global_state() const { return global_state_; }
   void set_global_state(StateVector state);
   FlAlgorithm& algorithm() { return *algorithm_; }
@@ -83,6 +135,7 @@ class FederatedServer {
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
+  FaultPlan fault_plan_;
   Rng rng_;
   StateVector global_state_;
   std::vector<StateSegment> layout_;

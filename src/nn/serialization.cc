@@ -1,5 +1,6 @@
 #include "nn/serialization.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,11 @@ namespace niid {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'M', 'D', 'L', '1'};
+
+/// Upper bound on a serialized parameter name. Real names are tens of bytes;
+/// anything larger is a corrupt or hostile header, rejected before the
+/// allocation it would otherwise size.
+constexpr uint32_t kMaxNameLength = 4096;
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -61,9 +67,20 @@ Status LoadModel(Module& module, const std::string& path) {
         "parameter count mismatch: file has " + std::to_string(count) +
         ", model has " + std::to_string(params.size()));
   }
-  for (Parameter* p : params) {
+  // Two-phase load: stage every tensor, validating against the model's layout
+  // and rejecting hostile declared lengths and non-finite payloads, then
+  // commit all at once — a malformed file never leaves the module partially
+  // mutated.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    const Parameter* p = params[pi];
     uint32_t name_length = 0;
     if (!ReadPod(in, name_length)) return Status::DataLoss("truncated name");
+    // The cap bounds the allocation below regardless of what the file claims.
+    if (name_length > kMaxNameLength) {
+      return Status::DataLoss("declared name length " +
+                              std::to_string(name_length) + " exceeds cap");
+    }
     std::string name(name_length, '\0');
     in.read(name.data(), name_length);
     if (!in.good()) return Status::DataLoss("truncated name body");
@@ -86,9 +103,21 @@ Status LoadModel(Module& module, const std::string& path) {
         return Status::InvalidArgument("shape mismatch for " + p->name);
       }
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
+    // The element count comes from the model, never from the file, so a
+    // hostile header cannot trigger an oversized allocation here.
+    staged[pi].resize(static_cast<size_t>(p->value.numel()));
+    in.read(reinterpret_cast<char*>(staged[pi].data()),
             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
     if (!in.good()) return Status::DataLoss("truncated tensor data");
+    for (const float v : staged[pi]) {
+      if (!std::isfinite(v)) {
+        return Status::DataLoss("non-finite value in tensor " + p->name);
+      }
+    }
+  }
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    std::memcpy(params[pi]->value.data(), staged[pi].data(),
+                staged[pi].size() * sizeof(float));
   }
   return Status::Ok();
 }

@@ -21,6 +21,11 @@ Status SaveModel(Module& module, const std::string& path);
 
 /// Loads a file written by SaveModel into `module`. The module must have the
 /// same parameter names, order and shapes.
+///
+/// Hardened against hostile files: truncated data, oversized declared
+/// lengths, wrong magic, and non-finite payloads all return a clean error
+/// Status, and the module is only mutated after the entire file validates —
+/// a failed load leaves the model exactly as it was.
 Status LoadModel(Module& module, const std::string& path);
 
 }  // namespace niid

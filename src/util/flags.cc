@@ -1,5 +1,9 @@
 #include "util/flags.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 namespace niid {
@@ -22,37 +26,93 @@ FlagParser::FlagParser(int argc, char** argv) {
 }
 
 bool FlagParser::Has(const std::string& name) const {
+  known_.insert(name);
   return values_.count(name) > 0;
 }
 
 std::string FlagParser::GetString(const std::string& name,
                                   const std::string& default_value) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? default_value : it->second;
 }
 
 int FlagParser::GetInt(const std::string& name, int default_value) const {
-  const auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+  const int64_t wide = GetInt64(name, default_value);
+  if (wide < INT_MIN || wide > INT_MAX) {
+    parse_errors_.push_back("--" + name + " is out of int range");
+    return default_value;
+  }
+  return static_cast<int>(wide);
 }
 
 int64_t FlagParser::GetInt64(const std::string& name,
                              int64_t default_value) const {
+  known_.insert(name);
   const auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    parse_errors_.push_back("--" + name + "=" + it->second +
+                            " is not a valid integer");
+    return default_value;
+  }
+  return static_cast<int64_t>(parsed);
 }
 
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
+  known_.insert(name);
   const auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    parse_errors_.push_back("--" + name + "=" + it->second +
+                            " is not a valid number");
+    return default_value;
+  }
+  return parsed;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  const std::string& v = it->second;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  parse_errors_.push_back("--" + name + "=" + it->second +
+                          " is not a valid boolean");
+  return default_value;
+}
+
+Status FlagParser::Validate(
+    const std::vector<std::string>& extra_known) const {
+  std::set<std::string> known = known_;
+  known.insert(extra_known.begin(), extra_known.end());
+
+  std::vector<std::string> problems = parse_errors_;
+  for (const auto& [name, value] : values_) {
+    if (known.count(name)) continue;
+    problems.push_back("unknown flag --" + name);
+  }
+  if (problems.empty()) return Status::Ok();
+
+  std::string message;
+  for (const std::string& problem : problems) {
+    if (!message.empty()) message += "; ";
+    message += problem;
+  }
+  message += ". Valid flags:";
+  for (const std::string& name : known) message += " --" + name;
+  return Status::InvalidArgument(message);
 }
 
 std::vector<std::string> SplitCommaList(const std::string& value) {

@@ -2,8 +2,11 @@
 #define NIID_UTIL_FLAGS_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace niid {
 
@@ -14,6 +17,12 @@ namespace niid {
 ///   FlagParser flags(argc, argv);
 ///   int rounds = flags.GetInt("rounds", 20);
 ///   bool quick = flags.GetBool("quick", false);
+///   if (Status s = flags.Validate(); !s.ok()) { ... }
+///
+/// Every Has/Get* call registers its flag name as known. After all queries,
+/// Validate() rejects any flag the program never asked about (a typo like
+/// --checkpoint_evry must not silently disable checkpointing) and any value
+/// that failed numeric parsing, with an error listing the valid flags.
 class FlagParser {
  public:
   FlagParser(int argc, char** argv);
@@ -31,9 +40,19 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Rejects flags that were passed but never queried through Has/Get*, and
+  /// values that failed to parse as their requested numeric type. Call after
+  /// all flag queries. `extra_known` whitelists flags a program only queries
+  /// later (e.g. an output path read after the run finishes).
+  Status Validate(const std::vector<std::string>& extra_known = {}) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  /// Names queried so far — Has/Get* are logically const lookups, so the
+  /// bookkeeping that powers Validate is mutable.
+  mutable std::set<std::string> known_;
+  mutable std::vector<std::string> parse_errors_;
 };
 
 /// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.

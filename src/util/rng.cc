@@ -99,4 +99,18 @@ double Rng::Gamma(double shape) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+RngState Rng::SaveState() const {
+  RngState saved;
+  for (int i = 0; i < 4; ++i) saved.state[i] = state_[i];
+  saved.has_cached_normal = has_cached_normal_;
+  saved.cached_normal = cached_normal_;
+  return saved;
+}
+
+void Rng::RestoreState(const RngState& saved) {
+  for (int i = 0; i < 4; ++i) state_[i] = saved.state[i];
+  has_cached_normal_ = saved.has_cached_normal;
+  cached_normal_ = saved.cached_normal;
+}
+
 }  // namespace niid

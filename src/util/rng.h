@@ -7,6 +7,17 @@
 
 namespace niid {
 
+/// Snapshot of an Rng's full internal state. Captured by SaveState and
+/// reinstalled by RestoreState so a generator can be checkpointed to disk and
+/// resumed bit-identically (the cached Box–Muller half-draw is part of the
+/// state: dropping it would desync every stream that had an odd number of
+/// Normal() calls at checkpoint time).
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256**) with explicit
 /// seeding and cheap stream splitting.
 ///
@@ -55,6 +66,13 @@ class Rng {
   /// Derives an independent child generator. Each call advances this
   /// generator, so successive splits give distinct streams.
   Rng Split();
+
+  /// Captures the full generator state for checkpointing.
+  RngState SaveState() const;
+
+  /// Reinstalls a state captured by SaveState; the next draws continue the
+  /// saved stream exactly.
+  void RestoreState(const RngState& saved);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,524 @@
+// Tests for crash-safe checkpoint/resume: file-format round-trips and
+// hardening (truncation, hostile lengths, checksum, non-finite payloads),
+// all-or-nothing restores, and the headline guarantee — kill a run at round
+// k, resume from the checkpoint, and reproduce the uninterrupted run bit for
+// bit, for every algorithm family.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "nn/models/factory.h"
+#include "nn/serialization.h"
+
+namespace niid {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void Dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Mirror of the writer's checksum (FNV-1a 64) so tests can re-seal files
+// after deliberately corrupting their interior.
+uint64_t TestFnv1a(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void Reseal(std::string& bytes) {
+  const uint64_t checksum =
+      TestFnv1a(bytes.data(), bytes.size() - sizeof(uint64_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint64_t), &checksum,
+              sizeof(uint64_t));
+}
+
+ServerCheckpoint SampleCheckpoint() {
+  ServerCheckpoint checkpoint;
+  checkpoint.config_seed = 42;
+  checkpoint.algorithm = "fedavg";
+  checkpoint.num_clients = 2;
+  checkpoint.state_size = 3;
+  checkpoint.rounds_completed = 7;
+  checkpoint.cumulative_upload_floats = 12345;
+  checkpoint.server_rng.state[0] = 1;
+  checkpoint.server_rng.state[3] = 99;
+  checkpoint.server_rng.has_cached_normal = true;
+  checkpoint.server_rng.cached_normal = -0.25;
+  checkpoint.global_state = {0.5f, -1.5f, 2.0f};
+  checkpoint.algorithm_state = {{1.f, 2.f}, {}};
+  checkpoint.client_rng.resize(2);
+  checkpoint.client_rng[1].state[2] = 17;
+  checkpoint.client_buffers = {{}, {3.f, 4.f}};
+  checkpoint.trial = 1;
+  checkpoint.round_accuracy = {0.5, 0.6, 0.7};
+  checkpoint.round_loss = {1.2, 1.1, 1.0};
+  return checkpoint;
+}
+
+// ------------------------------------------------------------- file format
+
+TEST(CheckpointFileTest, RoundTripPreservesEveryField) {
+  const std::string path = TestPath("ckpt_roundtrip.bin");
+  const ServerCheckpoint saved = SampleCheckpoint();
+  ASSERT_TRUE(WriteCheckpointFile(saved, path).ok());
+  StatusOr<ServerCheckpoint> loaded = ReadCheckpointFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config_seed, saved.config_seed);
+  EXPECT_EQ(loaded->algorithm, saved.algorithm);
+  EXPECT_EQ(loaded->num_clients, saved.num_clients);
+  EXPECT_EQ(loaded->state_size, saved.state_size);
+  EXPECT_EQ(loaded->rounds_completed, saved.rounds_completed);
+  EXPECT_EQ(loaded->cumulative_upload_floats, saved.cumulative_upload_floats);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded->server_rng.state[i], saved.server_rng.state[i]);
+  }
+  EXPECT_EQ(loaded->server_rng.has_cached_normal,
+            saved.server_rng.has_cached_normal);
+  EXPECT_EQ(loaded->server_rng.cached_normal, saved.server_rng.cached_normal);
+  EXPECT_EQ(loaded->global_state, saved.global_state);
+  EXPECT_EQ(loaded->algorithm_state, saved.algorithm_state);
+  ASSERT_EQ(loaded->client_rng.size(), saved.client_rng.size());
+  EXPECT_EQ(loaded->client_rng[1].state[2], saved.client_rng[1].state[2]);
+  EXPECT_EQ(loaded->client_buffers, saved.client_buffers);
+  EXPECT_EQ(loaded->trial, saved.trial);
+  EXPECT_EQ(loaded->round_accuracy, saved.round_accuracy);
+  EXPECT_EQ(loaded->round_loss, saved.round_loss);
+}
+
+TEST(CheckpointFileTest, WriteIsAtomicAndLeavesNoTmpResidue) {
+  const std::string path = TestPath("ckpt_atomic.bin");
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path).ok());
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // Overwriting an existing checkpoint is also atomic and residue-free.
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(CheckpointFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadCheckpointFile(TestPath("no_such_ckpt.bin")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointFileTest, RejectsTinyAndWrongMagicFiles) {
+  const std::string path = TestPath("ckpt_bad.bin");
+  Dump(path, "xy");
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+  Dump(path, "NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointFileTest, RejectsTruncatedFile) {
+  const std::string path = TestPath("ckpt_trunc.bin");
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path).ok());
+  std::string bytes = Slurp(path);
+  Dump(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointFileTest, ChecksumCatchesSilentCorruption) {
+  const std::string path = TestPath("ckpt_flip.bin");
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path).ok());
+  std::string bytes = Slurp(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  Dump(path, bytes);
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointFileTest, HostileDeclaredLengthRejectedCleanly) {
+  const std::string path = TestPath("ckpt_hostile.bin");
+  const ServerCheckpoint saved = SampleCheckpoint();
+  ASSERT_TRUE(WriteCheckpointFile(saved, path).ok());
+  std::string bytes = Slurp(path);
+  // The global-state count sits after magic(8) + version(4) + seed(8) +
+  // algorithm(8 + len) + four int64 counters(32) + server rng(41).
+  const size_t count_offset =
+      8 + 4 + 8 + (8 + saved.algorithm.size()) + 32 + (4 * 8 + 1 + 8);
+  uint64_t declared = 0;
+  std::memcpy(&declared, bytes.data() + count_offset, sizeof(declared));
+  ASSERT_EQ(declared, saved.global_state.size()) << "format drifted; fix the "
+                                                    "offset arithmetic above";
+  // Claim far more floats than the file holds; a naive reader would allocate
+  // petabytes or over-read. Re-seal so the checksum is not what rejects it.
+  declared = uint64_t{1} << 60;
+  std::memcpy(bytes.data() + count_offset, &declared, sizeof(declared));
+  Reseal(bytes);
+  Dump(path, bytes);
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointFileTest, NonFinitePayloadRejected) {
+  const std::string path = TestPath("ckpt_nan.bin");
+  ServerCheckpoint poisoned = SampleCheckpoint();
+  poisoned.global_state[1] = std::numeric_limits<float>::quiet_NaN();
+  ASSERT_TRUE(WriteCheckpointFile(poisoned, path).ok());
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(), StatusCode::kDataLoss);
+}
+
+// Fuzz-lite: flip every body byte of a sealed checkpoint (re-sealing each
+// time so the checksum never short-circuits the parse) and require the
+// reader to fail cleanly or parse — never crash, hang, or over-allocate.
+TEST(CheckpointFileTest, ByteFlipsNeverCrashTheReader) {
+  const std::string path = TestPath("ckpt_fuzz.bin");
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path).ok());
+  const std::string pristine = Slurp(path);
+  for (size_t i = 0; i < pristine.size() - sizeof(uint64_t); ++i) {
+    std::string bytes = pristine;
+    bytes[i] ^= 0xff;
+    Reseal(bytes);
+    Dump(path, bytes);
+    const StatusOr<ServerCheckpoint> result = ReadCheckpointFile(path);
+    (void)result;  // any clean Status is acceptable; surviving is the test
+  }
+}
+
+// ------------------------------------------------------------- federation
+
+ModelSpec CkptMlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+Dataset CkptDataset(int64_t n, uint64_t seed) {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = n;
+  config.test_size = 1;
+  config.class_sep = 3.0f;
+  config.seed = seed;
+  return MakeSyntheticTabular(config).train;
+}
+
+std::vector<std::unique_ptr<Client>> CkptClients(int num_clients,
+                                                 int64_t samples_each) {
+  Dataset full = CkptDataset(256, /*seed=*/4242);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    std::vector<int64_t> shard;
+    for (int64_t k = 0; k < samples_each; ++k) {
+      shard.push_back((static_cast<int64_t>(i) * samples_each + k) %
+                      full.size());
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> CkptServer(
+    const std::string& algorithm, const AlgorithmConfig& algo_config,
+    const ServerConfig& server_config) {
+  auto algorithm_or = CreateAlgorithm(algorithm, algo_config);
+  return std::make_unique<FederatedServer>(MakeModelFactory(CkptMlpSpec()),
+                                           CkptClients(4, 32),
+                                           std::move(*algorithm_or),
+                                           server_config);
+}
+
+LocalTrainOptions CkptOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+struct ResumeCase {
+  std::string label;
+  std::string algorithm;
+  AlgorithmConfig algo;
+  ServerConfig server;
+};
+
+std::vector<ResumeCase> ResumeCases() {
+  std::vector<ResumeCase> cases;
+  for (const char* name :
+       {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
+    ResumeCase c;
+    c.label = name;
+    c.algorithm = name;
+    c.server.seed = 5;
+    c.server.sample_fraction = 0.75;
+    cases.push_back(c);
+  }
+  // FedAvgM: the velocity vector is extra durable server state.
+  ResumeCase momentum;
+  momentum.label = "fedavgm";
+  momentum.algorithm = "fedavg";
+  momentum.algo.server_momentum = 0.9f;
+  momentum.server.seed = 5;
+  momentum.server.sample_fraction = 0.75;
+  cases.push_back(momentum);
+  // Faulty federation: the checkpoint must also capture a run whose rounds
+  // drop, straggle, reject, and retry.
+  ResumeCase faulty;
+  faulty.label = "fedavg+faults";
+  faulty.algorithm = "fedavg";
+  faulty.server.seed = 5;
+  faulty.server.faults.drop_rate = 0.15;
+  faulty.server.faults.crash_rate = 0.1;
+  faulty.server.faults.straggle_rate = 0.25;
+  faulty.server.faults.corrupt_rate = 0.1;
+  faulty.server.faults.seed = 31;
+  faulty.server.max_update_norm = 1e4;
+  faulty.server.min_aggregate_clients = 2;
+  cases.push_back(faulty);
+  return cases;
+}
+
+// The headline guarantee: run k rounds, checkpoint through the file format,
+// restore into a FRESH server (simulating a new process after a crash), run
+// the remaining rounds — and land bit-identically on an uninterrupted run,
+// for every algorithm family, with and without faults.
+TEST(ResumeBitIdentityTest, KillAndResumeMatchesUninterruptedRun) {
+  const int total_rounds = 5, kill_after = 2;
+  for (const ResumeCase& c : ResumeCases()) {
+    auto uninterrupted = CkptServer(c.algorithm, c.algo, c.server);
+    for (int round = 0; round < total_rounds; ++round) {
+      uninterrupted->RunRound(CkptOptions());
+    }
+
+    const std::string path = TestPath("resume_" + c.label + ".bin");
+    {
+      auto first_process = CkptServer(c.algorithm, c.algo, c.server);
+      for (int round = 0; round < kill_after; ++round) {
+        first_process->RunRound(CkptOptions());
+      }
+      ASSERT_TRUE(first_process->SaveCheckpoint(path).ok()) << c.label;
+      // first_process dies here.
+    }
+    auto resumed = CkptServer(c.algorithm, c.algo, c.server);
+    const Status loaded = resumed->LoadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << c.label << ": " << loaded.ToString();
+    EXPECT_EQ(resumed->rounds_completed(), kill_after) << c.label;
+    for (int round = kill_after; round < total_rounds; ++round) {
+      resumed->RunRound(CkptOptions());
+    }
+
+    EXPECT_EQ(resumed->global_state(), uninterrupted->global_state())
+        << c.label;
+    EXPECT_EQ(resumed->rounds_completed(), uninterrupted->rounds_completed())
+        << c.label;
+    EXPECT_EQ(resumed->cumulative_upload_floats(),
+              uninterrupted->cumulative_upload_floats())
+        << c.label;
+  }
+}
+
+// FedBN-style runs add durable per-party BatchNorm buffers; the checkpoint
+// must carry them so personalized evaluation survives a crash.
+TEST(ResumeBitIdentityTest, FedBnBuffersSurviveResume) {
+  ModelSpec spec;
+  spec.name = "resnet";
+  spec.input_channels = 1;
+  spec.input_height = 16;
+  spec.input_width = 16;
+  spec.num_classes = 4;
+  spec.resnet_blocks_per_stage = 1;
+  const ModelFactory factory = MakeModelFactory(spec);
+
+  SyntheticImageConfig icfg;
+  icfg.num_classes = 4;
+  icfg.channels = 1;
+  icfg.height = 16;
+  icfg.width = 16;
+  icfg.train_size = 48;
+  icfg.test_size = 16;
+  icfg.seed = 21;
+  const FederatedDataset fed = MakeSyntheticImages(icfg);
+  auto make_clients = [&fed]() {
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int i = 0; i < 2; ++i) {
+      std::vector<int64_t> indices(24);
+      std::iota(indices.begin(), indices.end(), int64_t{24} * i);
+      clients.push_back(std::make_unique<Client>(
+          i, Subset(fed.train, indices), Rng(11 * (i + 1))));
+    }
+    return clients;
+  };
+  AlgorithmConfig algo;
+  algo.average_bn_buffers = false;  // FedBN: parties keep their own buffers
+  ServerConfig config;
+  config.seed = 5;
+  auto make_server = [&]() {
+    auto algorithm = CreateAlgorithm("fedavg", algo);
+    return std::make_unique<FederatedServer>(factory, make_clients(),
+                                             std::move(*algorithm), config);
+  };
+  LocalTrainOptions options;
+  options.local_epochs = 1;
+  options.batch_size = 8;
+  options.learning_rate = 0.05f;
+
+  auto uninterrupted = make_server();
+  for (int round = 0; round < 3; ++round) uninterrupted->RunRound(options);
+
+  const std::string path = TestPath("resume_fedbn.bin");
+  {
+    auto first_process = make_server();
+    for (int round = 0; round < 2; ++round) first_process->RunRound(options);
+    ASSERT_TRUE(first_process->client(0).has_local_buffers());
+    ASSERT_TRUE(first_process->SaveCheckpoint(path).ok());
+  }
+  auto resumed = make_server();
+  ASSERT_FALSE(resumed->client(0).has_local_buffers());
+  ASSERT_TRUE(resumed->LoadCheckpoint(path).ok());
+  EXPECT_TRUE(resumed->client(0).has_local_buffers());
+  resumed->RunRound(options);
+
+  EXPECT_EQ(resumed->global_state(), uninterrupted->global_state());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(resumed->client(i).buffer_state(),
+              uninterrupted->client(i).buffer_state())
+        << "client " << i;
+    const EvalResult a = resumed->EvaluatePersonalized(i, fed.test);
+    const EvalResult b = uninterrupted->EvaluatePersonalized(i, fed.test);
+    EXPECT_EQ(a.loss, b.loss) << "client " << i;
+    EXPECT_EQ(a.accuracy, b.accuracy) << "client " << i;
+  }
+}
+
+// ------------------------------------------------------------- restore guard
+
+TEST(RestoreGuardTest, FingerprintMismatchLeavesServerIntact) {
+  ServerConfig config;
+  config.seed = 5;
+  auto source = CkptServer("fedavg", AlgorithmConfig{}, config);
+  source->RunRound(CkptOptions());
+  const ServerCheckpoint checkpoint = source->MakeCheckpoint();
+
+  // Wrong algorithm.
+  auto other_algorithm = CkptServer("fednova", AlgorithmConfig{}, config);
+  StateVector before = other_algorithm->global_state();
+  EXPECT_FALSE(other_algorithm->RestoreCheckpoint(checkpoint).ok());
+  EXPECT_EQ(other_algorithm->global_state(), before);
+  EXPECT_EQ(other_algorithm->rounds_completed(), 0);
+
+  // Wrong seed.
+  ServerConfig other_seed_config = config;
+  other_seed_config.seed = 6;
+  auto other_seed = CkptServer("fedavg", AlgorithmConfig{}, other_seed_config);
+  before = other_seed->global_state();
+  EXPECT_FALSE(other_seed->RestoreCheckpoint(checkpoint).ok());
+  EXPECT_EQ(other_seed->global_state(), before);
+
+  // The rejected server is still healthy: it can run rounds afterwards.
+  other_seed->RunRound(CkptOptions());
+  EXPECT_EQ(other_seed->rounds_completed(), 1);
+}
+
+TEST(RestoreGuardTest, AlgorithmStateShapeMismatchRejectedBeforeMutation) {
+  ServerConfig config;
+  config.seed = 5;
+  auto source = CkptServer("scaffold", AlgorithmConfig{}, config);
+  source->RunRound(CkptOptions());
+  ServerCheckpoint checkpoint = source->MakeCheckpoint();
+  // SCAFFOLD expects 1 + num_clients control vectors; drop one.
+  ASSERT_GT(checkpoint.algorithm_state.size(), 1u);
+  checkpoint.algorithm_state.pop_back();
+
+  auto target = CkptServer("scaffold", AlgorithmConfig{}, config);
+  const StateVector before = target->global_state();
+  EXPECT_FALSE(target->RestoreCheckpoint(checkpoint).ok());
+  EXPECT_EQ(target->global_state(), before);
+  EXPECT_EQ(target->rounds_completed(), 0);
+}
+
+TEST(RestoreGuardTest, StatelessAlgorithmRejectsForeignState) {
+  ServerConfig config;
+  config.seed = 5;
+  auto source = CkptServer("fedavg", AlgorithmConfig{}, config);
+  source->RunRound(CkptOptions());
+  ServerCheckpoint checkpoint = source->MakeCheckpoint();
+  ASSERT_TRUE(checkpoint.algorithm_state.empty());
+  checkpoint.algorithm_state.push_back(StateVector{1.f, 2.f});
+
+  auto target = CkptServer("fedavg", AlgorithmConfig{}, config);
+  EXPECT_FALSE(target->RestoreCheckpoint(checkpoint).ok());
+}
+
+// --------------------------------------------------- model-file hardening
+
+TEST(ModelFileHardeningTest, HostileNameLengthRejectedWithoutMutation) {
+  const std::string path = TestPath("model_hostile_name.bin");
+  Rng rng(3);
+  auto model = CreateModel(CkptMlpSpec(), rng);
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  std::string bytes = Slurp(path);
+  // First name length lives right after magic(8) + param count(8). Declare
+  // an absurd length; the cap must reject it before allocating.
+  uint32_t hostile = 0x7fffffff;
+  std::memcpy(bytes.data() + 16, &hostile, sizeof(hostile));
+  Dump(path, bytes);
+
+  const StateVector before = FlattenState(*model);
+  EXPECT_EQ(LoadModel(*model, path).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(FlattenState(*model), before);
+}
+
+TEST(ModelFileHardeningTest, TruncatedTensorDataRejectedWithoutMutation) {
+  const std::string path = TestPath("model_trunc.bin");
+  Rng rng(3);
+  auto model = CreateModel(CkptMlpSpec(), rng);
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  const std::string bytes = Slurp(path);
+  Dump(path, bytes.substr(0, bytes.size() - 10));
+
+  Rng rng2(4);  // different init, so a partial load would be visible
+  auto victim = CreateModel(CkptMlpSpec(), rng2);
+  const StateVector before = FlattenState(*victim);
+  EXPECT_EQ(LoadModel(*victim, path).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(FlattenState(*victim), before);
+}
+
+TEST(ModelFileHardeningTest, NaNPayloadRejectedWithoutMutation) {
+  const std::string path = TestPath("model_nan.bin");
+  Rng rng(3);
+  auto model = CreateModel(CkptMlpSpec(), rng);
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  std::string bytes = Slurp(path);
+  // Poison the LAST float in the file: every earlier tensor stages cleanly,
+  // so this asserts the no-partial-commit property, not just detection.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(bytes.data() + bytes.size() - sizeof(float), &nan, sizeof(nan));
+  Dump(path, bytes);
+
+  Rng rng2(4);
+  auto victim = CreateModel(CkptMlpSpec(), rng2);
+  const StateVector before = FlattenState(*victim);
+  EXPECT_EQ(LoadModel(*victim, path).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(FlattenState(*victim), before);
+}
+
+}  // namespace
+}  // namespace niid

@@ -1,0 +1,439 @@
+// Tests for the deterministic fault-injection layer and the server's
+// quorum-guarded robustness path: pure, seeded fault schedules; the
+// ValidateUpdate guard; and bit-identical faulty rounds across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/client.h"
+#include "fl/faults.h"
+#include "fl/server.h"
+#include "nn/models/factory.h"
+
+namespace niid {
+namespace {
+
+FaultConfig AllFaultsConfig() {
+  FaultConfig config;
+  config.drop_rate = 0.1;
+  config.crash_rate = 0.1;
+  config.straggle_rate = 0.2;
+  config.corrupt_rate = 0.1;
+  config.seed = 77;
+  return config;
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(FaultPlanTest, DisabledPlanNeverFaults) {
+  FaultPlan plan(FaultConfig{}, /*server_seed=*/5);
+  EXPECT_FALSE(plan.enabled());
+  for (int round = 0; round < 10; ++round) {
+    for (int client = 0; client < 10; ++client) {
+      EXPECT_EQ(plan.Decide(round, client).type, FaultType::kNone);
+    }
+  }
+}
+
+TEST(FaultPlanTest, DecideIsAPureFunctionOfRoundAndClient) {
+  const FaultConfig config = AllFaultsConfig();
+  FaultPlan a(config, /*server_seed=*/5);
+  FaultPlan b(config, /*server_seed=*/5);
+  for (int round = 0; round < 20; ++round) {
+    for (int client = 0; client < 20; ++client) {
+      const FaultDecision first = a.Decide(round, client);
+      // Same plan asked again, and an independently built plan, must agree.
+      const FaultDecision again = a.Decide(round, client);
+      const FaultDecision other = b.Decide(round, client);
+      EXPECT_EQ(static_cast<int>(first.type), static_cast<int>(again.type));
+      EXPECT_EQ(first.work_fraction, again.work_fraction);
+      EXPECT_EQ(static_cast<int>(first.type), static_cast<int>(other.type));
+      EXPECT_EQ(first.work_fraction, other.work_fraction);
+    }
+  }
+}
+
+TEST(FaultPlanTest, ExplicitSeedDecouplesScheduleFromServerSeed) {
+  const FaultConfig config = AllFaultsConfig();  // seed = 77
+  FaultPlan a(config, /*server_seed=*/1);
+  FaultPlan b(config, /*server_seed=*/999);
+  for (int round = 0; round < 10; ++round) {
+    for (int client = 0; client < 10; ++client) {
+      EXPECT_EQ(static_cast<int>(a.Decide(round, client).type),
+                static_cast<int>(b.Decide(round, client).type));
+    }
+  }
+}
+
+TEST(FaultPlanTest, DerivedSeedVariesWithServerSeed) {
+  FaultConfig config = AllFaultsConfig();
+  config.seed = 0;  // derive from the server seed
+  FaultPlan a(config, /*server_seed=*/1);
+  FaultPlan b(config, /*server_seed=*/2);
+  int differing = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int client = 0; client < 20; ++client) {
+      if (a.Decide(round, client).type != b.Decide(round, client).type) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, EmpiricalRatesMatchConfiguredRates) {
+  const FaultConfig config = AllFaultsConfig();
+  FaultPlan plan(config, /*server_seed=*/5);
+  const int rounds = 200, clients = 100;
+  const double cells = static_cast<double>(rounds) * clients;
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int round = 0; round < rounds; ++round) {
+    for (int client = 0; client < clients; ++client) {
+      ++counts[static_cast<int>(plan.Decide(round, client).type)];
+    }
+  }
+  const double tolerance = 0.02;
+  EXPECT_NEAR(counts[static_cast<int>(FaultType::kDrop)] / cells,
+              config.drop_rate, tolerance);
+  EXPECT_NEAR(counts[static_cast<int>(FaultType::kCrash)] / cells,
+              config.crash_rate, tolerance);
+  EXPECT_NEAR(counts[static_cast<int>(FaultType::kStraggle)] / cells,
+              config.straggle_rate, tolerance);
+  EXPECT_NEAR(counts[static_cast<int>(FaultType::kCorrupt)] / cells,
+              config.corrupt_rate, tolerance);
+}
+
+TEST(FaultPlanTest, WorkFractionsStayWithinConfiguredBounds) {
+  FaultConfig config;
+  config.straggle_rate = 0.5;
+  config.crash_rate = 0.3;
+  config.straggle_floor = 0.4;
+  config.seed = 3;
+  FaultPlan plan(config, /*server_seed=*/5);
+  for (int round = 0; round < 50; ++round) {
+    for (int client = 0; client < 20; ++client) {
+      const FaultDecision decision = plan.Decide(round, client);
+      if (decision.type == FaultType::kStraggle ||
+          decision.type == FaultType::kCrash) {
+        EXPECT_GE(decision.work_fraction, config.straggle_floor);
+        EXPECT_LT(decision.work_fraction, 1.0);
+      }
+    }
+  }
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(FaultPlanDeathTest, RejectsOutOfRangeRates) {
+  FaultConfig negative;
+  negative.drop_rate = -0.1;
+  EXPECT_DEATH(FaultPlan(negative, 1), "");
+  FaultConfig oversum;
+  oversum.drop_rate = 0.6;
+  oversum.crash_rate = 0.6;
+  EXPECT_DEATH(FaultPlan(oversum, 1), "mutually exclusive");
+  FaultConfig bad_floor;
+  bad_floor.straggle_rate = 0.1;
+  bad_floor.straggle_floor = 0.0;
+  EXPECT_DEATH(FaultPlan(bad_floor, 1), "");
+}
+#endif
+
+// ---------------------------------------------------------------- validate
+
+LocalUpdate SmallUpdate() {
+  LocalUpdate update;
+  update.client_id = 3;
+  update.num_samples = 10;
+  update.tau = 4;
+  update.average_loss = 0.5;
+  update.delta = {0.1f, -0.2f, 0.3f};
+  return update;
+}
+
+TEST(ValidateUpdateTest, AcceptsFiniteUpdate) {
+  EXPECT_TRUE(ValidateUpdate(SmallUpdate(), /*max_update_norm=*/0.0).ok());
+  EXPECT_TRUE(ValidateUpdate(SmallUpdate(), /*max_update_norm=*/10.0).ok());
+}
+
+TEST(ValidateUpdateTest, RejectsNaNAndInfInDelta) {
+  LocalUpdate update = SmallUpdate();
+  update.delta[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(ValidateUpdate(update, 0.0).code(), StatusCode::kDataLoss);
+  update = SmallUpdate();
+  update.delta[0] = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(ValidateUpdate(update, 0.0).code(), StatusCode::kDataLoss);
+}
+
+TEST(ValidateUpdateTest, RejectsNonFiniteControlVariateAndLoss) {
+  LocalUpdate update = SmallUpdate();
+  update.delta_c = {0.f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_EQ(ValidateUpdate(update, 0.0).code(), StatusCode::kDataLoss);
+  update = SmallUpdate();
+  update.average_loss = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ValidateUpdate(update, 0.0).code(), StatusCode::kDataLoss);
+}
+
+TEST(ValidateUpdateTest, NormCapCatchesFiniteBlowup) {
+  LocalUpdate update = SmallUpdate();
+  for (float& v : update.delta) v *= 1e7f;
+  // Finite, so a finiteness-only check passes it...
+  EXPECT_TRUE(ValidateUpdate(update, /*max_update_norm=*/0.0).ok());
+  // ...but the norm cap does not.
+  EXPECT_EQ(ValidateUpdate(update, /*max_update_norm=*/100.0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorruptTest, EveryModeIsCaughtByTheGuard) {
+  FaultConfig config;
+  config.corrupt_rate = 1.0;
+  config.seed = 11;
+  FaultPlan plan(config, /*server_seed=*/5);
+  int caught = 0, seen = 0;
+  bool saw_modes[3] = {false, false, false};
+  for (int client = 0; client < 64; ++client) {
+    const FaultDecision decision = plan.Decide(/*round=*/0, client);
+    ASSERT_EQ(static_cast<int>(decision.type),
+              static_cast<int>(FaultType::kCorrupt));
+    saw_modes[static_cast<int>(decision.corruption)] = true;
+    LocalUpdate update = SmallUpdate();
+    update.delta.assign(256, 0.01f);
+    plan.Corrupt(decision, /*round=*/0, client, update);
+    ++seen;
+    if (!ValidateUpdate(update, /*max_update_norm=*/100.0).ok()) ++caught;
+  }
+  EXPECT_EQ(caught, seen);
+  EXPECT_TRUE(saw_modes[0] && saw_modes[1] && saw_modes[2])
+      << "64 corrupt draws should exercise NaN, Inf, and norm-blowup";
+}
+
+// --------------------------------------------------------------- federation
+
+ModelSpec FaultMlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+Dataset FaultDataset(int64_t n, uint64_t seed) {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = n;
+  config.test_size = 1;
+  config.class_sep = 3.0f;
+  config.seed = seed;
+  return MakeSyntheticTabular(config).train;
+}
+
+std::vector<std::unique_ptr<Client>> FaultClients(int num_clients,
+                                                  int64_t samples_each) {
+  Dataset full = FaultDataset(256, /*seed=*/4242);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    std::vector<int64_t> shard;
+    for (int64_t k = 0; k < samples_each; ++k) {
+      shard.push_back((static_cast<int64_t>(i) * samples_each + k) %
+                      full.size());
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> FaultServer(const std::string& algorithm,
+                                             const ServerConfig& config,
+                                             int num_clients = 6,
+                                             int64_t samples_each = 32) {
+  auto algorithm_or = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  return std::make_unique<FederatedServer>(
+      MakeModelFactory(FaultMlpSpec()), FaultClients(num_clients, samples_each),
+      std::move(*algorithm_or), config);
+}
+
+LocalTrainOptions FaultOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+struct FaultRunResult {
+  StateVector state;
+  std::vector<int> dropped, crashed, straggled, rejected, aggregated;
+  std::vector<double> losses;
+};
+
+FaultRunResult RunFaultyRounds(const std::string& algorithm, int threads,
+                               int rounds) {
+  ServerConfig config;
+  config.seed = 5;
+  config.num_threads = threads;
+  config.faults = AllFaultsConfig();
+  config.max_update_norm = 1e4;
+  config.min_aggregate_clients = 2;
+  FaultRunResult result;
+  auto server = FaultServer(algorithm, config);
+  for (int round = 0; round < rounds; ++round) {
+    const RoundStats stats = server->RunRound(FaultOptions());
+    result.dropped.push_back(stats.dropped);
+    result.crashed.push_back(stats.crashed);
+    result.straggled.push_back(stats.straggled);
+    result.rejected.push_back(stats.rejected);
+    result.aggregated.push_back(stats.aggregated);
+    result.losses.push_back(stats.mean_local_loss);
+  }
+  result.state = server->global_state();
+  return result;
+}
+
+// The tentpole determinism claim: a faulty federation — drops, crashes,
+// stragglers, corrupted uploads, rejections, quorum bookkeeping — must be
+// bit-identical across num_threads in {1, 2, 8} for every algorithm family.
+TEST(FaultRoundTest, FaultyRoundsBitIdenticalAcrossThreadCounts) {
+  for (const std::string& name :
+       {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
+    const FaultRunResult base = RunFaultyRounds(name, /*threads=*/1,
+                                                /*rounds=*/4);
+    for (int threads : {2, 8}) {
+      const FaultRunResult run = RunFaultyRounds(name, threads, /*rounds=*/4);
+      EXPECT_EQ(run.state, base.state) << name << " threads=" << threads;
+      EXPECT_EQ(run.dropped, base.dropped) << name;
+      EXPECT_EQ(run.crashed, base.crashed) << name;
+      EXPECT_EQ(run.straggled, base.straggled) << name;
+      EXPECT_EQ(run.rejected, base.rejected) << name;
+      EXPECT_EQ(run.aggregated, base.aggregated) << name;
+      EXPECT_EQ(run.losses, base.losses) << name;
+    }
+  }
+}
+
+// With faults configured but every rate zero, the fault layer must be fully
+// transparent: bitwise-identical to a server that never heard of faults.
+TEST(FaultRoundTest, ZeroRatesAreBitTransparent) {
+  ServerConfig plain;
+  plain.seed = 5;
+  ServerConfig with_layer = plain;
+  with_layer.faults.seed = 123;  // configured, but no rate is positive
+  with_layer.max_update_norm = 1e9;
+  auto a = FaultServer("fedavg", plain);
+  auto b = FaultServer("fedavg", with_layer);
+  for (int round = 0; round < 3; ++round) {
+    a->RunRound(FaultOptions());
+    b->RunRound(FaultOptions());
+  }
+  EXPECT_EQ(a->global_state(), b->global_state());
+}
+
+TEST(FaultRoundTest, CorruptedUpdatesAreRejectedNotAggregated) {
+  ServerConfig config;
+  config.seed = 5;
+  config.faults.corrupt_rate = 1.0;
+  config.faults.seed = 9;
+  config.max_update_norm = 1e4;
+  config.max_resample_retries = 1;
+  auto server = FaultServer("fedavg", config);
+  const StateVector before = server->global_state();
+  const RoundStats stats = server->RunRound(FaultOptions());
+  // Every upload is corrupted and every mode is caught, so nothing survives:
+  // the round falls below quorum and the global model must not move.
+  EXPECT_EQ(stats.aggregated, 0);
+  EXPECT_FALSE(stats.quorum_met);
+  EXPECT_GT(stats.rejected, 0);
+  EXPECT_EQ(server->global_state(), before);
+  EXPECT_EQ(server->rounds_completed(), 1);
+}
+
+TEST(FaultRoundTest, AllDropRoundTerminatesWithinRetryBudget) {
+  ServerConfig config;
+  config.seed = 5;
+  config.faults.drop_rate = 1.0;
+  config.faults.seed = 9;
+  config.min_aggregate_clients = 3;
+  config.max_resample_retries = 2;
+  auto server = FaultServer("fedavg", config);
+  const StateVector before = server->global_state();
+  const RoundStats stats = server->RunRound(FaultOptions());
+  EXPECT_FALSE(stats.quorum_met);
+  EXPECT_EQ(stats.aggregated, 0);
+  EXPECT_LE(stats.resample_retries, config.max_resample_retries);
+  // Full participation: everyone was attempted once, then the round gave up.
+  EXPECT_EQ(stats.dropped, server->num_clients());
+  EXPECT_EQ(server->global_state(), before);
+  EXPECT_EQ(server->rounds_completed(), 1);
+  EXPECT_EQ(stats.mean_local_loss, 0.0);
+}
+
+TEST(FaultRoundTest, QuorumResamplesUnderPartialParticipation) {
+  // Half the parties drop; sampling 2 of 12 per attempt with a quorum of 3
+  // forces re-sampling, and the retry budget bounds it.
+  ServerConfig config;
+  config.seed = 5;
+  config.sample_fraction = 0.17;  // 2 of 12
+  config.faults.drop_rate = 0.5;
+  config.faults.seed = 9;
+  config.min_aggregate_clients = 3;
+  config.max_resample_retries = 5;
+  auto server = FaultServer("fedavg", config, /*num_clients=*/12,
+                            /*samples_each=*/16);
+  int retries = 0;
+  for (int round = 0; round < 5; ++round) {
+    const RoundStats stats = server->RunRound(FaultOptions());
+    retries += stats.resample_retries;
+    EXPECT_LE(stats.resample_retries, config.max_resample_retries);
+    if (stats.quorum_met) {
+      EXPECT_GE(stats.aggregated, config.min_aggregate_clients);
+    }
+  }
+  EXPECT_GT(retries, 0) << "a 2-party sample cannot meet a 3-party quorum "
+                           "without re-sampling";
+}
+
+// Stragglers exercise FedNova's variable-tau normalization: a heavily
+// truncated federation must still train (tau_i differs per party and per
+// round, and aggregation has to stay well-defined).
+TEST(FaultRoundTest, StragglersKeepFedNovaWellDefined) {
+  ServerConfig config;
+  config.seed = 5;
+  config.faults.straggle_rate = 1.0;
+  config.faults.straggle_floor = 0.1;
+  config.faults.seed = 9;
+  auto server = FaultServer("fednova", config);
+  for (int round = 0; round < 3; ++round) {
+    const RoundStats stats = server->RunRound(FaultOptions());
+    EXPECT_TRUE(stats.quorum_met);
+    EXPECT_EQ(stats.straggled, server->num_clients());
+    EXPECT_EQ(stats.aggregated, server->num_clients());
+  }
+  for (const float v : server->global_state()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+// A crashed party's work is discarded before any durable state moves:
+// SCAFFOLD's control variates must evolve exactly as if the party had never
+// been sampled into the round's aggregation.
+TEST(FaultRoundTest, CrashDiscardsUpdateBeforeAggregation) {
+  ServerConfig config;
+  config.seed = 5;
+  config.faults.crash_rate = 1.0;
+  config.faults.seed = 9;
+  auto server = FaultServer("scaffold", config);
+  const StateVector before = server->global_state();
+  const RoundStats stats = server->RunRound(FaultOptions());
+  EXPECT_EQ(stats.crashed, server->num_clients());
+  EXPECT_EQ(stats.aggregated, 0);
+  EXPECT_EQ(server->global_state(), before);
+}
+
+}  // namespace
+}  // namespace niid

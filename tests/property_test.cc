@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "core/runner.h"
+#include "fl/sampling.h"
 #include "partition/report.h"
 
 namespace niid {
@@ -219,6 +220,58 @@ TEST_P(AggregationConservation, UnanimousDeltaIsAppliedExactly) {
 INSTANTIATE_TEST_SUITE_P(All, AggregationConservation,
                          ::testing::Values("fedavg", "fedprox", "scaffold",
                                            "fednova"));
+
+// ------------------------------------------------- party sampling
+
+// Structural invariants over a sweep of federation sizes and fractions: the
+// sample is non-empty, within range, duplicate-free, and never larger than
+// the federation.
+TEST(SamplingPropertyTest, SamplesAreValidSubsetsAcrossTheGrid) {
+  Rng rng(7);
+  for (int num_clients : {1, 2, 3, 10, 97}) {
+    for (double fraction : {1e-9, 0.1, 0.33, 0.5, 0.999, 1.0}) {
+      const std::vector<int> parties =
+          SampleParties(rng, num_clients, fraction);
+      EXPECT_GE(parties.size(), 1u);
+      EXPECT_LE(parties.size(), static_cast<size_t>(num_clients));
+      std::set<int> unique(parties.begin(), parties.end());
+      EXPECT_EQ(unique.size(), parties.size())
+          << "duplicate party at n=" << num_clients << " C=" << fraction;
+      for (int p : parties) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, num_clients);
+      }
+      if (fraction >= 1.0) {
+        EXPECT_EQ(parties.size(), static_cast<size_t>(num_clients));
+      }
+    }
+  }
+}
+
+TEST(SamplingPropertyTest, SingleClientFederationAlwaysSamplesTheClient) {
+  Rng rng(7);
+  for (double fraction : {0.01, 0.5, 1.0}) {
+    EXPECT_EQ(SampleParties(rng, 1, fraction), std::vector<int>{0});
+  }
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(SamplingDeathTest, RejectsDegenerateArguments) {
+  Rng rng(7);
+  EXPECT_DEATH(SampleParties(rng, 0, 0.5), "");
+  EXPECT_DEATH(SampleParties(rng, -3, 0.5), "");
+  EXPECT_DEATH(SampleParties(rng, 10, 0.0), "");
+  EXPECT_DEATH(SampleParties(rng, 10, -0.2), "");
+  EXPECT_DEATH(SampleParties(rng, 10, 1.5), "");
+  // NaN fails every ordered comparison, so the guards must catch it too.
+  EXPECT_DEATH(SampleParties(rng, 10, std::nan("")), "");
+  EXPECT_DEATH(
+      SamplePartiesSkewAware(rng, std::vector<std::vector<int64_t>>{}, 0.5),
+      "");
+  const std::vector<std::vector<int64_t>> empty_histograms = {{}, {}};
+  EXPECT_DEATH(SamplePartiesSkewAware(rng, empty_histograms, 0.5), "");
+}
+#endif
 
 }  // namespace
 }  // namespace niid

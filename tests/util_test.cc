@@ -349,6 +349,75 @@ TEST(FlagsTest, ParsesKeyValueAndBooleans) {
 }
 
 
+TEST(FlagsTest, ValidateAcceptsFullyQueriedCommandLine) {
+  const char* argv[] = {"prog", "--rounds=30", "--quick"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  flags.GetInt("rounds", 1);
+  flags.GetBool("quick", false);
+  EXPECT_TRUE(flags.Validate().ok());
+}
+
+TEST(FlagsTest, ValidateRejectsUnknownFlagAndListsValidOnes) {
+  const char* argv[] = {"prog", "--rounds=30", "--ruonds=50"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  flags.GetInt("rounds", 1);
+  flags.GetDouble("lr", 0.01);
+  const Status status = flags.Validate();
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The message must name the offender and the valid surface, so a typo is
+  // actionable instead of silently ignored.
+  EXPECT_NE(status.message().find("ruonds"), std::string::npos);
+  EXPECT_NE(status.message().find("rounds"), std::string::npos);
+  EXPECT_NE(status.message().find("lr"), std::string::npos);
+}
+
+TEST(FlagsTest, ValidateRejectsMalformedNumericValues) {
+  const char* argv[] = {"prog", "--rounds=abc"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("rounds", 7), 7);  // default on parse failure
+  const Status status = flags.Validate();
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("rounds"), std::string::npos);
+}
+
+TEST(FlagsTest, ValidateRejectsPartiallyNumericAndOverflowValues) {
+  const char* argv[] = {"prog", "--epochs=3x", "--seed=999999999999999999999",
+                        "--lr=0.1.2", "--flag=maybe"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  flags.GetInt("epochs", 1);
+  flags.GetInt64("seed", 1);
+  flags.GetDouble("lr", 0.0);
+  flags.GetBool("flag", false);
+  const Status status = flags.Validate();
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  for (const char* name : {"epochs", "seed", "lr", "flag"}) {
+    EXPECT_NE(status.message().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(FlagsTest, ValidateHonorsExtraKnownNames) {
+  const char* argv[] = {"prog", "--late_flag=x"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.Validate().ok());
+  EXPECT_TRUE(flags.Validate({"late_flag"}).ok());
+}
+
+TEST(FlagsTest, GetBoolAcceptsCommonSpellings) {
+  const char* argv[] = {"prog",      "--a=true", "--b=1",  "--c=YES",
+                        "--d=on",    "--e=false", "--f=0", "--g=No",
+                        "--h=off"};
+  FlagParser flags(9, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_TRUE(flags.GetBool("d", false));
+  EXPECT_FALSE(flags.GetBool("e", true));
+  EXPECT_FALSE(flags.GetBool("f", true));
+  EXPECT_FALSE(flags.GetBool("g", true));
+  EXPECT_FALSE(flags.GetBool("h", true));
+  EXPECT_TRUE(flags.Validate().ok());
+}
+
 TEST(FlagsTest, SplitCommaList) {
   EXPECT_EQ(SplitCommaList("a,b,c"),
             (std::vector<std::string>{"a", "b", "c"}));

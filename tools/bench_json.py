@@ -27,6 +27,14 @@ federated-round latency at 10 and 100 parties, pooled global-evaluation
 latency, and the peak_rss_mb / live_model_replicas counters that back the
 O(threads) model-memory claim.
 
+Suite "faults" (BM_Fault*): accuracy under deterministic fault injection.
+Each benchmark trains a quantity-skewed 12-party federation to completion
+under a straggle or drop schedule and exports the final global accuracy as a
+counter. The summary reports per-algorithm accuracy at each fault level plus
+the degradation (fault-free accuracy minus accuracy at the heaviest fault
+level), and the headline boolean fednova_degrades_less_than_fedavg — the
+tau-normalization claim from the paper's device-heterogeneity discussion.
+
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
 
@@ -46,6 +54,7 @@ SUITE_FILTER = {
     "gemm": "BM_Matmul",
     "step": "^BM_Step|^BM_SimpleCnnStep",
     "round": "^BM_Round|^BM_Eval",
+    "faults": "^BM_Fault",
 }
 
 # BM_SimpleCnnStep measured at the commit immediately before the kernel-layer
@@ -135,10 +144,51 @@ def round_summary(entries: dict) -> dict:
     }
 
 
+def faults_summary(entries: dict) -> dict:
+    algorithms = {"0": "fedavg", "1": "fednova"}
+
+    def matrix(family: str) -> dict:
+        # BM_FaultStraggle/<algo>/<pct> -> {algo: {pct: final_accuracy}}
+        table: dict = {name: {} for name in algorithms.values()}
+        for name, entry in entries.items():
+            parts = name.split("/")
+            if parts[0] != family or len(parts) != 3:
+                continue
+            algo = algorithms.get(parts[1])
+            if algo is None or "final_accuracy" not in entry:
+                continue
+            table[algo][parts[2]] = entry["final_accuracy"]
+        return table
+
+    def degradation(table: dict, algo: str):
+        levels = table.get(algo, {})
+        if not levels:
+            return None
+        pcts = sorted(levels, key=int)
+        return levels[pcts[0]] - levels[pcts[-1]]
+
+    straggle = matrix("BM_FaultStraggle")
+    drop = matrix("BM_FaultDrop")
+    fedavg_loss = degradation(straggle, "fedavg")
+    fednova_loss = degradation(straggle, "fednova")
+    return {
+        "straggle_accuracy_by_pct": straggle,
+        "drop_accuracy_by_pct": drop,
+        "fedavg_straggle_degradation": fedavg_loss,
+        "fednova_straggle_degradation": fednova_loss,
+        "fednova_degrades_less_than_fedavg": (
+            fednova_loss < fedavg_loss
+            if fedavg_loss is not None and fednova_loss is not None
+            else None
+        ),
+    }
+
+
 SUITE_SUMMARY = {
     "gemm": gemm_summary,
     "step": step_summary,
     "round": round_summary,
+    "faults": faults_summary,
 }
 
 
@@ -200,7 +250,7 @@ def main() -> int:
             entry["items_per_second"] = bench["items_per_second"]
             if args.suite == "gemm":
                 entry["gflops"] = bench["items_per_second"] / 1e9
-        for key in ("peak_rss_mb", "live_model_replicas"):
+        for key in ("peak_rss_mb", "live_model_replicas", "final_accuracy"):
             if key in bench:
                 entry[key] = bench[key]
         entries[name] = entry
