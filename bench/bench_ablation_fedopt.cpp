@@ -55,7 +55,11 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   leaderboard.Print(std::cout);
   if (flags.Has("out_csv")) {
-    leaderboard.SaveCsv(flags.GetString("out_csv", ""));
+    const niid::Status saved = leaderboard.SaveCsv(flags.GetString("out_csv", ""));
+    if (!saved.ok()) {
+      std::cerr << "failed to write out_csv: " << saved.ToString() << "\n";
+      return 1;
+    }
   }
   return 0;
 }

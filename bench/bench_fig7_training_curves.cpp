@@ -52,7 +52,12 @@ int main(int argc, char** argv) {
     if (flags.Has("out_csv")) {
       const std::string path = flags.GetString("out_csv", "") + "." +
                                partition + ".csv";
-      niid::WriteCurvesCsv(curves, path);
+      const niid::Status written = niid::WriteCurvesCsv(curves, path);
+      if (!written.ok()) {
+        std::cerr << "failed to write " << path << ": " << written.ToString()
+                  << "\n";
+        return 1;
+      }
       std::cout << "wrote " << path << "\n";
     }
   }

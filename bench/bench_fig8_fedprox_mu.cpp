@@ -39,7 +39,12 @@ int main(int argc, char** argv) {
               << niid::FormatPercent(curve.values.back()) << "\n";
   }
   if (flags.Has("out_csv")) {
-    niid::WriteCurvesCsv(curves, flags.GetString("out_csv", ""));
+    const niid::Status written =
+        niid::WriteCurvesCsv(curves, flags.GetString("out_csv", ""));
+    if (!written.ok()) {
+      std::cerr << "failed to write out_csv: " << written.ToString() << "\n";
+      return 1;
+    }
   }
   return 0;
 }

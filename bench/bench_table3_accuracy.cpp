@@ -173,7 +173,13 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   leaderboard.Print(std::cout);
   if (flags.Has("leaderboard_csv")) {
-    leaderboard.SaveCsv(flags.GetString("leaderboard_csv", ""));
+    const niid::Status saved =
+        leaderboard.SaveCsv(flags.GetString("leaderboard_csv", ""));
+    if (!saved.ok()) {
+      std::cerr << "failed to write leaderboard_csv: " << saved.ToString()
+                << "\n";
+      return 1;
+    }
   }
   if (csv) csv->Flush();
   return 0;

@@ -163,7 +163,12 @@ int main(int argc, char** argv) {
   std::vector<niid::Curve> curves = {{config.algorithm, result.MeanCurve()}};
   niid::PrintCurves(curves, std::cout, std::max(1, config.rounds / 15));
   if (!out_csv.empty()) {
-    niid::WriteCurvesCsv(curves, out_csv);
+    const niid::Status written = niid::WriteCurvesCsv(curves, out_csv);
+    if (!written.ok()) {
+      std::cerr << "failed to write " << out_csv << ": " << written.ToString()
+                << "\n";
+      return 1;
+    }
   }
 
   if (!save_path.empty()) {

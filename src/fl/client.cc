@@ -27,6 +27,8 @@ void Client::LoadPersonalState(Module& model,
   LoadBufferState(model, layout, buffer_state_);
 }
 
+// NIID_HOT: per-round local training; all scratch lives in the leased
+// TrainContext, so steady-state rounds perform no heap allocation.
 LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
                           const LocalTrainOptions& options,
                           const GradHook& grad_hook) {
@@ -48,6 +50,7 @@ LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
   // and with it the velocity storage and cached parameter list — persists
   // with the workspace.
   if (ctx.optimizer == nullptr) {
+    // NOLINTNEXTLINE(niid-hot-alloc) one-time lazy init at first checkout
     ctx.optimizer = std::make_unique<SgdOptimizer>(
         *ctx.model, options.learning_rate, options.momentum,
         options.weight_decay);
@@ -62,7 +65,7 @@ LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
   update.client_id = id_;
   update.num_samples = data_.size();
 
-  ctx.order.resize(data_.size());
+  ctx.order.resize(data_.size());  // NOLINT(niid-hot-alloc) grow-only scratch
   std::iota(ctx.order.begin(), ctx.order.end(), 0);
   double loss_sum = 0.0;
   for (int epoch = 0; epoch < options.local_epochs; ++epoch) {
@@ -98,6 +101,7 @@ LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
   return update;
 }
 
+// NIID_HOT: called per round by control-variate algorithms (Scaffold).
 void Client::FullBatchGradientInto(TrainContext& ctx, const StateVector& state,
                                    int batch_size, StateVector& out) {
   NIID_CHECK_GE(batch_size, 1);
@@ -109,7 +113,7 @@ void Client::FullBatchGradientInto(TrainContext& ctx, const StateVector& state,
   const double total = static_cast<double>(data_.size());
   for (int64_t start = 0; start < data_.size(); start += batch_size) {
     const int64_t count = std::min<int64_t>(batch_size, data_.size() - start);
-    ctx.batch_indices.resize(count);
+    ctx.batch_indices.resize(count);  // NOLINT(niid-hot-alloc) grow-only
     std::iota(ctx.batch_indices.begin(), ctx.batch_indices.end(), start);
     GatherBatchInto(data_, ctx.batch_indices, ctx.batch_x, ctx.batch_y);
     const Tensor& logits = ctx.model->Forward(ctx.batch_x);

@@ -4,6 +4,8 @@
 
 namespace niid {
 
+// NIID_HOT: per-round aggregation inner loop shared by every algorithm;
+// iterates updates in sampled order so the reduction order is fixed.
 void FlAlgorithm::WeightedAverageDeltas(
     StateVector& global, const std::vector<LocalUpdate>& updates,
     const std::vector<StateSegment>& layout, float server_lr,
@@ -32,6 +34,7 @@ void FedAvg::Initialize(int num_clients, int64_t state_size) {
   }
 }
 
+// NIID_HOT: per-round client path.
 LocalUpdate FedAvg::RunClient(Client& client, TrainContext& ctx,
                               const StateVector& global,
                               const LocalTrainOptions& options) {

@@ -85,19 +85,21 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
     // bit-identical to single-threaded execution.
     workspaces_->SetComputePool(pool_.get());
   }
+  // High-water reservations for RunRound's per-round scratch: every vector
+  // is bounded by the party count, so rounds never grow them again.
+  round_survivors_.reserve(clients_.size());
+  round_attempted_.reserve(clients_.size());
+  round_options_.reserve(clients_.size());
+  round_work_.reserve(clients_.size());
+  round_updates_.reserve(clients_.size());
 }
 
+// NIID_HOT: the per-round orchestration path. All round scratch lives in
+// members reserved at construction (see the round_* fields), so steady-state
+// rounds do not touch the allocator from this frame.
 RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
   RoundStats stats;
   stats.round = rounds_completed_;
-
-  // One party's assignment for this round: which client, what fault it
-  // suffers, and its (possibly truncated) training options.
-  struct Assignment {
-    int client_id = -1;
-    FaultDecision decision;
-    LocalTrainOptions options;
-  };
 
   // Quorum loop. Each attempt samples a party set, trains the parties not
   // yet attempted this round, validates what arrives, and accumulates
@@ -106,8 +108,10 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
   // bounded by construction: attempts never exceed retries + 1, and a party
   // is attempted at most once per round (its fault decision is a pure
   // function of (round, client), so retrying it would change nothing).
-  std::vector<LocalUpdate> survivors;
-  std::vector<bool> attempted(clients_.size(), false);
+  std::vector<LocalUpdate>& survivors = round_survivors_;
+  survivors.clear();
+  std::vector<bool>& attempted = round_attempted_;
+  attempted.assign(clients_.size(), false);
   int num_attempted = 0;
   for (int attempt = 0;; ++attempt) {
     const std::vector<int> sampled =
@@ -121,8 +125,8 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
     // the server stream for every sampled party — including re-sampled ones
     // whose draw goes unused — so stream consumption is deterministic and,
     // with faults disabled, bit-identical to every earlier revision.
-    std::vector<LocalTrainOptions> per_client_options(sampled.size(),
-                                                      options);
+    std::vector<LocalTrainOptions>& per_client_options = round_options_;
+    per_client_options.assign(sampled.size(), options);
     if (config_.min_local_epochs > 0) {
       NIID_CHECK_LE(config_.min_local_epochs, options.local_epochs);
       for (auto& client_options : per_client_options) {
@@ -136,8 +140,8 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
     // Resolve fault decisions up front (they are pure in (round, client))
     // and build the work list: dropped parties never train, stragglers and
     // crashers get truncated epochs.
-    std::vector<Assignment> work;
-    work.reserve(sampled.size());
+    std::vector<Assignment>& work = round_work_;
+    work.clear();
     for (size_t i = 0; i < sampled.size(); ++i) {
       const int id = sampled[i];
       if (attempted[id]) continue;
@@ -168,10 +172,13 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
             1, static_cast<int>(assignment.decision.work_fraction *
                                 assignment.options.local_epochs));
       }
+      // NOLINTNEXTLINE(niid-hot-alloc) within capacity reserved at startup
       work.push_back(std::move(assignment));
     }
 
-    std::vector<LocalUpdate> updates(work.size());
+    std::vector<LocalUpdate>& updates = round_updates_;
+    updates.clear();
+    updates.resize(work.size());  // NOLINT(niid-hot-alloc) within capacity
     ParallelFor(
         pool_.get(), static_cast<int64_t>(work.size()), [&](int64_t slot) {
           // Check a workspace out for this party, train into it, check it
@@ -213,6 +220,7 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
         ++stats.rejected;
         continue;
       }
+      // NOLINTNEXTLINE(niid-hot-alloc) within capacity reserved at startup
       survivors.push_back(std::move(updates[slot]));
     }
 

@@ -132,6 +132,14 @@ class FederatedServer {
   }
 
  private:
+  /// One party's assignment for a round: which client, what fault it
+  /// suffers, and its (possibly truncated) training options.
+  struct Assignment {
+    int client_id = -1;
+    FaultDecision decision;
+    LocalTrainOptions options;
+  };
+
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
@@ -148,6 +156,16 @@ class FederatedServer {
   std::vector<std::vector<int64_t>> label_histograms_;
   int rounds_completed_ = 0;
   int64_t cumulative_upload_floats_ = 0;
+
+  // Per-round scratch, hoisted out of RunRound and reserved to the federation
+  // size at construction so steady-state rounds stay off the allocator (the
+  // quorum loop attempts each party at most once per round, bounding every
+  // vector by clients_.size()).
+  std::vector<LocalUpdate> round_survivors_;
+  std::vector<bool> round_attempted_;
+  std::vector<LocalTrainOptions> round_options_;
+  std::vector<Assignment> round_work_;
+  std::vector<LocalUpdate> round_updates_;
 };
 
 }  // namespace niid

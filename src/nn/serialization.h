@@ -17,7 +17,7 @@ namespace niid {
 ///                 uint32 rank, int64 dims..., float32 data...
 /// The layout doubles as an integrity check: loading into a model with a
 /// different architecture fails cleanly instead of silently mis-assigning.
-Status SaveModel(Module& module, const std::string& path);
+[[nodiscard]] Status SaveModel(Module& module, const std::string& path);
 
 /// Loads a file written by SaveModel into `module`. The module must have the
 /// same parameter names, order and shapes.
@@ -26,7 +26,7 @@ Status SaveModel(Module& module, const std::string& path);
 /// lengths, wrong magic, and non-finite payloads all return a clean error
 /// Status, and the module is only mutated after the entire file validates —
 /// a failed load leaves the model exactly as it was.
-Status LoadModel(Module& module, const std::string& path);
+[[nodiscard]] Status LoadModel(Module& module, const std::string& path);
 
 }  // namespace niid
 

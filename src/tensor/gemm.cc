@@ -163,6 +163,8 @@ inline void MicroKernel(int64_t kc, const float* a_panel, const float* b_panel,
 
 }  // namespace
 
+// NIID_HOT: the training step's inner loop; see the allocation policy note
+// on tls_pack_a/tls_pack_b above for the two sanctioned grow-only resizes.
 void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
           const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
           ThreadPool* pool) {
@@ -181,7 +183,8 @@ void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
     const int64_t b_panels = (nc + kNr - 1) / kNr;
     for (int64_t pc = 0; pc < k; pc += kGemmKc) {
       const int64_t kc = std::min<int64_t>(kGemmKc, k - pc);
-      tls_pack_b.resize(static_cast<size_t>(b_panels * kc * kNr));
+      tls_pack_b.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
+          static_cast<size_t>(b_panels * kc * kNr));
       float* packed_b = tls_pack_b.data();
       PackB(b, pc, kc, jc, nc, packed_b);
       // Later Kc blocks must continue each element's FMA chain from C.
@@ -195,7 +198,8 @@ void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
         const int64_t i0 = mb * kGemmMc;
         const int64_t mc = std::min<int64_t>(kGemmMc, m - i0);
         const int64_t a_panels = (mc + kMr - 1) / kMr;
-        tls_pack_a.resize(static_cast<size_t>(a_panels * kc * kMr));
+        tls_pack_a.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
+            static_cast<size_t>(a_panels * kc * kMr));
         float* packed_a = tls_pack_a.data();
         PackA(a, i0, mc, pc, kc, packed_a);
         for (int64_t q = 0; q < b_panels; ++q) {

@@ -148,14 +148,17 @@ void ForRanges(ThreadPool* pool, int64_t n, const Fn& fn) {
 // Production kernels.
 // ---------------------------------------------------------------------------
 
+// NIID_HOT
 void KernelFill(int64_t n, float value, float* x) {
   std::fill(x, x + n, value);
 }
 
+// NIID_HOT
 void KernelCopy(int64_t n, const float* src, float* dst) {
   std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
 }
 
+// NIID_HOT
 void KernelScale(int64_t n, float alpha, float* x, ThreadPool* pool) {
   ForRanges(pool, n, [&](int64_t begin, int64_t end) {
 #if NIID_KERNELS_USE_AVX2
@@ -171,6 +174,7 @@ void KernelScale(int64_t n, float alpha, float* x, ThreadPool* pool) {
   });
 }
 
+// NIID_HOT
 void KernelScaleInto(int64_t n, float alpha, const float* x, float* out) {
 #if NIID_KERNELS_USE_AVX2
   const __m256 va = _mm256_set1_ps(alpha);
@@ -184,6 +188,7 @@ void KernelScaleInto(int64_t n, float alpha, const float* x, float* out) {
 #endif
 }
 
+// NIID_HOT
 void KernelAxpy(int64_t n, float alpha, const float* x, float* y,
                 ThreadPool* pool) {
   ForRanges(pool, n, [&](int64_t begin, int64_t end) {
@@ -202,6 +207,7 @@ void KernelAxpy(int64_t n, float alpha, const float* x, float* y,
   });
 }
 
+// NIID_HOT
 void KernelSub(int64_t n, const float* a, const float* b, float* out,
                ThreadPool* pool) {
   ForRanges(pool, n, [&](int64_t begin, int64_t end) {
@@ -219,6 +225,7 @@ void KernelSub(int64_t n, const float* a, const float* b, float* out,
   });
 }
 
+// NIID_HOT
 void KernelSgdMomentumStep(int64_t n, float lr, float momentum,
                            float weight_decay, float* w, const float* g,
                            float* v, ThreadPool* pool) {
@@ -244,6 +251,7 @@ void KernelSgdMomentumStep(int64_t n, float lr, float momentum,
   });
 }
 
+// NIID_HOT
 void KernelReluForward(int64_t n, const float* x, float* out, uint8_t* mask,
                        ThreadPool* pool) {
   ForRanges(pool, n, [&](int64_t begin, int64_t end) {
@@ -266,6 +274,7 @@ void KernelReluForward(int64_t n, const float* x, float* out, uint8_t* mask,
   });
 }
 
+// NIID_HOT
 void KernelReluBackward(int64_t n, const float* gout, const uint8_t* mask,
                         float* gin, ThreadPool* pool) {
   ForRanges(pool, n, [&](int64_t begin, int64_t end) {
@@ -288,6 +297,7 @@ void KernelReluBackward(int64_t n, const float* gout, const uint8_t* mask,
   });
 }
 
+// NIID_HOT
 void KernelSumSq(int64_t n, const float* x, double* sum, double* sum_sq) {
   const int64_t body = n & ~int64_t{3};
   double s = 0.0, q = 0.0;
@@ -320,6 +330,7 @@ void KernelSumSq(int64_t n, const float* x, double* sum, double* sum_sq) {
   *sum_sq += q;
 }
 
+// NIID_HOT
 void KernelDySums(int64_t n, const float* dy, const float* xhat,
                   double* sum_dy, double* sum_dy_xhat) {
   const int64_t body = n & ~int64_t{3};
@@ -353,6 +364,7 @@ void KernelDySums(int64_t n, const float* dy, const float* xhat,
   *sum_dy_xhat += h;
 }
 
+// NIID_HOT
 double KernelSum(int64_t n, const float* x) {
   const int64_t body = n & ~int64_t{3};
   double s = 0.0;
@@ -377,6 +389,7 @@ double KernelSum(int64_t n, const float* x) {
   return s;
 }
 
+// NIID_HOT
 void KernelBnNormalize(int64_t n, float mean, float inv_std, float gamma,
                        float beta, const float* x, float* xhat, float* out) {
 #if NIID_KERNELS_USE_AVX2
@@ -397,6 +410,7 @@ void KernelBnNormalize(int64_t n, float mean, float inv_std, float gamma,
 #endif
 }
 
+// NIID_HOT
 void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
                         double mean_dy_xhat, const float* dy,
                         const float* xhat, float* dx) {
@@ -419,6 +433,7 @@ void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
 #endif
 }
 
+// NIID_HOT
 void KernelSoftmaxXentRow(int64_t classes, int label, float inv_n, float* row,
                           double* loss, bool* correct) {
   // Shared scalar prologue (max, exp, sum, argmax) — exp dominates and has

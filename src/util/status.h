@@ -20,7 +20,10 @@ enum class StatusCode {
 
 /// Lightweight absl::Status-alike. Library functions that can fail for
 /// environmental reasons return Status / StatusOr<T> rather than throwing.
-class Status {
+/// Class-level [[nodiscard]]: silently dropping any returned Status is a
+/// compile warning (an error under -DNIID_WERROR=ON, as in CI), the static
+/// side of the analyzer's discarded-status check.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -57,7 +60,7 @@ class Status {
 
 /// Holds either a value or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : holder_(std::move(value)) {}          // NOLINT
   StatusOr(Status status) : holder_(std::move(status)) {    // NOLINT

@@ -347,7 +347,7 @@ RoundRunResult RunRounds(const std::string& algorithm_name, int threads,
 // control variates, normalized averaging, adaptive server optimizers).
 TEST(RoundIdentityTest, BitIdenticalAcrossThreadCounts) {
   const Dataset test = WsDataset(100, 4242);
-  for (const std::string& name :
+  for (const std::string name :
        {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
     const RoundRunResult base = RunRounds(name, /*threads=*/1, /*rounds=*/3,
                                           test);

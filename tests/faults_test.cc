@@ -300,7 +300,7 @@ FaultRunResult RunFaultyRounds(const std::string& algorithm, int threads,
 // stragglers, corrupted uploads, rejections, quorum bookkeeping — must be
 // bit-identical across num_threads in {1, 2, 8} for every algorithm family.
 TEST(FaultRoundTest, FaultyRoundsBitIdenticalAcrossThreadCounts) {
-  for (const std::string& name :
+  for (const std::string name :
        {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
     const FaultRunResult base = RunFaultyRounds(name, /*threads=*/1,
                                                 /*rounds=*/4);

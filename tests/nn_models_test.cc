@@ -184,7 +184,9 @@ TEST(ParametersTest, AxpyToGradsSkipsBuffers) {
   // Buffers have no grad semantics; GradState must still be zero there.
   const StateVector grads = GradState(*model);
   for (const StateSegment& seg : StateLayout(*model)) {
-    if (!seg.trainable) EXPECT_EQ(grads[seg.offset], 0.f);
+    if (!seg.trainable) {
+      EXPECT_EQ(grads[seg.offset], 0.f);
+    }
   }
 }
 

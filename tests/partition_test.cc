@@ -39,7 +39,9 @@ void ExpectDisjointCoverage(const std::vector<std::vector<int64_t>>& parts,
       ++count;
     }
   }
-  if (expect_complete) EXPECT_EQ(count, total);
+  if (expect_complete) {
+    EXPECT_EQ(count, total);
+  }
 }
 
 // ---------------------------------------------------------------- homo

@@ -1,0 +1,102 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace niid::analyzer {
+namespace {
+
+namespace fs = std::filesystem;
+
+void RunChecks(const SourceFile& f, const StatusRegistry& registry,
+               std::vector<Finding>* out) {
+  CheckParallelRegions(f, out);
+  CheckDeterministicIteration(f, out);
+  CheckHotPathAllocation(f, out);
+  CheckDiscardedStatus(f, registry, out);
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+}
+
+bool IsCppSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+const char* const kRepoScanDirs[] = {"src", "tests", "bench", "examples",
+                                     "tools/analyzer"};
+const int kRepoScanDirCount = 5;
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& content) {
+  SourceFile f = ParseSource(path, content);
+  StatusRegistry registry;
+  CollectStatusFunctions(f, &registry);
+  std::vector<Finding> findings;
+  RunChecks(f, registry, &findings);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> AnalyzeFiles(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<SourceFile> parsed;
+  parsed.reserve(files.size());
+  StatusRegistry registry;
+  for (const auto& [path, content] : files) {
+    parsed.push_back(ParseSource(path, content));
+    CollectStatusFunctions(parsed.back(), &registry);
+  }
+  std::vector<Finding> findings;
+  for (const SourceFile& f : parsed) {
+    RunChecks(f, registry, &findings);
+  }
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> AnalyzeRepo(const std::string& root, std::string* error) {
+  std::vector<std::pair<std::string, std::string>> files;
+  std::error_code ec;
+  for (int d = 0; d < kRepoScanDirCount; ++d) {
+    fs::path dir = fs::path(root) / kRepoScanDirs[d];
+    if (!fs::is_directory(dir, ec)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec) && IsCppSource(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        if (error != nullptr) *error = "cannot read " + p.string();
+        return {};
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::string rel = fs::relative(p, root, ec).generic_string();
+      if (ec) rel = p.generic_string();
+      files.emplace_back(std::move(rel), buffer.str());
+    }
+  }
+  if (files.empty() && error != nullptr) {
+    *error = "no C++ sources found under " + root;
+    return {};
+  }
+  return AnalyzeFiles(files);
+}
+
+}  // namespace niid::analyzer

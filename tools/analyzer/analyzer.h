@@ -1,0 +1,34 @@
+#ifndef NIID_TOOLS_ANALYZER_ANALYZER_H_
+#define NIID_TOOLS_ANALYZER_ANALYZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyzer/checks.h"
+
+namespace niid::analyzer {
+
+/// Runs every check over one in-memory source. The discarded-status registry
+/// is built from this source alone — the form the fixture tests use.
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& content);
+
+/// Two-pass analysis over a set of (repo-relative path, content) pairs: the
+/// Status registry is built from all files first, then every file is checked
+/// against it. Findings come back sorted by (file, line).
+std::vector<Finding> AnalyzeFiles(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Directories under the repo root that AnalyzeRepo scans. tools/analyzer is
+/// included: the analyzer dogfoods itself.
+extern const char* const kRepoScanDirs[];
+extern const int kRepoScanDirCount;
+
+/// Walks the standard code dirs under `root`, reads every .h/.cc/.cpp/.hpp,
+/// and runs AnalyzeFiles. On I/O failure sets *error and returns empty.
+std::vector<Finding> AnalyzeRepo(const std::string& root, std::string* error);
+
+}  // namespace niid::analyzer
+
+#endif  // NIID_TOOLS_ANALYZER_ANALYZER_H_

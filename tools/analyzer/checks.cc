@@ -1,0 +1,713 @@
+#include "analyzer/checks.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace niid::analyzer {
+namespace {
+
+// Keywords that, when appearing immediately before an identifier, do NOT
+// indicate a declaration of that identifier (`return x`, `new T`, ...).
+// Everything else identifier-shaped in that slot (type names, `auto`,
+// `const`, `int64_t`, ...) is treated as the start of a declaration.
+const std::set<std::string>& NonDeclKeywords() {
+  static const std::set<std::string> kSet = {
+      "return", "new",    "delete", "throw",  "case",   "goto",
+      "else",   "do",     "sizeof", "typeid", "co_return", "co_await",
+      "co_yield", "operator",
+  };
+  return kSet;
+}
+
+bool IsAssignOp(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  return t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=" || t.text == "%=" || t.text == "&=" || t.text == "|=" ||
+         t.text == "^=" || t.text == "<<=" || t.text == "++" || t.text == "--";
+}
+
+bool IsChainSeparator(const Token& t) {
+  return IsPunct(t, ".") || IsPunct(t, "->") || IsPunct(t, "::");
+}
+
+/// Info about one lambda expression found in the token stream.
+struct LambdaInfo {
+  int intro_open = -1;   // '[' index
+  int intro_close = -1;  // ']' index
+  int body_open = -1;    // '{' index
+  int body_close = -1;   // '}' index
+  bool capture_default_ref = false;  // [&]
+  bool capture_default_val = false;  // [=]
+  bool captures_this = false;
+  std::set<std::string> ref_captures;  // [&name]
+  std::set<std::string> val_captures;  // [name] / [name = init]
+  std::set<std::string> params;
+};
+
+/// True when the `[` at `i` begins a lambda introducer rather than a
+/// subscript: a subscript's `[` follows a value (identifier, `)`, `]`, or a
+/// literal); a lambda introducer follows an operator, `(`, `,`, `{`, `;`, ...
+bool IsLambdaIntro(const std::vector<Token>& tokens, int i) {
+  if (i == 0) return true;
+  const Token& prev = tokens[i - 1];
+  if (prev.kind == TokenKind::kIdentifier || prev.kind == TokenKind::kNumber ||
+      prev.kind == TokenKind::kString) {
+    return false;
+  }
+  return !(IsPunct(prev, ")") || IsPunct(prev, "]"));
+}
+
+/// Parses the lambda whose introducer `[` sits at `intro`. Returns nullopt if
+/// no body brace is found (e.g. it was actually an attribute `[[...]]`).
+std::optional<LambdaInfo> ParseLambdaAt(const std::vector<Token>& tokens,
+                                        const TokenTree& tree, int intro) {
+  const int n = static_cast<int>(tokens.size());
+  LambdaInfo lambda;
+  lambda.intro_open = intro;
+  lambda.intro_close = tree.Match(intro);
+  if (lambda.intro_close < 0) return std::nullopt;
+
+  // Captures: comma-separated at depth 0 inside the introducer.
+  int i = intro + 1;
+  while (i < lambda.intro_close) {
+    // One capture item: up to the next top-level ','.
+    int item_end = i;
+    while (item_end < lambda.intro_close) {
+      if (IsOpenBracket(tokens[item_end])) {
+        int m = tree.Match(item_end);
+        item_end = (m < 0) ? lambda.intro_close : m;
+      } else if (IsPunct(tokens[item_end], ",")) {
+        break;
+      }
+      ++item_end;
+    }
+    // Classify the item.
+    int j = i;
+    if (j < item_end && IsPunct(tokens[j], "*")) ++j;  // [*this]
+    if (j < item_end && IsPunct(tokens[j], "&")) {
+      if (j + 1 < item_end && tokens[j + 1].kind == TokenKind::kIdentifier) {
+        lambda.ref_captures.insert(tokens[j + 1].text);
+      } else {
+        lambda.capture_default_ref = true;
+      }
+    } else if (j < item_end && IsPunct(tokens[j], "=")) {
+      lambda.capture_default_val = true;
+    } else if (j < item_end && IsIdent(tokens[j], "this")) {
+      lambda.captures_this = true;
+    } else if (j < item_end && tokens[j].kind == TokenKind::kIdentifier) {
+      // Plain copy or init-capture `name = expr`: either way `name` is a
+      // private copy inside the lambda.
+      lambda.val_captures.insert(tokens[j].text);
+    }
+    i = item_end + 1;
+  }
+
+  // Parameter list (optional).
+  i = lambda.intro_close + 1;
+  if (i < n && IsPunct(tokens[i], "(")) {
+    int close = tree.Match(i);
+    if (close < 0) return std::nullopt;
+    // Per comma-separated section, the parameter name is the last identifier.
+    int last_ident = -1;
+    for (int j = i + 1; j <= close; ++j) {
+      const Token& t = tokens[j];
+      if (j == close || (IsPunct(t, ",") )) {
+        if (last_ident >= 0) lambda.params.insert(tokens[last_ident].text);
+        last_ident = -1;
+        continue;
+      }
+      if (IsOpenBracket(t)) {
+        int m = tree.Match(j);
+        if (m < 0) break;
+        j = m;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) last_ident = j;
+    }
+    i = close + 1;
+  }
+
+  // Skip specifiers / trailing return type until the body `{`.
+  while (i < n && !IsPunct(tokens[i], "{")) {
+    if (IsPunct(tokens[i], ";") || IsPunct(tokens[i], ")") ||
+        IsPunct(tokens[i], ",")) {
+      return std::nullopt;  // lambda without body here (declaration context)
+    }
+    if (IsOpenBracket(tokens[i])) {
+      int m = tree.Match(i);
+      if (m < 0) return std::nullopt;
+      i = m;
+    }
+    ++i;
+  }
+  if (i >= n) return std::nullopt;
+  lambda.body_open = i;
+  lambda.body_close = tree.Match(i);
+  if (lambda.body_close < 0) return std::nullopt;
+  return lambda;
+}
+
+/// Collects names declared with float-like types anywhere in the file:
+/// `float x`, `double* p`, `std::vector<float> slots`. Token-level heuristic:
+/// after a `float`/`double` token, skip `*` `&` `>` `const`, record the next
+/// identifier.
+std::set<std::string> CollectFloatNames(const std::vector<Token>& tokens) {
+  std::set<std::string> names;
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) {
+    if (!IsIdent(tokens[i], "float") && !IsIdent(tokens[i], "double")) continue;
+    int j = i + 1;
+    while (j < n && (IsPunct(tokens[j], "*") || IsPunct(tokens[j], "&") ||
+                     IsPunct(tokens[j], ">") || IsIdent(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < n && tokens[j].kind == TokenKind::kIdentifier) {
+      names.insert(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+/// Names declared std::atomic<...> — writes to these are race-free, so the
+/// parallel-capture check exempts them (ordering nondeterminism from atomics
+/// is the float-reduction check's concern, which does not exempt them).
+std::set<std::string> CollectAtomicNames(const std::vector<Token>& tokens,
+                                         const TokenTree& tree) {
+  std::set<std::string> names;
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) {
+    if (!IsIdent(tokens[i], "atomic")) continue;
+    int j = i + 1;
+    if (j < n && IsPunct(tokens[j], "<")) j = SkipTemplateArgs(tokens, tree, j);
+    while (j < n && (IsPunct(tokens[j], "*") || IsPunct(tokens[j], "&"))) ++j;
+    if (j < n && tokens[j].kind == TokenKind::kIdentifier) {
+      names.insert(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+/// Local declarations inside [begin, end): identifier preceded by a type-ish
+/// token. Permissive by design — a false "local" silences a finding, never
+/// invents one, and the NOLINT policy prefers under-reporting locals' races
+/// to spamming every `Foo x = ...;`.
+std::set<std::string> CollectLocalDecls(const std::vector<Token>& tokens,
+                                        int begin, int end) {
+  std::set<std::string> locals;
+  for (int i = begin + 1; i < end; ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    const Token& prev = tokens[i - 1];
+    bool type_prev = false;
+    if (prev.kind == TokenKind::kIdentifier &&
+        NonDeclKeywords().count(prev.text) == 0) {
+      type_prev = true;
+    } else if (IsPunct(prev, "*") || IsPunct(prev, "&") || IsPunct(prev, ">") ||
+               (prev.kind == TokenKind::kPunct && prev.text == "&&")) {
+      type_prev = true;
+    }
+    if (!type_prev) continue;
+    if (i + 1 >= end) continue;
+    const Token& next = tokens[i + 1];
+    if (IsPunct(next, "=") || IsPunct(next, ";") || IsPunct(next, ",") ||
+        IsPunct(next, ")") || IsPunct(next, "(") || IsPunct(next, "{") ||
+        IsPunct(next, "[") || IsPunct(next, ":")) {
+      locals.insert(tokens[i].text);
+    }
+  }
+  return locals;
+}
+
+/// The write target reached by walking left from an assignment operator:
+/// base identifier of the chain plus every index group crossed on the way.
+/// Both `[...]` subscripts and call parens count as index groups — the repo's
+/// bounds-checked accessors (`t.at(row, col) = v`) are subscripts in spirit.
+struct WriteTarget {
+  std::string base;
+  std::vector<std::pair<int, int>> index_groups;  // token ranges incl. brackets
+};
+
+std::optional<WriteTarget> ResolveWriteTarget(const std::vector<Token>& tokens,
+                                              const TokenTree& tree, int op,
+                                              int limit_begin) {
+  WriteTarget target;
+  int q = op - 1;
+  // Prefix ++/--: target is on the right.
+  if ((IsPunct(tokens[op], "++") || IsPunct(tokens[op], "--")) &&
+      (q < limit_begin || !(tokens[q].kind == TokenKind::kIdentifier ||
+                            IsPunct(tokens[q], ")") || IsPunct(tokens[q], "]")))) {
+    int r = op + 1;
+    if (r < static_cast<int>(tokens.size()) &&
+        tokens[r].kind == TokenKind::kIdentifier) {
+      // Walk the chain forward: name (.|->|::) name ... [subscripts]
+      target.base = tokens[r].text;
+      int s = r + 1;
+      while (s + 1 < static_cast<int>(tokens.size())) {
+        if (IsPunct(tokens[s], "[")) {
+          int m = tree.Match(s);
+          if (m < 0) break;
+          target.index_groups.push_back({s, m});
+          s = m + 1;
+          continue;
+        }
+        if (IsChainSeparator(tokens[s]) &&
+            tokens[s + 1].kind == TokenKind::kIdentifier) {
+          s += 2;
+          continue;
+        }
+        break;
+      }
+      return target;
+    }
+    return std::nullopt;
+  }
+
+  // Walk left over trailing subscript / call groups and member chains.
+  while (q >= limit_begin) {
+    const Token& t = tokens[q];
+    if (IsPunct(t, "]") || IsPunct(t, ")")) {
+      int m = tree.Match(q);
+      if (m < 0) return std::nullopt;
+      target.index_groups.push_back({m, q});
+      q = m - 1;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      target.base = t.text;
+      // Continue left while a chain separator precedes (`a.b.c`, `p->x`);
+      // the thing before the separator may itself be a group (`f(i).x`).
+      if (q - 1 >= limit_begin && IsChainSeparator(tokens[q - 1])) {
+        q -= 2;
+        continue;
+      }
+      return target;
+    }
+    if (IsPunct(t, "*")) {
+      // Deref write `*p = ...`: keep walking left for the pointer name.
+      --q;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool SubscriptMentions(const std::vector<Token>& tokens,
+                       const std::pair<int, int>& range,
+                       const std::set<std::string>& names) {
+  for (int i = range.first + 1; i < range.second; ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier &&
+        names.count(tokens[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Entry points that start a parallel region: `ParallelFor(...)` and
+/// `pool.Schedule(...)` / `pool->Submit(...)`. Returns the index of the call's
+/// `(` or -1.
+int ParallelCallOpenParen(const std::vector<Token>& tokens, int i) {
+  const Token& t = tokens[i];
+  if (t.kind != TokenKind::kIdentifier) return -1;
+  const int n = static_cast<int>(tokens.size());
+  if (t.text == "ParallelFor") {
+    if (i + 1 < n && IsPunct(tokens[i + 1], "(")) return i + 1;
+    return -1;
+  }
+  if (t.text == "Schedule" || t.text == "Submit") {
+    if (i > 0 && (IsPunct(tokens[i - 1], ".") || IsPunct(tokens[i - 1], "->")) &&
+        i + 1 < n && IsPunct(tokens[i + 1], "(")) {
+      return i + 1;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << check << "] " << message;
+  return os.str();
+}
+
+SourceFile ParseSource(std::string path, const std::string& content) {
+  SourceFile f;
+  f.path = std::move(path);
+  std::replace(f.path.begin(), f.path.end(), '\\', '/');
+  f.lex = Lex(content);
+  f.tree = BuildTree(f.lex.tokens);
+  return f;
+}
+
+void CheckParallelRegions(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& tokens = f.lex.tokens;
+  const TokenTree& tree = f.tree;
+  const int n = static_cast<int>(tokens.size());
+  const std::set<std::string> float_names = CollectFloatNames(tokens);
+  const std::set<std::string> atomic_names = CollectAtomicNames(tokens, tree);
+
+  for (int i = 0; i < n; ++i) {
+    int open = ParallelCallOpenParen(tokens, i);
+    if (open < 0) continue;
+    int close = tree.Match(open);
+    if (close < 0) continue;
+
+    // Find every lambda in the argument list (usually exactly one).
+    for (int j = open + 1; j < close; ++j) {
+      if (!IsPunct(tokens[j], "[") || !IsLambdaIntro(tokens, j)) continue;
+      std::optional<LambdaInfo> lambda = ParseLambdaAt(tokens, tree, j);
+      if (!lambda) continue;
+
+      // Index variables: this lambda's params plus any nested lambda's
+      // params; locals declared in the body count as loop-private too.
+      std::set<std::string> index_vars = lambda->params;
+      std::vector<std::pair<int, int>> nested_intros;  // exclude their `=`
+      for (int k = lambda->body_open + 1; k < lambda->body_close; ++k) {
+        if (IsPunct(tokens[k], "[") && IsLambdaIntro(tokens, k)) {
+          std::optional<LambdaInfo> nested = ParseLambdaAt(tokens, tree, k);
+          if (nested) {
+            index_vars.insert(nested->params.begin(), nested->params.end());
+            nested_intros.push_back({nested->intro_open, nested->intro_close});
+          }
+        }
+      }
+      std::set<std::string> locals =
+          CollectLocalDecls(tokens, lambda->body_open, lambda->body_close);
+      std::set<std::string> ok_in_subscript = index_vars;
+      ok_in_subscript.insert(locals.begin(), locals.end());
+
+      for (int k = lambda->body_open + 1; k < lambda->body_close; ++k) {
+        const Token& t = tokens[k];
+        if (!IsAssignOp(t)) continue;
+        // Skip operators inside nested lambda introducers ([x = init]).
+        bool in_intro = false;
+        for (const auto& range : nested_intros) {
+          if (k > range.first && k < range.second) in_intro = true;
+        }
+        if (in_intro) continue;
+
+        std::optional<WriteTarget> target =
+            ResolveWriteTarget(tokens, tree, k, lambda->body_open + 1);
+        if (!target || target->base.empty()) continue;
+        const std::string& base = target->base;
+        if (index_vars.count(base) || locals.count(base)) continue;
+        if (lambda->val_captures.count(base)) continue;  // private copy
+        if (atomic_names.count(base) &&
+            !(IsPunct(t, "+=") || IsPunct(t, "-=")) ) {
+          continue;  // atomic store / ++ counter: race-free
+        }
+        // Indexed by a loop-private variable into a per-index slot?
+        bool indexed_ok = false;
+        for (const auto& sub : target->index_groups) {
+          if (SubscriptMentions(tokens, sub, ok_in_subscript)) {
+            indexed_ok = true;
+            break;
+          }
+        }
+        if (indexed_ok) continue;
+
+        bool is_float_accum =
+            (IsPunct(t, "+=") || IsPunct(t, "-=")) && float_names.count(base);
+        const char* check =
+            is_float_accum ? "float-reduction-order" : "parallel-capture-race";
+        const char* tag = is_float_accum ? "niid-float-reduction"
+                                         : "niid-parallel-capture";
+        if (f.lex.HasNolint(t.line, tag)) continue;
+        Finding finding;
+        finding.file = f.path;
+        finding.line = t.line;
+        finding.check = check;
+        if (is_float_accum) {
+          finding.message = "float accumulation into `" + base +
+                            "` inside a parallel region is not into a "
+                            "per-index slot; reduction order becomes "
+                            "schedule-dependent — accumulate into a per-index "
+                            "slot and reduce serially, or append // "
+                            "NOLINT(niid-float-reduction)";
+        } else {
+          finding.message =
+              "write to captured `" + base +
+              "` inside a parallel region is not indexed by a loop "
+              "variable — give each iteration its own slot, or append // "
+              "NOLINT(niid-parallel-capture)";
+        }
+        out->push_back(std::move(finding));
+      }
+      j = lambda->body_close;  // don't re-enter this lambda
+    }
+    i = open;  // continue scanning inside the call for nested regions
+  }
+}
+
+void CheckDeterministicIteration(const SourceFile& f,
+                                 std::vector<Finding>* out) {
+  if (f.path.find("src/fl/") == std::string::npos &&
+      f.path.find("src/tensor/") == std::string::npos) {
+    return;
+  }
+  const std::vector<Token>& tokens = f.lex.tokens;
+  const TokenTree& tree = f.tree;
+  const int n = static_cast<int>(tokens.size());
+  const char* kTag = "niid-deterministic-iteration";
+
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string> unordered;
+  for (int i = 0; i < n; ++i) {
+    if (!IsIdent(tokens[i], "unordered_map") &&
+        !IsIdent(tokens[i], "unordered_set") &&
+        !IsIdent(tokens[i], "unordered_multimap") &&
+        !IsIdent(tokens[i], "unordered_multiset")) {
+      continue;
+    }
+    int j = i + 1;
+    if (j < n && IsPunct(tokens[j], "<")) j = SkipTemplateArgs(tokens, tree, j);
+    while (j < n && (IsPunct(tokens[j], "*") || IsPunct(tokens[j], "&") ||
+                     IsIdent(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < n && tokens[j].kind == TokenKind::kIdentifier) {
+      unordered.insert(tokens[j].text);
+    }
+  }
+  if (unordered.empty()) return;
+
+  // Pass 2a: range-for whose range expression names an unordered container.
+  for (int i = 0; i + 1 < n; ++i) {
+    if (!IsIdent(tokens[i], "for") || !IsPunct(tokens[i + 1], "(")) continue;
+    int close = tree.Match(i + 1);
+    if (close < 0) continue;
+    int colon = -1;
+    for (int j = i + 2; j < close; ++j) {
+      if (IsOpenBracket(tokens[j])) {
+        int m = tree.Match(j);
+        if (m < 0) break;
+        j = m;
+        continue;
+      }
+      if (IsPunct(tokens[j], ";")) break;  // classic for, not range-for
+      if (IsPunct(tokens[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon < 0) continue;
+    for (int j = colon + 1; j < close; ++j) {
+      if (tokens[j].kind == TokenKind::kIdentifier &&
+          unordered.count(tokens[j].text)) {
+        if (!f.lex.HasNolint(tokens[j].line, kTag)) {
+          out->push_back(
+              {f.path, tokens[j].line, "deterministic-iteration",
+               "range-for over unordered container `" + tokens[j].text +
+                   "` — iteration order is implementation-defined, which "
+                   "breaks fixed aggregation/reduction order; use std::map, "
+                   "a sorted vector, or append // "
+                   "NOLINT(niid-deterministic-iteration)"});
+        }
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator loops. Only begin() variants start a
+  // traversal; a lone `.end()` (the find() != end() lookup idiom) is
+  // order-safe and stays legal.
+  for (int i = 2; i < n; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "begin" && t.text != "cbegin" && t.text != "rbegin") {
+      continue;
+    }
+    if (!IsPunct(tokens[i - 1], ".") && !IsPunct(tokens[i - 1], "->")) continue;
+    if (i + 1 >= n || !IsPunct(tokens[i + 1], "(")) continue;
+    const Token& recv = tokens[i - 2];
+    if (recv.kind == TokenKind::kIdentifier && unordered.count(recv.text)) {
+      if (!f.lex.HasNolint(t.line, kTag)) {
+        out->push_back(
+            {f.path, t.line, "deterministic-iteration",
+             "iterator traversal of unordered container `" + recv.text +
+                 "` — iteration order is implementation-defined; use an "
+                 "ordered container or append // "
+                 "NOLINT(niid-deterministic-iteration)"});
+      }
+    }
+  }
+}
+
+void CheckHotPathAllocation(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& tokens = f.lex.tokens;
+  const TokenTree& tree = f.tree;
+  const int n = static_cast<int>(tokens.size());
+  const char* kTag = "niid-hot-alloc";
+
+  for (const auto& [line, marks] : f.lex.marks) {
+    if (!marks.hot_marker) continue;
+    // First token strictly after the marker line.
+    int i = 0;
+    while (i < n && tokens[i].line <= line) ++i;
+    // Find the function body `{`: skip parameter lists / member-init-list
+    // parens; a `;` first means declaration only — nothing to check.
+    int body_open = -1;
+    while (i < n) {
+      if (IsPunct(tokens[i], ";")) break;
+      if (IsPunct(tokens[i], "(") || IsPunct(tokens[i], "[")) {
+        int m = tree.Match(i);
+        if (m < 0) break;
+        i = m;
+      } else if (IsPunct(tokens[i], "{")) {
+        body_open = i;
+        break;
+      }
+      ++i;
+    }
+    if (body_open < 0) continue;
+    int body_close = tree.Match(body_open);
+    if (body_close < 0) body_close = n - 1;
+
+    for (int k = body_open + 1; k < body_close; ++k) {
+      const Token& t = tokens[k];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      std::string what;
+      if (t.text == "new") {
+        what = "`new` expression";
+      } else if (t.text == "make_unique" || t.text == "make_shared") {
+        // Require a call shape: followed by `<` or `(`.
+        if (k + 1 < n &&
+            (IsPunct(tokens[k + 1], "<") || IsPunct(tokens[k + 1], "("))) {
+          what = "`std::" + t.text + "` call";
+        }
+      } else if (t.text == "resize" || t.text == "push_back" ||
+                 t.text == "emplace_back") {
+        // Member call on some object (case-sensitive: Tensor::Resize, which
+        // the allocation-discipline tests sanction at setup time, is spelled
+        // `Resize` and stays legal).
+        if (k > 0 &&
+            (IsPunct(tokens[k - 1], ".") || IsPunct(tokens[k - 1], "->")) &&
+            k + 1 < n && IsPunct(tokens[k + 1], "(")) {
+          what = "`." + t.text + "()` call";
+        }
+      }
+      if (what.empty()) continue;
+      if (f.lex.HasNolint(t.line, kTag)) continue;
+      out->push_back(
+          {f.path, t.line, "hot-path-allocation",
+           what + " inside a // NIID_HOT function — hot paths must not "
+                  "allocate (pre-size scratch in setup, reuse workspaces), "
+                  "or append // NOLINT(niid-hot-alloc) for grow-only "
+                  "first-touch scratch"});
+    }
+  }
+}
+
+void CollectStatusFunctions(const SourceFile& f, StatusRegistry* registry) {
+  const std::vector<Token>& tokens = f.lex.tokens;
+  const TokenTree& tree = f.tree;
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) {
+    const Token& t = tokens[i];
+    int j = -1;
+    bool bool_validator = false;
+    if (IsIdent(t, "Status")) {
+      j = i + 1;
+    } else if (IsIdent(t, "StatusOr")) {
+      j = i + 1;
+      if (j < n && IsPunct(tokens[j], "<")) {
+        j = SkipTemplateArgs(tokens, tree, j);
+      }
+    } else if (IsIdent(t, "bool")) {
+      j = i + 1;
+      bool_validator = true;
+    } else {
+      continue;
+    }
+    // Qualified-use guard: `Status::Ok(...)` is a call on Status itself, not
+    // a declaration returning Status.
+    if (j < n && IsPunct(tokens[j], "::")) continue;
+    // Declarator chain: Identifier (:: Identifier)*, then `(`.
+    int last_ident = -1;
+    while (j + 1 < n && tokens[j].kind == TokenKind::kIdentifier &&
+           IsPunct(tokens[j + 1], "::")) {
+      j += 2;
+    }
+    if (j < n && tokens[j].kind == TokenKind::kIdentifier) {
+      last_ident = j;
+      ++j;
+    }
+    if (last_ident < 0 || j >= n || !IsPunct(tokens[j], "(")) continue;
+    const std::string& name = tokens[last_ident].text;
+    if (bool_validator) {
+      if (name.rfind("Validate", 0) == 0 || name.rfind("Verify", 0) == 0 ||
+          name.rfind("Check", 0) == 0) {
+        registry->insert(name);
+      }
+    } else {
+      registry->insert(name);
+    }
+  }
+}
+
+void CheckDiscardedStatus(const SourceFile& f, const StatusRegistry& registry,
+                          std::vector<Finding>* out) {
+  const std::vector<Token>& tokens = f.lex.tokens;
+  const TokenTree& tree = f.tree;
+  const int n = static_cast<int>(tokens.size());
+  const char* kTag = "niid-discarded-status";
+
+  // Statement starts: index 0, after `;` `{` `}`, after `else` / `do`, and
+  // after the `)` closing an if/for/while/switch condition.
+  std::vector<int> starts;
+  starts.push_back(0);
+  for (int i = 0; i + 1 < n; ++i) {
+    const Token& t = tokens[i];
+    if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}") ||
+        IsIdent(t, "else") || IsIdent(t, "do")) {
+      starts.push_back(i + 1);
+    } else if (IsPunct(t, ")")) {
+      int open = tree.Match(i);
+      if (open > 0) {
+        const Token& kw = tokens[open - 1];
+        if (IsIdent(kw, "if") || IsIdent(kw, "for") || IsIdent(kw, "while") ||
+            IsIdent(kw, "switch")) {
+          starts.push_back(i + 1);
+        }
+      }
+    }
+  }
+
+  for (int s : starts) {
+    if (s >= n) continue;
+    int i = s;
+    // `(void)` prefix: explicit intentional discard.
+    if (IsPunct(tokens[i], "(") && i + 2 < n && IsIdent(tokens[i + 1], "void") &&
+        IsPunct(tokens[i + 2], ")")) {
+      continue;
+    }
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    // Chain: Identifier ((::|.|->) Identifier)*
+    int last_ident = i;
+    ++i;
+    while (i + 1 < n && IsChainSeparator(tokens[i]) &&
+           tokens[i + 1].kind == TokenKind::kIdentifier) {
+      last_ident = i + 1;
+      i += 2;
+    }
+    if (i >= n || !IsPunct(tokens[i], "(")) continue;
+    int close = tree.Match(i);
+    if (close < 0 || close + 1 >= n) continue;
+    if (!IsPunct(tokens[close + 1], ";")) continue;
+    const std::string& name = tokens[last_ident].text;
+    if (registry.count(name) == 0) continue;
+    const Token& callt = tokens[last_ident];
+    if (f.lex.HasNolint(callt.line, kTag)) continue;
+    out->push_back(
+        {f.path, callt.line, "discarded-status",
+         "result of `" + name +
+             "` (returns Status / a validation bool) is discarded — check "
+             "it, cast to (void) for an intentional discard, or append // "
+             "NOLINT(niid-discarded-status)"});
+  }
+}
+
+}  // namespace niid::analyzer

@@ -1,0 +1,64 @@
+#ifndef NIID_TOOLS_ANALYZER_CHECKS_H_
+#define NIID_TOOLS_ANALYZER_CHECKS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer/lexer.h"
+#include "analyzer/token_tree.h"
+
+namespace niid::analyzer {
+
+struct Finding {
+  std::string file;     // repo-relative path with '/' separators
+  int line = 0;         // 1-based
+  std::string check;    // e.g. "parallel-capture-race"
+  std::string message;  // human-readable explanation
+
+  std::string ToString() const;
+};
+
+/// One lexed + bracket-matched source file ready for the check passes.
+struct SourceFile {
+  std::string path;
+  LexedSource lex;
+  TokenTree tree;
+};
+
+SourceFile ParseSource(std::string path, const std::string& content);
+
+/// Names of functions whose return value must not be discarded: functions
+/// returning Status / StatusOr and bool-returning validators
+/// (Validate*/Verify*/Check*). Built repo-wide so a call site in bench/ is
+/// checked against a declaration in src/.
+using StatusRegistry = std::set<std::string>;
+
+void CollectStatusFunctions(const SourceFile& f, StatusRegistry* registry);
+
+// -- The five checks. Each appends to `out`; escape hatch is a
+//    NOLINT(<tag>) / NOLINTNEXTLINE(<tag>) comment with the tag named in the
+//    finding message.
+
+/// parallel-capture-race + float-reduction-order (one traversal finds the
+/// parallel regions, then classifies each illegal write).
+void CheckParallelRegions(const SourceFile& f, std::vector<Finding>* out);
+
+/// deterministic-iteration: no iteration over unordered containers in
+/// src/fl/ and src/tensor/ (path-scoped; other dirs pass untouched).
+void CheckDeterministicIteration(const SourceFile& f,
+                                 std::vector<Finding>* out);
+
+/// hot-path-allocation: bodies of functions marked // NIID_HOT may not
+/// allocate (new / make_unique / make_shared / resize / push_back /
+/// emplace_back).
+void CheckHotPathAllocation(const SourceFile& f, std::vector<Finding>* out);
+
+/// discarded-status: expression-statements that call a registry function and
+/// drop the result. `(void)foo();` is an accepted explicit discard.
+void CheckDiscardedStatus(const SourceFile& f, const StatusRegistry& registry,
+                          std::vector<Finding>* out);
+
+}  // namespace niid::analyzer
+
+#endif  // NIID_TOOLS_ANALYZER_CHECKS_H_

@@ -1,0 +1,286 @@
+#include "analyzer/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace niid::analyzer {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so greedy matching is correct.
+// `>>` is intentionally split into two `>` tokens: the checks walk template
+// argument lists by angle-bracket depth and `vector<vector<float>>` must
+// close twice. No check cares about shift expressions.
+constexpr std::array<std::string_view, 22> kPunctuators = {
+    "<<=", "->*", "...", "::", "->", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=", "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||", "<<",
+};
+
+/// Parses NOLINT / NOLINTNEXTLINE / NIID_HOT annotations out of one comment's
+/// text and applies them to `marks`. `line` is the line the comment starts on.
+void ApplyCommentMarks(const std::string& comment, int line,
+                       std::map<int, LineMarks>* marks) {
+  // A hot marker must lead the comment (`// NIID_HOT` or `// NIID_HOT: ...`)
+  // so prose that merely mentions the marker does not declare a hot region.
+  std::size_t lead = 0;
+  while (lead < comment.size() &&
+         (comment[lead] == '/' || comment[lead] == '*' ||
+          std::isspace(static_cast<unsigned char>(comment[lead])))) {
+    ++lead;
+  }
+  if (comment.compare(lead, 8, "NIID_HOT") == 0) {
+    (*marks)[line].hot_marker = true;
+  }
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    std::size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    LineMarks& mark = (*marks)[target];
+    if (after < comment.size() && comment[after] == '(') {
+      std::size_t close = comment.find(')', after);
+      if (close == std::string::npos) close = comment.size();
+      std::string tag;
+      for (std::size_t i = after + 1; i <= close; ++i) {
+        char c = (i < close) ? comment[i] : ',';
+        if (c == ',' ) {
+          if (!tag.empty()) mark.nolint.insert(tag);
+          tag.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          tag.push_back(c);
+        }
+      }
+      pos = close;
+    } else {
+      mark.nolint_all = true;
+      pos = after;
+    }
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexedSource Run() {
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++i_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return (i_ + ahead < src_.size()) ? src_[i_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::size_t begin, std::size_t end, int line) {
+    out_.tokens.push_back({kind, src_.substr(begin, end - begin), line});
+  }
+
+  void LexLineComment() {
+    std::size_t begin = i_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    ApplyCommentMarks(src_.substr(begin, i_ - begin), line_, &out_.marks);
+  }
+
+  void LexBlockComment() {
+    std::size_t begin = i_;
+    int start_line = line_;
+    i_ += 2;
+    while (i_ < src_.size() && !(src_[i_] == '*' && Peek(1) == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    if (i_ < src_.size()) i_ += 2;
+    ApplyCommentMarks(src_.substr(begin, i_ - begin), start_line, &out_.marks);
+  }
+
+  /// Swallows a whole directive (honoring `\` continuations) into one token.
+  /// A trailing // or /* comment on the directive line is lexed normally so
+  /// NOLINT annotations on #define lines still register.
+  void LexPreprocessor() {
+    std::size_t begin = i_;
+    int start_line = line_;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == '\n') {
+        // Continuation if the last non-space char was a backslash.
+        std::size_t back = i_;
+        while (back > begin &&
+               std::isspace(static_cast<unsigned char>(src_[back - 1])) &&
+               src_[back - 1] != '\n') {
+          --back;
+        }
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++i_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      ++i_;
+    }
+    Emit(TokenKind::kPreproc, begin, i_, start_line);
+    at_line_start_ = false;
+  }
+
+  void LexIdentifier() {
+    std::size_t begin = i_;
+    while (i_ < src_.size() && IsIdentChar(src_[i_])) ++i_;
+    Emit(TokenKind::kIdentifier, begin, i_, line_);
+  }
+
+  void LexNumber() {
+    std::size_t begin = i_;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        // Exponent signs: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (Peek(1) == '+' || Peek(1) == '-')) {
+          i_ += 2;
+          continue;
+        }
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, begin, i_, line_);
+  }
+
+  void LexString() {
+    std::size_t begin = i_;
+    int start_line = line_;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
+      if (src_[i_] == '\\') ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    Emit(TokenKind::kString, begin, i_, start_line);
+  }
+
+  void LexRawString() {
+    std::size_t begin = i_;
+    int start_line = line_;
+    i_ += 2;  // R"
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim.push_back(src_[i_++]);
+    std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, i_);
+    if (end == std::string::npos) {
+      i_ = src_.size();
+    } else {
+      for (std::size_t j = i_; j < end; ++j) {
+        if (src_[j] == '\n') ++line_;
+      }
+      i_ = end + closer.size();
+    }
+    Emit(TokenKind::kString, begin, i_, start_line);
+  }
+
+  void LexChar() {
+    std::size_t begin = i_;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '\'' && src_[i_] != '\n') {
+      if (src_[i_] == '\\') ++i_;
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+    Emit(TokenKind::kChar, begin, i_, line_);
+  }
+
+  void LexPunct() {
+    for (std::string_view p : kPunctuators) {
+      if (src_.compare(i_, p.size(), p) == 0) {
+        Emit(TokenKind::kPunct, i_, i_ + p.size(), line_);
+        i_ += p.size();
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, i_, i_ + 1, line_);
+    ++i_;
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedSource out_;
+};
+
+}  // namespace
+
+bool LexedSource::HasNolint(int line, const std::string& tag) const {
+  auto it = marks.find(line);
+  if (it == marks.end()) return false;
+  return it->second.nolint_all || it->second.nolint.count(tag) > 0;
+}
+
+bool LexedSource::HasHotMarker(int line) const {
+  auto it = marks.find(line);
+  return it != marks.end() && it->second.hot_marker;
+}
+
+LexedSource Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace niid::analyzer

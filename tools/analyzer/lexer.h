@@ -1,0 +1,53 @@
+#ifndef NIID_TOOLS_ANALYZER_LEXER_H_
+#define NIID_TOOLS_ANALYZER_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace niid::analyzer {
+
+/// Token classes the checks care about. Comments never become tokens; they
+/// are folded into per-line `LineMarks` (NOLINT escapes, NIID_HOT markers)
+/// at lex time. Preprocessor directives are swallowed into one kPreproc
+/// token per directive (including line continuations) so their contents —
+/// unbalanced braces in macro bodies, `<...>` in #include — cannot confuse
+/// the token-tree matcher.
+enum class TokenKind { kIdentifier, kNumber, kString, kChar, kPunct, kPreproc };
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// Comment-derived annotations for one source line.
+struct LineMarks {
+  /// Tags named in `NOLINT(tag, ...)` on this line (a `NOLINTNEXTLINE(...)`
+  /// on the previous line lands here too).
+  std::set<std::string> nolint;
+  /// Bare `NOLINT` with no tag list: suppresses every analyzer check.
+  bool nolint_all = false;
+  /// The line carries a `NIID_HOT` marker comment: the next function
+  /// definition is a declared hot path (see CheckHotPathAllocation).
+  bool hot_marker = false;
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::map<int, LineMarks> marks;  // keyed by 1-based line number
+
+  /// True when `line` is covered by a bare NOLINT or a NOLINT naming `tag`.
+  bool HasNolint(int line, const std::string& tag) const;
+  bool HasHotMarker(int line) const;
+};
+
+/// Tokenizes C++ source. Never fails: malformed input degrades to best-effort
+/// tokens (an unterminated literal runs to end of line), matching the
+/// analyzer's advisory role — it must not crash on code the compiler rejects.
+LexedSource Lex(const std::string& source);
+
+}  // namespace niid::analyzer
+
+#endif  // NIID_TOOLS_ANALYZER_LEXER_H_

@@ -1,0 +1,72 @@
+// niid-analyzer CLI: runs the five repo invariant checks over the source
+// tree (see DESIGN.md §11). Exit 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+//   niid_analyzer --root <repo-root> [--out <findings-file>]
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: niid_analyzer --root <repo-root> [--out <file>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--root")) {
+      root = v;
+    } else if (const char* v = value("--out")) {
+      out_path = v;
+    } else {
+      return Usage();
+    }
+  }
+  if (root.empty()) return Usage();
+
+  std::string error;
+  std::vector<niid::analyzer::Finding> findings =
+      niid::analyzer::AnalyzeRepo(root, &error);
+  if (!error.empty()) {
+    std::cerr << "niid-analyzer: " << error << "\n";
+    return 2;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "niid-analyzer: cannot write " << out_path << "\n";
+      return 2;
+    }
+  }
+  for (const auto& finding : findings) {
+    std::string line = finding.ToString();
+    std::cout << line << "\n";
+    if (file.is_open()) file << line << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "niid-analyzer: OK (0 findings)\n";
+    if (file.is_open()) file << "OK\n";
+    return 0;
+  }
+  std::cout << "niid-analyzer: " << findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -1,0 +1,84 @@
+#include "analyzer/token_tree.h"
+
+namespace niid::analyzer {
+
+bool IsOpenBracket(const Token& t) {
+  return t.kind == TokenKind::kPunct &&
+         (t.text == "(" || t.text == "[" || t.text == "{");
+}
+
+bool IsCloseBracket(const Token& t) {
+  return t.kind == TokenKind::kPunct &&
+         (t.text == ")" || t.text == "]" || t.text == "}");
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+namespace {
+
+char Opener(const std::string& close) {
+  if (close == ")") return '(';
+  if (close == "]") return '[';
+  return '{';
+}
+
+}  // namespace
+
+TokenTree BuildTree(const std::vector<Token>& tokens) {
+  TokenTree tree;
+  tree.match.assign(tokens.size(), -1);
+  std::vector<int> stack;
+  for (int i = 0; i < static_cast<int>(tokens.size()); ++i) {
+    const Token& t = tokens[i];
+    if (IsOpenBracket(t)) {
+      stack.push_back(i);
+    } else if (IsCloseBracket(t)) {
+      // Pop until the matching opener kind; drop mismatched openers so one
+      // stray bracket cannot corrupt the rest of the file.
+      char want = Opener(t.text);
+      while (!stack.empty() && tokens[stack.back()].text[0] != want) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        tree.match[stack.back()] = i;
+        tree.match[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return tree;
+}
+
+int SkipTemplateArgs(const std::vector<Token>& tokens, const TokenTree& tree,
+                     int i) {
+  const int n = static_cast<int>(tokens.size());
+  if (i >= n || !IsPunct(tokens[i], "<")) return i + 1;
+  int depth = 0;
+  int j = i;
+  while (j < n) {
+    const Token& t = tokens[j];
+    if (IsPunct(t, "<")) {
+      ++depth;
+    } else if (IsPunct(t, ">")) {
+      --depth;
+      if (depth == 0) return j + 1;
+    } else if (IsPunct(t, "(") || IsPunct(t, "[")) {
+      int m = tree.Match(j);
+      if (m < 0) return i + 1;
+      j = m;
+    } else if (IsPunct(t, ";") || IsPunct(t, "{")) {
+      // A `<` that was really a comparison: bail out.
+      return i + 1;
+    }
+    ++j;
+  }
+  return i + 1;
+}
+
+}  // namespace niid::analyzer

@@ -1,0 +1,42 @@
+#ifndef NIID_TOOLS_ANALYZER_TOKEN_TREE_H_
+#define NIID_TOOLS_ANALYZER_TOKEN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/lexer.h"
+
+namespace niid::analyzer {
+
+/// Implicit token tree over the flat token stream: for every bracket token
+/// (one of `()[]{}`) `match[i]` holds the index of its partner, so checks can
+/// jump over whole sub-expressions in O(1) instead of re-counting depth.
+/// Unbalanced brackets (possible in macro-heavy code after the preprocessor
+/// directives were swallowed) leave match[i] == -1; checks treat that as
+/// "skip to end" rather than failing.
+struct TokenTree {
+  std::vector<int> match;
+
+  /// Partner index of the bracket at `i`, or -1 when unmatched / not a
+  /// bracket.
+  int Match(int i) const {
+    return (i >= 0 && i < static_cast<int>(match.size())) ? match[i] : -1;
+  }
+};
+
+TokenTree BuildTree(const std::vector<Token>& tokens);
+
+bool IsOpenBracket(const Token& t);
+bool IsCloseBracket(const Token& t);
+bool IsPunct(const Token& t, const char* text);
+bool IsIdent(const Token& t, const char* text);
+
+/// With tokens[i] == `<` opening a template argument list, returns the index
+/// just past the matching `>` (angle depth counting; `(`/`[` groups inside are
+/// jumped via the tree). Returns i + 1 when no balanced close is found.
+int SkipTemplateArgs(const std::vector<Token>& tokens, const TokenTree& tree,
+                     int i);
+
+}  // namespace niid::analyzer
+
+#endif  // NIID_TOOLS_ANALYZER_TOKEN_TREE_H_

@@ -9,6 +9,14 @@ Checks (all hard failures):
                    appear nowhere outside src/util/rng.* — every stochastic
                    draw must flow through the seeded niid::Rng so experiments
                    stay bit-reproducible.
+  shuffle          std::shuffle / std::random_shuffle are banned unless the
+                   engine argument on the same line is a niid::Rng adapter
+                   (mentions `Rng`); permutations go through Rng::Shuffle.
+  wall-clock-seed  time(nullptr) / time(NULL) / time(0) and the
+                   now().time_since_epoch() chrono-seed idiom are banned
+                   everywhere: a seed derived from the wall clock silently
+                   destroys run-to-run reproducibility. Chrono clocks used
+                   for *timing* (duration subtraction in bench/) are fine.
   naked-new        no `new` expressions outside src/util/rng-free smart-pointer
                    wrappers; allocate via std::make_unique/containers. Escape
                    hatch for the rare intentional case:
@@ -47,6 +55,17 @@ DETERMINISM_RE = re.compile(
 NAKED_NEW_RE = re.compile(r"(?:^|[^\w.])new\s+(?:\(|[A-Za-z_:<])")
 NAKED_NEW_ESCAPE = "NOLINT(niid-naked-new)"
 
+# std::shuffle / std::random_shuffle with anything but a niid::Rng adapter.
+SHUFFLE_RE = re.compile(r"\bstd\s*::\s*(?:random_)?shuffle\s*\(")
+SHUFFLE_ENGINE_OK_RE = re.compile(r"\bRng|\brng\b")
+
+# Wall-clock seeds: time(nullptr)-style calls and the chrono seed idiom
+# now().time_since_epoch().  (Chrono *timing* — duration subtraction — does
+# not involve time_since_epoch and stays legal.)
+WALL_CLOCK_SEED_RE = re.compile(
+    r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)|\btime_since_epoch\s*\("
+)
+
 
 def cpp_files() -> list[Path]:
     files: list[Path] = []
@@ -81,6 +100,23 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 2
                 continue
             if ch == '"':
+                # Raw string literal R"delim( ... )delim" — the body may hold
+                # quotes and banned tokens; blank it wholesale (keeping line
+                # breaks) instead of tracking quote state character-wise.
+                if out and out[-1] == "R":
+                    close = text.find("(", i)
+                    if close != -1:
+                        delim = ")" + text[i + 1 : close] + '"'
+                        end = text.find(delim, close)
+                        end = (end + len(delim)) if end != -1 else n
+                        out.append(
+                            "".join(
+                                "\n" if c == "\n" else " "
+                                for c in text[i:end]
+                            )
+                        )
+                        i = end
+                        continue
                 mode = "string"
                 out.append(" ")
                 i += 1
@@ -164,6 +200,40 @@ def check_determinism(files: list[Path], errors: list[str]) -> None:
                 )
 
 
+def check_shuffle(files: list[Path], errors: list[str]) -> None:
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        if rel in RNG_ALLOWLIST:
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if not SHUFFLE_RE.search(line):
+                continue
+            if SHUFFLE_ENGINE_OK_RE.search(line):
+                continue
+            errors.append(
+                f"{rel}:{lineno}: std::shuffle with a non-niid::Rng engine — "
+                "permute via niid::Rng::Shuffle (src/util/rng.h) so the "
+                "order is seed-reproducible"
+            )
+
+
+def check_wall_clock_seed(files: list[Path], errors: list[str]) -> None:
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        if rel in RNG_ALLOWLIST:
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            match = WALL_CLOCK_SEED_RE.search(line)
+            if match:
+                errors.append(
+                    f"{rel}:{lineno}: wall-clock seed source "
+                    f"`{match.group(0).strip()}` — seeds must be explicit "
+                    "constants or flags, never derived from the clock"
+                )
+
+
 def check_naked_new(files: list[Path], errors: list[str]) -> None:
     for path in files:
         rel = path.relative_to(REPO_ROOT)
@@ -225,6 +295,8 @@ def main() -> int:
     errors: list[str] = []
     check_header_guards(files, errors)
     check_determinism(files, errors)
+    check_shuffle(files, errors)
+    check_wall_clock_seed(files, errors)
     check_naked_new(files, errors)
     check_fl_validation(errors)
     if args.format:

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py — every check must fire on a bad fixture and
+stay silent on its good twin. Run directly or via ctest (LintSelfTest).
+
+Fixtures are written to a temporary directory and lint.REPO_ROOT is pointed
+at it for the duration of each test, so the real repo is never touched.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import lint  # noqa: E402
+
+
+class LintFixtureTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self._saved_root = lint.REPO_ROOT
+        lint.REPO_ROOT = self.root
+
+    def tearDown(self) -> None:
+        lint.REPO_ROOT = self._saved_root
+        self._tmp.cleanup()
+
+    def write(self, rel: str, content: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def run_check(self, check, *paths: Path) -> list[str]:
+        errors: list[str] = []
+        check(list(paths), errors)
+        return errors
+
+    # ------------------------------------------------------- header-guard
+
+    def test_header_guard_flags_missing_guard(self) -> None:
+        bad = self.write("src/util/thing.h", "int x;\n")
+        errors = self.run_check(lint.check_header_guards, bad)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("NIID_UTIL_THING_H_", errors[0])
+
+    def test_header_guard_accepts_pragma_once(self) -> None:
+        good = self.write("src/util/thing.h", "#pragma once\nint x;\n")
+        self.assertEqual(self.run_check(lint.check_header_guards, good), [])
+
+    def test_header_guard_accepts_derived_macro(self) -> None:
+        good = self.write(
+            "src/util/thing.h",
+            "#ifndef NIID_UTIL_THING_H_\n#define NIID_UTIL_THING_H_\n"
+            "int x;\n#endif\n",
+        )
+        self.assertEqual(self.run_check(lint.check_header_guards, good), [])
+
+    # -------------------------------------------------------- determinism
+
+    def test_determinism_flags_mt19937(self) -> None:
+        bad = self.write(
+            "src/fl/bad.cc", "#include <random>\nstd::mt19937 gen(42);\n"
+        )
+        errors = self.run_check(lint.check_determinism, bad)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("src/fl/bad.cc:2", errors[0])
+        self.assertIn("mt19937", errors[0])
+
+    def test_determinism_flags_random_device(self) -> None:
+        bad = self.write("src/fl/bad.cc", "std::random_device rd;\n")
+        self.assertEqual(len(self.run_check(lint.check_determinism, bad)), 1)
+
+    def test_determinism_allows_rng_implementation(self) -> None:
+        allowed = self.write("src/util/rng.cc", "// mt19937 is fine here\n"
+                                                "static int mt19937 = 0;\n")
+        self.assertEqual(self.run_check(lint.check_determinism, allowed), [])
+
+    def test_determinism_ignores_comments_and_strings(self) -> None:
+        good = self.write(
+            "src/fl/good.cc",
+            '// unlike rand(), niid::Rng is seeded\n'
+            'const char* kMsg = "do not call srand(7)";\n',
+        )
+        self.assertEqual(self.run_check(lint.check_determinism, good), [])
+
+    # ------------------------------------------------------------ shuffle
+
+    def test_shuffle_flags_std_shuffle_with_foreign_engine(self) -> None:
+        bad = self.write(
+            "src/data/bad.cc", "std::shuffle(v.begin(), v.end(), gen);\n"
+        )
+        errors = self.run_check(lint.check_shuffle, bad)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("non-niid::Rng engine", errors[0])
+
+    def test_shuffle_flags_random_shuffle(self) -> None:
+        bad = self.write(
+            "src/data/bad.cc", "std::random_shuffle(v.begin(), v.end());\n"
+        )
+        self.assertEqual(len(self.run_check(lint.check_shuffle, bad)), 1)
+
+    def test_shuffle_accepts_rng_adapter_engine(self) -> None:
+        good = self.write(
+            "src/data/good.cc",
+            "std::shuffle(v.begin(), v.end(), RngAdapter(rng));"
+            "  // Rng-backed\n",
+        )
+        # The adapter mentions Rng in the engine argument on the same line.
+        self.assertEqual(self.run_check(lint.check_shuffle, good), [])
+
+    def test_shuffle_accepts_rng_member_shuffle(self) -> None:
+        good = self.write("src/data/good.cc", "rng.Shuffle(order);\n")
+        self.assertEqual(self.run_check(lint.check_shuffle, good), [])
+
+    # ---------------------------------------------------- wall-clock-seed
+
+    def test_wall_clock_flags_time_nullptr(self) -> None:
+        bad = self.write("src/fl/bad.cc", "Rng rng(time(nullptr));\n")
+        errors = self.run_check(lint.check_wall_clock_seed, bad)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("wall-clock seed", errors[0])
+
+    def test_wall_clock_flags_time_null_and_zero(self) -> None:
+        bad = self.write(
+            "src/fl/bad.cc", "auto a = time(NULL);\nauto b = time(0);\n"
+        )
+        self.assertEqual(
+            len(self.run_check(lint.check_wall_clock_seed, bad)), 2
+        )
+
+    def test_wall_clock_flags_chrono_seed_idiom(self) -> None:
+        bad = self.write(
+            "src/fl/bad.cc",
+            "auto seed = std::chrono::steady_clock::now()"
+            ".time_since_epoch().count();\n",
+        )
+        self.assertEqual(
+            len(self.run_check(lint.check_wall_clock_seed, bad)), 1
+        )
+
+    def test_wall_clock_accepts_chrono_timing(self) -> None:
+        good = self.write(
+            "bench/good.cpp",
+            "const auto start = std::chrono::steady_clock::now();\n"
+            "const double secs = std::chrono::duration<double>(\n"
+            "    std::chrono::steady_clock::now() - start).count();\n",
+        )
+        self.assertEqual(self.run_check(lint.check_wall_clock_seed, good), [])
+
+    def test_wall_clock_ignores_comment_mentions(self) -> None:
+        good = self.write(
+            "src/fl/good.cc", "// never seed from time(nullptr)\nint x;\n"
+        )
+        self.assertEqual(self.run_check(lint.check_wall_clock_seed, good), [])
+
+    # ---------------------------------------------------------- naked-new
+
+    def test_naked_new_flags_new_expression(self) -> None:
+        bad = self.write("src/fl/bad.cc", "int* p = new int(3);\n")
+        errors = self.run_check(lint.check_naked_new, bad)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("naked `new`", errors[0])
+
+    def test_naked_new_honors_escape_comment(self) -> None:
+        good = self.write(
+            "src/fl/good.cc",
+            "int* p = new int(3);  // NOLINT(niid-naked-new)\n",
+        )
+        self.assertEqual(self.run_check(lint.check_naked_new, good), [])
+
+    def test_naked_new_ignores_make_unique(self) -> None:
+        good = self.write(
+            "src/fl/good.cc", "auto p = std::make_unique<int>(3);\n"
+        )
+        self.assertEqual(self.run_check(lint.check_naked_new, good), [])
+
+    # ------------------------------------------------------ fl-validation
+
+    def test_fl_validation_requires_niid_check(self) -> None:
+        self.write("src/fl/empty.cc", "void NoValidation() {}\n")
+        errors: list[str] = []
+        lint.check_fl_validation(errors)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("src/fl/empty.cc", errors[0])
+
+    def test_fl_validation_accepts_checked_unit(self) -> None:
+        self.write(
+            "src/fl/checked.cc",
+            "void Validated(int n) { NIID_CHECK(n > 0); }\n",
+        )
+        errors: list[str] = []
+        lint.check_fl_validation(errors)
+        self.assertEqual(errors, [])
+
+    # -------------------------------------------------- strip infrastructure
+
+    def test_strip_blanks_raw_string_bodies(self) -> None:
+        text = ('const char* fixture = R"cc(\n'
+                "int* p = new int(3);\n"
+                'std::mt19937 gen("inner quote);\n'
+                ')cc";\n'
+                "int after;\n")
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+        self.assertNotIn("new int", stripped)
+        self.assertNotIn("mt19937", stripped)
+        self.assertIn("int after;", stripped)
+
+    def test_strip_preserves_line_numbers(self) -> None:
+        text = "int a; // comment\n/* block\nspanning */ int b;\n"
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+        self.assertNotIn("comment", stripped)
+        self.assertNotIn("block", stripped)
+        self.assertIn("int b;", stripped)
+
+
+class LintRealRepoTest(unittest.TestCase):
+    """The actual repository must be lint-clean (mirrors the `lint` target)."""
+
+    def test_repo_is_clean(self) -> None:
+        files = lint.cpp_files()
+        errors: list[str] = []
+        lint.check_header_guards(files, errors)
+        lint.check_determinism(files, errors)
+        lint.check_shuffle(files, errors)
+        lint.check_wall_clock_seed(files, errors)
+        lint.check_naked_new(files, errors)
+        lint.check_fl_validation(errors)
+        self.assertEqual(errors, [], "\n".join(errors))
+
+
+if __name__ == "__main__":
+    unittest.main()
