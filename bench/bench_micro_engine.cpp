@@ -290,7 +290,13 @@ StepBench MakeCifarStepBench(const std::string& model_name) {
   b.model = CreateModel(spec, rng);
   b.model->SetTraining(true);
   b.optimizer = std::make_unique<SgdOptimizer>(*b.model, 0.01f);
-  b.NextBatch();  // size all scratch so the timed region is steady-state
+  // One untimed step: sizes every layer/optimizer scratch buffer and
+  // first-touches its pages, so even a 1-iteration run measures the
+  // steady state the zero-allocation policy promises (slow-iteration
+  // models like the ResNet get very few iterations at the default
+  // --benchmark_min_time).
+  b.FullStep();
+  b.NextBatch();
   return b;
 }
 
@@ -310,6 +316,7 @@ StepBench MakeTabularStepBench() {
   b.model = CreateModel(spec, rng);
   b.model->SetTraining(true);
   b.optimizer = std::make_unique<SgdOptimizer>(*b.model, 0.01f);
+  b.FullStep();  // steady-state warmup, as above
   b.NextBatch();
   return b;
 }
@@ -395,6 +402,25 @@ void BM_StepBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StepBackward);
+
+// Backward with a layer-level compute pool: range(0) = threads. Only
+// meaningful on runners with >= threads CPUs — the CI bench-smoke variant
+// gates on that — and bit-identical to the serial BM_StepBackward either
+// way (GEMM determinism policy, DESIGN.md §7).
+void BM_StepBackwardPool(benchmark::State& state) {
+  StepBench b = MakeCifarStepBench("simple-cnn");
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  b.model->SetComputePool(&pool);
+  const Tensor& logits = b.model->Forward(b.batch_x);
+  SoftmaxCrossEntropyInto(logits, b.batch_y, b.loss);
+  for (auto _ : state) {
+    const Tensor& grad_in = b.model->Backward(b.loss.grad_logits);
+    benchmark::DoNotOptimize(grad_in.data());
+  }
+}
+// UseRealTime: the calling thread blocks in ThreadPool::Wait (see
+// BM_MatmulPool above).
+BENCHMARK(BM_StepBackwardPool)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_StepOptimizer(benchmark::State& state) {
   StepBench b = MakeCifarStepBench("simple-cnn");
@@ -710,4 +736,24 @@ BENCHMARK(BM_FaultDrop)
 }  // namespace
 }  // namespace niid
 
-BENCHMARK_MAIN();
+#ifndef NIID_BENCH_BUILD_TYPE
+#define NIID_BENCH_BUILD_TYPE "unknown"
+#endif
+
+// Expanded BENCHMARK_MAIN with provenance context: the Debian-packaged
+// benchmark harness always reports library_build_type=debug regardless of
+// how THIS binary (and the niid library it links) was compiled, so
+// tools/bench_json.py keys its Release-only check off these fields instead.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("niid_build_type", NIID_BENCH_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("niid_assertions", "off");
+#else
+  benchmark::AddCustomContext("niid_assertions", "on");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

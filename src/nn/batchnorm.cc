@@ -109,14 +109,14 @@ const Tensor& BatchNorm::Backward(const Tensor& grad_output) {
   float* dbeta = beta_.grad.data();
   const float* gamma = gamma_.value.data();
 
-  // Per-channel reductions: sum(dy) and sum(dy * x_hat), accumulated over
-  // planes in image order (channel-owned tasks, same policy as Forward).
+  // Per-channel reductions: sum(dy) and sum(dy * x_hat). The fused kernel
+  // chains the per-image plane reductions in image order — bit-identical to
+  // the historical per-image KernelDySums loop — and each channel is wholly
+  // owned by one task (same policy as Forward).
   ParallelFor(compute_pool_, v.c, [&](int64_t c) {
     double s_dy = 0.0, s_dyh = 0.0;
-    for (int64_t img = 0; img < v.n; ++img) {
-      const int64_t p = img * v.c + c;
-      KernelDySums(v.s, dy + p * v.s, x_hat + p * v.s, &s_dy, &s_dyh);
-    }
+    KernelBnBackwardReduce(v.n, v.c * v.s, v.s, dy + c * v.s, x_hat + c * v.s,
+                           &s_dy, &s_dyh);
     sum_dy_[c] = s_dy;
     sum_dy_xhat_[c] = s_dyh;
     dbeta[c] += static_cast<float>(s_dy);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +47,7 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
   NIID_CHECK_GE(padding, 0);
 }
 
+// NIID_HOT
 const Tensor& Conv2d::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 4);
   NIID_CHECK_EQ(input.dim(1), in_channels_);
@@ -56,29 +58,43 @@ const Tensor& Conv2d::Forward(const Tensor& input) {
   const int out_w = ConvOutputSize(w, kernel_, stride_, padding_);
   cached_input_shape_ = input.shape();
 
-  Im2Col(input, kernel_, stride_, padding_, cached_columns_, compute_pool_);
+  Im2ColTransposed(input, kernel_, stride_, padding_, cached_columns_t_,
+                   compute_pool_);
   const int64_t spatial = static_cast<int64_t>(out_h) * out_w;
+  const int64_t total = n * spatial;
   const int64_t ckk = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
 
-  // Per image: out_img (out_c x spatial) = W (out_c x ckk) @ columns_img^T,
-  // written straight into the NCHW output — the old [n*oh*ow, out_c]
-  // intermediate and its transpose-scatter loop are fused into the GEMM's
-  // packing step via the transposed operand view. The bias add rides the
-  // same pass. Images are disjoint output planes, so they run in parallel;
-  // nested Gemm calls on the same pool degrade to serial automatically.
+  // W is the left operand of every image's GEMM: pack it once per weight
+  // version (invalidated on optimizer steps / state loads) instead of once
+  // per image per call. The cache-free path packs on the fly and is
+  // bit-identical — the packed bytes are the same either way.
+  if (weight_pack_caching_ && !packed_w_.is_a()) {
+    packed_w_.PackA(out_channels_, ckk, {weight_.value.data(), ckk, false});
+  }
+
+  // Per image: out_img (out_c x spatial) = W @ columns_t[:, img block],
+  // written straight into the NCHW output. The transposed column layout
+  // makes the GEMM's B pack a straight memcpy of row segments instead of a
+  // strided gather. The bias add rides the same pass. Images are disjoint
+  // output planes, so they run in parallel; nested Gemm calls on the same
+  // pool degrade to serial automatically.
   if (!ShapeIs(out_, n, out_channels_, out_h, out_w)) {
     out_.Resize({n, out_channels_, out_h, out_w});
   }
-  const float* cols = cached_columns_.data();
+  const float* cols_t = cached_columns_t_.data();
   const float* wts = weight_.value.data();
   const float* bias = bias_.value.data();
   float* dst = out_.data();
   ParallelFor(compute_pool_, n, [&](int64_t img) {
-    const float* cols_img = cols + img * spatial * ckk;
+    const GemmOperand cols_img{cols_t + img * spatial, total, false};
     float* out_img = dst + img * out_channels_ * spatial;
-    Gemm(out_channels_, spatial, ckk, {wts, ckk, false},
-         {cols_img, ckk, true}, out_img, spatial, /*accumulate=*/false,
-         compute_pool_);
+    if (weight_pack_caching_) {
+      GemmPackedA(out_channels_, spatial, ckk, packed_w_, cols_img, out_img,
+                  spatial, /*accumulate=*/false, compute_pool_);
+    } else {
+      Gemm(out_channels_, spatial, ckk, {wts, ckk, false}, cols_img, out_img,
+           spatial, /*accumulate=*/false, compute_pool_);
+    }
     for (int64_t ch = 0; ch < out_channels_; ++ch) {
       float* row = out_img + ch * spatial;
       const float bv = bias[ch];
@@ -88,70 +104,79 @@ const Tensor& Conv2d::Forward(const Tensor& input) {
   return out_;
 }
 
+// NIID_HOT
 const Tensor& Conv2d::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 4);
   NIID_CHECK_EQ(grad_output.dim(1), out_channels_);
   const int64_t n = grad_output.dim(0);
   const int64_t spatial = grad_output.dim(2) * grad_output.dim(3);
+  const int64_t total = n * spatial;
   const int64_t ckk = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
-  NIID_CHECK_EQ(cached_columns_.dim(0), n * spatial);
+  NIID_CHECK_EQ(cached_columns_t_.dim(1), total);
   const float* g = grad_output.data();
-  const float* cols = cached_columns_.data();
+  const float* cols_t = cached_columns_t_.data();
 
-  // db: per-channel sums read directly from the NCHW gradient (the old flat
-  // [n*oh*ow, out_c] gather is gone). Channels are independent outputs and
-  // each keeps the (img, s) accumulation order fixed, so the result does not
+  // db: per-channel plane sums read directly from the NCHW gradient via the
+  // vectorized strided reduce. Channels are independent outputs and each
+  // keeps the (img, s) accumulation order fixed, so the result does not
   // depend on the thread count.
   float* bias_grad = bias_.grad.data();
   ParallelFor(compute_pool_, out_channels_, [&](int64_t ch) {
-    float acc = 0.f;
-    for (int64_t img = 0; img < n; ++img) {
-      const float* row = g + (img * out_channels_ + ch) * spatial;
-      for (int64_t s = 0; s < spatial; ++s) acc += row[s];
-    }
-    bias_grad[ch] += acc;
+    bias_grad[ch] += static_cast<float>(
+        KernelPlaneSum(n, out_channels_ * spatial, spatial, g + ch * spatial));
   });
 
-  // dW^T (ckk x out_c) = sum_img columns_img^T @ G_img^T, with both
-  // transposes absorbed into the GEMM operand views (G_img is read straight
-  // from NCHW). The transposed layout puts the large ckk dimension on rows,
-  // which is what the engine parallelises; images accumulate sequentially so
-  // every element's FMA chain order is fixed regardless of threads.
+  // Pack-once for the gradient operand: one blocked transpose turns the
+  // NCHW gradient into G_t [n*spatial, out_c], and BOTH backward GEMMs
+  // consume it as cheap contiguous views — the per-image strided NCHW
+  // re-packs the old 2n GEMM calls performed are gone.
+  if (!ShapeIs(grad_out_t_, total, out_channels_)) {
+    grad_out_t_.Resize({total, out_channels_});
+  }
+  KernelBatchTranspose(n, out_channels_, spatial, g, grad_out_t_.data(),
+                       compute_pool_);
+  const float* gt = grad_out_t_.data();
+
+  // dW^T (ckk x out_c) = columns_t @ G_t as ONE fused GEMM over
+  // k = n*spatial. The fused contraction visits k = (img, s) in exactly the
+  // order the old per-image accumulate-GEMM loop did, so every element's
+  // FMA chain — and hence the gradient bits — is unchanged. The scratch +
+  // vectorized transpose-add (instead of accumulating into weight_.grad
+  // directly) keeps the chain seeded at zero like the historical path.
   if (!ShapeIs(grad_wt_scratch_, ckk, out_channels_)) {
     grad_wt_scratch_.Resize({ckk, out_channels_});
   }
-  for (int64_t img = 0; img < n; ++img) {
-    Gemm(ckk, out_channels_, spatial, {cols + img * spatial * ckk, ckk, true},
-         {g + img * out_channels_ * spatial, spatial, true},
-         grad_wt_scratch_.data(), out_channels_, /*accumulate=*/img > 0,
-         compute_pool_);
+  Gemm(ckk, out_channels_, total, {cols_t, total, false},
+       {gt, out_channels_, false}, grad_wt_scratch_.data(), out_channels_,
+       /*accumulate=*/false, compute_pool_);
+  KernelAddTransposed(out_channels_, ckk, grad_wt_scratch_.data(),
+                      weight_.grad.data());
+
+  // dColumns_t (ckk x n*spatial) = W^T @ G_t^T as one fused GEMM. W^T is
+  // the packed-once weight cache (shared with every Backward until the next
+  // optimizer step); the short-wide shape triggers the engine's
+  // column-block parallel mode, which still never splits k = out_c.
+  if (!ShapeIs(grad_columns_t_, ckk, total)) {
+    grad_columns_t_.Resize({ckk, total});
   }
-  float* weight_grad = weight_.grad.data();
-  const float* wt = grad_wt_scratch_.data();
-  for (int64_t ch = 0; ch < out_channels_; ++ch) {
-    float* row = weight_grad + ch * ckk;
-    for (int64_t e = 0; e < ckk; ++e) row[e] += wt[e * out_channels_ + ch];
+  const GemmOperand gt_t{gt, out_channels_, true};
+  if (weight_pack_caching_) {
+    if (!packed_wt_.is_a()) {
+      packed_wt_.PackA(ckk, out_channels_, {weight_.value.data(), ckk, true});
+    }
+    GemmPackedA(ckk, total, out_channels_, packed_wt_, gt_t,
+                grad_columns_t_.data(), total, /*accumulate=*/false,
+                compute_pool_);
+  } else {
+    Gemm(ckk, total, out_channels_, {weight_.value.data(), ckk, true}, gt_t,
+         grad_columns_t_.data(), total, /*accumulate=*/false, compute_pool_);
   }
 
-  // dColumns per image: (spatial x ckk) = G_img^T @ W, again reading G_img
-  // from NCHW via a transposed view. Images own disjoint row ranges of the
-  // cached scratch, so they run in parallel.
-  if (!ShapeIs(grad_columns_, n * spatial, ckk)) {
-    grad_columns_.Resize({n * spatial, ckk});
-  }
-  float* gcol = grad_columns_.data();
-  ParallelFor(compute_pool_, n, [&](int64_t img) {
-    Gemm(spatial, ckk, out_channels_,
-         {g + img * out_channels_ * spatial, spatial, true},
-         {weight_.value.data(), ckk, false}, gcol + img * spatial * ckk, ckk,
-         /*accumulate=*/false, compute_pool_);
-  });
-
-  Col2Im(grad_columns_, static_cast<int>(cached_input_shape_[0]),
-         static_cast<int>(cached_input_shape_[1]),
-         static_cast<int>(cached_input_shape_[2]),
-         static_cast<int>(cached_input_shape_[3]), kernel_, stride_, padding_,
-         grad_input_, compute_pool_);
+  Col2ImTransposed(grad_columns_t_, static_cast<int>(cached_input_shape_[0]),
+                   static_cast<int>(cached_input_shape_[1]),
+                   static_cast<int>(cached_input_shape_[2]),
+                   static_cast<int>(cached_input_shape_[3]), kernel_, stride_,
+                   padding_, grad_input_, compute_pool_);
   return grad_input_;
 }
 

@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "util/rng.h"
 
 namespace niid {
 
 /// 2-D convolution over NCHW input with a square kernel, implemented as
-/// im2col + matmul. Weight layout: [out_channels, in_channels * k * k].
+/// transposed im2col + GEMMs on the pack-once engine (DESIGN.md §12).
+/// Weight layout: [out_channels, in_channels * k * k].
 class Conv2d : public Module {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
@@ -20,6 +22,10 @@ class Conv2d : public Module {
   const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Conv2d"; }
+  void InvalidateWeightCaches() override {
+    packed_w_.Invalidate();
+    packed_wt_.Invalidate();
+  }
 
   int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
@@ -34,12 +40,18 @@ class Conv2d : public Module {
   Parameter weight_;
   Parameter bias_;
   // Forward caches for the backward pass.
-  Tensor cached_columns_;           // im2col of the input
+  Tensor cached_columns_t_;  // transposed im2col, [in_c*k*k, n*oh*ow]
   std::vector<int64_t> cached_input_shape_;
+  // Packed-weight caches: W as the forward GEMM's left operand and W^T as
+  // the dX GEMM's left operand, each packed once per weight version and
+  // reused across every image/step until InvalidateWeightCaches().
+  PackedOperand packed_w_;
+  PackedOperand packed_wt_;
   // Reusable gradient scratch — steady-state training reuses these buffers
   // instead of reallocating them every minibatch.
+  Tensor grad_out_t_;        // per-image transposed output grad, [n*oh*ow, out_c]
   Tensor grad_wt_scratch_;   // dW^T accumulator, [in_c*k*k, out_c]
-  Tensor grad_columns_;      // column-space gradient, [n*oh*ow, in_c*k*k]
+  Tensor grad_columns_t_;    // column-space gradient, [in_c*k*k, n*oh*ow]
   Tensor out_;               // forward output scratch
   Tensor grad_input_;        // backward output scratch
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace niid {
@@ -20,25 +21,68 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
                             1.f / std::sqrt(static_cast<float>(in_features))),
             /*is_trainable=*/true) {}
 
+// NIID_HOT
 const Tensor& Linear::Forward(const Tensor& input) {
   NIID_CHECK_EQ(input.rank(), 2);
   NIID_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
-  MatmulTransB(input, weight_.value, out_, compute_pool_);
+  const int64_t batch = input.dim(0);
+  if (!ShapeIs(out_, batch, out_features_)) {
+    out_.Resize({batch, out_features_});
+  }
+  // y = x @ W^T: the W^T right operand's per-call pack was a strided gather
+  // over the [out, in] weight rows — pack it once per weight version
+  // instead. Bit-identical to MatmulTransB: the packed panels hold the same
+  // bytes either way.
+  if (weight_pack_caching_) {
+    if (!packed_wt_.is_b()) {
+      packed_wt_.PackB(in_features_, out_features_,
+                       {weight_.value.data(), in_features_, true});
+    }
+    GemmPackedB(batch, out_features_, in_features_,
+                {input.data(), in_features_, false}, packed_wt_, out_.data(),
+                out_features_, /*accumulate=*/false, compute_pool_);
+  } else {
+    Gemm(batch, out_features_, in_features_,
+         {input.data(), in_features_, false},
+         {weight_.value.data(), in_features_, true}, out_.data(),
+         out_features_, /*accumulate=*/false, compute_pool_);
+  }
   AddRowBias(out_, bias_.value, compute_pool_);
   return out_;
 }
 
+// NIID_HOT
 const Tensor& Linear::Backward(const Tensor& grad_output) {
   NIID_CHECK_EQ(grad_output.rank(), 2);
   NIID_CHECK_EQ(grad_output.dim(1), out_features_);
+  const int64_t batch = grad_output.dim(0);
   // dW += G^T X; db += column-sums of G; dX = G W. The gradient scratch
   // tensors are members so steady-state training allocates nothing here.
   MatmulTransA(grad_output, cached_input_, grad_w_scratch_, compute_pool_);
   weight_.grad.Add(grad_w_scratch_);
   SumRows(grad_output, grad_b_scratch_, compute_pool_);
   bias_.grad.Add(grad_b_scratch_);
-  Matmul(grad_output, weight_.value, grad_input_, compute_pool_);
+  // dX = G @ W with W cached in packed form (shared with every Backward
+  // until the weights change).
+  if (!ShapeIs(grad_input_, batch, in_features_)) {
+    grad_input_.Resize({batch, in_features_});
+  }
+  if (weight_pack_caching_) {
+    if (!packed_w_.is_b()) {
+      packed_w_.PackB(out_features_, in_features_,
+                      {weight_.value.data(), in_features_, false});
+    }
+    GemmPackedB(batch, in_features_, out_features_,
+                {grad_output.data(), out_features_, false}, packed_w_,
+                grad_input_.data(), in_features_, /*accumulate=*/false,
+                compute_pool_);
+  } else {
+    Gemm(batch, in_features_, out_features_,
+         {grad_output.data(), out_features_, false},
+         {weight_.value.data(), in_features_, false}, grad_input_.data(),
+         in_features_, /*accumulate=*/false, compute_pool_);
+  }
   return grad_input_;
 }
 

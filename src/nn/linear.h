@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "util/rng.h"
 
 namespace niid {
@@ -19,6 +20,10 @@ class Linear : public Module {
   const Tensor& Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
+  void InvalidateWeightCaches() override {
+    packed_wt_.Invalidate();
+    packed_w_.Invalidate();
+  }
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -29,6 +34,11 @@ class Linear : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // Packed-weight caches (DESIGN.md §12): W^T as the forward GEMM's right
+  // operand (its per-call pack was a strided gather) and W as the dX GEMM's
+  // right operand, re-packed lazily after InvalidateWeightCaches().
+  PackedOperand packed_wt_;
+  PackedOperand packed_w_;
   // Reusable output/gradient scratch — zero allocations in steady state.
   Tensor out_;
   Tensor grad_input_;

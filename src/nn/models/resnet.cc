@@ -126,6 +126,25 @@ void ResidualBlock::SetComputePool(ThreadPool* pool) {
   }
 }
 
+void ResidualBlock::InvalidateWeightCaches() {
+  conv1_.InvalidateWeightCaches();
+  conv2_.InvalidateWeightCaches();
+  if (has_projection_) proj_conv_->InvalidateWeightCaches();
+}
+
+void ResidualBlock::SetWeightPackCaching(bool enabled) {
+  weight_pack_caching_ = enabled;
+  conv1_.SetWeightPackCaching(enabled);
+  bn1_.SetWeightPackCaching(enabled);
+  relu1_.SetWeightPackCaching(enabled);
+  conv2_.SetWeightPackCaching(enabled);
+  bn2_.SetWeightPackCaching(enabled);
+  if (has_projection_) {
+    proj_conv_->SetWeightPackCaching(enabled);
+    proj_bn_->SetWeightPackCaching(enabled);
+  }
+}
+
 std::unique_ptr<Module> BuildResNet(const ModelSpec& spec, Rng& rng) {
   NIID_CHECK_GE(spec.resnet_blocks_per_stage, 1);
   auto model = std::make_unique<Sequential>();

@@ -30,6 +30,8 @@ class ResidualBlock : public Module {
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
   void SetComputePool(ThreadPool* pool) override;
+  void InvalidateWeightCaches() override;
+  void SetWeightPackCaching(bool enabled) override;
   std::string Name() const override { return "ResidualBlock"; }
 
  private:

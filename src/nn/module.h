@@ -71,11 +71,34 @@ class Module {
   virtual void SetComputePool(ThreadPool* pool) { compute_pool_ = pool; }
   ThreadPool* compute_pool() const { return compute_pool_; }
 
+  /// Marks any cached packed-weight GEMM operands stale (DESIGN.md §12).
+  /// Layers that keep weights in the GEMM engine's panel format (Conv2d,
+  /// Linear) re-pack lazily on next use. The invalidation contract: this
+  /// MUST be called whenever Parameter::value storage is written outside the
+  /// module's own Forward/Backward — optimizer steps, state loads,
+  /// deserialization, or direct element writes (e.g. finite-difference
+  /// probes). SgdOptimizer::Step and the parameters.cc/serialization.cc
+  /// loaders already do; new mutation sites must follow suit. Container
+  /// overrides recurse into submodules; the default is a no-op.
+  virtual void InvalidateWeightCaches() {}
+
+  /// Enables or disables packed-weight caching (default enabled). Disabling
+  /// invalidates and bypasses the caches so every GEMM re-packs its weight
+  /// operand from Parameter::value — the cache-free oracle configuration
+  /// used to prove the cached path bit-identical. Container overrides
+  /// recurse into submodules.
+  virtual void SetWeightPackCaching(bool enabled) {
+    weight_pack_caching_ = enabled;
+    InvalidateWeightCaches();
+  }
+  bool weight_pack_caching() const { return weight_pack_caching_; }
+
   /// Human-readable layer name for debugging and reports.
   virtual std::string Name() const = 0;
 
  protected:
   bool training_ = true;
+  bool weight_pack_caching_ = true;
   ThreadPool* compute_pool_ = nullptr;
 };
 

@@ -6,7 +6,8 @@ namespace niid {
 
 SgdOptimizer::SgdOptimizer(Module& module, float learning_rate, float momentum,
                            float weight_decay)
-    : learning_rate_(learning_rate),
+    : module_(&module),
+      learning_rate_(learning_rate),
       momentum_(momentum),
       weight_decay_(weight_decay) {
   for (Parameter* p : module.Parameters()) {
@@ -16,6 +17,7 @@ SgdOptimizer::SgdOptimizer(Module& module, float learning_rate, float momentum,
   }
 }
 
+// NIID_HOT
 void SgdOptimizer::Step(ThreadPool* pool) {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
@@ -23,6 +25,9 @@ void SgdOptimizer::Step(ThreadPool* pool) {
                           weight_decay_, p->value.data(), p->grad.data(),
                           velocity_[i].data(), pool);
   }
+  // The step just rewrote every trainable Parameter::value, so any packed
+  // weight operand cached by a layer is now stale (DESIGN.md §12).
+  module_->InvalidateWeightCaches();
 }
 
 void SgdOptimizer::ZeroGrads() {

@@ -25,7 +25,8 @@ class SgdOptimizer {
   /// Applies one update using the gradients currently stored in the module.
   /// The whole update runs as one fused pass per parameter through
   /// KernelSgdMomentumStep; `pool` (optional) chunks large parameter tensors
-  /// without changing results.
+  /// without changing results. Ends by invalidating the module's packed
+  /// weight caches (the weights just changed — DESIGN.md §12).
   void Step(ThreadPool* pool = nullptr);
 
   /// Zeroes the gradients of the bound trainable parameters. Buffers carry no
@@ -46,6 +47,7 @@ class SgdOptimizer {
   void set_weight_decay(float weight_decay) { weight_decay_ = weight_decay; }
 
  private:
+  Module* module_;
   std::vector<Parameter*> params_;
   std::vector<Tensor> velocity_;
   float learning_rate_;

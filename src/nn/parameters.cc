@@ -58,6 +58,10 @@ void LoadState(Module& module, const StateVector& state) {
   }
   NIID_CHECK_EQ(offset, static_cast<int64_t>(state.size()))
       << "state vector size mismatch";
+  // Every Parameter::value was just rewritten — a workspace TrainContext is
+  // time-shared across clients, so a packed weight cache left over from the
+  // previous occupant is now stale (DESIGN.md §12).
+  module.InvalidateWeightCaches();
 }
 
 void LoadTrainableState(Module& module, const std::vector<StateSegment>& layout,
@@ -71,6 +75,8 @@ void LoadTrainableState(Module& module, const std::vector<StateSegment>& layout,
     if (!seg.trainable) continue;
     KernelCopy(seg.size, state.data() + seg.offset, params[i]->value.data());
   }
+  // Trainable values changed — stale packed weight caches must not survive.
+  module.InvalidateWeightCaches();
 }
 
 StateVector GradState(Module& module) {
@@ -143,6 +149,10 @@ void LoadBufferState(Module& module, const std::vector<StateSegment>& layout,
     cursor += layout[i].size;
   }
   NIID_CHECK_EQ(cursor, static_cast<int64_t>(packed.size()));
+  // Only buffers (non-trainable values) changed, and layers never cache
+  // packed buffer operands — but keep the contract simple: any
+  // Parameter::value mutation invalidates.
+  module.InvalidateWeightCaches();
 }
 
 void AxpyToGrads(Module& module, float alpha, const StateVector& vec) {

@@ -38,4 +38,13 @@ void Sequential::SetComputePool(ThreadPool* pool) {
   for (auto& layer : layers_) layer->SetComputePool(pool);
 }
 
+void Sequential::InvalidateWeightCaches() {
+  for (auto& layer : layers_) layer->InvalidateWeightCaches();
+}
+
+void Sequential::SetWeightPackCaching(bool enabled) {
+  weight_pack_caching_ = enabled;
+  for (auto& layer : layers_) layer->SetWeightPackCaching(enabled);
+}
+
 }  // namespace niid

@@ -34,6 +34,8 @@ class Sequential : public Module {
   std::vector<Parameter*> Parameters() override;
   void SetTraining(bool training) override;
   void SetComputePool(ThreadPool* pool) override;
+  void InvalidateWeightCaches() override;
+  void SetWeightPackCaching(bool enabled) override;
   std::string Name() const override { return "Sequential"; }
 
   int size() const { return static_cast<int>(layers_.size()); }

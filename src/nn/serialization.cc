@@ -119,6 +119,9 @@ Status LoadModel(Module& module, const std::string& path) {
     std::memcpy(params[pi]->value.data(), staged[pi].data(),
                 staged[pi].size() * sizeof(float));
   }
+  // Every Parameter::value was just rewritten from disk; drop any packed
+  // weight operands the layers cached for the previous values (DESIGN.md §12).
+  module.InvalidateWeightCaches();
   return Status::Ok();
 }
 

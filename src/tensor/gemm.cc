@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/check.h"
+
 #if defined(NIID_GEMM_AVX2) && defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
 #define NIID_GEMM_USE_AVX2 1
@@ -18,6 +20,12 @@ namespace {
 constexpr int kMr = kGemmMr;
 constexpr int kNr = kGemmNr;
 
+// Pre-packed panel addressing below assumes cache blocks never straddle a
+// panel: every Mc row block starts on an Mr panel boundary and every Nc
+// column block on an Nr panel boundary.
+static_assert(kGemmMc % kGemmMr == 0, "Mc must be a multiple of Mr");
+static_assert(kGemmNc % kGemmNr == 0, "Nc must be a multiple of Nr");
+
 // Packing scratch. Thread-local so concurrent Gemm calls (e.g. one per
 // federated client task) never share buffers, and so steady-state calls are
 // allocation-free: resize() only grows capacity. The B panel is packed by
@@ -27,13 +35,10 @@ constexpr int kNr = kGemmNr;
 thread_local std::vector<float> tls_pack_a;
 thread_local std::vector<float> tls_pack_b;
 
-inline float OperandAt(const GemmOperand& x, int64_t r, int64_t c) {
-  return x.trans ? x.data[c * x.stride + r] : x.data[r * x.stride + c];
-}
-
 // Packs op(A)[i0 : i0+mc, pc : pc+kc] into kMr-row panels: panel p holds kc
 // steps of kMr consecutive rows, zero-padded past mc so the full microkernel
-// can run on the body of every block.
+// can run on the body of every block. With i0 = pc = 0 and full extents this
+// is exactly the PackedOperand A-side layout.
 void PackA(const GemmOperand& a, int64_t i0, int64_t mc, int64_t pc,
            int64_t kc, float* dst) {
   const int64_t panels = (mc + kMr - 1) / kMr;
@@ -61,7 +66,8 @@ void PackA(const GemmOperand& a, int64_t i0, int64_t mc, int64_t pc,
 }
 
 // Packs op(B)[pc : pc+kc, jc : jc+nc] into kNr-column panels: panel q holds
-// kc steps of kNr consecutive columns, zero-padded past nc.
+// kc steps of kNr consecutive columns, zero-padded past nc. With pc = jc = 0
+// and full extents this is exactly the PackedOperand B-side layout.
 void PackB(const GemmOperand& b, int64_t pc, int64_t kc, int64_t jc,
            int64_t nc, float* dst) {
   const int64_t panels = (nc + kNr - 1) / kNr;
@@ -89,11 +95,13 @@ void PackB(const GemmOperand& b, int64_t pc, int64_t kc, int64_t jc,
 
 // Scalar microkernel, also used for edge tiles: a kMr x kNr register tile
 // accumulated with std::fma in strictly increasing k order per element —
-// the exact chain the AVX2 kernel's per-lane FMAs produce, so both backends
+// the exact chain the AVX2 kernels' per-lane FMAs produce, so both backends
 // are bit-identical. `load_c` continues the accumulation chain from C
 // (later Kc blocks / accumulate mode) instead of starting at zero.
-void MicroKernelScalar(int64_t kc, const float* a_panel, const float* b_panel,
-                       float* c, int64_t ldc, bool load_c, int mr, int nr) {
+[[maybe_unused]] void MicroKernelScalar(int64_t kc, const float* a_panel,
+                                        const float* b_panel, float* c,
+                                        int64_t ldc, bool load_c, int mr,
+                                        int nr) {
   float tile[kMr][kNr];
   for (int i = 0; i < mr; ++i) {
     for (int j = 0; j < nr; ++j) {
@@ -148,6 +156,61 @@ void MicroKernelFull(int64_t kc, const float* a_panel, const float* b_panel,
     _mm256_storeu_ps(c + i * ldc + 8, acc[i][1]);
   }
 }
+
+// Lane masks for the edge kernel: kTailMask[t] enables the first t lanes.
+alignas(32) constexpr int32_t kTailMask[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+    {-1, -1, -1, -1, -1, -1, -1, -1},
+};
+
+// Edge-tile kernel (mr < 6 and/or nr < 16): same broadcast-FMA schedule as
+// the full kernel but with a row loop bounded by mr and masked C loads and
+// stores bounded by nr. The B panel is always kNr wide and zero-padded, so
+// full-width B loads are in-bounds; lanes at or past nr compute on those
+// zeros and are discarded by the masked store. Each surviving lane's FMA
+// chain is identical to the scalar kernel's, so the backends stay
+// bit-identical on edge tiles too.
+void MicroKernelEdge(int64_t kc, const float* a_panel, const float* b_panel,
+                     float* c, int64_t ldc, bool load_c, int mr, int nr) {
+  const int n0 = nr < 8 ? nr : 8;
+  const int n1 = nr - n0;
+  const __m256i m0 =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kTailMask[n0]));
+  const __m256i m1 =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kTailMask[n1]));
+  __m256 acc[kMr][2];
+  for (int i = 0; i < mr; ++i) {
+    if (load_c) {
+      acc[i][0] = _mm256_maskload_ps(c + i * ldc, m0);
+      acc[i][1] = n1 > 0 ? _mm256_maskload_ps(c + i * ldc + 8, m1)
+                         : _mm256_setzero_ps();
+    } else {
+      acc[i][0] = _mm256_setzero_ps();
+      acc[i][1] = _mm256_setzero_ps();
+    }
+  }
+  for (int64_t step = 0; step < kc; ++step) {
+    const float* arow = a_panel + step * kMr;
+    const __m256 b0 = _mm256_loadu_ps(b_panel + step * kNr);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + step * kNr + 8);
+    for (int i = 0; i < mr; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(arow + i);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+  }
+  for (int i = 0; i < mr; ++i) {
+    _mm256_maskstore_ps(c + i * ldc, m0, acc[i][0]);
+    if (n1 > 0) _mm256_maskstore_ps(c + i * ldc + 8, m1, acc[i][1]);
+  }
+}
 #endif  // NIID_GEMM_USE_AVX2
 
 inline void MicroKernel(int64_t kc, const float* a_panel, const float* b_panel,
@@ -155,19 +218,83 @@ inline void MicroKernel(int64_t kc, const float* a_panel, const float* b_panel,
 #if NIID_GEMM_USE_AVX2
   if (mr == kMr && nr == kNr) {
     MicroKernelFull(kc, a_panel, b_panel, c, ldc, load_c);
-    return;
+  } else {
+    MicroKernelEdge(kc, a_panel, b_panel, c, ldc, load_c, mr, nr);
   }
-#endif
+#else
   MicroKernelScalar(kc, a_panel, b_panel, c, ldc, load_c, mr, nr);
+#endif
 }
 
-}  // namespace
+// One Nc column block of the blocked loop: for each Kc slice, source the B
+// panels (pre-packed `pb` or a fresh pack into TLS scratch), then run the
+// row-block loop — in parallel when `pool` is set. `pa`/`pb`, when non-null,
+// point at full-matrix PackedOperand layouts whose panel stride is the full
+// k extent.
+// NIID_HOT: inner loop of every training step; the two resizes are
+// grow-only TLS scratch.
+void ComputeColumnBlock(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+                        const float* pa, const GemmOperand& b, const float* pb,
+                        float* c, int64_t ldc, bool accumulate, int64_t jc,
+                        ThreadPool* pool) {
+  const int64_t nc = std::min<int64_t>(kGemmNc, n - jc);
+  const int64_t b_panels = (nc + kNr - 1) / kNr;
+  for (int64_t pc = 0; pc < k; pc += kGemmKc) {
+    const int64_t kc = std::min<int64_t>(kGemmKc, k - pc);
+    const float* packed_b = nullptr;
+    if (pb == nullptr) {
+      tls_pack_b.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
+          static_cast<size_t>(b_panels * kc * kNr));
+      packed_b = tls_pack_b.data();
+      PackB(b, pc, kc, jc, nc, tls_pack_b.data());
+    }
+    // Later Kc blocks must continue each element's FMA chain from C.
+    const bool load_c = accumulate || pc > 0;
 
+    // Row-block parallelism only — K is never split across threads, so
+    // every C element is produced by exactly one task with a fixed
+    // accumulation order, independent of the thread count.
+    const int64_t m_blocks = (m + kGemmMc - 1) / kGemmMc;
+    ParallelFor(pool, m_blocks, [&](int64_t mb) {
+      const int64_t i0 = mb * kGemmMc;
+      const int64_t mc = std::min<int64_t>(kGemmMc, m - i0);
+      const int64_t a_panels = (mc + kMr - 1) / kMr;
+      const float* packed_a = nullptr;
+      if (pa == nullptr) {
+        tls_pack_a.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
+            static_cast<size_t>(a_panels * kc * kMr));
+        packed_a = tls_pack_a.data();
+        PackA(a, i0, mc, pc, kc, tls_pack_a.data());
+      }
+      for (int64_t q = 0; q < b_panels; ++q) {
+        const int64_t j0 = jc + q * kNr;
+        const int nr = static_cast<int>(std::min<int64_t>(kNr, jc + nc - j0));
+        // Pre-packed panels span the full k extent; block-local packs span
+        // kc. Global panel indices stay aligned because Mc % Mr == 0 and
+        // Nc % Nr == 0 (static_asserts above).
+        const float* b_panel = pb != nullptr
+                                   ? pb + (jc / kNr + q) * k * kNr + pc * kNr
+                                   : packed_b + q * kc * kNr;
+        for (int64_t p = 0; p < a_panels; ++p) {
+          const int64_t i = i0 + p * kMr;
+          const int mr = static_cast<int>(std::min<int64_t>(kMr, i0 + mc - i));
+          const float* a_panel =
+              pa != nullptr ? pa + (i0 / kMr + p) * k * kMr + pc * kMr
+                            : packed_a + p * kc * kMr;
+          MicroKernel(kc, a_panel, b_panel, c + i * ldc + j0, ldc, load_c, mr,
+                      nr);
+        }
+      }
+    });
+  }
+}
+
+// Shared blocked driver behind Gemm/GemmPackedA/GemmPackedB.
 // NIID_HOT: the training step's inner loop; see the allocation policy note
-// on tls_pack_a/tls_pack_b above for the two sanctioned grow-only resizes.
-void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
-          const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
-          ThreadPool* pool) {
+// on tls_pack_a/tls_pack_b above for the sanctioned grow-only resizes.
+void GemmImpl(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+              const float* pa, const GemmOperand& b, const float* pb, float* c,
+              int64_t ldc, bool accumulate, ThreadPool* pool) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     if (!accumulate) {
@@ -178,46 +305,75 @@ void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
     return;
   }
 
-  for (int64_t jc = 0; jc < n; jc += kGemmNc) {
-    const int64_t nc = std::min<int64_t>(kGemmNc, n - jc);
-    const int64_t b_panels = (nc + kNr - 1) / kNr;
-    for (int64_t pc = 0; pc < k; pc += kGemmKc) {
-      const int64_t kc = std::min<int64_t>(kGemmKc, k - pc);
-      tls_pack_b.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
-          static_cast<size_t>(b_panels * kc * kNr));
-      float* packed_b = tls_pack_b.data();
-      PackB(b, pc, kc, jc, nc, packed_b);
-      // Later Kc blocks must continue each element's FMA chain from C.
-      const bool load_c = accumulate || pc > 0;
-
-      // Row-block parallelism only — K is never split across threads, so
-      // every C element is produced by exactly one task with a fixed
-      // accumulation order, independent of the thread count.
-      const int64_t m_blocks = (m + kGemmMc - 1) / kGemmMc;
-      ParallelFor(pool, m_blocks, [&](int64_t mb) {
-        const int64_t i0 = mb * kGemmMc;
-        const int64_t mc = std::min<int64_t>(kGemmMc, m - i0);
-        const int64_t a_panels = (mc + kMr - 1) / kMr;
-        tls_pack_a.resize(  // NOLINT(niid-hot-alloc) grow-only TLS scratch
-            static_cast<size_t>(a_panels * kc * kMr));
-        float* packed_a = tls_pack_a.data();
-        PackA(a, i0, mc, pc, kc, packed_a);
-        for (int64_t q = 0; q < b_panels; ++q) {
-          const int64_t j0 = jc + q * kNr;
-          const int nr =
-              static_cast<int>(std::min<int64_t>(kNr, jc + nc - j0));
-          const float* b_panel = packed_b + q * kc * kNr;
-          for (int64_t p = 0; p < a_panels; ++p) {
-            const int64_t i = i0 + p * kMr;
-            const int mr =
-                static_cast<int>(std::min<int64_t>(kMr, i0 + mc - i));
-            MicroKernel(kc, packed_a + p * kc * kMr, b_panel,
-                        c + i * ldc + j0, ldc, load_c, mr, nr);
-          }
-        }
-      });
-    }
+  // Short-wide shapes (one Mc row block, many Nc column blocks — e.g. the
+  // fused conv-backward dX GEMM, m = C*k*k, n = N*H*W) have no row-block
+  // parallelism to exploit, so parallelize over column blocks instead.
+  // Tasks write disjoint C columns and K is still never split, so the
+  // per-element FMA chains — and hence the results — are unchanged. Limited
+  // to k <= Kc so the per-task repack of A (when not pre-packed) stays
+  // negligible.
+  const int64_t m_blocks = (m + kGemmMc - 1) / kGemmMc;
+  const int64_t jc_blocks = (n + kGemmNc - 1) / kGemmNc;
+  if (pool != nullptr && m_blocks == 1 && jc_blocks > 1 && k <= kGemmKc) {
+    ParallelFor(pool, jc_blocks, [&](int64_t jb) {
+      ComputeColumnBlock(m, n, k, a, pa, b, pb, c, ldc, accumulate,
+                         jb * kGemmNc, nullptr);
+    });
+    return;
   }
+
+  for (int64_t jc = 0; jc < n; jc += kGemmNc) {
+    ComputeColumnBlock(m, n, k, a, pa, b, pb, c, ldc, accumulate, jc, pool);
+  }
+}
+
+}  // namespace
+
+void PackedOperand::PackA(int64_t m, int64_t k, const GemmOperand& a) {
+  NIID_CHECK(m > 0 && k > 0);
+  const int64_t panels = (m + kMr - 1) / kMr;
+  data_.resize(  // NOLINT(niid-hot-alloc) grow-only cache buffer
+      static_cast<size_t>(panels * k * kMr));
+  niid::PackA(a, 0, m, 0, k, data_.data());
+  rows_ = m;
+  cols_ = k;
+  side_ = Side::kA;
+}
+
+void PackedOperand::PackB(int64_t k, int64_t n, const GemmOperand& b) {
+  NIID_CHECK(k > 0 && n > 0);
+  const int64_t panels = (n + kNr - 1) / kNr;
+  data_.resize(  // NOLINT(niid-hot-alloc) grow-only cache buffer
+      static_cast<size_t>(panels * k * kNr));
+  niid::PackB(b, 0, k, 0, n, data_.data());
+  rows_ = k;
+  cols_ = n;
+  side_ = Side::kB;
+}
+
+// NIID_HOT: the training step's inner loop.
+void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+          const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
+          ThreadPool* pool) {
+  GemmImpl(m, n, k, a, nullptr, b, nullptr, c, ldc, accumulate, pool);
+}
+
+// NIID_HOT: the training step's inner loop (pre-packed left operand).
+void GemmPackedA(int64_t m, int64_t n, int64_t k, const PackedOperand& a,
+                 const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
+                 ThreadPool* pool) {
+  NIID_CHECK(a.is_a() && a.rows() == m && a.cols() == k);
+  GemmImpl(m, n, k, GemmOperand{}, a.data(), b, nullptr, c, ldc, accumulate,
+           pool);
+}
+
+// NIID_HOT: the training step's inner loop (pre-packed right operand).
+void GemmPackedB(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+                 const PackedOperand& b, float* c, int64_t ldc,
+                 bool accumulate, ThreadPool* pool) {
+  NIID_CHECK(b.is_b() && b.rows() == k && b.cols() == n);
+  GemmImpl(m, n, k, a, nullptr, GemmOperand{}, b.data(), c, ldc, accumulate,
+           pool);
 }
 
 }  // namespace niid

@@ -2,6 +2,7 @@
 #define NIID_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "util/thread_pool.h"
 
@@ -17,9 +18,10 @@ namespace niid {
 /// the build enables it, a bit-identical scalar std::fma kernel otherwise).
 ///
 /// Determinism policy (see DESIGN.md §7): the K dimension is never split
-/// across threads — parallelism is over disjoint row blocks of C only — and
-/// every multiply-add in the engine is a fused multiply-add applied in
-/// strictly increasing k order per output element. Results are therefore
+/// across threads — parallelism is over disjoint row blocks of C (or, for
+/// single-row-block shapes, disjoint column blocks) — and every
+/// multiply-add in the engine is a fused multiply-add applied in strictly
+/// increasing k order per output element. Results are therefore
 /// bit-identical for any thread count, any pool, and both microkernel
 /// backends, and bit-identical to the scalar reference
 /// `MatmulReference`-family oracles in tensor/ops.h.
@@ -33,6 +35,52 @@ struct GemmOperand {
   bool trans = false;
 };
 
+/// Caller-owned pre-packed operand (pack-once API, DESIGN.md §12).
+///
+/// Holds a full matrix laid out in the engine's internal panel format so
+/// `GemmPackedA`/`GemmPackedB` can skip the per-call packing pass entirely.
+/// The payoff is operand reuse: a weight matrix packed once per optimizer
+/// step and consumed by every image's GEMM, or a gradient matrix packed
+/// once and fed to both the dW and dX GEMMs of a convolution backward.
+///
+/// Layout contract (stable; tests assert bitwise GEMM equality against the
+/// pack-on-the-fly path):
+///  - A side: ceil(m / kGemmMr) panels, panel p holding all k steps of
+///    rows [p*Mr, p*Mr+Mr) at data()[p*k*Mr + step*Mr + r], zero-padded
+///    past m.
+///  - B side: ceil(n / kGemmNr) panels, panel q holding all k steps of
+///    columns [q*Nr, q*Nr+Nr) at data()[q*k*Nr + step*Nr + c], zero-padded
+///    past n.
+///
+/// The buffer is grow-only (steady-state re-packs are allocation-free) and
+/// `Invalidate()` marks the contents stale without releasing capacity —
+/// the hook layer caches use when the underlying weights change.
+class PackedOperand {
+ public:
+  /// Packs op(a)[m, k] as the left (A-side) GEMM operand.
+  void PackA(int64_t m, int64_t k, const GemmOperand& a);
+  /// Packs op(b)[k, n] as the right (B-side) GEMM operand.
+  void PackB(int64_t k, int64_t n, const GemmOperand& b);
+
+  /// Marks the packed contents stale; capacity is retained.
+  void Invalidate() { side_ = Side::kNone; }
+  /// True if the buffer currently holds a valid A-side / B-side pack.
+  bool valid() const { return side_ != Side::kNone; }
+  bool is_a() const { return side_ == Side::kA; }
+  bool is_b() const { return side_ == Side::kB; }
+  /// Logical extents of the packed operand: rows() x cols() == op(X).
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  const float* data() const { return data_.data(); }
+
+ private:
+  enum class Side { kNone, kA, kB };
+  std::vector<float> data_;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  Side side_ = Side::kNone;
+};
+
 /// C[m, n] (row stride `ldc`) = op(a)[m, k] * op(b)[k, n], overwriting C,
 /// or accumulating into it when `accumulate` is true. `pool` may be null
 /// (serial); passing a pool whose worker thread is the caller is safe and
@@ -40,6 +88,18 @@ struct GemmOperand {
 void Gemm(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
           const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
           ThreadPool* pool);
+
+/// Gemm with a pre-packed left operand (`a.PackA(m, k, ...)` must have run).
+/// Bit-identical to the equivalent `Gemm` call.
+void GemmPackedA(int64_t m, int64_t n, int64_t k, const PackedOperand& a,
+                 const GemmOperand& b, float* c, int64_t ldc, bool accumulate,
+                 ThreadPool* pool);
+
+/// Gemm with a pre-packed right operand (`b.PackB(k, n, ...)` must have
+/// run). Bit-identical to the equivalent `Gemm` call.
+void GemmPackedB(int64_t m, int64_t n, int64_t k, const GemmOperand& a,
+                 const PackedOperand& b, float* c, int64_t ldc,
+                 bool accumulate, ThreadPool* pool);
 
 /// Microkernel register-tile extents, exported so tests can build shape
 /// grids that straddle the tile edges.

@@ -120,6 +120,89 @@ inline void ScalarBnBackwardDx(int64_t begin, int64_t end, double coeff,
   }
 }
 
+inline void ScalarTranspose(int64_t rows, int64_t cols, const float* src,
+                            float* dst) {
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+  }
+}
+
+inline void ScalarAddTransposed(int64_t rows, int64_t cols, const float* src,
+                                float* dst) {
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) dst[r * cols + c] += src[c * rows + r];
+  }
+}
+
+#if NIID_KERNELS_USE_AVX2
+// Transposes the 8x8 block whose rows start at src, src+stride, ... into
+// registers: out[j][i] = src[i * stride + j]. Pure lane movement — no
+// arithmetic — so it cannot perturb bits.
+inline void Transpose8x8Regs(const float* src, int64_t stride, __m256 out[8]) {
+  const __m256 r0 = _mm256_loadu_ps(src + 0 * stride);
+  const __m256 r1 = _mm256_loadu_ps(src + 1 * stride);
+  const __m256 r2 = _mm256_loadu_ps(src + 2 * stride);
+  const __m256 r3 = _mm256_loadu_ps(src + 3 * stride);
+  const __m256 r4 = _mm256_loadu_ps(src + 4 * stride);
+  const __m256 r5 = _mm256_loadu_ps(src + 5 * stride);
+  const __m256 r6 = _mm256_loadu_ps(src + 6 * stride);
+  const __m256 r7 = _mm256_loadu_ps(src + 7 * stride);
+  const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+  const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+  const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+  const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+  const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+  const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+  const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+  const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+  const __m256 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  out[0] = _mm256_permute2f128_ps(s0, s4, 0x20);
+  out[1] = _mm256_permute2f128_ps(s1, s5, 0x20);
+  out[2] = _mm256_permute2f128_ps(s2, s6, 0x20);
+  out[3] = _mm256_permute2f128_ps(s3, s7, 0x20);
+  out[4] = _mm256_permute2f128_ps(s0, s4, 0x31);
+  out[5] = _mm256_permute2f128_ps(s1, s5, 0x31);
+  out[6] = _mm256_permute2f128_ps(s2, s6, 0x31);
+  out[7] = _mm256_permute2f128_ps(s3, s7, 0x31);
+}
+#endif  // NIID_KERNELS_USE_AVX2
+
+// One [rows x cols] -> [cols x rows] transpose (8x8 blocked body, scalar
+// edges in the AVX2 build; plain scalar otherwise).
+inline void TransposeOne(int64_t rows, int64_t cols, const float* src,
+                         float* dst) {
+#if NIID_KERNELS_USE_AVX2
+  const int64_t rb = rows & ~int64_t{7};
+  const int64_t cb = cols & ~int64_t{7};
+  for (int64_t r0 = 0; r0 < rb; r0 += 8) {
+    for (int64_t c0 = 0; c0 < cb; c0 += 8) {
+      __m256 t[8];
+      Transpose8x8Regs(src + r0 * cols + c0, cols, t);
+      for (int j = 0; j < 8; ++j) {
+        _mm256_storeu_ps(dst + (c0 + j) * rows + r0, t[j]);
+      }
+    }
+    for (int64_t c = cb; c < cols; ++c) {
+      for (int64_t r = r0; r < r0 + 8; ++r) {
+        dst[c * rows + r] = src[r * cols + c];
+      }
+    }
+  }
+  for (int64_t r = rb; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+  }
+#else
+  ScalarTranspose(rows, cols, src, dst);
+#endif
+}
+
 // Splits [0, n) into range chunks on the pool when n is large enough.
 // Elementwise kernels are chunk-boundary-invariant (each element's result
 // depends only on its own inputs), so this never changes bits.
@@ -390,6 +473,79 @@ double KernelSum(int64_t n, const float* x) {
 }
 
 // NIID_HOT
+double KernelPlaneSum(int64_t planes, int64_t plane_stride, int64_t n,
+                      const float* x) {
+  double total = 0.0;
+  for (int64_t p = 0; p < planes; ++p) {
+    total += KernelSum(n, x + p * plane_stride);
+  }
+  return total;
+}
+
+// NIID_HOT
+void KernelBnBackwardReduce(int64_t planes, int64_t plane_stride, int64_t n,
+                            const float* dy, const float* xhat, double* sum_dy,
+                            double* sum_dy_xhat) {
+  // Chains KernelDySums per plane in increasing p order — the exact
+  // reduction the pre-fused per-image loop performed, so curves are
+  // unchanged.
+  double s = 0.0, h = 0.0;
+  for (int64_t p = 0; p < planes; ++p) {
+    KernelDySums(n, dy + p * plane_stride, xhat + p * plane_stride, &s, &h);
+  }
+  *sum_dy += s;
+  *sum_dy_xhat += h;
+}
+
+// NIID_HOT
+void KernelBatchTranspose(int64_t batch, int64_t rows, int64_t cols,
+                          const float* src, float* dst, ThreadPool* pool) {
+  const int64_t item = rows * cols;
+  if (pool != nullptr && batch > 1 && batch * item >= kKernelParallelThreshold) {
+    ParallelFor(pool, batch, [&](int64_t b) {
+      TransposeOne(rows, cols, src + b * item, dst + b * item);
+    });
+    return;
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    TransposeOne(rows, cols, src + b * item, dst + b * item);
+  }
+}
+
+// NIID_HOT
+void KernelAddTransposed(int64_t rows, int64_t cols, const float* src,
+                         float* dst) {
+#if NIID_KERNELS_USE_AVX2
+  const int64_t rb = rows & ~int64_t{7};
+  const int64_t cb = cols & ~int64_t{7};
+  for (int64_t r0 = 0; r0 < rb; r0 += 8) {
+    for (int64_t c0 = 0; c0 < cb; c0 += 8) {
+      // t[j][i] = src[(c0 + i) * rows + r0 + j]: the values destined for
+      // dst row r0 + j, columns c0 .. c0 + 7.
+      __m256 t[8];
+      Transpose8x8Regs(src + c0 * rows + r0, rows, t);
+      for (int j = 0; j < 8; ++j) {
+        float* d = dst + (r0 + j) * cols + c0;
+        _mm256_storeu_ps(d, _mm256_add_ps(_mm256_loadu_ps(d), t[j]));
+      }
+    }
+    for (int64_t c = cb; c < cols; ++c) {
+      for (int64_t r = r0; r < r0 + 8; ++r) {
+        dst[r * cols + c] += src[c * rows + r];
+      }
+    }
+  }
+  for (int64_t r = rb; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[r * cols + c] += src[c * rows + r];
+    }
+  }
+#else
+  ScalarAddTransposed(rows, cols, src, dst);
+#endif
+}
+
+// NIID_HOT
 void KernelBnNormalize(int64_t n, float mean, float inv_std, float gamma,
                        float beta, const float* x, float* xhat, float* out) {
 #if NIID_KERNELS_USE_AVX2
@@ -526,6 +682,50 @@ void KernelBnBackwardDxReference(int64_t n, float coeff, double mean_dy,
                                  const float* xhat, float* dx) {
   ScalarBnBackwardDx(0, n, static_cast<double>(coeff), mean_dy, mean_dy_xhat,
                      dy, xhat, dx);
+}
+
+double KernelPlaneSumReference(int64_t planes, int64_t plane_stride, int64_t n,
+                               const float* x) {
+  double total = 0.0;
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* plane = x + p * plane_stride;
+    const int64_t body = n & ~int64_t{3};
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    for (int64_t i = 0; i < body; i += 4) {
+      for (int lane = 0; lane < 4; ++lane) {
+        lanes[lane] += static_cast<double>(plane[i + lane]);
+      }
+    }
+    double s = CombineLanes(lanes);
+    for (int64_t i = body; i < n; ++i) s += static_cast<double>(plane[i]);
+    total += s;
+  }
+  return total;
+}
+
+void KernelBnBackwardReduceReference(int64_t planes, int64_t plane_stride,
+                                     int64_t n, const float* dy,
+                                     const float* xhat, double* sum_dy,
+                                     double* sum_dy_xhat) {
+  double s = 0.0, h = 0.0;
+  for (int64_t p = 0; p < planes; ++p) {
+    KernelDySumsReference(n, dy + p * plane_stride, xhat + p * plane_stride,
+                          &s, &h);
+  }
+  *sum_dy += s;
+  *sum_dy_xhat += h;
+}
+
+void KernelBatchTransposeReference(int64_t batch, int64_t rows, int64_t cols,
+                                   const float* src, float* dst) {
+  for (int64_t b = 0; b < batch; ++b) {
+    ScalarTranspose(rows, cols, src + b * rows * cols, dst + b * rows * cols);
+  }
+}
+
+void KernelAddTransposedReference(int64_t rows, int64_t cols, const float* src,
+                                  float* dst) {
+  ScalarAddTransposed(rows, cols, src, dst);
 }
 
 }  // namespace niid

@@ -84,6 +84,48 @@ void KernelDySums(int64_t n, const float* dy, const float* xhat,
 /// Σ x[i] with the same four-lane double tree (GlobalAvgPool).
 double KernelSum(int64_t n, const float* x);
 
+/// Strided batch of `KernelSum`s (conv bias gradient): returns
+///   Σ_p KernelSum(n, x + p * plane_stride)
+/// with the per-plane totals chained into a running double in strictly
+/// increasing p order. Each plane uses the four-lane tree above, so the
+/// result is backend- and thread-count-invariant.
+double KernelPlaneSum(int64_t planes, int64_t plane_stride, int64_t n,
+                      const float* x);
+
+/// Fused BatchNorm-backward reduction over one channel's planes (batch
+/// dimension strided by `plane_stride`, each plane a contiguous [H*W] run):
+///   sum_dy += Σ_p Σ_i dy_p[i],  sum_dy_xhat += Σ_p Σ_i dy_p[i] * xhat_p[i]
+/// evaluated as the plane-ordered chain of `KernelDySums` applications —
+/// bit-identical to calling KernelDySums once per plane in increasing p
+/// order, which is exactly the reduction order the scalar path has always
+/// used. Handles the degenerate n == 1 (1x1 spatial) case through the same
+/// per-plane tail path.
+void KernelBnBackwardReduce(int64_t planes, int64_t plane_stride, int64_t n,
+                            const float* dy, const float* xhat,
+                            double* sum_dy, double* sum_dy_xhat);
+
+// ---------------------------------------------------------------------------
+// Data-movement kernels (pure copies/adds: per-element results depend on a
+// single input element, so any chunking or backend is trivially
+// bit-identical).
+// ---------------------------------------------------------------------------
+
+/// Batched matrix transpose: for each item b,
+///   dst[b * rows * cols + c * rows + r] = src[b * rows * cols + r * cols + c]
+/// i.e. each [rows x cols] matrix becomes [cols x rows]. Used to turn the
+/// NCHW output gradient into the [N*S x C] operand both conv-backward GEMMs
+/// consume. AVX2 path runs 8x8 in-register block transposes; items are
+/// independent, so the batch dimension parallelizes freely.
+void KernelBatchTranspose(int64_t batch, int64_t rows, int64_t cols,
+                          const float* src, float* dst,
+                          ThreadPool* pool = nullptr);
+
+/// Transposed accumulate: dst[r * cols + c] += src[c * rows + r] for a
+/// [rows x cols] dst and [cols x rows] src (the conv dW^T scatter). Each
+/// destination element is one float add of one source element.
+void KernelAddTransposed(int64_t rows, int64_t cols, const float* src,
+                         float* dst);
+
 // ---------------------------------------------------------------------------
 // BatchNorm plane kernels (one contiguous [H*W] plane of one channel).
 // ---------------------------------------------------------------------------
@@ -138,6 +180,16 @@ void KernelBnNormalizeReference(int64_t n, float mean, float inv_std,
 void KernelBnBackwardDxReference(int64_t n, float coeff, double mean_dy,
                                  double mean_dy_xhat, const float* dy,
                                  const float* xhat, float* dx);
+double KernelPlaneSumReference(int64_t planes, int64_t plane_stride, int64_t n,
+                               const float* x);
+void KernelBnBackwardReduceReference(int64_t planes, int64_t plane_stride,
+                                     int64_t n, const float* dy,
+                                     const float* xhat, double* sum_dy,
+                                     double* sum_dy_xhat);
+void KernelBatchTransposeReference(int64_t batch, int64_t rows, int64_t cols,
+                                   const float* src, float* dst);
+void KernelAddTransposedReference(int64_t rows, int64_t cols, const float* src,
+                                  float* dst);
 
 }  // namespace niid
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace niid {
@@ -236,6 +237,119 @@ void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
               if (ix >= 0 && ix < w) line[ix] += row[idx];
               ++idx;
             }
+          }
+        }
+      }
+    }
+  });
+}
+
+// NIID_HOT
+void Im2ColTransposed(const Tensor& input, int kernel, int stride, int padding,
+                      Tensor& columns_t, ThreadPool* pool) {
+  NIID_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int out_h =
+      ConvOutputSize(static_cast<int>(h), kernel, stride, padding);
+  const int out_w =
+      ConvOutputSize(static_cast<int>(w), kernel, stride, padding);
+  NIID_CHECK_GT(out_h, 0);
+  NIID_CHECK_GT(out_w, 0);
+  const int64_t spatial = static_cast<int64_t>(out_h) * out_w;
+  const int64_t total = n * spatial;
+  const int64_t rows = c * kernel * kernel;
+  if (columns_t.rank() != 2 || columns_t.dim(0) != rows ||
+      columns_t.dim(1) != total) {
+    columns_t.Resize({rows, total});
+  }
+  const float* src = input.data();
+  float* dst = columns_t.data();
+  // Each task owns whole rows of columns_t, so rows build in parallel
+  // without synchronisation.
+  ParallelFor(pool, rows, [&](int64_t e) {
+    const int64_t ch = e / (kernel * kernel);
+    const int ky = static_cast<int>((e / kernel) % kernel);
+    const int kx = static_cast<int>(e % kernel);
+    for (int64_t img = 0; img < n; ++img) {
+      const float* plane = src + (img * c + ch) * h * w;
+      float* row = dst + e * total + img * spatial;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy = oy * stride - padding + ky;
+        float* out = row + static_cast<int64_t>(oy) * out_w;
+        if (iy < 0 || iy >= h) {
+          KernelFill(out_w, 0.f, out);
+          continue;
+        }
+        const float* line = plane + static_cast<int64_t>(iy) * w;
+        if (stride == 1) {
+          // ix = ox + kx - padding: one contiguous input run, zero-padded
+          // at the clipped edges.
+          const int ox0 = std::max(0, padding - kx);
+          const int ox1 = std::min(out_w, static_cast<int>(w) - kx + padding);
+          for (int ox = 0; ox < ox0; ++ox) out[ox] = 0.f;
+          if (ox1 > ox0) {
+            std::memcpy(out + ox0, line + ox0 + kx - padding,
+                        sizeof(float) * (ox1 - ox0));
+          }
+          for (int ox = std::max(ox0, ox1); ox < out_w; ++ox) out[ox] = 0.f;
+        } else {
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox * stride - padding + kx;
+            out[ox] = (ix < 0 || ix >= w) ? 0.f : line[ix];
+          }
+        }
+      }
+    }
+  });
+}
+
+// NIID_HOT
+void Col2ImTransposed(const Tensor& columns_t, int n, int c, int h, int w,
+                      int kernel, int stride, int padding, Tensor& grad_input,
+                      ThreadPool* pool) {
+  const int out_h = ConvOutputSize(h, kernel, stride, padding);
+  const int out_w = ConvOutputSize(w, kernel, stride, padding);
+  const int64_t spatial = static_cast<int64_t>(out_h) * out_w;
+  const int64_t total = static_cast<int64_t>(n) * spatial;
+  const int64_t rows = static_cast<int64_t>(c) * kernel * kernel;
+  NIID_CHECK_EQ(columns_t.rank(), 2);
+  NIID_CHECK_EQ(columns_t.dim(0), rows);
+  NIID_CHECK_EQ(columns_t.dim(1), total);
+  if (grad_input.rank() != 4 || grad_input.dim(0) != n ||
+      grad_input.dim(1) != c || grad_input.dim(2) != h ||
+      grad_input.dim(3) != w) {
+    grad_input.Resize({n, c, h, w});
+  }
+  grad_input.Fill(0.f);
+  const float* src = columns_t.data();
+  float* dst = grad_input.data();
+  // Each image accumulates only into its own [c, h, w] planes, in fixed
+  // (ch, ky, kx, oy, ox) order regardless of thread count. KernelAxpy with
+  // alpha == 1 is an exact x + y per element, so the vectorized stride-1
+  // path adds the same bits a scalar += would.
+  ParallelFor(pool, n, [&](int64_t img) {
+    for (int64_t e = 0; e < rows; ++e) {
+      const int64_t ch = e / (kernel * kernel);
+      const int ky = static_cast<int>((e / kernel) % kernel);
+      const int kx = static_cast<int>(e % kernel);
+      const float* row = src + e * total + img * spatial;
+      float* plane = dst + (img * c + ch) * h * w;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy = oy * stride - padding + ky;
+        if (iy < 0 || iy >= h) continue;
+        const float* in = row + static_cast<int64_t>(oy) * out_w;
+        float* line = plane + static_cast<int64_t>(iy) * w;
+        if (stride == 1) {
+          const int ox0 = std::max(0, padding - kx);
+          const int ox1 = std::min(out_w, w - kx + padding);
+          if (ox1 > ox0) {
+            KernelAxpy(ox1 - ox0, 1.f, in + ox0, line + ox0 + kx - padding);
+          }
+        } else {
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox * stride - padding + kx;
+            if (ix >= 0 && ix < w) line[ix] += in[ox];
           }
         }
       }

@@ -60,6 +60,27 @@ void Col2Im(const Tensor& columns, int n, int c, int h, int w, int kernel,
             int stride, int padding, Tensor& grad_input,
             ThreadPool* pool = nullptr);
 
+/// Transposed im2col: input [N, C, H, W] -> columns_t
+/// [C * kh * kw, N * out_h * out_w]. Row e = (ch, ky, kx) holds, for every
+/// output pixel, the input value under kernel tap (ky, kx) — i.e. the
+/// transpose of `Im2Col`'s layout with the batch folded into the column
+/// dimension. This is the GEMM-friendly orientation for the fused
+/// conv-forward/backward paths (DESIGN.md §12): for stride 1 each
+/// (row, image, oy) span is a contiguous memcpy of an input line instead of
+/// a gather. Rows are built in parallel when a pool is supplied (each task
+/// owns whole rows).
+void Im2ColTransposed(const Tensor& input, int kernel, int stride, int padding,
+                      Tensor& columns_t, ThreadPool* pool = nullptr);
+
+/// Inverse of `Im2ColTransposed`: accumulates a [C*kh*kw, N*out_h*out_w]
+/// column-gradient matrix back into grad_input [N, C, H, W] (zeroed by this
+/// call). Each image accumulates its taps in fixed (ch, ky, kx, oy, ox)
+/// order — independent of thread count — with contiguous vectorized adds in
+/// the stride-1 case. Images scatter in parallel (disjoint planes).
+void Col2ImTransposed(const Tensor& columns_t, int n, int c, int h, int w,
+                      int kernel, int stride, int padding, Tensor& grad_input,
+                      ThreadPool* pool = nullptr);
+
 /// Returns the spatial output size for a conv/pool dimension.
 int ConvOutputSize(int input, int kernel, int stride, int padding);
 

@@ -286,5 +286,122 @@ TEST(GemmDeterminism, TrainingIsBitIdenticalAcrossPools) {
   EXPECT_EQ(run(8), serial);
 }
 
+// ---------------------------------------------------------------------------
+// Pack-once API: GemmPackedA / GemmPackedB vs the pack-on-the-fly path.
+// ---------------------------------------------------------------------------
+
+// Shapes chosen to straddle the Mr/Nr register tiles, the Mc/Kc/Nc cache
+// blocks (k > Kc exercises the FMA-chain continuation against a pre-packed
+// operand), and the single-row-block jc-parallel mode (m <= Mc, n > Nc).
+class GemmPackedShapeGrid
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(GemmPackedShapeGrid, PackedAMatchesPlainGemmBitwise) {
+  const auto [m, k, n] = GetParam();
+  ThreadPool pool(3);
+  Tensor a = RandomTensor({m, k}, 100 + m);
+  Tensor at = RandomTensor({k, m}, 200 + k);
+  Tensor b = RandomTensor({k, n}, 300 + n);
+  for (bool trans_a : {false, true}) {
+    const GemmOperand a_view =
+        trans_a ? GemmOperand{at.data(), m, true}
+                : GemmOperand{a.data(), k, false};
+    PackedOperand packed;
+    packed.PackA(m, k, a_view);
+    ASSERT_TRUE(packed.is_a());
+    EXPECT_EQ(packed.rows(), m);
+    EXPECT_EQ(packed.cols(), k);
+    const GemmOperand b_view{b.data(), n, false};
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      for (bool accumulate : {false, true}) {
+        Tensor out = RandomTensor({m, n}, 400);
+        Tensor ref = out;  // identical seed bits for the accumulate case
+        Gemm(m, n, k, a_view, b_view, ref.data(), n, accumulate, p);
+        GemmPackedA(m, n, k, packed, b_view, out.data(), n, accumulate, p);
+        EXPECT_TRUE(BitwiseEqual(out, ref))
+            << m << "x" << k << "x" << n << " trans_a=" << trans_a
+            << " pool=" << (p != nullptr) << " acc=" << accumulate;
+      }
+    }
+  }
+}
+
+TEST_P(GemmPackedShapeGrid, PackedBMatchesPlainGemmBitwise) {
+  const auto [m, k, n] = GetParam();
+  ThreadPool pool(3);
+  Tensor a = RandomTensor({m, k}, 500 + m);
+  Tensor b = RandomTensor({k, n}, 600 + n);
+  Tensor bt = RandomTensor({n, k}, 700 + k);
+  const GemmOperand a_view{a.data(), k, false};
+  for (bool trans_b : {false, true}) {
+    const GemmOperand b_view =
+        trans_b ? GemmOperand{bt.data(), k, true}
+                : GemmOperand{b.data(), n, false};
+    PackedOperand packed;
+    packed.PackB(k, n, b_view);
+    ASSERT_TRUE(packed.is_b());
+    EXPECT_EQ(packed.rows(), k);
+    EXPECT_EQ(packed.cols(), n);
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      for (bool accumulate : {false, true}) {
+        Tensor out = RandomTensor({m, n}, 800);
+        Tensor ref = out;
+        Gemm(m, n, k, a_view, b_view, ref.data(), n, accumulate, p);
+        GemmPackedB(m, n, k, a_view, packed, out.data(), n, accumulate, p);
+        EXPECT_TRUE(BitwiseEqual(out, ref))
+            << m << "x" << k << "x" << n << " trans_b=" << trans_b
+            << " pool=" << (p != nullptr) << " acc=" << accumulate;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gemm, GemmPackedShapeGrid,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 1, 9),
+                      std::make_tuple(3, 5, 2), std::make_tuple(6, 16, 16),
+                      std::make_tuple(97, 63, 41),
+                      std::make_tuple(33, 300, 17),  // k crosses one Kc
+                      std::make_tuple(100, 256, 96),
+                      std::make_tuple(129, 255, 130),
+                      // Single row block + multiple column blocks: the
+                      // jc-parallel mode of the engine (m <= Mc, n > Nc).
+                      std::make_tuple(6, 64, 1100),
+                      std::make_tuple(75, 150, 1200)));
+
+// Repacking a grown-then-invalidated buffer must behave exactly like a fresh
+// pack: the conv/linear weight caches rely on Invalidate() + PackA per step.
+TEST(GemmPackedOperand, InvalidateThenRepackMatchesFreshPack) {
+  const int64_t m = 40, k = 70, n = 50;
+  PackedOperand cache;
+  Tensor w0 = RandomTensor({m, k}, 1);
+  cache.PackA(m, k, {w0.data(), k, false});
+  ASSERT_TRUE(cache.valid());
+
+  cache.Invalidate();
+  EXPECT_FALSE(cache.valid());
+  EXPECT_FALSE(cache.is_a());
+
+  // Repack smaller extents into the same (larger) buffer.
+  const int64_t m2 = 12, k2 = 33;
+  Tensor w1 = RandomTensor({m2, k2}, 2);
+  cache.PackA(m2, k2, {w1.data(), k2, false});
+  Tensor b = RandomTensor({k2, n}, 3);
+  Tensor out({m2, n}), ref;
+  GemmPackedA(m2, n, k2, cache, {b.data(), n, false}, out.data(), n,
+              /*accumulate=*/false, nullptr);
+  MatmulReference(w1, b, ref);
+  EXPECT_TRUE(BitwiseEqual(out, ref));
+
+  // And a side flip (the same buffer reused as a B-side pack).
+  cache.PackB(k2, n, {b.data(), n, false});
+  ASSERT_TRUE(cache.is_b());
+  Tensor out2({m2, n});
+  GemmPackedB(m2, n, k2, {w1.data(), k2, false}, cache, out2.data(), n,
+              /*accumulate=*/false, nullptr);
+  EXPECT_TRUE(BitwiseEqual(out2, ref));
+}
+
 }  // namespace
 }  // namespace niid

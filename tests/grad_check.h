@@ -63,13 +63,19 @@ inline void CheckModuleGradients(Module& module, const Tensor& input,
   std::string failure_log;
   auto numeric_vs_analytic = [&](float* slot, double analytic,
                                  const std::string& what, int64_t coord) {
+    // `slot` may point into a Parameter::value that a layer has a packed
+    // weight cache for; writing it directly bypasses the layers, so each
+    // perturbation (and the restore) must invalidate explicitly.
     const float saved = *slot;
     *slot = saved + options.epsilon;
+    module.InvalidateWeightCaches();
     const double plus = ProjectionLoss(module.Forward(probe_input), direction);
     *slot = saved - options.epsilon;
+    module.InvalidateWeightCaches();
     const double minus =
         ProjectionLoss(module.Forward(probe_input), direction);
     *slot = saved;
+    module.InvalidateWeightCaches();
     const double numeric = (plus - minus) / (2.0 * options.epsilon);
     const double scale =
         std::max({std::abs(numeric), std::abs(analytic), 1.0});

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "data/synthetic.h"
@@ -355,6 +356,118 @@ TEST(KernelThreadInvarianceTest, EndToEndClientRoundIsBitIdentical) {
     return bits;
   };
   ExpectPoolInvariant(run);
+}
+
+// ---------------------------------------- backward-pass kernels (PR 7)
+//
+// Oracle + thread-invariance coverage for the kernels the fused conv/BN
+// backward paths lean on. Shapes deliberately include odd tails (n not a
+// multiple of 8, rows/cols not multiples of the 8x8 transpose block) and
+// degenerate extents.
+
+// (planes, plane_stride_slack, n) grids: n spans sub-register tails, exact
+// multiples, and the 1x1-spatial degenerate case.
+const std::vector<int64_t> kPlaneCounts = {1, 2, 3, 7};
+const std::vector<int64_t> kPlaneLens = {1, 3, 8, 9, 31, 100, 257};
+
+TEST(KernelBackwardOracleTest, PlaneSumMatchesReferenceBitwise) {
+  Rng rng(40);
+  for (int64_t planes : kPlaneCounts) {
+    for (int64_t n : kPlaneLens) {
+      const int64_t stride = n + 5;  // planes are strided, not contiguous
+      const std::vector<float> x = RandomVector(planes * stride, rng);
+      const double got = KernelPlaneSum(planes, stride, n, x.data());
+      const double want = KernelPlaneSumReference(planes, stride, n, x.data());
+      EXPECT_EQ(got, want) << "planes=" << planes << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBackwardOracleTest, BnBackwardReduceMatchesReferenceBitwise) {
+  Rng rng(41);
+  for (int64_t planes : kPlaneCounts) {
+    for (int64_t n : kPlaneLens) {
+      const int64_t stride = n + 11;
+      const std::vector<float> dy = RandomVector(planes * stride, rng);
+      const std::vector<float> xhat = RandomVector(planes * stride, rng);
+      // Nonzero seeds: the kernel accumulates into the caller's totals.
+      double sum_dy = 0.5, sum_dy_xhat = -0.25;
+      double ref_dy = 0.5, ref_dy_xhat = -0.25;
+      KernelBnBackwardReduce(planes, stride, n, dy.data(), xhat.data(),
+                             &sum_dy, &sum_dy_xhat);
+      KernelBnBackwardReduceReference(planes, stride, n, dy.data(),
+                                      xhat.data(), &ref_dy, &ref_dy_xhat);
+      EXPECT_EQ(sum_dy, ref_dy) << "planes=" << planes << " n=" << n;
+      EXPECT_EQ(sum_dy_xhat, ref_dy_xhat) << "planes=" << planes
+                                          << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBackwardOracleTest,
+     BnBackwardReduceChainsPlanesLikePerPlaneDySums) {
+  // The production contract: one fused call == per-plane KernelDySums calls
+  // chained in increasing plane order (what batchnorm.cc used to do inline).
+  Rng rng(42);
+  const int64_t planes = 5, n = 100, stride = n;
+  const std::vector<float> dy = RandomVector(planes * stride, rng);
+  const std::vector<float> xhat = RandomVector(planes * stride, rng);
+  double fused_dy = 0.0, fused_dy_xhat = 0.0;
+  KernelBnBackwardReduce(planes, stride, n, dy.data(), xhat.data(), &fused_dy,
+                         &fused_dy_xhat);
+  double loop_dy = 0.0, loop_dy_xhat = 0.0;
+  for (int64_t p = 0; p < planes; ++p) {
+    double s = 0.0, sx = 0.0;
+    KernelDySums(n, dy.data() + p * stride, xhat.data() + p * stride, &s, &sx);
+    loop_dy += s;
+    loop_dy_xhat += sx;
+  }
+  EXPECT_EQ(fused_dy, loop_dy);
+  EXPECT_EQ(fused_dy_xhat, loop_dy_xhat);
+}
+
+TEST(KernelBackwardOracleTest, BatchTransposeMatchesReferenceBitwise) {
+  Rng rng(43);
+  // Rows/cols straddle the 8x8 in-register block: 1..8, odd tails, larger.
+  const std::vector<std::pair<int64_t, int64_t>> shapes = {
+      {1, 1}, {1, 9}, {7, 3}, {8, 8}, {8, 16}, {9, 9}, {13, 21}, {16, 100}};
+  for (int64_t batch : {1, 2, 5}) {
+    for (const auto& [rows, cols] : shapes) {
+      const std::vector<float> src = RandomVector(batch * rows * cols, rng);
+      std::vector<float> dst(batch * rows * cols, -7.f);
+      std::vector<float> ref(batch * rows * cols, -7.f);
+      KernelBatchTranspose(batch, rows, cols, src.data(), dst.data());
+      KernelBatchTransposeReference(batch, rows, cols, src.data(), ref.data());
+      ExpectBitEqual(dst, ref);
+    }
+  }
+}
+
+TEST(KernelBackwardOracleTest, AddTransposedMatchesReferenceBitwise) {
+  Rng rng(44);
+  const std::vector<std::pair<int64_t, int64_t>> shapes = {
+      {1, 1}, {1, 9}, {7, 3}, {8, 8}, {9, 9}, {13, 21}, {75, 6}, {150, 16}};
+  for (const auto& [rows, cols] : shapes) {
+    const std::vector<float> src = RandomVector(rows * cols, rng);
+    const std::vector<float> seed = RandomVector(rows * cols, rng);
+    std::vector<float> dst = seed;
+    std::vector<float> ref = seed;
+    KernelAddTransposed(rows, cols, src.data(), dst.data());
+    KernelAddTransposedReference(rows, cols, src.data(), ref.data());
+    ExpectBitEqual(dst, ref);
+  }
+}
+
+TEST(KernelThreadInvarianceTest, BatchTranspose) {
+  Rng rng(45);
+  // Big enough to clear the parallel threshold; odd rows/cols tails.
+  const int64_t batch = 16, rows = 33, cols = 129;
+  const std::vector<float> src = RandomVector(batch * rows * cols, rng);
+  ExpectPoolInvariant([&](ThreadPool* pool) {
+    std::vector<float> dst(batch * rows * cols);
+    KernelBatchTranspose(batch, rows, cols, src.data(), dst.data(), pool);
+    return dst;
+  });
 }
 
 // ------------------------------------------------- loss variants agree

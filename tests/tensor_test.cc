@@ -6,6 +6,7 @@
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace niid {
 namespace {
@@ -285,6 +286,93 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3, 9, 3, 2, 1),
                       std::make_tuple(1, 5, 1, 1, 0),
                       std::make_tuple(2, 7, 2, 2, 0)));
+
+// The transposed variants (the fused conv path's orientation) must hold
+// exactly the same values as Im2Col/Col2Im, just reindexed. Both gathers are
+// pure copies, so Im2ColTransposed is compared bitwise; the scatters add the
+// same per-pixel value sets in different orders, so Col2Im is compared with
+// a float-rounding tolerance while thread-count invariance stays bitwise.
+class Im2ColTransposedEquiv
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(Im2ColTransposedEquiv, MatchesIm2ColReindexed) {
+  const auto [c, h, kernel, stride, padding] = GetParam();
+  const int w = h + 1;  // non-square spatial extent
+  const int out_h = ConvOutputSize(h, kernel, stride, padding);
+  const int out_w = ConvOutputSize(w, kernel, stride, padding);
+  if (out_h <= 0 || out_w <= 0) GTEST_SKIP();
+  const int n = 2;
+  Rng rng(29);
+  const Tensor x = Tensor::Randn({n, c, h, w}, rng);
+
+  Tensor cols, cols_t;
+  Im2Col(x, kernel, stride, padding, cols);
+  Im2ColTransposed(x, kernel, stride, padding, cols_t);
+  const int64_t ckk = static_cast<int64_t>(c) * kernel * kernel;
+  const int64_t total = static_cast<int64_t>(n) * out_h * out_w;
+  ASSERT_EQ(cols_t.dim(0), ckk);
+  ASSERT_EQ(cols_t.dim(1), total);
+  ASSERT_EQ(cols.dim(0), total);
+  ASSERT_EQ(cols.dim(1), ckk);
+  for (int64_t e = 0; e < ckk; ++e) {
+    for (int64_t r = 0; r < total; ++r) {
+      ASSERT_EQ(cols_t.at(e, r), cols.at(r, e)) << "e=" << e << " r=" << r;
+    }
+  }
+
+  // Pool invariance (each task owns whole rows -> bitwise).
+  ThreadPool pool(3);
+  Tensor cols_t_pooled;
+  Im2ColTransposed(x, kernel, stride, padding, cols_t_pooled, &pool);
+  for (int64_t i = 0; i < cols_t.numel(); ++i) {
+    ASSERT_EQ(cols_t_pooled[i], cols_t[i]) << "flat " << i;
+  }
+}
+
+TEST_P(Im2ColTransposedEquiv, Col2ImTransposedMatchesCol2Im) {
+  const auto [c, h, kernel, stride, padding] = GetParam();
+  const int w = h + 1;
+  const int out_h = ConvOutputSize(h, kernel, stride, padding);
+  const int out_w = ConvOutputSize(w, kernel, stride, padding);
+  if (out_h <= 0 || out_w <= 0) GTEST_SKIP();
+  const int n = 2;
+  const int64_t ckk = static_cast<int64_t>(c) * kernel * kernel;
+  const int64_t total = static_cast<int64_t>(n) * out_h * out_w;
+  Rng rng(31);
+  const Tensor y = Tensor::Randn({total, ckk}, rng);
+  Tensor y_t({ckk, total});
+  for (int64_t r = 0; r < total; ++r) {
+    for (int64_t e = 0; e < ckk; ++e) y_t.at(e, r) = y.at(r, e);
+  }
+
+  Tensor back, back_t;
+  Col2Im(y, n, c, h, w, kernel, stride, padding, back);
+  Col2ImTransposed(y_t, n, c, h, w, kernel, stride, padding, back_t);
+  ASSERT_EQ(back_t.shape(), back.shape());
+  for (int64_t i = 0; i < back.numel(); ++i) {
+    ASSERT_NEAR(back_t[i], back[i], 1e-4 + 1e-5 * std::abs(back[i]))
+        << "flat " << i;
+  }
+
+  // Pool invariance of the transposed scatter (disjoint image planes,
+  // fixed per-image accumulation order -> bitwise).
+  ThreadPool pool(3);
+  Tensor back_t_pooled;
+  Col2ImTransposed(y_t, n, c, h, w, kernel, stride, padding, back_t_pooled,
+                   &pool);
+  for (int64_t i = 0; i < back_t.numel(); ++i) {
+    ASSERT_EQ(back_t_pooled[i], back_t[i]) << "flat " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Im2ColTransposedEquiv,
+    ::testing::Values(std::make_tuple(1, 6, 3, 1, 0),
+                      std::make_tuple(3, 8, 3, 1, 1),
+                      std::make_tuple(2, 8, 5, 1, 2),
+                      std::make_tuple(3, 9, 3, 2, 1),  // stride 2
+                      std::make_tuple(1, 5, 1, 1, 0),
+                      std::make_tuple(2, 7, 2, 2, 0)));  // stride 2, even k
 
 // ---------------------------------------------------------------- softmax
 

@@ -1,0 +1,169 @@
+// Packed-weight cache invalidation tests (DESIGN.md §12).
+//
+// Conv2d and Linear cache their weight operands in GEMM panel format and
+// reuse them across forward/backward calls; the contract is that any
+// Parameter::value mutation outside a layer's own Forward/Backward
+// invalidates those caches (SgdOptimizer::Step, LoadState and friends,
+// LoadModel). These tests prove the caches are pure speed — every cached
+// run is bit-identical to a cache-free oracle — through the two lifecycles
+// that matter: the train -> step -> train loop, and workspace time-sharing
+// where many parties churn through one TrainContext.
+//
+// Suites are prefixed "Gemm"/"Workspace" so the tsan CI filter picks them
+// up alongside the engine determinism tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/workspace.h"
+#include "nn/loss.h"
+#include "nn/models/factory.h"
+#include "nn/optimizer.h"
+#include "nn/parameters.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+ModelSpec CnnSpec() {
+  ModelSpec spec;
+  spec.name = "simple-cnn";
+  spec.input_channels = 1;
+  spec.input_height = 16;
+  spec.input_width = 16;
+  spec.num_classes = 4;
+  return spec;
+}
+
+// Trains `steps` minibatches and returns every gradient bit produced along
+// the way plus the final parameter state, so a single vector comparison
+// asserts "train -> step -> train produces bit-identical gradients".
+StateVector TrainTrace(bool caching, int steps) {
+  Rng init(1234);
+  std::unique_ptr<Module> model = CreateModel(CnnSpec(), init);
+  model->SetWeightPackCaching(caching);
+  model->SetTraining(true);
+  SgdOptimizer opt(*model, /*learning_rate=*/0.05f);
+  Rng data_rng(777);
+  StateVector trace;
+  for (int step = 0; step < steps; ++step) {
+    Tensor batch = Tensor::Uniform({8, 1, 16, 16}, data_rng, -1.f, 1.f);
+    std::vector<int> labels(8);
+    for (int& l : labels) l = static_cast<int>(data_rng.UniformInt(4));
+    opt.ZeroGrads();
+    Tensor logits = model->Forward(batch);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    model->Backward(loss.grad_logits);
+    for (Parameter* p : model->Parameters()) {
+      const float* g = p->grad.data();
+      trace.insert(trace.end(), g, g + p->grad.numel());
+    }
+    opt.Step();
+  }
+  const StateVector final_state = FlattenState(*model);
+  trace.insert(trace.end(), final_state.begin(), final_state.end());
+  return trace;
+}
+
+TEST(GemmWeightCacheTest, TrainStepTrainMatchesCacheFreeOracle) {
+  const StateVector cache_free = TrainTrace(/*caching=*/false, /*steps=*/4);
+  const StateVector cached = TrainTrace(/*caching=*/true, /*steps=*/4);
+  ASSERT_EQ(cached.size(), cache_free.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_EQ(cached[i], cache_free[i]) << "trace position " << i;
+  }
+}
+
+TEST(GemmWeightCacheTest, OptimizerStepInvalidatesForwardPack) {
+  // Forward once (populating the packed weight caches), step the optimizer,
+  // forward again: the second forward must see the NEW weights, i.e. match
+  // a cache-free model loaded with the post-step state.
+  Rng init(55);
+  std::unique_ptr<Module> model = CreateModel(CnnSpec(), init);
+  model->SetTraining(true);
+  SgdOptimizer opt(*model, /*learning_rate=*/0.1f);
+
+  Rng data_rng(66);
+  Tensor batch = Tensor::Uniform({4, 1, 16, 16}, data_rng, -1.f, 1.f);
+  std::vector<int> labels = {0, 1, 2, 3};
+  opt.ZeroGrads();
+  LossResult loss = SoftmaxCrossEntropy(model->Forward(batch), labels);
+  model->Backward(loss.grad_logits);
+  opt.Step();
+  const Tensor after_step = model->Forward(batch);
+
+  Rng init2(55);
+  std::unique_ptr<Module> oracle = CreateModel(CnnSpec(), init2);
+  oracle->SetWeightPackCaching(false);
+  oracle->SetTraining(true);
+  LoadState(*oracle, FlattenState(*model));
+  const Tensor expected = oracle->Forward(batch);
+  ASSERT_EQ(after_step.shape(), expected.shape());
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(after_step.data()[i], expected.data()[i]) << "logit " << i;
+  }
+}
+
+// --------------------------------------------------- workspace time-sharing
+
+std::unique_ptr<Client> MakeImageClient(int id, uint64_t seed,
+                                        const Dataset& full) {
+  std::vector<int64_t> shard;
+  for (int64_t k = 0; k < 32; ++k) {
+    shard.push_back((static_cast<int64_t>(id) * 32 + k) % full.size());
+  }
+  return std::make_unique<Client>(id, Subset(full, shard), Rng(seed));
+}
+
+TEST(WorkspaceWeightCacheTest, SurvivesTrainContextTimeSharing) {
+  SyntheticImageConfig config;
+  config.channels = 1;
+  config.height = 16;
+  config.width = 16;
+  config.num_classes = 4;
+  config.train_size = 64;
+  config.test_size = 1;
+  config.seed = 321;
+  const Dataset full = MakeSyntheticImages(config).train;
+
+  ModelSpec spec = CnnSpec();
+  const ModelFactory factory = MakeModelFactory(spec);
+  Rng global_rng(9);
+  const StateVector global = FlattenState(*factory(global_rng));
+
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 8;
+  options.learning_rate = 0.05f;
+
+  // Client B trained in a context previously occupied by client A (whose
+  // training left packed caches for A's final weights behind)...
+  TrainContext shared(factory);
+  auto client_a = MakeImageClient(0, 11, full);
+  client_a->Train(shared, global, options);
+  auto client_b = MakeImageClient(1, 22, full);
+  const LocalUpdate shared_update = client_b->Train(shared, global, options);
+
+  // ...must produce the same bits as client B in a private, never-used
+  // context. (Fresh Client: Train consumes the client's private RNG.)
+  TrainContext pristine(factory);
+  auto client_b2 = MakeImageClient(1, 22, full);
+  const LocalUpdate private_update = client_b2->Train(pristine, global,
+                                                      options);
+
+  EXPECT_EQ(shared_update.tau, private_update.tau);
+  EXPECT_EQ(shared_update.average_loss, private_update.average_loss);
+  ASSERT_EQ(shared_update.delta.size(), private_update.delta.size());
+  for (size_t i = 0; i < shared_update.delta.size(); ++i) {
+    ASSERT_EQ(shared_update.delta[i], private_update.delta[i])
+        << "delta position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace niid

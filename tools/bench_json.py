@@ -5,9 +5,29 @@ Usage:
     tools/bench_json.py [--suite gemm|step|round]
                         [--bench-binary build/bench/bench_micro_engine]
                         [--output BENCH_<suite>.json] [--min-time 0.1]
+                        [--threads N] [--compare OLD.json]
+                        [--allow-non-release]
 
 Invokes bench_micro_engine with --benchmark_format=json over the suite's
 benchmarks and derives the headline numbers the engine is judged by.
+
+Provenance: the binary stamps `niid_build_type`/`niid_assertions` into the
+benchmark context (the Debian benchmark harness misreports its own
+library_build_type as "debug" even in Release builds, so that field is NOT
+trusted). Runs from a non-Release binary, or one predating the stamp, are
+refused with exit status 1 unless --allow-non-release is given — in which
+case the output is loudly tagged with "non_release_build": true.
+
+--threads N records the worker-pool width the runner can actually exercise.
+With N >= 2 the gemm summary gains `pool_speedup` (2-thread pool vs serial
+at 256^3) and the step summary gains `backward_pool_speedup`
+(BM_StepBackwardPool/2 vs BM_StepBackward); on a 1-CPU runner those ratios
+are oversubscription artifacts, so they are only emitted when requested.
+
+--compare OLD.json re-diffs the freshly measured suite against a previous
+output of the same suite, printing per-benchmark time deltas. For the step
+and gemm suites any benchmark slowing down by more than 10% fails the run
+(exit status 2) so CI can gate on it.
 
 Suite "gemm" (BM_Matmul*): converts each entry's items_per_second counter —
 which those benchmarks define as floating-point operations per second — into
@@ -57,6 +77,12 @@ SUITE_FILTER = {
     "faults": "^BM_Fault",
 }
 
+# Suites whose benchmarks are pure latency measurements of the engine: a
+# --compare regression in these is a build break, not noise from federated
+# accuracy dynamics.
+COMPARE_GATED_SUITES = ("gemm", "step")
+COMPARE_REGRESSION_THRESHOLD = 0.10
+
 # BM_SimpleCnnStep measured at the commit immediately before the kernel-layer
 # PR, same container (1 CPU, Release, native GEMM): the denominator of
 # step_speedup_vs_pre_kernel_layer.
@@ -64,6 +90,14 @@ PRE_KERNEL_LAYER_BASELINE = {
     "benchmark": "BM_SimpleCnnStep",
     "time_ms": 22.64,
     "samples_per_second": 2970.0,
+}
+
+# BM_StepBackward (SimpleCnn/CIFAR, batch 64) measured at the PR 6 commit on
+# the same container from a Release build: the denominator of
+# backward_speedup_vs_pr6 (the backward-pass-engine PR's headline ratio).
+PR6_BACKWARD_BASELINE = {
+    "benchmark": "BM_StepBackward",
+    "time_ms": 35.34,
 }
 
 
@@ -91,11 +125,18 @@ def step_summary(entries: dict) -> dict:
 
     legacy_ms = ms("BM_SimpleCnnStep")
     baseline_ms = PRE_KERNEL_LAYER_BASELINE["time_ms"]
+    backward_ms = ms("BM_StepBackward")
     summary = {
         "simple_cnn_mnist_fwd_bwd_ms": legacy_ms,
         "pre_kernel_layer_baseline": PRE_KERNEL_LAYER_BASELINE,
         "step_speedup_vs_pre_kernel_layer": (
             baseline_ms / legacy_ms if legacy_ms else None
+        ),
+        "pr6_backward_baseline": PR6_BACKWARD_BASELINE,
+        "backward_speedup_vs_pr6": (
+            PR6_BACKWARD_BASELINE["time_ms"] / backward_ms
+            if backward_ms
+            else None
         ),
         "simple_cnn_cifar_step_ms": ms("BM_StepFullSimpleCnn"),
         "tabular_mlp_step_ms": ms("BM_StepFullTabularMlp"),
@@ -192,6 +233,76 @@ SUITE_SUMMARY = {
 }
 
 
+def provenance_problems(context: dict) -> list[str]:
+    """Reasons this run's numbers are not trustworthy Release measurements."""
+    problems = []
+    build_type = context.get("niid_build_type")
+    if build_type is None:
+        problems.append(
+            "binary predates the niid_build_type stamp (rebuild from the "
+            "Release preset)"
+        )
+    elif build_type.lower() not in ("release", "relwithdebinfo"):
+        problems.append(f"niid_build_type is {build_type!r}, not Release")
+    if context.get("niid_assertions") == "on":
+        problems.append("assertions are compiled in (NDEBUG unset)")
+    return problems
+
+
+def pool_scaling_summary(suite: str, entries: dict, threads: int) -> dict:
+    """Pool-vs-serial ratios, only meaningful on runners with >= 2 CPUs."""
+    def ratio(pooled: str, serial: str):
+        a = entries.get(serial, {}).get("time_ns")
+        b = entries.get(pooled, {}).get("time_ns")
+        return a / b if a and b else None
+
+    extra = {"bench_threads": threads}
+    if suite == "gemm":
+        extra["pool_speedup"] = ratio("BM_MatmulPool/256/2", "BM_Matmul/256")
+    elif suite == "step":
+        extra["backward_pool_speedup"] = ratio(
+            f"BM_StepBackwardPool/{threads}", "BM_StepBackward"
+        )
+    return extra
+
+
+def compare_against(old_path: str, suite: str, entries: dict) -> int:
+    """Prints per-benchmark deltas vs a previous run; returns the number of
+    >10% time regressions (only counted for the compare-gated suites)."""
+    old = json.loads(pathlib.Path(old_path).read_text())
+    if old.get("suite") != suite:
+        print(
+            f"--compare: {old_path} holds suite {old.get('suite')!r}, "
+            f"not {suite!r}",
+            file=sys.stderr,
+        )
+        return 1
+    old_entries = old.get("benchmarks", {})
+    regressions = 0
+    print(f"comparison vs {old_path}:")
+    for name in sorted(entries):
+        new_t = entries[name].get("time_ns")
+        old_t = old_entries.get(name, {}).get("time_ns")
+        if not new_t or not old_t:
+            print(f"  {name}: no baseline entry, skipped")
+            continue
+        delta = (new_t - old_t) / old_t
+        marker = ""
+        if delta > COMPARE_REGRESSION_THRESHOLD:
+            if suite in COMPARE_GATED_SUITES:
+                regressions += 1
+                marker = "  <-- REGRESSION"
+            else:
+                marker = "  (slower; suite not gated)"
+        print(
+            f"  {name}: {old_t / 1e6:.3f} ms -> {new_t / 1e6:.3f} ms "
+            f"({delta:+.1%}){marker}"
+        )
+    for name in sorted(set(old_entries) - set(entries)):
+        print(f"  {name}: present in baseline only")
+    return regressions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -216,6 +327,26 @@ def main() -> int:
         help="--benchmark_min_time per benchmark, in seconds (plain double; "
         "the pinned google-benchmark predates the '0.1s' suffix syntax)",
     )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="worker-pool width the runner genuinely provides; >= 2 adds the "
+        "pool-vs-serial scaling ratios to the summary",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help="diff this run against a previous output of the same suite; "
+        ">10%% time regressions in the step/gemm suites exit nonzero",
+    )
+    parser.add_argument(
+        "--allow-non-release",
+        action="store_true",
+        help="tag instead of refusing when the bench binary is not a "
+        "Release build",
+    )
     args = parser.parse_args()
     output_path = args.output or f"BENCH_{args.suite}.json"
 
@@ -236,6 +367,24 @@ def main() -> int:
         check=True,
     )
     report = json.loads(result.stdout)
+
+    context = report.get("context", {})
+    problems = provenance_problems(context)
+    if problems:
+        for problem in problems:
+            print(f"bench provenance: {problem}", file=sys.stderr)
+        if not args.allow_non_release:
+            print(
+                "refusing to write non-Release numbers "
+                "(--allow-non-release overrides)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "WARNING: tagging output as non_release_build — these numbers "
+            "are NOT comparable to the committed baselines",
+            file=sys.stderr,
+        )
 
     entries = {}
     for bench in report.get("benchmarks", []):
@@ -259,18 +408,33 @@ def main() -> int:
         return 1
 
     summary = SUITE_SUMMARY[args.suite](entries)
+    if args.threads >= 2:
+        summary.update(pool_scaling_summary(args.suite, entries, args.threads))
 
     output = {
         "suite": args.suite,
-        "context": report.get("context", {}),
+        "context": context,
         "summary": summary,
         "benchmarks": entries,
     }
+    if problems:
+        output["non_release_build"] = True
+        output["provenance_problems"] = problems
     pathlib.Path(output_path).write_text(json.dumps(output, indent=2) + "\n")
     print(f"wrote {output_path}")
     for key, value in summary.items():
         if isinstance(value, float):
             print(f"  {key}: {value:.2f}")
+
+    if args.compare:
+        regressions = compare_against(args.compare, args.suite, entries)
+        if regressions:
+            print(
+                f"{regressions} benchmark(s) regressed "
+                f">{COMPARE_REGRESSION_THRESHOLD:.0%}",
+                file=sys.stderr,
+            )
+            return 2
     return 0
 
 
