@@ -14,9 +14,12 @@
 //       --min_aggregate=3 --checkpoint=run.ckpt --checkpoint_every=5
 //   custom_experiment --dataset=adult --checkpoint=run.ckpt
 //       --checkpoint_every=5 --resume
+//   custom_experiment --dataset=adult --compress=int8 --error_feedback
+//   custom_experiment --dataset=mnist --compress=topk --compress_k=0.05
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "core/curves.h"
 #include "core/profiler.h"
@@ -43,7 +46,12 @@ int main(int argc, char** argv) {
         "       --min_aggregate=N --max_retries=N --max_update_norm=F\n"
         "       --checkpoint=PATH --checkpoint_every=N --resume\n"
         "       --halt_after=N (exit after round N; crash-resume testing)\n"
-        "       --save=PATH (save final global model) --out_csv=PATH\n";
+        "       --compress=none|int8|int4|topk|randk (uplink codec)\n"
+        "       --compress_k=F (topk/randk kept fraction, default 0.05)\n"
+        "       --error_feedback (client-held compression residuals)\n"
+        "       --compress_seed=N (rand-k index stream; 0 = derive)\n"
+        "       --save=PATH (save final global model) --out_csv=PATH\n"
+        "       --round_csv=PATH (per-round stats incl. uplink bytes)\n";
     return 0;
   }
 
@@ -91,6 +99,13 @@ int main(int argc, char** argv) {
   config.resume = flags.GetBool("resume", false);
   const int halt_after = flags.GetInt("halt_after", 0);
 
+  const std::string compress_name = flags.GetString("compress", "none");
+  config.compression.sparsity = flags.GetDouble("compress_k", 0.05);
+  config.compression.error_feedback = flags.GetBool("error_feedback", false);
+  config.compression.seed =
+      static_cast<uint64_t>(flags.GetInt64("compress_seed", 0));
+  const std::string round_csv = flags.GetString("round_csv", "");
+
   const std::string partition_name = flags.GetString("partition", "label-dir");
   config.partition.num_parties = flags.GetInt("parties", 10);
   config.partition.beta = flags.GetDouble("beta", 0.5);
@@ -110,6 +125,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.partition.strategy = *strategy_or;
+
+  auto codec_or = niid::ParseCodec(compress_name);
+  if (!codec_or.ok()) {
+    std::cerr << codec_or.status().ToString() << "\n";
+    return 1;
+  }
+  config.compression.codec = *codec_or;
+  if (config.compression.sparsity <= 0.0 ||
+      config.compression.sparsity > 1.0) {
+    std::cerr << "--compress_k must be in (0, 1]\n";
+    return 1;
+  }
 
   std::cout << "experiment: " << config.dataset << " / "
             << config.partition.Label() << " / " << config.algorithm
@@ -136,14 +163,19 @@ int main(int argc, char** argv) {
   // faithful stand-in for the process dying right after a checkpoint.
   long total_dropped = 0, total_crashed = 0, total_straggled = 0;
   long total_rejected = 0, total_skipped_rounds = 0;
+  long long total_bytes = 0, total_bytes_uncompressed = 0;
+  std::vector<niid::RoundStats> round_log;
   const niid::RoundObserver observer =
-      [&](int /*trial*/, const niid::RoundStats& stats,
+      [&](int trial, const niid::RoundStats& stats,
           const niid::EvalResult& /*eval*/) {
         total_dropped += stats.dropped;
         total_crashed += stats.crashed;
         total_straggled += stats.straggled;
         total_rejected += stats.rejected;
+        total_bytes += stats.bytes_uplink;
+        total_bytes_uncompressed += stats.bytes_uplink_uncompressed;
         if (!stats.quorum_met) ++total_skipped_rounds;
+        if (trial == 0) round_log.push_back(stats);
         if (halt_after > 0 && stats.round + 1 >= halt_after) {
           std::cout << "halting after round " << stats.round << "\n";
           std::exit(0);
@@ -160,6 +192,13 @@ int main(int argc, char** argv) {
               << " rejected=" << total_rejected
               << " below-quorum rounds=" << total_skipped_rounds << "\n\n";
   }
+  if (config.compression.enabled() && total_bytes > 0) {
+    std::cout << "uplink: " << total_bytes << " bytes on wire ("
+              << total_bytes_uncompressed << " uncompressed, "
+              << static_cast<double>(total_bytes_uncompressed) /
+                     static_cast<double>(total_bytes)
+              << "x reduction)\n\n";
+  }
   std::vector<niid::Curve> curves = {{config.algorithm, result.MeanCurve()}};
   niid::PrintCurves(curves, std::cout, std::max(1, config.rounds / 15));
   if (!out_csv.empty()) {
@@ -167,6 +206,14 @@ int main(int argc, char** argv) {
     if (!written.ok()) {
       std::cerr << "failed to write " << out_csv << ": " << written.ToString()
                 << "\n";
+      return 1;
+    }
+  }
+  if (!round_csv.empty()) {
+    const niid::Status written = niid::WriteRoundStatsCsv(round_log, round_csv);
+    if (!written.ok()) {
+      std::cerr << "failed to write " << round_csv << ": "
+                << written.ToString() << "\n";
       return 1;
     }
   }

@@ -8,6 +8,7 @@
 #include "data/catalog.h"
 #include "fl/algorithm.h"
 #include "fl/client.h"
+#include "fl/compress.h"
 #include "fl/faults.h"
 #include "fl/privacy.h"
 #include "partition/partition.h"
@@ -67,6 +68,9 @@ struct ExperimentConfig {
   int min_aggregate_clients = 1;
   int max_resample_retries = 2;
   double max_update_norm = 0.0;
+
+  /// Update compression on the uplink (fl/compress.h); identity by default.
+  CompressionConfig compression;
 
   /// Crash-safe persistence: when checkpoint_every > 0 and checkpoint_path
   /// is set, trial t's state is written atomically to

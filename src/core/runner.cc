@@ -88,6 +88,7 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
   server_config.min_aggregate_clients = config.min_aggregate_clients;
   server_config.max_resample_retries = config.max_resample_retries;
   server_config.max_update_norm = config.max_update_norm;
+  server_config.compression = config.compression;
 
   if (out_test != nullptr) *out_test = std::move(data.test);
   return std::make_unique<FederatedServer>(

@@ -5,13 +5,17 @@
 #include <cstring>
 #include <fstream>
 
+#include "fl/compress.h"
 #include "util/check.h"
 
 namespace niid {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+/// v1: pre-compression format. v2 adds the codec fingerprint (name,
+/// error-feedback bit, codec seed), cumulative wire bytes, and per-party
+/// error-feedback residuals. Readers accept both; writers emit v2.
+constexpr uint32_t kVersion = 2;
 
 uint64_t Fnv1a(const char* data, size_t size) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -147,10 +151,14 @@ Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
   AppendPod(payload, kVersion);
   AppendPod(payload, checkpoint.config_seed);
   AppendString(payload, checkpoint.algorithm);
+  AppendString(payload, checkpoint.codec);
+  AppendPod(payload, static_cast<uint8_t>(checkpoint.error_feedback ? 1 : 0));
+  AppendPod(payload, checkpoint.codec_seed);
   AppendPod(payload, checkpoint.num_clients);
   AppendPod(payload, checkpoint.state_size);
   AppendPod(payload, checkpoint.rounds_completed);
   AppendPod(payload, checkpoint.cumulative_upload_floats);
+  AppendPod(payload, checkpoint.cumulative_bytes_uplink);
   AppendRngState(payload, checkpoint.server_rng);
   AppendFloats(payload, checkpoint.global_state);
   AppendPod(payload, static_cast<uint64_t>(checkpoint.algorithm_state.size()));
@@ -163,6 +171,11 @@ Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
   }
   AppendPod(payload, static_cast<uint64_t>(checkpoint.client_buffers.size()));
   for (const StateVector& vec : checkpoint.client_buffers) {
+    AppendFloats(payload, vec);
+  }
+  AppendPod(payload,
+            static_cast<uint64_t>(checkpoint.client_residuals.size()));
+  for (const StateVector& vec : checkpoint.client_residuals) {
     AppendFloats(payload, vec);
   }
   AppendPod(payload, checkpoint.trial);
@@ -217,7 +230,7 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
   if (!cursor.ReadPod(version)) {
     return Status::DataLoss("truncated checkpoint header");
   }
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
   }
@@ -226,16 +239,25 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
   uint64_t algorithm_vectors = 0;
   uint64_t num_client_rng = 0;
   uint64_t num_client_buffers = 0;
-  const bool parsed =
-      cursor.ReadPod(checkpoint.config_seed) &&
-      cursor.ReadString(checkpoint.algorithm) &&
-      cursor.ReadPod(checkpoint.num_clients) &&
-      cursor.ReadPod(checkpoint.state_size) &&
-      cursor.ReadPod(checkpoint.rounds_completed) &&
-      cursor.ReadPod(checkpoint.cumulative_upload_floats) &&
-      cursor.ReadRngState(checkpoint.server_rng) &&
-      cursor.ReadFloats(checkpoint.global_state) &&
-      cursor.ReadPod(algorithm_vectors);
+  bool parsed = cursor.ReadPod(checkpoint.config_seed) &&
+                cursor.ReadString(checkpoint.algorithm);
+  if (parsed && version >= 2) {
+    uint8_t error_feedback = 0;
+    parsed = cursor.ReadString(checkpoint.codec) &&
+             cursor.ReadPod(error_feedback) &&
+             cursor.ReadPod(checkpoint.codec_seed);
+    checkpoint.error_feedback = error_feedback != 0;
+  }
+  parsed = parsed && cursor.ReadPod(checkpoint.num_clients) &&
+           cursor.ReadPod(checkpoint.state_size) &&
+           cursor.ReadPod(checkpoint.rounds_completed) &&
+           cursor.ReadPod(checkpoint.cumulative_upload_floats);
+  if (parsed && version >= 2) {
+    parsed = cursor.ReadPod(checkpoint.cumulative_bytes_uplink);
+  }
+  parsed = parsed && cursor.ReadRngState(checkpoint.server_rng) &&
+           cursor.ReadFloats(checkpoint.global_state) &&
+           cursor.ReadPod(algorithm_vectors);
   if (!parsed) return Status::DataLoss("truncated checkpoint body");
   // Each vector header costs at least 8 bytes, so `remaining / 8` bounds the
   // plausible count before the reserve below.
@@ -272,6 +294,21 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
       return Status::DataLoss("truncated client buffers");
     }
   }
+  if (version >= 2) {
+    uint64_t num_residuals = 0;
+    if (!cursor.ReadPod(num_residuals)) {
+      return Status::DataLoss("truncated client residual count");
+    }
+    if (num_residuals > cursor.remaining() / sizeof(uint64_t)) {
+      return Status::DataLoss("implausible client residual count");
+    }
+    checkpoint.client_residuals.resize(num_residuals);
+    for (StateVector& vec : checkpoint.client_residuals) {
+      if (!cursor.ReadFloats(vec)) {
+        return Status::DataLoss("truncated client residuals");
+      }
+    }
+  }
   if (!cursor.ReadPod(checkpoint.trial) ||
       !cursor.ReadDoubles(checkpoint.round_accuracy) ||
       !cursor.ReadDoubles(checkpoint.round_loss)) {
@@ -295,6 +332,35 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
       static_cast<int64_t>(checkpoint.client_buffers.size()) !=
           checkpoint.num_clients) {
     return Status::InvalidArgument("per-client state count mismatch");
+  }
+  // v1 files predate the codec layer: they describe an identity-codec run
+  // with no residuals and 4 wire bytes per uploaded float.
+  if (version < 2) {
+    checkpoint.cumulative_bytes_uplink =
+        checkpoint.cumulative_upload_floats *
+        static_cast<int64_t>(sizeof(float));
+  }
+  if (!ParseCodec(checkpoint.codec).ok()) {
+    return Status::InvalidArgument("unknown checkpoint codec '" +
+                                   checkpoint.codec + "'");
+  }
+  // An absent residual section (v1 files, or writers that never compressed)
+  // normalizes to one empty residual per party.
+  if (checkpoint.client_residuals.empty()) {
+    checkpoint.client_residuals.resize(checkpoint.num_clients);
+  }
+  if (static_cast<int64_t>(checkpoint.client_residuals.size()) !=
+      checkpoint.num_clients) {
+    return Status::InvalidArgument("per-client residual count mismatch");
+  }
+  for (const StateVector& vec : checkpoint.client_residuals) {
+    if (!vec.empty() &&
+        static_cast<int64_t>(vec.size()) != checkpoint.state_size) {
+      return Status::InvalidArgument("checkpoint residual size mismatch");
+    }
+    if (!AllFinite(vec)) {
+      return Status::DataLoss("non-finite value in client residuals");
+    }
   }
   if (checkpoint.rounds_completed < 0) {
     return Status::InvalidArgument("negative round counter");

@@ -24,8 +24,20 @@ struct ServerCheckpoint {
   int64_t num_clients = 0;
   int64_t state_size = 0;
 
+  /// Update-compression fingerprint (format v2; files written before the
+  /// codec layer read back with these defaults, i.e. compression off). The
+  /// codec name, error-feedback bit, and codec seed must all match the
+  /// restoring server — the rand-k index stream and residual dynamics are
+  /// part of what makes a resumed run bit-identical.
+  std::string codec = "none";
+  bool error_feedback = false;
+  uint64_t codec_seed = 0;
+
   int64_t rounds_completed = 0;
   int64_t cumulative_upload_floats = 0;
+  /// Cumulative wire bytes (v2; v1 files reconstruct the identity-codec
+  /// value, 4 bytes per uploaded float).
+  int64_t cumulative_bytes_uplink = 0;
   RngState server_rng;
   StateVector global_state;
   /// Opaque per-algorithm state vectors (FlAlgorithm::SaveAlgorithmState).
@@ -34,6 +46,9 @@ struct ServerCheckpoint {
   /// Per-party durable BatchNorm buffer segments (empty when the party has
   /// none).
   std::vector<StateVector> client_buffers;
+  /// Per-party error-feedback residuals (v2; empty until the party's first
+  /// compressed round with error feedback on).
+  std::vector<StateVector> client_residuals;
 
   /// Experiment-runner bookkeeping (unused by FederatedServer itself): which
   /// trial this belongs to and the accuracy/loss curve accumulated so far.

@@ -98,14 +98,18 @@ class Client {
   bool has_local_buffers() const { return !buffer_state_.empty(); }
 
   // Checkpoint surface: a party's durable cross-round state is exactly its
-  // private rng stream and (under FedBN-style aggregation) its packed buffer
-  // segments — snapshot and reinstall both for crash-safe resume.
+  // private rng stream, (under FedBN-style aggregation) its packed buffer
+  // segments, and (under compressed uploads with error feedback) its codec
+  // residual — snapshot and reinstall all three for crash-safe resume.
   RngState SaveRngState() const { return rng_.SaveState(); }
   void RestoreRngState(const RngState& state) { rng_.RestoreState(state); }
   const StateVector& buffer_state() const { return buffer_state_; }
   void set_buffer_state(StateVector state) {
     buffer_state_ = std::move(state);
   }
+  const StateVector& residual() const { return residual_; }
+  StateVector* mutable_residual() { return &residual_; }
+  void set_residual(StateVector residual) { residual_ = std::move(residual); }
 
  private:
   int id_;
@@ -115,6 +119,10 @@ class Client {
   /// non-trainable segments, packed (SaveBufferState). Empty until the first
   /// keep_local_buffers round.
   StateVector buffer_state_;
+  /// Durable error-feedback residual (fl/compress.h): what this party's
+  /// previous compressed uploads discarded, folded into its next update.
+  /// Empty until the first error-feedback round.
+  StateVector residual_;
 };
 
 }  // namespace niid

@@ -1,0 +1,450 @@
+#include "fl/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <numeric>
+
+#include "tensor/kernels.h"
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// splitmix64-style avalanche, the same finalizer FaultPlan uses: mixes the
+// (seed, round, client) tuple into an Rng seed so nearby tuples land on
+// unrelated index streams.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Wire codec tags. Payload layout (all fields little-endian pods):
+//   header: uint32 tag, uint32 round, uint32 client, uint64 n
+//   int8/int4: uint64 num_segments, {float lo, float scale} per segment,
+//              then n codes (int8: one byte each; int4: two per byte,
+//              low nibble first)
+//   topk:      uint64 k, k x uint32 indices (strictly increasing),
+//              k x float values
+//   randk:     uint64 k, k x float values (indices are replayed from the
+//              seeded per-(round, client) stream, so they never ship)
+constexpr uint32_t kTagInt8 = 0x38746e69;   // "int8"
+constexpr uint32_t kTagInt4 = 0x34746e69;   // "int4"
+constexpr uint32_t kTagTopK = 0x6b706f74;   // "topk"
+constexpr uint32_t kTagRandK = 0x6b646e72;  // "rndk"
+
+uint32_t CodecTag(CodecKind codec) {
+  switch (codec) {
+    case CodecKind::kInt8:
+      return kTagInt8;
+    case CodecKind::kInt4:
+      return kTagInt4;
+    case CodecKind::kTopK:
+      return kTagTopK;
+    case CodecKind::kRandK:
+      return kTagRandK;
+    case CodecKind::kIdentity:
+      break;
+  }
+  NIID_CHECK(false) << "identity codec has no wire tag";
+  return 0;
+}
+
+void AppendBytes(std::vector<uint8_t>& out, const void* data, size_t size) {
+  const size_t old = out.size();
+  out.resize(old + size);  // grow-only: payload slots are reused each round
+  std::memcpy(out.data() + old, data, size);
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>& out, const T& value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+/// Bounds-checked cursor over a wire payload, mirroring the checkpoint
+/// reader: every declared length is validated against the bytes actually
+/// present before any copy, so corrupted payloads fail cleanly.
+class ByteCursor {
+ public:
+  ByteCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool ReadPod(T& value) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Borrows `count` raw bytes without copying.
+  const uint8_t* Borrow(size_t count) {
+    if (size_ - pos_ < count) return nullptr;
+    const uint8_t* p = data_ + pos_;
+    pos_ += count;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// NIID_HOT: nibble pack for int4 — two codes per byte, low nibble first.
+void PackNibbles(int64_t n, const uint8_t* codes, uint8_t* packed) {
+  const int64_t pairs = n / 2;
+  for (int64_t i = 0; i < pairs; ++i) {
+    packed[i] = static_cast<uint8_t>(codes[2 * i] |
+                                     (codes[2 * i + 1] << 4));
+  }
+  if (n & 1) packed[pairs] = codes[n - 1];
+}
+
+// NIID_HOT: nibble unpack, the exact inverse of PackNibbles.
+void UnpackNibbles(int64_t n, const uint8_t* packed, uint8_t* codes) {
+  const int64_t pairs = n / 2;
+  for (int64_t i = 0; i < pairs; ++i) {
+    codes[2 * i] = packed[i] & 0x0f;
+    codes[2 * i + 1] = packed[i] >> 4;
+  }
+  if (n & 1) codes[n - 1] = packed[pairs] & 0x0f;
+}
+
+int QuantQmax(CodecKind codec) {
+  return codec == CodecKind::kInt8 ? 255 : 15;
+}
+
+}  // namespace
+
+StatusOr<CodecKind> ParseCodec(const std::string& name) {
+  if (name == "none" || name == "identity") return CodecKind::kIdentity;
+  if (name == "int8") return CodecKind::kInt8;
+  if (name == "int4") return CodecKind::kInt4;
+  if (name == "topk") return CodecKind::kTopK;
+  if (name == "randk") return CodecKind::kRandK;
+  return Status::InvalidArgument(
+      "unknown codec '" + name +
+      "' (expected none, int8, int4, topk, or randk)");
+}
+
+std::string CodecName(CodecKind codec) {
+  switch (codec) {
+    case CodecKind::kIdentity:
+      return "none";
+    case CodecKind::kInt8:
+      return "int8";
+    case CodecKind::kInt4:
+      return "int4";
+    case CodecKind::kTopK:
+      return "topk";
+    case CodecKind::kRandK:
+      return "randk";
+  }
+  return "unknown";
+}
+
+UpdateCodec::UpdateCodec(const CompressionConfig& config, uint64_t server_seed,
+                         std::vector<StateSegment> layout, int64_t state_size)
+    : config_(config), layout_(std::move(layout)), state_size_(state_size) {
+  NIID_CHECK_GT(state_size_, 0);
+  NIID_CHECK_GT(config_.sparsity, 0.0);
+  NIID_CHECK_LE(config_.sparsity, 1.0);
+  // A fixed offset (distinct from FaultPlan's) keeps the derived index
+  // stream disjoint from both the server seed and the fault stream.
+  base_seed_ = config_.seed != 0
+                   ? config_.seed
+                   : Mix(server_seed + 0x2545f4914f6cdd1dULL);
+}
+
+int64_t UpdateCodec::SparseK() const {
+  const int64_t k =
+      static_cast<int64_t>(std::llround(config_.sparsity *
+                                        static_cast<double>(state_size_)));
+  return std::min<int64_t>(std::max<int64_t>(k, 1), state_size_);
+}
+
+Rng UpdateCodec::IndexRng(int round, int client) const {
+  uint64_t seed = base_seed_;
+  seed = Mix(seed ^ (static_cast<uint64_t>(round) + 0x632be59bd9b4e019ULL));
+  seed = Mix(seed ^ (static_cast<uint64_t>(client) + 0xd6e8feb86659fd93ULL));
+  return Rng(seed);
+}
+
+// NIID_HOT: per-client encode, called from the round worker lambda. All
+// buffers are grow-only scratch (TrainContext's CodecScratch, the slot's
+// payload, the client's residual), so steady-state rounds stay off the
+// allocator once the high-water sizes are reached.
+void UpdateCodec::Encode(int round, int client, const StateVector& delta,
+                         StateVector* residual, CodecScratch& scratch,
+                         EncodedDelta& out) const {
+  NIID_CHECK(enabled());
+  NIID_CHECK_EQ(static_cast<int64_t>(delta.size()), state_size_);
+  const int64_t n = state_size_;
+
+  // Error feedback: encode (delta + residual) instead of delta; what the
+  // codec then discards becomes the next residual.
+  const float* src = delta.data();
+  if (config_.error_feedback) {
+    NIID_CHECK(residual != nullptr);
+    scratch.corrected.resize(n);  // NOLINT(niid-hot-alloc) grow-only scratch
+    KernelCopy(n, delta.data(), scratch.corrected.data());
+    if (!residual->empty()) {
+      NIID_CHECK_EQ(static_cast<int64_t>(residual->size()), n);
+      KernelAxpy(n, 1.0f, residual->data(), scratch.corrected.data());
+    }
+    src = scratch.corrected.data();
+    residual->resize(n);  // NOLINT(niid-hot-alloc) durable, sized once
+  }
+
+  out.bytes.clear();
+  AppendPod(out.bytes, CodecTag(config_.codec));
+  AppendPod(out.bytes, static_cast<uint32_t>(round));
+  AppendPod(out.bytes, static_cast<uint32_t>(client));
+  AppendPod(out.bytes, static_cast<uint64_t>(n));
+
+  switch (config_.codec) {
+    case CodecKind::kInt8:
+    case CodecKind::kInt4: {
+      const int qmax = QuantQmax(config_.codec);
+      scratch.codes.resize(n);  // NOLINT(niid-hot-alloc) grow-only scratch
+      AppendPod(out.bytes, static_cast<uint64_t>(layout_.size()));
+      // Residual starts at the corrected value; each segment then subtracts
+      // its reconstruction via the same dequant kernel with negated
+      // (scale, lo) — fma(q, -s, -l) == -fma(q, s, l) exactly.
+      if (config_.error_feedback) {
+        KernelCopy(n, src, residual->data());
+      }
+      for (const StateSegment& segment : layout_) {
+        const float* x = src + segment.offset;
+        float lo = 0.f;
+        float hi = 0.f;
+        KernelMinMax(segment.size, x, &lo, &hi);
+        const float scale = (hi - lo) / static_cast<float>(qmax);
+        const float inv_scale = scale > 0.f ? 1.0f / scale : 0.f;
+        AppendPod(out.bytes, lo);
+        AppendPod(out.bytes, scale);
+        uint8_t* q = scratch.codes.data() + segment.offset;
+        KernelQuantizeAffine(segment.size, x, lo, inv_scale, qmax, q);
+        if (config_.error_feedback) {
+          KernelDequantAxpy(segment.size, q, -scale, -lo,
+                            residual->data() + segment.offset);
+        }
+      }
+      if (config_.codec == CodecKind::kInt8) {
+        AppendBytes(out.bytes, scratch.codes.data(), n);
+      } else {
+        const int64_t packed = (n + 1) / 2;
+        const size_t old = out.bytes.size();
+        // NOLINTNEXTLINE(niid-hot-alloc) grow-only payload slot
+        out.bytes.resize(old + packed);
+        PackNibbles(n, scratch.codes.data(), out.bytes.data() + old);
+      }
+      break;
+    }
+    case CodecKind::kTopK: {
+      const int64_t k = SparseK();
+      scratch.magnitudes.resize(n);  // NOLINT(niid-hot-alloc) grow-only
+      KernelAbs(n, src, scratch.magnitudes.data());
+      // Threshold = the kth largest magnitude. The kth order statistic is a
+      // VALUE of the multiset, so it does not depend on nth_element's
+      // implementation; ties at the threshold are kept in index order.
+      std::nth_element(scratch.magnitudes.begin(),
+                       scratch.magnitudes.begin() + (k - 1),
+                       scratch.magnitudes.end(), std::greater<float>());
+      const float threshold = scratch.magnitudes[k - 1];
+      const int64_t strictly = KernelCountAbsGreater(n, src, threshold);
+      int64_t ties_needed = k - strictly;
+      scratch.indices.clear();
+      for (int64_t i = 0; i < n; ++i) {
+        const float a = std::fabs(src[i]);
+        if (a > threshold) {
+          // NOLINTNEXTLINE(niid-hot-alloc) grow-only scratch
+          scratch.indices.push_back(static_cast<uint32_t>(i));
+        } else if (a == threshold && ties_needed > 0) {
+          --ties_needed;
+          // NOLINTNEXTLINE(niid-hot-alloc) grow-only scratch
+          scratch.indices.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      NIID_CHECK_EQ(static_cast<int64_t>(scratch.indices.size()), k);
+      AppendPod(out.bytes, static_cast<uint64_t>(k));
+      AppendBytes(out.bytes, scratch.indices.data(),
+                  static_cast<size_t>(k) * sizeof(uint32_t));
+      if (config_.error_feedback) {
+        KernelCopy(n, src, residual->data());
+      }
+      for (int64_t j = 0; j < k; ++j) {
+        const uint32_t idx = scratch.indices[j];
+        AppendPod(out.bytes, src[idx]);
+        if (config_.error_feedback) (*residual)[idx] = 0.f;
+      }
+      break;
+    }
+    case CodecKind::kRandK: {
+      const int64_t k = SparseK();
+      // Partial Fisher-Yates over the index deck, drawn from the pure
+      // per-(round, client) stream: the server replays the identical draw,
+      // so only the k values cross the wire.
+      scratch.indices.resize(n);  // NOLINT(niid-hot-alloc) grow-only
+      std::iota(scratch.indices.begin(), scratch.indices.end(), 0u);
+      Rng rng = IndexRng(round, client);
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t pick =
+            j + static_cast<int64_t>(rng.UniformInt(
+                    static_cast<uint64_t>(n - j)));
+        std::swap(scratch.indices[j], scratch.indices[pick]);
+      }
+      AppendPod(out.bytes, static_cast<uint64_t>(k));
+      if (config_.error_feedback) {
+        KernelCopy(n, src, residual->data());
+      }
+      for (int64_t j = 0; j < k; ++j) {
+        const uint32_t idx = scratch.indices[j];
+        AppendPod(out.bytes, src[idx]);
+        if (config_.error_feedback) (*residual)[idx] = 0.f;
+      }
+      break;
+    }
+    case CodecKind::kIdentity:
+      break;  // unreachable: enabled() checked above
+  }
+}
+
+// NIID_HOT: serial per-arrival decode in RunRound's post-processing loop.
+Status UpdateCodec::Decode(int round, int client, const EncodedDelta& in,
+                           StateVector& delta, CodecScratch& scratch) const {
+  NIID_CHECK(enabled());
+  ByteCursor cursor(in.bytes.data(), in.bytes.size());
+  uint32_t tag = 0;
+  uint32_t wire_round = 0;
+  uint32_t wire_client = 0;
+  uint64_t n = 0;
+  if (!cursor.ReadPod(tag) || !cursor.ReadPod(wire_round) ||
+      !cursor.ReadPod(wire_client) || !cursor.ReadPod(n)) {
+    return Status::DataLoss("truncated codec header from client " +
+                            std::to_string(client));
+  }
+  if (tag != CodecTag(config_.codec)) {
+    return Status::DataLoss("codec tag mismatch from client " +
+                            std::to_string(client));
+  }
+  if (wire_round != static_cast<uint32_t>(round) ||
+      wire_client != static_cast<uint32_t>(client)) {
+    return Status::DataLoss("payload bound to another (round, client) cell");
+  }
+  if (n != static_cast<uint64_t>(state_size_)) {
+    return Status::DataLoss("encoded state size mismatch from client " +
+                            std::to_string(client));
+  }
+
+  delta.resize(state_size_);  // NOLINT(niid-hot-alloc) already state-sized
+  KernelFill(state_size_, 0.f, delta.data());
+
+  switch (config_.codec) {
+    case CodecKind::kInt8:
+    case CodecKind::kInt4: {
+      uint64_t segments = 0;
+      if (!cursor.ReadPod(segments) || segments != layout_.size()) {
+        return Status::DataLoss("segment count mismatch from client " +
+                                std::to_string(client));
+      }
+      const int64_t code_bytes = config_.codec == CodecKind::kInt8
+                                     ? state_size_
+                                     : (state_size_ + 1) / 2;
+      if (cursor.remaining() !=
+          segments * 2 * sizeof(float) + static_cast<size_t>(code_bytes)) {
+        return Status::DataLoss("quantized payload length mismatch");
+      }
+      scratch.magnitudes.resize(2 * segments);  // NOLINT(niid-hot-alloc)
+      for (uint64_t s = 0; s < 2 * segments; ++s) {
+        if (!cursor.ReadPod(scratch.magnitudes[s])) {
+          return Status::DataLoss("truncated segment scales");
+        }
+      }
+      const uint8_t* codes = cursor.Borrow(code_bytes);
+      if (codes == nullptr) {
+        return Status::DataLoss("truncated quantized codes");
+      }
+      if (config_.codec == CodecKind::kInt4) {
+        scratch.codes.resize(state_size_);  // NOLINT(niid-hot-alloc)
+        UnpackNibbles(state_size_, codes, scratch.codes.data());
+        codes = scratch.codes.data();
+      }
+      for (size_t s = 0; s < layout_.size(); ++s) {
+        const StateSegment& segment = layout_[s];
+        const float lo = scratch.magnitudes[2 * s];
+        const float scale = scratch.magnitudes[2 * s + 1];
+        KernelDequantAxpy(segment.size, codes + segment.offset, scale, lo,
+                          delta.data() + segment.offset);
+      }
+      break;
+    }
+    case CodecKind::kTopK: {
+      uint64_t k = 0;
+      if (!cursor.ReadPod(k) || k != static_cast<uint64_t>(SparseK())) {
+        return Status::DataLoss("top-k cardinality mismatch from client " +
+                                std::to_string(client));
+      }
+      if (cursor.remaining() != k * (sizeof(uint32_t) + sizeof(float))) {
+        return Status::DataLoss("top-k payload length mismatch");
+      }
+      const uint8_t* raw_indices = cursor.Borrow(k * sizeof(uint32_t));
+      const uint8_t* raw_values = cursor.Borrow(k * sizeof(float));
+      NIID_CHECK(raw_indices != nullptr && raw_values != nullptr);
+      int64_t previous = -1;
+      for (uint64_t j = 0; j < k; ++j) {
+        uint32_t idx = 0;
+        float value = 0.f;
+        std::memcpy(&idx, raw_indices + j * sizeof(uint32_t), sizeof(idx));
+        std::memcpy(&value, raw_values + j * sizeof(float), sizeof(value));
+        if (static_cast<int64_t>(idx) <= previous ||
+            static_cast<int64_t>(idx) >= state_size_) {
+          return Status::DataLoss("top-k indices not strictly increasing");
+        }
+        previous = idx;
+        delta[idx] = value;
+      }
+      break;
+    }
+    case CodecKind::kRandK: {
+      uint64_t k = 0;
+      if (!cursor.ReadPod(k) || k != static_cast<uint64_t>(SparseK())) {
+        return Status::DataLoss("rand-k cardinality mismatch from client " +
+                                std::to_string(client));
+      }
+      if (cursor.remaining() != k * sizeof(float)) {
+        return Status::DataLoss("rand-k payload length mismatch");
+      }
+      // Replay the client's index draw bit-for-bit from the shared stream.
+      scratch.indices.resize(state_size_);  // NOLINT(niid-hot-alloc)
+      std::iota(scratch.indices.begin(), scratch.indices.end(), 0u);
+      Rng rng = IndexRng(round, client);
+      for (uint64_t j = 0; j < k; ++j) {
+        const uint64_t pick =
+            j + rng.UniformInt(static_cast<uint64_t>(state_size_) - j);
+        std::swap(scratch.indices[j], scratch.indices[pick]);
+        float value = 0.f;
+        if (!cursor.ReadPod(value)) {
+          return Status::DataLoss("truncated rand-k values");
+        }
+        delta[scratch.indices[j]] = value;
+      }
+      break;
+    }
+    case CodecKind::kIdentity:
+      break;  // unreachable: enabled() checked above
+  }
+  if (cursor.remaining() != 0) {
+    return Status::DataLoss("trailing bytes after codec payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace niid

@@ -1,0 +1,113 @@
+#ifndef NIID_FL_COMPRESS_H_
+#define NIID_FL_COMPRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/parameters.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Update-compression codecs (DESIGN.md §13). The codec layer sits between a
+/// party's local-training output and server aggregation: the worker encodes
+/// the state delta into a compact wire payload, the server decodes it back
+/// into a state-sized delta and aggregates the DECODED update, so the
+/// existing ValidateUpdate finiteness/norm gate runs on exactly what would
+/// be averaged.
+enum class CodecKind {
+  kIdentity,  ///< no codec: today's byte-for-byte float path
+  kInt8,      ///< per-segment affine uint8 quantization (4x code size)
+  kInt4,      ///< per-segment affine nibble quantization (8x code size)
+  kTopK,      ///< keep the k largest-magnitude coordinates (index + value)
+  kRandK,     ///< keep k seeded-random coordinates (value only; the index
+              ///< stream is replayed server-side, like FaultPlan)
+};
+
+/// "none"/"identity", "int8", "int4", "topk", "randk".
+StatusOr<CodecKind> ParseCodec(const std::string& name);
+std::string CodecName(CodecKind codec);
+
+struct CompressionConfig {
+  CodecKind codec = CodecKind::kIdentity;
+  /// Fraction of coordinates kept by topk/randk: k = clamp(round(f*n), 1, n).
+  double sparsity = 0.05;
+  /// Client-held error-feedback residuals: each party folds what previous
+  /// rounds' compression discarded back into its next update, so compressed
+  /// FedAvg/FedProx/FedNova track the uncompressed oracle.
+  bool error_feedback = false;
+  /// Seed of the random-k index stream. 0 derives it from the server seed,
+  /// keeping codec draws independent of sampling/training/fault streams.
+  uint64_t seed = 0;
+
+  bool enabled() const { return codec != CodecKind::kIdentity; }
+};
+
+/// One encoded update's wire payload. Owned per round-slot by the server and
+/// reused across rounds (grow-only), so steady-state encoding allocates
+/// nothing once the high-water payload size is reached.
+struct EncodedDelta {
+  std::vector<uint8_t> bytes;
+};
+
+/// Reusable codec scratch, carried by TrainContext (client-side encode) and
+/// by the server (serial decode). Grow-only, sized on first use.
+struct CodecScratch {
+  std::vector<float> corrected;    ///< delta + residual (error feedback)
+  std::vector<uint8_t> codes;      ///< quantized codes / unpacked nibbles
+  std::vector<float> magnitudes;   ///< |x| copy for the top-k threshold scan
+  std::vector<uint32_t> indices;   ///< selected coordinates / rand-k deck
+};
+
+/// Encode/decode for one federation. Stateless across calls: the rand-k
+/// index stream is a pure function of (seed, round, client), so Encode can
+/// run concurrently for different clients and Decode replays the identical
+/// index set server-side without shipping indices.
+class UpdateCodec {
+ public:
+  /// `layout` is the model's cached segment layout (quantization scales are
+  /// per tensor segment, so boundaries match layer parameters);
+  /// `server_seed` anchors the derived rand-k stream when config.seed == 0.
+  UpdateCodec(const CompressionConfig& config, uint64_t server_seed,
+              std::vector<StateSegment> layout, int64_t state_size);
+
+  bool enabled() const { return config_.enabled(); }
+  const CompressionConfig& config() const { return config_; }
+
+  /// Coordinates kept per update by the sparsifying codecs.
+  int64_t SparseK() const;
+
+  /// Client-side: encodes `delta` into `out` (overwritten). With error
+  /// feedback on, `residual` (the party's durable residual store; empty
+  /// until first use) is folded into the encoded value and replaced by the
+  /// new compression error. Must be called at most once per (round, client).
+  void Encode(int round, int client, const StateVector& delta,
+              StateVector* residual, CodecScratch& scratch,
+              EncodedDelta& out) const;
+
+  /// Server-side: decodes `in` into `delta` (state-sized, overwritten).
+  /// Hardened like the checkpoint reader: truncation, wrong codec tag,
+  /// mismatched shape, or implausible lengths return an error Status — the
+  /// caller counts that as a rejected update, never averages it.
+  Status Decode(int round, int client, const EncodedDelta& in,
+                StateVector& delta, CodecScratch& scratch) const;
+
+  /// Wire bytes of one uncompressed state delta (the accounting baseline).
+  int64_t UncompressedBytes() const {
+    return state_size_ * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  Rng IndexRng(int round, int client) const;
+
+  CompressionConfig config_;
+  uint64_t base_seed_ = 0;
+  std::vector<StateSegment> layout_;
+  int64_t state_size_ = 0;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_COMPRESS_H_

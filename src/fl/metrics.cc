@@ -2,12 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <numeric>
 
 #include "nn/loss.h"
 #include "util/check.h"
 
 namespace niid {
+
+Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open round-stats csv '" + path +
+                                   "' for writing");
+  }
+  out << "round,mean_local_loss,aggregated,dropped,crashed,straggled,"
+         "rejected,resample_retries,quorum_met,bytes_uplink,"
+         "bytes_uplink_uncompressed\n";
+  for (const RoundStats& stats : rounds) {
+    out << stats.round << ',' << stats.mean_local_loss << ','
+        << stats.aggregated << ',' << stats.dropped << ',' << stats.crashed
+        << ',' << stats.straggled << ',' << stats.rejected << ','
+        << stats.resample_retries << ',' << (stats.quorum_met ? 1 : 0) << ','
+        << stats.bytes_uplink << ',' << stats.bytes_uplink_uncompressed
+        << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::DataLoss("short write to round-stats csv '" + path + "'");
+  }
+  return Status::Ok();
+}
 
 EvalResult Evaluate(Module& model, const Dataset& dataset, int batch_size) {
   NIID_CHECK_GE(batch_size, 1);

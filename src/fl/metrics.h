@@ -1,10 +1,15 @@
 #ifndef NIID_FL_METRICS_H_
 #define NIID_FL_METRICS_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "data/dataset.h"
 #include "fl/workspace.h"
 #include "nn/module.h"
 #include "nn/parameters.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace niid {
@@ -15,6 +20,36 @@ struct EvalResult {
   double loss = 0.0;      ///< mean cross-entropy
   int64_t num_samples = 0;
 };
+
+/// Per-round bookkeeping reported by FederatedServer::RunRound.
+struct RoundStats {
+  int round = 0;
+  std::vector<int> sampled_clients;
+  double mean_local_loss = 0.0;
+  /// Cumulative upload volume in floats across all rounds so far.
+  int64_t cumulative_upload_floats = 0;
+  /// Uplink bytes this round, as they crossed the wire (compressed when an
+  /// update codec is active) and as they would have uncompressed. Equal under
+  /// the identity codec; both count every arrival — survivors and rejects —
+  /// while dropped/crashed parties never uploaded anything.
+  int64_t bytes_uplink = 0;
+  int64_t bytes_uplink_uncompressed = 0;
+  /// Fault + robustness accounting (all zero when faults are disabled).
+  int dropped = 0;    ///< sampled but never trained
+  int crashed = 0;    ///< trained but the update never arrived
+  int straggled = 0;  ///< trained with truncated local epochs
+  int rejected = 0;   ///< update arrived but failed ValidateUpdate/decode
+  int resample_retries = 0;  ///< extra sampling attempts to reach quorum
+  int aggregated = 0;        ///< updates folded into the global model
+  bool quorum_met = true;    ///< false => aggregation skipped this round
+};
+
+/// Writes one CSV row per round: round, mean_local_loss, aggregated,
+/// dropped, crashed, straggled, rejected, resample_retries, quorum_met,
+/// bytes_uplink, bytes_uplink_uncompressed — the single reporting path the
+/// fault and compression benches share.
+Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
+                          const std::string& path);
 
 /// Evaluates `model` on `dataset` in evaluation mode (BatchNorm uses running
 /// statistics). Restores the model's previous training mode before returning.

@@ -63,6 +63,11 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
   }
   algorithm_->Initialize(static_cast<int>(clients_.size()),
                          static_cast<int64_t>(global_state_.size()));
+  if (config_.compression.enabled()) {
+    codec_ = std::make_unique<UpdateCodec>(
+        config_.compression, config_.seed, layout_,
+        static_cast<int64_t>(global_state_.size()));
+  }
   if (config_.skew_aware_sampling) {
     label_histograms_.reserve(clients_.size());
     for (const auto& client : clients_) {
@@ -92,6 +97,7 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
   round_options_.reserve(clients_.size());
   round_work_.reserve(clients_.size());
   round_updates_.reserve(clients_.size());
+  if (codec_) round_payloads_.resize(clients_.size());
 }
 
 // NIID_HOT: the per-round orchestration path. All round scratch lives in
@@ -201,15 +207,51 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
           } else {
             updates[slot] = algorithm_->RunClient(
                 client, *lease, global_state_, assignment.options);
+            if (codec_) {
+              // The party compresses its own upload before it leaves the
+              // device: fold in (and refresh) its durable error-feedback
+              // residual, then encode into this slot's reusable payload.
+              // Safe under ParallelFor — each party is attempted at most
+              // once per round, and slots are disjoint.
+              codec_->Encode(
+                  stats.round, assignment.client_id, updates[slot].delta,
+                  config_.compression.error_feedback
+                      ? client.mutable_residual()
+                      : nullptr,
+                  lease->codec_scratch, round_payloads_[slot]);
+            }
           }
         });
 
-    // Serial post-processing in slot order: discard crashed uploads, corrupt
-    // what the fault plan says arrives corrupted, and gate everything else
-    // through ValidateUpdate.
+    // Serial post-processing in slot order: discard crashed uploads, decode
+    // compressed payloads, corrupt what the fault plan says arrives
+    // corrupted, and gate everything else through ValidateUpdate.
+    const int64_t upload_bytes_per_client =
+        static_cast<int64_t>(sizeof(float)) *
+        algorithm_->UploadFloatsPerClient(
+            static_cast<int64_t>(global_state_.size()));
     for (size_t slot = 0; slot < work.size(); ++slot) {
       const Assignment& assignment = work[slot];
       if (assignment.decision.type == FaultType::kCrash) continue;
+      // Uplink accounting per arrival (rejects included — they crossed the
+      // wire too). Sidecar floats the codec does not touch (SCAFFOLD's
+      // delta_c) ship uncompressed either way.
+      stats.bytes_uplink_uncompressed += upload_bytes_per_client;
+      if (codec_) {
+        const int64_t payload_bytes =
+            static_cast<int64_t>(round_payloads_[slot].bytes.size());
+        stats.bytes_uplink += payload_bytes + upload_bytes_per_client -
+                              codec_->UncompressedBytes();
+        const Status decoded = codec_->Decode(
+            stats.round, assignment.client_id, round_payloads_[slot],
+            updates[slot].delta, codec_scratch_);
+        if (!decoded.ok()) {
+          ++stats.rejected;
+          continue;
+        }
+      } else {
+        stats.bytes_uplink += upload_bytes_per_client;
+      }
       if (assignment.decision.type == FaultType::kCorrupt) {
         fault_plan_.Corrupt(assignment.decision, stats.round,
                             assignment.client_id, updates[slot]);
@@ -265,6 +307,7 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
       algorithm_->UploadFloatsPerClient(
           static_cast<int64_t>(global_state_.size()));
   stats.cumulative_upload_floats = cumulative_upload_floats_;
+  cumulative_bytes_uplink_ += stats.bytes_uplink;
   ++rounds_completed_;
   return stats;
 }
@@ -288,18 +331,24 @@ ServerCheckpoint FederatedServer::MakeCheckpoint() const {
   ServerCheckpoint checkpoint;
   checkpoint.config_seed = config_.seed;
   checkpoint.algorithm = algorithm_->name();
+  checkpoint.codec = CodecName(config_.compression.codec);
+  checkpoint.error_feedback = config_.compression.error_feedback;
+  checkpoint.codec_seed = config_.compression.seed;
   checkpoint.num_clients = static_cast<int64_t>(clients_.size());
   checkpoint.state_size = static_cast<int64_t>(global_state_.size());
   checkpoint.rounds_completed = rounds_completed_;
   checkpoint.cumulative_upload_floats = cumulative_upload_floats_;
+  checkpoint.cumulative_bytes_uplink = cumulative_bytes_uplink_;
   checkpoint.server_rng = rng_.SaveState();
   checkpoint.global_state = global_state_;
   checkpoint.algorithm_state = algorithm_->SaveAlgorithmState();
   checkpoint.client_rng.reserve(clients_.size());
   checkpoint.client_buffers.reserve(clients_.size());
+  checkpoint.client_residuals.reserve(clients_.size());
   for (const auto& client : clients_) {
     checkpoint.client_rng.push_back(client->SaveRngState());
     checkpoint.client_buffers.push_back(client->buffer_state());
+    checkpoint.client_residuals.push_back(client->residual());
   }
   return checkpoint;
 }
@@ -319,11 +368,29 @@ Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
                                    "' does not match server algorithm '" +
                                    algorithm_->name() + "'");
   }
+  if (checkpoint.codec != CodecName(config_.compression.codec) ||
+      checkpoint.error_feedback != config_.compression.error_feedback ||
+      checkpoint.codec_seed != config_.compression.seed) {
+    return Status::InvalidArgument(
+        "checkpoint compression fingerprint (codec '" + checkpoint.codec +
+        "') does not match server codec '" +
+        CodecName(config_.compression.codec) + "'");
+  }
   if (checkpoint.num_clients != static_cast<int64_t>(clients_.size())) {
     return Status::InvalidArgument("checkpoint client count mismatch");
   }
   if (checkpoint.state_size != static_cast<int64_t>(global_state_.size())) {
     return Status::InvalidArgument("checkpoint state size mismatch");
+  }
+  if (!checkpoint.client_residuals.empty() &&
+      checkpoint.client_residuals.size() != clients_.size()) {
+    return Status::InvalidArgument("checkpoint residual count mismatch");
+  }
+  for (const StateVector& residual : checkpoint.client_residuals) {
+    if (!residual.empty() &&
+        residual.size() != global_state_.size()) {
+      return Status::InvalidArgument("checkpoint residual size mismatch");
+    }
   }
   const int64_t buffer_floats = BufferSize(layout_);
   for (const StateVector& buffers : checkpoint.client_buffers) {
@@ -344,9 +411,13 @@ Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->RestoreRngState(checkpoint.client_rng[i]);
     clients_[i]->set_buffer_state(checkpoint.client_buffers[i]);
+    clients_[i]->set_residual(checkpoint.client_residuals.empty()
+                                  ? StateVector{}
+                                  : checkpoint.client_residuals[i]);
   }
   rounds_completed_ = static_cast<int>(checkpoint.rounds_completed);
   cumulative_upload_floats_ = checkpoint.cumulative_upload_floats;
+  cumulative_bytes_uplink_ = checkpoint.cumulative_bytes_uplink;
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 #include "fl/algorithm.h"
 #include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/compress.h"
 #include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/privacy.h"
@@ -52,23 +53,10 @@ struct ServerConfig {
   /// (defense against norm-blowup corruption). 0 disables the cap;
   /// non-finite updates are always rejected.
   double max_update_norm = 0.0;
-};
-
-/// Per-round bookkeeping.
-struct RoundStats {
-  int round = 0;
-  std::vector<int> sampled_clients;
-  double mean_local_loss = 0.0;
-  /// Cumulative upload volume in floats across all rounds so far.
-  int64_t cumulative_upload_floats = 0;
-  /// Fault + robustness accounting (all zero when faults are disabled).
-  int dropped = 0;    ///< sampled but never trained
-  int crashed = 0;    ///< trained but the update never arrived
-  int straggled = 0;  ///< trained with truncated local epochs
-  int rejected = 0;   ///< update arrived but failed ValidateUpdate
-  int resample_retries = 0;  ///< extra sampling attempts to reach quorum
-  int aggregated = 0;        ///< updates folded into the global model
-  bool quorum_met = true;    ///< false => aggregation skipped this round
+  /// Update compression (fl/compress.h): workers encode their party's delta,
+  /// the server decodes and aggregates the DECODED update. The identity
+  /// codec bypasses the layer entirely — byte-for-byte today's behavior.
+  CompressionConfig compression;
 };
 
 /// Server-side guard applied to every incoming update before aggregation:
@@ -120,6 +108,9 @@ class FederatedServer {
   Status LoadCheckpoint(const std::string& path);
 
   const StateVector& global_state() const { return global_state_; }
+  /// Per-tensor segmentation of the flattened state (nn/parameters.h);
+  /// what the update codec quantizes against.
+  const std::vector<StateSegment>& layout() const { return layout_; }
   void set_global_state(StateVector state);
   FlAlgorithm& algorithm() { return *algorithm_; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
@@ -130,6 +121,11 @@ class FederatedServer {
   int64_t cumulative_upload_floats() const {
     return cumulative_upload_floats_;
   }
+  /// Cumulative uplink bytes as they crossed the wire (== 4x upload floats
+  /// under the identity codec).
+  int64_t cumulative_bytes_uplink() const { return cumulative_bytes_uplink_; }
+  /// The active update codec, or null when compression is off.
+  const UpdateCodec* codec() const { return codec_.get(); }
 
  private:
   /// One party's assignment for a round: which client, what fault it
@@ -144,6 +140,9 @@ class FederatedServer {
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
   FaultPlan fault_plan_;
+  /// Null when compression is off (identity codec): the byte-compatible path
+  /// never touches the codec layer at all.
+  std::unique_ptr<UpdateCodec> codec_;
   Rng rng_;
   StateVector global_state_;
   std::vector<StateSegment> layout_;
@@ -156,6 +155,7 @@ class FederatedServer {
   std::vector<std::vector<int64_t>> label_histograms_;
   int rounds_completed_ = 0;
   int64_t cumulative_upload_floats_ = 0;
+  int64_t cumulative_bytes_uplink_ = 0;
 
   // Per-round scratch, hoisted out of RunRound and reserved to the federation
   // size at construction so steady-state rounds stay off the allocator (the
@@ -166,6 +166,10 @@ class FederatedServer {
   std::vector<LocalTrainOptions> round_options_;
   std::vector<Assignment> round_work_;
   std::vector<LocalUpdate> round_updates_;
+  /// Per-slot encoded payloads (grow-only byte buffers, reused each round)
+  /// and the server's serial decode scratch.
+  std::vector<EncodedDelta> round_payloads_;
+  CodecScratch codec_scratch_;
 };
 
 }  // namespace niid

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fl/compress.h"
 #include "nn/loss.h"
 #include "nn/models/factory.h"
 #include "nn/module.h"
@@ -56,6 +57,10 @@ struct TrainContext {
   StateVector correction;
   StateVector control_scratch;
   StateVector grad_scratch;
+
+  // Update-codec scratch (fl/compress.h): the worker encodes its party's
+  // delta in place before handing it to the server, reusing these buffers.
+  CodecScratch codec_scratch;
 };
 
 /// Process-wide count of live TrainContext model replicas (all pools). The

@@ -120,6 +120,50 @@ inline void ScalarBnBackwardDx(int64_t begin, int64_t end, double coeff,
   }
 }
 
+inline void ScalarMinMax(int64_t begin, int64_t end, const float* x,
+                         float* mn, float* mx) {
+  float lo = *mn, hi = *mx;
+  for (int64_t i = begin; i < end; ++i) {
+    const float v = x[i];
+    lo = lo < v ? lo : v;  // minps: second operand on NaN
+    hi = hi > v ? hi : v;  // maxps: second operand on NaN
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+inline void ScalarQuantizeAffine(int64_t begin, int64_t end, const float* x,
+                                 float lo, float inv_scale, int qmax,
+                                 uint8_t* q) {
+  const float fqmax = static_cast<float>(qmax);
+  for (int64_t i = begin; i < end; ++i) {
+    float t = std::nearbyint((x[i] - lo) * inv_scale);
+    t = t < 0.f ? 0.f : t;
+    t = t > fqmax ? fqmax : t;
+    q[i] = static_cast<uint8_t>(t);
+  }
+}
+
+inline void ScalarDequantAxpy(int64_t begin, int64_t end, const uint8_t* q,
+                              float scale, float lo, float* out) {
+  for (int64_t i = begin; i < end; ++i) {
+    out[i] += std::fma(static_cast<float>(q[i]), scale, lo);
+  }
+}
+
+inline void ScalarAbs(int64_t begin, int64_t end, const float* x, float* out) {
+  for (int64_t i = begin; i < end; ++i) out[i] = std::fabs(x[i]);
+}
+
+inline int64_t ScalarCountAbsGreater(int64_t begin, int64_t end,
+                                     const float* x, float threshold) {
+  int64_t count = 0;
+  for (int64_t i = begin; i < end; ++i) {
+    if (std::fabs(x[i]) > threshold) ++count;
+  }
+  return count;
+}
+
 inline void ScalarTranspose(int64_t rows, int64_t cols, const float* src,
                             float* dst) {
   for (int64_t r = 0; r < rows; ++r) {
@@ -590,6 +634,117 @@ void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
 }
 
 // NIID_HOT
+void KernelMinMax(int64_t n, const float* x, float* out_min, float* out_max) {
+  float mn = x[0];
+  float mx = x[0];
+#if NIID_KERNELS_USE_AVX2
+  int64_t i = 0;
+  if (n >= 8) {
+    __m256 vmn = _mm256_set1_ps(x[0]);
+    __m256 vmx = vmn;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      vmn = _mm256_min_ps(vmn, v);
+      vmx = _mm256_max_ps(vmx, v);
+    }
+    // Lane reduction in lane order; for finite inputs min/max commute, so
+    // this equals the sequential scan bit for bit.
+    alignas(32) float lanes_mn[8];
+    alignas(32) float lanes_mx[8];
+    _mm256_store_ps(lanes_mn, vmn);
+    _mm256_store_ps(lanes_mx, vmx);
+    for (int lane = 0; lane < 8; ++lane) {
+      mn = mn < lanes_mn[lane] ? mn : lanes_mn[lane];
+      mx = mx > lanes_mx[lane] ? mx : lanes_mx[lane];
+    }
+  }
+  ScalarMinMax(i, n, x, &mn, &mx);
+#else
+  ScalarMinMax(1, n, x, &mn, &mx);
+#endif
+  *out_min = mn;
+  *out_max = mx;
+}
+
+// NIID_HOT
+void KernelQuantizeAffine(int64_t n, const float* x, float lo, float inv_scale,
+                          int qmax, uint8_t* q) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 vqmax = _mm256_set1_ps(static_cast<float>(qmax));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vlo), vinv);
+    t = _mm256_round_ps(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    t = _mm256_max_ps(t, vzero);
+    t = _mm256_min_ps(t, vqmax);
+    const __m256i vi = _mm256_cvttps_epi32(t);  // integral after round
+    const __m128i p16 = _mm_packus_epi32(_mm256_castsi256_si128(vi),
+                                         _mm256_extracti128_si256(vi, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), p8);
+  }
+  ScalarQuantizeAffine(i, n, x, lo, inv_scale, qmax, q);
+#else
+  ScalarQuantizeAffine(0, n, x, lo, inv_scale, qmax, q);
+#endif
+}
+
+// NIID_HOT
+void KernelDequantAxpy(int64_t n, const uint8_t* q, float scale, float lo,
+                       float* out) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vlo = _mm256_set1_ps(lo);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i codes = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i)));
+    const __m256 v = _mm256_fmadd_ps(_mm256_cvtepi32_ps(codes), vs, vlo);
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), v));
+  }
+  ScalarDequantAxpy(i, n, q, scale, lo, out);
+#else
+  ScalarDequantAxpy(0, n, q, scale, lo, out);
+#endif
+}
+
+// NIID_HOT
+void KernelAbs(int64_t n, const float* x, float* out) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_and_ps(_mm256_loadu_ps(x + i), mask));
+  }
+  ScalarAbs(i, n, x, out);
+#else
+  ScalarAbs(0, n, x, out);
+#endif
+}
+
+// NIID_HOT
+int64_t KernelCountAbsGreater(int64_t n, const float* x, float threshold) {
+#if NIID_KERNELS_USE_AVX2
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 vt = _mm256_set1_ps(threshold);
+  int64_t count = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(x + i), mask);
+    const int bits =
+        _mm256_movemask_ps(_mm256_cmp_ps(a, vt, _CMP_GT_OQ));
+    count += __builtin_popcount(static_cast<unsigned>(bits));
+  }
+  return count + ScalarCountAbsGreater(i, n, x, threshold);
+#else
+  return ScalarCountAbsGreater(0, n, x, threshold);
+#endif
+}
+
+// NIID_HOT
 void KernelSoftmaxXentRow(int64_t classes, int label, float inv_n, float* row,
                           double* loss, bool* correct) {
   // Shared scalar prologue (max, exp, sum, argmax) — exp dominates and has
@@ -726,6 +881,34 @@ void KernelBatchTransposeReference(int64_t batch, int64_t rows, int64_t cols,
 void KernelAddTransposedReference(int64_t rows, int64_t cols, const float* src,
                                   float* dst) {
   ScalarAddTransposed(rows, cols, src, dst);
+}
+
+void KernelMinMaxReference(int64_t n, const float* x, float* out_min,
+                           float* out_max) {
+  float mn = x[0];
+  float mx = x[0];
+  ScalarMinMax(1, n, x, &mn, &mx);
+  *out_min = mn;
+  *out_max = mx;
+}
+
+void KernelQuantizeAffineReference(int64_t n, const float* x, float lo,
+                                   float inv_scale, int qmax, uint8_t* q) {
+  ScalarQuantizeAffine(0, n, x, lo, inv_scale, qmax, q);
+}
+
+void KernelDequantAxpyReference(int64_t n, const uint8_t* q, float scale,
+                                float lo, float* out) {
+  ScalarDequantAxpy(0, n, q, scale, lo, out);
+}
+
+void KernelAbsReference(int64_t n, const float* x, float* out) {
+  ScalarAbs(0, n, x, out);
+}
+
+int64_t KernelCountAbsGreaterReference(int64_t n, const float* x,
+                                       float threshold) {
+  return ScalarCountAbsGreater(0, n, x, threshold);
 }
 
 }  // namespace niid

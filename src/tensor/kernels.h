@@ -143,6 +143,40 @@ void KernelBnBackwardDx(int64_t n, float coeff, double mean_dy,
                         const float* xhat, float* dx);
 
 // ---------------------------------------------------------------------------
+// Update-codec kernels (fl/compress.cc). All serial: they run inside the
+// round-level ParallelFor, one client per worker, so a nested pool would
+// only add scheduling overhead. Inputs are assumed finite (non-finite deltas
+// are rejected downstream by ValidateUpdate); for finite inputs min/max and
+// comparison counts are order-invariant, so scalar and AVX2 builds agree
+// bitwise.
+// ---------------------------------------------------------------------------
+
+/// Running min/max over x[0..n): out_min = min_i x[i], out_max = max_i x[i]
+/// with minps/maxps semantics (m = m < x ? m : x). Requires n >= 1.
+void KernelMinMax(int64_t n, const float* x, float* out_min, float* out_max);
+
+/// Affine quantize-row: q[i] = clamp(nearbyint((x[i] - lo) * inv_scale),
+/// 0, qmax) as a uint8 code. nearbyint rounds to nearest-even, matching
+/// _mm256_round_ps(_MM_FROUND_TO_NEAREST_INT) bit for bit. qmax <= 255.
+void KernelQuantizeAffine(int64_t n, const float* x, float lo, float inv_scale,
+                          int qmax, uint8_t* q);
+
+/// Dequantize-accumulate: out[i] += fma((float)q[i], scale, lo). Decoding
+/// into a zeroed buffer yields out[i] = fma(q[i], scale, lo) exactly, and
+/// the same kernel with (-scale, -lo) subtracts the reconstruction — the
+/// error-feedback residual update — since fma(q, -s, -l) == -fma(q, s, l).
+void KernelDequantAxpy(int64_t n, const uint8_t* q, float scale, float lo,
+                       float* out);
+
+/// Magnitude pass of the top-k threshold scan: out[i] = |x[i]|.
+void KernelAbs(int64_t n, const float* x, float* out);
+
+/// Count of elements with |x[i]| > threshold (strict). With threshold = the
+/// kth largest magnitude this is the number of coordinates top-k keeps
+/// unconditionally; ties at the threshold fill the remainder in index order.
+int64_t KernelCountAbsGreater(int64_t n, const float* x, float threshold);
+
+// ---------------------------------------------------------------------------
 // Softmax cross-entropy row kernel.
 // ---------------------------------------------------------------------------
 
@@ -190,6 +224,15 @@ void KernelBatchTransposeReference(int64_t batch, int64_t rows, int64_t cols,
                                    const float* src, float* dst);
 void KernelAddTransposedReference(int64_t rows, int64_t cols, const float* src,
                                   float* dst);
+void KernelMinMaxReference(int64_t n, const float* x, float* out_min,
+                           float* out_max);
+void KernelQuantizeAffineReference(int64_t n, const float* x, float lo,
+                                   float inv_scale, int qmax, uint8_t* q);
+void KernelDequantAxpyReference(int64_t n, const uint8_t* q, float scale,
+                                float lo, float* out);
+void KernelAbsReference(int64_t n, const float* x, float* out);
+int64_t KernelCountAbsGreaterReference(int64_t n, const float* x,
+                                       float threshold);
 
 }  // namespace niid
 

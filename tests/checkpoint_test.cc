@@ -158,9 +158,11 @@ TEST(CheckpointFileTest, HostileDeclaredLengthRejectedCleanly) {
   ASSERT_TRUE(WriteCheckpointFile(saved, path).ok());
   std::string bytes = Slurp(path);
   // The global-state count sits after magic(8) + version(4) + seed(8) +
-  // algorithm(8 + len) + four int64 counters(32) + server rng(41).
-  const size_t count_offset =
-      8 + 4 + 8 + (8 + saved.algorithm.size()) + 32 + (4 * 8 + 1 + 8);
+  // algorithm(8 + len) + codec(8 + len) + error-feedback byte(1) +
+  // codec seed(8) + five int64 counters(40) + server rng(41).
+  const size_t count_offset = 8 + 4 + 8 + (8 + saved.algorithm.size()) +
+                              (8 + saved.codec.size()) + 1 + 8 + 40 +
+                              (4 * 8 + 1 + 8);
   uint64_t declared = 0;
   std::memcpy(&declared, bytes.data() + count_offset, sizeof(declared));
   ASSERT_EQ(declared, saved.global_state.size()) << "format drifted; fix the "

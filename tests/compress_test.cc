@@ -1,0 +1,746 @@
+// Tests for the update-compression codec layer (fl/compress.h, DESIGN.md
+// §13): per-codec round-trip properties, error-feedback residual contracts,
+// hardened decode, bitwise thread-invariance of compressed rounds, resume
+// bit-identity with residuals, v1 checkpoint back-compat, uplink byte
+// accounting, and flag/parse rejection coverage. Every suite name starts
+// with `Compress` so the tsan CI shard picks them up.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/compress.h"
+#include "fl/server.h"
+#include "nn/models/factory.h"
+#include "tensor/kernels.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------------ codec units
+
+// Uneven multi-segment layout, odd total size: exercises per-segment scales,
+// the int4 nibble pack crossing segment boundaries, and vector tails.
+std::vector<StateSegment> TestLayout() {
+  return {{0, 400, true}, {400, 251, true}, {651, 350, false}};
+}
+constexpr int64_t kTestN = 1001;
+
+StateVector RandomDelta(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  StateVector delta(n);
+  for (float& x : delta) x = 0.05f * static_cast<float>(rng.Normal());
+  return delta;
+}
+
+UpdateCodec MakeCodec(CodecKind kind, bool error_feedback = false,
+                      double sparsity = 0.05) {
+  CompressionConfig config;
+  config.codec = kind;
+  config.error_feedback = error_feedback;
+  config.sparsity = sparsity;
+  return UpdateCodec(config, /*server_seed=*/5, TestLayout(), kTestN);
+}
+
+TEST(CompressCodecTest, ParseCodecRoundTripsAndRejectsUnknown) {
+  for (const CodecKind kind :
+       {CodecKind::kIdentity, CodecKind::kInt8, CodecKind::kInt4,
+        CodecKind::kTopK, CodecKind::kRandK}) {
+    const StatusOr<CodecKind> parsed = ParseCodec(CodecName(kind));
+    ASSERT_TRUE(parsed.ok()) << CodecName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(*ParseCodec("identity"), CodecKind::kIdentity);
+  for (const char* bad : {"gzip", "int16", "", "TOPK", "rand-k"}) {
+    EXPECT_FALSE(ParseCodec(bad).ok()) << bad;
+  }
+}
+
+// Per-segment scales recomputed independently of the codec, so the bound is
+// checked against first principles, not against the implementation.
+void ExpectQuantErrorBounded(const StateVector& reference,
+                             const StateVector& decoded, int qmax) {
+  for (const StateSegment& segment : TestLayout()) {
+    float lo = 0.f, hi = 0.f;
+    KernelMinMax(segment.size, reference.data() + segment.offset, &lo, &hi);
+    const float scale = (hi - lo) / static_cast<float>(qmax);
+    for (int64_t i = segment.offset; i < segment.offset + segment.size; ++i) {
+      EXPECT_LE(std::fabs(decoded[i] - reference[i]), 0.51f * scale)
+          << "coordinate " << i;
+    }
+  }
+}
+
+TEST(CompressCodecTest, Int8RoundTripErrorBoundedByHalfStep) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kInt8);
+  const StateVector delta = RandomDelta(kTestN, 7);
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(0, 2, delta, nullptr, scratch, payload);
+  // header(20) + segment count(8) + 3 x {lo, scale}(24) + n codes.
+  EXPECT_EQ(payload.bytes.size(), 20u + 8u + 24u + kTestN);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(0, 2, payload, decoded, scratch).ok());
+  ExpectQuantErrorBounded(delta, decoded, 255);
+}
+
+TEST(CompressCodecTest, Int4RoundTripErrorBoundedOddLength) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kInt4);
+  const StateVector delta = RandomDelta(kTestN, 8);
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(3, 1, delta, nullptr, scratch, payload);
+  // Nibbles pack globally: ceil(1001 / 2) = 501 code bytes.
+  EXPECT_EQ(payload.bytes.size(), 20u + 8u + 24u + (kTestN + 1) / 2);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(3, 1, payload, decoded, scratch).ok());
+  ExpectQuantErrorBounded(delta, decoded, 15);
+}
+
+TEST(CompressCodecTest, TopKKeepsLargestCoordinatesExactly) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kTopK);
+  const int64_t k = codec.SparseK();
+  EXPECT_EQ(k, 50);  // 0.05 * 1001 rounded
+  const StateVector delta = RandomDelta(kTestN, 9);
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(1, 0, delta, nullptr, scratch, payload);
+  EXPECT_EQ(payload.bytes.size(), 20u + 8u + 8u * k);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(1, 0, payload, decoded, scratch).ok());
+
+  // The kept coordinates are exactly the k largest magnitudes, bit-exact.
+  std::vector<float> magnitudes(kTestN);
+  for (int64_t i = 0; i < kTestN; ++i) magnitudes[i] = std::fabs(delta[i]);
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (k - 1),
+                   magnitudes.end(), std::greater<float>());
+  const float threshold = magnitudes[k - 1];
+  int64_t kept = 0;
+  for (int64_t i = 0; i < kTestN; ++i) {
+    if (decoded[i] != 0.f) {
+      ++kept;
+      EXPECT_EQ(decoded[i], delta[i]) << "kept coordinate " << i;
+      EXPECT_GE(std::fabs(delta[i]), threshold);
+    }
+  }
+  EXPECT_EQ(kept, k);
+}
+
+TEST(CompressCodecTest, TopKBreaksTiesByIncreasingIndex) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kTopK);
+  const int64_t k = codec.SparseK();
+  StateVector delta(kTestN, 0.25f);  // every magnitude ties
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(0, 0, delta, nullptr, scratch, payload);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(0, 0, payload, decoded, scratch).ok());
+  for (int64_t i = 0; i < kTestN; ++i) {
+    EXPECT_EQ(decoded[i], i < k ? 0.25f : 0.f) << "coordinate " << i;
+  }
+}
+
+TEST(CompressCodecTest, RandKShipsOnlyValuesAndReplaysIndices) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kRandK);
+  const int64_t k = codec.SparseK();
+  const StateVector delta = RandomDelta(kTestN, 10);
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(2, 3, delta, nullptr, scratch, payload);
+  // No indices on the wire: header + k + k floats.
+  EXPECT_EQ(payload.bytes.size(), 20u + 8u + 4u * k);
+
+  StateVector decoded_a, decoded_b;
+  ASSERT_TRUE(codec.Decode(2, 3, payload, decoded_a, scratch).ok());
+  ASSERT_TRUE(codec.Decode(2, 3, payload, decoded_b, scratch).ok());
+  EXPECT_EQ(decoded_a, decoded_b);  // replay is deterministic
+  int64_t kept = 0;
+  for (int64_t i = 0; i < kTestN; ++i) {
+    if (decoded_a[i] != 0.f) {
+      ++kept;
+      EXPECT_EQ(decoded_a[i], delta[i]);
+    }
+  }
+  EXPECT_LE(kept, k);  // a drawn coordinate may hold a genuine zero
+  EXPECT_GT(kept, k / 2);
+
+  // Different (round, client) cells draw different coordinate sets.
+  EncodedDelta other;
+  codec.Encode(3, 3, delta, nullptr, scratch, other);
+  StateVector decoded_other;
+  ASSERT_TRUE(codec.Decode(3, 3, other, decoded_other, scratch).ok());
+  EXPECT_NE(decoded_a, decoded_other);
+}
+
+TEST(CompressCodecTest, ErrorFeedbackMakesSparsifierResidualExact) {
+  const UpdateCodec codec =
+      MakeCodec(CodecKind::kTopK, /*error_feedback=*/true);
+  const StateVector delta = RandomDelta(kTestN, 11);
+  StateVector residual;
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(0, 0, delta, &residual, scratch, payload);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(0, 0, payload, decoded, scratch).ok());
+  // Sparsified values ship exactly, so residual + decoded == delta bitwise:
+  // kept coordinates have residual 0, discarded ones carry delta untouched.
+  ASSERT_EQ(residual.size(), delta.size());
+  for (int64_t i = 0; i < kTestN; ++i) {
+    if (decoded[i] != 0.f) {
+      EXPECT_EQ(residual[i], 0.f) << i;
+      EXPECT_EQ(decoded[i], delta[i]) << i;
+    } else {
+      EXPECT_EQ(residual[i], delta[i]) << i;
+    }
+  }
+
+  // Second round: the residual folds into the next update, so a coordinate
+  // the sparsifier keeps missing accumulates until it wins a slot.
+  const StateVector delta2 = RandomDelta(kTestN, 12);
+  StateVector corrected(kTestN);
+  for (int64_t i = 0; i < kTestN; ++i) corrected[i] = delta2[i] + residual[i];
+  EncodedDelta payload2;
+  codec.Encode(1, 0, delta2, &residual, scratch, payload2);
+  StateVector decoded2;
+  ASSERT_TRUE(codec.Decode(1, 0, payload2, decoded2, scratch).ok());
+  for (int64_t i = 0; i < kTestN; ++i) {
+    if (decoded2[i] != 0.f) {
+      EXPECT_EQ(decoded2[i], corrected[i]) << i;
+      EXPECT_EQ(residual[i], 0.f) << i;
+    } else {
+      EXPECT_EQ(residual[i], corrected[i]) << i;
+    }
+  }
+}
+
+TEST(CompressCodecTest, ErrorFeedbackQuantizerResidualBoundedByHalfStep) {
+  const UpdateCodec codec =
+      MakeCodec(CodecKind::kInt8, /*error_feedback=*/true);
+  const StateVector delta = RandomDelta(kTestN, 13);
+  StateVector residual;
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(0, 1, delta, &residual, scratch, payload);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(0, 1, payload, decoded, scratch).ok());
+  ASSERT_EQ(residual.size(), delta.size());
+  for (const StateSegment& segment : TestLayout()) {
+    float lo = 0.f, hi = 0.f;
+    KernelMinMax(segment.size, delta.data() + segment.offset, &lo, &hi);
+    const float scale = (hi - lo) / 255.f;
+    for (int64_t i = segment.offset; i < segment.offset + segment.size; ++i) {
+      // residual is exactly the quantization error of this round...
+      EXPECT_LE(std::fabs(residual[i]), 0.51f * scale) << i;
+      // ...and decoded + residual reconstructs the encoded value to float
+      // rounding of one addition.
+      EXPECT_NEAR(decoded[i] + residual[i], delta[i],
+                  1e-6f + 1e-5f * std::fabs(delta[i]))
+          << i;
+    }
+  }
+}
+
+TEST(CompressCodecTest, DecodeRejectsStructuralCorruption) {
+  const UpdateCodec codec = MakeCodec(CodecKind::kTopK);
+  const StateVector delta = RandomDelta(kTestN, 14);
+  CodecScratch scratch;
+  EncodedDelta payload;
+  codec.Encode(4, 2, delta, nullptr, scratch, payload);
+  StateVector decoded;
+  ASSERT_TRUE(codec.Decode(4, 2, payload, decoded, scratch).ok());
+
+  // Wrong (round, client) binding.
+  EXPECT_FALSE(codec.Decode(5, 2, payload, decoded, scratch).ok());
+  EXPECT_FALSE(codec.Decode(4, 1, payload, decoded, scratch).ok());
+
+  // Wrong codec family for the payload.
+  const UpdateCodec other = MakeCodec(CodecKind::kInt8);
+  EXPECT_FALSE(other.Decode(4, 2, payload, decoded, scratch).ok());
+
+  // Truncations at every prefix length fail cleanly.
+  for (const size_t keep : {0u, 3u, 19u, 20u, 27u, 40u}) {
+    EncodedDelta truncated;
+    truncated.bytes.assign(payload.bytes.begin(),
+                           payload.bytes.begin() + keep);
+    EXPECT_FALSE(codec.Decode(4, 2, truncated, decoded, scratch).ok())
+        << "kept " << keep;
+  }
+
+  // Trailing garbage is rejected, not silently ignored.
+  EncodedDelta padded = payload;
+  padded.bytes.push_back(0x5a);
+  EXPECT_FALSE(codec.Decode(4, 2, padded, decoded, scratch).ok());
+
+  // Unsorted top-k indices (duplicate injection) are rejected.
+  EncodedDelta swapped = payload;
+  std::memcpy(swapped.bytes.data() + 28, swapped.bytes.data() + 32, 4);
+  EXPECT_FALSE(codec.Decode(4, 2, swapped, decoded, scratch).ok());
+}
+
+TEST(CompressCodecTest, DecodeSurvivesByteFlipFuzz) {
+  // Flip every byte of every codec's payload: Decode must return a clean
+  // Status each time — corrupt-but-parseable payloads are fine (the decoded
+  // delta goes through ValidateUpdate downstream), crashing is not.
+  const StateVector delta = RandomDelta(kTestN, 15);
+  for (const CodecKind kind : {CodecKind::kInt8, CodecKind::kInt4,
+                               CodecKind::kTopK, CodecKind::kRandK}) {
+    const UpdateCodec codec = MakeCodec(kind);
+    CodecScratch scratch;
+    EncodedDelta payload;
+    codec.Encode(0, 0, delta, nullptr, scratch, payload);
+    StateVector decoded;
+    for (size_t i = 0; i < payload.bytes.size(); ++i) {
+      EncodedDelta corrupt = payload;
+      corrupt.bytes[i] ^= 0xff;
+      const Status status = codec.Decode(0, 0, corrupt, decoded, scratch);
+      (void)status;  // any clean Status is acceptable; surviving is the test
+    }
+  }
+}
+
+// ------------------------------------------------------- federation helpers
+
+ModelSpec CompressMlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+FederatedDataset CompressData() {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = 256;
+  config.test_size = 128;
+  config.class_sep = 3.0f;
+  config.seed = 4242;
+  return MakeSyntheticTabular(config);
+}
+
+// Label-skewed shards (the synthetic stand-in for the paper's #C=1 setting):
+// each party holds mostly one class, plus a small slice of the other.
+std::vector<std::unique_ptr<Client>> CompressClients(const Dataset& full,
+                                                     int num_clients) {
+  std::vector<std::vector<int64_t>> by_label(2);
+  for (int64_t i = 0; i < full.size(); ++i) {
+    by_label[full.labels[i]].push_back(i);
+  }
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    const auto& own = by_label[i % 2];
+    const auto& other = by_label[(i + 1) % 2];
+    std::vector<int64_t> shard;
+    for (int64_t j = 0; j < 40; ++j) {
+      shard.push_back(own[(static_cast<int64_t>(i) * 40 + j) % own.size()]);
+    }
+    for (int64_t j = 0; j < 8; ++j) {
+      shard.push_back(other[(static_cast<int64_t>(i) * 8 + j) % other.size()]);
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> CompressServer(
+    const std::string& algorithm, const CompressionConfig& compression,
+    int threads, const Dataset& train) {
+  ServerConfig config;
+  config.seed = 5;
+  config.sample_fraction = 0.75;
+  config.num_threads = threads;
+  config.compression = compression;
+  auto algorithm_or = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  return std::make_unique<FederatedServer>(
+      MakeModelFactory(CompressMlpSpec()), CompressClients(train, 4),
+      std::move(*algorithm_or), config);
+}
+
+LocalTrainOptions CompressOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+struct CompressRunResult {
+  StateVector state;
+  std::vector<double> losses;
+  std::vector<int64_t> bytes;
+  EvalResult eval;
+};
+
+CompressRunResult RunCompressedRounds(const std::string& algorithm,
+                                      const CompressionConfig& compression,
+                                      int threads, int rounds,
+                                      const FederatedDataset& data) {
+  auto server = CompressServer(algorithm, compression, threads, data.train);
+  CompressRunResult result;
+  for (int round = 0; round < rounds; ++round) {
+    const RoundStats stats = server->RunRound(CompressOptions());
+    result.losses.push_back(stats.mean_local_loss);
+    result.bytes.push_back(stats.bytes_uplink);
+  }
+  result.state = server->global_state();
+  result.eval = server->EvaluateGlobal(data.test, 64);
+  return result;
+}
+
+// ------------------------------------------------------- thread invariance
+
+CompressionConfig Int8Ef() {
+  CompressionConfig config;
+  config.codec = CodecKind::kInt8;
+  config.error_feedback = true;
+  return config;
+}
+
+TEST(CompressRoundIdentityTest, BitIdenticalAcrossThreadCountsAllAlgorithms) {
+  const FederatedDataset data = CompressData();
+  for (const char* algorithm :
+       {"fedavg", "fedprox", "scaffold", "fednova", "fedadam"}) {
+    const CompressRunResult serial =
+        RunCompressedRounds(algorithm, Int8Ef(), 1, 3, data);
+    for (const int threads : {2, 8}) {
+      const CompressRunResult parallel =
+          RunCompressedRounds(algorithm, Int8Ef(), threads, 3, data);
+      EXPECT_EQ(parallel.state, serial.state)
+          << algorithm << " threads=" << threads;
+      EXPECT_EQ(parallel.losses, serial.losses)
+          << algorithm << " threads=" << threads;
+      EXPECT_EQ(parallel.bytes, serial.bytes)
+          << algorithm << " threads=" << threads;
+      EXPECT_EQ(parallel.eval.loss, serial.eval.loss)
+          << algorithm << " threads=" << threads;
+      EXPECT_EQ(parallel.eval.accuracy, serial.eval.accuracy)
+          << algorithm << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CompressRoundIdentityTest, BitIdenticalAcrossThreadCountsAllCodecs) {
+  const FederatedDataset data = CompressData();
+  for (const CodecKind kind :
+       {CodecKind::kIdentity, CodecKind::kInt8, CodecKind::kInt4,
+        CodecKind::kTopK, CodecKind::kRandK}) {
+    CompressionConfig compression;
+    compression.codec = kind;
+    compression.error_feedback = kind != CodecKind::kIdentity;
+    const CompressRunResult serial =
+        RunCompressedRounds("fedavg", compression, 1, 3, data);
+    for (const int threads : {2, 8}) {
+      const CompressRunResult parallel =
+          RunCompressedRounds("fedavg", compression, threads, 3, data);
+      EXPECT_EQ(parallel.state, serial.state)
+          << CodecName(kind) << " threads=" << threads;
+      EXPECT_EQ(parallel.losses, serial.losses)
+          << CodecName(kind) << " threads=" << threads;
+      EXPECT_EQ(parallel.bytes, serial.bytes)
+          << CodecName(kind) << " threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------- accuracy gap
+
+TEST(CompressAccuracyTest, Int8ErrorFeedbackTracksUncompressedFedAvg) {
+  const FederatedDataset data = CompressData();
+  const CompressRunResult uncompressed =
+      RunCompressedRounds("fedavg", CompressionConfig{}, 2, 8, data);
+  const CompressRunResult compressed =
+      RunCompressedRounds("fedavg", Int8Ef(), 2, 8, data);
+  // Same skewed federation, same seeds: int8 + error feedback must land
+  // within half an accuracy point of the float32 oracle.
+  EXPECT_NEAR(compressed.eval.accuracy, uncompressed.eval.accuracy, 0.005);
+  EXPECT_NEAR(compressed.eval.loss, uncompressed.eval.loss, 0.05);
+  // And the compression was real: a round of int8 uplink is ~4x smaller.
+  ASSERT_FALSE(compressed.bytes.empty());
+  EXPECT_LT(compressed.bytes.back() * 3, uncompressed.bytes.back());
+}
+
+// ------------------------------------------------------- resume identity
+
+TEST(CompressResumeTest, KillAndResumeBitIdenticalWithResiduals) {
+  const FederatedDataset data = CompressData();
+  for (const CodecKind kind : {CodecKind::kInt8, CodecKind::kRandK}) {
+    CompressionConfig compression;
+    compression.codec = kind;
+    compression.error_feedback = true;
+    const int total_rounds = 5, kill_after = 2;
+
+    auto uninterrupted = CompressServer("fedavg", compression, 2, data.train);
+    for (int round = 0; round < total_rounds; ++round) {
+      uninterrupted->RunRound(CompressOptions());
+    }
+
+    const std::string path =
+        TestPath("compress_resume_" + CodecName(kind) + ".bin");
+    {
+      auto first_process = CompressServer("fedavg", compression, 2,
+                                          data.train);
+      for (int round = 0; round < kill_after; ++round) {
+        first_process->RunRound(CompressOptions());
+      }
+      // Error feedback has engaged by now: at least one party holds a
+      // non-empty residual that the checkpoint must carry.
+      bool any_residual = false;
+      for (int i = 0; i < first_process->num_clients(); ++i) {
+        any_residual |= !first_process->client(i).residual().empty();
+      }
+      ASSERT_TRUE(any_residual) << CodecName(kind);
+      ASSERT_TRUE(first_process->SaveCheckpoint(path).ok()) << CodecName(kind);
+    }
+
+    auto resumed = CompressServer("fedavg", compression, 2, data.train);
+    const Status loaded = resumed->LoadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << CodecName(kind) << ": " << loaded.ToString();
+    std::vector<double> resumed_losses;
+    for (int round = kill_after; round < total_rounds; ++round) {
+      resumed_losses.push_back(
+          resumed->RunRound(CompressOptions()).mean_local_loss);
+    }
+
+    EXPECT_EQ(resumed->global_state(), uninterrupted->global_state())
+        << CodecName(kind);
+    EXPECT_EQ(resumed->cumulative_bytes_uplink(),
+              uninterrupted->cumulative_bytes_uplink())
+        << CodecName(kind);
+    for (int i = 0; i < resumed->num_clients(); ++i) {
+      EXPECT_EQ(resumed->client(i).residual(),
+                uninterrupted->client(i).residual())
+          << CodecName(kind) << " client " << i;
+    }
+    const EvalResult a = resumed->EvaluateGlobal(data.test, 64);
+    const EvalResult b = uninterrupted->EvaluateGlobal(data.test, 64);
+    EXPECT_EQ(a.loss, b.loss) << CodecName(kind);
+    EXPECT_EQ(a.accuracy, b.accuracy) << CodecName(kind);
+  }
+}
+
+// --------------------------------------------------- checkpoint back-compat
+
+// Byte-level mirror of the v1 writer (the format shipped before the codec
+// layer), so back-compat is tested against real v1 bytes, not today's writer.
+void V1AppendPod(std::string& out, const void* value, size_t size) {
+  out.append(reinterpret_cast<const char*>(value), size);
+}
+template <typename T>
+void V1Pod(std::string& out, const T& value) {
+  V1AppendPod(out, &value, sizeof(T));
+}
+void V1String(std::string& out, const std::string& value) {
+  V1Pod(out, static_cast<uint64_t>(value.size()));
+  out.append(value);
+}
+void V1Floats(std::string& out, const StateVector& values) {
+  V1Pod(out, static_cast<uint64_t>(values.size()));
+  if (!values.empty()) {
+    V1AppendPod(out, values.data(), values.size() * sizeof(float));
+  }
+}
+void V1Rng(std::string& out, const RngState& rng) {
+  for (int i = 0; i < 4; ++i) V1Pod(out, rng.state[i]);
+  V1Pod(out, static_cast<uint8_t>(rng.has_cached_normal ? 1 : 0));
+  V1Pod(out, rng.cached_normal);
+}
+uint64_t V1Fnv1a(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string WriteV1Bytes(const ServerCheckpoint& checkpoint) {
+  std::string payload;
+  payload.append("NIIDCKPT", 8);
+  V1Pod(payload, uint32_t{1});
+  V1Pod(payload, checkpoint.config_seed);
+  V1String(payload, checkpoint.algorithm);
+  V1Pod(payload, checkpoint.num_clients);
+  V1Pod(payload, checkpoint.state_size);
+  V1Pod(payload, checkpoint.rounds_completed);
+  V1Pod(payload, checkpoint.cumulative_upload_floats);
+  V1Rng(payload, checkpoint.server_rng);
+  V1Floats(payload, checkpoint.global_state);
+  V1Pod(payload, static_cast<uint64_t>(checkpoint.algorithm_state.size()));
+  for (const StateVector& vec : checkpoint.algorithm_state) {
+    V1Floats(payload, vec);
+  }
+  V1Pod(payload, static_cast<uint64_t>(checkpoint.client_rng.size()));
+  for (const RngState& rng : checkpoint.client_rng) V1Rng(payload, rng);
+  V1Pod(payload, static_cast<uint64_t>(checkpoint.client_buffers.size()));
+  for (const StateVector& vec : checkpoint.client_buffers) {
+    V1Floats(payload, vec);
+  }
+  V1Pod(payload, checkpoint.trial);
+  V1Pod(payload, static_cast<uint64_t>(checkpoint.round_accuracy.size()));
+  for (const double v : checkpoint.round_accuracy) V1Pod(payload, v);
+  V1Pod(payload, static_cast<uint64_t>(checkpoint.round_loss.size()));
+  for (const double v : checkpoint.round_loss) V1Pod(payload, v);
+  V1Pod(payload, V1Fnv1a(payload.data(), payload.size()));
+  return payload;
+}
+
+TEST(CompressCheckpointTest, V1FilesStillLoadWhenCompressionOff) {
+  const FederatedDataset data = CompressData();
+  auto source = CompressServer("fedavg", CompressionConfig{}, 1, data.train);
+  source->RunRound(CompressOptions());
+  const ServerCheckpoint snapshot = source->MakeCheckpoint();
+
+  const std::string path = TestPath("compress_v1_compat.bin");
+  const std::string v1_bytes = WriteV1Bytes(snapshot);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(v1_bytes.data(),
+              static_cast<std::streamsize>(v1_bytes.size()));
+  }
+
+  StatusOr<ServerCheckpoint> loaded = ReadCheckpointFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->codec, "none");
+  EXPECT_FALSE(loaded->error_feedback);
+  EXPECT_EQ(static_cast<int64_t>(loaded->client_residuals.size()),
+            loaded->num_clients);
+  for (const StateVector& residual : loaded->client_residuals) {
+    EXPECT_TRUE(residual.empty());
+  }
+  EXPECT_EQ(loaded->cumulative_bytes_uplink,
+            loaded->cumulative_upload_floats * 4);
+
+  // Restores into a compression-off server and continues bit-identically.
+  auto resumed = CompressServer("fedavg", CompressionConfig{}, 1, data.train);
+  ASSERT_TRUE(resumed->RestoreCheckpoint(*loaded).ok());
+  source->RunRound(CompressOptions());
+  resumed->RunRound(CompressOptions());
+  EXPECT_EQ(resumed->global_state(), source->global_state());
+
+  // But not into a compressed server: the codec fingerprint differs.
+  auto compressed = CompressServer("fedavg", Int8Ef(), 1, data.train);
+  EXPECT_FALSE(compressed->RestoreCheckpoint(*loaded).ok());
+}
+
+TEST(CompressCheckpointTest, CodecFingerprintMismatchRejectedIntact) {
+  const FederatedDataset data = CompressData();
+  auto source = CompressServer("fedavg", Int8Ef(), 1, data.train);
+  source->RunRound(CompressOptions());
+  const ServerCheckpoint checkpoint = source->MakeCheckpoint();
+  EXPECT_EQ(checkpoint.codec, "int8");
+  EXPECT_TRUE(checkpoint.error_feedback);
+
+  // Same codec, error feedback off: rejected, server untouched.
+  CompressionConfig no_ef;
+  no_ef.codec = CodecKind::kInt8;
+  auto target = CompressServer("fedavg", no_ef, 1, data.train);
+  const StateVector before = target->global_state();
+  EXPECT_FALSE(target->RestoreCheckpoint(checkpoint).ok());
+  EXPECT_EQ(target->global_state(), before);
+  EXPECT_EQ(target->rounds_completed(), 0);
+
+  // Different codec family: rejected.
+  CompressionConfig topk;
+  topk.codec = CodecKind::kTopK;
+  topk.error_feedback = true;
+  auto other = CompressServer("fedavg", topk, 1, data.train);
+  EXPECT_FALSE(other->RestoreCheckpoint(checkpoint).ok());
+
+  // Exact fingerprint: accepted.
+  auto matching = CompressServer("fedavg", Int8Ef(), 1, data.train);
+  EXPECT_TRUE(matching->RestoreCheckpoint(checkpoint).ok());
+}
+
+// ------------------------------------------------------- byte accounting
+
+TEST(CompressStatsTest, ByteAccountingMatchesPayloadMath) {
+  const FederatedDataset data = CompressData();
+
+  auto identity = CompressServer("fedavg", CompressionConfig{}, 1, data.train);
+  const RoundStats id_stats = identity->RunRound(CompressOptions());
+  const int64_t state_bytes =
+      static_cast<int64_t>(identity->global_state().size()) * 4;
+  // Identity: wire bytes == uncompressed bytes == arrivals * 4 * state_size.
+  EXPECT_EQ(id_stats.bytes_uplink, id_stats.bytes_uplink_uncompressed);
+  EXPECT_EQ(id_stats.bytes_uplink, id_stats.aggregated * state_bytes);
+  EXPECT_EQ(identity->cumulative_bytes_uplink(), id_stats.bytes_uplink);
+
+  CompressionConfig int8;
+  int8.codec = CodecKind::kInt8;
+  auto compressed = CompressServer("fedavg", int8, 1, data.train);
+  const RoundStats c1 = compressed->RunRound(CompressOptions());
+  const RoundStats c2 = compressed->RunRound(CompressOptions());
+  EXPECT_EQ(c1.bytes_uplink_uncompressed, c1.aggregated * state_bytes);
+  // int8 code bytes are n of 4n, so the wire ratio must clear 3.5x even with
+  // per-segment scale metadata on top.
+  EXPECT_LT(c1.bytes_uplink * 7, c1.bytes_uplink_uncompressed * 2);
+  EXPECT_GT(c1.bytes_uplink, 0);
+  EXPECT_EQ(compressed->cumulative_bytes_uplink(),
+            c1.bytes_uplink + c2.bytes_uplink);
+}
+
+TEST(CompressStatsTest, RoundStatsCsvCarriesByteColumns) {
+  RoundStats stats;
+  stats.round = 3;
+  stats.mean_local_loss = 0.5;
+  stats.aggregated = 4;
+  stats.bytes_uplink = 1234;
+  stats.bytes_uplink_uncompressed = 4936;
+  const std::string path = TestPath("compress_round_stats.csv");
+  ASSERT_TRUE(WriteRoundStatsCsv({stats}, path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(header.find("bytes_uplink,bytes_uplink_uncompressed"),
+            std::string::npos);
+  EXPECT_EQ(row, "3,0.5,4,0,0,0,0,0,1,1234,4936");
+}
+
+// ------------------------------------------------------------- flag surface
+
+TEST(CompressFlagsTest, CodecFlagsParseAndUnknownNamesRejected) {
+  const char* argv[] = {"prog", "--compress=int4", "--compress_k=0.1",
+                        "--error_feedback", "--compress_seed=9"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetString("compress", "none"), "int4");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("compress_k", 0.05), 0.1);
+  EXPECT_TRUE(flags.GetBool("error_feedback", false));
+  EXPECT_EQ(flags.GetInt64("compress_seed", 0), 9);
+  EXPECT_TRUE(flags.Validate().ok());
+  EXPECT_TRUE(ParseCodec(flags.GetString("compress", "none")).ok());
+
+  // A typo'd flag the program never queries is rejected by Validate().
+  const char* bad_argv[] = {"prog", "--compess=int8"};
+  FlagParser bad_flags(2, const_cast<char**>(bad_argv));
+  EXPECT_EQ(bad_flags.GetString("compress", "none"), "none");
+  EXPECT_FALSE(bad_flags.Validate().ok());
+
+  // A known flag with an unknown codec value fails at ParseCodec.
+  const char* bogus_argv[] = {"prog", "--compress=gzip"};
+  FlagParser bogus_flags(2, const_cast<char**>(bogus_argv));
+  const std::string name = bogus_flags.GetString("compress", "none");
+  EXPECT_TRUE(bogus_flags.Validate().ok());
+  EXPECT_FALSE(ParseCodec(name).ok());
+}
+
+}  // namespace
+}  // namespace niid

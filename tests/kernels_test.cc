@@ -217,6 +217,100 @@ TEST(KernelOracleTest, SoftmaxXentRowGradientSumsToZeroishAndFlagsArgmax) {
   EXPECT_GT(loss, 0.0);
 }
 
+// --------------------------------------------- codec kernels vs reference
+
+TEST(KernelOracleTest, MinMaxMatchesReferenceBitwise) {
+  Rng rng(41);
+  for (int64_t n : kSizes) {
+    if (n == 0) continue;  // min/max of an empty range is undefined
+    const std::vector<float> x = RandomVector(n, rng);
+    float lo = 0.f, hi = 0.f, lo_ref = 0.f, hi_ref = 0.f;
+    KernelMinMax(n, x.data(), &lo, &hi);
+    KernelMinMaxReference(n, x.data(), &lo_ref, &hi_ref);
+    EXPECT_EQ(lo, lo_ref) << "n=" << n;
+    EXPECT_EQ(hi, hi_ref) << "n=" << n;
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST(KernelOracleTest, QuantizeAffineMatchesReferenceBitwise) {
+  Rng rng(42);
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVector(n, rng);
+    float lo = 0.f, hi = 0.f;
+    if (n > 0) KernelMinMax(n, x.data(), &lo, &hi);
+    for (const int qmax : {255, 15}) {
+      const float scale = (hi - lo) / static_cast<float>(qmax);
+      const float inv_scale = scale > 0.f ? 1.0f / scale : 0.f;
+      std::vector<uint8_t> q(n, 0xee), q_ref(n, 0xee);
+      KernelQuantizeAffine(n, x.data(), lo, inv_scale, qmax, q.data());
+      KernelQuantizeAffineReference(n, x.data(), lo, inv_scale, qmax,
+                                    q_ref.data());
+      ExpectBitEqual(q, q_ref);
+      for (const uint8_t code : q) EXPECT_LE(code, qmax);
+    }
+  }
+}
+
+TEST(KernelOracleTest, DequantAxpyMatchesReferenceBitwise) {
+  Rng rng(43);
+  for (int64_t n : kSizes) {
+    std::vector<uint8_t> q(n);
+    for (auto& code : q) code = static_cast<uint8_t>(rng.UniformInt(256));
+    std::vector<float> out = RandomVector(n, rng);
+    std::vector<float> out_ref = out;
+    KernelDequantAxpy(n, q.data(), 0.037f, -1.25f, out.data());
+    KernelDequantAxpyReference(n, q.data(), 0.037f, -1.25f, out_ref.data());
+    ExpectBitEqual(out, out_ref);
+  }
+}
+
+TEST(KernelOracleTest, AbsMatchesReferenceBitwise) {
+  Rng rng(44);
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVector(n, rng);
+    std::vector<float> a(n, -7.f), a_ref(n, -7.f);
+    KernelAbs(n, x.data(), a.data());
+    KernelAbsReference(n, x.data(), a_ref.data());
+    ExpectBitEqual(a, a_ref);
+    for (int64_t i = 0; i < n; ++i) EXPECT_GE(a[i], 0.f);
+  }
+}
+
+TEST(KernelOracleTest, CountAbsGreaterMatchesReferenceBitwise) {
+  Rng rng(45);
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVector(n, rng);
+    for (const float threshold : {0.0f, 0.5f, 1.5f}) {
+      EXPECT_EQ(KernelCountAbsGreater(n, x.data(), threshold),
+                KernelCountAbsGreaterReference(n, x.data(), threshold))
+          << "n=" << n << " t=" << threshold;
+    }
+  }
+}
+
+TEST(KernelOracleTest, QuantizeRoundTripErrorBoundedByHalfStep) {
+  // The quantizer's contract: |dequant(quant(x)) - x| <= scale/2 (plus float
+  // rounding slack) for every coordinate inside [lo, hi].
+  Rng rng(46);
+  const int64_t n = 1024;
+  const std::vector<float> x = RandomVector(n, rng);
+  float lo = 0.f, hi = 0.f;
+  KernelMinMax(n, x.data(), &lo, &hi);
+  for (const int qmax : {255, 15}) {
+    const float scale = (hi - lo) / static_cast<float>(qmax);
+    const float inv_scale = scale > 0.f ? 1.0f / scale : 0.f;
+    std::vector<uint8_t> q(n);
+    KernelQuantizeAffine(n, x.data(), lo, inv_scale, qmax, q.data());
+    std::vector<float> reconstructed(n, 0.f);
+    KernelDequantAxpy(n, q.data(), scale, lo, reconstructed.data());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::fabs(reconstructed[i] - x[i]), 0.51f * scale)
+          << "qmax=" << qmax << " i=" << i;
+    }
+  }
+}
+
 // ------------------------------------------------- thread invariance
 
 // Runs `body(pool)` for no-pool and 1/2/8-thread pools, returning the

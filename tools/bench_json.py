@@ -2,7 +2,7 @@
 """Run a micro-benchmark suite and emit a machine-readable BENCH_*.json.
 
 Usage:
-    tools/bench_json.py [--suite gemm|step|round]
+    tools/bench_json.py [--suite gemm|step|round|faults|compress]
                         [--bench-binary build/bench/bench_micro_engine]
                         [--output BENCH_<suite>.json] [--min-time 0.1]
                         [--threads N] [--compare OLD.json]
@@ -55,6 +55,17 @@ the degradation (fault-free accuracy minus accuracy at the heaviest fault
 level), and the headline boolean fednova_degrades_less_than_fedavg — the
 tau-normalization claim from the paper's device-heterogeneity discussion.
 
+Suite "compress" (BM_Compress*): bytes-on-wire vs accuracy for the update
+codec layer. BM_CompressTrain trains the fault suite's label-skewed
+federation under each codec (error feedback on) and exports bytes/round,
+the measured and code-only compression ratios, and the replica-averaged
+final accuracy; BM_CompressEncode/Decode time the codec kernels in
+isolation. The summary tables each codec against the uncompressed baseline
+and evaluates the acceptance checks — int8 reaches its 4x design ratio,
+int4 and top-k clear 8x on the wire, and none of the three costs more than
+half an accuracy point (rand-k's gap is reported but not gated: shipping
+5% of coordinates chosen blindly is the known-lossy point of that codec).
+
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
 
@@ -75,6 +86,7 @@ SUITE_FILTER = {
     "step": "^BM_Step|^BM_SimpleCnnStep",
     "round": "^BM_Round|^BM_Eval",
     "faults": "^BM_Fault",
+    "compress": "^BM_Compress",
 }
 
 # Suites whose benchmarks are pure latency measurements of the engine: a
@@ -225,11 +237,73 @@ def faults_summary(entries: dict) -> dict:
     }
 
 
+def compress_summary(entries: dict) -> dict:
+    # BM_CompressTrain/<i> indexes kCompressCases in bench_micro_engine.cpp.
+    codecs = {"0": "none", "1": "int8", "2": "int4", "3": "topk", "4": "randk"}
+
+    def train(index: str) -> dict:
+        return entries.get(f"BM_CompressTrain/{index}", {})
+
+    baseline = train("0").get("final_accuracy")
+    by_codec: dict = {}
+    for index, name in codecs.items():
+        entry = train(index)
+        if not entry:
+            continue
+        accuracy = entry.get("final_accuracy")
+        by_codec[name] = {
+            "bytes_per_round": entry.get("bytes_per_round"),
+            "measured_ratio": entry.get("measured_ratio"),
+            "code_only_ratio": entry.get("code_only_ratio"),
+            "final_accuracy": accuracy,
+            # Positive = the codec lost accuracy vs the float32 baseline.
+            "accuracy_gap_vs_uncompressed": (
+                baseline - accuracy
+                if baseline is not None and accuracy is not None
+                else None
+            ),
+        }
+
+    def gap_ok(name: str):
+        gap = by_codec.get(name, {}).get("accuracy_gap_vs_uncompressed")
+        return gap <= 0.005 if gap is not None else None
+
+    def ratio_ok(name: str, key: str, floor: float):
+        ratio = by_codec.get(name, {}).get(key)
+        return ratio >= floor if ratio is not None else None
+
+    def coords_per_second(family: str) -> dict:
+        return {
+            codecs[i]: entries[f"{family}/{i}"]["items_per_second"]
+            for i in ("1", "2", "3", "4")
+            if "items_per_second" in entries.get(f"{family}/{i}", {})
+        }
+
+    return {
+        "uncompressed_accuracy": baseline,
+        "by_codec": by_codec,
+        "encode_coords_per_second": coords_per_second("BM_CompressEncode"),
+        "decode_coords_per_second": coords_per_second("BM_CompressDecode"),
+        "checks": {
+            # The design ratio gates the fixed-width codecs (per-segment
+            # scale metadata keeps the measured ratio asymptotically below
+            # it on small models); the wire gates the sparsifiers.
+            "int8_reaches_4x": ratio_ok("int8", "code_only_ratio", 4.0),
+            "int4_reaches_8x": ratio_ok("int4", "code_only_ratio", 8.0),
+            "topk_reaches_8x_on_wire": ratio_ok("topk", "measured_ratio", 8.0),
+            "int8_gap_within_half_point": gap_ok("int8"),
+            "int4_gap_within_half_point": gap_ok("int4"),
+            "topk_gap_within_half_point": gap_ok("topk"),
+        },
+    }
+
+
 SUITE_SUMMARY = {
     "gemm": gemm_summary,
     "step": step_summary,
     "round": round_summary,
     "faults": faults_summary,
+    "compress": compress_summary,
 }
 
 
@@ -399,7 +473,16 @@ def main() -> int:
             entry["items_per_second"] = bench["items_per_second"]
             if args.suite == "gemm":
                 entry["gflops"] = bench["items_per_second"] / 1e9
-        for key in ("peak_rss_mb", "live_model_replicas", "final_accuracy"):
+        for key in (
+            "peak_rss_mb",
+            "live_model_replicas",
+            "final_accuracy",
+            "bytes_per_round",
+            "bytes_per_round_uncompressed",
+            "measured_ratio",
+            "code_only_ratio",
+            "payload_bytes",
+        ):
             if key in bench:
                 entry[key] = bench[key]
         entries[name] = entry
