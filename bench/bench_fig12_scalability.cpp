@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
                 << " final=" << niid::FormatPercent(curve.values.back())
                 << "\n";
     }
+    // Per-arm footprint. ru_maxrss is a process-wide high-water mark, so
+    // this reports "peak so far" — a genuinely per-arm number needs one
+    // process per arm (tools/bench_json.py --suite scale does exactly that).
+    niid::bench::PrintResourceFootprint(std::cout);
     std::cout << "\n";
   }
   niid::bench::PrintResourceFootprint(std::cout);

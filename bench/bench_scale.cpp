@@ -1,0 +1,114 @@
+// Scalability of the round loop itself: how far does the simulated party
+// count stretch before memory or wall time gives out?
+//
+// The sparse party engine (ExperimentConfig::sparse_parties) keeps resident
+// state O(sampled parties per round): party datasets come from a
+// LazyPartitionIndex on demand, per-party rng/control-variate state lives in
+// a map keyed by ever-sampled party, and aggregation runs through the
+// sharded reduction tree. With sample fraction f, a federation of N parties
+// costs ~f*N resident parties per round — at N=1e6 and f=1e-4 that is 100,
+// the same envelope as the paper's 100-party Figure 12 runs.
+//
+// One invocation runs ONE arm and prints a machine-readable RESULT line, so
+// that tools/bench_json.py (--suite scale) can launch a fresh subprocess per
+// arm and read a per-arm peak RSS (getrusage's ru_maxrss is a process-wide
+// high-water mark; only process isolation makes it per-arm).
+//
+// Flags (beyond the common set in bench_common.h):
+//   --parties=N      federation size (default 100000)
+//   --fraction=F     sample fraction (default so that f*N == 100)
+//   --mode=sparse|dense   engine selection (default sparse)
+//   --shards=N       reduction-tree shards (0 = one per worker thread)
+//   --identity_check re-run the arm at shards=1,threads=1 and require a
+//                    bitwise-equal final model (prints identity_ok=0/1)
+//
+// RESULT line fields: parties, mode, rounds, sampled_per_round, wall_s,
+// peak_rss_mb, final_loss, identity_ok (absent unless --identity_check).
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "fl/server.h"
+
+namespace {
+
+// Builds the single-trial server for one arm and runs it, returning the
+// final global state so arms can be compared bitwise.
+niid::StateVector RunArm(const niid::ExperimentConfig& config,
+                         double* final_loss) {
+  niid::Dataset test;
+  std::unique_ptr<niid::FederatedServer> server =
+      niid::BuildServerForTrial(config, /*trial=*/0, &test);
+  niid::LocalTrainOptions local = config.local;
+  local.learning_rate = niid::ResolveLearningRate(config);
+  double loss = 0.0;
+  for (int round = 0; round < config.rounds; ++round) {
+    loss = server->RunRound(local).mean_local_loss;
+  }
+  if (final_loss != nullptr) *final_loss = loss;
+  return server->global_state();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const niid::FlagParser flags(argc, argv);
+  niid::ExperimentConfig config = niid::bench::BaseConfig(
+      flags, /*default_rounds=*/3, /*default_epochs=*/1);
+  config.dataset = flags.GetString("dataset", "mnist");  // -> SimpleCnn
+  config.trials = 1;
+  const int64_t parties = flags.GetInt64("parties", 100000);
+  config.partition.num_parties = static_cast<int>(parties);
+  // Default fraction: 100 sampled parties per round regardless of N, the
+  // constant-envelope regime the tentpole targets. 1e-4 at N=1e6.
+  config.sample_fraction = flags.GetDouble(
+      "fraction", 100.0 / static_cast<double>(parties));
+  const std::string mode = flags.GetString("mode", "sparse");
+  config.sparse_parties = mode == "sparse";
+  config.num_shards = flags.GetInt("shards", 0);
+  if (config.sparse_parties) {
+    // Cross-device regime: every party holds an equal-size draw from the
+    // global pool, derived on demand — the partition table is never built.
+    config.partition.cross_device_samples_per_party =
+        flags.GetInt64("samples_per_party", 64);
+  }
+  if (mode != "sparse" && mode != "dense") {
+    std::cerr << "bad --mode " << mode << " (sparse|dense)\n";
+    return 1;
+  }
+
+  niid::bench::Banner(
+      "Scalability — " + std::to_string(parties) + " parties, " + mode, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  double final_loss = 0.0;
+  const niid::StateVector state = RunArm(config, &final_loss);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double peak_rss_mb = niid::bench::PeakRssMb();
+
+  std::string identity = "";
+  if (flags.GetBool("identity_check", false)) {
+    // The sharded tree promises one canonical reduction schedule: replaying
+    // the arm serially on a single shard must land on the same bits.
+    niid::ExperimentConfig serial = config;
+    serial.num_threads = 1;
+    serial.num_shards = 1;
+    const niid::StateVector replay = RunArm(serial, nullptr);
+    identity = std::string(" identity_ok=") + (replay == state ? "1" : "0");
+  }
+
+  const int64_t sampled = std::max<int64_t>(
+      1, std::llround(config.sample_fraction * static_cast<double>(parties)));
+  niid::bench::PrintResourceFootprint(std::cout);
+  std::cout << "RESULT parties=" << parties << " mode=" << mode
+            << " rounds=" << config.rounds
+            << " sampled_per_round=" << sampled << " wall_s=" << wall_s
+            << " peak_rss_mb=" << peak_rss_mb << " final_loss=" << final_loss
+            << identity << "\n";
+  return 0;
+}

@@ -60,6 +60,18 @@ struct ExperimentConfig {
   int min_local_epochs = 0;
   /// Skew-aware party sampling under partial participation (Section 6.1).
   bool skew_aware_sampling = false;
+  /// Sparse party engine: simulate partition.num_parties parties without any
+  /// per-party resident object (fl/server.h, sparse constructor). Sampled
+  /// parties are materialized on demand from a LazyPartitionIndex, so memory
+  /// is O(sampled parties per round) and 1M-party federations fit in the
+  /// 100-party envelope. Incompatible with skew_aware_sampling; per-party
+  /// rng streams use the DeriveStreamSeed convention instead of the dense
+  /// path's split chain, so accuracy trajectories differ from an equivalent
+  /// dense run (both are valid draws of the same experiment).
+  bool sparse_parties = false;
+  /// Sparse engine only: shard count for the reduction tree (0 = one shard
+  /// per worker thread). Forwarded to ServerConfig::num_shards in BOTH modes.
+  int num_shards = 0;
 
   /// Deterministic fault injection (drop / crash / straggle / corrupt);
   /// disabled by default.

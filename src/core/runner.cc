@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "data/transforms.h"
+#include "partition/lazy_index.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -61,18 +62,6 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
 
   PartitionConfig partition_config = config.partition;
   partition_config.seed = config.seed + 7919ULL * trial;
-  const Partition partition = MakePartition(data.train, partition_config);
-
-  Rng setup_rng(config.seed + 104729ULL * trial);
-  std::vector<std::unique_ptr<Client>> clients;
-  clients.reserve(partition.num_parties());
-  for (int i = 0; i < partition.num_parties(); ++i) {
-    Rng client_rng = setup_rng.Split();
-    Dataset local =
-        MaterializeClientDataset(data.train, partition, i, client_rng);
-    clients.push_back(
-        std::make_unique<Client>(i, std::move(local), client_rng.Split()));
-  }
 
   auto algorithm_or = CreateAlgorithm(config.algorithm, config.algo);
   NIID_CHECK(algorithm_or.ok()) << algorithm_or.status().ToString();
@@ -89,6 +78,33 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
   server_config.max_resample_retries = config.max_resample_retries;
   server_config.max_update_norm = config.max_update_norm;
   server_config.compression = config.compression;
+  server_config.num_shards = config.num_shards;
+
+  if (config.sparse_parties) {
+    // Sparse party engine: no per-party objects, no dense partition table.
+    // Party datasets come from the lazy index on demand; party rng streams
+    // come from the DeriveStreamSeed family rooted at the dense path's
+    // setup seed.
+    server_config.party_stream_seed = config.seed + 104729ULL * trial;
+    if (out_test != nullptr) *out_test = std::move(data.test);
+    auto source = std::make_shared<LazyPartitionIndex>(std::move(data.train),
+                                                       partition_config);
+    return std::make_unique<FederatedServer>(
+        factory, std::move(source), std::move(*algorithm_or), server_config);
+  }
+
+  const Partition partition = MakePartition(data.train, partition_config);
+
+  Rng setup_rng(config.seed + 104729ULL * trial);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(partition.num_parties());
+  for (int i = 0; i < partition.num_parties(); ++i) {
+    Rng client_rng = setup_rng.Split();
+    Dataset local =
+        MaterializeClientDataset(data.train, partition, i, client_rng);
+    clients.push_back(
+        std::make_unique<Client>(i, std::move(local), client_rng.Split()));
+  }
 
   if (out_test != nullptr) *out_test = std::move(data.test);
   return std::make_unique<FederatedServer>(

@@ -28,22 +28,35 @@ std::vector<int64_t> SampleShape(const Dataset& dataset, int64_t n) {
 
 Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices) {
   Dataset out;
+  SubsetInto(dataset, indices, out);
+  return out;
+}
+
+void SubsetInto(const Dataset& dataset, const std::vector<int64_t>& indices,
+                Dataset& out) {
   out.name = dataset.name;
   out.num_classes = dataset.num_classes;
   const int64_t row = dataset.feature_dim();
-  out.features = Tensor(SampleShape(dataset, indices.size()));
-  out.labels.reserve(indices.size());
+  const int64_t n = static_cast<int64_t>(indices.size());
+  bool shape_ok = out.features.rank() == dataset.features.rank() &&
+                  out.features.rank() >= 1 && out.features.dim(0) == n;
+  for (int d = 1; shape_ok && d < out.features.rank(); ++d) {
+    shape_ok = out.features.dim(d) == dataset.features.dim(d);
+  }
+  if (!shape_ok) out.features.Resize(SampleShape(dataset, n));
+  out.labels.resize(indices.size());  // shrink keeps capacity
+  out.groups.clear();
+  if (!dataset.groups.empty()) out.groups.resize(indices.size());
   float* dst = out.features.data();
   const float* src = dataset.features.data();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t idx = indices[i];
     NIID_CHECK_GE(idx, 0);
     NIID_CHECK_LT(idx, dataset.size());
-    for (int64_t j = 0; j < row; ++j) dst[i * row + j] = src[idx * row + j];
-    out.labels.push_back(dataset.labels[idx]);
-    if (!dataset.groups.empty()) out.groups.push_back(dataset.groups[idx]);
+    KernelCopy(row, src + idx * row, dst + i * row);
+    out.labels[i] = dataset.labels[idx];
+    if (!dataset.groups.empty()) out.groups[i] = dataset.groups[idx];
   }
-  return out;
 }
 
 std::pair<Tensor, std::vector<int>> GatherBatch(

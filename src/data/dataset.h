@@ -43,6 +43,13 @@ std::vector<int64_t> CountLabels(const Dataset& dataset);
 /// Copies the samples at `indices` into a new Dataset (metadata preserved).
 Dataset Subset(const Dataset& dataset, const std::vector<int64_t>& indices);
 
+/// Storage-reusing variant of Subset: gathers into `out`, resizing its
+/// tensors/vectors only when the subset shape actually changes. This is the
+/// sparse party engine's per-round materialization path — an on-demand shard
+/// view instead of a per-party Dataset copy held for the whole run.
+void SubsetInto(const Dataset& dataset, const std::vector<int64_t>& indices,
+                Dataset& out);
+
 /// Gathers a mini-batch: X has the dataset's per-sample shape with leading
 /// dimension indices.size(); y holds the matching labels.
 std::pair<Tensor, std::vector<int>> GatherBatch(

@@ -1,0 +1,44 @@
+#ifndef NIID_DATA_PARTY_SOURCE_H_
+#define NIID_DATA_PARTY_SOURCE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace niid {
+
+/// Produces any party's local dataset on demand, as a pure function of the
+/// party id. This is the contract the sparse party engine is built on: with
+/// P = 1M simulated parties and a per-round sample fraction of 1e-4, the
+/// server touches ~100 parties per round and must never hold per-party state
+/// for the other 999,900. A PartySource owns the global training data plus
+/// O(1)-or-O(classes) derivation caches, and answers MaterializeParty for an
+/// arbitrary id without having visited any other id first.
+///
+/// Requirements on implementations:
+///  - Purity: MaterializeParty(id, ...) yields bit-identical features/labels
+///    every call, independent of call order and of which other ids were
+///    materialized before. All randomness must come from generators seeded as
+///    a pure function of (source seed, id) — see DeriveStreamSeed.
+///  - Thread safety: concurrent MaterializeParty calls with distinct `out`
+///    buffers must be safe (the round loop materializes the sampled parties
+///    from worker threads). Shared caches must therefore be immutable after
+///    construction.
+class PartySource {
+ public:
+  virtual ~PartySource() = default;
+
+  /// Total number of simulated parties.
+  virtual int64_t num_parties() const = 0;
+
+  /// Number of label classes in the underlying task.
+  virtual int64_t num_classes() const = 0;
+
+  /// Builds party `id`'s local dataset into `out`, reusing its storage
+  /// (SubsetInto semantics). Guaranteed non-empty for every valid id.
+  virtual void MaterializeParty(int64_t id, Dataset& out) const = 0;
+};
+
+}  // namespace niid
+
+#endif  // NIID_DATA_PARTY_SOURCE_H_

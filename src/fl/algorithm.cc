@@ -20,6 +20,58 @@ std::unique_ptr<FlAlgorithm> MakeAlgorithm(Args&&... args) {
 
 }  // namespace
 
+void FlAlgorithm::Aggregate(StateVector& global,
+                            const std::vector<LocalUpdate>& updates,
+                            const std::vector<StateSegment>& layout) {
+  // Copy, then run the canonical reduction serially on one shard. The
+  // sharded overload consumes its updates; this form exists so callers with
+  // const update sets (tests, benches) keep working unchanged.
+  std::vector<LocalUpdate> consumed(updates);
+  ShardReducer reducer;
+  reducer.Configure(1, nullptr, static_cast<int64_t>(consumed.size()));
+  Aggregate(global, consumed, layout, reducer);
+}
+
+// NIID_HOT: per-round aggregation step shared by every weighted-average
+// algorithm; the reducer owns the elementwise work, this frame only derives
+// the per-update coefficients (exact integer/double scalar math, serial in
+// slot order) and applies the reduced root.
+void FlAlgorithm::WeightedAverageDeltas(StateVector& global,
+                                        std::vector<LocalUpdate>& updates,
+                                        const std::vector<StateSegment>& layout,
+                                        float server_lr,
+                                        bool average_bn_buffers,
+                                        ShardReducer& reducer) {
+  if (updates.empty()) return;
+  double n = 0.0;
+  for (const LocalUpdate& update : updates) n += update.num_samples;
+  NIID_CHECK_GT(n, 0.0);
+  // NOLINTNEXTLINE(niid-hot-alloc) grow-only round scratch
+  coeff_scratch_.resize(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    NIID_CHECK_EQ(updates[j].delta.size(), global.size());
+    coeff_scratch_[j] =
+        server_lr * static_cast<float>(updates[j].num_samples / n);
+  }
+  const StateVector& acc =
+      reducer.ReduceScaled(updates, coeff_scratch_, ShardReducer::Field::kDelta);
+  SubtractOnSegments(global, acc, layout, average_bn_buffers);
+}
+
+// NIID_HOT: root application of the reduced aggregate.
+void FlAlgorithm::SubtractOnSegments(StateVector& global,
+                                     const StateVector& value,
+                                     const std::vector<StateSegment>& layout,
+                                     bool average_bn_buffers) {
+  NIID_CHECK_EQ(value.size(), global.size());
+  for (const StateSegment& seg : layout) {
+    if (!seg.trainable && !average_bn_buffers) continue;
+    for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
+      global[i] -= value[i];
+    }
+  }
+}
+
 StatusOr<std::unique_ptr<FlAlgorithm>> CreateAlgorithm(
     const std::string& name, const AlgorithmConfig& config) {
   NIID_CHECK_GE(config.fedprox_mu, 0.f);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fl/client.h"
+#include "fl/shard.h"
 #include "fl/workspace.h"
 #include "nn/parameters.h"
 #include "util/status.h"
@@ -60,6 +61,15 @@ class FlAlgorithm {
     (void)state_size;
   }
 
+  /// Called serially before a round's (possibly concurrent) RunClient calls
+  /// with the party ids about to train, so algorithms can set up per-client
+  /// state without concurrent mutation — SCAFFOLD creates missing control
+  /// variates here, which is what lets its per-client table stay sized
+  /// O(ever-sampled) instead of O(num_clients) at cross-device scale.
+  virtual void PrepareClients(const std::vector<int>& client_ids) {
+    (void)client_ids;
+  }
+
   /// Runs local training for one (sampled) party inside the checked-out
   /// workspace `ctx` (exclusively the caller's for the duration of the
   /// call).
@@ -68,9 +78,21 @@ class FlAlgorithm {
                                 const LocalTrainOptions& options) = 0;
 
   /// Folds this round's updates into `global` (Algorithm 1 line 9/10).
-  virtual void Aggregate(StateVector& global,
-                         const std::vector<LocalUpdate>& updates,
-                         const std::vector<StateSegment>& layout) = 0;
+  /// The algorithm derives one scale coefficient per update, hands the
+  /// elementwise reduction to `reducer` (canonical pairwise tree,
+  /// fl/shard.h — bit-identical for any shard/thread count), and applies
+  /// only the reduced root to the global state. `updates` is consumed: the
+  /// reduction scales and folds the update buffers in place (scalar fields
+  /// survive untouched).
+  virtual void Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                         const std::vector<StateSegment>& layout,
+                         ShardReducer& reducer) = 0;
+
+  /// Convenience form for tests and benches: copies `updates` and runs the
+  /// same canonical reduction serially on one shard, which is bit-identical
+  /// to any sharded execution by construction.
+  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout);
 
   /// Upload size in floats per participating party per round (communication
   /// accounting; SCAFFOLD doubles it).
@@ -98,11 +120,23 @@ class FlAlgorithm {
  protected:
   /// Shared FedAvg-style weighted-average step:
   ///   global -= server_lr * sum_i (n_i / n) * delta_i
-  /// Buffer segments are skipped when average_bn_buffers is false.
-  static void WeightedAverageDeltas(StateVector& global,
-                                    const std::vector<LocalUpdate>& updates,
-                                    const std::vector<StateSegment>& layout,
-                                    float server_lr, bool average_bn_buffers);
+  /// with the sum reduced by `reducer` in canonical tree order. Buffer
+  /// segments are skipped when average_bn_buffers is false (the reduction
+  /// still covers them — only the application to `global` is gated).
+  void WeightedAverageDeltas(StateVector& global,
+                             std::vector<LocalUpdate>& updates,
+                             const std::vector<StateSegment>& layout,
+                             float server_lr, bool average_bn_buffers,
+                             ShardReducer& reducer);
+
+  /// global[i] -= value[i] on the layout segments selected by
+  /// `average_bn_buffers` (non-trainable segments skip when it is false).
+  static void SubtractOnSegments(StateVector& global, const StateVector& value,
+                                 const std::vector<StateSegment>& layout,
+                                 bool average_bn_buffers);
+
+  /// Reused per-round coefficient scratch (grow-only, O(sampled parties)).
+  std::vector<float> coeff_scratch_;
 };
 
 /// Factory: "fedavg", "fedprox", "scaffold", "fednova".

@@ -14,8 +14,10 @@ namespace {
 constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'C', 'K', 'P', 'T'};
 /// v1: pre-compression format. v2 adds the codec fingerprint (name,
 /// error-feedback bit, codec seed), cumulative wire bytes, and per-party
-/// error-feedback residuals. Readers accept both; writers emit v2.
-constexpr uint32_t kVersion = 2;
+/// error-feedback residuals. v3 adds the sparse party-id table (empty in
+/// dense checkpoints, so dense v3 files carry 8 extra bytes over v2).
+/// Readers accept all three; writers emit v3.
+constexpr uint32_t kVersion = 3;
 
 uint64_t Fnv1a(const char* data, size_t size) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -50,6 +52,13 @@ void AppendDoubles(std::string& out, const std::vector<double>& values) {
   if (values.empty()) return;  // data() may be null on an empty vector
   out.append(reinterpret_cast<const char*>(values.data()),
              values.size() * sizeof(double));
+}
+
+void AppendInt64s(std::string& out, const std::vector<int64_t>& values) {
+  AppendPod(out, static_cast<uint64_t>(values.size()));
+  if (values.empty()) return;  // data() may be null on an empty vector
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(int64_t));
 }
 
 void AppendRngState(std::string& out, const RngState& rng) {
@@ -106,6 +115,18 @@ class Cursor {
       std::memcpy(values.data(), data_ + pos_, count * sizeof(double));
     }
     pos_ += count * sizeof(double);
+    return true;
+  }
+
+  bool ReadInt64s(std::vector<int64_t>& values) {
+    uint64_t count = 0;
+    if (!ReadPod(count)) return false;
+    if (count > (size_ - pos_) / sizeof(int64_t)) return false;
+    values.resize(count);
+    if (count > 0) {
+      std::memcpy(values.data(), data_ + pos_, count * sizeof(int64_t));
+    }
+    pos_ += count * sizeof(int64_t);
     return true;
   }
 
@@ -178,6 +199,8 @@ Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
   for (const StateVector& vec : checkpoint.client_residuals) {
     AppendFloats(payload, vec);
   }
+  AppendPod(payload, static_cast<uint8_t>(checkpoint.sparse ? 1 : 0));
+  AppendInt64s(payload, checkpoint.party_ids);
   AppendPod(payload, checkpoint.trial);
   AppendDoubles(payload, checkpoint.round_accuracy);
   AppendDoubles(payload, checkpoint.round_loss);
@@ -230,7 +253,7 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
   if (!cursor.ReadPod(version)) {
     return Status::DataLoss("truncated checkpoint header");
   }
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
   }
@@ -309,6 +332,13 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
       }
     }
   }
+  if (version >= 3) {
+    uint8_t sparse = 0;
+    if (!cursor.ReadPod(sparse) || !cursor.ReadInt64s(checkpoint.party_ids)) {
+      return Status::DataLoss("truncated party id table");
+    }
+    checkpoint.sparse = sparse != 0;
+  }
   if (!cursor.ReadPod(checkpoint.trial) ||
       !cursor.ReadDoubles(checkpoint.round_accuracy) ||
       !cursor.ReadDoubles(checkpoint.round_loss)) {
@@ -327,10 +357,30 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
       checkpoint.state_size) {
     return Status::InvalidArgument("global state size mismatch");
   }
-  if (static_cast<int64_t>(checkpoint.client_rng.size()) !=
-          checkpoint.num_clients ||
+  // Dense checkpoints carry one entry per party; sparse checkpoints carry
+  // one entry per listed party id (strictly ascending, in range).
+  if (!checkpoint.sparse && !checkpoint.party_ids.empty()) {
+    return Status::InvalidArgument("dense checkpoint with a party id table");
+  }
+  const int64_t party_entries =
+      checkpoint.sparse ? static_cast<int64_t>(checkpoint.party_ids.size())
+                        : checkpoint.num_clients;
+  if (checkpoint.sparse) {
+    if (party_entries > checkpoint.num_clients) {
+      return Status::InvalidArgument("more party ids than parties");
+    }
+    int64_t previous = -1;
+    for (const int64_t id : checkpoint.party_ids) {
+      if (id <= previous || id >= checkpoint.num_clients) {
+        return Status::InvalidArgument(
+            "party ids must be strictly ascending and in range");
+      }
+      previous = id;
+    }
+  }
+  if (static_cast<int64_t>(checkpoint.client_rng.size()) != party_entries ||
       static_cast<int64_t>(checkpoint.client_buffers.size()) !=
-          checkpoint.num_clients) {
+          party_entries) {
     return Status::InvalidArgument("per-client state count mismatch");
   }
   // v1 files predate the codec layer: they describe an identity-codec run
@@ -345,12 +395,12 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
                                    checkpoint.codec + "'");
   }
   // An absent residual section (v1 files, or writers that never compressed)
-  // normalizes to one empty residual per party.
+  // normalizes to one empty residual per party entry.
   if (checkpoint.client_residuals.empty()) {
-    checkpoint.client_residuals.resize(checkpoint.num_clients);
+    checkpoint.client_residuals.resize(party_entries);
   }
   if (static_cast<int64_t>(checkpoint.client_residuals.size()) !=
-      checkpoint.num_clients) {
+      party_entries) {
     return Status::InvalidArgument("per-client residual count mismatch");
   }
   for (const StateVector& vec : checkpoint.client_residuals) {

@@ -49,6 +49,16 @@ struct ServerCheckpoint {
   /// Per-party error-feedback residuals (v2; empty until the party's first
   /// compressed round with error feedback on).
   std::vector<StateVector> client_residuals;
+  /// Sparse party engine (v3). When false (dense), the per-party vectors
+  /// above hold all `num_clients` parties in id order and party_ids is
+  /// empty. When true, entry i of the per-party vectors belongs to party
+  /// party_ids[i]; ids are strictly ascending and only ever-sampled parties
+  /// appear, so the file stays O(sampled) even when num_clients is 1M. The
+  /// shard/reduction topology is deliberately NOT serialized — it is derived
+  /// from ServerConfig at restore time, and aggregation is bit-identical
+  /// across shard counts anyway.
+  bool sparse = false;
+  std::vector<int64_t> party_ids;
 
   /// Experiment-runner bookkeeping (unused by FederatedServer itself): which
   /// trial this belongs to and the accuracy/loss curve accumulated so far.

@@ -13,6 +13,8 @@ Client::Client(int id, Dataset data, Rng init_rng)
   NIID_CHECK_GT(data_.size(), 0) << "client " << id << " has no data";
 }
 
+Client::Client(int id, Rng rng) : id_(id), rng_(rng) {}
+
 void Client::LoadPersonalState(Module& model,
                                const std::vector<StateSegment>& layout,
                                const StateVector& global) const {
@@ -34,6 +36,8 @@ LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
                           const GradHook& grad_hook) {
   NIID_CHECK_GE(options.local_epochs, 1);
   NIID_CHECK_GE(options.batch_size, 1);
+  // Shell clients (sparse engine) must have been filled before training.
+  NIID_CHECK_GT(data_.size(), 0) << "client " << id_ << " has no data";
 
   // Receive the global model into the borrowed workspace. With
   // keep_local_buffers (FedBN-style ablation) the party's own BatchNorm

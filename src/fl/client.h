@@ -54,12 +54,26 @@ class Client {
   /// Split, matching the historical stream derivation bit-for-bit).
   Client(int id, Dataset data, Rng init_rng);
 
+  /// Shell constructor for the sparse party engine: a reusable per-slot
+  /// client whose dataset is filled in (mutable_data + a PartySource) and
+  /// whose identity/rng are reinstalled (Rebind + RestoreRngState) each time
+  /// the slot impersonates a different sampled party. `rng` is installed
+  /// as-is — no Split — because sparse streams are derived with
+  /// DeriveStreamSeed, not from a parent generator.
+  Client(int id, Rng rng);
+
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// Repoints this slot at party `id`. Sparse engine only; the caller must
+  /// also reinstall the party's rng state, dataset, and durable buffers.
+  void Rebind(int id) { id_ = id; }
 
   int id() const { return id_; }
   int64_t num_samples() const { return data_.size(); }
   const Dataset& data() const { return data_; }
+  /// Slot refill target for the sparse engine (SubsetInto semantics).
+  Dataset& mutable_data() { return data_; }
 
   /// Called after every backward pass and before the SGD step; algorithms
   /// inject their gradient corrections here (FedProx's proximal term,

@@ -4,29 +4,6 @@
 
 namespace niid {
 
-// NIID_HOT: per-round aggregation inner loop shared by every algorithm;
-// iterates updates in sampled order so the reduction order is fixed.
-void FlAlgorithm::WeightedAverageDeltas(
-    StateVector& global, const std::vector<LocalUpdate>& updates,
-    const std::vector<StateSegment>& layout, float server_lr,
-    bool average_bn_buffers) {
-  if (updates.empty()) return;
-  double n = 0.0;
-  for (const LocalUpdate& update : updates) n += update.num_samples;
-  NIID_CHECK_GT(n, 0.0);
-  for (const LocalUpdate& update : updates) {
-    NIID_CHECK_EQ(update.delta.size(), global.size());
-    const float weight =
-        server_lr * static_cast<float>(update.num_samples / n);
-    for (const StateSegment& seg : layout) {
-      if (!seg.trainable && !average_bn_buffers) continue;
-      for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
-        global[i] -= weight * update.delta[i];
-      }
-    }
-  }
-}
-
 void FedAvg::Initialize(int num_clients, int64_t state_size) {
   (void)num_clients;
   if (config_.server_momentum > 0.f) {
@@ -60,28 +37,28 @@ Status FedAvg::LoadAlgorithmState(const std::vector<StateVector>& state) {
   return Status::Ok();
 }
 
-void FedAvg::Aggregate(StateVector& global,
-                       const std::vector<LocalUpdate>& updates,
-                       const std::vector<StateSegment>& layout) {
+void FedAvg::Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                       const std::vector<StateSegment>& layout,
+                       ShardReducer& reducer) {
   if (config_.server_momentum <= 0.f) {
     WeightedAverageDeltas(global, updates, layout, config_.server_lr,
-                          config_.average_bn_buffers);
+                          config_.average_bn_buffers, reducer);
     return;
   }
-  // FedAvgM: v = m * v + weighted_avg_delta; w -= server_lr * v.
+  // FedAvgM: v = m * v + weighted_avg_delta; w -= server_lr * v. The
+  // weighted average comes out of the reducer's canonical tree.
   if (updates.empty()) return;
   NIID_CHECK_EQ(velocity_.size(), global.size());
   double n = 0.0;
   for (const LocalUpdate& update : updates) n += update.num_samples;
   NIID_CHECK_GT(n, 0.0);
-  StateVector average(global.size(), 0.f);
-  for (const LocalUpdate& update : updates) {
-    NIID_CHECK_EQ(update.delta.size(), global.size());
-    const float weight = static_cast<float>(update.num_samples / n);
-    for (size_t i = 0; i < average.size(); ++i) {
-      average[i] += weight * update.delta[i];
-    }
+  coeff_scratch_.resize(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    NIID_CHECK_EQ(updates[j].delta.size(), global.size());
+    coeff_scratch_[j] = static_cast<float>(updates[j].num_samples / n);
   }
+  const StateVector& average = reducer.ReduceScaled(
+      updates, coeff_scratch_, ShardReducer::Field::kDelta);
   for (const StateSegment& seg : layout) {
     if (!seg.trainable && !config_.average_bn_buffers) continue;
     for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {

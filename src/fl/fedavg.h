@@ -19,8 +19,10 @@ class FedAvg : public FlAlgorithm {
   LocalUpdate RunClient(Client& client, TrainContext& ctx,
                         const StateVector& global,
                         const LocalTrainOptions& options) override;
-  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
-                 const std::vector<StateSegment>& layout) override;
+  using FlAlgorithm::Aggregate;
+  void Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout,
+                 ShardReducer& reducer) override;
   std::vector<StateVector> SaveAlgorithmState() const override;
   Status LoadAlgorithmState(const std::vector<StateVector>& state) override;
 

@@ -12,9 +12,9 @@ LocalUpdate FedNova::RunClient(Client& client, TrainContext& ctx,
   return client.Train(ctx, global, local);
 }
 
-void FedNova::Aggregate(StateVector& global,
-                        const std::vector<LocalUpdate>& updates,
-                        const std::vector<StateSegment>& layout) {
+void FedNova::Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                        const std::vector<StateSegment>& layout,
+                        ShardReducer& reducer) {
   if (updates.empty()) return;
   double n = 0.0;
   for (const LocalUpdate& update : updates) {
@@ -22,23 +22,22 @@ void FedNova::Aggregate(StateVector& global,
     n += update.num_samples;
   }
   NIID_CHECK_GT(n, 0.0);
-  // tau_eff = sum_i (n_i / n) * tau_i.
+  // tau_eff = sum_i (n_i / n) * tau_i. Scalar sums stay serial in slot
+  // order (exact double folds, independent of the shard layout).
   double tau_eff = 0.0;
   for (const LocalUpdate& update : updates) {
     tau_eff += update.num_samples / n * static_cast<double>(update.tau);
   }
-  for (const LocalUpdate& update : updates) {
-    NIID_CHECK_EQ(update.delta.size(), global.size());
-    const float weight = static_cast<float>(
-        config_.server_lr * tau_eff * update.num_samples /
-        (n * static_cast<double>(update.tau)));
-    for (const StateSegment& seg : layout) {
-      if (!seg.trainable && !config_.average_bn_buffers) continue;
-      for (int64_t i = seg.offset; i < seg.offset + seg.size; ++i) {
-        global[i] -= weight * update.delta[i];
-      }
-    }
+  coeff_scratch_.resize(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    NIID_CHECK_EQ(updates[j].delta.size(), global.size());
+    coeff_scratch_[j] = static_cast<float>(
+        config_.server_lr * tau_eff * updates[j].num_samples /
+        (n * static_cast<double>(updates[j].tau)));
   }
+  const StateVector& acc = reducer.ReduceScaled(
+      updates, coeff_scratch_, ShardReducer::Field::kDelta);
+  SubtractOnSegments(global, acc, layout, config_.average_bn_buffers);
 }
 
 }  // namespace niid

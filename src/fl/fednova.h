@@ -22,8 +22,10 @@ class FedNova : public FlAlgorithm {
   LocalUpdate RunClient(Client& client, TrainContext& ctx,
                         const StateVector& global,
                         const LocalTrainOptions& options) override;
-  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
-                 const std::vector<StateSegment>& layout) override;
+  using FlAlgorithm::Aggregate;
+  void Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout,
+                 ShardReducer& reducer) override;
 
  private:
   AlgorithmConfig config_;

@@ -50,24 +50,24 @@ LocalUpdate FedOpt::RunClient(Client& client, TrainContext& ctx,
   return client.Train(ctx, global, local);
 }
 
-void FedOpt::Aggregate(StateVector& global,
-                       const std::vector<LocalUpdate>& updates,
-                       const std::vector<StateSegment>& layout) {
+void FedOpt::Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                       const std::vector<StateSegment>& layout,
+                       ShardReducer& reducer) {
   if (updates.empty()) return;
   NIID_CHECK_EQ(m_.size(), global.size());
   double n = 0.0;
   for (const LocalUpdate& update : updates) n += update.num_samples;
   NIID_CHECK_GT(n, 0.0);
 
-  // Pseudo-gradient: the sample-weighted average delta.
-  StateVector delta(global.size(), 0.f);
-  for (const LocalUpdate& update : updates) {
-    NIID_CHECK_EQ(update.delta.size(), global.size());
-    const float weight = static_cast<float>(update.num_samples / n);
-    for (size_t i = 0; i < delta.size(); ++i) {
-      delta[i] += weight * update.delta[i];
-    }
+  // Pseudo-gradient: the sample-weighted average delta, reduced in the
+  // canonical tree order straight into the first update's buffer.
+  coeff_scratch_.resize(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    NIID_CHECK_EQ(updates[j].delta.size(), global.size());
+    coeff_scratch_[j] = static_cast<float>(updates[j].num_samples / n);
   }
+  const StateVector& delta = reducer.ReduceScaled(
+      updates, coeff_scratch_, ShardReducer::Field::kDelta);
 
   const float beta1 = config_.fedopt_beta1;
   const float beta2 = config_.fedopt_beta2;

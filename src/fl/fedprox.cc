@@ -30,11 +30,11 @@ LocalUpdate FedProx::RunClient(Client& client, TrainContext& ctx,
   return client.Train(ctx, global, local, hook);
 }
 
-void FedProx::Aggregate(StateVector& global,
-                        const std::vector<LocalUpdate>& updates,
-                        const std::vector<StateSegment>& layout) {
+void FedProx::Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                        const std::vector<StateSegment>& layout,
+                        ShardReducer& reducer) {
   WeightedAverageDeltas(global, updates, layout, config_.server_lr,
-                        config_.average_bn_buffers);
+                        config_.average_bn_buffers, reducer);
 }
 
 }  // namespace niid

@@ -20,8 +20,10 @@ class FedProx : public FlAlgorithm {
   LocalUpdate RunClient(Client& client, TrainContext& ctx,
                         const StateVector& global,
                         const LocalTrainOptions& options) override;
-  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
-                 const std::vector<StateSegment>& layout) override;
+  using FlAlgorithm::Aggregate;
+  void Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout,
+                 ShardReducer& reducer) override;
 
   float mu() const { return config_.fedprox_mu; }
 

@@ -1,5 +1,7 @@
 #include "fl/scaffold.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace niid {
@@ -7,14 +9,36 @@ namespace niid {
 void Scaffold::Initialize(int num_clients, int64_t state_size) {
   num_clients_ = num_clients;
   server_c_.assign(state_size, 0.f);
-  client_c_.assign(num_clients, StateVector(state_size, 0.f));
+  client_c_.clear();
+  zero_control_.assign(state_size, 0.f);
+}
+
+StateVector& Scaffold::EnsureClientControl(int id) {
+  auto it = client_c_.find(id);
+  if (it == client_c_.end()) {
+    // Lazy creation. Under concurrent RunClient calls the server has
+    // already inserted this entry via PrepareClients, so this branch only
+    // runs for serial callers (tests driving RunClient directly).
+    it = client_c_.emplace(id, StateVector(server_c_.size(), 0.f)).first;
+  }
+  return it->second;
+}
+
+void Scaffold::PrepareClients(const std::vector<int>& client_ids) {
+  NIID_CHECK_GT(num_clients_, 0) << "Initialize() not called";
+  for (const int id : client_ids) EnsureClientControl(id);
+}
+
+const StateVector& Scaffold::client_control(int id) const {
+  const auto it = client_c_.find(id);
+  return it == client_c_.end() ? zero_control_ : it->second;
 }
 
 LocalUpdate Scaffold::RunClient(Client& client, TrainContext& ctx,
                                 const StateVector& global,
                                 const LocalTrainOptions& options) {
   NIID_CHECK_GT(num_clients_, 0) << "Initialize() not called";
-  StateVector& c_i = client_c_.at(client.id());
+  StateVector& c_i = EnsureClientControl(client.id());
   NIID_CHECK_EQ(c_i.size(), global.size());
 
   // Correction c - c_i is constant during the round; it lives in the
@@ -72,47 +96,116 @@ LocalUpdate Scaffold::RunClient(Client& client, TrainContext& ctx,
 
 std::vector<StateVector> Scaffold::SaveAlgorithmState() const {
   std::vector<StateVector> state;
-  state.reserve(1 + client_c_.size());
+  if (num_clients_ <= kDenseControlSaveLimit) {
+    // Historical dense layout [server_c, c_0..c_{N-1}]: lazily absent
+    // entries serialize as the zeros they represent, so the bytes match
+    // every earlier revision.
+    state.reserve(1 + static_cast<size_t>(num_clients_));
+    state.push_back(server_c_);
+    for (int i = 0; i < num_clients_; ++i) state.push_back(client_control(i));
+    return state;
+  }
+  // Sparse layout [server_c, ids, c_{id}...]: only ever-sampled parties are
+  // serialized. Ids (ascending map order) are stored as exact float values.
+  state.reserve(2 + client_c_.size());
   state.push_back(server_c_);
-  for (const StateVector& c_i : client_c_) state.push_back(c_i);
+  StateVector ids;
+  ids.reserve(client_c_.size());
+  for (const auto& [id, c_i] : client_c_) {
+    NIID_CHECK_LT(id, 1 << 24) << "party id not exactly representable";
+    ids.push_back(static_cast<float>(id));
+  }
+  state.push_back(std::move(ids));
+  for (const auto& [id, c_i] : client_c_) state.push_back(c_i);
   return state;
 }
 
 Status Scaffold::LoadAlgorithmState(const std::vector<StateVector>& state) {
-  // Layout: [server_c, client_c_0, ..., client_c_{N-1}]. Validate every
-  // vector before committing any so a bad checkpoint cannot leave the
-  // control variates half-restored.
-  if (state.size() != 1 + client_c_.size()) {
-    return Status::InvalidArgument(
-        "scaffold checkpoint has " + std::to_string(state.size()) +
-        " vectors, expected " + std::to_string(1 + client_c_.size()));
-  }
-  for (const StateVector& vec : state) {
-    if (vec.size() != server_c_.size()) {
+  // Validate everything before committing anything so a bad checkpoint
+  // cannot leave the control variates half-restored.
+  if (num_clients_ <= kDenseControlSaveLimit) {
+    // Dense layout [server_c, c_0..c_{N-1}].
+    if (state.size() != 1 + static_cast<size_t>(num_clients_)) {
       return Status::InvalidArgument(
-          "scaffold control-variate size mismatch");
+          "scaffold checkpoint has " + std::to_string(state.size()) +
+          " vectors, expected " + std::to_string(1 + num_clients_));
+    }
+    for (const StateVector& vec : state) {
+      if (vec.size() != server_c_.size()) {
+        return Status::InvalidArgument(
+            "scaffold control-variate size mismatch");
+      }
+    }
+    server_c_ = state[0];
+    client_c_.clear();
+    for (int i = 0; i < num_clients_; ++i) {
+      // All-zero vectors are the lazy default; storing them would grow the
+      // table back to O(N) on every resume.
+      const StateVector& c_i = state[static_cast<size_t>(i) + 1];
+      bool all_zero = true;
+      for (const float v : c_i) {
+        if (v != 0.f) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (!all_zero) client_c_[i] = c_i;
+    }
+    return Status::Ok();
+  }
+  // Sparse layout [server_c, ids, c_{id}...].
+  if (state.size() < 2) {
+    return Status::InvalidArgument("scaffold sparse checkpoint truncated");
+  }
+  if (state[0].size() != server_c_.size()) {
+    return Status::InvalidArgument("scaffold control-variate size mismatch");
+  }
+  const StateVector& ids = state[1];
+  if (state.size() != 2 + ids.size()) {
+    return Status::InvalidArgument(
+        "scaffold sparse checkpoint has " + std::to_string(state.size()) +
+        " vectors for " + std::to_string(ids.size()) + " ids");
+  }
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const float fid = ids[k];
+    if (!(fid >= 0.f) || fid != std::floor(fid) ||
+        fid >= static_cast<float>(num_clients_)) {
+      return Status::InvalidArgument("scaffold sparse checkpoint id invalid");
+    }
+    if (k > 0 && ids[k] <= ids[k - 1]) {
+      return Status::InvalidArgument(
+          "scaffold sparse checkpoint ids not ascending");
+    }
+    if (state[2 + k].size() != server_c_.size()) {
+      return Status::InvalidArgument("scaffold control-variate size mismatch");
     }
   }
   server_c_ = state[0];
-  for (size_t i = 0; i < client_c_.size(); ++i) client_c_[i] = state[i + 1];
+  client_c_.clear();
+  for (size_t k = 0; k < ids.size(); ++k) {
+    client_c_[static_cast<int>(ids[k])] = state[2 + k];
+  }
   return Status::Ok();
 }
 
-void Scaffold::Aggregate(StateVector& global,
-                         const std::vector<LocalUpdate>& updates,
-                         const std::vector<StateSegment>& layout) {
+void Scaffold::Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                         const std::vector<StateSegment>& layout,
+                         ShardReducer& reducer) {
   WeightedAverageDeltas(global, updates, layout, config_.server_lr,
-                        config_.average_bn_buffers);
+                        config_.average_bn_buffers, reducer);
+  if (updates.empty()) return;
   // c^{t+1} = c^t + (1/N) sum Delta c_i, with N the total number of parties
   // (Algorithm 2, line 10) — under partial participation the control variate
-  // moves slowly, which is exactly the weakness Finding 8 exposes.
+  // moves slowly, which is exactly the weakness Finding 8 exposes. The sum
+  // runs through the same canonical tree as the deltas.
   const float inv_n = 1.f / static_cast<float>(num_clients_);
+  coeff_scratch_.assign(updates.size(), inv_n);
   for (const LocalUpdate& update : updates) {
     NIID_CHECK_EQ(update.delta_c.size(), server_c_.size());
-    for (size_t i = 0; i < server_c_.size(); ++i) {
-      server_c_[i] += inv_n * update.delta_c[i];
-    }
   }
+  const StateVector& acc_c = reducer.ReduceScaled(
+      updates, coeff_scratch_, ShardReducer::Field::kDeltaC);
+  for (size_t i = 0; i < server_c_.size(); ++i) server_c_[i] += acc_c[i];
 }
 
 }  // namespace niid

@@ -1,6 +1,7 @@
 #ifndef NIID_FL_SCAFFOLD_H_
 #define NIID_FL_SCAFFOLD_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,17 +18,28 @@ namespace niid {
 /// The server updates c += (1/N) * sum of Delta c_i over the sampled parties
 /// (N = total parties) and aggregates deltas like FedAvg. Communication per
 /// party doubles (model + control variate).
+///
+/// Client control variates are created lazily, the first time a party is
+/// sampled (a never-sampled party's c_i is identically zero, so nothing is
+/// lost by not storing it). This keeps the table O(ever-sampled parties)
+/// instead of O(N) * state_size, which is what makes SCAFFOLD usable at
+/// cross-device scale (N = 1M). Creation happens in PrepareClients (serial,
+/// before the round's concurrent RunClient calls); RunClient itself only
+/// reads/writes this party's existing entry.
 class Scaffold : public FlAlgorithm {
  public:
   explicit Scaffold(const AlgorithmConfig& config) : config_(config) {}
 
   std::string name() const override { return "scaffold"; }
   void Initialize(int num_clients, int64_t state_size) override;
+  void PrepareClients(const std::vector<int>& client_ids) override;
   LocalUpdate RunClient(Client& client, TrainContext& ctx,
                         const StateVector& global,
                         const LocalTrainOptions& options) override;
-  void Aggregate(StateVector& global, const std::vector<LocalUpdate>& updates,
-                 const std::vector<StateSegment>& layout) override;
+  using FlAlgorithm::Aggregate;
+  void Aggregate(StateVector& global, std::vector<LocalUpdate>& updates,
+                 const std::vector<StateSegment>& layout,
+                 ShardReducer& reducer) override;
   int64_t UploadFloatsPerClient(int64_t state_size) const override {
     return 2 * state_size;
   }
@@ -35,13 +47,27 @@ class Scaffold : public FlAlgorithm {
   Status LoadAlgorithmState(const std::vector<StateVector>& state) override;
 
   const StateVector& server_control() const { return server_c_; }
-  const StateVector& client_control(int id) const { return client_c_.at(id); }
+  /// Party `id`'s control variate; all-zero (the lazy default) when the
+  /// party has never been sampled.
+  const StateVector& client_control(int id) const;
 
  private:
+  /// Checkpoint layout switch: federations up to this size serialize the
+  /// historical dense [server_c, c_0..c_{N-1}] layout byte-for-byte; larger
+  /// ones use the sparse [server_c, ids, c_{id}...] layout (ids ascending,
+  /// stored as exact float values — party ids stay below 2^24).
+  static constexpr int kDenseControlSaveLimit = 4096;
+
+  StateVector& EnsureClientControl(int id);
+
   AlgorithmConfig config_;
   int num_clients_ = 0;
   StateVector server_c_;
-  std::vector<StateVector> client_c_;
+  /// Lazily created per-party control variates, keyed by party id (ordered
+  /// map: checkpoint serialization iterates it deterministically).
+  std::map<int, StateVector> client_c_;
+  /// What client_control returns for never-sampled parties.
+  StateVector zero_control_;
 };
 
 }  // namespace niid

@@ -49,9 +49,38 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
       fault_plan_(config.faults, config.seed),
       rng_(config.seed) {
   NIID_CHECK(!clients_.empty());
+  if (config_.skew_aware_sampling) {
+    label_histograms_.reserve(clients_.size());
+    for (const auto& client : clients_) {
+      label_histograms_.push_back(CountLabels(client->data()));
+    }
+  }
+  Init(factory);
+}
+
+FederatedServer::FederatedServer(const ModelFactory& factory,
+                                 std::shared_ptr<const PartySource> parties,
+                                 std::unique_ptr<FlAlgorithm> algorithm,
+                                 const ServerConfig& config)
+    : party_source_(std::move(parties)),
+      algorithm_(std::move(algorithm)),
+      config_(config),
+      fault_plan_(config.faults, config.seed),
+      rng_(config.seed) {
+  NIID_CHECK(party_source_ != nullptr);
+  NIID_CHECK_GE(party_source_->num_parties(), 1);
+  NIID_CHECK_LE(party_source_->num_parties(), static_cast<int64_t>(1) << 24)
+      << "party ids must stay exactly representable in float for checkpoints";
+  NIID_CHECK(!config_.skew_aware_sampling)
+      << "skew-aware sampling needs the dense per-party label histograms";
+  Init(factory);
+}
+
+void FederatedServer::Init(const ModelFactory& factory) {
   NIID_CHECK_GE(config_.min_aggregate_clients, 1);
   NIID_CHECK_GE(config_.max_resample_retries, 0);
   NIID_CHECK_GE(config_.max_update_norm, 0.0);
+  NIID_CHECK_GE(config_.num_shards, 0);
   Rng init_rng = rng_.Split();
   {
     // The global model exists only as a flat state vector; the factory model
@@ -61,18 +90,12 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
     global_state_ = FlattenState(*init_model);
     layout_ = StateLayout(*init_model);
   }
-  algorithm_->Initialize(static_cast<int>(clients_.size()),
+  algorithm_->Initialize(num_clients(),
                          static_cast<int64_t>(global_state_.size()));
   if (config_.compression.enabled()) {
     codec_ = std::make_unique<UpdateCodec>(
         config_.compression, config_.seed, layout_,
         static_cast<int64_t>(global_state_.size()));
-  }
-  if (config_.skew_aware_sampling) {
-    label_histograms_.reserve(clients_.size());
-    for (const auto& client : clients_) {
-      label_histograms_.push_back(CountLabels(client->data()));
-    }
   }
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
@@ -90,14 +113,74 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
     // bit-identical to single-threaded execution.
     workspaces_->SetComputePool(pool_.get());
   }
-  // High-water reservations for RunRound's per-round scratch: every vector
-  // is bounded by the party count, so rounds never grow them again.
-  round_survivors_.reserve(clients_.size());
-  round_attempted_.reserve(clients_.size());
-  round_options_.reserve(clients_.size());
-  round_work_.reserve(clients_.size());
-  round_updates_.reserve(clients_.size());
-  if (codec_) round_payloads_.resize(clients_.size());
+  // High-water reservations for RunRound's per-round scratch. Dense mode
+  // bounds every vector by the party count; the sparse engine bounds them by
+  // the per-round attempt budget instead, so reservations stay O(sampled)
+  // even with a million simulated parties (round_attempted_ is the one
+  // O(parties) exception — one bit per party).
+  const size_t bound = static_cast<size_t>(RoundPartyBound());
+  reducer_.Configure(config_.num_shards, pool_.get(),
+                     static_cast<int64_t>(bound));
+  round_survivors_.reserve(bound);
+  round_attempted_.reserve(static_cast<size_t>(num_clients()));
+  round_options_.reserve(bound);
+  round_work_.reserve(bound);
+  round_updates_.reserve(bound);
+  if (codec_) round_payloads_.resize(bound);
+  round_prepare_ids_.reserve(bound);
+}
+
+int64_t FederatedServer::RoundPartyBound() const {
+  const int64_t parties = num_clients();
+  if (!party_source_) return parties;
+  int64_t per_attempt = parties;
+  if (config_.sample_fraction < 1.0) {
+    per_attempt = std::max<int64_t>(
+        1,
+        std::llround(config_.sample_fraction * static_cast<double>(parties)));
+  }
+  const int64_t attempts =
+      static_cast<int64_t>(config_.max_resample_retries) + 1;
+  return std::min(parties, per_attempt * attempts);
+}
+
+void FederatedServer::PrepareSlots(const std::vector<Assignment>& work) {
+  while (slots_.size() < work.size()) {
+    // NOLINTNEXTLINE(niid-hot-alloc) grow-only slot pool, bounded by
+    // RoundPartyBound(); steady-state rounds only rebind.
+    slots_.push_back(std::make_unique<Client>(-1, Rng(0)));
+  }
+  for (size_t i = 0; i < work.size(); ++i) {
+    const int id = work[i].client_id;
+    Client& slot = *slots_[i];
+    slot.Rebind(id);
+    const auto it = party_store_.find(id);
+    if (it != party_store_.end()) {
+      slot.RestoreRngState(it->second.rng);
+      slot.set_buffer_state(it->second.buffers);
+      slot.set_residual(it->second.residual);
+    } else {
+      // First contact: the party's private stream is a pure function of
+      // (party_stream_seed, id) — O(1), no global split chain to replay.
+      const Rng fresh(DeriveStreamSeed(config_.party_stream_seed,
+                                       static_cast<uint64_t>(id)));
+      slot.RestoreRngState(fresh.SaveState());
+      slot.set_buffer_state({});
+      slot.set_residual({});
+    }
+  }
+}
+
+void FederatedServer::CommitSlots(const std::vector<Assignment>& work) {
+  for (size_t i = 0; i < work.size(); ++i) {
+    // NOLINTNEXTLINE(niid-hot-alloc) at most one new node per first-ever
+    // contact with a party; steady-state rounds overwrite in place.
+    PartyState& state = party_store_[work[i].client_id];
+    const Client& slot = *slots_[i];
+    state.rng = slot.SaveRngState();
+    state.buffers = slot.buffer_state();
+    state.residual = slot.residual();
+  }
 }
 
 // NIID_HOT: the per-round orchestration path. All round scratch lives in
@@ -117,7 +200,7 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
   std::vector<LocalUpdate>& survivors = round_survivors_;
   survivors.clear();
   std::vector<bool>& attempted = round_attempted_;
-  attempted.assign(clients_.size(), false);
+  attempted.assign(num_clients(), false);
   int num_attempted = 0;
   for (int attempt = 0;; ++attempt) {
     const std::vector<int> sampled =
@@ -182,6 +265,18 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
       work.push_back(std::move(assignment));
     }
 
+    // Serial pre-phase: let the algorithm pre-insert any per-party state the
+    // concurrent RunClient calls will read (SCAFFOLD's lazy control table),
+    // and — under the sparse engine — bind the slot clients to this round's
+    // parties, reinstalling their durable state.
+    round_prepare_ids_.clear();
+    for (const Assignment& assignment : work) {
+      // NOLINTNEXTLINE(niid-hot-alloc) within capacity reserved at startup
+      round_prepare_ids_.push_back(assignment.client_id);
+    }
+    algorithm_->PrepareClients(round_prepare_ids_);
+    if (party_source_) PrepareSlots(work);
+
     std::vector<LocalUpdate>& updates = round_updates_;
     updates.clear();
     updates.resize(work.size());  // NOLINT(niid-hot-alloc) within capacity
@@ -193,7 +288,15 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
           // bit-identical across thread counts.
           WorkspaceLease lease(*workspaces_);
           const Assignment& assignment = work[slot];
-          Client& client = *clients_[assignment.client_id];
+          Client& client = party_source_ ? *slots_[slot]
+                                         : *clients_[assignment.client_id];
+          if (party_source_) {
+            // On-demand materialization: pure in the party id and writing
+            // only this slot's storage, so it parallelizes and stays
+            // bit-identical across thread counts and visit orders.
+            party_source_->MaterializeParty(assignment.client_id,
+                                            client.mutable_data());
+          }
           if (assignment.decision.type == FaultType::kCrash) {
             // The party does (part of) the work, then dies before uploading:
             // plain local training with no algorithm hook and no durable
@@ -222,6 +325,9 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
             }
           }
         });
+    // Serial post-phase: park this round's durable party state back in the
+    // ordered table before the slots are rebound by a possible re-sample.
+    if (party_source_) CommitSlots(work);
 
     // Serial post-processing in slot order: discard crashed uploads, decode
     // compressed payloads, corrupt what the fault plan says arrives
@@ -286,20 +392,25 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
     }
   }
 
+  // Mean local loss via the reducer's ctor-reserved stats scratch, BEFORE
+  // aggregation (which consumes the survivors' state vectors — the scalar
+  // fields survive, but reading first keeps the dependency obvious). The
+  // pairwise tree makes the sum independent of shard and thread counts.
+  stats.mean_local_loss =
+      survivors.empty()
+          ? 0.0
+          : reducer_.ReduceLossSum(survivors) /
+                static_cast<double>(survivors.size());
+
   if (stats.quorum_met) {
     // Partial aggregation re-weights over the survivors: every algorithm's
     // Aggregate normalizes by the survivors' own sample counts (and SCAFFOLD
     // still divides control-variate progress by the full party count), so a
-    // round with casualties remains a valid, smaller-quorum round.
-    algorithm_->Aggregate(global_state_, survivors, layout_);
+    // round with casualties remains a valid, smaller-quorum round. The
+    // sharded reducer consumes the survivors' update vectors in place.
+    algorithm_->Aggregate(global_state_, survivors, layout_, reducer_);
     stats.aggregated = static_cast<int>(survivors.size());
   }
-
-  double loss_sum = 0.0;
-  for (const LocalUpdate& update : survivors) loss_sum += update.average_loss;
-  stats.mean_local_loss =
-      survivors.empty() ? 0.0
-                        : loss_sum / static_cast<double>(survivors.size());
   // Communication accounting: survivors and rejected updates both crossed
   // the wire; dropped and crashed parties never uploaded anything.
   cumulative_upload_floats_ +=
@@ -321,6 +432,7 @@ EvalResult FederatedServer::EvaluateGlobal(const Dataset& test,
 EvalResult FederatedServer::EvaluatePersonalized(int client_id,
                                                 const Dataset& test,
                                                 int batch_size) {
+  NIID_CHECK(!sparse()) << "personalized evaluation needs resident clients";
   Client& client = *clients_.at(client_id);
   WorkspaceLease lease(*workspaces_);
   client.LoadPersonalState(*lease->model, lease->layout, global_state_);
@@ -334,7 +446,7 @@ ServerCheckpoint FederatedServer::MakeCheckpoint() const {
   checkpoint.codec = CodecName(config_.compression.codec);
   checkpoint.error_feedback = config_.compression.error_feedback;
   checkpoint.codec_seed = config_.compression.seed;
-  checkpoint.num_clients = static_cast<int64_t>(clients_.size());
+  checkpoint.num_clients = num_clients();
   checkpoint.state_size = static_cast<int64_t>(global_state_.size());
   checkpoint.rounds_completed = rounds_completed_;
   checkpoint.cumulative_upload_floats = cumulative_upload_floats_;
@@ -342,6 +454,22 @@ ServerCheckpoint FederatedServer::MakeCheckpoint() const {
   checkpoint.server_rng = rng_.SaveState();
   checkpoint.global_state = global_state_;
   checkpoint.algorithm_state = algorithm_->SaveAlgorithmState();
+  if (party_source_) {
+    // Sparse: only ever-sampled parties have durable state; the ordered
+    // table makes the id list strictly ascending by construction.
+    checkpoint.sparse = true;
+    checkpoint.party_ids.reserve(party_store_.size());
+    checkpoint.client_rng.reserve(party_store_.size());
+    checkpoint.client_buffers.reserve(party_store_.size());
+    checkpoint.client_residuals.reserve(party_store_.size());
+    for (const auto& [id, state] : party_store_) {
+      checkpoint.party_ids.push_back(id);
+      checkpoint.client_rng.push_back(state.rng);
+      checkpoint.client_buffers.push_back(state.buffers);
+      checkpoint.client_residuals.push_back(state.residual);
+    }
+    return checkpoint;
+  }
   checkpoint.client_rng.reserve(clients_.size());
   checkpoint.client_buffers.reserve(clients_.size());
   checkpoint.client_residuals.reserve(clients_.size());
@@ -376,14 +504,24 @@ Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
         "') does not match server codec '" +
         CodecName(config_.compression.codec) + "'");
   }
-  if (checkpoint.num_clients != static_cast<int64_t>(clients_.size())) {
+  if (checkpoint.num_clients != static_cast<int64_t>(num_clients())) {
     return Status::InvalidArgument("checkpoint client count mismatch");
   }
   if (checkpoint.state_size != static_cast<int64_t>(global_state_.size())) {
     return Status::InvalidArgument("checkpoint state size mismatch");
   }
+  if (checkpoint.sparse != sparse()) {
+    return Status::InvalidArgument(
+        "checkpoint party-engine mode (sparse/dense) does not match server");
+  }
+  const size_t party_entries = sparse() ? checkpoint.party_ids.size()
+                                        : clients_.size();
+  if (checkpoint.client_rng.size() != party_entries ||
+      checkpoint.client_buffers.size() != party_entries) {
+    return Status::InvalidArgument("checkpoint per-party state count mismatch");
+  }
   if (!checkpoint.client_residuals.empty() &&
-      checkpoint.client_residuals.size() != clients_.size()) {
+      checkpoint.client_residuals.size() != party_entries) {
     return Status::InvalidArgument("checkpoint residual count mismatch");
   }
   for (const StateVector& residual : checkpoint.client_residuals) {
@@ -408,12 +546,27 @@ Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
   }
   global_state_ = checkpoint.global_state;
   rng_.RestoreState(checkpoint.server_rng);
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    clients_[i]->RestoreRngState(checkpoint.client_rng[i]);
-    clients_[i]->set_buffer_state(checkpoint.client_buffers[i]);
-    clients_[i]->set_residual(checkpoint.client_residuals.empty()
-                                  ? StateVector{}
-                                  : checkpoint.client_residuals[i]);
+  if (sparse()) {
+    party_store_.clear();
+    for (size_t i = 0; i < party_entries; ++i) {
+      const int64_t id = checkpoint.party_ids[i];
+      NIID_CHECK_GE(id, 0);
+      NIID_CHECK_LT(id, num_clients());
+      PartyState& state = party_store_[static_cast<int>(id)];
+      state.rng = checkpoint.client_rng[i];
+      state.buffers = checkpoint.client_buffers[i];
+      state.residual = checkpoint.client_residuals.empty()
+                           ? StateVector{}
+                           : checkpoint.client_residuals[i];
+    }
+  } else {
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i]->RestoreRngState(checkpoint.client_rng[i]);
+      clients_[i]->set_buffer_state(checkpoint.client_buffers[i]);
+      clients_[i]->set_residual(checkpoint.client_residuals.empty()
+                                    ? StateVector{}
+                                    : checkpoint.client_residuals[i]);
+    }
   }
   rounds_completed_ = static_cast<int>(checkpoint.rounds_completed);
   cumulative_upload_floats_ = checkpoint.cumulative_upload_floats;

@@ -1,11 +1,13 @@
 #ifndef NIID_FL_SERVER_H_
 #define NIID_FL_SERVER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/party_source.h"
 #include "fl/algorithm.h"
 #include "fl/checkpoint.h"
 #include "fl/client.h"
@@ -15,6 +17,7 @@
 #include "fl/privacy.h"
 #include "fl/workspace.h"
 #include "nn/models/factory.h"
+#include "util/check.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -57,6 +60,15 @@ struct ServerConfig {
   /// the server decodes and aggregates the DECODED update. The identity
   /// codec bypasses the layer entirely — byte-for-byte today's behavior.
   CompressionConfig compression;
+  /// Leaf count of the sharded reduction tree (fl/shard.h): 0 = one shard
+  /// per worker thread (rounded up to a power of two), >= 1 = explicit.
+  /// Aggregation results are bit-identical across every (num_shards,
+  /// num_threads) combination by construction — see DESIGN.md section 14.
+  int num_shards = 0;
+  /// Sparse engine only: seed family for per-party private streams. Party p
+  /// first trains with Rng(DeriveStreamSeed(party_stream_seed, p)) — an O(1)
+  /// derivation, unlike the dense path's O(p) chain of setup-rng splits.
+  uint64_t party_stream_seed = 0;
 };
 
 /// Server-side guard applied to every incoming update before aggregation:
@@ -70,6 +82,17 @@ class FederatedServer {
  public:
   FederatedServer(const ModelFactory& factory,
                   std::vector<std::unique_ptr<Client>> clients,
+                  std::unique_ptr<FlAlgorithm> algorithm,
+                  const ServerConfig& config);
+
+  /// Sparse party engine: simulate `parties->num_parties()` parties without
+  /// any per-party resident object. Sampled parties are materialized on
+  /// demand from the PartySource into a fixed pool of reusable slot clients;
+  /// durable per-party state (rng stream, FedBN buffers, error-feedback
+  /// residuals) lives in an ordered table holding only ever-sampled parties.
+  /// Per-round memory is O(sampled parties), independent of the total count.
+  FederatedServer(const ModelFactory& factory,
+                  std::shared_ptr<const PartySource> parties,
                   std::unique_ptr<FlAlgorithm> algorithm,
                   const ServerConfig& config);
 
@@ -113,8 +136,18 @@ class FederatedServer {
   const std::vector<StateSegment>& layout() const { return layout_; }
   void set_global_state(StateVector state);
   FlAlgorithm& algorithm() { return *algorithm_; }
-  int num_clients() const { return static_cast<int>(clients_.size()); }
-  Client& client(int i) { return *clients_.at(i); }
+  /// True when this server runs the sparse party engine.
+  bool sparse() const { return party_source_ != nullptr; }
+  int num_clients() const {
+    return party_source_ ? static_cast<int>(party_source_->num_parties())
+                         : static_cast<int>(clients_.size());
+  }
+  /// Dense mode only: the resident party objects don't exist under the
+  /// sparse engine.
+  Client& client(int i) {
+    NIID_CHECK(!sparse()) << "no resident clients under the sparse engine";
+    return *clients_.at(i);
+  }
   /// Model replicas owned by the worker pool (== max(1, num_threads)).
   int num_workspaces() const { return workspaces_->size(); }
   int rounds_completed() const { return rounds_completed_; }
@@ -136,7 +169,39 @@ class FederatedServer {
     LocalTrainOptions options;
   };
 
+  /// Durable cross-round state of one simulated party under the sparse
+  /// engine. An entry exists only once the party has actually been sampled;
+  /// the table is therefore O(ever-sampled parties), not O(total parties).
+  struct PartyState {
+    RngState rng;
+    StateVector buffers;
+    StateVector residual;
+  };
+
+  /// Shared constructor tail (model init, algorithm init, codec, pool,
+  /// workspaces, reducer, scratch reservations).
+  void Init(const ModelFactory& factory);
+  /// Sparse mode: upper bound on parties a round can attempt (sample size
+  /// times quorum attempts, capped by the population). Sizes the slot pool
+  /// and every round_* reservation.
+  int64_t RoundPartyBound() const;
+  /// Sparse mode, serial: binds slot clients [0, count) to the parties in
+  /// `work`, reinstalling each party's durable state (or deriving its fresh
+  /// rng stream on first contact).
+  void PrepareSlots(const std::vector<Assignment>& work);
+  /// Sparse mode, serial: commits the slot clients' durable state back into
+  /// the party table after the parallel training phase.
+  void CommitSlots(const std::vector<Assignment>& work);
+
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Null in dense mode; the sparse engine's dataset oracle otherwise.
+  std::shared_ptr<const PartySource> party_source_;
+  /// Sparse mode: party id -> durable state. Ordered so checkpoint
+  /// serialization and restore iterate deterministically.
+  std::map<int, PartyState> party_store_;
+  /// Sparse mode: reusable shell clients, one per concurrent work item;
+  /// grown once to RoundPartyBound() and reused every round after.
+  std::vector<std::unique_ptr<Client>> slots_;
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
   FaultPlan fault_plan_;
@@ -170,6 +235,11 @@ class FederatedServer {
   /// and the server's serial decode scratch.
   std::vector<EncodedDelta> round_payloads_;
   CodecScratch codec_scratch_;
+  /// Sharded reduction tree used by Aggregate and the round-stats loss sum;
+  /// configured once at construction (shards, pool, stats scratch capacity).
+  ShardReducer reducer_;
+  /// Serial scratch for the pre-round PrepareClients id list.
+  std::vector<int> round_prepare_ids_;
 };
 
 }  // namespace niid

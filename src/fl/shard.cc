@@ -1,0 +1,111 @@
+#include "fl/shard.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// NIID_HOT: leaf-scale kernel of the reduction tree — one multiply per
+// element per update, independent of shard/thread count.
+void ScaleInPlace(StateVector& v, float coeff) {
+  float* __restrict__ p = v.data();
+  const int64_t n = static_cast<int64_t>(v.size());
+  for (int64_t i = 0; i < n; ++i) p[i] *= coeff;
+}
+
+// NIID_HOT: combine kernel of the reduction tree — the only way partial
+// sums ever meet, so the pairing schedule alone fixes the result bits.
+void AddInPlace(StateVector& dst, const StateVector& src) {
+  float* __restrict__ d = dst.data();
+  const float* __restrict__ s = src.data();
+  const int64_t n = static_cast<int64_t>(dst.size());
+  for (int64_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+int64_t NextPowerOfTwo(int64_t value) {
+  int64_t p = 1;
+  while (p < value) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void ShardReducer::Configure(int num_shards, ThreadPool* pool,
+                             int64_t stats_capacity) {
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  const int64_t requested = num_shards > 0 ? num_shards : threads;
+  num_shards_ = static_cast<int>(NextPowerOfTwo(std::max<int64_t>(1, requested)));
+  pool_ = pool;
+  stats_scratch_.reserve(static_cast<size_t>(std::max<int64_t>(stats_capacity, 1)));
+}
+
+int64_t ShardReducer::BlockForCount(int64_t count) const {
+  // Smallest power of two >= count / num_shards, so at most num_shards
+  // blocks and every block start is 2*gap-aligned for every in-block gap.
+  return NextPowerOfTwo((count + num_shards_ - 1) / num_shards_);
+}
+
+// NIID_HOT: per-round aggregation path. The reduction runs inside the
+// updates' own buffers — no state-sized scratch, no allocation.
+StateVector& ShardReducer::ReduceScaled(std::vector<LocalUpdate>& updates,
+                                        const std::vector<float>& coeffs,
+                                        Field field) {
+  const int64_t m = static_cast<int64_t>(updates.size());
+  NIID_CHECK_GT(m, 0);
+  NIID_CHECK_EQ(coeffs.size(), updates.size());
+  auto vec = [&updates, field](int64_t j) -> StateVector& {
+    return field == Field::kDelta ? updates[j].delta : updates[j].delta_c;
+  };
+  const size_t len = vec(0).size();
+  for (int64_t j = 1; j < m; ++j) NIID_CHECK_EQ(vec(j).size(), len);
+
+  const int64_t block = BlockForCount(m);
+  const int64_t num_blocks = (m + block - 1) / block;
+  // Leaf phase: each shard scales its slots and runs every combine level
+  // that fits inside its block. Blocks touch disjoint slot ranges, so the
+  // shards are free to run concurrently; the schedule they execute is the
+  // restriction of the global tree to their slots, so the block size can
+  // never change the result bits.
+  ParallelFor(pool_, num_blocks, [&](int64_t b) {
+    const int64_t begin = b * block;
+    const int64_t end = std::min(begin + block, m);
+    for (int64_t j = begin; j < end; ++j) ScaleInPlace(vec(j), coeffs[j]);
+    for (int64_t gap = 1; gap < block; gap <<= 1) {
+      for (int64_t j = begin; j + gap < end; j += 2 * gap) {
+        AddInPlace(vec(j), vec(j + gap));
+      }
+    }
+  });
+  // Combine phase: cross-shard levels in fixed shard order. Pairs within a
+  // level write disjoint slots, so each level parallelizes; levels are
+  // barriers (ParallelFor joins before the next gap doubles).
+  for (int64_t gap = block; gap < m; gap <<= 1) {
+    const int64_t pairs = (m - gap + 2 * gap - 1) / (2 * gap);
+    ParallelFor(pool_, pairs, [&](int64_t p) {
+      const int64_t j = p * 2 * gap;
+      AddInPlace(vec(j), vec(j + gap));
+    });
+  }
+  return vec(0);
+}
+
+double ShardReducer::ReduceLossSum(const std::vector<LocalUpdate>& updates) {
+  const int64_t m = static_cast<int64_t>(updates.size());
+  if (m == 0) return 0.0;
+  // Same canonical schedule over the per-slot scalars. Scalar work is
+  // negligible, so all levels run serially — the shard structure only
+  // dictates where the partials sit (slot s*block holds shard s's partial
+  // after the in-block levels), not the result.
+  stats_scratch_.resize(static_cast<size_t>(m));  // within reserved capacity
+  for (int64_t j = 0; j < m; ++j) stats_scratch_[j] = updates[j].average_loss;
+  for (int64_t gap = 1; gap < m; gap <<= 1) {
+    for (int64_t j = 0; j + gap < m; j += 2 * gap) {
+      stats_scratch_[j] += stats_scratch_[j + gap];
+    }
+  }
+  return stats_scratch_[0];
+}
+
+}  // namespace niid

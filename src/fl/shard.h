@@ -1,0 +1,73 @@
+#ifndef NIID_FL_SHARD_H_
+#define NIID_FL_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/client.h"
+#include "util/thread_pool.h"
+
+namespace niid {
+
+/// Sharded reduction tree for server-side aggregation (DESIGN.md §14).
+///
+/// The reducer computes   acc = sum_j coeff[j] * v_j   over the round's
+/// update vectors as a *canonical* in-place pairwise tree:
+///
+///   v_j *= coeff[j]                                  (leaf scaling)
+///   for gap = 1, 2, 4, ...:  v_j += v_{j+gap}        (j = 0 mod 2*gap)
+///
+/// The floating-point operation set of this schedule depends only on the
+/// number of updates — never on the shard count or thread count. Shards are
+/// contiguous power-of-two-aligned slot blocks: every combine level with
+/// gap < block runs entirely inside one shard (disjoint writes, safe to run
+/// shards in parallel), and the remaining cross-shard levels combine shard
+/// partials pairwise in fixed shard order. Any (shards, threads) choice
+/// therefore produces bit-identical results, and "single accumulator" is
+/// simply the one-shard serial execution of the same schedule.
+///
+/// The reduction happens inside the callers' own update buffers (slot 0
+/// receives the result; slots 1.. are consumed), so aggregation needs no
+/// state-sized scratch at all — the peak-memory property the 1M-party run
+/// relies on.
+class ShardReducer {
+ public:
+  /// Which per-update vector to reduce.
+  enum class Field { kDelta, kDeltaC };
+
+  ShardReducer() = default;
+
+  /// `num_shards` <= 0 picks a power of two >= the pool's thread count;
+  /// other values round up to the next power of two. `stats_capacity`
+  /// pre-reserves the per-shard RoundStats partial scratch (one double per
+  /// update slot) so steady-state rounds stay off the allocator.
+  void Configure(int num_shards, ThreadPool* pool, int64_t stats_capacity);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Reduces coeff[j] * updates[j].<field> into updates[0].<field> via the
+  /// canonical tree above and returns it. All selected vectors must share
+  /// one size; slots 1.. are consumed (scalar fields survive untouched).
+  StateVector& ReduceScaled(std::vector<LocalUpdate>& updates,
+                            const std::vector<float>& coeffs, Field field);
+
+  /// Sum of the updates' average_loss values under the same canonical
+  /// per-slot schedule (per-shard partials live in ctor-reserved scratch, and
+  /// the cross-shard combine follows the fixed shard order), so the round's
+  /// mean local loss is bit-identical for any shard or thread count.
+  double ReduceLossSum(const std::vector<LocalUpdate>& updates);
+
+ private:
+  /// Power-of-two block (slots per shard) for an m-slot reduction.
+  int64_t BlockForCount(int64_t count) const;
+
+  int num_shards_ = 1;
+  ThreadPool* pool_ = nullptr;
+  /// Per-slot RoundStats partials (loss sums); shard s's partial sits at
+  /// slot s * block after the leaf levels.
+  std::vector<double> stats_scratch_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_SHARD_H_

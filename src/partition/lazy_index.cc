@@ -1,0 +1,202 @@
+#include "partition/lazy_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/transforms.h"
+#include "util/check.h"
+#include "util/samplers.h"
+
+namespace niid {
+namespace {
+
+// Salts separating the per-party derivation streams. Index draws use the raw
+// config seed; the label-flip and noise transforms each get their own family
+// so adding/removing a transform never shifts the index draws.
+constexpr uint64_t kFlipSalt = 0x8c7f0aac97c4aa2fULL;
+constexpr uint64_t kNoiseSalt = 0x5851f42d4c957f2dULL;
+
+bool IsCrossDeviceStrategy(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kHomogeneous:
+    case PartitionStrategy::kNoise:
+    case PartitionStrategy::kLabelDirichlet:
+    case PartitionStrategy::kLabelQuantity:
+    case PartitionStrategy::kQuantityDirichlet:
+      return true;
+    case PartitionStrategy::kSynthetic:
+    case PartitionStrategy::kRealWorld:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+LazyPartitionIndex::LazyPartitionIndex(Dataset dataset,
+                                       const PartitionConfig& config)
+    : dataset_(std::move(dataset)), config_(config) {
+  NIID_CHECK_GE(config_.num_parties, 1);
+  const int64_t n = dataset_.size();
+  NIID_CHECK_GT(n, 0);
+  if (config_.cross_device_samples_per_party > 0) {
+    NIID_CHECK(IsCrossDeviceStrategy(config_.strategy))
+        << "strategy " << config_.Label()
+        << " has no cross-device (overlapping-draw) form";
+    if (config_.strategy == PartitionStrategy::kLabelDirichlet ||
+        config_.strategy == PartitionStrategy::kLabelQuantity) {
+      NIID_CHECK_GT(dataset_.num_classes, 0);
+      class_pools_.assign(dataset_.num_classes, {});
+      for (int64_t i = 0; i < n; ++i) {
+        const int label = dataset_.labels[i];
+        NIID_CHECK_GE(label, 0);
+        NIID_CHECK_LT(label, dataset_.num_classes);
+        class_pools_[label].push_back(i);
+      }
+    }
+  } else {
+    NIID_CHECK(config_.strategy == PartitionStrategy::kHomogeneous ||
+               config_.strategy == PartitionStrategy::kNoise)
+        << "lazy disjoint derivation only exists for the equal random split; "
+        << "strategy " << config_.Label() << " needs MakePartition";
+    NIID_CHECK_GE(n, config_.num_parties)
+        << "disjoint split would leave empty parties";
+    // The exact permutation HomogeneousSplit draws: MakePartition seeds
+    // Rng(config.seed) and its first use is this shuffle.
+    shuffled_.resize(n);
+    std::iota(shuffled_.begin(), shuffled_.end(), 0);
+    Rng rng(config_.seed);
+    rng.Shuffle(shuffled_);
+  }
+}
+
+void LazyPartitionIndex::PartyIndices(int64_t id,
+                                      std::vector<int64_t>& out) const {
+  NIID_CHECK_GE(id, 0);
+  NIID_CHECK_LT(id, config_.num_parties);
+  const int64_t n = dataset_.size();
+  out.clear();
+  if (config_.cross_device_samples_per_party <= 0) {
+    // Disjoint lazy: party id's chunk of the cached permutation, sorted —
+    // bit-equal to HomogeneousSplit / MakePartition.
+    const int64_t parties = config_.num_parties;
+    const int64_t chunk = n / parties;
+    const int64_t begin = id * chunk;
+    const int64_t end = (id == parties - 1) ? n : begin + chunk;
+    out.assign(shuffled_.begin() + begin, shuffled_.begin() + end);
+    std::sort(out.begin(), out.end());
+    return;
+  }
+  const int64_t m = config_.cross_device_samples_per_party;
+  Rng rng(DeriveStreamSeed(config_.seed, static_cast<uint64_t>(id)));
+  switch (config_.strategy) {
+    case PartitionStrategy::kHomogeneous:
+    case PartitionStrategy::kNoise: {
+      out.resize(m);
+      for (int64_t i = 0; i < m; ++i) {
+        out[i] = static_cast<int64_t>(rng.UniformInt(n));
+      }
+      break;
+    }
+    case PartitionStrategy::kQuantityDirichlet: {
+      // Per-party size law: Gamma(beta)/beta has unit mean, so party sizes
+      // average m with Dirichlet-like spread; clamped so every party is
+      // non-empty and no party exceeds 4x the nominal share.
+      const double g = rng.Gamma(config_.beta);
+      int64_t size = static_cast<int64_t>(
+          static_cast<double>(m) * g / config_.beta + 0.5);
+      size = std::max<int64_t>(1, std::min(size, 4 * m));
+      out.resize(size);
+      for (int64_t i = 0; i < size; ++i) {
+        out[i] = static_cast<int64_t>(rng.UniformInt(n));
+      }
+      break;
+    }
+    case PartitionStrategy::kLabelDirichlet: {
+      // Party-local class mixture p ~ Dir(beta), restricted to classes that
+      // actually have samples, then m class-conditional pool draws.
+      std::vector<double> props =
+          SampleDirichlet(rng, dataset_.num_classes, config_.beta);
+      double sum = 0.0;
+      for (int c = 0; c < dataset_.num_classes; ++c) {
+        if (class_pools_[c].empty()) props[c] = 0.0;
+        sum += props[c];
+      }
+      NIID_CHECK_GT(sum, 0.0);
+      for (double& p : props) p /= sum;
+      out.resize(m);
+      for (int64_t i = 0; i < m; ++i) {
+        const auto& pool = class_pools_[SampleCategorical(rng, props)];
+        out[i] = pool[rng.UniformInt(pool.size())];
+      }
+      break;
+    }
+    case PartitionStrategy::kLabelQuantity: {
+      // #C=k: first owned class is id % K (coverage), the rest drawn without
+      // replacement from the remaining classes; samples round-robin across
+      // the owned classes that are non-empty.
+      const int num_classes = dataset_.num_classes;
+      const int k = std::min(config_.labels_per_party, num_classes);
+      NIID_CHECK_GE(k, 1);
+      const int first = static_cast<int>(id % num_classes);
+      std::vector<int> owned = {first};
+      for (int c : SampleWithoutReplacement(rng, num_classes - 1, k - 1)) {
+        owned.push_back(c + (c >= first ? 1 : 0));
+      }
+      std::vector<int> usable;
+      for (int c : owned) {
+        if (!class_pools_[c].empty()) usable.push_back(c);
+      }
+      out.resize(m);
+      for (int64_t i = 0; i < m; ++i) {
+        if (usable.empty()) {
+          out[i] = static_cast<int64_t>(rng.UniformInt(n));
+        } else {
+          const auto& pool = class_pools_[usable[i % usable.size()]];
+          out[i] = pool[rng.UniformInt(pool.size())];
+        }
+      }
+      break;
+    }
+    case PartitionStrategy::kSynthetic:
+    case PartitionStrategy::kRealWorld:
+      NIID_CHECK(false) << "unreachable: rejected in constructor";
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void LazyPartitionIndex::MaterializeParty(int64_t id, Dataset& out) const {
+  NIID_CHECK_GT(dataset_.features.numel(), 0)
+      << "MaterializeParty needs the full dataset, not a labels-only spec";
+  std::vector<int64_t> indices;
+  PartyIndices(id, indices);
+  SubsetInto(dataset_, indices, out);
+  // Same per-party transforms as MaterializeClientDataset, but each driven by
+  // its own (seed, id)-pure stream so parties can materialize in any order on
+  // any thread and still match bit-for-bit.
+  const int64_t parties = config_.num_parties;
+  if (config_.label_flip_prob > 0.0 && dataset_.num_classes > 1) {
+    Rng rng(DeriveStreamSeed(config_.seed ^ kFlipSalt,
+                             static_cast<uint64_t>(id)));
+    const double flip_prob = config_.label_flip_prob *
+                             static_cast<double>(id + 1) /
+                             static_cast<double>(parties);
+    for (int& label : out.labels) {
+      if (rng.Uniform() < flip_prob) {
+        const int offset =
+            1 + static_cast<int>(rng.UniformInt(dataset_.num_classes - 1));
+        label = (label + offset) % dataset_.num_classes;
+      }
+    }
+  }
+  if (config_.strategy == PartitionStrategy::kNoise) {
+    Rng rng(DeriveStreamSeed(config_.seed ^ kNoiseSalt,
+                             static_cast<uint64_t>(id)));
+    const double variance = config_.noise_sigma *
+                            static_cast<double>(id + 1) /
+                            static_cast<double>(parties);
+    AddGaussianNoise(out, variance, rng);
+  }
+}
+
+}  // namespace niid

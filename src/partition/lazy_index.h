@@ -1,0 +1,67 @@
+#ifndef NIID_PARTITION_LAZY_INDEX_H_
+#define NIID_PARTITION_LAZY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/party_source.h"
+#include "partition/partition.h"
+
+namespace niid {
+
+/// A PartySource that derives any party's sample indices on demand from the
+/// seeded partition spec, instead of materializing the full
+/// Partition::client_indices table (which is O(total parties) and the first
+/// thing that dies at 1M parties).
+///
+/// Two regimes, selected by PartitionConfig::cross_device_samples_per_party:
+///
+///  - Cross-device (> 0): parties are overlapping draws from the global pool.
+///    Party p's indices are produced by Rng(DeriveStreamSeed(seed, p)) — a
+///    pure function of (seed, p) — so deriving one party costs
+///    O(samples_per_party) regardless of how many parties exist. Construction
+///    caches only the per-class sample pools (O(dataset size), shared,
+///    immutable). Supports homo/noise, label-dir, #C=k, and quantity-dir.
+///
+///  - Disjoint lazy (== 0): the classic equal random split, derived lazily.
+///    Construction caches the seeded permutation (bit-equal to the one
+///    HomogeneousSplit draws); PartyIndices(p) is p's sorted chunk, bit-equal
+///    to MakePartition's client_indices[p]. Only kHomogeneous and kNoise are
+///    supported lazily — the label/quantity-skew constructions are inherently
+///    global and still go through MakePartition.
+///
+/// PartyIndices only reads labels/num_classes, so a features-free Dataset is
+/// accepted when only index derivation is needed (MakePartition's cross-device
+/// branch uses this). MaterializeParty requires the full dataset and applies
+/// the same per-party transforms as MaterializeClientDataset (label flip,
+/// feature noise), driven by transform streams derived purely from
+/// (seed, party) so materialization order never matters.
+class LazyPartitionIndex : public PartySource {
+ public:
+  /// Takes ownership of `dataset`. Aborts on unsupported strategy/config
+  /// combinations (see class comment).
+  LazyPartitionIndex(Dataset dataset, const PartitionConfig& config);
+
+  int64_t num_parties() const override { return config_.num_parties; }
+  int64_t num_classes() const override { return dataset_.num_classes; }
+  void MaterializeParty(int64_t id, Dataset& out) const override;
+
+  /// Derives party `id`'s sorted sample indices into `out` (storage reused).
+  void PartyIndices(int64_t id, std::vector<int64_t>& out) const;
+
+  const Dataset& dataset() const { return dataset_; }
+  const PartitionConfig& config() const { return config_; }
+
+ private:
+  Dataset dataset_;
+  PartitionConfig config_;
+  /// Cross-device label modes: per-class sample pools (immutable after ctor).
+  std::vector<std::vector<int64_t>> class_pools_;
+  /// Disjoint lazy mode: the seeded permutation HomogeneousSplit would draw.
+  std::vector<int64_t> shuffled_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_PARTITION_LAZY_INDEX_H_

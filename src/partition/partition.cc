@@ -6,6 +6,7 @@
 
 #include "data/transforms.h"
 #include "partition/feature_skew.h"
+#include "partition/lazy_index.h"
 #include "partition/label_skew.h"
 #include "partition/quantity_skew.h"
 #include "util/check.h"
@@ -86,6 +87,21 @@ Partition MakePartition(const Dataset& train, const PartitionConfig& config) {
   Rng rng(config.seed);
   Partition partition;
   partition.config = config;
+  if (config.cross_device_samples_per_party > 0) {
+    // Cross-device overlap mode: every party is an independent seeded draw,
+    // so the dense table is just the lazy derivation evaluated at every id.
+    // (Labels-only spec: index derivation never touches features.)
+    Dataset spec;
+    spec.name = train.name;
+    spec.labels = train.labels;
+    spec.num_classes = train.num_classes;
+    LazyPartitionIndex index(std::move(spec), config);
+    partition.client_indices.resize(config.num_parties);
+    for (int party = 0; party < config.num_parties; ++party) {
+      index.PartyIndices(party, partition.client_indices[party]);
+    }
+    return partition;
+  }
   switch (config.strategy) {
     case PartitionStrategy::kHomogeneous:
     case PartitionStrategy::kNoise:

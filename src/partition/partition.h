@@ -51,6 +51,15 @@ struct PartitionConfig {
   /// with probability label_flip_prob * (i+1) / N when its local dataset is
   /// materialized, composing with any strategy above.
   double label_flip_prob = 0.0;
+  /// EXTENSION (cross-device scale): when > 0, parties are overlapping
+  /// per-party draws of this many samples from the global pool instead of a
+  /// disjoint split — the only way 1M parties can each hold a non-empty shard
+  /// of a ~50k-sample dataset. Every party's draw is a pure function of
+  /// (seed, party id), so LazyPartitionIndex can derive any single party in
+  /// O(samples_per_party) without materializing the other 999,999.
+  /// Supported strategies: kHomogeneous, kNoise, kLabelDirichlet,
+  /// kLabelQuantity, kQuantityDirichlet (as the per-party *size* law).
+  int64_t cross_device_samples_per_party = 0;
   uint64_t seed = 1;
 
   std::string Label() const {

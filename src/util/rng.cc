@@ -20,6 +20,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // Two splitmix64 rounds over a golden-ratio combination of seed and
+  // stream index; Rng's constructor expands the result further, so nearby
+  // (seed, stream) pairs yield unrelated generators.
+  uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)SplitMix64(x);
+  return SplitMix64(x);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(sm);

@@ -18,6 +18,13 @@ struct RngState {
   double cached_normal = 0.0;
 };
 
+/// Derives the seed of the `stream`-th member of a seed family as a pure
+/// function of (seed, stream) — unlike Rng::Split, which must advance the
+/// parent, so deriving stream p costs O(p). The sparse party engine seeds
+/// party p's private stream with DeriveStreamSeed(setup_seed, p): any
+/// party's generator is reachable in O(1) without touching the others.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256**) with explicit
 /// seeding and cheap stream splitting.
 ///

@@ -1,6 +1,7 @@
 #include "util/samplers.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "util/check.h"
@@ -74,16 +75,27 @@ int SampleCategorical(Rng& rng, const std::vector<double>& probabilities) {
 std::vector<int> SampleWithoutReplacement(Rng& rng, int n, int k) {
   NIID_CHECK_GE(k, 0);
   NIID_CHECK_LE(k, n);
-  std::vector<int> pool(n);
-  std::iota(pool.begin(), pool.end(), 0);
-  // Partial Fisher–Yates: after k swaps the first k entries are the sample.
+  // Sparse partial Fisher–Yates: instead of materializing the n-entry pool
+  // (an O(n) wall when sampling 100 parties out of 1M), track only the
+  // entries the swaps displaced. The draw sequence — UniformInt(n - i) for
+  // i in [0, k) — and the resulting sample are bit-identical to the dense
+  // pool version at every (n, k); work and memory are O(k log k) / O(k).
+  std::vector<int> sample(k);
+  std::map<int, int> displaced;  // pool position -> current value
   for (int i = 0; i < k; ++i) {
     const int j = i + static_cast<int>(rng.UniformInt(n - i));
-    std::swap(pool[i], pool[j]);
+    const auto at_j = displaced.find(j);
+    sample[i] = at_j == displaced.end() ? j : at_j->second;
+    // The dense version swaps pool[i] into pool[j]. Position i is never
+    // revisited (later draws land at positions > i), so only pool[j]'s new
+    // value needs recording; pool[i]'s pre-swap value is i itself unless an
+    // earlier swap already displaced it.
+    const auto at_i = displaced.find(i);
+    const int value_at_i = at_i == displaced.end() ? i : at_i->second;
+    displaced[j] = value_at_i;
   }
-  pool.resize(k);
-  std::sort(pool.begin(), pool.end());
-  return pool;
+  std::sort(sample.begin(), sample.end());
+  return sample;
 }
 
 }  // namespace niid

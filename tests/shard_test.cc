@@ -1,0 +1,504 @@
+// Tests for the sharded reduction tree (fl/shard.h), the sparse party
+// engine (LazyPartitionIndex + FederatedServer's sparse constructor), the
+// O(k) party sampler, and the v3 sparse checkpoint format.
+//
+// The load-bearing property throughout: ONE canonical floating-point
+// operation schedule, so results are bit-identical across every thread
+// count and shard count — compared here with ==, never with tolerances.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/server.h"
+#include "fl/shard.h"
+#include "nn/models/factory.h"
+#include "partition/lazy_index.h"
+#include "partition/partition.h"
+#include "util/rng.h"
+#include "util/samplers.h"
+
+namespace niid {
+namespace {
+
+std::unique_ptr<FlAlgorithm> MakeAlgo(const std::string& name) {
+  auto algorithm_or = CreateAlgorithm(name, AlgorithmConfig{});
+  return std::move(*algorithm_or);
+}
+
+ModelSpec MlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+Dataset TabularData(int64_t n, uint64_t seed) {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = n;
+  config.test_size = 1;
+  config.class_sep = 3.0f;
+  config.seed = seed;
+  return MakeSyntheticTabular(config).train;
+}
+
+LocalTrainOptions FastOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 1;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+std::vector<std::unique_ptr<Client>> DenseClients(int num_clients,
+                                                  int64_t samples_each) {
+  Dataset full = TabularData(256, /*seed=*/4242);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    std::vector<int64_t> shard;
+    for (int64_t k = 0; k < samples_each; ++k) {
+      shard.push_back((static_cast<int64_t>(i) * samples_each + k) %
+                      full.size());
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> DenseServer(const std::string& algorithm,
+                                             ServerConfig config,
+                                             int num_clients = 8,
+                                             int64_t samples_each = 32) {
+  auto algorithm_or = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  return std::make_unique<FederatedServer>(
+      MakeModelFactory(MlpSpec()), DenseClients(num_clients, samples_each),
+      std::move(*algorithm_or), config);
+}
+
+// ------------------------------------------------- reduction-tree identity
+
+// The core acceptance criterion: for all five algorithms, the sharded
+// reduction is bitwise identical across threads {1,2,8} x shards {1,4,16}.
+TEST(ShardIdentityTest, AllAlgorithmsBitIdenticalAcrossThreadsAndShards) {
+  const std::vector<std::string> algorithms = {
+      "fedavg", "fedprox", "scaffold", "fednova", "fedadam"};
+  const int kRounds = 3;
+  for (const std::string& algorithm : algorithms) {
+    ServerConfig base;
+    base.seed = 7;
+    base.num_threads = 1;
+    base.num_shards = 1;
+    auto reference = DenseServer(algorithm, base);
+    std::vector<RoundStats> reference_stats;
+    for (int r = 0; r < kRounds; ++r) {
+      reference_stats.push_back(reference->RunRound(FastOptions()));
+    }
+    for (const int threads : {1, 2, 8}) {
+      for (const int shards : {1, 4, 16}) {
+        if (threads == 1 && shards == 1) continue;
+        ServerConfig config = base;
+        config.num_threads = threads;
+        config.num_shards = shards;
+        auto server = DenseServer(algorithm, config);
+        for (int r = 0; r < kRounds; ++r) {
+          const RoundStats stats = server->RunRound(FastOptions());
+          EXPECT_EQ(stats.mean_local_loss,
+                    reference_stats[r].mean_local_loss)
+              << algorithm << " t=" << threads << " s=" << shards
+              << " round " << r;
+        }
+        ASSERT_EQ(server->global_state().size(),
+                  reference->global_state().size());
+        EXPECT_EQ(server->global_state(), reference->global_state())
+            << algorithm << " diverged at threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// Shard-count invariance must survive the full PR-5/PR-8 plumbing: lossy
+// compression with error feedback, fault injection, and quorum re-sampling.
+// The quorum bookkeeping (dropped/crashed/rejected/aggregated) is part of
+// the contract — a shard-dependent survivor count would poison everything.
+TEST(ShardIdentityTest, HoldsUnderCompressionFaultsAndQuorum) {
+  for (const CodecKind codec : {CodecKind::kInt8, CodecKind::kRandK}) {
+    ServerConfig base;
+    base.seed = 11;
+    base.num_threads = 1;
+    base.num_shards = 1;
+    base.compression.codec = codec;
+    base.compression.error_feedback = true;
+    base.faults.drop_rate = 0.2;
+    base.faults.crash_rate = 0.1;
+    base.faults.corrupt_rate = 0.1;
+    base.min_aggregate_clients = 3;
+    base.max_resample_retries = 2;
+    base.sample_fraction = 0.75;
+    auto reference = DenseServer("fedavg", base, /*num_clients=*/12);
+    std::vector<RoundStats> reference_stats;
+    for (int r = 0; r < 3; ++r) {
+      reference_stats.push_back(reference->RunRound(FastOptions()));
+    }
+    for (const int threads : {2, 8}) {
+      for (const int shards : {4, 16}) {
+        ServerConfig config = base;
+        config.num_threads = threads;
+        config.num_shards = shards;
+        auto server = DenseServer("fedavg", config, /*num_clients=*/12);
+        for (int r = 0; r < 3; ++r) {
+          const RoundStats stats = server->RunRound(FastOptions());
+          const RoundStats& want = reference_stats[r];
+          EXPECT_EQ(stats.sampled_clients, want.sampled_clients);
+          EXPECT_EQ(stats.dropped, want.dropped);
+          EXPECT_EQ(stats.crashed, want.crashed);
+          EXPECT_EQ(stats.rejected, want.rejected);
+          EXPECT_EQ(stats.aggregated, want.aggregated);
+          EXPECT_EQ(stats.quorum_met, want.quorum_met);
+          EXPECT_EQ(stats.resample_retries, want.resample_retries);
+          EXPECT_EQ(stats.mean_local_loss, want.mean_local_loss);
+          EXPECT_EQ(stats.bytes_uplink, want.bytes_uplink);
+        }
+        EXPECT_EQ(server->global_state(), reference->global_state())
+            << "codec=" << static_cast<int>(codec) << " threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// The reducer itself, driven directly: in-place pairwise combine over m
+// updates must agree with an exact serial evaluation of the same canonical
+// schedule, for every (m, shards) including non-powers of two.
+TEST(ShardReducerTest, MatchesCanonicalScheduleAtEveryWidth) {
+  for (const int m : {1, 2, 3, 5, 8, 13}) {
+    // Reference: canonical schedule evaluated with shards=1.
+    auto make_updates = [m]() {
+      std::vector<LocalUpdate> updates(m);
+      Rng rng(33);
+      for (int j = 0; j < m; ++j) {
+        updates[j].num_samples = 1 + j;
+        updates[j].delta.resize(7);
+        for (float& v : updates[j].delta) {
+          v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+        }
+      }
+      return updates;
+    };
+    std::vector<float> coeffs(m);
+    for (int j = 0; j < m; ++j) coeffs[j] = 0.25f + 0.5f / (1 + j);
+
+    std::vector<LocalUpdate> reference_updates = make_updates();
+    ShardReducer serial;
+    serial.Configure(1, nullptr, m);
+    const StateVector reference = serial.ReduceScaled(
+        reference_updates, coeffs, ShardReducer::Field::kDelta);
+    for (const int shards : {2, 4, 16}) {
+      std::vector<LocalUpdate> updates = make_updates();
+      ShardReducer reducer;
+      reducer.Configure(shards, nullptr, m);
+      const StateVector& reduced = reducer.ReduceScaled(
+          updates, coeffs, ShardReducer::Field::kDelta);
+      EXPECT_EQ(reduced, reference) << "m=" << m << " shards=" << shards;
+    }
+  }
+}
+
+// --------------------------------------------------------- sparse sampler
+
+// SampleWithoutReplacement's sparse rewrite must reproduce the dense
+// partial-Fisher-Yates draws bit-for-bit at every (n, k) — the dense
+// reference is inlined here as the regression oracle.
+TEST(SparseSamplerTest, BitCompatibleWithDensePool) {
+  auto dense_reference = [](Rng& rng, int n, int k) {
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) pool[i] = i;
+    std::vector<int> sample(k);
+    for (int i = 0; i < k; ++i) {
+      const int j = i + static_cast<int>(rng.UniformInt(n - i));
+      std::swap(pool[i], pool[j]);
+      sample[i] = pool[i];
+    }
+    std::sort(sample.begin(), sample.end());
+    return sample;
+  };
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {1, 1}, {10, 3}, {10, 10}, {100, 10}, {1000, 7}, {4096, 100}}) {
+    Rng rng_dense(n * 31 + k);
+    Rng rng_sparse(n * 31 + k);
+    const std::vector<int> expected = dense_reference(rng_dense, n, k);
+    const std::vector<int> actual = SampleWithoutReplacement(rng_sparse, n, k);
+    EXPECT_EQ(actual, expected) << "n=" << n << " k=" << k;
+    // The generators consumed identical draw sequences.
+    EXPECT_EQ(rng_sparse.NextUint64(), rng_dense.NextUint64());
+  }
+}
+
+// ------------------------------------------------------ lazy partition index
+
+TEST(LazyIndexTest, DisjointHomogeneousMatchesMakePartition) {
+  Dataset train = TabularData(203, /*seed=*/9);
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kHomogeneous, PartitionStrategy::kNoise}) {
+    PartitionConfig config;
+    config.strategy = strategy;
+    config.num_parties = 13;
+    config.seed = 77;
+    const Partition partition = MakePartition(train, config);
+    LazyPartitionIndex index(train, config);
+    std::vector<int64_t> indices;
+    for (int party = 0; party < config.num_parties; ++party) {
+      index.PartyIndices(party, indices);
+      EXPECT_EQ(indices, partition.client_indices[party]) << "party " << party;
+    }
+  }
+}
+
+TEST(LazyIndexTest, CrossDeviceDerivationIsPureAndBounded) {
+  Dataset train = TabularData(240, /*seed=*/10);
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kHomogeneous, PartitionStrategy::kLabelDirichlet,
+        PartitionStrategy::kLabelQuantity,
+        PartitionStrategy::kQuantityDirichlet}) {
+    PartitionConfig config;
+    config.strategy = strategy;
+    config.num_parties = 100000;  // far more parties than samples
+    config.cross_device_samples_per_party = 16;
+    config.labels_per_party = 1;
+    config.seed = 5;
+    LazyPartitionIndex index(train, config);
+    std::vector<int64_t> a, b;
+    for (const int64_t party : {0L, 1L, 4999L, 99999L}) {
+      index.PartyIndices(party, a);
+      ASSERT_FALSE(a.empty());
+      if (strategy != PartitionStrategy::kQuantityDirichlet) {
+        EXPECT_EQ(static_cast<int64_t>(a.size()),
+                  config.cross_device_samples_per_party);
+      }
+      for (const int64_t idx : a) {
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, train.size());
+      }
+      // Purity: evaluation order and repetition never change the draw.
+      index.PartyIndices(party, b);
+      EXPECT_EQ(a, b);
+    }
+    // #C=1: every party's samples come from a single class.
+    if (strategy == PartitionStrategy::kLabelQuantity) {
+      index.PartyIndices(123, a);
+      for (const int64_t idx : a) {
+        EXPECT_EQ(train.labels[idx], train.labels[a[0]]);
+      }
+    }
+    // Distinct parties draw distinct streams.
+    index.PartyIndices(1, a);
+    index.PartyIndices(2, b);
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(LazyIndexTest, CrossDeviceMakePartitionUsesTheSameDraws) {
+  Dataset train = TabularData(128, /*seed=*/3);
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kLabelDirichlet;
+  config.num_parties = 25;
+  config.cross_device_samples_per_party = 12;
+  config.seed = 21;
+  const Partition partition = MakePartition(train, config);
+  ASSERT_EQ(partition.num_parties(), 25);
+  LazyPartitionIndex index(train, config);
+  std::vector<int64_t> indices;
+  for (int party = 0; party < 25; ++party) {
+    index.PartyIndices(party, indices);
+    EXPECT_EQ(indices, partition.client_indices[party]);
+  }
+}
+
+TEST(LazyIndexTest, MaterializeAppliesNoiseAndFlipDeterministically) {
+  Dataset train = TabularData(96, /*seed=*/8);
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kNoise;
+  config.num_parties = 1000;
+  config.cross_device_samples_per_party = 8;
+  config.noise_sigma = 0.5;
+  config.label_flip_prob = 0.9;
+  config.seed = 13;
+  LazyPartitionIndex index(train, config);
+  Dataset first, again, other;
+  index.MaterializeParty(777, first);
+  index.MaterializeParty(3, other);   // interleave another party
+  index.MaterializeParty(777, again);
+  EXPECT_EQ(first.labels, again.labels);
+  ASSERT_EQ(first.features.numel(), again.features.numel());
+  for (int64_t i = 0; i < first.features.numel(); ++i) {
+    EXPECT_EQ(first.features.data()[i], again.features.data()[i]);
+  }
+  // The noise transform actually fired: features differ from the raw subset.
+  std::vector<int64_t> indices;
+  index.PartyIndices(777, indices);
+  Dataset raw = Subset(train, indices);
+  bool any_noise = false;
+  for (int64_t i = 0; i < raw.features.numel(); ++i) {
+    if (raw.features.data()[i] != first.features.data()[i]) any_noise = true;
+  }
+  EXPECT_TRUE(any_noise);
+}
+
+// --------------------------------------------------------- sparse engine
+
+std::shared_ptr<LazyPartitionIndex> SmallSource(int num_parties) {
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = num_parties;
+  config.cross_device_samples_per_party = 24;
+  config.seed = 17;
+  return std::make_shared<LazyPartitionIndex>(TabularData(256, /*seed=*/4242),
+                                              config);
+}
+
+ServerConfig SparseConfig(uint64_t seed = 5) {
+  ServerConfig config;
+  config.seed = seed;
+  config.party_stream_seed = 1234;
+  config.sample_fraction = 0.5;
+  return config;
+}
+
+// A dense federation whose clients replicate the sparse engine's rng and
+// dataset conventions must produce bit-identical rounds: same sampling
+// stream, same local draws, same aggregation — the engine changes WHERE
+// party state lives, never WHAT it computes.
+TEST(SparseEngineTest, MatchesEquivalentDenseFederationBitwise) {
+  for (const std::string algorithm : {"fedavg", "scaffold"}) {
+    auto source = SmallSource(12);
+    ServerConfig config = SparseConfig();
+    config.num_threads = 2;
+    config.num_shards = 4;
+    config.compression.codec = CodecKind::kInt8;
+    config.compression.error_feedback = true;
+
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int i = 0; i < 12; ++i) {
+      auto client = std::make_unique<Client>(
+          i, Rng(DeriveStreamSeed(config.party_stream_seed, i)));
+      source->MaterializeParty(i, client->mutable_data());
+      clients.push_back(std::move(client));
+    }
+    auto dense = std::make_unique<FederatedServer>(
+        MakeModelFactory(MlpSpec()), std::move(clients),
+        MakeAlgo(algorithm), config);
+    auto sparse = std::make_unique<FederatedServer>(
+        MakeModelFactory(MlpSpec()), source,
+        MakeAlgo(algorithm), config);
+    EXPECT_TRUE(sparse->sparse());
+    EXPECT_EQ(sparse->num_clients(), 12);
+
+    LocalTrainOptions options = FastOptions();
+    options.keep_local_buffers = false;
+    for (int r = 0; r < 3; ++r) {
+      const RoundStats dense_stats = dense->RunRound(options);
+      const RoundStats sparse_stats = sparse->RunRound(options);
+      EXPECT_EQ(sparse_stats.sampled_clients, dense_stats.sampled_clients);
+      EXPECT_EQ(sparse_stats.mean_local_loss, dense_stats.mean_local_loss)
+          << algorithm << " round " << r;
+    }
+    EXPECT_EQ(sparse->global_state(), dense->global_state()) << algorithm;
+  }
+}
+
+// Resume bit-identity at 100k parties: the tentpole's checkpoint criterion.
+// Run A goes straight through; run B checkpoints through a real file at the
+// midpoint into a FRESH server. Their final states must be bitwise equal,
+// and the sparse checkpoint must stay O(sampled), not O(parties).
+TEST(SparseEngineTest, ResumeAt100kPartiesIsBitIdentical) {
+  constexpr int kParties = 100000;
+  ServerConfig config = SparseConfig(29);
+  config.sample_fraction = 1e-4;  // 10 parties per round
+  config.num_threads = 2;
+
+  auto fresh_server = [&]() {
+    return std::make_unique<FederatedServer>(
+        MakeModelFactory(MlpSpec()), SmallSource(kParties),
+        MakeAlgo("fedavg"), config);
+  };
+
+  auto straight = fresh_server();
+  for (int r = 0; r < 4; ++r) straight->RunRound(FastOptions());
+
+  auto first_half = fresh_server();
+  for (int r = 0; r < 2; ++r) first_half->RunRound(FastOptions());
+  const std::string path = ::testing::TempDir() + "/sparse_resume.ckpt";
+  ASSERT_TRUE(first_half->SaveCheckpoint(path).ok());
+
+  const StatusOr<ServerCheckpoint> checkpoint = ReadCheckpointFile(path);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  EXPECT_TRUE(checkpoint->sparse);
+  EXPECT_EQ(checkpoint->num_clients, kParties);
+  // Two rounds of ~10 parties each: far, far fewer entries than parties.
+  EXPECT_LE(checkpoint->party_ids.size(), 20u);
+  EXPECT_GE(checkpoint->party_ids.size(), 1u);
+  EXPECT_EQ(checkpoint->party_ids.size(), checkpoint->client_rng.size());
+
+  auto resumed = fresh_server();
+  ASSERT_TRUE(resumed->LoadCheckpoint(path).ok());
+  EXPECT_EQ(resumed->rounds_completed(), 2);
+  for (int r = 0; r < 2; ++r) resumed->RunRound(FastOptions());
+  EXPECT_EQ(resumed->global_state(), straight->global_state());
+  EXPECT_EQ(resumed->cumulative_upload_floats(),
+            straight->cumulative_upload_floats());
+  std::remove(path.c_str());
+}
+
+// SCAFFOLD's per-party control variates are the hardest durable state: the
+// sparse save/load roundtrip must preserve them and the continuation.
+TEST(SparseEngineTest, ScaffoldSparseCheckpointRoundTrips) {
+  ServerConfig config = SparseConfig(31);
+  config.sample_fraction = 0.25;
+  auto fresh_server = [&]() {
+    return std::make_unique<FederatedServer>(
+        MakeModelFactory(MlpSpec()), SmallSource(8000),
+        MakeAlgo("scaffold"), config);
+  };
+  auto straight = fresh_server();
+  for (int r = 0; r < 4; ++r) straight->RunRound(FastOptions());
+
+  auto first_half = fresh_server();
+  for (int r = 0; r < 2; ++r) first_half->RunRound(FastOptions());
+  const std::string path = ::testing::TempDir() + "/scaffold_sparse.ckpt";
+  ASSERT_TRUE(first_half->SaveCheckpoint(path).ok());
+  auto resumed = fresh_server();
+  ASSERT_TRUE(resumed->LoadCheckpoint(path).ok());
+  for (int r = 0; r < 2; ++r) resumed->RunRound(FastOptions());
+  EXPECT_EQ(resumed->global_state(), straight->global_state());
+  std::remove(path.c_str());
+}
+
+// Mode mismatches must fail loudly, not restore garbage.
+TEST(SparseEngineTest, SparseAndDenseCheckpointsDoNotCrossRestore) {
+  ServerConfig config = SparseConfig(33);
+  auto sparse = std::make_unique<FederatedServer>(
+      MakeModelFactory(MlpSpec()), SmallSource(12),
+      MakeAlgo("fedavg"), config);
+  sparse->RunRound(FastOptions());
+  ServerConfig dense_config = config;
+  auto dense = DenseServer("fedavg", dense_config, /*num_clients=*/12);
+  const ServerCheckpoint from_sparse = sparse->MakeCheckpoint();
+  EXPECT_FALSE(dense->RestoreCheckpoint(from_sparse).ok());
+  const ServerCheckpoint from_dense = dense->MakeCheckpoint();
+  EXPECT_FALSE(sparse->RestoreCheckpoint(from_dense).ok());
+}
+
+}  // namespace
+}  // namespace niid

@@ -2,8 +2,9 @@
 """Run a micro-benchmark suite and emit a machine-readable BENCH_*.json.
 
 Usage:
-    tools/bench_json.py [--suite gemm|step|round|faults|compress]
+    tools/bench_json.py [--suite gemm|step|round|faults|compress|scale]
                         [--bench-binary build/bench/bench_micro_engine]
+                        [--scale-binary build/bench/bench_scale]
                         [--output BENCH_<suite>.json] [--min-time 0.1]
                         [--threads N] [--compare OLD.json]
                         [--allow-non-release]
@@ -66,6 +67,18 @@ int4 and top-k clear 8x on the wire, and none of the three costs more than
 half an accuracy point (rand-k's gap is reported but not gated: shipping
 5% of coordinates chosen blindly is the known-lossy point of that codec).
 
+Suite "scale" (bench_scale, one subprocess per arm): the sparse party
+engine's party-count sweep. Runs a dense 100-party arm (the memory envelope)
+plus sparse arms at 1e2..1e6 parties with ~100 sampled parties per round,
+recording parties-vs-peak-RSS and parties-vs-wall curves. Per-arm process
+isolation is what makes getrusage's ru_maxrss a per-arm number. The summary
+evaluates the scalability acceptance checks: rss_is_sublinear_in_parties
+(1e4x more parties may not even double peak RSS), the 1M-party run
+completing with RSS within 2x the dense envelope, and the sharded
+reduction's bitwise identity to a serial single-shard replay at 1M parties.
+Under --compare the scale suite is regression-gated at 25% wall time
+(end-to-end training arms are noisier than microbenchmarks).
+
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
 
@@ -91,9 +104,20 @@ SUITE_FILTER = {
 
 # Suites whose benchmarks are pure latency measurements of the engine: a
 # --compare regression in these is a build break, not noise from federated
-# accuracy dynamics.
-COMPARE_GATED_SUITES = ("gemm", "step")
+# accuracy dynamics. The scale suite is gated too, but with a looser
+# threshold: its arms are short end-to-end training runs, not steady-state
+# microbenchmarks.
+COMPARE_GATED_SUITES = ("gemm", "step", "scale")
 COMPARE_REGRESSION_THRESHOLD = 0.10
+SCALE_COMPARE_THRESHOLD = 0.25
+
+# Scale suite: party counts swept by the sparse engine (one subprocess per
+# arm so getrusage's process-wide ru_maxrss is a genuinely per-arm number),
+# plus a dense 100-party arm that defines the memory envelope the 1M-party
+# run is held to.
+SCALE_PARTIES = [100, 1_000, 10_000, 100_000, 1_000_000]
+SCALE_DENSE_ENVELOPE_PARTIES = 100
+SCALE_RSS_ENVELOPE_FACTOR = 2.0
 
 # BM_SimpleCnnStep measured at the commit immediately before the kernel-layer
 # PR, same container (1 CPU, Release, native GEMM): the denominator of
@@ -298,12 +322,118 @@ def compress_summary(entries: dict) -> dict:
     }
 
 
+def run_scale_suite(args) -> dict:
+    """Runs bench_scale once per arm and parses its RESULT lines.
+
+    Unlike the other suites this does not go through bench_micro_engine:
+    each arm is a fresh subprocess of build/bench/bench_scale, so the
+    peak_rss_mb of one arm never contaminates the next.
+    """
+    binary = pathlib.Path(args.scale_binary)
+    if not binary.exists():
+        raise FileNotFoundError(f"scale binary not found: {binary}")
+
+    def run_arm(parties: int, mode: str, identity_check: bool) -> dict:
+        cmd = [
+            str(binary),
+            f"--parties={parties}",
+            f"--mode={mode}",
+            f"--rounds={args.scale_rounds}",
+            f"--threads={args.threads}",
+        ]
+        if identity_check:
+            cmd.append("--identity_check")
+        result = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        for line in result.stdout.splitlines():
+            if not line.startswith("RESULT "):
+                continue
+            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+            entry = {
+                "parties": int(fields["parties"]),
+                "mode": fields["mode"],
+                "rounds": int(fields["rounds"]),
+                "sampled_per_round": int(fields["sampled_per_round"]),
+                "wall_s": float(fields["wall_s"]),
+                "peak_rss_mb": float(fields["peak_rss_mb"]),
+                "final_loss": float(fields["final_loss"]),
+                # Seconds expressed in ns so compare_against diffs arms the
+                # same way it diffs microbenchmark entries.
+                "time_ns": float(fields["wall_s"]) * 1e9,
+            }
+            if "identity_ok" in fields:
+                entry["identity_ok"] = fields["identity_ok"] == "1"
+            return entry
+        raise RuntimeError(f"no RESULT line from {' '.join(cmd)}")
+
+    entries = {}
+    entries[f"scale/dense/{SCALE_DENSE_ENVELOPE_PARTIES}"] = run_arm(
+        SCALE_DENSE_ENVELOPE_PARTIES, "dense", identity_check=False
+    )
+    for parties in SCALE_PARTIES:
+        # Identity replay doubles an arm's cost; running it on the largest
+        # arm checks the shards-vs-serial contract where it matters most.
+        entries[f"scale/sparse/{parties}"] = run_arm(
+            parties, "sparse", identity_check=parties == max(SCALE_PARTIES)
+        )
+    return entries
+
+
+def scale_summary(entries: dict) -> dict:
+    sparse = {
+        p: entries[f"scale/sparse/{p}"]
+        for p in SCALE_PARTIES
+        if f"scale/sparse/{p}" in entries
+    }
+    dense = entries.get(f"scale/dense/{SCALE_DENSE_ENVELOPE_PARTIES}", {})
+    rss_curve = {str(p): e["peak_rss_mb"] for p, e in sparse.items()}
+    wall_curve = {str(p): e["wall_s"] for p, e in sparse.items()}
+
+    smallest, largest = (min(sparse), max(sparse)) if sparse else (None, None)
+    # Sublinearity: 3+ decades more parties may not even double peak RSS.
+    # (A linear engine grows RSS ~1000x over this sweep; the sparse engine's
+    # residency is O(sampled parties per round), constant across the sweep.)
+    rss_is_sublinear = (
+        sparse[largest]["peak_rss_mb"]
+        <= 2.0 * sparse[smallest]["peak_rss_mb"]
+        if sparse and largest > smallest
+        else None
+    )
+    million = sparse.get(1_000_000)
+    envelope_mb = dense.get("peak_rss_mb")
+    identity_arms = [e for e in sparse.values() if "identity_ok" in e]
+    return {
+        "parties_vs_peak_rss_mb": rss_curve,
+        "parties_vs_wall_s": wall_curve,
+        "dense_100_party_envelope_mb": envelope_mb,
+        "million_party_peak_rss_mb": (
+            million["peak_rss_mb"] if million else None
+        ),
+        "million_party_wall_s": million["wall_s"] if million else None,
+        "checks": {
+            "rss_is_sublinear_in_parties": rss_is_sublinear,
+            "million_party_run_completed": million is not None,
+            "million_party_rss_within_2x_dense_envelope": (
+                million["peak_rss_mb"]
+                <= SCALE_RSS_ENVELOPE_FACTOR * envelope_mb
+                if million and envelope_mb
+                else None
+            ),
+            "sharded_identity_ok": (
+                all(e["identity_ok"] for e in identity_arms)
+                if identity_arms
+                else None
+            ),
+        },
+    }
+
+
 SUITE_SUMMARY = {
     "gemm": gemm_summary,
     "step": step_summary,
     "round": round_summary,
     "faults": faults_summary,
     "compress": compress_summary,
+    "scale": scale_summary,
 }
 
 
@@ -352,6 +482,11 @@ def compare_against(old_path: str, suite: str, entries: dict) -> int:
         )
         return 1
     old_entries = old.get("benchmarks", {})
+    threshold = (
+        SCALE_COMPARE_THRESHOLD
+        if suite == "scale"
+        else COMPARE_REGRESSION_THRESHOLD
+    )
     regressions = 0
     print(f"comparison vs {old_path}:")
     for name in sorted(entries):
@@ -362,7 +497,7 @@ def compare_against(old_path: str, suite: str, entries: dict) -> int:
             continue
         delta = (new_t - old_t) / old_t
         marker = ""
-        if delta > COMPARE_REGRESSION_THRESHOLD:
+        if delta > threshold:
             if suite in COMPARE_GATED_SUITES:
                 regressions += 1
                 marker = "  <-- REGRESSION"
@@ -381,9 +516,20 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=sorted(SUITE_FILTER),
+        choices=sorted(SUITE_SUMMARY),
         default="gemm",
         help="which benchmark family to run",
+    )
+    parser.add_argument(
+        "--scale-binary",
+        default="build/bench/bench_scale",
+        help="path to the bench_scale executable (scale suite only)",
+    )
+    parser.add_argument(
+        "--scale-rounds",
+        type=int,
+        default=2,
+        help="communication rounds per scale-suite arm",
     )
     parser.add_argument(
         "--bench-binary",
@@ -423,6 +569,34 @@ def main() -> int:
     )
     args = parser.parse_args()
     output_path = args.output or f"BENCH_{args.suite}.json"
+
+    if args.suite == "scale":
+        # The scale suite drives bench_scale subprocess-per-arm instead of
+        # bench_micro_engine; its provenance is the CMake build type of that
+        # binary (same tree, same preset as the rest of the bench dir).
+        try:
+            entries = run_scale_suite(args)
+        except (FileNotFoundError, RuntimeError) as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        summary = scale_summary(entries)
+        output = {"suite": "scale", "summary": summary, "benchmarks": entries}
+        pathlib.Path(output_path).write_text(
+            json.dumps(output, indent=2) + "\n"
+        )
+        print(f"wrote {output_path}")
+        for key, value in summary["checks"].items():
+            print(f"  {key}: {value}")
+        if args.compare:
+            regressions = compare_against(args.compare, "scale", entries)
+            if regressions:
+                print(
+                    f"{regressions} arm(s) regressed "
+                    f">{SCALE_COMPARE_THRESHOLD:.0%}",
+                    file=sys.stderr,
+                )
+                return 2
+        return 0
 
     binary = pathlib.Path(args.bench_binary)
     if not binary.exists():
