@@ -1,0 +1,218 @@
+// Robustness leaderboard benchmarks (google-benchmark): accuracy of each
+// aggregation rule under adversarial scenarios. Every iteration trains the
+// fault suite's label-skewed 12-party federation to completion under one
+// (algorithm, aggregator, scenario) cell and exports the replica-averaged
+// final global accuracy as a counter, so tools/bench_json.py --suite
+// scenarios can build the algorithms x rules x scenarios table.
+//
+// The headline claim (BENCH_scenarios.json): under a 20% sign-flip attack on
+// a label-skewed partition, coordinate-wise median (and trimmed mean)
+// recover at least half of the accuracy plain FedAvg loses — the classic
+// Byzantine-robust aggregation result, reproduced end-to-end through this
+// repo's deterministic scenario engine.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/client.h"
+#include "fl/robust.h"
+#include "fl/scenario.h"
+#include "fl/server.h"
+#include "nn/models/factory.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+struct ScenarioBench {
+  std::unique_ptr<FederatedServer> server;
+  Dataset test;
+  LocalTrainOptions options;
+};
+
+// The fault suite's federation, reused verbatim so the scenario numbers are
+// comparable: 12 parties with quantity-skewed shards (32/64/96/128 samples
+// repeating), each drawing from only two of the four classes (#C=2 label
+// skew). Label skew is what makes robust statistics interesting here — under
+// skew the honest updates already disagree, so a rule that survives 20%
+// sign-flipped uploads without washing out the honest signal has to separate
+// adversaries from heterogeneity, not just from noise.
+ScenarioBench MakeScenarioBench(const std::string& algorithm,
+                                const ScenarioConfig& scenario,
+                                const RobustConfig& robust,
+                                uint64_t seed_offset) {
+  constexpr int kParties = 12;
+  constexpr int kClasses = 4;
+  const std::vector<int64_t> shard_sizes = {32, 64, 96, 128};
+  int64_t train_size = 0;
+  for (int i = 0; i < kParties; ++i) {
+    train_size += shard_sizes[i % shard_sizes.size()];
+  }
+
+  ScenarioBench sb;
+  SyntheticTabularConfig config;
+  config.num_classes = kClasses;
+  config.num_features = 32;
+  config.train_size = train_size;
+  config.test_size = 512;
+  config.seed = 17 + seed_offset;
+  const FederatedDataset fd = MakeSyntheticTabular(config);
+  sb.test = fd.test;
+
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 32;
+  spec.num_classes = kClasses;
+
+  std::vector<std::vector<int64_t>> class_pool(kClasses);
+  for (int64_t idx = 0; idx < fd.train.size(); ++idx) {
+    class_pool[fd.train.labels[idx]].push_back(idx);
+  }
+  std::vector<size_t> pool_pos(kClasses, 0);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(kParties);
+  for (int i = 0; i < kParties; ++i) {
+    const int64_t size = shard_sizes[i % shard_sizes.size()];
+    std::vector<int64_t> shard;
+    shard.reserve(size);
+    for (int64_t s = 0; s < size; ++s) {
+      const int cls = (i + static_cast<int>(s) % 2) % kClasses;
+      const auto& pool = class_pool[cls];
+      shard.push_back(pool[pool_pos[cls]++ % pool.size()]);
+    }
+    clients.push_back(std::make_unique<Client>(
+        i, Subset(fd.train, shard), Rng(100 + i + 1000 * seed_offset)));
+  }
+
+  auto algo = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  NIID_CHECK(algo.ok());
+  ServerConfig server_config;
+  server_config.sample_fraction = 1.0;
+  server_config.seed = 5 + seed_offset;
+  server_config.num_threads = 2;
+  server_config.scenario = scenario;
+  server_config.scenario.num_classes = kClasses;
+  server_config.robust = robust;
+  sb.server = std::make_unique<FederatedServer>(
+      MakeModelFactory(spec), std::move(clients), std::move(*algo),
+      server_config);
+  sb.options.local_epochs = 8;
+  sb.options.batch_size = 16;
+  sb.options.learning_rate = 0.01f;
+  return sb;
+}
+
+// A single (seed, cell) accuracy is luck at 512 test samples; each iteration
+// averages a fixed replica set — data, server, client, and scenario streams
+// all reseeded per replica (scenario.seed = 0 derives from the server seed)
+// — so the reported counter is a stable, still fully deterministic, mean.
+constexpr int kScenarioReplicas = 3;
+constexpr int kScenarioRounds = 24;
+
+double MeanScenarioAccuracy(const std::string& algorithm,
+                            const ScenarioConfig& scenario,
+                            const RobustConfig& robust) {
+  double sum = 0.0;
+  for (int replica = 0; replica < kScenarioReplicas; ++replica) {
+    ScenarioBench sb = MakeScenarioBench(algorithm, scenario, robust,
+                                         static_cast<uint64_t>(replica));
+    for (int round = 0; round < kScenarioRounds; ++round) {
+      const RoundStats stats = sb.server->RunRound(sb.options);
+      benchmark::DoNotOptimize(stats.mean_local_loss);
+    }
+    sum += sb.server->EvaluateGlobal(sb.test, 64).accuracy;
+  }
+  return sum / kScenarioReplicas;
+}
+
+const char* kAlgorithms[] = {"fedavg", "fedprox", "scaffold", "fednova"};
+const AggregatorKind kAggregators[] = {
+    AggregatorKind::kMean, AggregatorKind::kMedian,
+    AggregatorKind::kTrimmedMean, AggregatorKind::kNormClip};
+
+RobustConfig MakeRobust(AggregatorKind kind) {
+  RobustConfig robust;
+  robust.aggregator = kind;
+  robust.trim_fraction = 0.25;  // survives up to 3 of 12 outliers per side
+  robust.clip_norm = 1.0;       // honest deltas stay inside; 5x flips do not
+  return robust;
+}
+
+// Scenario columns. clean = the no-attack baseline; signflip20 = a fixed 20%
+// adversary subset uploading 5x-amplified sign-flipped deltas (the headline
+// cell); churn = an honest population under label drift plus a diurnal
+// availability trace (environment dynamics, no adversary).
+ScenarioConfig MakeScenario(int index) {
+  ScenarioConfig scenario;
+  switch (index) {
+    case 0:  // clean
+      break;
+    case 1:  // signflip20
+      scenario.adversary_fraction = 0.2;
+      scenario.attack = AttackKind::kSignFlip;
+      scenario.attack_scale = 5.0;
+      break;
+    case 2:  // churn
+      scenario.drift_period = 8;
+      scenario.drift_beta = 0.5;
+      scenario.drift_intensity = 0.3;
+      scenario.availability_amplitude = 0.4;
+      scenario.availability_period = 6;
+      break;
+    default:
+      NIID_CHECK(false) << "unknown scenario index " << index;
+  }
+  return scenario;
+}
+
+// range(0) = algorithm, range(1) = aggregator, range(2) = scenario — indices
+// into the tables above; tools/bench_json.py mirrors the mapping.
+void BM_Scenario(benchmark::State& state) {
+  const std::string algorithm = kAlgorithms[state.range(0)];
+  const RobustConfig robust = MakeRobust(kAggregators[state.range(1)]);
+  const ScenarioConfig scenario =
+      MakeScenario(static_cast<int>(state.range(2)));
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    accuracy = MeanScenarioAccuracy(algorithm, scenario, robust);
+  }
+  state.counters["final_accuracy"] = accuracy;
+}
+BENCHMARK(BM_Scenario)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1}})
+    ->Args({0, 0, 2})  // churn column: fedavg across all four rules
+    ->Args({0, 1, 2})
+    ->Args({0, 2, 2})
+    ->Args({0, 3, 2})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace niid
+
+#ifndef NIID_BENCH_BUILD_TYPE
+#define NIID_BENCH_BUILD_TYPE "unknown"
+#endif
+
+// Provenance-stamped main, same contract as bench_micro_engine: the packaged
+// benchmark harness misreports its own library_build_type, so
+// tools/bench_json.py keys its Release-only check off these fields.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("niid_build_type", NIID_BENCH_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("niid_assertions", "off");
+#else
+  benchmark::AddCustomContext("niid_assertions", "on");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

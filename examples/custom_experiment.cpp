@@ -50,6 +50,14 @@ int main(int argc, char** argv) {
         "       --compress_k=F (topk/randk kept fraction, default 0.05)\n"
         "       --error_feedback (client-held compression residuals)\n"
         "       --compress_seed=N (rand-k index stream; 0 = derive)\n"
+        "       --attack=none|labelflip|signflip|scale|noise\n"
+        "       --adversary_fraction=F --attack_scale=F\n"
+        "       --drift_period=N (rounds per label-drift generation)\n"
+        "       --drift_beta=F --drift_intensity=F (drift prior / rate)\n"
+        "       --avail_amplitude=F --avail_period=N (diurnal availability)\n"
+        "       --scenario_seed=N (scenario stream; 0 = derive)\n"
+        "       --aggregator=mean|median|trimmed|clipped (robust server)\n"
+        "       --trim_fraction=F (per-side, trimmed) --clip_norm=F (clipped)\n"
         "       --save=PATH (save final global model) --out_csv=PATH\n"
         "       --round_csv=PATH (per-round stats incl. uplink bytes)\n";
     return 0;
@@ -93,7 +101,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt64("fault_seed", 0));
   config.min_aggregate_clients = flags.GetInt("min_aggregate", 1);
   config.max_resample_retries = flags.GetInt("max_retries", 2);
-  config.max_update_norm = flags.GetDouble("max_update_norm", 0.0);
+  // Non-negative by contract: a negative cap would silently disable the
+  // norm gate, which is exactly the footgun Validate() should catch.
+  config.max_update_norm = flags.GetNonNegativeDouble("max_update_norm", 0.0);
   config.checkpoint_path = flags.GetString("checkpoint", "");
   config.checkpoint_every = flags.GetInt("checkpoint_every", 0);
   config.resume = flags.GetBool("resume", false);
@@ -105,6 +115,26 @@ int main(int argc, char** argv) {
   config.compression.seed =
       static_cast<uint64_t>(flags.GetInt64("compress_seed", 0));
   const std::string round_csv = flags.GetString("round_csv", "");
+
+  const std::string attack_name = flags.GetString("attack", "none");
+  config.scenario.adversary_fraction =
+      flags.GetNonNegativeDouble("adversary_fraction", 0.0);
+  config.scenario.attack_scale =
+      flags.GetNonNegativeDouble("attack_scale", 1.0);
+  config.scenario.drift_period = flags.GetInt("drift_period", 0);
+  config.scenario.drift_beta =
+      flags.GetNonNegativeDouble("drift_beta", 0.5);
+  config.scenario.drift_intensity =
+      flags.GetNonNegativeDouble("drift_intensity", 0.5);
+  config.scenario.availability_amplitude =
+      flags.GetNonNegativeDouble("avail_amplitude", 0.0);
+  config.scenario.availability_period = flags.GetInt("avail_period", 24);
+  config.scenario.seed =
+      static_cast<uint64_t>(flags.GetInt64("scenario_seed", 0));
+  const std::string aggregator_name = flags.GetString("aggregator", "mean");
+  config.robust.trim_fraction =
+      flags.GetNonNegativeDouble("trim_fraction", 0.1);
+  config.robust.clip_norm = flags.GetNonNegativeDouble("clip_norm", 0.0);
 
   const std::string partition_name = flags.GetString("partition", "label-dir");
   config.partition.num_parties = flags.GetInt("parties", 10);
@@ -138,10 +168,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  auto attack_or = niid::ParseAttack(attack_name);
+  if (!attack_or.ok()) {
+    std::cerr << attack_or.status().ToString() << "\n";
+    return 1;
+  }
+  config.scenario.attack = *attack_or;
+
+  auto aggregator_or = niid::ParseAggregator(aggregator_name);
+  if (!aggregator_or.ok()) {
+    std::cerr << aggregator_or.status().ToString() << "\n";
+    return 1;
+  }
+  config.robust.aggregator = *aggregator_or;
+
   std::cout << "experiment: " << config.dataset << " / "
             << config.partition.Label() << " / " << config.algorithm
             << " / " << config.partition.num_parties << " parties / "
-            << config.rounds << " rounds\n\n";
+            << config.rounds << " rounds\n";
+  if (config.scenario.enabled() || config.robust.enabled()) {
+    std::cout << "scenario: attack=" << niid::AttackName(config.scenario.attack)
+              << " adversaries=" << config.scenario.adversary_fraction
+              << " drift_period=" << config.scenario.drift_period
+              << " avail_amplitude=" << config.scenario.availability_amplitude
+              << " aggregator=" << niid::AggregatorName(config.robust.aggregator)
+              << "\n";
+    if (config.scenario.adversarial() && config.max_update_norm == 0.0 &&
+        config.robust.aggregator == niid::AggregatorKind::kMean) {
+      std::cout << "WARNING: adversarial scenario with the update-norm gate "
+                   "disabled (--max_update_norm=0) and the plain mean "
+                   "aggregator — poisoned updates flow straight into the "
+                   "global model\n";
+    }
+  }
+  std::cout << "\n";
 
   // Pre-training skew profile (server-visible metadata only).
   {
@@ -163,6 +223,8 @@ int main(int argc, char** argv) {
   // faithful stand-in for the process dying right after a checkpoint.
   long total_dropped = 0, total_crashed = 0, total_straggled = 0;
   long total_rejected = 0, total_skipped_rounds = 0;
+  long total_unavailable = 0, total_flipped = 0, total_poisoned = 0;
+  long total_clipped = 0, total_trimmed = 0;
   long long total_bytes = 0, total_bytes_uncompressed = 0;
   std::vector<niid::RoundStats> round_log;
   const niid::RoundObserver observer =
@@ -172,6 +234,11 @@ int main(int argc, char** argv) {
         total_crashed += stats.crashed;
         total_straggled += stats.straggled;
         total_rejected += stats.rejected;
+        total_unavailable += stats.unavailable;
+        total_flipped += stats.flipped;
+        total_poisoned += stats.poisoned;
+        total_clipped += stats.clipped;
+        total_trimmed += stats.trimmed;
         total_bytes += stats.bytes_uplink;
         total_bytes_uncompressed += stats.bytes_uplink_uncompressed;
         if (!stats.quorum_met) ++total_skipped_rounds;
@@ -191,6 +258,13 @@ int main(int argc, char** argv) {
               << " straggled=" << total_straggled
               << " rejected=" << total_rejected
               << " below-quorum rounds=" << total_skipped_rounds << "\n\n";
+  }
+  if (config.scenario.enabled() || config.robust.enabled()) {
+    std::cout << "scenario summary: unavailable=" << total_unavailable
+              << " flipped=" << total_flipped
+              << " poisoned=" << total_poisoned
+              << " clipped=" << total_clipped
+              << " trimmed=" << total_trimmed << "\n\n";
   }
   if (config.compression.enabled() && total_bytes > 0) {
     std::cout << "uplink: " << total_bytes << " bytes on wire ("

@@ -11,6 +11,8 @@
 #include "fl/compress.h"
 #include "fl/faults.h"
 #include "fl/privacy.h"
+#include "fl/robust.h"
+#include "fl/scenario.h"
 #include "partition/partition.h"
 
 namespace niid {
@@ -83,6 +85,13 @@ struct ExperimentConfig {
 
   /// Update compression on the uplink (fl/compress.h); identity by default.
   CompressionConfig compression;
+
+  /// Deterministic environment scenario (fl/scenario.h): label drift,
+  /// diurnal availability, adversarial parties. num_classes is filled from
+  /// the dataset by the runner; disabled by default.
+  ScenarioConfig scenario;
+  /// Robust aggregation rule (fl/robust.h); plain mean by default.
+  RobustConfig robust;
 
   /// Crash-safe persistence: when checkpoint_every > 0 and checkpoint_path
   /// is set, trial t's state is written atomically to

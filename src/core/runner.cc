@@ -79,6 +79,13 @@ std::unique_ptr<FederatedServer> BuildServerForTrial(
   server_config.max_update_norm = config.max_update_norm;
   server_config.compression = config.compression;
   server_config.num_shards = config.num_shards;
+  server_config.scenario = config.scenario;
+  if (server_config.scenario.num_classes == 0) {
+    // Label transforms (drift, labelflip) need the class count; the dataset
+    // is authoritative unless the caller pinned one explicitly.
+    server_config.scenario.num_classes = data.train.num_classes;
+  }
+  server_config.robust = config.robust;
 
   if (config.sparse_parties) {
     // Sparse party engine: no per-party objects, no dense partition table.

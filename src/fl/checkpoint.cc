@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "fl/compress.h"
+#include "fl/robust.h"
 #include "util/check.h"
 
 namespace niid {
@@ -15,9 +16,11 @@ constexpr char kMagic[8] = {'N', 'I', 'I', 'D', 'C', 'K', 'P', 'T'};
 /// v1: pre-compression format. v2 adds the codec fingerprint (name,
 /// error-feedback bit, codec seed), cumulative wire bytes, and per-party
 /// error-feedback residuals. v3 adds the sparse party-id table (empty in
-/// dense checkpoints, so dense v3 files carry 8 extra bytes over v2).
-/// Readers accept all three; writers emit v3.
-constexpr uint32_t kVersion = 3;
+/// dense checkpoints, so dense v3 files carry 8 extra bytes over v2). v4
+/// adds the scenario fingerprint and aggregator name (fl/scenario.h,
+/// fl/robust.h) — both layers are stateless, so the fingerprint pair IS
+/// their state. Readers accept all four; writers emit v4.
+constexpr uint32_t kVersion = 4;
 
 uint64_t Fnv1a(const char* data, size_t size) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -201,6 +204,8 @@ Status WriteCheckpointFile(const ServerCheckpoint& checkpoint,
   }
   AppendPod(payload, static_cast<uint8_t>(checkpoint.sparse ? 1 : 0));
   AppendInt64s(payload, checkpoint.party_ids);
+  AppendPod(payload, checkpoint.scenario_fingerprint);
+  AppendString(payload, checkpoint.aggregator);
   AppendPod(payload, checkpoint.trial);
   AppendDoubles(payload, checkpoint.round_accuracy);
   AppendDoubles(payload, checkpoint.round_loss);
@@ -339,6 +344,12 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
     }
     checkpoint.sparse = sparse != 0;
   }
+  if (version >= 4) {
+    if (!cursor.ReadPod(checkpoint.scenario_fingerprint) ||
+        !cursor.ReadString(checkpoint.aggregator)) {
+      return Status::DataLoss("truncated scenario fingerprint");
+    }
+  }
   if (!cursor.ReadPod(checkpoint.trial) ||
       !cursor.ReadDoubles(checkpoint.round_accuracy) ||
       !cursor.ReadDoubles(checkpoint.round_loss)) {
@@ -393,6 +404,10 @@ StatusOr<ServerCheckpoint> ReadCheckpointFile(const std::string& path) {
   if (!ParseCodec(checkpoint.codec).ok()) {
     return Status::InvalidArgument("unknown checkpoint codec '" +
                                    checkpoint.codec + "'");
+  }
+  if (!ParseAggregator(checkpoint.aggregator).ok()) {
+    return Status::InvalidArgument("unknown checkpoint aggregator '" +
+                                   checkpoint.aggregator + "'");
   }
   // An absent residual section (v1 files, or writers that never compressed)
   // normalizes to one empty residual per party entry.

@@ -60,6 +60,15 @@ struct ServerCheckpoint {
   bool sparse = false;
   std::vector<int64_t> party_ids;
 
+  /// Scenario + robust-aggregation fingerprint (v4; files written before the
+  /// scenario layer read back with these defaults, i.e. scenario off and the
+  /// plain mean). Both layers are stateless — pure functions of config +
+  /// seed — so exact resume needs only proof that the restoring server
+  /// reconstructs the same schedule: ScenarioPlan::Fingerprint() (0 when the
+  /// scenario is disabled) and the aggregator name.
+  uint64_t scenario_fingerprint = 0;
+  std::string aggregator = "mean";
+
   /// Experiment-runner bookkeeping (unused by FederatedServer itself): which
   /// trial this belongs to and the accuracy/loss curve accumulated so far.
   int64_t trial = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "fl/scenario.h"
 #include "nn/loss.h"
 #include "util/check.h"
 
@@ -81,6 +82,17 @@ LocalUpdate Client::Train(TrainContext& ctx, const StateVector& global_state,
       ctx.batch_indices.assign(ctx.order.begin() + start,
                                ctx.order.begin() + start + count);
       GatherBatchInto(data_, ctx.batch_indices, ctx.batch_x, ctx.batch_y);
+      if (options.scenario != nullptr &&
+          (options.drift_generation > 0 || options.flip_labels)) {
+        // Scenario label transforms key on the LOCAL sample index (stable
+        // across epochs and shuffles), so a given sample always trains
+        // under the same label regardless of batch composition.
+        for (size_t k = 0; k < ctx.batch_indices.size(); ++k) {
+          ctx.batch_y[k] = options.scenario->TransformLabel(
+              id_, options.drift_generation, ctx.batch_indices[k],
+              ctx.batch_y[k], options.flip_labels);
+        }
+      }
       ctx.optimizer->ZeroGrads();
       const Tensor& logits = ctx.model->Forward(ctx.batch_x);
       SoftmaxCrossEntropyInto(logits, ctx.batch_y, ctx.loss);

@@ -14,6 +14,8 @@
 
 namespace niid {
 
+class ScenarioPlan;
+
 /// Hyper-parameters of one local-training invocation (Algorithm 1, party
 /// side). Paper defaults: E=10, B=64, SGD(lr, momentum 0.9).
 struct LocalTrainOptions {
@@ -25,6 +27,15 @@ struct LocalTrainOptions {
   /// FedBN-style ablation: when true the client keeps its own BatchNorm
   /// running statistics instead of adopting the server's.
   bool keep_local_buffers = false;
+  /// Scenario label transforms (fl/scenario.h), applied to each gathered
+  /// batch. Null outside scenario runs — the zero-cost default. Kept as a
+  /// plain pointer + POD fields so copying options per sampled party stays
+  /// allocation-free.
+  const ScenarioPlan* scenario = nullptr;
+  /// Drift generation this party trains under (0 = partition-time labels).
+  int drift_generation = 0;
+  /// Adversarial label-flip party: trains on y -> C-1-y.
+  bool flip_labels = false;
 };
 
 /// What a party returns to the server after local training.

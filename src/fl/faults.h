@@ -58,7 +58,10 @@ struct FaultDecision {
 /// thread in any order and always returns the same decision, which is what
 /// makes fault schedules bit-identical across num_threads ∈ {1, 2, 8}. The
 /// stream is derived per (round, client) with its own seed, so enabling
-/// faults never perturbs the sampling or training draws.
+/// faults never perturbs the sampling or training draws. ScenarioPlan
+/// (fl/scenario.h) follows this exact idiom for drift / availability /
+/// adversaries, anchored at a different derivation offset so the two
+/// schedule families never share a stream even under the same server seed.
 class FaultPlan {
  public:
   /// `server_seed` anchors the derived stream when config.seed == 0.

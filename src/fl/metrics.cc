@@ -17,16 +17,20 @@ Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
     return Status::InvalidArgument("cannot open round-stats csv '" + path +
                                    "' for writing");
   }
+  // Scenario counters append AFTER the historical columns: positional
+  // consumers of the original schema keep working unchanged.
   out << "round,mean_local_loss,aggregated,dropped,crashed,straggled,"
          "rejected,resample_retries,quorum_met,bytes_uplink,"
-         "bytes_uplink_uncompressed\n";
+         "bytes_uplink_uncompressed,unavailable,flipped,poisoned,clipped,"
+         "trimmed\n";
   for (const RoundStats& stats : rounds) {
     out << stats.round << ',' << stats.mean_local_loss << ','
         << stats.aggregated << ',' << stats.dropped << ',' << stats.crashed
         << ',' << stats.straggled << ',' << stats.rejected << ','
         << stats.resample_retries << ',' << (stats.quorum_met ? 1 : 0) << ','
-        << stats.bytes_uplink << ',' << stats.bytes_uplink_uncompressed
-        << '\n';
+        << stats.bytes_uplink << ',' << stats.bytes_uplink_uncompressed << ','
+        << stats.unavailable << ',' << stats.flipped << ',' << stats.poisoned
+        << ',' << stats.clipped << ',' << stats.trimmed << '\n';
   }
   out.flush();
   if (!out) {

@@ -42,12 +42,21 @@ struct RoundStats {
   int resample_retries = 0;  ///< extra sampling attempts to reach quorum
   int aggregated = 0;        ///< updates folded into the global model
   bool quorum_met = true;    ///< false => aggregation skipped this round
+  /// Scenario accounting (fl/scenario.h / fl/robust.h; all zero when the
+  /// scenario layer and robust aggregation are off).
+  int unavailable = 0;  ///< sampled but gated out by the availability trace
+  int flipped = 0;      ///< parties that trained on flipped labels
+  int poisoned = 0;     ///< arrivals rewritten by a model-poisoning attack
+  int clipped = 0;      ///< updates rescaled by the norm-clip aggregator
+  int trimmed = 0;      ///< per-coordinate values trimmed (2k equivalent)
 };
 
 /// Writes one CSV row per round: round, mean_local_loss, aggregated,
 /// dropped, crashed, straggled, rejected, resample_retries, quorum_met,
-/// bytes_uplink, bytes_uplink_uncompressed — the single reporting path the
-/// fault and compression benches share.
+/// bytes_uplink, bytes_uplink_uncompressed, then the scenario counters
+/// (unavailable, flipped, poisoned, clipped, trimmed — appended last so
+/// positional consumers of the original columns keep working) — the single
+/// reporting path the fault, compression, and scenario benches share.
 Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
                           const std::string& path);
 

@@ -1,0 +1,257 @@
+#include "fl/robust.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "nn/parameters.h"
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// Fixed work partition for the coordinate-statistic rules: the coordinate
+// space is cut into kBlocks contiguous ranges regardless of thread count, and
+// each coordinate's statistic depends only on that coordinate across updates
+// — so the result is bit-identical for any pool size, including none.
+constexpr int64_t kBlocks = 64;
+
+/// Clips each update's delta onto the L2 ball of radius clip_norm. Purely
+/// per-update (disjoint writes), so the parallel loop is trivially
+/// deterministic. Composes with every algorithm's own weighting because the
+/// updates keep their identity — nothing is collapsed.
+class NormClipAggregator : public RobustAggregator {
+ public:
+  explicit NormClipAggregator(const RobustConfig& config) : config_(config) {}
+
+  std::string name() const override {
+    return AggregatorName(AggregatorKind::kNormClip);
+  }
+
+  // NIID_HOT: per-round serial server path; flag scratch is grow-only.
+  RobustStats Apply(std::vector<LocalUpdate>& updates,
+                    ThreadPool* pool) override {
+    const int64_t m = static_cast<int64_t>(updates.size());
+    clipped_.resize(m);  // NOLINT(niid-hot-alloc) grow-only scratch
+    ParallelFor(pool, m, [&](int64_t j) {
+      LocalUpdate& update = updates[j];
+      const double norm = Norm(update.delta);
+      clipped_[j] = 0;
+      if (norm > config_.clip_norm) {
+        const float factor = static_cast<float>(config_.clip_norm / norm);
+        for (float& v : update.delta) v *= factor;
+        clipped_[j] = 1;
+      }
+    });
+    RobustStats stats;
+    for (int64_t j = 0; j < m; ++j) stats.clipped += clipped_[j];
+    return stats;
+  }
+
+ private:
+  RobustConfig config_;
+  std::vector<uint8_t> clipped_;
+};
+
+/// Shared machinery for the coordinate-statistic rules (median, trimmed
+/// mean): computes a per-coordinate statistic over all updates and collapses
+/// them into ONE synthetic update written in place into slot 0 — safe
+/// because coordinate i of the output depends only on coordinate i of every
+/// input, which is read before slot 0's coordinate i is overwritten.
+///
+/// Synthetic-update semantics (how one robust update composes with the five
+/// algorithms' Aggregate, which all consume a weighted set):
+///   - num_samples = sum over survivors: with a single update only the ratio
+///     n_j / n matters, so every sample-weighted rule reduces to
+///     server_lr * robust_delta.
+///   - tau = median of survivor taus: FedNova's effective tau for a single
+///     update equals that update's tau, so its normalization cancels and the
+///     robust delta is applied at server_lr exactly like FedAvg.
+///   - delta_c = per-coordinate statistic * m: SCAFFOLD updates its server
+///     control variate by (1/N) * sum of delta_c; pre-scaling by the
+///     survivor count preserves c += (m/N) * robust-mean(delta_c).
+class CoordinateStatisticAggregator : public RobustAggregator {
+ public:
+  // NIID_HOT: per-round serial server path; column scratch is grow-only.
+  RobustStats Apply(std::vector<LocalUpdate>& updates,
+                    ThreadPool* pool) override {
+    const int64_t m = static_cast<int64_t>(updates.size());
+    NIID_CHECK_GT(m, 0);
+    RobustStats stats;
+    if (m == 1) {
+      // The statistic of a single update is the update itself; leaving it
+      // untouched also preserves its weights exactly.
+      OnCollapse(1, &stats);
+      return stats;
+    }
+    const int64_t n = static_cast<int64_t>(updates[0].delta.size());
+    const bool has_control = !updates[0].delta_c.empty();
+    for (const LocalUpdate& update : updates) {
+      NIID_CHECK_EQ(static_cast<int64_t>(update.delta.size()), n);
+      NIID_CHECK_EQ(update.delta_c.empty(), !has_control)
+          << "mixed control-variate presence across updates";
+    }
+    columns_.resize(kBlocks * m);  // NOLINT(niid-hot-alloc) grow-only
+    ReduceField(updates, pool, m, n, /*control=*/false);
+    if (has_control) {
+      ReduceField(updates, pool, m,
+                  static_cast<int64_t>(updates[0].delta_c.size()),
+                  /*control=*/true);
+    }
+    // Collapse: slot 0 becomes the synthetic robust update.
+    LocalUpdate& synthetic = updates[0];
+    synthetic.client_id = -1;
+    int64_t total_samples = 0;
+    taus_.clear();  // NOLINT(niid-hot-alloc) grow-only
+    for (const LocalUpdate& update : updates) {
+      total_samples += update.num_samples;
+      taus_.push_back(update.tau);  // NOLINT(niid-hot-alloc) grow-only
+    }
+    std::sort(taus_.begin(), taus_.end());
+    synthetic.num_samples = total_samples;
+    synthetic.tau = taus_[(m - 1) / 2];  // lower median keeps tau integral
+    synthetic.average_loss = 0.0;  // losses were reduced before Apply
+    updates.resize(1);  // NOLINT(niid-hot-alloc) shrink keeps capacity
+    OnCollapse(static_cast<int>(m), &stats);
+    return stats;
+  }
+
+ protected:
+  /// Statistic over `column`, which ReduceField hands in sorted ascending.
+  virtual float Statistic(float* column, int64_t m) const = 0;
+  /// Lets the rule account per-round stats given the survivor count.
+  virtual void OnCollapse(int m, RobustStats* stats) const = 0;
+
+ private:
+  void ReduceField(std::vector<LocalUpdate>& updates, ThreadPool* pool,
+                   int64_t m, int64_t n, bool control) {
+    ParallelFor(pool, kBlocks, [&](int64_t b) {
+      const int64_t begin = b * n / kBlocks;
+      const int64_t end = (b + 1) * n / kBlocks;
+      float* column = columns_.data() + b * m;
+      for (int64_t i = begin; i < end; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          const LocalUpdate& u = updates[j];
+          column[j] = control ? u.delta_c[i] : u.delta[i];
+        }
+        std::sort(column, column + m);
+        float value = Statistic(column, m);
+        // SCAFFOLD control-variate compensation (see class comment).
+        if (control) value *= static_cast<float>(m);
+        if (control) {
+          updates[0].delta_c[i] = value;
+        } else {
+          updates[0].delta[i] = value;
+        }
+      }
+    });
+  }
+
+  std::vector<float> columns_;
+  std::vector<int64_t> taus_;
+};
+
+class MedianAggregator : public CoordinateStatisticAggregator {
+ public:
+  std::string name() const override {
+    return AggregatorName(AggregatorKind::kMedian);
+  }
+
+ protected:
+  float Statistic(float* column, int64_t m) const override {
+    // Even counts average the two middle values — the textbook coordinate-
+    // wise median; the mean of two sorted neighbors is order-deterministic.
+    if (m % 2 == 1) return column[m / 2];
+    return 0.5f * (column[m / 2 - 1] + column[m / 2]);
+  }
+  void OnCollapse(int /*m*/, RobustStats* /*stats*/) const override {}
+};
+
+class TrimmedMeanAggregator : public CoordinateStatisticAggregator {
+ public:
+  explicit TrimmedMeanAggregator(const RobustConfig& config)
+      : config_(config) {}
+
+  std::string name() const override {
+    return AggregatorName(AggregatorKind::kTrimmedMean);
+  }
+
+ protected:
+  float Statistic(float* column, int64_t m) const override {
+    const int64_t k = TrimCount(m);
+    // Left-to-right sum over the sorted survivors: a fixed order, so the
+    // float result never depends on thread count.
+    double sum = 0.0;
+    for (int64_t j = k; j < m - k; ++j) sum += column[j];
+    return static_cast<float>(sum / static_cast<double>(m - 2 * k));
+  }
+
+  void OnCollapse(int m, RobustStats* stats) const override {
+    stats->trimmed = static_cast<int>(2 * TrimCount(m));
+  }
+
+ private:
+  int64_t TrimCount(int64_t m) const {
+    int64_t k = static_cast<int64_t>(config_.trim_fraction *
+                                     static_cast<double>(m));
+    // Always keep at least one survivor per coordinate.
+    if (2 * k >= m) k = (m - 1) / 2;
+    return k;
+  }
+
+  RobustConfig config_;
+};
+
+}  // namespace
+
+StatusOr<AggregatorKind> ParseAggregator(const std::string& name) {
+  if (name == "mean") return AggregatorKind::kMean;
+  if (name == "median") return AggregatorKind::kMedian;
+  if (name == "trimmed") return AggregatorKind::kTrimmedMean;
+  if (name == "clipped") return AggregatorKind::kNormClip;
+  return Status::InvalidArgument(
+      "unknown aggregator '" + name +
+      "' (expected mean, median, trimmed, or clipped)");
+}
+
+std::string AggregatorName(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kMean:
+      return "mean";
+    case AggregatorKind::kMedian:
+      return "median";
+    case AggregatorKind::kTrimmedMean:
+      return "trimmed";
+    case AggregatorKind::kNormClip:
+      return "clipped";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<RobustAggregator>> CreateRobustAggregator(
+    const RobustConfig& config) {
+  std::unique_ptr<RobustAggregator> aggregator;
+  switch (config.aggregator) {
+    case AggregatorKind::kMean:
+      break;  // null: the baseline mean path has no robust layer
+    case AggregatorKind::kMedian:
+      aggregator = std::make_unique<MedianAggregator>();
+      break;
+    case AggregatorKind::kTrimmedMean:
+      if (config.trim_fraction < 0.0 || config.trim_fraction >= 0.5) {
+        return Status::InvalidArgument(
+            "trim_fraction must be in [0, 0.5) per trimmed side");
+      }
+      aggregator = std::make_unique<TrimmedMeanAggregator>(config);
+      break;
+    case AggregatorKind::kNormClip:
+      if (config.clip_norm <= 0.0) {
+        return Status::InvalidArgument(
+            "clip_norm must be > 0 for the clipped aggregator");
+      }
+      aggregator = std::make_unique<NormClipAggregator>(config);
+      break;
+  }
+  return aggregator;
+}
+
+}  // namespace niid

@@ -1,0 +1,63 @@
+#ifndef NIID_FL_ROBUST_H_
+#define NIID_FL_ROBUST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace niid {
+
+/// Server-side robust aggregation rule. kMean is the paper's sample-weighted
+/// FedAvg-style mean and maps to a null aggregator — the baseline path is
+/// never touched, which is what keeps mean runs byte-identical to pre-robust
+/// builds.
+enum class AggregatorKind { kMean, kMedian, kTrimmedMean, kNormClip };
+
+StatusOr<AggregatorKind> ParseAggregator(const std::string& name);
+std::string AggregatorName(AggregatorKind kind);
+
+struct RobustConfig {
+  AggregatorKind aggregator = AggregatorKind::kMean;
+  /// kTrimmedMean: fraction of updates trimmed from EACH end per coordinate.
+  double trim_fraction = 0.1;
+  /// kNormClip: updates whose delta L2 norm exceeds this are rescaled onto
+  /// the ball. Must be > 0 when kNormClip is selected.
+  double clip_norm = 0.0;
+
+  bool enabled() const { return aggregator != AggregatorKind::kMean; }
+};
+
+/// Per-round robustness accounting, surfaced through RoundStats.
+struct RobustStats {
+  /// kNormClip: number of updates rescaled this round.
+  int clipped = 0;
+  /// kTrimmedMean: per-coordinate values discarded, reported as the
+  /// per-update-equivalent count 2 * floor(trim_fraction * m).
+  int trimmed = 0;
+};
+
+/// Interface between FederatedServer and the robust rules. Apply runs once
+/// per round on the serial server path, after ValidateUpdate / DP and before
+/// FlAlgorithm::Aggregate, and may rewrite `updates` in place — including
+/// collapsing them to a single synthetic update (median / trimmed mean).
+/// Determinism contract: the result must be bit-identical for any `pool`
+/// (null, 1, or N threads) and must not touch any Rng.
+class RobustAggregator {
+ public:
+  virtual ~RobustAggregator() = default;
+  virtual std::string name() const = 0;
+  virtual RobustStats Apply(std::vector<LocalUpdate>& updates,
+                            ThreadPool* pool) = 0;
+};
+
+/// Returns the configured rule, or nullptr for kMean (no robust layer).
+StatusOr<std::unique_ptr<RobustAggregator>> CreateRobustAggregator(
+    const RobustConfig& config);
+
+}  // namespace niid
+
+#endif  // NIID_FL_ROBUST_H_

@@ -12,6 +12,14 @@ namespace niid {
 /// max(1, round(fraction * num_clients)) distinct parties chosen uniformly.
 /// fraction = 1 returns all parties (the paper's default, "all parties
 /// participate in every round"); Section 5.6 uses fraction 0.1 over 100.
+///
+/// Scenario availability (fl/scenario.h) gates AFTER this draw, never inside
+/// it: the server tests each sampled id against ScenarioPlan::Available and
+/// skips the unreachable ones. Keeping the gate out of the sampler means the
+/// sampling stream consumes exactly the same draws whether or not a scenario
+/// is active — which is what makes an all-zero scenario byte-identical to no
+/// scenario, and lets quorum resampling treat "unavailable this round" like
+/// a fault-plan drop (pure in (round, client), so retrying is pointless).
 std::vector<int> SampleParties(Rng& rng, int num_clients, double fraction);
 
 /// Skew-aware party sampling — the paper's Section 6.1 future direction

@@ -1,0 +1,227 @@
+#include "fl/scenario.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace niid {
+namespace {
+
+// splitmix64-style avalanche, same constants as the FaultPlan stream: mixes
+// the (seed, round, client, stream) tuple into an Rng seed.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Stream indices keep every scenario query on a disjoint Rng cell. Values
+// are arbitrary but frozen: changing one silently re-deals every committed
+// scenario schedule.
+constexpr uint64_t kStreamAvailability = 0;
+constexpr uint64_t kStreamAdversary = 1;
+constexpr uint64_t kStreamDriftPrior = 2;
+constexpr uint64_t kStreamDriftSample = 3;
+constexpr uint64_t kStreamPoison = 4;
+constexpr uint64_t kStreamPhase = 5;
+
+uint64_t HashDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return Mix(h ^ bits);
+}
+
+}  // namespace
+
+StatusOr<AttackKind> ParseAttack(const std::string& name) {
+  if (name == "none") return AttackKind::kNone;
+  if (name == "labelflip") return AttackKind::kLabelFlip;
+  if (name == "signflip") return AttackKind::kSignFlip;
+  if (name == "scale") return AttackKind::kScale;
+  if (name == "noise") return AttackKind::kNoise;
+  return Status::InvalidArgument(
+      "unknown attack '" + name +
+      "' (expected none, labelflip, signflip, scale, or noise)");
+}
+
+std::string AttackName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kLabelFlip:
+      return "labelflip";
+    case AttackKind::kSignFlip:
+      return "signflip";
+    case AttackKind::kScale:
+      return "scale";
+    case AttackKind::kNoise:
+      return "noise";
+  }
+  return "unknown";
+}
+
+ScenarioPlan::ScenarioPlan(const ScenarioConfig& config, uint64_t server_seed)
+    : config_(config) {
+  NIID_CHECK_GE(config.drift_period, 0);
+  NIID_CHECK_GT(config.drift_beta, 0.0);
+  NIID_CHECK_GE(config.drift_intensity, 0.0);
+  NIID_CHECK_LE(config.drift_intensity, 1.0);
+  NIID_CHECK_GE(config.availability_amplitude, 0.0);
+  NIID_CHECK_LE(config.availability_amplitude, 1.0);
+  NIID_CHECK_GT(config.availability_period, 0);
+  NIID_CHECK_GE(config.adversary_fraction, 0.0);
+  NIID_CHECK_LE(config.adversary_fraction, 1.0);
+  NIID_CHECK_GT(config.attack_scale, 0.0);
+  if (config.drifts() || config.attack == AttackKind::kLabelFlip) {
+    NIID_CHECK_GT(config.num_classes, 1)
+        << "label transforms need the dataset's class count";
+  }
+  // A fixed offset (distinct from the FaultPlan one) keeps the derived
+  // scenario stream disjoint from both the server seed and the fault stream.
+  base_seed_ = config.seed != 0
+                   ? config.seed
+                   : Mix(server_seed + 0x2545f4914f6cdd1dULL);
+}
+
+Rng ScenarioPlan::CellRng(int round, int client, uint64_t stream) const {
+  uint64_t seed = base_seed_;
+  seed = Mix(seed ^ (static_cast<uint64_t>(round) + 0x632be59bd9b4e019ULL));
+  seed = Mix(seed ^ (static_cast<uint64_t>(client) + 0xd6e8feb86659fd93ULL));
+  seed = Mix(seed ^ stream);
+  return Rng(seed);
+}
+
+bool ScenarioPlan::Available(int round, int client) const {
+  NIID_CHECK_GE(round, 0);
+  NIID_CHECK_GE(client, 0);
+  if (!config_.gates_availability()) return true;
+  // Per-party phase so the diurnal trough rolls through the population in
+  // waves instead of blacking out everyone in the same rounds.
+  const uint64_t phase = CellRng(0, client, kStreamPhase)
+                             .UniformInt(config_.availability_period);
+  const double angle =
+      2.0 * M_PI *
+      (static_cast<double>(round + static_cast<int>(phase)) /
+       config_.availability_period);
+  const double p_avail =
+      1.0 - config_.availability_amplitude * 0.5 * (1.0 + std::sin(angle));
+  return CellRng(round, client, kStreamAvailability).Uniform() < p_avail;
+}
+
+int ScenarioPlan::DriftGeneration(int round, int client) const {
+  NIID_CHECK_GE(round, 0);
+  NIID_CHECK_GE(client, 0);
+  if (!config_.drifts()) return 0;
+  // Generation is a pure function of round / period with a per-party phase:
+  // O(1) with no per-round bookkeeping, so the sparse 1M-party engine can
+  // evaluate it for any (round, client) it happens to materialize.
+  const uint64_t phase =
+      CellRng(0, client, kStreamPhase).UniformInt(config_.drift_period);
+  return (round + static_cast<int>(phase)) / config_.drift_period;
+}
+
+bool ScenarioPlan::IsAdversary(int client) const {
+  NIID_CHECK_GE(client, 0);
+  if (!config_.adversarial()) return false;
+  // Round-independent: the adversary subset is fixed for the whole run, as
+  // in the standard Byzantine threat model.
+  return CellRng(0, client, kStreamAdversary).Uniform() <
+         config_.adversary_fraction;
+}
+
+int ScenarioPlan::DriftedLabel(int client, int generation, double u) const {
+  const int classes = config_.num_classes;
+  // One Dirichlet(beta) draw is gamma(beta) per class, normalized. Selecting
+  // a categorical sample from it only needs the total mass and a cumulative
+  // walk, so the gamma stream is replayed twice instead of allocating a
+  // prior vector — this runs inside the training hot loop.
+  Rng prior = CellRng(generation, client, kStreamDriftPrior);
+  double total = 0.0;
+  for (int c = 0; c < classes; ++c) {
+    total += prior.Gamma(config_.drift_beta);
+  }
+  NIID_CHECK_GT(total, 0.0);
+  const double target = u * total;
+  Rng walk = CellRng(generation, client, kStreamDriftPrior);
+  double cumulative = 0.0;
+  for (int c = 0; c < classes; ++c) {
+    cumulative += walk.Gamma(config_.drift_beta);
+    if (target < cumulative) return c;
+  }
+  return classes - 1;
+}
+
+int ScenarioPlan::TransformLabel(int client, int generation,
+                                 int64_t sample_index, int label,
+                                 bool flip) const {
+  int out = label;
+  if (generation > 0 && config_.drifts()) {
+    // The per-sample stream folds the local sample index into the stream
+    // slot, so each sample decides independently — and identically across
+    // epochs, shuffles, and thread counts.
+    Rng sample_rng =
+        CellRng(generation, client,
+                kStreamDriftSample ^ Mix(static_cast<uint64_t>(sample_index) +
+                                         0x9e3779b97f4a7c15ULL));
+    if (sample_rng.Uniform() < config_.drift_intensity) {
+      out = DriftedLabel(client, generation, sample_rng.Uniform());
+    }
+  }
+  if (flip) {
+    // The classic targeted flip: y -> C-1-y. Deterministic, so a flipped
+    // party trains on a consistent (wrong) task every round.
+    out = config_.num_classes - 1 - out;
+  }
+  return out;
+}
+
+void ScenarioPlan::Poison(int round, int client, LocalUpdate& update) const {
+  switch (config_.attack) {
+    case AttackKind::kNone:
+    case AttackKind::kLabelFlip:
+      return;
+    case AttackKind::kSignFlip: {
+      const float factor = -static_cast<float>(config_.attack_scale);
+      for (float& v : update.delta) v *= factor;
+      for (float& v : update.delta_c) v *= factor;
+      return;
+    }
+    case AttackKind::kScale: {
+      const float factor = static_cast<float>(config_.attack_scale);
+      for (float& v : update.delta) v *= factor;
+      for (float& v : update.delta_c) v *= factor;
+      return;
+    }
+    case AttackKind::kNoise: {
+      Rng rng = CellRng(round, client, kStreamPoison);
+      const float stddev = static_cast<float>(config_.attack_scale);
+      for (float& v : update.delta) {
+        v += stddev * static_cast<float>(rng.Normal());
+      }
+      return;
+    }
+  }
+}
+
+uint64_t ScenarioPlan::Fingerprint() const {
+  if (!config_.enabled()) return 0;
+  uint64_t h = Mix(base_seed_ ^ 0x5851f42d4c957f2dULL);
+  h = Mix(h ^ static_cast<uint64_t>(config_.drift_period));
+  h = HashDouble(h, config_.drift_beta);
+  h = HashDouble(h, config_.drift_intensity);
+  h = HashDouble(h, config_.availability_amplitude);
+  h = Mix(h ^ static_cast<uint64_t>(config_.availability_period));
+  h = HashDouble(h, config_.adversary_fraction);
+  h = Mix(h ^ static_cast<uint64_t>(config_.attack));
+  h = HashDouble(h, config_.attack_scale);
+  h = Mix(h ^ static_cast<uint64_t>(config_.num_classes));
+  // A disabled scenario fingerprints as 0; make sure an enabled one never
+  // collides with that sentinel.
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace niid

@@ -1,0 +1,127 @@
+#ifndef NIID_FL_SCENARIO_H_
+#define NIID_FL_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fl/client.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace niid {
+
+/// Adversarial update transform applied by a malicious party between its
+/// local training output and the upload. kLabelFlip is a data-poisoning
+/// attack (training itself runs on flipped labels); the other three are
+/// model-poisoning attacks on the update vector.
+enum class AttackKind { kNone, kLabelFlip, kSignFlip, kScale, kNoise };
+
+StatusOr<AttackKind> ParseAttack(const std::string& name);
+std::string AttackName(AttackKind kind);
+
+/// Deterministic environment model layered on top of the static paper
+/// partitions: label drift over rounds, diurnal availability, and a fixed
+/// adversary subset running one of the attacks above. All probabilities and
+/// periods are per-round / per-client; everything derives from one seed so a
+/// scenario run replays exactly.
+struct ScenarioConfig {
+  /// Rounds per drift generation; 0 disables drift. Within a generation a
+  /// party's labels are stable; at each generation boundary (phase-shifted
+  /// per party) a fresh Dirichlet label prior is drawn and a fraction of the
+  /// party's samples are relabeled from it.
+  int drift_period = 0;
+  /// Concentration of the re-drawn per-party label prior.
+  double drift_beta = 0.5;
+  /// Fraction of a drifting party's samples that take the new prior's label.
+  double drift_intensity = 0.5;
+  /// Peak-to-trough availability swing in [0, 1]; 0 disables the gate. A
+  /// party's availability follows 1 - amplitude * (1 + sin(...)) / 2 over a
+  /// period of `availability_period` rounds, phase-shifted per party so the
+  /// population thins out in rolling waves rather than all at once.
+  double availability_amplitude = 0.0;
+  /// Rounds per simulated day for the availability sinusoid.
+  int availability_period = 24;
+  /// Fraction of the population that is adversarial. The adversary set is a
+  /// pure function of (seed, client) — fixed across rounds, as in the
+  /// standard Byzantine threat model.
+  double adversary_fraction = 0.0;
+  AttackKind attack = AttackKind::kNone;
+  /// kSignFlip / kScale: multiplier magnitude. kNoise: stddev of the added
+  /// Gaussian per coordinate.
+  double attack_scale = 1.0;
+  /// Number of label classes; required (> 0) when drift or label-flip is
+  /// active. The experiment runner fills it from the dataset.
+  int num_classes = 0;
+  /// Seed of the scenario stream. 0 derives it from the server seed, keeping
+  /// scenario draws independent of sampling, training, and fault streams.
+  uint64_t seed = 0;
+
+  bool drifts() const { return drift_period > 0; }
+  bool gates_availability() const { return availability_amplitude > 0.0; }
+  bool adversarial() const {
+    return adversary_fraction > 0.0 && attack != AttackKind::kNone;
+  }
+  bool enabled() const {
+    return drifts() || gates_availability() || adversarial();
+  }
+};
+
+/// A seeded, stateless scenario schedule following the FaultPlan idiom:
+/// every query is a pure function of (seed, round, client[, sample]), so it
+/// can be evaluated from any worker thread in any order — that is what makes
+/// scenario runs bit-identical across num_threads in {1, 2, 8} and across
+/// shard counts, and what lets checkpoint resume reconstruct the schedule
+/// from the config fingerprint alone (there is no mutable state to save).
+class ScenarioPlan {
+ public:
+  /// `server_seed` anchors the derived stream when config.seed == 0.
+  ScenarioPlan(const ScenarioConfig& config, uint64_t server_seed);
+
+  /// Whether `client` is reachable in `round` under the diurnal trace.
+  /// Always true when availability gating is off. Thread-safe.
+  bool Available(int round, int client) const;
+
+  /// Drift generation of `client` at `round` (0 before the first drift).
+  /// Purely round / period with a per-party phase, so sparse 1M-party mode
+  /// never needs per-round bookkeeping.
+  int DriftGeneration(int round, int client) const;
+
+  /// Whether `client` belongs to the fixed adversary subset.
+  bool IsAdversary(int client) const;
+
+  /// Label seen by training for the party's local sample `sample_index`
+  /// whose partition-time label is `label`. Applies generation drift first
+  /// (if `generation` > 0), then the adversarial label flip (if `flip`).
+  /// Pure in (seed, client, generation, sample_index, label).
+  int TransformLabel(int client, int generation, int64_t sample_index,
+                     int label, bool flip) const;
+
+  /// Applies the configured model-poisoning attack to `update` in place.
+  /// No-op for kNone / kLabelFlip. Deterministic per (round, client).
+  void Poison(int round, int client, LocalUpdate& update) const;
+
+  /// Stable hash of every config field (and the resolved base seed); 0 when
+  /// the scenario is disabled. Checkpoints carry it so resume can prove the
+  /// resumed process replays the same schedule.
+  uint64_t Fingerprint() const;
+
+  bool enabled() const { return config_.enabled(); }
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  /// Fresh Rng for the (round, client, stream) cell.
+  Rng CellRng(int round, int client, uint64_t stream) const;
+
+  /// Draws a label from the party's generation-`generation` Dirichlet prior
+  /// without materializing the prior vector: the per-(client, generation)
+  /// gamma stream is replayed twice (total mass, then the cumulative walk
+  /// that `u` selects into).
+  int DriftedLabel(int client, int generation, double u) const;
+
+  ScenarioConfig config_;
+  uint64_t base_seed_;
+};
+
+}  // namespace niid
+
+#endif  // NIID_FL_SCENARIO_H_

@@ -47,6 +47,7 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
       algorithm_(std::move(algorithm)),
       config_(config),
       fault_plan_(config.faults, config.seed),
+      scenario_plan_(config.scenario, config.seed),
       rng_(config.seed) {
   NIID_CHECK(!clients_.empty());
   if (config_.skew_aware_sampling) {
@@ -66,6 +67,7 @@ FederatedServer::FederatedServer(const ModelFactory& factory,
       algorithm_(std::move(algorithm)),
       config_(config),
       fault_plan_(config.faults, config.seed),
+      scenario_plan_(config.scenario, config.seed),
       rng_(config.seed) {
   NIID_CHECK(party_source_ != nullptr);
   NIID_CHECK_GE(party_source_->num_parties(), 1);
@@ -81,6 +83,12 @@ void FederatedServer::Init(const ModelFactory& factory) {
   NIID_CHECK_GE(config_.max_resample_retries, 0);
   NIID_CHECK_GE(config_.max_update_norm, 0.0);
   NIID_CHECK_GE(config_.num_shards, 0);
+  {
+    StatusOr<std::unique_ptr<RobustAggregator>> robust =
+        CreateRobustAggregator(config_.robust);
+    NIID_CHECK(robust.ok()) << robust.status().ToString();
+    robust_ = std::move(*robust);
+  }
   Rng init_rng = rng_.Split();
   {
     // The global model exists only as a flat state vector; the factory model
@@ -236,6 +244,14 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
       if (attempted[id]) continue;
       attempted[id] = true;
       ++num_attempted;
+      if (config_.scenario.gates_availability() &&
+          !scenario_plan_.Available(stats.round, id)) {
+        // Diurnal trough: the party is unreachable this round. It still
+        // counts as attempted — its availability is a pure function of
+        // (round, client), so retrying it would change nothing.
+        ++stats.unavailable;
+        continue;
+      }
       Assignment assignment;
       assignment.client_id = id;
       assignment.options = per_client_options[i];
@@ -260,6 +276,22 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
         assignment.options.local_epochs = std::max(
             1, static_cast<int>(assignment.decision.work_fraction *
                                 assignment.options.local_epochs));
+      }
+      if (scenario_plan_.enabled()) {
+        // Scenario label transforms: drift generation for everyone, the
+        // flip only for adversarial parties under the labelflip attack.
+        // Both are pure in (round, client), so they ride the options struct
+        // into the parallel phase with no ordering concerns.
+        const int generation = scenario_plan_.DriftGeneration(stats.round, id);
+        const bool flip =
+            config_.scenario.attack == AttackKind::kLabelFlip &&
+            scenario_plan_.IsAdversary(id);
+        if (generation > 0 || flip) {
+          assignment.options.scenario = &scenario_plan_;
+          assignment.options.drift_generation = generation;
+          assignment.options.flip_labels = flip;
+          if (flip) ++stats.flipped;
+        }
       }
       // NOLINTNEXTLINE(niid-hot-alloc) within capacity reserved at startup
       work.push_back(std::move(assignment));
@@ -310,6 +342,16 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
           } else {
             updates[slot] = algorithm_->RunClient(
                 client, *lease, global_state_, assignment.options);
+            if (scenario_plan_.enabled() &&
+                scenario_plan_.IsAdversary(assignment.client_id)) {
+              // The adversary rewrites its own update before upload, so the
+              // poisoned vector is what the codec compresses and what
+              // ValidateUpdate later gates. Pure in (round, client) and
+              // slot-disjoint — safe under ParallelFor. No-op for
+              // kLabelFlip (the damage happened during training).
+              scenario_plan_.Poison(stats.round, assignment.client_id,
+                                    updates[slot]);
+            }
             if (codec_) {
               // The party compresses its own upload before it leaves the
               // device: fold in (and refresh) its durable error-feedback
@@ -339,6 +381,11 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
     for (size_t slot = 0; slot < work.size(); ++slot) {
       const Assignment& assignment = work[slot];
       if (assignment.decision.type == FaultType::kCrash) continue;
+      if (config_.scenario.adversarial() &&
+          config_.scenario.attack != AttackKind::kLabelFlip &&
+          scenario_plan_.IsAdversary(assignment.client_id)) {
+        ++stats.poisoned;  // model-poisoned upload actually arrived
+      }
       // Uplink accounting per arrival (rejects included — they crossed the
       // wire too). Sidecar floats the codec does not touch (SCAFFOLD's
       // delta_c) ship uncompressed either way.
@@ -402,19 +449,32 @@ RoundStats FederatedServer::RunRound(const LocalTrainOptions& options) {
           : reducer_.ReduceLossSum(survivors) /
                 static_cast<double>(survivors.size());
 
+  // Survivor count BEFORE any robust collapse: it drives both the reported
+  // aggregation width and the upload accounting (median/trimmed shrink the
+  // vector to one synthetic update, but every survivor crossed the wire).
+  const int64_t num_survivors = static_cast<int64_t>(survivors.size());
   if (stats.quorum_met) {
+    stats.aggregated = static_cast<int>(num_survivors);
+    if (robust_) {
+      // Robust pre-aggregation on the validated, DP-perturbed survivors:
+      // clip rescales in place, median/trimmed collapse to one synthetic
+      // update (fl/robust.h explains how that composes with each
+      // algorithm's weighting). Deterministic for any pool size.
+      const RobustStats robust_stats = robust_->Apply(survivors, pool_.get());
+      stats.clipped = robust_stats.clipped;
+      stats.trimmed = robust_stats.trimmed;
+    }
     // Partial aggregation re-weights over the survivors: every algorithm's
     // Aggregate normalizes by the survivors' own sample counts (and SCAFFOLD
     // still divides control-variate progress by the full party count), so a
     // round with casualties remains a valid, smaller-quorum round. The
     // sharded reducer consumes the survivors' update vectors in place.
     algorithm_->Aggregate(global_state_, survivors, layout_, reducer_);
-    stats.aggregated = static_cast<int>(survivors.size());
   }
   // Communication accounting: survivors and rejected updates both crossed
   // the wire; dropped and crashed parties never uploaded anything.
   cumulative_upload_floats_ +=
-      static_cast<int64_t>(survivors.size() + stats.rejected) *
+      (num_survivors + stats.rejected) *
       algorithm_->UploadFloatsPerClient(
           static_cast<int64_t>(global_state_.size()));
   stats.cumulative_upload_floats = cumulative_upload_floats_;
@@ -448,6 +508,11 @@ ServerCheckpoint FederatedServer::MakeCheckpoint() const {
   checkpoint.codec_seed = config_.compression.seed;
   checkpoint.num_clients = num_clients();
   checkpoint.state_size = static_cast<int64_t>(global_state_.size());
+  // Both scenario and robust layers are stateless (pure functions of their
+  // config + seed), so their entire "state" is the fingerprint/name pair the
+  // restore guard checks — matching construction replays them exactly.
+  checkpoint.scenario_fingerprint = scenario_plan_.Fingerprint();
+  checkpoint.aggregator = AggregatorName(config_.robust.aggregator);
   checkpoint.rounds_completed = rounds_completed_;
   checkpoint.cumulative_upload_floats = cumulative_upload_floats_;
   checkpoint.cumulative_bytes_uplink = cumulative_bytes_uplink_;
@@ -503,6 +568,17 @@ Status FederatedServer::RestoreCheckpoint(const ServerCheckpoint& checkpoint) {
         "checkpoint compression fingerprint (codec '" + checkpoint.codec +
         "') does not match server codec '" +
         CodecName(config_.compression.codec) + "'");
+  }
+  if (checkpoint.scenario_fingerprint != scenario_plan_.Fingerprint()) {
+    return Status::InvalidArgument(
+        "checkpoint scenario fingerprint does not match this server's "
+        "scenario config (drift/availability/attack schedule would diverge)");
+  }
+  if (checkpoint.aggregator != AggregatorName(config_.robust.aggregator)) {
+    return Status::InvalidArgument(
+        "checkpoint aggregator '" + checkpoint.aggregator +
+        "' does not match server aggregator '" +
+        AggregatorName(config_.robust.aggregator) + "'");
   }
   if (checkpoint.num_clients != static_cast<int64_t>(num_clients())) {
     return Status::InvalidArgument("checkpoint client count mismatch");

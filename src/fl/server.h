@@ -15,6 +15,8 @@
 #include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/privacy.h"
+#include "fl/robust.h"
+#include "fl/scenario.h"
 #include "fl/workspace.h"
 #include "nn/models/factory.h"
 #include "util/check.h"
@@ -69,6 +71,15 @@ struct ServerConfig {
   /// first trains with Rng(DeriveStreamSeed(party_stream_seed, p)) — an O(1)
   /// derivation, unlike the dense path's O(p) chain of setup-rng splits.
   uint64_t party_stream_seed = 0;
+  /// Deterministic environment scenario (fl/scenario.h): label drift,
+  /// diurnal availability, adversarial parties. Disabled by default; the
+  /// scenario stream is independent of the sampling, training, and fault
+  /// streams, so an all-zero scenario is byte-identical to no scenario.
+  ScenarioConfig scenario;
+  /// Robust aggregation rule (fl/robust.h) applied to the validated
+  /// survivors right before the algorithm's Aggregate. kMean (default) maps
+  /// to no robust layer at all — the baseline path is untouched.
+  RobustConfig robust;
 };
 
 /// Server-side guard applied to every incoming update before aggregation:
@@ -205,6 +216,10 @@ class FederatedServer {
   std::unique_ptr<FlAlgorithm> algorithm_;
   ServerConfig config_;
   FaultPlan fault_plan_;
+  ScenarioPlan scenario_plan_;
+  /// Null under the mean aggregator: the byte-compatible path never touches
+  /// the robust layer at all.
+  std::unique_ptr<RobustAggregator> robust_;
   /// Null when compression is off (identity codec): the byte-compatible path
   /// never touches the codec layer at all.
   std::unique_ptr<UpdateCodec> codec_;

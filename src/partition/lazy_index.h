@@ -37,6 +37,12 @@ namespace niid {
 /// the same per-party transforms as MaterializeClientDataset (label flip,
 /// feature noise), driven by transform streams derived purely from
 /// (seed, party) so materialization order never matters.
+///
+/// Scenario label drift (fl/scenario.h) composes with this by design: drift
+/// re-labels samples at TRAIN time, keyed on (party, generation, local
+/// sample index), so the partition-time index derivation here never changes
+/// across rounds — sparse 1M-party mode replays a drifting population with
+/// no per-round re-partitioning and no extra state.
 class LazyPartitionIndex : public PartySource {
  public:
   /// Takes ownership of `dataset`. Aborts on unsupported strategy/config

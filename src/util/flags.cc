@@ -78,6 +78,16 @@ double FlagParser::GetDouble(const std::string& name,
   return parsed;
 }
 
+double FlagParser::GetNonNegativeDouble(const std::string& name,
+                                        double default_value) const {
+  const double parsed = GetDouble(name, default_value);
+  if (parsed < 0.0) {
+    parse_errors_.push_back("--" + name + " must be >= 0");
+    return default_value;
+  }
+  return parsed;
+}
+
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   known_.insert(name);
   const auto it = values_.find(name);

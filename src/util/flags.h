@@ -35,6 +35,12 @@ class FlagParser {
   int GetInt(const std::string& name, int default_value) const;
   int64_t GetInt64(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
+  /// GetDouble plus a range check: a negative value records a Validate()
+  /// error and falls back to the default. For flags where a negative value
+  /// is always a footgun (rates, norms, fractions) — e.g. a negative
+  /// --max_update_norm would silently disable the update-norm gate.
+  double GetNonNegativeDouble(const std::string& name,
+                              double default_value) const;
   /// "--x", "--x=true", "--x=1" are true; "--x=false", "--x=0" are false.
   bool GetBool(const std::string& name, bool default_value) const;
 

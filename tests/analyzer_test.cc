@@ -251,6 +251,14 @@ void Lookup(const std::unordered_map<int, float>& cache) {
   EXPECT_EQ(CountCheck(Analyze(fixture, "src/tensor/cache.cc"),
                        "deterministic-iteration"),
             1);
+  // The scenario / robust-aggregation layer lives on the determinism-critical
+  // server path: its files must stay inside the check's scope.
+  EXPECT_EQ(CountCheck(Analyze(fixture, "src/fl/scenario.cc"),
+                       "deterministic-iteration"),
+            1);
+  EXPECT_EQ(CountCheck(Analyze(fixture, "src/fl/robust.cc"),
+                       "deterministic-iteration"),
+            1);
 }
 
 TEST(DeterministicIteration, LookupWithoutIterationIsFine) {

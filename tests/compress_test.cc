@@ -712,7 +712,8 @@ TEST(CompressStatsTest, RoundStatsCsvCarriesByteColumns) {
   ASSERT_TRUE(std::getline(in, row));
   EXPECT_NE(header.find("bytes_uplink,bytes_uplink_uncompressed"),
             std::string::npos);
-  EXPECT_EQ(row, "3,0.5,4,0,0,0,0,0,1,1234,4936");
+  // Scenario counters append after the byte columns (schema-stable prefix).
+  EXPECT_EQ(row, "3,0.5,4,0,0,0,0,0,1,1234,4936,0,0,0,0,0");
 }
 
 // ------------------------------------------------------------- flag surface

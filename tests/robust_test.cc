@@ -1,0 +1,305 @@
+// Tests for the robust aggregation rules (fl/robust.h): coordinate-wise
+// median, trimmed mean, and norm clipping. The load-bearing property is the
+// determinism contract — Apply must be bit-identical for any thread pool
+// (null, 1, or N workers), compared here with ==, never with tolerances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/robust.h"
+#include "nn/parameters.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace niid {
+namespace {
+
+LocalUpdate MakeUpdate(int id, int64_t samples, int64_t tau,
+                       std::vector<float> delta,
+                       std::vector<float> delta_c = {}) {
+  LocalUpdate update;
+  update.client_id = id;
+  update.num_samples = samples;
+  update.tau = tau;
+  update.average_loss = 0.25 * id;
+  update.delta = std::move(delta);
+  update.delta_c = std::move(delta_c);
+  return update;
+}
+
+std::unique_ptr<RobustAggregator> MakeAggregator(AggregatorKind kind,
+                                                 double trim_fraction = 0.1,
+                                                 double clip_norm = 1.0) {
+  RobustConfig config;
+  config.aggregator = kind;
+  config.trim_fraction = trim_fraction;
+  config.clip_norm = clip_norm;
+  auto aggregator_or = CreateRobustAggregator(config);
+  EXPECT_TRUE(aggregator_or.ok());
+  return std::move(*aggregator_or);
+}
+
+// ----------------------------------------------------------------- factory
+
+TEST(RobustFactoryTest, ParseAndNameRoundTrip) {
+  for (const AggregatorKind kind :
+       {AggregatorKind::kMean, AggregatorKind::kMedian,
+        AggregatorKind::kTrimmedMean, AggregatorKind::kNormClip}) {
+    const auto parsed = ParseAggregator(AggregatorName(kind));
+    ASSERT_TRUE(parsed.ok()) << AggregatorName(kind);
+    EXPECT_EQ(static_cast<int>(*parsed), static_cast<int>(kind));
+  }
+  EXPECT_EQ(ParseAggregator("krum").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RobustFactoryTest, MeanMapsToNoRobustLayer) {
+  RobustConfig config;  // defaults: kMean
+  EXPECT_FALSE(config.enabled());
+  auto aggregator_or = CreateRobustAggregator(config);
+  ASSERT_TRUE(aggregator_or.ok());
+  EXPECT_EQ(aggregator_or->get(), nullptr);
+}
+
+TEST(RobustFactoryTest, RejectsOutOfRangeParameters) {
+  RobustConfig trimmed;
+  trimmed.aggregator = AggregatorKind::kTrimmedMean;
+  trimmed.trim_fraction = 0.5;  // both ends would eat everything
+  EXPECT_EQ(CreateRobustAggregator(trimmed).status().code(),
+            StatusCode::kInvalidArgument);
+  trimmed.trim_fraction = -0.01;
+  EXPECT_FALSE(CreateRobustAggregator(trimmed).ok());
+
+  RobustConfig clipped;
+  clipped.aggregator = AggregatorKind::kNormClip;
+  clipped.clip_norm = 0.0;
+  EXPECT_EQ(CreateRobustAggregator(clipped).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------ median
+
+TEST(MedianTest, OddCountPicksTheMiddleValueCoordinateWise) {
+  auto median = MakeAggregator(AggregatorKind::kMedian);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 10, 4, {1.0f, -9.0f, 100.0f}),
+      MakeUpdate(1, 20, 2, {2.0f, -8.0f, -100.0f}),
+      MakeUpdate(2, 30, 8, {3.0f, 5.0f, 0.5f}),
+  };
+  const RobustStats stats = median->Apply(updates, /*pool=*/nullptr);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].delta, (StateVector{2.0f, -8.0f, 0.5f}));
+  // Synthetic-update bookkeeping: pooled samples, lower-median tau, the
+  // sentinel client id, and a zeroed loss (losses were reduced before Apply).
+  EXPECT_EQ(updates[0].client_id, -1);
+  EXPECT_EQ(updates[0].num_samples, 60);
+  EXPECT_EQ(updates[0].tau, 4);
+  EXPECT_EQ(updates[0].average_loss, 0.0);
+  EXPECT_EQ(stats.clipped, 0);
+  EXPECT_EQ(stats.trimmed, 0);
+}
+
+TEST(MedianTest, EvenCountAveragesTheTwoMiddleValues) {
+  auto median = MakeAggregator(AggregatorKind::kMedian);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {1.0f}),
+      MakeUpdate(1, 1, 1, {2.0f}),
+      MakeUpdate(2, 1, 3, {4.0f}),
+      MakeUpdate(3, 1, 9, {8.0f}),
+  };
+  median->Apply(updates, nullptr);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].delta, (StateVector{3.0f}));
+  EXPECT_EQ(updates[0].tau, 1);  // lower median of {1, 1, 3, 9}
+}
+
+TEST(MedianTest, IgnoresOneExtremeOutlier) {
+  auto median = MakeAggregator(AggregatorKind::kMedian);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {0.10f, 0.10f}),
+      MakeUpdate(1, 1, 1, {0.11f, 0.09f}),
+      MakeUpdate(2, 1, 1, {-1e6f, 1e6f}),  // sign-flipped blow-up
+  };
+  median->Apply(updates, nullptr);
+  EXPECT_EQ(updates[0].delta, (StateVector{0.10f, 0.10f}));
+}
+
+TEST(MedianTest, ControlVariatesReducedAndRescaledBySurvivorCount) {
+  auto median = MakeAggregator(AggregatorKind::kMedian);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {1.0f}, {0.1f}),
+      MakeUpdate(1, 1, 1, {2.0f}, {0.2f}),
+      MakeUpdate(2, 1, 1, {3.0f}, {0.9f}),
+  };
+  median->Apply(updates, nullptr);
+  ASSERT_EQ(updates.size(), 1u);
+  // SCAFFOLD divides the summed delta_c by the full party count N; the
+  // statistic is pre-scaled by m so c still moves by (m/N) * median.
+  EXPECT_EQ(updates[0].delta_c, (StateVector{0.2f * 3.0f}));
+}
+
+TEST(MedianTest, SingleUpdatePassesThroughUntouched) {
+  auto median = MakeAggregator(AggregatorKind::kMedian);
+  std::vector<LocalUpdate> updates = {MakeUpdate(7, 12, 3, {1.0f, 2.0f})};
+  const LocalUpdate before = updates[0];
+  median->Apply(updates, nullptr);
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].client_id, before.client_id);
+  EXPECT_EQ(updates[0].delta, before.delta);
+  EXPECT_EQ(updates[0].num_samples, before.num_samples);
+}
+
+// ------------------------------------------------------------ trimmed mean
+
+TEST(TrimmedMeanTest, DropsKFromEachEndPerCoordinate) {
+  auto trimmed = MakeAggregator(AggregatorKind::kTrimmedMean,
+                                /*trim_fraction=*/0.2);
+  // m = 5, k = floor(0.2 * 5) = 1: each coordinate drops its min and max.
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {1.0f, 50.0f}),  MakeUpdate(1, 1, 1, {2.0f, 2.0f}),
+      MakeUpdate(2, 1, 1, {3.0f, 3.0f}),   MakeUpdate(3, 1, 1, {4.0f, 4.0f}),
+      MakeUpdate(4, 1, 1, {-90.0f, 5.0f}),
+  };
+  const RobustStats stats = trimmed->Apply(updates, nullptr);
+  ASSERT_EQ(updates.size(), 1u);
+  // Coordinate 0 keeps {1, 2, 3}; coordinate 1 keeps {3, 4, 5}.
+  EXPECT_EQ(updates[0].delta, (StateVector{2.0f, 4.0f}));
+  EXPECT_EQ(stats.trimmed, 2);
+}
+
+TEST(TrimmedMeanTest, ZeroTrimCountReducesToUnweightedMean) {
+  // m = 3, k = floor(0.1 * 3) = 0: nothing trimmed, plain coordinate mean.
+  auto trimmed = MakeAggregator(AggregatorKind::kTrimmedMean,
+                                /*trim_fraction=*/0.1);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {3.0f}),
+      MakeUpdate(1, 1, 1, {6.0f}),
+      MakeUpdate(2, 1, 1, {12.0f}),
+  };
+  const RobustStats stats = trimmed->Apply(updates, nullptr);
+  EXPECT_EQ(updates[0].delta, (StateVector{7.0f}));
+  EXPECT_EQ(stats.trimmed, 0);
+}
+
+// --------------------------------------------------------------- norm clip
+
+TEST(NormClipTest, RescalesOnlyOversizedUpdates) {
+  auto clip = MakeAggregator(AggregatorKind::kNormClip, 0.1, /*clip_norm=*/5.0);
+  std::vector<LocalUpdate> updates = {
+      MakeUpdate(0, 1, 1, {3.0f, 4.0f}),    // norm 5: on the ball, untouched
+      MakeUpdate(1, 1, 1, {30.0f, 40.0f}),  // norm 50: rescaled by 0.1
+      MakeUpdate(2, 1, 1, {0.3f, 0.4f}),    // norm 0.5: untouched
+  };
+  const RobustStats stats = clip->Apply(updates, nullptr);
+  ASSERT_EQ(updates.size(), 3u) << "clipping never collapses the set";
+  EXPECT_EQ(updates[0].delta, (StateVector{3.0f, 4.0f}));
+  EXPECT_EQ(updates[1].delta, (StateVector{3.0f, 4.0f}));
+  EXPECT_EQ(updates[2].delta, (StateVector{0.3f, 0.4f}));
+  EXPECT_EQ(stats.clipped, 1);
+  // Identity survives: clipping keeps per-update weights usable downstream.
+  EXPECT_EQ(updates[1].client_id, 1);
+  EXPECT_EQ(updates[1].num_samples, 1);
+}
+
+TEST(NormClipTest, ClippedDirectionIsPreserved) {
+  auto clip = MakeAggregator(AggregatorKind::kNormClip, 0.1, /*clip_norm=*/1.0);
+  std::vector<LocalUpdate> updates = {MakeUpdate(0, 1, 1, {-6.0f, 8.0f})};
+  clip->Apply(updates, nullptr);
+  EXPECT_NEAR(Norm(updates[0].delta), 1.0, 1e-6);
+  EXPECT_LT(updates[0].delta[0], 0.0f);
+  EXPECT_GT(updates[0].delta[1], 0.0f);
+  EXPECT_NEAR(updates[0].delta[1] / -updates[0].delta[0], 8.0 / 6.0, 1e-6);
+}
+
+// ------------------------------------------------------- thread invariance
+
+std::vector<LocalUpdate> RandomUpdates(int m, int64_t n, bool control,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LocalUpdate> updates;
+  for (int j = 0; j < m; ++j) {
+    LocalUpdate update;
+    update.client_id = j;
+    update.num_samples = 8 + j;
+    update.tau = 1 + j % 5;
+    update.average_loss = rng.Uniform();
+    update.delta.resize(n);
+    for (float& v : update.delta) {
+      v = static_cast<float>(rng.Normal());
+    }
+    if (control) {
+      update.delta_c.resize(n);
+      for (float& v : update.delta_c) {
+        v = static_cast<float>(rng.Normal());
+      }
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+bool SameUpdates(const std::vector<LocalUpdate>& a,
+                 const std::vector<LocalUpdate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j].client_id != b[j].client_id ||
+        a[j].num_samples != b[j].num_samples || a[j].tau != b[j].tau ||
+        a[j].delta != b[j].delta || a[j].delta_c != b[j].delta_c) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The determinism contract: Apply is bit-identical for any pool size. The
+// coordinate rules guarantee it via a fixed 64-block work partition, the
+// clip rule via disjoint per-update writes.
+TEST(RobustThreadInvarianceTest, ApplyBitIdenticalForAnyPoolSize) {
+  for (const AggregatorKind kind :
+       {AggregatorKind::kMedian, AggregatorKind::kTrimmedMean,
+        AggregatorKind::kNormClip}) {
+    for (const bool control : {false, true}) {
+      for (const int m : {2, 3, 7}) {
+        auto serial_aggregator = MakeAggregator(kind, 0.2, 0.5);
+        std::vector<LocalUpdate> reference =
+            RandomUpdates(m, 1000, control, /*seed=*/91);
+        const RobustStats reference_stats =
+            serial_aggregator->Apply(reference, /*pool=*/nullptr);
+        for (const int threads : {1, 2, 8}) {
+          ThreadPool pool(threads);
+          auto aggregator = MakeAggregator(kind, 0.2, 0.5);
+          std::vector<LocalUpdate> updates =
+              RandomUpdates(m, 1000, control, /*seed=*/91);
+          const RobustStats stats = aggregator->Apply(updates, &pool);
+          EXPECT_TRUE(SameUpdates(updates, reference))
+              << AggregatorName(kind) << " m=" << m << " threads=" << threads
+              << " control=" << control;
+          EXPECT_EQ(stats.clipped, reference_stats.clipped);
+          EXPECT_EQ(stats.trimmed, reference_stats.trimmed);
+        }
+      }
+    }
+  }
+}
+
+// Reusing one aggregator across rounds (as the server does) must match fresh
+// construction every round: the scratch buffers are state-free between calls.
+TEST(RobustThreadInvarianceTest, ScratchReuseAcrossRoundsIsStateFree) {
+  auto reused = MakeAggregator(AggregatorKind::kMedian);
+  for (const int m : {7, 3, 5}) {  // shrinking m exercises stale scratch
+    auto fresh = MakeAggregator(AggregatorKind::kMedian);
+    std::vector<LocalUpdate> a = RandomUpdates(m, 257, true, 7 * m);
+    std::vector<LocalUpdate> b = RandomUpdates(m, 257, true, 7 * m);
+    reused->Apply(a, nullptr);
+    fresh->Apply(b, nullptr);
+    EXPECT_TRUE(SameUpdates(a, b)) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace niid

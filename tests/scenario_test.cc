@@ -1,0 +1,832 @@
+// Tests for the scenario engine (fl/scenario.h): seeded, stateless schedules
+// for label drift, diurnal availability, and adversarial parties — plus the
+// server integration (counters, robust aggregation, checkpoint v4 resume).
+// The recurring property: every query is a pure function of
+// (seed, round, client[, sample]), so scenario runs replay exactly and stay
+// bit-identical across thread counts, shard counts, and the sparse engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/algorithm.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/scenario.h"
+#include "fl/server.h"
+#include "nn/models/factory.h"
+#include "partition/lazy_index.h"
+#include "partition/partition.h"
+#include "util/rng.h"
+
+namespace niid {
+namespace {
+
+ScenarioConfig FullScenarioConfig() {
+  ScenarioConfig config;
+  config.drift_period = 6;
+  config.drift_beta = 0.5;
+  config.drift_intensity = 0.5;
+  config.availability_amplitude = 0.4;
+  config.availability_period = 12;
+  config.adversary_fraction = 0.25;
+  config.attack = AttackKind::kSignFlip;
+  config.attack_scale = 2.0;
+  config.num_classes = 4;
+  config.seed = 77;
+  return config;
+}
+
+// ----------------------------------------------------------------- parsing
+
+TEST(ScenarioParseTest, ParseAndNameRoundTrip) {
+  for (const AttackKind kind :
+       {AttackKind::kNone, AttackKind::kLabelFlip, AttackKind::kSignFlip,
+        AttackKind::kScale, AttackKind::kNoise}) {
+    const auto parsed = ParseAttack(AttackName(kind));
+    ASSERT_TRUE(parsed.ok()) << AttackName(kind);
+    EXPECT_EQ(static_cast<int>(*parsed), static_cast<int>(kind));
+  }
+  EXPECT_EQ(ParseAttack("backdoor").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(ScenarioPlanTest, DisabledPlanIsInert) {
+  ScenarioPlan plan(ScenarioConfig{}, /*server_seed=*/5);
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.Fingerprint(), 0u);
+  for (int round = 0; round < 10; ++round) {
+    for (int client = 0; client < 10; ++client) {
+      EXPECT_TRUE(plan.Available(round, client));
+      EXPECT_EQ(plan.DriftGeneration(round, client), 0);
+      EXPECT_FALSE(plan.IsAdversary(client));
+    }
+  }
+  LocalUpdate update;
+  update.delta = {1.0f, -2.0f};
+  plan.Poison(0, 0, update);
+  EXPECT_EQ(update.delta, (StateVector{1.0f, -2.0f}));
+}
+
+TEST(ScenarioPlanTest, EveryQueryIsAPureFunctionOfItsCell) {
+  const ScenarioConfig config = FullScenarioConfig();
+  ScenarioPlan a(config, /*server_seed=*/5);
+  ScenarioPlan b(config, /*server_seed=*/5);
+  for (int round = 0; round < 20; ++round) {
+    for (int client = 0; client < 20; ++client) {
+      EXPECT_EQ(a.Available(round, client), b.Available(round, client));
+      EXPECT_EQ(a.DriftGeneration(round, client),
+                b.DriftGeneration(round, client));
+      EXPECT_EQ(a.IsAdversary(client), b.IsAdversary(client));
+    }
+  }
+}
+
+TEST(ScenarioPlanTest, ExplicitSeedDecouplesScheduleFromServerSeed) {
+  const ScenarioConfig config = FullScenarioConfig();  // seed = 77
+  ScenarioPlan a(config, /*server_seed=*/1);
+  ScenarioPlan b(config, /*server_seed=*/999);
+  for (int round = 0; round < 10; ++round) {
+    for (int client = 0; client < 10; ++client) {
+      EXPECT_EQ(a.Available(round, client), b.Available(round, client));
+      EXPECT_EQ(a.IsAdversary(client), b.IsAdversary(client));
+    }
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ScenarioPlanTest, DerivedSeedVariesWithServerSeed) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.seed = 0;  // derive from the server seed
+  ScenarioPlan a(config, /*server_seed=*/1);
+  ScenarioPlan b(config, /*server_seed=*/2);
+  int differing = 0;
+  for (int client = 0; client < 200; ++client) {
+    if (a.IsAdversary(client) != b.IsAdversary(client)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ScenarioPlanTest, AdversarySetIsFixedAndMatchesTheConfiguredFraction) {
+  const ScenarioConfig config = FullScenarioConfig();  // fraction = 0.25
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  const int population = 4000;
+  int adversaries = 0;
+  for (int client = 0; client < population; ++client) {
+    if (plan.IsAdversary(client)) ++adversaries;
+  }
+  EXPECT_NEAR(static_cast<double>(adversaries) / population,
+              config.adversary_fraction, 0.03);
+}
+
+TEST(ScenarioPlanTest, AvailabilityAveragesToOneMinusHalfTheAmplitude) {
+  // p_avail = 1 - A * (1 + sin) / 2 averages to 1 - A/2 over a full period.
+  ScenarioConfig config;
+  config.availability_amplitude = 0.6;
+  config.availability_period = 24;
+  config.seed = 7;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  int64_t available = 0, cells = 0;
+  for (int round = 0; round < 240; ++round) {
+    for (int client = 0; client < 100; ++client) {
+      available += plan.Available(round, client) ? 1 : 0;
+      ++cells;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(available) / static_cast<double>(cells),
+              1.0 - config.availability_amplitude / 2.0, 0.02);
+}
+
+TEST(ScenarioPlanTest, DriftGenerationAdvancesOncePerPeriodWithPartyPhase) {
+  const ScenarioConfig config = FullScenarioConfig();  // period = 6
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  bool phases_differ = false;
+  for (int client = 0; client < 32; ++client) {
+    int previous = plan.DriftGeneration(0, client);
+    EXPECT_GE(previous, 0);
+    EXPECT_LE(previous, 1);  // phase < period, so round 0 is generation 0 or 1
+    for (int round = 1; round < 40; ++round) {
+      const int generation = plan.DriftGeneration(round, client);
+      EXPECT_GE(generation, previous) << "generations never regress";
+      EXPECT_LE(generation - previous, 1) << "one boundary per round at most";
+      previous = generation;
+    }
+    // Exactly round / period boundaries pass in 40 rounds (plus the phase).
+    EXPECT_NEAR(plan.DriftGeneration(39, client),
+                39.0 / config.drift_period, 1.0);
+    if (plan.DriftGeneration(3, client) != plan.DriftGeneration(3, 0)) {
+      phases_differ = true;
+    }
+  }
+  EXPECT_TRUE(phases_differ) << "per-party phases must spread the boundaries";
+}
+
+// ---------------------------------------------------------- label transform
+
+TEST(ScenarioTransformTest, GenerationZeroWithoutFlipIsIdentity) {
+  ScenarioPlan plan(FullScenarioConfig(), /*server_seed=*/5);
+  for (int label = 0; label < 4; ++label) {
+    EXPECT_EQ(plan.TransformLabel(3, /*generation=*/0, /*sample_index=*/9,
+                                  label, /*flip=*/false),
+              label);
+  }
+}
+
+TEST(ScenarioTransformTest, FlipIsTheClassicTargetedRelabeling) {
+  ScenarioPlan plan(FullScenarioConfig(), /*server_seed=*/5);  // 4 classes
+  for (int label = 0; label < 4; ++label) {
+    EXPECT_EQ(plan.TransformLabel(3, 0, 9, label, /*flip=*/true), 3 - label);
+  }
+}
+
+TEST(ScenarioTransformTest, DriftedLabelsAreDeterministicAndInRange) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.drift_intensity = 1.0;  // every sample re-draws from the new prior
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  int changed = 0;
+  for (int client = 0; client < 8; ++client) {
+    for (int64_t sample = 0; sample < 50; ++sample) {
+      const int label = static_cast<int>(sample % config.num_classes);
+      const int out = plan.TransformLabel(client, /*generation=*/2, sample,
+                                          label, false);
+      EXPECT_GE(out, 0);
+      EXPECT_LT(out, config.num_classes);
+      // Epoch stability: the same (client, generation, sample) always lands
+      // on the same label, no matter how often training revisits it.
+      EXPECT_EQ(out, plan.TransformLabel(client, 2, sample, label, false));
+      if (out != label) ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0) << "a fresh Dirichlet prior must move some labels";
+}
+
+TEST(ScenarioTransformTest, DriftIntensityZeroLeavesLabelsAlone) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.drift_intensity = 0.0;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  for (int64_t sample = 0; sample < 50; ++sample) {
+    EXPECT_EQ(plan.TransformLabel(1, /*generation=*/3, sample, 2, false), 2);
+  }
+}
+
+TEST(ScenarioTransformTest, NewGenerationRedealsThePrior) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.drift_intensity = 1.0;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  int differing = 0;
+  for (int64_t sample = 0; sample < 100; ++sample) {
+    if (plan.TransformLabel(1, 1, sample, 0, false) !=
+        plan.TransformLabel(1, 2, sample, 0, false)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// ------------------------------------------------------------------ poison
+
+LocalUpdate PoisonTarget() {
+  LocalUpdate update;
+  update.delta = {1.0f, -2.0f, 3.0f};
+  update.delta_c = {0.5f, 0.25f};
+  return update;
+}
+
+TEST(ScenarioPoisonTest, SignFlipNegatesAndScalesBothFields) {
+  ScenarioConfig config = FullScenarioConfig();  // signflip, scale = 2
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  LocalUpdate update = PoisonTarget();
+  plan.Poison(/*round=*/3, /*client=*/1, update);
+  EXPECT_EQ(update.delta, (StateVector{-2.0f, 4.0f, -6.0f}));
+  EXPECT_EQ(update.delta_c, (StateVector{-1.0f, -0.5f}));
+}
+
+TEST(ScenarioPoisonTest, ScaleBlowsUpWithoutFlippingSigns) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.attack = AttackKind::kScale;
+  config.attack_scale = 10.0;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  LocalUpdate update = PoisonTarget();
+  plan.Poison(3, 1, update);
+  EXPECT_EQ(update.delta, (StateVector{10.0f, -20.0f, 30.0f}));
+}
+
+TEST(ScenarioPoisonTest, NoiseIsDeterministicPerRoundAndClient) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.attack = AttackKind::kNoise;
+  config.attack_scale = 0.5;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  LocalUpdate a = PoisonTarget(), b = PoisonTarget(), c = PoisonTarget();
+  plan.Poison(3, 1, a);
+  plan.Poison(3, 1, b);
+  plan.Poison(4, 1, c);
+  EXPECT_NE(a.delta, PoisonTarget().delta);
+  EXPECT_EQ(a.delta, b.delta) << "same cell, same noise";
+  EXPECT_NE(a.delta, c.delta) << "new round, fresh noise";
+  EXPECT_EQ(a.delta_c, PoisonTarget().delta_c)
+      << "noise only perturbs the delta";
+}
+
+TEST(ScenarioPoisonTest, LabelFlipDoesNotTouchTheUpdateVector) {
+  ScenarioConfig config = FullScenarioConfig();
+  config.attack = AttackKind::kLabelFlip;
+  ScenarioPlan plan(config, /*server_seed=*/5);
+  LocalUpdate update = PoisonTarget();
+  plan.Poison(3, 1, update);
+  EXPECT_EQ(update.delta, PoisonTarget().delta);
+}
+
+// ------------------------------------------------------------- fingerprint
+
+TEST(ScenarioFingerprintTest, SensitiveToEveryScheduleRelevantField) {
+  const ScenarioConfig base = FullScenarioConfig();
+  const uint64_t fingerprint = ScenarioPlan(base, 5).Fingerprint();
+  EXPECT_NE(fingerprint, 0u);
+  EXPECT_EQ(ScenarioPlan(base, 5).Fingerprint(), fingerprint);
+
+  auto mutate = [&](auto&& edit) {
+    ScenarioConfig changed = base;
+    edit(changed);
+    return ScenarioPlan(changed, 5).Fingerprint();
+  };
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.drift_period = 7; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.drift_beta = 0.9; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.drift_intensity = 0.9; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.availability_amplitude = 0.2; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.availability_period = 48; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.adversary_fraction = 0.5; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.attack = AttackKind::kScale; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.attack_scale = 3.0; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.num_classes = 10; }),
+            fingerprint);
+  EXPECT_NE(mutate([](ScenarioConfig& c) { c.seed = 78; }), fingerprint);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(ScenarioPlanDeathTest, RejectsOutOfRangeConfigs) {
+  ScenarioConfig amplitude = FullScenarioConfig();
+  amplitude.availability_amplitude = 1.5;
+  EXPECT_DEATH(ScenarioPlan(amplitude, 1), "");
+  ScenarioConfig fraction = FullScenarioConfig();
+  fraction.adversary_fraction = -0.1;
+  EXPECT_DEATH(ScenarioPlan(fraction, 1), "");
+  ScenarioConfig classes = FullScenarioConfig();
+  classes.num_classes = 0;  // drift is on, so the class count is required
+  EXPECT_DEATH(ScenarioPlan(classes, 1), "class count");
+  ScenarioConfig scale = FullScenarioConfig();
+  scale.attack_scale = 0.0;
+  EXPECT_DEATH(ScenarioPlan(scale, 1), "");
+}
+#endif
+
+// --------------------------------------------------------------- federation
+
+ModelSpec ScenarioMlpSpec() {
+  ModelSpec spec;
+  spec.name = "mlp";
+  spec.input_features = 10;
+  spec.num_classes = 2;
+  return spec;
+}
+
+Dataset ScenarioDataset(int64_t n, uint64_t seed) {
+  SyntheticTabularConfig config;
+  config.num_features = 10;
+  config.train_size = n;
+  config.test_size = 1;
+  config.class_sep = 3.0f;
+  config.seed = seed;
+  return MakeSyntheticTabular(config).train;
+}
+
+std::vector<std::unique_ptr<Client>> ScenarioClients(int num_clients,
+                                                     int64_t samples_each) {
+  Dataset full = ScenarioDataset(256, /*seed=*/4242);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    std::vector<int64_t> shard;
+    for (int64_t k = 0; k < samples_each; ++k) {
+      shard.push_back((static_cast<int64_t>(i) * samples_each + k) %
+                      full.size());
+    }
+    clients.push_back(
+        std::make_unique<Client>(i, Subset(full, shard), Rng(100 + i)));
+  }
+  return clients;
+}
+
+std::unique_ptr<FederatedServer> ScenarioServer(const std::string& algorithm,
+                                                const ServerConfig& config,
+                                                int num_clients = 8,
+                                                int64_t samples_each = 32) {
+  auto algorithm_or = CreateAlgorithm(algorithm, AlgorithmConfig{});
+  return std::make_unique<FederatedServer>(
+      MakeModelFactory(ScenarioMlpSpec()),
+      ScenarioClients(num_clients, samples_each), std::move(*algorithm_or),
+      config);
+}
+
+LocalTrainOptions ScenarioOptions() {
+  LocalTrainOptions options;
+  options.local_epochs = 2;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  return options;
+}
+
+/// An active everything-on scenario over the 2-class synthetic federation.
+ServerConfig ActiveScenarioConfig(AggregatorKind aggregator) {
+  ServerConfig config;
+  config.seed = 5;
+  config.scenario.drift_period = 2;
+  config.scenario.drift_beta = 0.5;
+  config.scenario.drift_intensity = 0.5;
+  config.scenario.availability_amplitude = 0.3;
+  config.scenario.availability_period = 4;
+  config.scenario.adversary_fraction = 0.25;
+  config.scenario.attack = AttackKind::kSignFlip;
+  config.scenario.attack_scale = 2.0;
+  config.scenario.num_classes = 2;
+  config.scenario.seed = 31;
+  config.robust.aggregator = aggregator;
+  config.robust.trim_fraction = 0.2;
+  config.robust.clip_norm = 5.0;
+  config.min_aggregate_clients = 2;
+  return config;
+}
+
+struct ScenarioRunResult {
+  StateVector state;
+  std::vector<int> unavailable, flipped, poisoned, clipped, trimmed,
+      aggregated;
+  std::vector<double> losses;
+};
+
+ScenarioRunResult RunScenarioRounds(const std::string& algorithm,
+                                    AggregatorKind aggregator, int threads,
+                                    int shards, int rounds) {
+  ServerConfig config = ActiveScenarioConfig(aggregator);
+  config.num_threads = threads;
+  config.num_shards = shards;
+  ScenarioRunResult result;
+  auto server = ScenarioServer(algorithm, config);
+  for (int round = 0; round < rounds; ++round) {
+    const RoundStats stats = server->RunRound(ScenarioOptions());
+    result.unavailable.push_back(stats.unavailable);
+    result.flipped.push_back(stats.flipped);
+    result.poisoned.push_back(stats.poisoned);
+    result.clipped.push_back(stats.clipped);
+    result.trimmed.push_back(stats.trimmed);
+    result.aggregated.push_back(stats.aggregated);
+    result.losses.push_back(stats.mean_local_loss);
+  }
+  result.state = server->global_state();
+  return result;
+}
+
+// The tentpole determinism claim: a full scenario round — drift relabeling,
+// availability gating, sign-flipped adversaries, robust aggregation — must
+// be bit-identical across num_threads in {1, 2, 8} and across shard counts,
+// for every robust rule and algorithm family exercised.
+TEST(ScenarioRoundTest, ScenarioRoundsBitIdenticalAcrossThreadsAndShards) {
+  for (const std::string algorithm : {"fedavg", "scaffold", "fednova"}) {
+    for (const AggregatorKind aggregator :
+         {AggregatorKind::kMedian, AggregatorKind::kTrimmedMean,
+          AggregatorKind::kNormClip}) {
+      const ScenarioRunResult base =
+          RunScenarioRounds(algorithm, aggregator, /*threads=*/1,
+                            /*shards=*/1, /*rounds=*/4);
+      for (const auto& [threads, shards] :
+           std::vector<std::pair<int, int>>{{2, 4}, {8, 2}}) {
+        const ScenarioRunResult run =
+            RunScenarioRounds(algorithm, aggregator, threads, shards, 4);
+        const std::string label = algorithm + "/" +
+                                  AggregatorName(aggregator) +
+                                  " threads=" + std::to_string(threads) +
+                                  " shards=" + std::to_string(shards);
+        EXPECT_EQ(run.state, base.state) << label;
+        EXPECT_EQ(run.unavailable, base.unavailable) << label;
+        EXPECT_EQ(run.flipped, base.flipped) << label;
+        EXPECT_EQ(run.poisoned, base.poisoned) << label;
+        EXPECT_EQ(run.clipped, base.clipped) << label;
+        EXPECT_EQ(run.trimmed, base.trimmed) << label;
+        EXPECT_EQ(run.aggregated, base.aggregated) << label;
+        EXPECT_EQ(run.losses, base.losses) << label;
+      }
+    }
+  }
+}
+
+// With the scenario configured but every knob zero and the mean aggregator,
+// the layer must be fully transparent: bitwise-identical to a server that
+// never heard of scenarios.
+TEST(ScenarioRoundTest, ZeroScenarioAndMeanAreBitTransparent) {
+  ServerConfig plain;
+  plain.seed = 5;
+  ServerConfig with_layer = plain;
+  with_layer.scenario.seed = 123;  // configured, but nothing is enabled
+  with_layer.scenario.num_classes = 2;
+  with_layer.robust.trim_fraction = 0.3;  // parameters without a rule
+  auto a = ScenarioServer("fedavg", plain);
+  auto b = ScenarioServer("fedavg", with_layer);
+  for (int round = 0; round < 3; ++round) {
+    const RoundStats sa = a->RunRound(ScenarioOptions());
+    const RoundStats sb = b->RunRound(ScenarioOptions());
+    EXPECT_EQ(sb.unavailable, 0);
+    EXPECT_EQ(sb.flipped, 0);
+    EXPECT_EQ(sb.poisoned, 0);
+    EXPECT_EQ(sb.clipped, 0);
+    EXPECT_EQ(sb.trimmed, 0);
+    EXPECT_EQ(sa.mean_local_loss, sb.mean_local_loss);
+  }
+  EXPECT_EQ(a->global_state(), b->global_state());
+}
+
+TEST(ScenarioRoundTest, CountersReflectTheConfiguredScenario) {
+  // All parties adversarial under labelflip: every sampled party trains on
+  // flipped labels and the flipped counter says so; nothing is poisoned
+  // (the damage happened during training, not on the wire).
+  ServerConfig config;
+  config.seed = 5;
+  config.scenario.adversary_fraction = 1.0;
+  config.scenario.attack = AttackKind::kLabelFlip;
+  config.scenario.num_classes = 2;
+  config.scenario.seed = 9;
+  auto server = ScenarioServer("fedavg", config);
+  const RoundStats stats = server->RunRound(ScenarioOptions());
+  EXPECT_EQ(stats.flipped, server->num_clients());
+  EXPECT_EQ(stats.poisoned, 0);
+  EXPECT_EQ(stats.aggregated, server->num_clients());
+
+  // Sign-flip counts as poisoned instead.
+  ServerConfig poison_config;
+  poison_config.seed = 5;
+  poison_config.scenario.adversary_fraction = 1.0;
+  poison_config.scenario.attack = AttackKind::kSignFlip;
+  poison_config.scenario.seed = 9;
+  auto poisoned = ScenarioServer("fedavg", poison_config);
+  const RoundStats poison_stats = poisoned->RunRound(ScenarioOptions());
+  EXPECT_EQ(poison_stats.poisoned, poisoned->num_clients());
+  EXPECT_EQ(poison_stats.flipped, 0);
+}
+
+TEST(ScenarioRoundTest, DeepTroughThinsTheRoundButNeverDoubleCounts) {
+  ServerConfig config;
+  config.seed = 5;
+  config.scenario.availability_amplitude = 0.9;
+  config.scenario.availability_period = 4;
+  config.scenario.seed = 9;
+  config.min_aggregate_clients = 1;
+  config.max_resample_retries = 2;
+  auto server = ScenarioServer("fedavg", config);
+  int64_t unavailable = 0;
+  for (int round = 0; round < 6; ++round) {
+    const RoundStats stats = server->RunRound(ScenarioOptions());
+    unavailable += stats.unavailable;
+    EXPECT_LE(stats.unavailable + stats.aggregated, server->num_clients())
+        << "an unavailable party is attempted exactly once";
+  }
+  EXPECT_GT(unavailable, 0) << "amplitude 0.9 must gate someone in 6 rounds";
+}
+
+// Norm clipping tames a scale attacker without collapsing honest updates:
+// the round aggregates everyone, the oversized uploads get rescaled, and the
+// model stays finite.
+TEST(ScenarioRoundTest, ClippingContainsAScaleAttack) {
+  ServerConfig config = ActiveScenarioConfig(AggregatorKind::kNormClip);
+  config.scenario.availability_amplitude = 0.0;
+  config.scenario.drift_period = 0;
+  config.scenario.attack = AttackKind::kScale;
+  config.scenario.attack_scale = 1000.0;
+  config.robust.clip_norm = 1.0;
+  auto server = ScenarioServer("fedavg", config);
+  int64_t clipped = 0;
+  for (int round = 0; round < 3; ++round) {
+    const RoundStats stats = server->RunRound(ScenarioOptions());
+    clipped += stats.clipped;
+    EXPECT_EQ(stats.aggregated, server->num_clients());
+  }
+  EXPECT_GT(clipped, 0);
+  for (const float v : server->global_state()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+// ------------------------------------------------------------ sparse engine
+
+std::shared_ptr<LazyPartitionIndex> ScenarioSource(int num_parties) {
+  PartitionConfig config;
+  config.strategy = PartitionStrategy::kHomogeneous;
+  config.num_parties = num_parties;
+  config.cross_device_samples_per_party = 24;
+  config.seed = 17;
+  return std::make_shared<LazyPartitionIndex>(ScenarioDataset(256, 4242),
+                                              config);
+}
+
+ScenarioRunResult RunSparseScenarioRounds(int threads, int shards,
+                                          int rounds) {
+  ServerConfig config = ActiveScenarioConfig(AggregatorKind::kMedian);
+  config.party_stream_seed = 1234;
+  config.sample_fraction = 0.5;
+  config.num_threads = threads;
+  config.num_shards = shards;
+  auto algorithm_or = CreateAlgorithm("fedavg", AlgorithmConfig{});
+  auto server = std::make_unique<FederatedServer>(
+      MakeModelFactory(ScenarioMlpSpec()), ScenarioSource(16),
+      std::move(*algorithm_or), config);
+  ScenarioRunResult result;
+  for (int round = 0; round < rounds; ++round) {
+    const RoundStats stats = server->RunRound(ScenarioOptions());
+    result.unavailable.push_back(stats.unavailable);
+    result.flipped.push_back(stats.flipped);
+    result.poisoned.push_back(stats.poisoned);
+    result.aggregated.push_back(stats.aggregated);
+    result.losses.push_back(stats.mean_local_loss);
+  }
+  result.state = server->global_state();
+  return result;
+}
+
+// The sparse 1M-party engine composes with scenarios by construction (drift
+// is evaluated at train time, availability per sampled id): the same run
+// must be bit-identical across thread and shard counts there too.
+TEST(ScenarioSparseTest, SparseScenarioRoundsBitIdenticalAcrossThreads) {
+  const ScenarioRunResult base = RunSparseScenarioRounds(/*threads=*/1,
+                                                         /*shards=*/1,
+                                                         /*rounds=*/4);
+  bool anything_happened = false;
+  for (size_t round = 0; round < base.unavailable.size(); ++round) {
+    if (base.unavailable[round] + base.flipped[round] + base.poisoned[round] >
+        0) {
+      anything_happened = true;
+    }
+  }
+  EXPECT_TRUE(anything_happened) << "the scenario must actually fire";
+  for (const auto& [threads, shards] :
+       std::vector<std::pair<int, int>>{{2, 4}, {8, 2}}) {
+    const ScenarioRunResult run =
+        RunSparseScenarioRounds(threads, shards, /*rounds=*/4);
+    EXPECT_EQ(run.state, base.state) << "threads=" << threads;
+    EXPECT_EQ(run.unavailable, base.unavailable);
+    EXPECT_EQ(run.flipped, base.flipped);
+    EXPECT_EQ(run.poisoned, base.poisoned);
+    EXPECT_EQ(run.aggregated, base.aggregated);
+    EXPECT_EQ(run.losses, base.losses);
+  }
+}
+
+// -------------------------------------------------------------- checkpoints
+
+std::string ScenarioTestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Run k rounds of an actively attacked, robustly aggregated federation,
+// checkpoint through the v4 file format, restore into a FRESH server, and
+// land bit-identically on an uninterrupted run — the scenario schedule is
+// stateless, so the fingerprint alone proves the continuation replays it.
+TEST(ScenarioResumeTest, KillAndResumeUnderAttackMatchesUninterruptedRun) {
+  const int total_rounds = 5, kill_after = 2;
+  for (const AggregatorKind aggregator :
+       {AggregatorKind::kMedian, AggregatorKind::kNormClip}) {
+    const ServerConfig config = ActiveScenarioConfig(aggregator);
+    auto uninterrupted = ScenarioServer("scaffold", config);
+    for (int round = 0; round < total_rounds; ++round) {
+      uninterrupted->RunRound(ScenarioOptions());
+    }
+
+    const std::string path = ScenarioTestPath(
+        "scenario_resume_" + AggregatorName(aggregator) + ".bin");
+    {
+      auto first_process = ScenarioServer("scaffold", config);
+      for (int round = 0; round < kill_after; ++round) {
+        first_process->RunRound(ScenarioOptions());
+      }
+      ASSERT_TRUE(first_process->SaveCheckpoint(path).ok());
+    }
+    auto resumed = ScenarioServer("scaffold", config);
+    const Status loaded = resumed->LoadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+    for (int round = kill_after; round < total_rounds; ++round) {
+      resumed->RunRound(ScenarioOptions());
+    }
+    EXPECT_EQ(resumed->global_state(), uninterrupted->global_state())
+        << AggregatorName(aggregator);
+    EXPECT_EQ(resumed->cumulative_upload_floats(),
+              uninterrupted->cumulative_upload_floats());
+  }
+}
+
+TEST(ScenarioResumeTest, ScenarioOrAggregatorMismatchRejectedBeforeMutation) {
+  const ServerConfig config = ActiveScenarioConfig(AggregatorKind::kMedian);
+  auto source = ScenarioServer("fedavg", config);
+  source->RunRound(ScenarioOptions());
+  const ServerCheckpoint checkpoint = source->MakeCheckpoint();
+
+  // Same seed and algorithm, different attack: the schedule would diverge.
+  ServerConfig other_scenario = config;
+  other_scenario.scenario.attack = AttackKind::kScale;
+  auto scenario_mismatch = ScenarioServer("fedavg", other_scenario);
+  StateVector before = scenario_mismatch->global_state();
+  Status status = scenario_mismatch->RestoreCheckpoint(checkpoint);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(scenario_mismatch->global_state(), before);
+  EXPECT_EQ(scenario_mismatch->rounds_completed(), 0);
+
+  // Same scenario, different aggregation rule.
+  ServerConfig other_rule = config;
+  other_rule.robust.aggregator = AggregatorKind::kTrimmedMean;
+  auto rule_mismatch = ScenarioServer("fedavg", other_rule);
+  before = rule_mismatch->global_state();
+  status = rule_mismatch->RestoreCheckpoint(checkpoint);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rule_mismatch->global_state(), before);
+
+  // A scenario-free server must also refuse a scenario checkpoint.
+  ServerConfig plain;
+  plain.seed = config.seed;
+  plain.min_aggregate_clients = config.min_aggregate_clients;
+  auto plain_server = ScenarioServer("fedavg", plain);
+  EXPECT_FALSE(plain_server->RestoreCheckpoint(checkpoint).ok());
+
+  // The rejected server is still healthy afterwards.
+  plain_server->RunRound(ScenarioOptions());
+  EXPECT_EQ(plain_server->rounds_completed(), 1);
+}
+
+// v3 back-compat: a file written by the pre-scenario format (no fingerprint,
+// no aggregator name) must read back with the scenario-off defaults and
+// restore into a scenario-free server, continuing bit-identically.
+
+uint64_t V3Fnv1a(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+void V3AppendPod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void V3AppendString(std::string& out, const std::string& value) {
+  V3AppendPod(out, static_cast<uint64_t>(value.size()));
+  out.append(value);
+}
+
+void V3AppendFloats(std::string& out, const StateVector& values) {
+  V3AppendPod(out, static_cast<uint64_t>(values.size()));
+  if (values.empty()) return;
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(float));
+}
+
+void V3AppendRng(std::string& out, const RngState& rng) {
+  for (int i = 0; i < 4; ++i) V3AppendPod(out, rng.state[i]);
+  V3AppendPod(out, static_cast<uint8_t>(rng.has_cached_normal ? 1 : 0));
+  V3AppendPod(out, rng.cached_normal);
+}
+
+/// Byte-exact replica of the v3 writer: everything the current writer emits
+/// except the scenario fingerprint and aggregator name, under version 3.
+void WriteV3File(const ServerCheckpoint& checkpoint,
+                 const std::string& path) {
+  std::string payload = "NIIDCKPT";
+  V3AppendPod(payload, static_cast<uint32_t>(3));
+  V3AppendPod(payload, checkpoint.config_seed);
+  V3AppendString(payload, checkpoint.algorithm);
+  V3AppendString(payload, checkpoint.codec);
+  V3AppendPod(payload, static_cast<uint8_t>(checkpoint.error_feedback));
+  V3AppendPod(payload, checkpoint.codec_seed);
+  V3AppendPod(payload, checkpoint.num_clients);
+  V3AppendPod(payload, checkpoint.state_size);
+  V3AppendPod(payload, checkpoint.rounds_completed);
+  V3AppendPod(payload, checkpoint.cumulative_upload_floats);
+  V3AppendPod(payload, checkpoint.cumulative_bytes_uplink);
+  V3AppendRng(payload, checkpoint.server_rng);
+  V3AppendFloats(payload, checkpoint.global_state);
+  V3AppendPod(payload,
+              static_cast<uint64_t>(checkpoint.algorithm_state.size()));
+  for (const StateVector& vec : checkpoint.algorithm_state) {
+    V3AppendFloats(payload, vec);
+  }
+  V3AppendPod(payload, static_cast<uint64_t>(checkpoint.client_rng.size()));
+  for (const RngState& rng : checkpoint.client_rng) V3AppendRng(payload, rng);
+  V3AppendPod(payload,
+              static_cast<uint64_t>(checkpoint.client_buffers.size()));
+  for (const StateVector& vec : checkpoint.client_buffers) {
+    V3AppendFloats(payload, vec);
+  }
+  V3AppendPod(payload,
+              static_cast<uint64_t>(checkpoint.client_residuals.size()));
+  for (const StateVector& vec : checkpoint.client_residuals) {
+    V3AppendFloats(payload, vec);
+  }
+  V3AppendPod(payload, static_cast<uint8_t>(checkpoint.sparse ? 1 : 0));
+  V3AppendPod(payload, static_cast<uint64_t>(checkpoint.party_ids.size()));
+  for (const int64_t id : checkpoint.party_ids) V3AppendPod(payload, id);
+  V3AppendPod(payload, checkpoint.trial);
+  V3AppendPod(payload, static_cast<uint64_t>(0));  // round_accuracy
+  V3AppendPod(payload, static_cast<uint64_t>(0));  // round_loss
+  V3AppendPod(payload, V3Fnv1a(payload.data(), payload.size()));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+            payload.size());
+  std::fclose(f);
+}
+
+TEST(ScenarioResumeTest, V3FileReadsBackWithScenarioOffDefaults) {
+  ServerConfig config;
+  config.seed = 5;
+  const int total_rounds = 4, kill_after = 2;
+  auto uninterrupted = ScenarioServer("fedavg", config);
+  for (int round = 0; round < total_rounds; ++round) {
+    uninterrupted->RunRound(ScenarioOptions());
+  }
+
+  const std::string path = ScenarioTestPath("scenario_v3_compat.bin");
+  {
+    auto first_process = ScenarioServer("fedavg", config);
+    for (int round = 0; round < kill_after; ++round) {
+      first_process->RunRound(ScenarioOptions());
+    }
+    WriteV3File(first_process->MakeCheckpoint(), path);
+  }
+  const auto read = ReadCheckpointFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->scenario_fingerprint, 0u);
+  EXPECT_EQ(read->aggregator, "mean");
+
+  auto resumed = ScenarioServer("fedavg", config);
+  ASSERT_TRUE(resumed->RestoreCheckpoint(*read).ok());
+  for (int round = kill_after; round < total_rounds; ++round) {
+    resumed->RunRound(ScenarioOptions());
+  }
+  EXPECT_EQ(resumed->global_state(), uninterrupted->global_state());
+}
+
+}  // namespace
+}  // namespace niid

@@ -2,7 +2,8 @@
 """Run a micro-benchmark suite and emit a machine-readable BENCH_*.json.
 
 Usage:
-    tools/bench_json.py [--suite gemm|step|round|faults|compress|scale]
+    tools/bench_json.py [--suite gemm|step|round|faults|compress|scale|
+                         scenarios]
                         [--bench-binary build/bench/bench_micro_engine]
                         [--scale-binary build/bench/bench_scale]
                         [--output BENCH_<suite>.json] [--min-time 0.1]
@@ -79,6 +80,17 @@ reduction's bitwise identity to a serial single-shard replay at 1M parties.
 Under --compare the scale suite is regression-gated at 25% wall time
 (end-to-end training arms are noisier than microbenchmarks).
 
+Suite "scenarios" (BM_Scenario, from the bench_scenarios binary): the
+robustness leaderboard. Each benchmark trains the fault suite's label-skewed
+12-party federation under one (algorithm, aggregation rule, scenario) cell —
+scenarios: clean, signflip20 (a fixed 20% adversary subset uploading
+5x-amplified sign-flipped deltas), and churn (label drift plus a diurnal
+availability trace) — and exports the replica-averaged final accuracy. The
+summary tables accuracy per cell and evaluates the acceptance checks:
+median_beats_mean_under_signflip, and best_robust_recovers_half_of_attack
+(some robust rule recovers at least half the accuracy plain FedAvg loses to
+the sign-flip attack).
+
 The output JSON carries the raw benchmark entries alongside the summary so
 regressions can be bisected to a specific shape.
 
@@ -100,6 +112,13 @@ SUITE_FILTER = {
     "round": "^BM_Round|^BM_Eval",
     "faults": "^BM_Fault",
     "compress": "^BM_Compress",
+    "scenarios": "^BM_Scenario",
+}
+
+# Suites served by a dedicated binary instead of bench_micro_engine; applied
+# only when --bench-binary is left at its default.
+SUITE_BINARY = {
+    "scenarios": "build/bench/bench_scenarios",
 }
 
 # Suites whose benchmarks are pure latency measurements of the engine: a
@@ -322,6 +341,69 @@ def compress_summary(entries: dict) -> dict:
     }
 
 
+def scenarios_summary(entries: dict) -> dict:
+    # BM_Scenario/<algo>/<rule>/<scenario> indexes the tables in
+    # bench/bench_scenarios.cpp.
+    algorithms = {"0": "fedavg", "1": "fedprox", "2": "scaffold",
+                  "3": "fednova"}
+    rules = {"0": "mean", "1": "median", "2": "trimmed", "3": "clipped"}
+    scenarios = {"0": "clean", "1": "signflip20", "2": "churn"}
+
+    leaderboard: dict = {}
+    for name, entry in entries.items():
+        parts = name.split("/")
+        if parts[0] != "BM_Scenario" or len(parts) != 4:
+            continue
+        algo = algorithms.get(parts[1])
+        rule = rules.get(parts[2])
+        scenario = scenarios.get(parts[3])
+        if None in (algo, rule, scenario) or "final_accuracy" not in entry:
+            continue
+        leaderboard.setdefault(algo, {}).setdefault(rule, {})[scenario] = (
+            entry["final_accuracy"]
+        )
+
+    def accuracy(algo: str, rule: str, scenario: str):
+        return leaderboard.get(algo, {}).get(rule, {}).get(scenario)
+
+    clean = accuracy("fedavg", "mean", "clean")
+    attacked = accuracy("fedavg", "mean", "signflip20")
+    attack_damage = (
+        clean - attacked if clean is not None and attacked is not None
+        else None
+    )
+    # How much of the attack's damage each robust rule recovers, as a
+    # fraction of what plain FedAvg lost (1.0 = back to the clean baseline).
+    recovered = {}
+    for rule in ("median", "trimmed", "clipped"):
+        robust = accuracy("fedavg", rule, "signflip20")
+        if robust is not None and attack_damage:
+            recovered[rule] = (robust - attacked) / attack_damage
+    best_rule = max(recovered, key=recovered.get) if recovered else None
+    median_attacked = accuracy("fedavg", "median", "signflip20")
+    return {
+        "leaderboard": leaderboard,
+        "fedavg_clean_accuracy": clean,
+        "fedavg_signflip20_accuracy": attacked,
+        "signflip20_attack_damage": attack_damage,
+        "recovered_fraction_by_rule": recovered,
+        "best_robust_rule": best_rule,
+        "checks": {
+            "signflip_attack_actually_hurts": (
+                attack_damage > 0.0 if attack_damage is not None else None
+            ),
+            "median_beats_mean_under_signflip": (
+                median_attacked > attacked
+                if median_attacked is not None and attacked is not None
+                else None
+            ),
+            "best_robust_recovers_half_of_attack": (
+                recovered[best_rule] >= 0.5 if best_rule else None
+            ),
+        },
+    }
+
+
 def run_scale_suite(args) -> dict:
     """Runs bench_scale once per arm and parses its RESULT lines.
 
@@ -434,6 +516,7 @@ SUITE_SUMMARY = {
     "faults": faults_summary,
     "compress": compress_summary,
     "scale": scale_summary,
+    "scenarios": scenarios_summary,
 }
 
 
@@ -533,8 +616,9 @@ def main() -> int:
     )
     parser.add_argument(
         "--bench-binary",
-        default="build/bench/bench_micro_engine",
-        help="path to the bench_micro_engine executable",
+        default=None,
+        help="path to the benchmark executable (default: "
+        "build/bench/bench_micro_engine, or the suite's dedicated binary)",
     )
     parser.add_argument(
         "--output",
@@ -598,7 +682,10 @@ def main() -> int:
                 return 2
         return 0
 
-    binary = pathlib.Path(args.bench_binary)
+    binary = pathlib.Path(
+        args.bench_binary
+        or SUITE_BINARY.get(args.suite, "build/bench/bench_micro_engine")
+    )
     if not binary.exists():
         print(f"bench binary not found: {binary}", file=sys.stderr)
         return 1
